@@ -1,0 +1,79 @@
+// Ablation: adaptive delta selection (§3 adaptability) — ship the smaller
+// of the ed-script and block-move encodings, at the cost of computing
+// both. Compares bytes and CPU across workload shapes: scattered line
+// edits (ed's home turf), moved blocks and binary-ish content (where line
+// diffs fall apart).
+#include <chrono>
+#include <cstdio>
+
+#include "core/workload.hpp"
+#include "diff/diff.hpp"
+#include "util/rng.hpp"
+
+using namespace shadow;
+
+namespace {
+
+struct Row {
+  std::size_t bytes;
+  double micros;
+};
+
+template <typename F>
+Row measure(F&& compute) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const diff::Delta d = compute();
+  const auto t1 = std::chrono::steady_clock::now();
+  return Row{d.wire_size(),
+             std::chrono::duration<double, std::micro>(t1 - t0).count()};
+}
+
+}  // namespace
+
+int main() {
+  const std::string text_base = core::make_file(100'000, 1);
+  std::string scattered = core::modify_percent(text_base, 5, 2);
+  std::string moved = text_base.substr(text_base.size() / 3) +
+                      text_base.substr(0, text_base.size() / 3);
+  Rng rng(3);
+  const Bytes raw = rng.bytes(100'000);
+  const std::string binary_base(raw.begin(), raw.end());
+  std::string binary_edit = binary_base;
+  binary_edit.insert(30'000, "spliced-binary-patch");
+
+  struct Case {
+    const char* name;
+    const std::string* base;
+    const std::string* target;
+  };
+  const Case cases[] = {
+      {"5% scattered line edits", &text_base, &scattered},
+      {"block move (1/3 rotated)", &text_base, &moved},
+      {"binary splice", &binary_base, &binary_edit},
+  };
+
+  std::printf("=== Ablation: adaptive delta selection (100k inputs) ===\n");
+  std::printf("%-26s %14s %14s %14s   %s\n", "workload", "ed-script-B",
+              "block-move-B", "adaptive-B", "adaptive cost");
+  for (const auto& c : cases) {
+    const Row ed = measure([&] {
+      return diff::Delta::compute(*c.base, *c.target,
+                                  diff::Algorithm::kHuntMcIlroy);
+    });
+    const Row bm = measure([&] {
+      return diff::Delta::compute(*c.base, *c.target,
+                                  diff::Algorithm::kBlockMove);
+    });
+    const Row ad = measure(
+        [&] { return diff::Delta::compute_adaptive(*c.base, *c.target); });
+    std::printf("%-26s %14zu %14zu %14zu   %.1f ms (vs %.1f + %.1f)\n",
+                c.name, ed.bytes, bm.bytes, ad.bytes, ad.micros / 1000.0,
+                ed.micros / 1000.0, bm.micros / 1000.0);
+  }
+  std::printf("\nexpected: adaptive always matches the better column — "
+              "ed-script bytes on line edits, block-move bytes on moves "
+              "and binary content — for roughly the summed CPU of both "
+              "algorithms. At 9600 baud, one avoided 30 KB delta buys "
+              "~25 s; the extra milliseconds of CPU are noise.\n");
+  return 0;
+}

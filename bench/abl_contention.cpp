@@ -1,0 +1,101 @@
+// Ablation: trunk contention — a whole department behind ONE 9600-baud
+// leased line (§2.1: the supercomputer "is likely to be swamped with
+// several such remote login and file transfer sessions"; Cypress was
+// precisely a shared capillary into the backbone).
+//
+// K scientists each edit a 30 KB input (staggered by think time) and then
+// everyone submits. We measure when the LAST scientist gets results, for
+// shadow editing vs a conventional RJE (no cache, transfers at submit).
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+using namespace shadow;
+
+namespace {
+
+double run(int k, bool shadow_mode) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  if (!shadow_mode) sc.cache_budget = 1;  // conventional: caches nothing
+  system.add_server(sc);
+  std::vector<std::string> names;
+  for (int i = 0; i < k; ++i) {
+    const std::string name = "ws" + std::to_string(i);
+    client::ShadowEnvironment env;
+    env.background_updates = shadow_mode;
+    system.add_client(name, env);
+    names.push_back(name);
+  }
+  system.connect_shared(names, "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  // First round: everyone's file reaches the server once (both systems
+  // pay this; it is not what we measure).
+  std::vector<std::string> contents(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    contents[static_cast<std::size_t>(i)] =
+        core::make_file(30'000, static_cast<u64>(i));
+    (void)system.editor(names[static_cast<std::size_t>(i)])
+        .create("/home/user/f", contents[static_cast<std::size_t>(i)]);
+    client::ShadowClient::SubmitOptions job;
+    job.files = {"/home/user/f"};
+    job.command_file = "wc f\n";
+    (void)system.client(names[static_cast<std::size_t>(i)]).submit(job);
+  }
+  system.settle();
+
+  // The measured round: staggered 2%-edits (5 minutes of thinking apart),
+  // then everyone submits at once.
+  for (int i = 0; i < k; ++i) {
+    auto& content = contents[static_cast<std::size_t>(i)];
+    content = core::modify_percent(content, 2, static_cast<u64>(100 + i));
+    (void)system.editor(names[static_cast<std::size_t>(i)])
+        .edit("/home/user/f", [&](const std::string&) { return content; });
+    system.simulator().run_until(system.simulator().now() +
+                                 sim::from_seconds(300));
+  }
+  int remaining = k;
+  sim::SimTime last_done = system.simulator().now();
+  const sim::SimTime t0 = system.simulator().now();
+  for (int i = 0; i < k; ++i) {
+    auto& client = system.client(names[static_cast<std::size_t>(i)]);
+    client.on_job_output([&](const client::JobView&) {
+      --remaining;
+      last_done = system.simulator().now();
+    });
+    client::ShadowClient::SubmitOptions job;
+    job.files = {"/home/user/f"};
+    job.command_file = "wc f\n";
+    (void)client.submit(job);
+  }
+  system.settle();
+  if (remaining != 0) std::fprintf(stderr, "jobs missing!\n");
+  return sim::to_seconds(last_done - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: trunk contention — K scientists, ONE 9600-baud "
+              "line ===\n");
+  std::printf("staggered 2%% edits on 30k inputs, then simultaneous "
+              "resubmits; time until the LAST result arrives\n\n");
+  std::printf("%4s %24s %24s %10s\n", "K", "conventional RJE (s)",
+              "shadow editing (s)", "advantage");
+  for (int k : {1, 2, 4, 8}) {
+    const double conventional = run(k, false);
+    const double shadow_time = run(k, true);
+    std::printf("%4d %24.1f %24.1f %9.1fx\n", k, conventional, shadow_time,
+                conventional / shadow_time);
+  }
+  std::printf("\nexpected: conventional resubmits serialize K full files "
+              "through the shared line (latency grows ~linearly in K); "
+              "shadow deltas are small enough that even the K=8 burst "
+              "clears in seconds — and most transfers already happened "
+              "inside the think time.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the shadow advantage across line speeds (paper §2.2 and §8.1
+// both argue the point: slow lines motivate the design, but "the utility
+// of our system is not limited to networks using low-speed lines" — and
+// one day lines get fast enough that the workstation's diff CPU becomes
+// the bottleneck).
+//
+// Sweeps line rate from 1200 baud to 10 Mbps for a fixed workload (100 KB
+// file, 5% edit) and reports F-time, S-time and the speedup. The
+// crossover question: at what speed does shadow processing stop paying?
+#include <cstdio>
+
+#include "figure_common.hpp"
+
+using namespace shadow;
+
+int main() {
+  struct Line {
+    const char* name;
+    double bps;
+    double congestion;
+  };
+  const Line lines[] = {
+      {"1200 baud dialup", 1200, 1.0},
+      {"9600 baud Cypress", 9600, 1.0},
+      {"56k ARPANET trunk", 56'000, 2.5},
+      {"56k dedicated", 56'000, 1.0},
+      {"256k fractional T1", 256'000, 1.0},
+      {"1.5M T1", 1'544'000, 1.0},
+      {"10M Ethernet", 10'000'000, 1.0},
+  };
+
+  std::printf("=== Ablation: speedup vs line speed (100k file, 5%% edit) "
+              "===\n");
+  std::printf("workstation diff throughput fixed at 100 KB/s "
+              "(1987-class CPU)\n\n");
+  std::printf("%-20s %12s %12s %10s\n", "line", "F-time(s)", "S-time(s)",
+              "speedup");
+  for (const auto& line : lines) {
+    sim::LinkConfig config;
+    config.name = line.name;
+    config.bits_per_second = line.bps;
+    config.latency = 50'000;
+    config.congestion_factor = line.congestion;
+    const auto point = bench::run_point(config, 100'000, 5, 7);
+    std::printf("%-20s %12.1f %12.1f %9.1fx\n", line.name, point.f_time,
+                point.s_time, point.speedup());
+  }
+  std::printf("\nexpected: the speedup is largest on the slowest lines "
+              "(transfer dominates), decays as bandwidth grows, and "
+              "approaches ~1x once the line outruns the workstation's "
+              "diff computation — on a 10 Mbps LAN, 1987-vintage shadow "
+              "processing no longer pays. The paper's niche (long-haul "
+              "1200 baud - 56 kbps) is exactly where the win lives.\n");
+  return 0;
+}

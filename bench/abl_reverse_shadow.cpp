@@ -1,0 +1,100 @@
+// Ablation (paper §8.3): reverse shadow processing — "cache the output on
+// the supercomputer, and, next time the same job is run, send the
+// differences between the current output and the previous output".
+//
+// A job with large output (sorting the data file) is re-run after
+// progressively larger input edits; we compare output-leg bytes with
+// reverse shadow off/on, and with LZ77 stacked on top.
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+using namespace shadow;
+
+namespace {
+
+struct Report {
+  u64 output_bytes = 0;     // JobOutput payload bytes over all runs
+  u64 delta_hits = 0;
+  double total_seconds = 0; // end-to-end time of all cycles
+};
+
+Report run(bool reverse_shadow, compress::Codec codec,
+           const std::vector<double>& edit_percents) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.reverse_shadow = reverse_shadow;
+  sc.output_codec = codec;
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("ws");
+  auto& client = system.client("ws");
+  // Structured records: realistic scientific data that actually
+  // compresses, so the codec rows are meaningful.
+  std::string content = core::make_structured_file(60'000, 1);
+
+  const sim::SimTime t0 = system.simulator().now();
+  int round = 0;
+  for (double percent : edit_percents) {
+    if (round++ > 0) {
+      content = core::modify_percent(content, percent,
+                                     static_cast<u64>(round));
+    }
+    (void)editor.create("/home/user/data.f", content);
+    client::ShadowClient::SubmitOptions opts;
+    opts.files = {"/home/user/data.f"};
+    opts.command_file = "sort data.f\n";
+    opts.output_path = "/home/user/sorted.out";
+    opts.error_path = "/home/user/sorted.err";
+    auto token = client.submit(opts);
+    system.settle();
+    if (!token.ok() || !client.job_done(token.value())) {
+      std::fprintf(stderr, "cycle failed\n");
+    }
+  }
+
+  Report report;
+  report.output_bytes = system.server("super").stats().output_bytes;
+  report.delta_hits = system.server("super").stats().output_delta_hits;
+  report.total_seconds = sim::to_seconds(system.simulator().now() - t0);
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  // First run plus re-runs after 0.5/2/5 percent input edits.
+  const std::vector<double> percents = {0, 0.5, 2, 5};
+  std::printf("=== Ablation: reverse shadow processing (paper 8.3) ===\n");
+  std::printf("job 'sort data.f' on a 60k file, re-run after small edits; "
+              "output ~= input size\n\n");
+  std::printf("%-34s %14s %10s %12s\n", "configuration", "output-B",
+              "delta-hits", "total-s");
+  struct Config {
+    const char* name;
+    bool reverse;
+    compress::Codec codec;
+  };
+  const Config configs[] = {
+      {"baseline (full output each run)", false, compress::Codec::kStored},
+      {"reverse shadow", true, compress::Codec::kStored},
+      {"reverse shadow + lz77", true, compress::Codec::kLz77},
+      {"lz77 only", false, compress::Codec::kLz77},
+  };
+  for (const auto& config : configs) {
+    const Report r = run(config.reverse, config.codec, percents);
+    std::printf("%-34s %14llu %10llu %12.1f\n", config.name,
+                static_cast<unsigned long long>(r.output_bytes),
+                static_cast<unsigned long long>(r.delta_hits),
+                r.total_seconds);
+  }
+  std::printf("\nexpected: reverse shadow cuts output bytes several-fold on "
+              "re-runs (3 of 4 runs ship deltas); compression stacks for "
+              "further savings; the combination wins.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Macro experiment: the paper's §2.1 motivation, quantified. A scientist
+// repeats the edit-submit-fetch cycle on a 200 KB input over a 9600-baud
+// line for one 8-hour working day, thinking ~5 minutes between runs.
+//
+// Conventional RJE (the baseline the paper attacks): the full file travels
+// with EVERY submission, nothing is cached (we model it with a 1-byte
+// cache budget — best-effort caching keeps nothing — and no background
+// updates). Shadow editing: background deltas while the scientist thinks.
+//
+// Reported: iterations finished in the day, total time spent waiting on
+// the network, and bytes moved.
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+using namespace shadow;
+
+namespace {
+
+struct DayReport {
+  int iterations = 0;
+  double waiting_seconds = 0;  // submit -> results, summed
+  u64 payload_bytes = 0;
+};
+
+DayReport run_day(bool shadow_mode, double think_seconds) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  if (!shadow_mode) sc.cache_budget = 1;  // best-effort cache keeps nothing
+  system.add_server(sc);
+  client::ShadowEnvironment env;
+  env.background_updates = shadow_mode;
+  system.add_client("ws", env);
+  sim::Link& link =
+      system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("ws");
+  auto& client = system.client("ws");
+  auto& sim = system.simulator();
+
+  const sim::SimTime day_end = 8ull * 3600 * sim::kMicrosPerSecond;
+  std::string content = core::make_file(200'000, 1);
+  DayReport report;
+
+  bool job_done = false;
+  client.on_job_output([&](const client::JobView&) { job_done = true; });
+
+  int iteration = 0;
+  while (sim.now() < day_end) {
+    // Editing session (~3% of the file changes).
+    if (iteration > 0) {
+      content = core::modify_percent(content, 3,
+                                     static_cast<u64>(iteration));
+    }
+    if (!editor.edit("/home/user/model.in",
+                     [&](const std::string&) { return content; })
+             .ok()) {
+      break;
+    }
+    // Think time; with shadow editing the delta flows in the background.
+    sim.run_until(sim.now() + sim::from_seconds(think_seconds));
+
+    client::ShadowClient::SubmitOptions job;
+    job.files = {"/home/user/model.in"};
+    job.command_file = "wc model.in\n";
+    auto token = client.submit(job);
+    if (!token.ok()) break;
+    job_done = false;
+    const sim::SimTime wait_start = sim.now();
+    while (!job_done && sim.step()) {
+    }
+    if (!job_done) break;  // drained without completing (shouldn't happen)
+    report.waiting_seconds += sim::to_seconds(sim.now() - wait_start);
+    ++iteration;
+    if (sim.now() < day_end) report.iterations = iteration;
+  }
+  report.payload_bytes = link.total_payload_bytes();
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Macro: a scientist's 8-hour day on a 9600-baud line "
+              "(200k input, 3%% edits, 5-min think time) ===\n\n");
+  std::printf("%-18s %12s %18s %14s\n", "system", "iterations",
+              "hours waiting", "MB transferred");
+  const double think = 300.0;
+  const DayReport conventional = run_day(false, think);
+  const DayReport shadow_day = run_day(true, think);
+  std::printf("%-18s %12d %18.2f %14.2f\n", "conventional RJE",
+              conventional.iterations, conventional.waiting_seconds / 3600.0,
+              conventional.payload_bytes / 1048576.0);
+  std::printf("%-18s %12d %18.2f %14.2f\n", "shadow editing",
+              shadow_day.iterations, shadow_day.waiting_seconds / 3600.0,
+              shadow_day.payload_bytes / 1048576.0);
+  std::printf("\nexpected: the shadow user finishes noticeably more "
+              "iterations and spends a small fraction of the conventional "
+              "user's dead time waiting — the transfers hid inside the "
+              "think time (5.1), and what remained were deltas (5.1) "
+              "rather than 200 KB re-sends.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Shared harness for the paper's Figures 1-3 (§8.1).
+//
+// Experimental protocol, exactly as the paper describes it: "In each
+// experiment, we submitted a job with a data file. After obtaining the
+// results, we edited the data file and resubmitted the same job. We
+// modified the data file by a different amount every time (1% to 80% of
+// the text) before resubmitting. We measured the total amount of time
+// spent in each case."
+//
+// F-time: the first submission, which transfers the entire file — this is
+// what a conventional batch system pays on EVERY submission (the paper's
+// horizontal lines). S-time: the resubmission after editing p% — shadow
+// processing ships only the ed-script delta.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+namespace shadow::bench {
+
+struct FigurePoint {
+  std::size_t file_size = 0;
+  double percent = 0;
+  double f_time = 0;   // conventional/full-transfer cycle seconds
+  double s_time = 0;   // shadow cycle seconds
+  u64 f_bytes = 0;
+  u64 s_bytes = 0;
+  double speedup() const { return s_time > 0 ? f_time / s_time : 0; }
+};
+
+/// One (file size, % modified) point on a fresh system: first submission
+/// (full transfer) then an edited resubmission (delta transfer).
+inline FigurePoint run_point(const sim::LinkConfig& link_config,
+                             std::size_t file_size, double percent,
+                             u64 seed) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  system.add_client("ws");
+  sim::Link& link = system.connect("ws", "super", link_config);
+  system.settle();
+
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/data.f"};
+  opts.command_file = "wc data.f\n";
+  opts.output_path = "/home/user/job.out";
+  opts.error_path = "/home/user/job.err";
+
+  const std::string v1 = core::make_file(file_size, seed);
+  const auto first =
+      core::run_submit_cycle(system, "ws", "/home/user/data.f", v1, opts,
+                             &link);
+  const std::string v2 = core::modify_percent(v1, percent, seed * 31 + 7);
+  const auto second =
+      core::run_submit_cycle(system, "ws", "/home/user/data.f", v2, opts,
+                             &link);
+
+  FigurePoint point;
+  point.file_size = file_size;
+  point.percent = percent;
+  point.f_time = first.seconds;
+  point.s_time = second.seconds;
+  point.f_bytes = first.payload_bytes;
+  point.s_bytes = second.payload_bytes;
+  if (!first.completed || !second.completed) {
+    std::fprintf(stderr, "WARNING: cycle did not complete (size=%zu p=%g)\n",
+                 file_size, percent);
+  }
+  return point;
+}
+
+/// Figure 1/2 style report: S-time curves per file size with the F-time
+/// reference line. When `csv_path` is non-null, machine-readable rows are
+/// also written there (for replotting the paper's figures).
+inline void print_transfer_figure(const char* title,
+                                  const sim::LinkConfig& link_config,
+                                  const std::vector<std::size_t>& sizes,
+                                  const std::vector<double>& percents,
+                                  const char* csv_path = nullptr) {
+  std::FILE* csv = nullptr;
+  if (csv_path != nullptr) {
+    csv = std::fopen(csv_path, "w");
+    if (csv != nullptr) {
+      std::fprintf(csv,
+                   "file_size,percent_modified,f_time_s,s_time_s,"
+                   "f_bytes,s_bytes,speedup\n");
+    }
+  }
+  std::printf("%s\n", title);
+  std::printf("link: %s  (%.0f bps, latency %.0f ms, congestion x%.1f)\n\n",
+              link_config.name.c_str(), link_config.bits_per_second,
+              link_config.latency / 1000.0, link_config.congestion_factor);
+  for (std::size_t size : sizes) {
+    FigurePoint f_ref = run_point(link_config, size, percents.front(),
+                                  /*seed=*/size);
+    std::printf("file size %4zuk   F-time (full transfer each submit): "
+                "%8.1f s   [%llu bytes]\n",
+                size / 1000, f_ref.f_time,
+                static_cast<unsigned long long>(f_ref.f_bytes));
+    std::printf("  %%modified   S-time(s)   S-bytes     speedup(F/S)\n");
+    for (double percent : percents) {
+      const FigurePoint p = run_point(link_config, size, percent,
+                                      /*seed=*/size + 1);
+      std::printf("  %8.0f   %9.1f   %9llu   %8.1fx\n", percent, p.s_time,
+                  static_cast<unsigned long long>(p.s_bytes), p.speedup());
+      if (csv != nullptr) {
+        std::fprintf(csv, "%zu,%g,%.3f,%.3f,%llu,%llu,%.2f\n", size,
+                     percent, p.f_time, p.s_time,
+                     static_cast<unsigned long long>(p.f_bytes),
+                     static_cast<unsigned long long>(p.s_bytes),
+                     p.speedup());
+      }
+    }
+    std::printf("\n");
+  }
+  if (csv != nullptr) {
+    std::fclose(csv);
+    std::printf("csv written to %s\n", csv_path);
+  }
+}
+
+/// Shared argv handling for the figure binaries: "--csv PATH".
+inline const char* csv_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return argv[i + 1];
+  }
+  return nullptr;
+}
+
+}  // namespace shadow::bench

@@ -1,0 +1,90 @@
+// Trace-driven sessions: describe a user's day as data, replay it under
+// different system configurations, and compare. The same trace text can
+// live in a file and be swept by scripts — this example embeds one.
+#include <cstdio>
+
+#include "core/trace.hpp"
+#include "core/system.hpp"
+
+using namespace shadow;
+
+namespace {
+
+const char kTraceText[] =
+    "# Monday morning: set up the model, iterate twice, go to lunch.\n"
+    "client ws\n"
+    "edit /home/user/model.in create=80000 seed=1\n"
+    "think 240\n"
+    "submit cmd=\"sort model.in > s\\nhead 20 s\\nwc model.in\\n\" "
+    "files=/home/user/model.in out=/home/user/run1.out err=/home/user/run1.err\n"
+    "await\n"
+    "think 600\n"
+    "edit /home/user/model.in percent=2 seed=2\n"
+    "think 180\n"
+    "submit cmd=\"sort model.in > s\\nhead 20 s\\nwc model.in\\n\" "
+    "files=/home/user/model.in out=/home/user/run2.out err=/home/user/run2.err\n"
+    "await\n"
+    "think 300\n"
+    "edit /home/user/model.in percent=1 seed=3\n"
+    "submit cmd=\"sort model.in > s\\nhead 20 s\\nwc model.in\\n\" "
+    "files=/home/user/model.in out=/home/user/run3.out err=/home/user/run3.err\n"
+    "await\n";
+
+core::TraceReport replay(const core::Trace& trace,
+                         const sim::LinkConfig& link_config,
+                         bool background_updates) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  client::ShadowEnvironment env;
+  env.background_updates = background_updates;
+  system.add_client(trace.client, env);
+  sim::Link& link = system.connect(trace.client, "super", link_config);
+  system.settle();
+  auto report = core::run_trace(system, trace, &link);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 report.error().to_string().c_str());
+    return {};
+  }
+  return report.value();
+}
+
+}  // namespace
+
+int main() {
+  auto trace = core::Trace::parse(kTraceText);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "bad trace: %s\n",
+                 trace.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("replaying a 3-iteration morning (80k model file) under "
+              "three configurations:\n\n");
+  std::printf("%-34s %10s %12s %14s\n", "configuration", "waiting-s",
+              "elapsed-s", "bytes moved");
+  struct Config {
+    const char* name;
+    sim::LinkConfig link;
+    bool background;
+  };
+  const Config configs[] = {
+      {"Cypress 9600, background updates", sim::LinkConfig::cypress_9600(),
+       true},
+      {"Cypress 9600, submit-time only", sim::LinkConfig::cypress_9600(),
+       false},
+      {"ARPANET 56k, background updates", sim::LinkConfig::arpanet_56k(),
+       true},
+  };
+  for (const auto& config : configs) {
+    const auto report = replay(trace.value(), config.link,
+                               config.background);
+    std::printf("%-34s %10.1f %12.1f %14llu\n", config.name,
+                report.waiting_seconds, report.elapsed_seconds,
+                static_cast<unsigned long long>(report.payload_bytes));
+  }
+  std::printf("\nthe trace format is plain text — edit the scenario, rerun, "
+              "compare. (See core/trace.hpp.)\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "cache/shadow_cache.hpp"
+
+namespace shadow::cache {
+
+const char* eviction_policy_name(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kFifo: return "fifo";
+    case EvictionPolicy::kLargestFirst: return "largest-first";
+  }
+  return "?";
+}
+
+ShadowCache::ShadowCache(u64 byte_budget, EvictionPolicy policy)
+    : byte_budget_(byte_budget), policy_(policy) {}
+
+std::unordered_map<std::string, CacheEntry>::iterator
+ShadowCache::pick_victim() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (victim == entries_.end()) {
+      victim = it;
+      continue;
+    }
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        if (it->second.last_access < victim->second.last_access) victim = it;
+        break;
+      case EvictionPolicy::kFifo:
+        if (it->second.inserted_at < victim->second.inserted_at) victim = it;
+        break;
+      case EvictionPolicy::kLargestFirst:
+        if (it->second.content.size() > victim->second.content.size()) {
+          victim = it;
+        }
+        break;
+    }
+  }
+  return victim;
+}
+
+void ShadowCache::make_room(std::size_t incoming_size) {
+  if (byte_budget_ == 0) return;
+  while (!entries_.empty() && bytes_used_ + incoming_size > byte_budget_) {
+    auto victim = pick_victim();
+    bytes_used_ -= victim->second.content.size();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+Status ShadowCache::put(const std::string& key, u64 version,
+                        std::string content, u32 crc) {
+  ++stats_.puts;
+  ++tick_;
+  if (byte_budget_ != 0 && content.size() > byte_budget_) {
+    // The file alone exceeds the whole budget: refuse (best-effort).
+    erase(key);
+    ++stats_.rejected;
+    return Error{ErrorCode::kResourceExhausted,
+                 "content larger than cache budget"};
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_used_ -= it->second.content.size();
+    make_room(content.size());
+    it->second.content = std::move(content);
+    it->second.version = version;
+    it->second.crc = crc;
+    it->second.last_access = tick_;
+    bytes_used_ += it->second.content.size();
+    return Status();
+  }
+  make_room(content.size());
+  CacheEntry entry;
+  entry.key = key;
+  entry.version = version;
+  entry.crc = crc;
+  entry.last_access = tick_;
+  entry.inserted_at = tick_;
+  bytes_used_ += content.size();
+  entry.content = std::move(content);
+  entries_.emplace(key, std::move(entry));
+  return Status();
+}
+
+Result<const CacheEntry*> ShadowCache::get(const std::string& key) {
+  ++tick_;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return Error{ErrorCode::kCacheMiss, "not cached: " + key};
+  }
+  ++stats_.hits;
+  it->second.last_access = tick_;
+  return &it->second;
+}
+
+std::optional<u64> ShadowCache::version_of(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+void ShadowCache::erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_used_ -= it->second.content.size();
+  entries_.erase(it);
+}
+
+bool ShadowCache::evict_one() {
+  auto victim = pick_victim();
+  if (victim == entries_.end()) return false;
+  bytes_used_ -= victim->second.content.size();
+  entries_.erase(victim);
+  ++stats_.evictions;
+  return true;
+}
+
+void ShadowCache::clear() {
+  entries_.clear();
+  bytes_used_ = 0;
+}
+
+void ShadowCache::encode(BufWriter& out) const {
+  out.put_varint(tick_);
+  out.put_varint(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.put_string(key);
+    out.put_varint(entry.version);
+    out.put_u32(entry.crc);
+    out.put_varint(entry.last_access);
+    out.put_varint(entry.inserted_at);
+    out.put_string(entry.content);
+  }
+}
+
+Status ShadowCache::restore(BufReader& in) {
+  clear();
+  SHADOW_ASSIGN_OR_RETURN(tick, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
+  if (count > in.remaining()) {
+    return Error{ErrorCode::kProtocolError, "entry count exceeds data"};
+  }
+  tick_ = tick;
+  for (u64 i = 0; i < count; ++i) {
+    CacheEntry entry;
+    SHADOW_ASSIGN_OR_RETURN(key, in.get_string());
+    SHADOW_ASSIGN_OR_RETURN(version, in.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+    SHADOW_ASSIGN_OR_RETURN(last_access, in.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(inserted_at, in.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(content, in.get_string());
+    entry.key = key;
+    entry.version = version;
+    entry.crc = crc;
+    entry.last_access = last_access;
+    entry.inserted_at = inserted_at;
+    bytes_used_ += content.size();
+    entry.content = std::move(content);
+    entries_.emplace(std::move(key), std::move(entry));
+  }
+  make_room(0);  // trim if the snapshot exceeds the configured budget
+  return Status();
+}
+
+void ShadowCache::set_byte_budget(u64 budget) {
+  byte_budget_ = budget;
+  make_room(0);
+}
+
+}  // namespace shadow::cache

@@ -1,0 +1,108 @@
+// Server-side shadow file cache (paper §5.1).
+//
+// "Caching is a best effort storage system": entries may be evicted at any
+// time under the disk-space budget, and the protocol survives — the server
+// just asks for a full file instead of a delta. The remote host decides
+// how much disk to devote and which files to remove first; we expose the
+// budget and three eviction policies so the ablation bench can compare
+// them.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::cache {
+
+enum class EvictionPolicy : u8 {
+  kLru = 0,           // least recently used first
+  kFifo = 1,          // oldest insertion first
+  kLargestFirst = 2,  // biggest file first (frees space fastest)
+};
+
+const char* eviction_policy_name(EvictionPolicy policy);
+
+struct CacheEntry {
+  std::string key;      // cache key ("<domain>/<shadow-id>")
+  std::string content;  // cached file content
+  u64 version = 0;      // client version number this content equals
+  u32 crc = 0;          // fingerprint of content
+  u64 last_access = 0;  // logical tick of last get/put
+  u64 inserted_at = 0;  // logical tick of first insertion
+};
+
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 puts = 0;
+  u64 evictions = 0;
+  u64 rejected = 0;  // puts refused because the item alone exceeds budget
+
+  double hit_rate() const {
+    const u64 total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class ShadowCache {
+ public:
+  /// `byte_budget` caps total cached content bytes; 0 means unlimited.
+  explicit ShadowCache(u64 byte_budget = 0,
+                       EvictionPolicy policy = EvictionPolicy::kLru);
+
+  /// Insert or replace. Evicts other entries as needed; if the content
+  /// alone exceeds the budget the put is refused (best-effort: the file
+  /// simply is not cached) and kResourceExhausted is returned.
+  Status put(const std::string& key, u64 version, std::string content,
+             u32 crc);
+
+  /// Look up; counts a hit/miss and refreshes recency.
+  Result<const CacheEntry*> get(const std::string& key);
+
+  /// Version held for a key without touching recency (used when deciding
+  /// which base version to request from a client).
+  std::optional<u64> version_of(const std::string& key) const;
+  bool contains(const std::string& key) const {
+    return entries_.count(key) != 0;
+  }
+
+  void erase(const std::string& key);
+  /// Evict a specific entry as if under pressure (failure injection).
+  bool evict_one();
+  void clear();
+
+  u64 bytes_used() const { return bytes_used_; }
+  u64 byte_budget() const { return byte_budget_; }
+  void set_byte_budget(u64 budget);
+  std::size_t entry_count() const { return entries_.size(); }
+  EvictionPolicy policy() const { return policy_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Checkpoint the cached CONTENT (entries + recency clock; statistics
+  /// and configuration are not part of the snapshot).
+  void encode(BufWriter& out) const;
+  /// Restore entries into this cache (replacing current content); the
+  /// budget/policy stay as configured, and an over-budget snapshot is
+  /// trimmed by the usual eviction.
+  Status restore(BufReader& in);
+
+ private:
+  /// Pick the victim according to the policy; returns entries_.end() when
+  /// the cache is empty.
+  std::unordered_map<std::string, CacheEntry>::iterator pick_victim();
+  void make_room(std::size_t incoming_size);
+
+  std::unordered_map<std::string, CacheEntry> entries_;
+  u64 byte_budget_;
+  u64 bytes_used_ = 0;
+  u64 tick_ = 0;
+  EvictionPolicy policy_;
+  CacheStats stats_;
+};
+
+}  // namespace shadow::cache

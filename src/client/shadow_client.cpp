@@ -1,0 +1,554 @@
+#include "client/shadow_client.hpp"
+
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "vfs/path.hpp"
+
+namespace shadow::client {
+
+ShadowClient::ShadowClient(std::string name, ShadowEnvironment env,
+                           vfs::Cluster* cluster, std::string domain_id)
+    : name_(std::move(name)),
+      env_(std::move(env)),
+      cluster_(cluster),
+      resolver_(std::move(domain_id), cluster),
+      versions_(env_.retention_limit, env_.version_storage) {}
+
+void ShadowClient::connect(const std::string& server_name,
+                           net::Transport* transport) {
+  Session session;
+  session.server_name = server_name;
+  session.transport = transport;
+  auto [it, inserted] = sessions_.insert_or_assign(server_name,
+                                                   std::move(session));
+  Session* raw = &it->second;
+  // A snapshot restored before this connect supplies the acked-version map.
+  if (auto restored = restored_server_has_.find(server_name);
+      restored != restored_server_has_.end()) {
+    raw->server_has = restored->second;
+  }
+  transport->set_receiver(
+      [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+  if (env_.default_server.empty()) env_.default_server = server_name;
+
+  proto::Hello hello;
+  hello.client_name = name_;
+  hello.domain = resolver_.domain_id();
+  send(raw, hello);
+}
+
+void ShadowClient::send(Session* session, const proto::Message& m) {
+  Status st = session->transport->send(proto::encode_message(m));
+  if (!st.ok()) {
+    SHADOW_WARN() << name_ << ": send to " << session->server_name
+                  << " failed: " << st.to_string();
+  }
+}
+
+Result<ShadowClient::Session*> ShadowClient::session_for(
+    const std::string& server) {
+  const std::string& target = server.empty() ? env_.default_server : server;
+  auto it = sessions_.find(target);
+  if (it == sessions_.end()) {
+    return Error{ErrorCode::kNotFound, "not connected to server: " + target};
+  }
+  return &it->second;
+}
+
+void ShadowClient::on_message(Session* session, Bytes wire) {
+  auto decoded = proto::decode_message(wire);
+  if (!decoded.ok()) {
+    SHADOW_WARN() << name_ << ": dropping malformed message from "
+                  << session->server_name << ": "
+                  << decoded.error().to_string();
+    return;
+  }
+  std::visit(
+      [&](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::HelloReply> ||
+                      std::is_same_v<T, proto::PullRequest> ||
+                      std::is_same_v<T, proto::UpdateAck> ||
+                      std::is_same_v<T, proto::SubmitReply> ||
+                      std::is_same_v<T, proto::StatusReply> ||
+                      std::is_same_v<T, proto::JobOutput>) {
+          handle(session, m);
+        } else {
+          SHADOW_WARN() << name_ << ": unexpected message from server";
+        }
+      },
+      decoded.value());
+}
+
+void ShadowClient::handle(Session* session, const proto::HelloReply& m) {
+  (void)m;
+  session->hello_done = true;
+}
+
+Result<std::pair<std::string, std::string>> ShadowClient::translate(
+    const std::string& path) const {
+  if (naming::TildeForest::is_tilde_path(path)) {
+    if (tilde_ == nullptr) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "tilde names not configured (set_tilde): " + path};
+    }
+    return tilde_->locate(tilde_user_, path);
+  }
+  return std::make_pair(name_, path);
+}
+
+Result<naming::GlobalFileId> ShadowClient::resolve_name(
+    const std::string& path) const {
+  SHADOW_ASSIGN_OR_RETURN(where, translate(path));
+  return resolver_.resolve(where.first, where.second);
+}
+
+Result<std::pair<naming::GlobalFileId, version::VersionNumber>>
+ShadowClient::capture_version(const std::string& local_path) {
+  SHADOW_ASSIGN_OR_RETURN(where, translate(local_path));
+  SHADOW_ASSIGN_OR_RETURN(id, resolver_.resolve(where.first, where.second));
+  SHADOW_ASSIGN_OR_RETURN(content,
+                          cluster_->read_file(where.first, where.second));
+  ids_[id.key()] = id;
+  auto& chain = versions_.chain(id.key());
+  chain.set_retention_limit(env_.retention_limit);
+  // Skip a new version when the content is unchanged (re-saving without
+  // edits must not spam the server).
+  auto latest = chain.latest();
+  if (latest.ok() && latest.value().content == content) {
+    return std::make_pair(id, latest.value().number);
+  }
+  const auto number = chain.append(std::move(content));
+  return std::make_pair(id, number);
+}
+
+Status ShadowClient::edited(const std::string& local_path) {
+  SHADOW_ASSIGN_OR_RETURN(captured, capture_version(local_path));
+  const auto& [id, number] = captured;
+  if (!env_.background_updates) {
+    return Status();  // server learns at submit time
+  }
+  for (auto& [server_name, session] : sessions_) {
+    if (env_.flow == FlowMode::kRequestDriven) {
+      // Push unprompted, diffed against what the server last acked.
+      const u64 base = session.server_has.count(id.key()) != 0
+                           ? session.server_has[id.key()]
+                           : 0;
+      SHADOW_TRY(send_update(&session, id, base, number));
+    } else {
+      proto::NotifyNewVersion notify;
+      notify.file = id;
+      notify.version = number;
+      auto chain_latest = versions_.chain(id.key()).latest();
+      if (chain_latest.ok()) {
+        notify.size = chain_latest.value().content.size();
+        notify.crc = chain_latest.value().crc;
+      }
+      ++stats_.notifies_sent;
+      send(&session, notify);
+    }
+  }
+  return Status();
+}
+
+Status ShadowClient::send_update(Session* session,
+                                 const naming::GlobalFileId& file, u64 base,
+                                 u64 version) {
+  auto& chain = versions_.chain(file.key());
+  SHADOW_ASSIGN_OR_RETURN(target, chain.get(version));
+
+  diff::Delta delta = diff::Delta::make_full(target.content);
+  u64 actual_base = 0;
+  if (base != 0) {
+    auto base_version = chain.get(base);
+    if (base_version.ok()) {
+      delta = env_.adaptive_diff
+                  ? diff::Delta::compute_adaptive(
+                        base_version.value().content, target.content)
+                  : diff::Delta::compute(base_version.value().content,
+                                         target.content, env_.algorithm);
+      if (delta.needs_base()) actual_base = base;
+    }
+    // Base no longer stored (§6.3.2): fall through with the full content.
+  }
+
+  BufWriter w;
+  delta.encode(w);
+  proto::Update update;
+  update.file = file;
+  update.base_version = actual_base;
+  update.new_version = version;
+  update.payload = compress::compress(w.take(), env_.codec);
+
+  ++stats_.updates_sent;
+  stats_.update_payload_bytes += update.payload.size();
+  if (actual_base == 0) {
+    ++stats_.full_sent;
+  } else {
+    ++stats_.delta_sent;
+  }
+  // Charge the workstation's diff-computation time to the simulated clock
+  // (a 1987 workstation took real seconds to diff a big file). The delta
+  // was computed above against an immutable version, so deferring the
+  // send is safe.
+  if (sim_ != nullptr && actual_base != 0 &&
+      env_.diff_bytes_per_second > 0) {
+    const double seconds =
+        static_cast<double>(target.content.size()) /
+        env_.diff_bytes_per_second;
+    sim_->schedule(sim::from_seconds(seconds),
+                   [this, session, update = std::move(update)]() {
+                     send(session, update);
+                   });
+    return Status();
+  }
+  send(session, update);
+  return Status();
+}
+
+void ShadowClient::handle(Session* session, const proto::PullRequest& m) {
+  ++stats_.pulls_received;
+  auto& chain = versions_.chain(m.file.key());
+  // Serve the requested version, or the latest if the user has moved on.
+  u64 target = m.want_version;
+  if (!chain.has(target)) {
+    const auto latest = chain.latest_number();
+    if (!latest || *latest < m.want_version) {
+      SHADOW_WARN() << name_ << ": pull for unknown version "
+                    << m.want_version << " of " << m.file.display();
+      return;
+    }
+    target = *latest;
+  } else if (const auto latest = chain.latest_number();
+             latest && *latest > target) {
+    target = *latest;  // newer content supersedes the request
+  }
+  const u64 base = (m.have_version != 0 && chain.has(m.have_version))
+                       ? m.have_version
+                       : 0;
+  Status st = send_update(session, m.file, base, target);
+  if (!st.ok()) {
+    SHADOW_WARN() << name_ << ": failed to answer pull: " << st.to_string();
+  }
+}
+
+void ShadowClient::handle(Session* session, const proto::UpdateAck& m) {
+  ++stats_.acks_received;
+  if (!m.ok) {
+    SHADOW_WARN() << name_ << ": server failed to apply update v"
+                  << m.version << " of " << m.file.display() << ": "
+                  << m.error;
+    return;
+  }
+  session->server_has[m.file.key()] = m.version;
+  // §6.3.2: older versions may be GC'd once a later one is acknowledged.
+  // With several servers, only GC below the minimum acked version.
+  u64 min_acked = m.version;
+  for (const auto& [server_name, other] : sessions_) {
+    auto it = other.server_has.find(m.file.key());
+    const u64 acked = it == other.server_has.end() ? 0 : it->second;
+    min_acked = std::min(min_acked, acked);
+  }
+  if (min_acked > 0) {
+    versions_.chain(m.file.key()).acknowledge(min_acked);
+  }
+}
+
+Result<u64> ShadowClient::submit(const SubmitOptions& options) {
+  SHADOW_ASSIGN_OR_RETURN(session, session_for(options.server));
+
+  proto::SubmitJob msg;
+  msg.client_job_token = next_token_++;
+  msg.command_file = options.command_file;
+  msg.output_name = options.output_path;
+  msg.error_name = options.error_path;
+  msg.output_route = options.output_route;
+
+  for (const auto& path : options.files) {
+    SHADOW_ASSIGN_OR_RETURN(captured, capture_version(path));
+    const auto& [id, number] = captured;
+    // A lazily-edited file (background_updates off) is announced now, so
+    // the demand-driven server knows whom to pull from.
+    if (env_.flow == FlowMode::kRequestDriven) {
+      const u64 base = session->server_has.count(id.key()) != 0
+                           ? session->server_has[id.key()]
+                           : 0;
+      if (base < number) {
+        SHADOW_TRY(send_update(session, id, base, number));
+      }
+    }
+    proto::JobFileRef ref;
+    ref.file = id;
+    ref.local_name = vfs::basename(path);
+    ref.version = number;
+    auto latest = versions_.chain(id.key()).get(number);
+    if (latest.ok()) ref.crc = latest.value().crc;
+    msg.files.push_back(std::move(ref));
+  }
+
+  JobView view;
+  view.token = msg.client_job_token;
+  view.server = session->server_name;
+  view.state = proto::JobState::kQueued;
+  view.output_path = options.output_path;
+  view.error_path = options.error_path;
+  jobs_[view.token] = view;
+
+  send(session, msg);
+  return view.token;
+}
+
+void ShadowClient::handle(Session* session, const proto::SubmitReply& m) {
+  auto it = jobs_.find(m.client_job_token);
+  if (it == jobs_.end()) return;
+  it->second.job_id = m.job_id;
+  if (!m.accepted) {
+    it->second.state = proto::JobState::kFailed;
+    it->second.detail = m.reason;
+  }
+  (void)session;
+}
+
+Status ShadowClient::request_status(u64 job_id, const std::string& server) {
+  SHADOW_ASSIGN_OR_RETURN(session, session_for(server));
+  proto::StatusQuery query;
+  query.job_id = job_id;
+  send(session, query);
+  return Status();
+}
+
+void ShadowClient::handle(Session* session, const proto::StatusReply& m) {
+  for (const auto& info : m.jobs) {
+    for (auto& [token, view] : jobs_) {
+      if (view.job_id == info.job_id &&
+          view.server == session->server_name) {
+        view.state = info.state;
+        view.detail = info.detail;
+      }
+    }
+  }
+  if (status_callback_) status_callback_(m.jobs);
+}
+
+void ShadowClient::handle(Session* session, const proto::JobOutput& m) {
+  ++stats_.outputs_received;
+  stats_.output_payload_bytes += m.output_payload.size() +
+                                 m.error_payload.size();
+
+  auto decode_payload = [](const Bytes& payload) -> Result<diff::Delta> {
+    SHADOW_ASSIGN_OR_RETURN(raw, compress::decompress(payload));
+    BufReader reader(raw);
+    SHADOW_ASSIGN_OR_RETURN(delta, diff::Delta::decode(reader));
+    if (!reader.at_end()) {
+      return Error{ErrorCode::kProtocolError,
+                   "trailing bytes after output delta"};
+    }
+    return delta;
+  };
+
+  auto nack = [&](const std::string& why) {
+    proto::JobOutputAck ack;
+    ack.job_id = m.job_id;
+    ack.ok = false;
+    ack.error = why;
+    ++stats_.output_nacks_sent;
+    send(session, ack);
+  };
+
+  auto output_delta = decode_payload(m.output_payload);
+  if (!output_delta.ok()) {
+    nack(output_delta.error().to_string());
+    return;
+  }
+
+  const std::string cache_key = session->server_name + "|" + m.output_name;
+  std::string output_content;
+  if (output_delta.value().needs_base()) {
+    // Reverse shadow (§8.3): the delta is against our previous output.
+    auto prev = output_cache_.find(cache_key);
+    if (prev == output_cache_.end() ||
+        prev->second.generation != m.output_base_generation) {
+      nack("output base generation not available");
+      return;
+    }
+    auto applied = output_delta.value().apply(prev->second.content);
+    if (!applied.ok()) {
+      nack(applied.error().to_string());
+      return;
+    }
+    output_content = std::move(applied).take();
+    ++stats_.output_delta_applied;
+  } else {
+    output_content = output_delta.value().full;
+  }
+  if (m.output_generation > 0) {
+    output_cache_[cache_key] =
+        OutputCacheEntry{m.output_generation, output_content};
+  }
+
+  auto error_delta = decode_payload(m.error_payload);
+  if (!error_delta.ok()) {
+    nack(error_delta.error().to_string());
+    return;
+  }
+  auto error_applied = error_delta.value().apply("");
+  if (!error_applied.ok()) {
+    nack(error_applied.error().to_string());
+    return;
+  }
+
+  // Write results into the local filesystem at the requested paths
+  // (which may be tilde names).
+  auto out_where = translate(m.output_name);
+  auto err_where = translate(m.error_name);
+  if (!out_where.ok() || !err_where.ok()) {
+    nack("cannot translate output path");
+    return;
+  }
+  Status write_out = cluster_->write_file(
+      out_where.value().first, out_where.value().second, output_content);
+  Status write_err = cluster_->write_file(
+      err_where.value().first, err_where.value().second,
+      error_applied.value());
+  if (!write_out.ok() || !write_err.ok()) {
+    nack("failed to store output locally");
+    return;
+  }
+
+  proto::JobOutputAck ack;
+  ack.job_id = m.job_id;
+  ack.ok = true;
+  send(session, ack);
+
+  // Update the job view. Routed outputs (from jobs another client
+  // submitted) get a synthetic view with token 0.
+  JobView* view = nullptr;
+  for (auto& [token, v] : jobs_) {
+    if (v.job_id == m.job_id && v.server == session->server_name) view = &v;
+  }
+  if (view == nullptr && m.client_job_token != 0) {
+    for (auto& [token, v] : jobs_) {
+      if (token == m.client_job_token) view = &v;
+    }
+  }
+  if (view == nullptr) {
+    JobView routed;
+    routed.token = 0;
+    routed.job_id = m.job_id;
+    routed.server = session->server_name;
+    routed.output_path = m.output_name;
+    routed.error_path = m.error_name;
+    jobs_[0] = routed;
+    view = &jobs_[0];
+  }
+  view->state = m.exit_code == 0 ? proto::JobState::kDelivered
+                                 : proto::JobState::kFailed;
+  view->exit_code = m.exit_code;
+  view->output_received = true;
+  if (output_callback_) output_callback_(*view);
+}
+
+bool ShadowClient::job_done(u64 token) const {
+  auto it = jobs_.find(token);
+  return it != jobs_.end() && it->second.output_received;
+}
+
+namespace {
+constexpr u32 kClientSnapshotMagic = 0x53484356;  // "SHCV"
+constexpr u8 kSnapshotVersion = 1;
+}  // namespace
+
+Bytes ShadowClient::save_state() const {
+  BufWriter w;
+  w.put_u32(kClientSnapshotMagic);
+  w.put_u8(kSnapshotVersion);
+  versions_.encode(w);
+  w.put_varint(ids_.size());
+  for (const auto& [key, id] : ids_) {
+    w.put_string(key);
+    id.encode(w);
+  }
+  w.put_varint(output_cache_.size());
+  for (const auto& [key, entry] : output_cache_) {
+    w.put_string(key);
+    w.put_varint(entry.generation);
+    w.put_string(entry.content);
+  }
+  // Per-server acknowledged versions (live sessions + restored stashes).
+  std::map<std::string, std::map<std::string, u64>> acked =
+      restored_server_has_;
+  for (const auto& [server_name, session] : sessions_) {
+    acked[server_name] = session.server_has;
+  }
+  w.put_varint(acked.size());
+  for (const auto& [server_name, has] : acked) {
+    w.put_string(server_name);
+    w.put_varint(has.size());
+    for (const auto& [key, ver] : has) {
+      w.put_string(key);
+      w.put_varint(ver);
+    }
+  }
+  return w.take();
+}
+
+Status ShadowClient::restore_state(const Bytes& snapshot) {
+  BufReader r(snapshot);
+  SHADOW_ASSIGN_OR_RETURN(magic, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_u8());
+  if (magic != kClientSnapshotMagic || version != kSnapshotVersion) {
+    return Error{ErrorCode::kInvalidArgument, "not a client snapshot"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(versions, version::VersionStore::decode(r));
+  versions_ = std::move(versions);
+  SHADOW_ASSIGN_OR_RETURN(id_count, r.get_varint());
+  if (id_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "id count exceeds data"};
+  }
+  ids_.clear();
+  for (u64 i = 0; i < id_count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(id, naming::GlobalFileId::decode(r));
+    ids_.emplace(std::move(key), std::move(id));
+  }
+  SHADOW_ASSIGN_OR_RETURN(output_count, r.get_varint());
+  if (output_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "output count exceeds data"};
+  }
+  output_cache_.clear();
+  for (u64 i = 0; i < output_count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(generation, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(content, r.get_string());
+    output_cache_[key] = OutputCacheEntry{generation, std::move(content)};
+  }
+  SHADOW_ASSIGN_OR_RETURN(server_count, r.get_varint());
+  if (server_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "server count exceeds data"};
+  }
+  restored_server_has_.clear();
+  for (u64 i = 0; i < server_count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(server_name, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(entry_count, r.get_varint());
+    if (entry_count > r.remaining()) {
+      return Error{ErrorCode::kProtocolError, "acked count exceeds data"};
+    }
+    auto& has = restored_server_has_[server_name];
+    for (u64 j = 0; j < entry_count; ++j) {
+      SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(ver, r.get_varint());
+      has[key] = ver;
+    }
+    // An already-open session picks the restored map up immediately.
+    auto session = sessions_.find(server_name);
+    if (session != sessions_.end()) {
+      session->second.server_has = has;
+    }
+  }
+  if (!r.at_end()) {
+    return Error{ErrorCode::kProtocolError, "trailing bytes in snapshot"};
+  }
+  return Status();
+}
+
+}  // namespace shadow::client

@@ -1,0 +1,30 @@
+#include "client/shadow_editor.hpp"
+
+namespace shadow::client {
+
+Status ShadowEditor::edit(
+    const std::string& path,
+    const std::function<std::string(const std::string&)>& mutate) {
+  // Tilde names (§5.3) and plain names both go through the client's
+  // translation to a (host, absolute path) location.
+  SHADOW_ASSIGN_OR_RETURN(where, client_->translate(path));
+  std::string old_content;
+  auto existing = cluster_->read_file(where.first, where.second);
+  if (existing.ok()) {
+    old_content = std::move(existing).take();
+  } else if (existing.code() != ErrorCode::kNotFound) {
+    return existing.error();
+  }
+  std::string new_content = mutate(old_content);
+  SHADOW_TRY(cluster_->write_file(where.first, where.second, new_content));
+  ++sessions_;
+  // The postprocessor: notify/push to the connected servers (§6.2).
+  return client_->edited(path);
+}
+
+Status ShadowEditor::create(const std::string& path,
+                            const std::string& content) {
+  return edit(path, [&](const std::string&) { return content; });
+}
+
+}  // namespace shadow::client

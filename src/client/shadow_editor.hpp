@@ -1,0 +1,42 @@
+// Shadow Editor (paper §6.2): encapsulates a conventional editor without
+// modifying it — the user's view of the editor is unchanged; a
+// postprocessor performs the shadow tasks when the editing session ends.
+//
+// In this reproduction an "editing session" is a function from old content
+// to new content (tests and workload generators supply mutators); the
+// postprocessor is ShadowClient::edited().
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "client/shadow_client.hpp"
+#include "util/result.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow::client {
+
+class ShadowEditor {
+ public:
+  ShadowEditor(ShadowClient* client, vfs::Cluster* cluster)
+      : client_(client), cluster_(cluster) {}
+
+  /// One editing session on `path`: read (or start empty for a new file),
+  /// apply `mutate`, write back, run the shadow postprocessor.
+  Status edit(const std::string& path,
+              const std::function<std::string(const std::string&)>& mutate);
+
+  /// Create/overwrite a file with fixed content and shadow it (the "first
+  /// edit" of the paper's scenarios).
+  Status create(const std::string& path, const std::string& content);
+
+  /// Number of editing sessions completed.
+  u64 sessions() const { return sessions_; }
+
+ private:
+  ShadowClient* client_;
+  vfs::Cluster* cluster_;
+  u64 sessions_ = 0;
+};
+
+}  // namespace shadow::client

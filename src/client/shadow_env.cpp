@@ -1,0 +1,90 @@
+#include "client/shadow_env.hpp"
+
+#include "util/strings.hpp"
+#include "util/text.hpp"
+
+namespace shadow::client {
+
+const char* flow_mode_name(FlowMode mode) {
+  switch (mode) {
+    case FlowMode::kDemandDriven: return "demand-driven";
+    case FlowMode::kRequestDriven: return "request-driven";
+  }
+  return "?";
+}
+
+std::string ShadowEnvironment::to_text() const {
+  std::string out;
+  out += "default_server " + default_server + "\n";
+  out += "editor " + editor + "\n";
+  out += "retention_limit " + std::to_string(retention_limit) + "\n";
+  out += std::string("version_storage ") +
+         version::storage_mode_name(version_storage) + "\n";
+  out += std::string("algorithm ") + diff::algorithm_name(algorithm) + "\n";
+  out += std::string("adaptive_diff ") + (adaptive_diff ? "on" : "off") +
+         "\n";
+  out += std::string("codec ") + compress::codec_name(codec) + "\n";
+  out += std::string("background_updates ") +
+         (background_updates ? "on" : "off") + "\n";
+  out += std::string("flow ") + flow_mode_name(flow) + "\n";
+  out += "diff_bytes_per_second " +
+         std::to_string(static_cast<long long>(diff_bytes_per_second)) +
+         "\n";
+  return out;
+}
+
+Result<ShadowEnvironment> ShadowEnvironment::from_text(
+    const std::string& text) {
+  ShadowEnvironment env;
+  for (const auto& raw : split_lines(text)) {
+    const std::string line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_nonempty(line, ' ');
+    if (fields.size() != 2) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "bad environment line: " + line};
+    }
+    const std::string& key = fields[0];
+    const std::string& value = fields[1];
+    if (key == "default_server") {
+      env.default_server = value;
+    } else if (key == "editor") {
+      env.editor = value;
+    } else if (key == "retention_limit") {
+      env.retention_limit = static_cast<std::size_t>(std::stoul(value));
+    } else if (key == "version_storage") {
+      if (value == "full") {
+        env.version_storage = version::StorageMode::kFull;
+      } else if (value == "reverse-delta") {
+        env.version_storage = version::StorageMode::kReverseDelta;
+      } else {
+        return Error{ErrorCode::kInvalidArgument,
+                     "bad version_storage: " + value};
+      }
+    } else if (key == "algorithm") {
+      SHADOW_ASSIGN_OR_RETURN(algo, diff::algorithm_from_name(value));
+      env.algorithm = algo;
+    } else if (key == "adaptive_diff") {
+      env.adaptive_diff = (value == "on" || value == "true");
+    } else if (key == "codec") {
+      if (value == "stored") env.codec = compress::Codec::kStored;
+      else if (value == "rle") env.codec = compress::Codec::kRle;
+      else if (value == "lz77") env.codec = compress::Codec::kLz77;
+      else return Error{ErrorCode::kInvalidArgument, "bad codec: " + value};
+    } else if (key == "background_updates") {
+      env.background_updates = (value == "on" || value == "true");
+    } else if (key == "diff_bytes_per_second") {
+      env.diff_bytes_per_second = std::stod(value);
+    } else if (key == "flow") {
+      if (value == "demand-driven") env.flow = FlowMode::kDemandDriven;
+      else if (value == "request-driven") env.flow = FlowMode::kRequestDriven;
+      else return Error{ErrorCode::kInvalidArgument, "bad flow: " + value};
+    } else {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown environment key: " + key};
+    }
+  }
+  return env;
+}
+
+}  // namespace shadow::client

@@ -1,0 +1,62 @@
+// The shadow environment (paper §6.3.1): per-user customization database.
+// Set up automatically with defaults; every knob the paper names is here —
+// choice of editor, default host, retention of old versions — plus the
+// knobs our reproduction adds for the ablation studies (diff algorithm,
+// compression codec, flow-control mode, background updates).
+#pragma once
+
+#include <string>
+
+#include "compress/compress.hpp"
+#include "diff/delta.hpp"
+#include "util/result.hpp"
+#include "version/version_store.hpp"
+
+namespace shadow::client {
+
+/// Who drives data transfer (paper §5.2).
+enum class FlowMode : u8 {
+  /// The server pulls when it decides to (the paper's design).
+  kDemandDriven = 0,
+  /// The client pushes updates unprompted and tracks server state (the
+  /// rejected baseline, implemented for the ablation bench).
+  kRequestDriven = 1,
+};
+
+const char* flow_mode_name(FlowMode mode);
+
+struct ShadowEnvironment {
+  /// Default supercomputer for submit when none is named (§6.2).
+  std::string default_server;
+  /// The encapsulated editor (cosmetic; the paper reads $EDITOR).
+  std::string editor = "vi";
+  /// Old versions kept besides the latest (§6.3.2 customization).
+  std::size_t retention_limit = 8;
+  /// How old versions are stored on the workstation: verbatim, or as
+  /// reverse deltas from their successor (Tichy's RCS technique — [Tic84]
+  /// appears in the paper's bibliography).
+  version::StorageMode version_storage = version::StorageMode::kFull;
+  /// Diff algorithm for outgoing updates (§8.3 lists the alternatives).
+  diff::Algorithm algorithm = diff::Algorithm::kHuntMcIlroy;
+  /// Compute ed-script AND block-move deltas, ship the smaller (§3
+  /// adaptability; doubles diff CPU, wins on moves and binary content).
+  bool adaptive_diff = false;
+  /// Compression for outgoing payloads (§8.3).
+  compress::Codec codec = compress::Codec::kStored;
+  /// Notify the server as soon as an editing session ends, so updates can
+  /// flow in the background (§5.1); false = server learns at submit time.
+  bool background_updates = true;
+  FlowMode flow = FlowMode::kDemandDriven;
+  /// Workstation throughput for computing differential comparisons, in
+  /// bytes of base file per second (simulation only). ~100 KB/s models the
+  /// 1987-class workstations of the paper running HM75 diff; the cost is
+  /// what makes the paper's speedups saturate near 25x on big files
+  /// instead of growing without bound. 0 disables the model.
+  double diff_bytes_per_second = 100'000;
+
+  /// Serialize as a dotfile ("key value" lines).
+  std::string to_text() const;
+  static Result<ShadowEnvironment> from_text(const std::string& text);
+};
+
+}  // namespace shadow::client

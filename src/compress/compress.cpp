@@ -1,0 +1,256 @@
+#include "compress/compress.hpp"
+
+#include "util/byte_io.hpp"
+
+namespace shadow::compress {
+
+namespace {
+
+// ---- RLE ----------------------------------------------------------------
+// Runs of >= 3 equal bytes become (0xFF escape, byte, varint count);
+// literal 0xFF bytes are escaped as (0xFF, 0xFF, count).
+
+Bytes rle_compress(const Bytes& input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i]) ++run;
+    if (run >= 3 || input[i] == 0xFF) {
+      out.push_back(0xFF);
+      out.push_back(input[i]);
+      u64 v = run;
+      while (v >= 0x80) {
+        out.push_back(static_cast<u8>(v) | 0x80);
+        v >>= 7;
+      }
+      out.push_back(static_cast<u8>(v));
+      i += run;
+    } else {
+      out.push_back(input[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<Bytes> rle_decompress(const Bytes& input, std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] != 0xFF) {
+      out.push_back(input[i]);
+      ++i;
+      continue;
+    }
+    if (i + 2 > input.size()) {
+      return Error{ErrorCode::kProtocolError, "truncated RLE escape"};
+    }
+    const u8 byte = input[i + 1];
+    i += 2;
+    u64 count = 0;
+    int shift = 0;
+    for (;;) {
+      if (i >= input.size() || shift >= 64) {
+        return Error{ErrorCode::kProtocolError, "truncated RLE run length"};
+      }
+      const u8 b = input[i++];
+      count |= static_cast<u64>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    if (out.size() + count > expected_size) {
+      return Error{ErrorCode::kProtocolError, "RLE run overflows output"};
+    }
+    out.insert(out.end(), static_cast<std::size_t>(count), byte);
+  }
+  return out;
+}
+
+// ---- LZ77 ---------------------------------------------------------------
+// Token stream: 0x00 <varint len> <bytes>       literal run
+//               0x01 <varint dist> <varint len> match (dist back, len >= 4)
+
+constexpr std::size_t kWindow = 64 * 1024;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kHashSize = 1 << 16;
+constexpr std::size_t kMaxChainSteps = 32;
+
+u32 lz_hash(const u8* p) {
+  // Hash of 4 bytes.
+  u32 v = static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+          (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+  return (v * 2654435761u) >> 16;
+}
+
+Bytes lz77_compress(const Bytes& input) {
+  BufWriter out;
+  const std::size_t n = input.size();
+  // head[h] = most recent position with hash h (+1; 0 = none);
+  // prev[i % kWindow] = previous position with the same hash.
+  std::vector<u32> head(kHashSize, 0);
+  std::vector<u32> prev(std::min(n, kWindow) + 1, 0);
+
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    if (end <= literal_start) return;
+    out.put_u8(0x00);
+    out.put_varint(end - literal_start);
+    out.put_raw(input.data() + literal_start, end - literal_start);
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const u32 h = lz_hash(input.data() + i) & (kHashSize - 1);
+      u32 cand = head[h];
+      std::size_t steps = 0;
+      while (cand != 0 && steps++ < kMaxChainSteps) {
+        const std::size_t pos = cand - 1;
+        if (pos >= i || i - pos > kWindow) break;
+        std::size_t len = 0;
+        const std::size_t max_len = n - i;
+        while (len < max_len && input[pos + len] == input[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - pos;
+        }
+        cand = prev[pos % prev.size()];
+      }
+      prev[i % prev.size()] = head[h];
+      head[h] = static_cast<u32>(i + 1);
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals(i);
+      out.put_u8(0x01);
+      out.put_varint(best_dist);
+      out.put_varint(best_len);
+      // Insert hash entries for the skipped positions so later matches can
+      // reference them (standard lazy indexing, capped for speed).
+      const std::size_t insert_end = std::min(i + best_len, n - kMinMatch);
+      for (std::size_t j = i + 1; j < insert_end; ++j) {
+        const u32 h2 = lz_hash(input.data() + j) & (kHashSize - 1);
+        prev[j % prev.size()] = head[h2];
+        head[h2] = static_cast<u32>(j + 1);
+      }
+      i += best_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return out.take();
+}
+
+Result<Bytes> lz77_decompress(const Bytes& input, std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  BufReader in(input);
+  while (!in.at_end()) {
+    SHADOW_ASSIGN_OR_RETURN(tag, in.get_u8());
+    if (tag == 0x00) {
+      SHADOW_ASSIGN_OR_RETURN(len, in.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(bytes, in.get_raw(static_cast<std::size_t>(len)));
+      if (out.size() + bytes.size() > expected_size) {
+        return Error{ErrorCode::kProtocolError, "LZ77 literal overflow"};
+      }
+      out.insert(out.end(), bytes.begin(), bytes.end());
+    } else if (tag == 0x01) {
+      SHADOW_ASSIGN_OR_RETURN(dist, in.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(len, in.get_varint());
+      if (dist == 0 || dist > out.size()) {
+        return Error{ErrorCode::kProtocolError, "LZ77 distance out of range"};
+      }
+      if (out.size() + len > expected_size) {
+        return Error{ErrorCode::kProtocolError, "LZ77 match overflow"};
+      }
+      // Byte-by-byte: matches may overlap their own output.
+      std::size_t src = out.size() - static_cast<std::size_t>(dist);
+      for (u64 k = 0; k < len; ++k) {
+        out.push_back(out[src++]);
+      }
+    } else {
+      return Error{ErrorCode::kProtocolError, "bad LZ77 token"};
+    }
+  }
+  return out;
+}
+
+void put_header(BufWriter& w, Codec codec, std::size_t original_size) {
+  w.put_u8(static_cast<u8>(codec));
+  w.put_varint(original_size);
+}
+
+}  // namespace
+
+const char* codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kStored: return "stored";
+    case Codec::kRle: return "rle";
+    case Codec::kLz77: return "lz77";
+  }
+  return "?";
+}
+
+Bytes compress(const Bytes& input, Codec codec) {
+  Bytes body;
+  switch (codec) {
+    case Codec::kStored:
+      body = input;
+      break;
+    case Codec::kRle:
+      body = rle_compress(input);
+      break;
+    case Codec::kLz77:
+      body = lz77_compress(input);
+      break;
+  }
+  if (codec != Codec::kStored && body.size() >= input.size()) {
+    codec = Codec::kStored;
+    body = input;
+  }
+  BufWriter out;
+  put_header(out, codec, input.size());
+  out.put_raw(body);
+  return out.take();
+}
+
+Result<Bytes> decompress(const Bytes& input) {
+  BufReader in(input);
+  SHADOW_ASSIGN_OR_RETURN(tag, in.get_u8());
+  if (tag > 2) {
+    return Error{ErrorCode::kProtocolError, "bad codec tag"};
+  }
+  const auto codec = static_cast<Codec>(tag);
+  SHADOW_ASSIGN_OR_RETURN(original_size, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(body, in.get_raw(in.remaining()));
+  Result<Bytes> out = [&]() -> Result<Bytes> {
+    switch (codec) {
+      case Codec::kStored:
+        return body;
+      case Codec::kRle:
+        return rle_decompress(body, static_cast<std::size_t>(original_size));
+      case Codec::kLz77:
+        return lz77_decompress(body, static_cast<std::size_t>(original_size));
+    }
+    return Error{ErrorCode::kInternal, "unreachable"};
+  }();
+  if (out.ok() && out.value().size() != original_size) {
+    return Error{ErrorCode::kProtocolError,
+                 "decompressed size does not match header"};
+  }
+  return out;
+}
+
+double ratio(const Bytes& original, const Bytes& compressed) {
+  if (original.empty()) return 1.0;
+  return static_cast<double>(compressed.size()) /
+         static_cast<double>(original.size());
+}
+
+}  // namespace shadow::compress

@@ -1,0 +1,36 @@
+// Transfer compression (paper §8.3 future work).
+//
+// Two self-describing codecs: RLE (cheap, good on repetitive data) and a
+// byte-oriented LZ77 with a 64 KB window (general purpose). A compressed
+// buffer begins with a 1-byte codec tag and the varint original size, so
+// decompress() can validate and the protocol layer can negotiate per
+// message. compress() never expands data beyond original + 6 bytes: when a
+// codec loses, the buffer is stored with the kStored tag.
+#pragma once
+
+#include <string>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::compress {
+
+enum class Codec : u8 {
+  kStored = 0,  // no compression (also the fallback when a codec expands)
+  kRle = 1,
+  kLz77 = 2,
+};
+
+const char* codec_name(Codec codec);
+
+/// Compress with the requested codec; falls back to kStored if the result
+/// would be larger than the input.
+Bytes compress(const Bytes& input, Codec codec);
+
+/// Inverse of compress(); the codec is read from the tag byte.
+Result<Bytes> decompress(const Bytes& input);
+
+/// Compression ratio helper for reports: compressed size / original size.
+double ratio(const Bytes& original, const Bytes& compressed);
+
+}  // namespace shadow::compress

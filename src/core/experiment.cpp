@@ -1,0 +1,52 @@
+#include "core/experiment.hpp"
+
+#include "util/logging.hpp"
+
+namespace shadow::core {
+
+CycleReport run_submit_cycle(
+    ShadowSystem& system, const std::string& client_name,
+    const std::string& data_path, const std::string& new_content,
+    const client::ShadowClient::SubmitOptions& options, sim::Link* link) {
+  CycleReport report;
+  auto& client = system.client(client_name);
+  auto& editor = system.editor(client_name);
+  auto& sim = system.simulator();
+
+  const u64 payload0 = link->total_payload_bytes();
+  const u64 wire0 = link->total_wire_bytes();
+  const sim::SimTime t0 = sim.now();
+
+  bool done = false;
+  sim::SimTime t_done = t0;
+  client.on_job_output([&](const client::JobView& view) {
+    (void)view;
+    done = true;
+    t_done = sim.now();
+  });
+
+  Status edit_status =
+      editor.edit(data_path, [&](const std::string&) { return new_content; });
+  if (!edit_status.ok()) {
+    SHADOW_ERROR() << "cycle edit failed: " << edit_status.to_string();
+    return report;
+  }
+
+  auto token = client.submit(options);
+  if (!token.ok()) {
+    SHADOW_ERROR() << "cycle submit failed: "
+                   << token.error().to_string();
+    return report;
+  }
+
+  system.settle();
+  client.on_job_output(nullptr);
+
+  report.completed = done;
+  report.seconds = sim::to_seconds(t_done - t0);
+  report.payload_bytes = link->total_payload_bytes() - payload0;
+  report.wire_bytes = link->total_wire_bytes() - wire0;
+  return report;
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,31 @@
+// Shared harness for the paper's measurements: one edit-submit-fetch cycle
+// (paper §8.1 — "we submitted a job with a data file; after obtaining the
+// results, we edited the data file and resubmitted the same job. We
+// measured the total amount of time spent in each case").
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace shadow::core {
+
+struct CycleReport {
+  bool completed = false;
+  double seconds = 0.0;     // edit end -> output delivered (sim time)
+  u64 payload_bytes = 0;    // bytes that crossed the link this cycle
+  u64 wire_bytes = 0;       // including per-message framing
+};
+
+/// Run one cycle: write `new_content` to `data_path` through the shadow
+/// editor, submit `options`, and drain the simulator. Timing starts when
+/// the editing session ends (the moment the user would hit "submit") and
+/// stops when the job output lands on the client.
+CycleReport run_submit_cycle(ShadowSystem& system,
+                             const std::string& client_name,
+                             const std::string& data_path,
+                             const std::string& new_content,
+                             const client::ShadowClient::SubmitOptions& options,
+                             sim::Link* link);
+
+}  // namespace shadow::core

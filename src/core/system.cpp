@@ -1,0 +1,113 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+namespace shadow::core {
+
+ShadowSystem::ShadowSystem(std::string domain_id)
+    : domain_id_(std::move(domain_id)) {}
+
+client::ShadowClient& ShadowSystem::add_client(
+    const std::string& name, const client::ShadowEnvironment& env) {
+  auto& fs = cluster_.add_host(name);
+  (void)fs.mkdir_p("/home/user");
+  auto client_ptr = std::make_unique<client::ShadowClient>(
+      name, env, &cluster_, domain_id_);
+  client_ptr->set_simulator(&sim_);
+  auto editor_ptr =
+      std::make_unique<client::ShadowEditor>(client_ptr.get(), &cluster_);
+  auto& ref = *client_ptr;
+  clients_.emplace(name, std::move(client_ptr));
+  editors_.emplace(name, std::move(editor_ptr));
+  return ref;
+}
+
+server::ShadowServer& ShadowSystem::add_server(
+    const server::ServerConfig& config) {
+  auto server_ptr = std::make_unique<server::ShadowServer>(config, &sim_);
+  auto& ref = *server_ptr;
+  servers_.emplace(config.name, std::move(server_ptr));
+  return ref;
+}
+
+sim::Link& ShadowSystem::connect(const std::string& client_name,
+                                 const std::string& server_name,
+                                 const sim::LinkConfig& link_config) {
+  auto& c = client(client_name);
+  auto& s = server(server_name);
+  links_.push_back(std::make_unique<sim::Link>(&sim_, link_config));
+  sim::Link& link = *links_.back();
+  auto pair = net::make_sim_pair(&link, client_name, server_name);
+  // Server side first so its receiver exists before the client's Hello.
+  s.attach(pair.b.get());
+  c.connect(server_name, pair.a.get());
+  transports_.push_back(std::move(pair.a));
+  transports_.push_back(std::move(pair.b));
+  return link;
+}
+
+sim::Link& ShadowSystem::connect_shared(
+    const std::vector<std::string>& client_names,
+    const std::string& server_name, const sim::LinkConfig& link_config) {
+  auto& s = server(server_name);
+  links_.push_back(std::make_unique<sim::Link>(&sim_, link_config));
+  sim::Link& link = *links_.back();
+  auto pair = net::make_sim_pair(&link, "trunk-client-side", server_name);
+  // One mux per trunk end; channel i carries client i's session.
+  muxes_.push_back(std::make_unique<net::Mux>(pair.a.get()));
+  net::Mux& client_side = *muxes_.back();
+  muxes_.push_back(std::make_unique<net::Mux>(pair.b.get()));
+  net::Mux& server_side = *muxes_.back();
+  for (std::size_t i = 0; i < client_names.size(); ++i) {
+    // Server first so its receiver exists before the client's Hello.
+    s.attach(server_side.channel(i, client_names[i]));
+    client(client_names[i])
+        .connect(server_name, client_side.channel(i, server_name));
+  }
+  transports_.push_back(std::move(pair.a));
+  transports_.push_back(std::move(pair.b));
+  return link;
+}
+
+client::ShadowClient& ShadowSystem::client(const std::string& name) {
+  auto it = clients_.find(name);
+  if (it == clients_.end()) {
+    throw std::out_of_range("no such client: " + name);
+  }
+  return *it->second;
+}
+
+client::ShadowEditor& ShadowSystem::editor(const std::string& name) {
+  auto it = editors_.find(name);
+  if (it == editors_.end()) {
+    throw std::out_of_range("no such client: " + name);
+  }
+  return *it->second;
+}
+
+server::ShadowServer& ShadowSystem::server(const std::string& name) {
+  auto it = servers_.find(name);
+  if (it == servers_.end()) {
+    throw std::out_of_range("no such server: " + name);
+  }
+  return *it->second;
+}
+
+sim::SimTime ShadowSystem::settle() {
+  sim_.run();
+  return sim_.now();
+}
+
+u64 ShadowSystem::total_payload_bytes() const {
+  u64 total = 0;
+  for (const auto& link : links_) total += link->total_payload_bytes();
+  return total;
+}
+
+u64 ShadowSystem::total_wire_bytes() const {
+  u64 total = 0;
+  for (const auto& link : links_) total += link->total_wire_bytes();
+  return total;
+}
+
+}  // namespace shadow::core

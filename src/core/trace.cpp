@@ -1,0 +1,261 @@
+#include "core/trace.hpp"
+
+#include <set>
+
+#include "core/workload.hpp"
+#include "util/strings.hpp"
+#include "util/text.hpp"
+
+namespace shadow::core {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Split a line into tokens; double-quoted tokens may contain spaces and
+// the escapes \n, \", and double-backslash.
+Result<std::vector<std::string>> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size()) break;
+    std::string token;
+    bool quoted = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (!quoted && (c == ' ' || c == '\t')) break;
+      if (c == '"') {
+        quoted = !quoted;
+        ++i;
+        continue;
+      }
+      if (quoted && c == '\\' && i + 1 < line.size()) {
+        const char next = line[i + 1];
+        if (next == 'n') {
+          token += '\n';
+          i += 2;
+          continue;
+        }
+        if (next == '"' || next == '\\') {
+          token += next;
+          i += 2;
+          continue;
+        }
+      }
+      token += c;
+      ++i;
+    }
+    if (quoted) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unterminated quote in: " + line};
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+// "key=value" accessor over a token list.
+std::string find_value(const std::vector<std::string>& tokens,
+                       const std::string& key) {
+  const std::string prefix = key + "=";
+  for (const auto& token : tokens) {
+    if (starts_with(token, prefix)) return token.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string Trace::to_text() const {
+  std::string out = "client " + client + "\n";
+  for (const auto& step : steps) {
+    switch (step.kind) {
+      case TraceStep::Kind::kEdit:
+        out += "edit " + step.path;
+        if (step.create_bytes > 0) {
+          out += " create=" + std::to_string(step.create_bytes);
+        }
+        if (step.percent > 0) {
+          out += " percent=" + std::to_string(step.percent);
+        }
+        out += " seed=" + std::to_string(step.seed) + "\n";
+        break;
+      case TraceStep::Kind::kThink:
+        out += "think " + std::to_string(step.seconds) + "\n";
+        break;
+      case TraceStep::Kind::kSubmit: {
+        out += "submit cmd=" + quote(step.command);
+        out += " files=" + join(step.files, ",");
+        if (!step.output_path.empty()) out += " out=" + step.output_path;
+        if (!step.error_path.empty()) out += " err=" + step.error_path;
+        if (!step.server.empty()) out += " server=" + step.server;
+        if (!step.route.empty()) out += " route=" + step.route;
+        out += "\n";
+        break;
+      }
+      case TraceStep::Kind::kAwait:
+        out += "await\n";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Trace> Trace::parse(const std::string& text) {
+  Trace trace;
+  for (const auto& raw : split_lines(text)) {
+    std::string line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    SHADOW_ASSIGN_OR_RETURN(tokens, tokenize(line));
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+    if (verb == "client") {
+      if (tokens.size() != 2) {
+        return Error{ErrorCode::kInvalidArgument, "client needs a name"};
+      }
+      trace.client = tokens[1];
+      continue;
+    }
+    TraceStep step;
+    if (verb == "edit") {
+      if (tokens.size() < 2) {
+        return Error{ErrorCode::kInvalidArgument, "edit needs a path"};
+      }
+      step.kind = TraceStep::Kind::kEdit;
+      step.path = tokens[1];
+      const std::string create = find_value(tokens, "create");
+      const std::string percent = find_value(tokens, "percent");
+      const std::string seed = find_value(tokens, "seed");
+      if (!create.empty()) {
+        step.create_bytes = static_cast<std::size_t>(std::stoul(create));
+      }
+      if (!percent.empty()) step.percent = std::stod(percent);
+      if (!seed.empty()) step.seed = std::stoull(seed);
+    } else if (verb == "think") {
+      if (tokens.size() != 2) {
+        return Error{ErrorCode::kInvalidArgument, "think needs seconds"};
+      }
+      step.kind = TraceStep::Kind::kThink;
+      step.seconds = std::stod(tokens[1]);
+    } else if (verb == "submit") {
+      step.kind = TraceStep::Kind::kSubmit;
+      step.command = find_value(tokens, "cmd");
+      if (step.command.empty()) {
+        return Error{ErrorCode::kInvalidArgument, "submit needs cmd=..."};
+      }
+      const std::string files = find_value(tokens, "files");
+      if (!files.empty()) step.files = split_nonempty(files, ',');
+      step.output_path = find_value(tokens, "out");
+      step.error_path = find_value(tokens, "err");
+      step.server = find_value(tokens, "server");
+      step.route = find_value(tokens, "route");
+      if (step.output_path.empty()) step.output_path = "/home/user/job.out";
+      if (step.error_path.empty()) step.error_path = "/home/user/job.err";
+    } else if (verb == "await") {
+      step.kind = TraceStep::Kind::kAwait;
+    } else {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown trace verb: " + verb};
+    }
+    trace.steps.push_back(std::move(step));
+  }
+  if (trace.client.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "trace has no client line"};
+  }
+  return trace;
+}
+
+Result<TraceReport> run_trace(ShadowSystem& system, const Trace& trace,
+                              sim::Link* link) {
+  TraceReport report;
+  auto& sim = system.simulator();
+  auto& client = system.client(trace.client);
+  auto& editor = system.editor(trace.client);
+  const u64 payload_start = link != nullptr ? link->total_payload_bytes() : 0;
+  const sim::SimTime t_start = sim.now();
+
+  std::set<u64> outstanding;
+  client.on_job_output([&](const client::JobView& view) {
+    outstanding.erase(view.token);
+    ++report.jobs_delivered;
+  });
+
+  for (const auto& step : trace.steps) {
+    switch (step.kind) {
+      case TraceStep::Kind::kEdit: {
+        Status st = editor.edit(step.path, [&](const std::string& old) {
+          if (old.empty() && step.create_bytes > 0) {
+            return make_file(step.create_bytes, step.seed);
+          }
+          return step.percent > 0
+                     ? modify_percent(old, step.percent, step.seed)
+                     : old + "# touched\n";
+        });
+        if (!st.ok()) {
+          client.on_job_output(nullptr);
+          return st.error();
+        }
+        ++report.edits;
+        break;
+      }
+      case TraceStep::Kind::kThink:
+        sim.run_until(sim.now() + sim::from_seconds(step.seconds));
+        break;
+      case TraceStep::Kind::kSubmit: {
+        client::ShadowClient::SubmitOptions options;
+        options.command_file = step.command;
+        options.files = step.files;
+        options.output_path = step.output_path;
+        options.error_path = step.error_path;
+        options.server = step.server;
+        options.output_route = step.route;
+        auto token = client.submit(options);
+        if (!token.ok()) {
+          client.on_job_output(nullptr);
+          return token.error();
+        }
+        // Routed jobs never come back to this client; don't await them.
+        if (step.route.empty()) outstanding.insert(token.value());
+        ++report.submits;
+        break;
+      }
+      case TraceStep::Kind::kAwait: {
+        const sim::SimTime wait_start = sim.now();
+        while (!outstanding.empty() && sim.step()) {
+        }
+        report.waiting_seconds += sim::to_seconds(sim.now() - wait_start);
+        if (!outstanding.empty()) {
+          client.on_job_output(nullptr);
+          return Error{ErrorCode::kInternal,
+                       "trace await: jobs never completed"};
+        }
+        break;
+      }
+    }
+  }
+  system.settle();
+  client.on_job_output(nullptr);
+  report.elapsed_seconds = sim::to_seconds(sim.now() - t_start);
+  if (link != nullptr) {
+    report.payload_bytes = link->total_payload_bytes() - payload_start;
+  }
+  return report;
+}
+
+}  // namespace shadow::core

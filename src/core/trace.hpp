@@ -1,0 +1,75 @@
+// Trace-driven user sessions: a recorded sequence of edit / think /
+// submit / await steps that replays against a ShadowSystem. Benches and
+// users can describe a day's workload in a small text file and measure it
+// under any configuration — the §2.1 edit-submit-fetch cycle as data.
+//
+// Text format (one step per line, # comments):
+//   client ws1
+//   edit /home/user/f create=20000 seed=5
+//   think 300
+//   edit /home/user/f percent=3 seed=6
+//   submit cmd="sort f\nwc f" files=/home/user/f out=/home/user/o err=/home/user/e
+//   await
+//
+// Values with spaces are double-quoted; "\n" and "\"" escapes apply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "util/result.hpp"
+
+namespace shadow::core {
+
+struct TraceStep {
+  enum class Kind : u8 { kEdit, kThink, kSubmit, kAwait };
+  Kind kind = Kind::kThink;
+
+  // kEdit: modify `path` by `percent` with `seed`; when the file does not
+  // exist yet (or create_bytes > 0 and it's the first touch), generate
+  // create_bytes of synthetic content instead.
+  std::string path;
+  double percent = 0;
+  u64 seed = 0;
+  std::size_t create_bytes = 0;
+
+  // kThink: simulated seconds of user inactivity.
+  double seconds = 0;
+
+  // kSubmit:
+  std::string command;  // command-file CONTENT
+  std::vector<std::string> files;
+  std::string output_path;
+  std::string error_path;
+  std::string server;
+  std::string route;
+
+  bool operator==(const TraceStep&) const = default;
+};
+
+struct Trace {
+  std::string client;
+  std::vector<TraceStep> steps;
+
+  bool operator==(const Trace&) const = default;
+
+  std::string to_text() const;
+  static Result<Trace> parse(const std::string& text);
+};
+
+struct TraceReport {
+  int edits = 0;
+  int submits = 0;
+  int jobs_delivered = 0;
+  double waiting_seconds = 0;  // time blocked in await steps
+  double elapsed_seconds = 0;  // total simulated time of the replay
+  u64 payload_bytes = 0;       // bytes that crossed `link` (if given)
+};
+
+/// Replay a trace on `system` (the client must exist and be connected).
+/// `link` is optional and only feeds payload accounting.
+Result<TraceReport> run_trace(ShadowSystem& system, const Trace& trace,
+                              sim::Link* link = nullptr);
+
+}  // namespace shadow::core

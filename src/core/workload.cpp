@@ -1,0 +1,101 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace shadow::core {
+
+std::string make_file(std::size_t bytes, u64 seed, std::size_t line_length,
+                      bool exact) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(bytes + line_length + 2);
+  while (out.size() < bytes) {
+    // Jitter line lengths a little so files are not perfectly regular.
+    const std::size_t len =
+        line_length / 2 + rng.below(line_length + 1);
+    out += rng.ascii_line(len);
+    out += '\n';
+  }
+  if (exact && out.size() > bytes) {
+    out.resize(bytes);
+    if (bytes > 0) out[bytes - 1] = '\n';
+  }
+  return out;
+}
+
+std::string make_structured_file(std::size_t bytes, u64 seed) {
+  Rng rng(seed);
+  std::string out;
+  out.reserve(bytes + 64);
+  char line[80];
+  while (out.size() < bytes) {
+    std::snprintf(line, sizeof(line),
+                  "station-%04u temperature %2u.%u humidity %2u wind %u\n",
+                  static_cast<unsigned>(rng.below(40)),
+                  static_cast<unsigned>(rng.below(40)),
+                  static_cast<unsigned>(rng.below(10)),
+                  static_cast<unsigned>(rng.below(100)),
+                  static_cast<unsigned>(rng.below(30)));
+    out += line;
+  }
+  return out;
+}
+
+std::string modify_percent(const std::string& content, double percent,
+                           u64 seed, const EditMix& mix) {
+  if (content.empty() || percent <= 0.0) return content;
+  Rng rng(seed);
+  auto lines = split_lines(content);
+  if (lines.empty()) return content;
+
+  const double target =
+      static_cast<double>(content.size()) * std::min(percent, 100.0) / 100.0;
+  double touched = 0.0;
+  // Guard against degenerate loops on tiny files.
+  std::size_t max_steps = lines.size() * 4 + 64;
+
+  while (touched < target && max_steps-- > 0 && !lines.empty()) {
+    const std::size_t idx = rng.below(lines.size());
+    const double roll = rng.uniform();
+    if (roll < mix.insert_fraction) {
+      // Insert a fresh line after idx.
+      std::string line = rng.ascii_line(38) + "\n";
+      touched += static_cast<double>(line.size());
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                   std::move(line));
+    } else if (roll < mix.insert_fraction + mix.delete_fraction &&
+               lines.size() > 1) {
+      touched += static_cast<double>(lines[idx].size());
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      // Change the line in place, preserving its length when possible so
+      // the byte accounting stays honest.
+      const bool had_newline =
+          !lines[idx].empty() && lines[idx].back() == '\n';
+      const std::size_t body_len =
+          lines[idx].size() - (had_newline ? 1 : 0);
+      std::string line = rng.ascii_line(std::max<std::size_t>(body_len, 1));
+      if (had_newline) line += '\n';
+      touched += static_cast<double>(lines[idx].size());
+      lines[idx] = std::move(line);
+    }
+  }
+  return join_lines(lines);
+}
+
+double changed_fraction(const std::string& before, const std::string& after) {
+  if (before.empty()) return after.empty() ? 0.0 : 1.0;
+  const std::size_t common = std::min(before.size(), after.size());
+  std::size_t differing =
+      std::max(before.size(), after.size()) - common;  // size delta
+  for (std::size_t i = 0; i < common; ++i) {
+    if (before[i] != after[i]) ++differing;
+  }
+  return static_cast<double>(differing) / static_cast<double>(before.size());
+}
+
+}  // namespace shadow::core

@@ -1,0 +1,41 @@
+// Workload generation for the paper's experiments (§8.1): synthetic data
+// files of a target size, and "editing sessions" that modify a chosen
+// percentage of the text (in bytes), mixing line changes, insertions and
+// deletions — the edit-submit-fetch cycle's raw material.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace shadow::core {
+
+/// Mix of edit operations applied by modify_percent. Fractions must sum
+/// to <= 1; the remainder goes to in-place line changes.
+struct EditMix {
+  double insert_fraction = 0.10;
+  double delete_fraction = 0.10;
+};
+
+/// Synthetic text file of ~`bytes` bytes (exact when `exact` is true):
+/// newline-terminated lines of ~`line_length` printable characters.
+/// Content is uniformly random — it does NOT compress (worst case for the
+/// compression ablation, typical for already-dense data).
+std::string make_file(std::size_t bytes, u64 seed,
+                      std::size_t line_length = 40, bool exact = true);
+
+/// Structured instrument-reading records ("station-0012 temperature 23.4
+/// ..."): realistic scientific text with redundancy, so compression codecs
+/// have something to find. ~`bytes` long, deterministic in `seed`.
+std::string make_structured_file(std::size_t bytes, u64 seed);
+
+/// Simulate an editing session touching ~`percent` of the content bytes.
+/// Deterministic in (content, percent, seed). percent in [0, 100].
+std::string modify_percent(const std::string& content, double percent,
+                           u64 seed, const EditMix& mix = EditMix{});
+
+/// Bytes in which two strings differ, as a fraction of the first —
+/// a sanity metric used by tests to validate modify_percent.
+double changed_fraction(const std::string& before, const std::string& after);
+
+}  // namespace shadow::core

@@ -1,0 +1,193 @@
+#include "diff/block_move.hpp"
+
+#include <unordered_map>
+
+#include "util/crc32.hpp"
+
+namespace shadow::diff {
+
+namespace {
+// FNV-1a over a byte window; cheap and adequate as a seed-block hash (full
+// byte comparison confirms every candidate before use).
+u64 window_hash(const char* data, std::size_t len) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<u8>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::size_t kMaxChain = 8;  // candidates kept per hash bucket
+}  // namespace
+
+BlockMoveDelta compute_block_move(const std::string& source,
+                                  const std::string& target,
+                                  std::size_t seed_length) {
+  BlockMoveDelta delta;
+  delta.source_size = source.size();
+  delta.target_size = target.size();
+  delta.source_crc =
+      crc32(reinterpret_cast<const u8*>(source.data()), source.size());
+  delta.target_crc =
+      crc32(reinterpret_cast<const u8*>(target.data()), target.size());
+
+  if (seed_length == 0) seed_length = 16;
+
+  // Index EVERY source position's seed window (chains capped). A dense
+  // index finds any match of length >= seed_length, which is what Tichy's
+  // greedy construction assumes.
+  std::unordered_map<u64, std::vector<std::size_t>> index;
+  if (source.size() >= seed_length) {
+    index.reserve(source.size());
+    for (std::size_t off = 0; off + seed_length <= source.size(); ++off) {
+      auto& chain = index[window_hash(source.data() + off, seed_length)];
+      if (chain.size() < kMaxChain) chain.push_back(off);
+    }
+  }
+
+  std::string pending;  // literal bytes awaiting an ADD op
+  auto flush_pending = [&] {
+    if (pending.empty()) return;
+    BlockOp op;
+    op.kind = BlockOp::Kind::kAdd;
+    op.literal = std::move(pending);
+    op.length = op.literal.size();
+    pending.clear();
+    delta.ops.push_back(std::move(op));
+  };
+
+  std::size_t t = 0;
+  while (t < target.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_src = 0;
+    if (t + seed_length <= target.size() && !index.empty()) {
+      const u64 h = window_hash(target.data() + t, seed_length);
+      if (auto it = index.find(h); it != index.end()) {
+        for (std::size_t cand : it->second) {
+          if (source.compare(cand, seed_length, target, t, seed_length) !=
+              0) {
+            continue;  // hash collision
+          }
+          std::size_t len = seed_length;
+          while (cand + len < source.size() && t + len < target.size() &&
+                 source[cand + len] == target[t + len]) {
+            ++len;
+          }
+          if (len > best_len) {
+            best_len = len;
+            best_src = cand;
+          }
+        }
+      }
+    }
+    if (best_len >= seed_length) {
+      flush_pending();
+      BlockOp op;
+      op.kind = BlockOp::Kind::kCopy;
+      op.src_offset = best_src;
+      op.length = best_len;
+      delta.ops.push_back(op);
+      t += best_len;
+    } else {
+      pending.push_back(target[t]);
+      ++t;
+    }
+  }
+  flush_pending();
+  return delta;
+}
+
+Result<std::string> apply_block_move(const std::string& source,
+                                     const BlockMoveDelta& delta) {
+  const u32 src_crc =
+      crc32(reinterpret_cast<const u8*>(source.data()), source.size());
+  if (src_crc != delta.source_crc || source.size() != delta.source_size) {
+    return Error{ErrorCode::kVersionMismatch,
+                 "source does not match delta's source fingerprint"};
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>(delta.target_size));
+  for (const auto& op : delta.ops) {
+    switch (op.kind) {
+      case BlockOp::Kind::kCopy: {
+        if (op.src_offset > source.size() ||
+            op.length > source.size() - op.src_offset) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "copy op out of source bounds"};
+        }
+        out.append(source, static_cast<std::size_t>(op.src_offset),
+                   static_cast<std::size_t>(op.length));
+        break;
+      }
+      case BlockOp::Kind::kAdd:
+        out += op.literal;
+        break;
+    }
+  }
+  const u32 out_crc =
+      crc32(reinterpret_cast<const u8*>(out.data()), out.size());
+  if (out.size() != delta.target_size || out_crc != delta.target_crc) {
+    return Error{ErrorCode::kInternal,
+                 "block-move reconstruction fails target fingerprint"};
+  }
+  return out;
+}
+
+void encode_block_move(const BlockMoveDelta& delta, BufWriter& out) {
+  out.put_u32(delta.source_crc);
+  out.put_u32(delta.target_crc);
+  out.put_varint(delta.source_size);
+  out.put_varint(delta.target_size);
+  out.put_varint(delta.ops.size());
+  for (const auto& op : delta.ops) {
+    out.put_u8(static_cast<u8>(op.kind));
+    if (op.kind == BlockOp::Kind::kCopy) {
+      out.put_varint(op.src_offset);
+      out.put_varint(op.length);
+    } else {
+      out.put_string(op.literal);
+    }
+  }
+}
+
+Result<BlockMoveDelta> decode_block_move(BufReader& in) {
+  BlockMoveDelta delta;
+  SHADOW_ASSIGN_OR_RETURN(source_crc, in.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(target_crc, in.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(source_size, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(target_size, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(num_ops, in.get_varint());
+  delta.source_crc = source_crc;
+  delta.target_crc = target_crc;
+  delta.source_size = source_size;
+  delta.target_size = target_size;
+  for (u64 i = 0; i < num_ops; ++i) {
+    BlockOp op;
+    SHADOW_ASSIGN_OR_RETURN(kind_byte, in.get_u8());
+    if (kind_byte > 1) {
+      return Error{ErrorCode::kProtocolError, "bad block op kind"};
+    }
+    op.kind = static_cast<BlockOp::Kind>(kind_byte);
+    if (op.kind == BlockOp::Kind::kCopy) {
+      SHADOW_ASSIGN_OR_RETURN(off, in.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(len, in.get_varint());
+      op.src_offset = off;
+      op.length = len;
+    } else {
+      SHADOW_ASSIGN_OR_RETURN(lit, in.get_string());
+      op.length = lit.size();
+      op.literal = std::move(lit);
+    }
+    delta.ops.push_back(std::move(op));
+  }
+  return delta;
+}
+
+std::size_t block_move_wire_size(const BlockMoveDelta& delta) {
+  BufWriter w;
+  encode_block_move(delta, w);
+  return w.size();
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,60 @@
+// Tichy string-to-string correction with block moves [Tic84] — the second
+// future-work alternative the paper names (§8.3).
+//
+// Unlike the line-oriented ed scripts, a block-move delta reconstructs the
+// target as a sequence of COPY(source offset, length) and ADD(literal
+// bytes) operations over the raw byte strings. It handles moved blocks and
+// byte-level edits that line diffs represent poorly.
+//
+// The implementation indexes the source by fixed-size seed blocks in a hash
+// table and greedily extends matches in both directions — the classical
+// greedy construction, linear-time in practice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::diff {
+
+/// One reconstruction operation.
+struct BlockOp {
+  enum class Kind : u8 { kCopy = 0, kAdd = 1 };
+  Kind kind = Kind::kAdd;
+  u64 src_offset = 0;  // kCopy: offset into the source
+  u64 length = 0;      // kCopy: bytes to copy
+  std::string literal; // kAdd: bytes to insert
+
+  bool operator==(const BlockOp&) const = default;
+};
+
+/// Complete block-move delta with integrity fingerprints.
+struct BlockMoveDelta {
+  std::vector<BlockOp> ops;
+  u64 source_size = 0;
+  u64 target_size = 0;
+  u32 source_crc = 0;
+  u32 target_crc = 0;
+
+  bool operator==(const BlockMoveDelta&) const = default;
+};
+
+/// Compute a block-move delta. `seed_length` is the minimum match length
+/// worth emitting as a copy (also the hash-window size).
+BlockMoveDelta compute_block_move(const std::string& source,
+                                  const std::string& target,
+                                  std::size_t seed_length = 16);
+
+/// Reconstruct the target from the source; verifies both CRCs.
+Result<std::string> apply_block_move(const std::string& source,
+                                     const BlockMoveDelta& delta);
+
+void encode_block_move(const BlockMoveDelta& delta, BufWriter& out);
+Result<BlockMoveDelta> decode_block_move(BufReader& in);
+
+std::size_t block_move_wire_size(const BlockMoveDelta& delta);
+
+}  // namespace shadow::diff

@@ -1,0 +1,141 @@
+#include "diff/delta.hpp"
+
+#include "diff/hunt_mcilroy.hpp"
+#include "diff/myers.hpp"
+#include "util/crc32.hpp"
+
+namespace shadow::diff {
+
+const char* algorithm_name(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kHuntMcIlroy: return "hunt-mcilroy";
+    case Algorithm::kMyers: return "myers";
+    case Algorithm::kBlockMove: return "block-move";
+  }
+  return "?";
+}
+
+Result<Algorithm> algorithm_from_name(const std::string& name) {
+  if (name == "hunt-mcilroy" || name == "hm") return Algorithm::kHuntMcIlroy;
+  if (name == "myers") return Algorithm::kMyers;
+  if (name == "block-move" || name == "tichy") return Algorithm::kBlockMove;
+  return Error{ErrorCode::kInvalidArgument,
+               "unknown diff algorithm: " + name};
+}
+
+Delta Delta::make_full(std::string content) {
+  Delta d;
+  d.format = Format::kFull;
+  d.full_crc = crc32(reinterpret_cast<const u8*>(content.data()),
+                     content.size());
+  d.full = std::move(content);
+  return d;
+}
+
+Delta Delta::compute(const std::string& base, const std::string& target,
+                     Algorithm algo) {
+  Delta d;
+  switch (algo) {
+    case Algorithm::kHuntMcIlroy:
+    case Algorithm::kMyers: {
+      LineTable table(base, target);
+      const MatchList matches = (algo == Algorithm::kHuntMcIlroy)
+                                    ? hunt_mcilroy_lcs(table)
+                                    : myers_lcs(table);
+      d.format = Format::kEdScript;
+      d.ed = build_ed_script(base, target, matches);
+      break;
+    }
+    case Algorithm::kBlockMove: {
+      d.format = Format::kBlockMove;
+      d.blocks = compute_block_move(base, target);
+      break;
+    }
+  }
+  // Never ship a delta bigger than the content itself.
+  if (d.wire_size() >= target.size() + sizeof(u32)) {
+    return make_full(target);
+  }
+  return d;
+}
+
+Delta Delta::compute_adaptive(const std::string& base,
+                              const std::string& target) {
+  Delta ed = compute(base, target, Algorithm::kHuntMcIlroy);
+  Delta blocks = compute(base, target, Algorithm::kBlockMove);
+  return blocks.wire_size() < ed.wire_size() ? blocks : ed;
+}
+
+Result<std::string> Delta::apply(const std::string& base) const {
+  switch (format) {
+    case Format::kFull: {
+      // full_crc is set by make_full/decode; a default-constructed Delta
+      // (crc 0 over empty content) also passes.
+      const u32 actual = crc32(
+          reinterpret_cast<const u8*>(full.data()), full.size());
+      if (actual != full_crc) {
+        return Error{ErrorCode::kVersionMismatch,
+                     "full-content delta fails its CRC"};
+      }
+      return full;
+    }
+    case Format::kEdScript:
+      return apply_ed_script(base, ed);
+    case Format::kBlockMove:
+      return apply_block_move(base, blocks);
+  }
+  return Error{ErrorCode::kInternal, "corrupt delta format tag"};
+}
+
+std::size_t Delta::wire_size() const {
+  BufWriter w;
+  encode(w);
+  return w.size();
+}
+
+void Delta::encode(BufWriter& out) const {
+  out.put_u8(static_cast<u8>(format));
+  switch (format) {
+    case Format::kFull:
+      out.put_u32(full_crc);
+      out.put_string(full);
+      break;
+    case Format::kEdScript:
+      encode_ed_script(ed, out);
+      break;
+    case Format::kBlockMove:
+      encode_block_move(blocks, out);
+      break;
+  }
+}
+
+Result<Delta> Delta::decode(BufReader& in) {
+  Delta d;
+  SHADOW_ASSIGN_OR_RETURN(tag, in.get_u8());
+  if (tag > 2) {
+    return Error{ErrorCode::kProtocolError, "bad delta format tag"};
+  }
+  d.format = static_cast<Format>(tag);
+  switch (d.format) {
+    case Format::kFull: {
+      SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+      SHADOW_ASSIGN_OR_RETURN(content, in.get_string());
+      d.full_crc = crc;
+      d.full = std::move(content);
+      break;
+    }
+    case Format::kEdScript: {
+      SHADOW_ASSIGN_OR_RETURN(script, decode_ed_script(in));
+      d.ed = std::move(script);
+      break;
+    }
+    case Format::kBlockMove: {
+      SHADOW_ASSIGN_OR_RETURN(blocks, decode_block_move(in));
+      d.blocks = std::move(blocks);
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace shadow::diff

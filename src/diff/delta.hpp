@@ -1,0 +1,70 @@
+// Unified delta representation carried by the wire protocol.
+//
+// A Delta is what the client ships when the server pulls an update: either
+// an ed script (the paper's format), a Tichy block-move delta, or a full
+// copy of the content (first submission, or fallback after the server's
+// cached base was evicted — the "best effort" path of §5.1).
+#pragma once
+
+#include <string>
+
+#include "diff/block_move.hpp"
+#include "diff/edit_script.hpp"
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::diff {
+
+/// Which diff algorithm produces the delta payload.
+enum class Algorithm : u8 {
+  kHuntMcIlroy = 0,  // HM75, the prototype's algorithm
+  kMyers = 1,        // Miller–Myers future-work alternative
+  kBlockMove = 2,    // Tichy future-work alternative
+};
+
+const char* algorithm_name(Algorithm algo);
+Result<Algorithm> algorithm_from_name(const std::string& name);
+
+struct Delta {
+  enum class Format : u8 { kFull = 0, kEdScript = 1, kBlockMove = 2 };
+
+  Format format = Format::kFull;
+  std::string full;          // kFull: complete target content
+  u32 full_crc = 0;          // kFull: fingerprint of `full` (fail closed)
+  EditScript ed;             // kEdScript
+  BlockMoveDelta blocks;     // kBlockMove
+
+  /// Construct a full-content delta (no base needed to apply).
+  static Delta make_full(std::string content);
+
+  /// Compute a delta of `target` against `base` with the given algorithm.
+  /// Falls back to kFull when the delta would be larger than the content
+  /// itself (shadow must never lose badly — DESIGN.md invariant 5).
+  static Delta compute(const std::string& base, const std::string& target,
+                       Algorithm algo);
+
+  /// Adaptive selection (the paper's §3 adaptability objective, §8.3
+  /// algorithm study): compute both the line-oriented ed script and the
+  /// byte-oriented block-move delta and ship whichever encodes smaller.
+  /// Costs roughly the CPU of both algorithms; wins on restructured files
+  /// and binary-ish content, ties on ordinary edits.
+  static Delta compute_adaptive(const std::string& base,
+                                const std::string& target);
+
+  /// Reconstruct the target. `base` is ignored for kFull.
+  Result<std::string> apply(const std::string& base) const;
+
+  /// True when applying requires the base content.
+  bool needs_base() const { return format != Format::kFull; }
+
+  /// Encoded size in bytes — the transfer cost the figures measure.
+  std::size_t wire_size() const;
+
+  void encode(BufWriter& out) const;
+  static Result<Delta> decode(BufReader& in);
+
+  bool operator==(const Delta&) const = default;
+};
+
+}  // namespace shadow::diff

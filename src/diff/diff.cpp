@@ -1,0 +1,14 @@
+#include "diff/diff.hpp"
+
+namespace shadow::diff {
+
+EditScript compute_ed_script(const std::string& old_text,
+                             const std::string& new_text, Algorithm algo) {
+  LineTable table(old_text, new_text);
+  const MatchList matches = (algo == Algorithm::kMyers)
+                                ? myers_lcs(table)
+                                : hunt_mcilroy_lcs(table);
+  return build_ed_script(old_text, new_text, matches);
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,25 @@
+// Public facade of the diff module.
+//
+// Most callers only need:
+//   auto delta = shadow::diff::Delta::compute(old_text, new_text,
+//                                             Algorithm::kHuntMcIlroy);
+//   auto restored = delta.apply(old_text);
+#pragma once
+
+#include "diff/block_move.hpp"   // IWYU pragma: export
+#include "diff/delta.hpp"        // IWYU pragma: export
+#include "diff/edit_script.hpp"  // IWYU pragma: export
+#include "diff/hunt_mcilroy.hpp" // IWYU pragma: export
+#include "diff/lcs.hpp"          // IWYU pragma: export
+#include "diff/line_table.hpp"   // IWYU pragma: export
+#include "diff/myers.hpp"        // IWYU pragma: export
+
+namespace shadow::diff {
+
+/// Convenience: compute an ed script between two texts using the given
+/// line-matching algorithm (HM75 by default, as in the prototype).
+EditScript compute_ed_script(const std::string& old_text,
+                             const std::string& new_text,
+                             Algorithm algo = Algorithm::kHuntMcIlroy);
+
+}  // namespace shadow::diff

@@ -1,0 +1,344 @@
+#include "diff/edit_script.hpp"
+
+#include <algorithm>
+
+#include "util/crc32.hpp"
+#include "util/text.hpp"
+
+namespace shadow::diff {
+
+std::size_t EditScript::inserted_bytes() const {
+  std::size_t total = 0;
+  for (const auto& cmd : commands) {
+    for (const auto& line : cmd.text) total += line.size();
+  }
+  return total;
+}
+
+EditScript build_ed_script(const std::string& old_text,
+                           const std::string& new_text,
+                           const MatchList& matches) {
+  const auto old_lines = split_lines(old_text);
+  const auto new_lines = split_lines(new_text);
+
+  EditScript script;
+  script.old_line_count = old_lines.size();
+  script.new_line_count = new_lines.size();
+  script.old_crc = crc32(reinterpret_cast<const u8*>(old_text.data()),
+                         old_text.size());
+  script.new_crc = crc32(reinterpret_cast<const u8*>(new_text.data()),
+                         new_text.size());
+
+  // Walk the gaps between consecutive matches; each gap is one hunk:
+  // old[oi..match.old) replaced by new[nj..match.new).
+  std::vector<EdCommand> ascending;
+  std::size_t oi = 0;  // next unconsumed old line
+  std::size_t nj = 0;  // next unconsumed new line
+  auto emit_hunk = [&](std::size_t old_end, std::size_t new_end) {
+    const bool has_del = old_end > oi;
+    const bool has_ins = new_end > nj;
+    if (!has_del && !has_ins) return;
+    EdCommand cmd;
+    if (has_del && has_ins) {
+      cmd.kind = EdCommand::Kind::kChange;
+      cmd.line1 = oi + 1;
+      cmd.line2 = old_end;
+    } else if (has_del) {
+      cmd.kind = EdCommand::Kind::kDelete;
+      cmd.line1 = oi + 1;
+      cmd.line2 = old_end;
+    } else {
+      cmd.kind = EdCommand::Kind::kAppend;
+      cmd.line1 = oi;  // insert after the line before the gap (0 = front)
+      cmd.line2 = oi;
+    }
+    for (std::size_t j = nj; j < new_end; ++j) cmd.text.push_back(new_lines[j]);
+    ascending.push_back(std::move(cmd));
+  };
+
+  for (const auto& match : matches) {
+    emit_hunk(match.old_index, match.new_index);
+    oi = match.old_index + 1;
+    nj = match.new_index + 1;
+  }
+  emit_hunk(old_lines.size(), new_lines.size());
+
+  // Ed order: descending so earlier applications don't renumber later ones.
+  script.commands.assign(ascending.rbegin(), ascending.rend());
+  return script;
+}
+
+namespace {
+// Core command replay, shared by apply_ed_script and the text parser.
+Status apply_commands(std::vector<std::string>& lines,
+                      const std::vector<EdCommand>& commands);
+}  // namespace
+
+Result<std::string> apply_ed_script(const std::string& base,
+                                    const EditScript& script) {
+  const u32 base_crc =
+      crc32(reinterpret_cast<const u8*>(base.data()), base.size());
+  if (base_crc != script.old_crc) {
+    return Error{ErrorCode::kVersionMismatch,
+                 "base content does not match script's old CRC"};
+  }
+
+  auto lines = split_lines(base);
+  if (lines.size() != script.old_line_count) {
+    return Error{ErrorCode::kVersionMismatch,
+                 "base line count does not match script"};
+  }
+  SHADOW_TRY(apply_commands(lines, script.commands));
+
+  std::string result = join_lines(lines);
+  const u32 result_crc =
+      crc32(reinterpret_cast<const u8*>(result.data()), result.size());
+  if (result_crc != script.new_crc) {
+    return Error{ErrorCode::kInternal,
+                 "reconstructed content fails target CRC check"};
+  }
+  return result;
+}
+
+namespace {
+Status apply_commands(std::vector<std::string>& lines,
+                      const std::vector<EdCommand>& commands) {
+  u64 prev_line1 = static_cast<u64>(lines.size()) + 2;
+  for (const auto& cmd : commands) {
+    // Commands must be strictly descending and within bounds.
+    if (cmd.line1 >= prev_line1) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "ed commands not in descending order"};
+    }
+    prev_line1 = cmd.line1 == 0 ? 1 : cmd.line1;
+    switch (cmd.kind) {
+      case EdCommand::Kind::kAppend: {
+        if (cmd.line1 > lines.size()) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "append position out of range"};
+        }
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(cmd.line1),
+                     cmd.text.begin(), cmd.text.end());
+        break;
+      }
+      case EdCommand::Kind::kChange:
+      case EdCommand::Kind::kDelete: {
+        if (cmd.line1 < 1 || cmd.line2 < cmd.line1 ||
+            cmd.line2 > lines.size()) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "command range out of bounds"};
+        }
+        const auto first =
+            lines.begin() + static_cast<std::ptrdiff_t>(cmd.line1 - 1);
+        const auto last =
+            lines.begin() + static_cast<std::ptrdiff_t>(cmd.line2);
+        if (cmd.kind == EdCommand::Kind::kDelete) {
+          lines.erase(first, last);
+        } else {
+          // Replace the range. erase+insert keeps it simple and correct.
+          auto pos = lines.erase(first, last);
+          lines.insert(pos, cmd.text.begin(), cmd.text.end());
+        }
+        break;
+      }
+    }
+  }
+  return Status();
+}
+}  // namespace
+
+void encode_ed_script(const EditScript& script, BufWriter& out) {
+  out.put_u32(script.old_crc);
+  out.put_u32(script.new_crc);
+  out.put_varint(script.old_line_count);
+  out.put_varint(script.new_line_count);
+  out.put_varint(script.commands.size());
+  // Line numbers are delta-encoded against the previous command's line1
+  // (descending), so long scripts of small hunks stay compact.
+  u64 prev = 0;
+  for (const auto& cmd : script.commands) {
+    out.put_u8(static_cast<u8>(cmd.kind));
+    if (prev == 0) {
+      out.put_varint(cmd.line1);
+    } else {
+      out.put_varint(prev - cmd.line1);  // descending => non-negative
+    }
+    prev = cmd.line1;
+    out.put_varint(cmd.line2 >= cmd.line1 ? cmd.line2 - cmd.line1 : 0);
+    out.put_varint(cmd.text.size());
+    for (const auto& line : cmd.text) out.put_string(line);
+  }
+}
+
+Result<EditScript> decode_ed_script(BufReader& in) {
+  EditScript script;
+  SHADOW_ASSIGN_OR_RETURN(old_crc, in.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(new_crc, in.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(old_count, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(new_count, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(num_commands, in.get_varint());
+  script.old_crc = old_crc;
+  script.new_crc = new_crc;
+  script.old_line_count = old_count;
+  script.new_line_count = new_count;
+  u64 prev = 0;
+  for (u64 i = 0; i < num_commands; ++i) {
+    EdCommand cmd;
+    SHADOW_ASSIGN_OR_RETURN(kind_byte, in.get_u8());
+    if (kind_byte > 2) {
+      return Error{ErrorCode::kProtocolError, "bad ed command kind"};
+    }
+    cmd.kind = static_cast<EdCommand::Kind>(kind_byte);
+    SHADOW_ASSIGN_OR_RETURN(l1, in.get_varint());
+    cmd.line1 = (prev == 0) ? l1 : prev - l1;
+    if (prev != 0 && l1 > prev) {
+      return Error{ErrorCode::kProtocolError, "ed line delta underflow"};
+    }
+    prev = cmd.line1;
+    SHADOW_ASSIGN_OR_RETURN(span, in.get_varint());
+    cmd.line2 = cmd.line1 + span;
+    SHADOW_ASSIGN_OR_RETURN(num_lines, in.get_varint());
+    if (num_lines > in.remaining()) {
+      return Error{ErrorCode::kProtocolError, "ed text count exceeds buffer"};
+    }
+    cmd.text.reserve(static_cast<std::size_t>(num_lines));
+    for (u64 j = 0; j < num_lines; ++j) {
+      SHADOW_ASSIGN_OR_RETURN(line, in.get_string());
+      cmd.text.push_back(std::move(line));
+    }
+    script.commands.push_back(std::move(cmd));
+  }
+  return script;
+}
+
+std::string ed_script_to_text(const EditScript& script) {
+  std::string out;
+  for (const auto& cmd : script.commands) {
+    switch (cmd.kind) {
+      case EdCommand::Kind::kAppend:
+        out += std::to_string(cmd.line1) + "a\n";
+        break;
+      case EdCommand::Kind::kChange:
+        out += std::to_string(cmd.line1);
+        if (cmd.line2 != cmd.line1) out += "," + std::to_string(cmd.line2);
+        out += "c\n";
+        break;
+      case EdCommand::Kind::kDelete:
+        out += std::to_string(cmd.line1);
+        if (cmd.line2 != cmd.line1) out += "," + std::to_string(cmd.line2);
+        out += "d\n";
+        continue;  // no text block for delete
+    }
+    for (const auto& line : cmd.text) {
+      const bool had_newline = !line.empty() && line.back() == '\n';
+      const std::string body =
+          had_newline ? line.substr(0, line.size() - 1) : line;
+      // Escape: any content line beginning with '.' gets one extra dot,
+      // so the block terminator stays unambiguous (see header comment).
+      if (!body.empty() && body.front() == '.') out += '.';
+      out += body;
+      out += '\n';
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+Result<EditScript> parse_ed_script_text(const std::string& script_text,
+                                        const std::string& base) {
+  EditScript script;
+  script.old_line_count = count_lines(base);
+  script.old_crc =
+      crc32(reinterpret_cast<const u8*>(base.data()), base.size());
+
+  const auto raw_lines = split_lines(script_text);
+  std::size_t i = 0;
+  auto strip_newline = [](const std::string& line) {
+    return (!line.empty() && line.back() == '\n')
+               ? line.substr(0, line.size() - 1)
+               : line;
+  };
+
+  while (i < raw_lines.size()) {
+    const std::string header = strip_newline(raw_lines[i]);
+    ++i;
+    if (header.empty()) continue;
+
+    const char kind_char = header.back();
+    if (kind_char != 'a' && kind_char != 'c' && kind_char != 'd') {
+      return Error{ErrorCode::kInvalidArgument,
+                   "not an ed command: " + header};
+    }
+    const std::string addr = header.substr(0, header.size() - 1);
+    const std::size_t comma = addr.find(',');
+    EdCommand cmd;
+    auto parse_number = [](const std::string& s) -> Result<u64> {
+      if (s.empty()) {
+        return Error{ErrorCode::kInvalidArgument, "empty ed address"};
+      }
+      u64 value = 0;
+      for (char c : s) {
+        if (c < '0' || c > '9') {
+          return Error{ErrorCode::kInvalidArgument, "bad ed address: " + s};
+        }
+        value = value * 10 + static_cast<u64>(c - '0');
+      }
+      return value;
+    };
+    SHADOW_ASSIGN_OR_RETURN(
+        line1, parse_number(comma == std::string::npos
+                                ? addr
+                                : addr.substr(0, comma)));
+    cmd.line1 = line1;
+    if (comma == std::string::npos) {
+      cmd.line2 = cmd.line1;
+    } else {
+      SHADOW_ASSIGN_OR_RETURN(line2, parse_number(addr.substr(comma + 1)));
+      cmd.line2 = line2;
+    }
+    switch (kind_char) {
+      case 'a': cmd.kind = EdCommand::Kind::kAppend; break;
+      case 'c': cmd.kind = EdCommand::Kind::kChange; break;
+      default: cmd.kind = EdCommand::Kind::kDelete; break;
+    }
+
+    if (kind_char != 'd') {
+      bool terminated = false;
+      while (i < raw_lines.size()) {
+        std::string body = strip_newline(raw_lines[i]);
+        ++i;
+        if (body == ".") {
+          terminated = true;
+          break;
+        }
+        // Unescape the serializer's leading-dot convention.
+        if (body.size() >= 2 && body[0] == '.' && body[1] == '.') {
+          body.erase(body.begin());
+        }
+        cmd.text.push_back(body + "\n");
+      }
+      if (!terminated) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "unterminated ed text block"};
+      }
+    }
+    script.commands.push_back(std::move(cmd));
+  }
+
+  // Derive the target fingerprint by replaying onto the base.
+  auto lines = split_lines(base);
+  SHADOW_TRY(apply_commands(lines, script.commands));
+  const std::string result = join_lines(lines);
+  script.new_line_count = lines.size();
+  script.new_crc =
+      crc32(reinterpret_cast<const u8*>(result.data()), result.size());
+  return script;
+}
+
+std::size_t ed_script_wire_size(const EditScript& script) {
+  BufWriter w;
+  encode_ed_script(script, w);
+  return w.size();
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,93 @@
+// Ed-script edit model — the delta format of the paper's prototype.
+//
+// The prototype ran `diff -e old new` and shipped the resulting ed script
+// to the server, which replayed it with ed(1) against the cached version.
+// We model exactly that: a list of append/change/delete commands addressed
+// by 1-based line numbers of the OLD file, ordered DESCENDING so that
+// applying one command never shifts the line numbers of the next.
+//
+// The script carries CRC fingerprints of the base and target contents so a
+// receiver can refuse to patch a stale cached copy (ErrorCode::
+// kVersionMismatch) and verify the reconstruction byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diff/lcs.hpp"
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::diff {
+
+/// One ed command. Line numbers are 1-based positions in the old file.
+struct EdCommand {
+  enum class Kind : u8 { kAppend = 0, kChange = 1, kDelete = 2 };
+
+  Kind kind = Kind::kAppend;
+  /// First old line affected. For kAppend: the line AFTER which text is
+  /// inserted (0 = insert at beginning of file).
+  u64 line1 = 0;
+  /// Last old line affected (== line1 for single-line commands; unused for
+  /// kAppend).
+  u64 line2 = 0;
+  /// Replacement / appended lines, each retaining its trailing '\n' except
+  /// possibly a final line at end-of-file.
+  std::vector<std::string> text;
+
+  bool operator==(const EdCommand&) const = default;
+};
+
+/// A complete ed script plus integrity metadata.
+struct EditScript {
+  std::vector<EdCommand> commands;  // descending by line1
+  u64 old_line_count = 0;
+  u64 new_line_count = 0;
+  u32 old_crc = 0;  // CRC32 of the base content bytes
+  u32 new_crc = 0;  // CRC32 of the target content bytes
+
+  bool operator==(const EditScript&) const = default;
+
+  /// Total bytes of inserted text (a cheap size proxy).
+  std::size_t inserted_bytes() const;
+};
+
+/// Build an ed script from an LCS match list over the given line table
+/// contents. `old_text`/`new_text` must be the texts the matches refer to.
+EditScript build_ed_script(const std::string& old_text,
+                           const std::string& new_text,
+                           const MatchList& matches);
+
+/// Apply a script to base content; verifies both CRCs. Returns the
+/// reconstructed target content.
+Result<std::string> apply_ed_script(const std::string& base,
+                                    const EditScript& script);
+
+/// Compact binary form (what goes on the wire inside a DeltaPayload).
+void encode_ed_script(const EditScript& script, BufWriter& out);
+Result<EditScript> decode_ed_script(BufReader& in);
+
+/// Human-readable ed(1)-style text rendering, e.g.
+///   12,15c
+///   <new text>
+///   .
+/// Content lines that consist of a single "." are escaped as ".." (a
+/// divergence from real ed, documented here; the binary form is canonical).
+std::string ed_script_to_text(const EditScript& script);
+
+/// Parse an ed-style script (as produced by ed_script_to_text or by real
+/// `diff -e old new`) against the base content it applies to. Line counts
+/// and CRCs are derived from `base` and from applying the commands, so the
+/// result round-trips through apply_ed_script. Commands must be in ed's
+/// descending order. ".." unescaping matches ed_script_to_text; real
+/// diff -e output containing literal lone-"." content lines is ambiguous
+/// in the ed language itself and is parsed as a terminator.
+Result<EditScript> parse_ed_script_text(const std::string& script_text,
+                                        const std::string& base);
+
+/// Size in bytes of the binary encoding (what the figures measure as the
+/// shadow transfer payload).
+std::size_t ed_script_wire_size(const EditScript& script);
+
+}  // namespace shadow::diff

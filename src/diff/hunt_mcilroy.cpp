@@ -1,0 +1,75 @@
+#include "diff/hunt_mcilroy.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace shadow::diff {
+
+namespace {
+// A k-candidate: a match that ends an LCS prefix of length k, chained to
+// its predecessor candidate (length k-1).
+struct Candidate {
+  std::size_t old_index;
+  std::size_t new_index;
+  const Candidate* prev;
+};
+}  // namespace
+
+MatchList hunt_mcilroy_lcs(const LineTable& table) {
+  const auto& old_ids = table.old_ids();
+  const auto& new_ids = table.new_ids();
+  if (old_ids.empty() || new_ids.empty()) return {};
+
+  // Occurrence lists: for each symbol, the positions in the NEW file in
+  // ascending order (we iterate them descending below).
+  std::unordered_map<u32, std::vector<std::size_t>> occurrences;
+  occurrences.reserve(new_ids.size());
+  for (std::size_t j = 0; j < new_ids.size(); ++j) {
+    occurrences[new_ids[j]].push_back(j);
+  }
+
+  // thresholds[k] = smallest new-file index that ends a common subsequence
+  // of length k+1 found so far; strictly increasing.
+  std::vector<std::size_t> thresholds;
+  std::vector<const Candidate*> chain_tail;  // parallel to thresholds
+  std::vector<std::unique_ptr<Candidate>> arena;
+  arena.reserve(old_ids.size());
+
+  for (std::size_t i = 0; i < old_ids.size(); ++i) {
+    auto it = occurrences.find(old_ids[i]);
+    if (it == occurrences.end()) continue;
+    const auto& positions = it->second;
+    // Descending order so that updates within one old line cannot chain to
+    // each other (each old line may contribute at most one match).
+    for (auto pos = positions.rbegin(); pos != positions.rend(); ++pos) {
+      const std::size_t j = *pos;
+      // Find k: first threshold >= j (replace), i.e. LIS update.
+      const auto lo =
+          std::lower_bound(thresholds.begin(), thresholds.end(), j);
+      const std::size_t k = static_cast<std::size_t>(lo - thresholds.begin());
+      if (lo != thresholds.end() && *lo == j) continue;  // no improvement
+      const Candidate* prev = (k == 0) ? nullptr : chain_tail[k - 1];
+      arena.push_back(std::make_unique<Candidate>(Candidate{i, j, prev}));
+      const Candidate* cand = arena.back().get();
+      if (lo == thresholds.end()) {
+        thresholds.push_back(j);
+        chain_tail.push_back(cand);
+      } else {
+        *lo = j;
+        chain_tail[k] = cand;
+      }
+    }
+  }
+
+  if (chain_tail.empty()) return {};
+  MatchList matches;
+  matches.reserve(thresholds.size());
+  for (const Candidate* c = chain_tail.back(); c != nullptr; c = c->prev) {
+    matches.push_back(Match{c->old_index, c->new_index});
+  }
+  std::reverse(matches.begin(), matches.end());
+  return matches;
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,20 @@
+// Hunt–McIlroy differential file comparison [HM75] — the algorithm the
+// paper's prototype uses (it is what UNIX diff(1) implemented in 1987).
+//
+// This is the candidate-list formulation (a.k.a. Hunt–Szymanski): for each
+// line of the old file we enumerate the positions of equal lines in the new
+// file in DESCENDING order and maintain k-candidate chains; the longest
+// chain is the LCS. Complexity O((R + N) log N) where R is the number of
+// matching line pairs — fast in practice because source files have many
+// unique lines.
+#pragma once
+
+#include "diff/lcs.hpp"
+#include "diff/line_table.hpp"
+
+namespace shadow::diff {
+
+/// Longest common subsequence of the two tokenized files.
+MatchList hunt_mcilroy_lcs(const LineTable& table);
+
+}  // namespace shadow::diff

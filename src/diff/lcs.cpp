@@ -1,0 +1,18 @@
+#include "diff/lcs.hpp"
+
+namespace shadow::diff {
+
+bool is_valid_match_list(const MatchList& matches, std::size_t old_size,
+                         std::size_t new_size) {
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    if (matches[i].old_index >= old_size) return false;
+    if (matches[i].new_index >= new_size) return false;
+    if (i > 0) {
+      if (matches[i].old_index <= matches[i - 1].old_index) return false;
+      if (matches[i].new_index <= matches[i - 1].new_index) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,24 @@
+// Common output type for the line-matching (LCS) algorithms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace shadow::diff {
+
+/// One matched line: old_lines[old_index] == new_lines[new_index].
+struct Match {
+  std::size_t old_index;
+  std::size_t new_index;
+  bool operator==(const Match&) const = default;
+};
+
+/// A common subsequence: matches strictly increasing in both indices.
+using MatchList = std::vector<Match>;
+
+/// Validates the strict-monotonicity invariant (used by tests and debug
+/// assertions on algorithm outputs).
+bool is_valid_match_list(const MatchList& matches, std::size_t old_size,
+                         std::size_t new_size);
+
+}  // namespace shadow::diff

@@ -1,0 +1,22 @@
+#include "diff/line_table.hpp"
+
+#include "util/text.hpp"
+
+namespace shadow::diff {
+
+LineTable::LineTable(const std::string& old_text,
+                     const std::string& new_text)
+    : old_lines_(split_lines(old_text)), new_lines_(split_lines(new_text)) {
+  old_ids_.reserve(old_lines_.size());
+  for (const auto& line : old_lines_) old_ids_.push_back(intern(line));
+  new_ids_.reserve(new_lines_.size());
+  for (const auto& line : new_lines_) new_ids_.push_back(intern(line));
+}
+
+u32 LineTable::intern(const std::string& line) {
+  auto [it, inserted] = ids_.emplace(line, next_id_);
+  if (inserted) ++next_id_;
+  return it->second;
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,41 @@
+// Line interning for the line-based diff algorithms.
+//
+// Both files are tokenized into lines (util/text.hpp conventions) and each
+// distinct line string is assigned a dense integer id, so the LCS
+// algorithms compare ints instead of strings.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace shadow::diff {
+
+/// Two files tokenized against one shared symbol table.
+class LineTable {
+ public:
+  LineTable(const std::string& old_text, const std::string& new_text);
+
+  const std::vector<std::string>& old_lines() const { return old_lines_; }
+  const std::vector<std::string>& new_lines() const { return new_lines_; }
+
+  /// Symbol ids, parallel to old_lines()/new_lines().
+  const std::vector<u32>& old_ids() const { return old_ids_; }
+  const std::vector<u32>& new_ids() const { return new_ids_; }
+
+  std::size_t symbol_count() const { return next_id_; }
+
+ private:
+  u32 intern(const std::string& line);
+
+  std::unordered_map<std::string, u32> ids_;
+  u32 next_id_ = 0;
+  std::vector<std::string> old_lines_;
+  std::vector<std::string> new_lines_;
+  std::vector<u32> old_ids_;
+  std::vector<u32> new_ids_;
+};
+
+}  // namespace shadow::diff

@@ -1,0 +1,114 @@
+#include "diff/myers.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace shadow::diff {
+
+namespace {
+// Default bound on the explored edit distance. Beyond this the files are so
+// different that a whole-file replacement is cheaper than a minimal script;
+// O(D^2) trace memory also stays modest (~130 MB worst case at 4096).
+constexpr std::size_t kDefaultMaxD = 4096;
+}  // namespace
+
+MatchList myers_lcs(const LineTable& table, std::size_t max_d) {
+  const auto& a = table.old_ids();
+  const auto& b = table.new_ids();
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return {};
+
+  const std::size_t dmax_full = n + m;
+  const std::size_t dmax =
+      std::min(dmax_full, (max_d == 0) ? kDefaultMaxD : max_d);
+
+  // v[k + offset] = furthest x on diagonal k.
+  const std::size_t offset = dmax;
+  std::vector<std::size_t> v(2 * dmax + 1, 0);
+  // Compact trace: trace[d] holds v[offset-d .. offset+d] BEFORE step d's
+  // updates, i.e. the state backtracking needs at step d.
+  std::vector<std::vector<std::size_t>> trace;
+  trace.reserve(dmax + 1);
+
+  std::size_t found_d = dmax_full + 1;
+  for (std::size_t d = 0; d <= dmax && found_d > dmax; ++d) {
+    trace.emplace_back(v.begin() + static_cast<std::ptrdiff_t>(offset - d),
+                       v.begin() + static_cast<std::ptrdiff_t>(offset + d + 1));
+    for (std::size_t ki = 0; ki <= 2 * d; ki += 2) {
+      // k runs over -d, -d+2, ..., +d.
+      const std::ptrdiff_t k =
+          static_cast<std::ptrdiff_t>(ki) - static_cast<std::ptrdiff_t>(d);
+      const std::size_t idx =
+          static_cast<std::size_t>(k + static_cast<std::ptrdiff_t>(offset));
+      std::size_t x;
+      if (k == -static_cast<std::ptrdiff_t>(d) ||
+          (k != static_cast<std::ptrdiff_t>(d) && v[idx - 1] < v[idx + 1])) {
+        x = v[idx + 1];  // step down: insert b's line
+      } else {
+        x = v[idx - 1] + 1;  // step right: delete a's line
+      }
+      std::size_t y =
+          static_cast<std::size_t>(static_cast<std::ptrdiff_t>(x) - k);
+      while (x < n && y < m && a[x] == b[y]) {
+        ++x;
+        ++y;
+      }
+      v[idx] = x;
+      if (x >= n && y >= m) {
+        found_d = d;
+        break;
+      }
+    }
+  }
+
+  if (found_d > dmax) {
+    // Distance bound exceeded: no matches reported; callers emit a
+    // whole-file replacement instead of a minimal script.
+    return {};
+  }
+
+  // Backtrack from (n, m) through the per-d traces, collecting snakes.
+  MatchList matches;
+  std::size_t x = n;
+  std::size_t y = m;
+  for (std::size_t d = found_d; d > 0; --d) {
+    const auto& vd = trace[d];  // indexed by k + d
+    const std::ptrdiff_t k =
+        static_cast<std::ptrdiff_t>(x) - static_cast<std::ptrdiff_t>(y);
+    const std::size_t idx =
+        static_cast<std::size_t>(k + static_cast<std::ptrdiff_t>(d));
+    std::ptrdiff_t prev_k;
+    if (k == -static_cast<std::ptrdiff_t>(d) ||
+        (k != static_cast<std::ptrdiff_t>(d) && vd[idx - 1] < vd[idx + 1])) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    const std::size_t prev_x =
+        vd[static_cast<std::size_t>(prev_k + static_cast<std::ptrdiff_t>(d))];
+    const std::size_t prev_y = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(prev_x) - prev_k);
+    // The snake ran from (mid_x, mid_y) to (x, y): those are matches.
+    const std::size_t mid_x = (prev_k == k + 1) ? prev_x : prev_x + 1;
+    const std::size_t mid_y =
+        static_cast<std::size_t>(static_cast<std::ptrdiff_t>(mid_x) - k);
+    while (x > mid_x && y > mid_y) {
+      --x;
+      --y;
+      matches.push_back(Match{x, y});
+    }
+    x = prev_x;
+    y = prev_y;
+  }
+  // Leading snake at d == 0.
+  while (x > 0 && y > 0) {
+    --x;
+    --y;
+    matches.push_back(Match{x, y});
+  }
+  std::reverse(matches.begin(), matches.end());
+  return matches;
+}
+
+}  // namespace shadow::diff

@@ -1,0 +1,20 @@
+// Myers O(ND) greedy LCS [Myers 1986 / Miller–Myers 1985, cited by the
+// paper as a future-work alternative to Hunt–McIlroy].
+//
+// Produces a minimal edit script (fewest inserted+deleted lines). For
+// pathological inputs (two files with nothing in common) the D loop is
+// bounded by `max_d`; beyond it we fall back to a trivial
+// delete-all/insert-all result, which the caller turns into a full-file
+// replacement — same behaviour production diff tools use.
+#pragma once
+
+#include "diff/lcs.hpp"
+#include "diff/line_table.hpp"
+
+namespace shadow::diff {
+
+/// LCS via the Myers greedy algorithm. `max_d` bounds the edit distance
+/// explored; 0 means no bound.
+MatchList myers_lcs(const LineTable& table, std::size_t max_d = 0);
+
+}  // namespace shadow::diff

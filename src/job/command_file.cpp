@@ -1,0 +1,64 @@
+#include "job/command_file.hpp"
+
+#include "util/strings.hpp"
+#include "util/text.hpp"
+
+namespace shadow::job {
+
+Result<std::vector<Command>> parse_command_file(const std::string& text) {
+  std::vector<Command> commands;
+  for (const auto& raw_line : split_lines(text)) {
+    std::string line = raw_line;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto tokens = split_nonempty(line, ' ');
+    // Tabs also separate tokens.
+    std::vector<std::string> flat;
+    for (const auto& t : tokens) {
+      for (auto& part : split_nonempty(t, '\t')) {
+        flat.push_back(std::move(part));
+      }
+    }
+    if (flat.empty()) continue;
+
+    Command cmd;
+    cmd.program = flat.front();
+    std::size_t end = flat.size();
+    // Trailing "> file" redirect.
+    if (end >= 2 && flat[end - 2] == ">") {
+      cmd.redirect = flat[end - 1];
+      end -= 2;
+    } else if (end >= 1 && flat[end - 1].size() > 1 &&
+               flat[end - 1].front() == '>') {
+      cmd.redirect = flat[end - 1].substr(1);
+      end -= 1;
+    }
+    for (std::size_t i = 1; i < end; ++i) cmd.args.push_back(flat[i]);
+    if (cmd.program == ">") {
+      return Error{ErrorCode::kInvalidArgument,
+                   "redirect without a command: " + raw_line};
+    }
+    commands.push_back(std::move(cmd));
+  }
+  if (commands.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "command file has no commands"};
+  }
+  return commands;
+}
+
+std::string to_text(const std::vector<Command>& commands) {
+  std::string out;
+  for (const auto& cmd : commands) {
+    out += cmd.program;
+    for (const auto& arg : cmd.args) out += " " + arg;
+    if (!cmd.redirect.empty()) out += " > " + cmd.redirect;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace shadow::job

@@ -1,0 +1,30 @@
+// Job command file parser (paper §6.2: "The job command file contains one
+// or more lines where each line specifies a command (along with its
+// arguments) to be executed at the remote host").
+//
+// Syntax: one command per line, whitespace-separated tokens, '#' comments,
+// optional trailing "> file" redirect sending that command's output to a
+// named file in the job sandbox instead of the job's stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace shadow::job {
+
+struct Command {
+  std::string program;
+  std::vector<std::string> args;
+  std::string redirect;  // empty = job stdout
+
+  bool operator==(const Command&) const = default;
+};
+
+Result<std::vector<Command>> parse_command_file(const std::string& text);
+
+/// Render back to text (used when forwarding jobs between hosts).
+std::string to_text(const std::vector<Command>& commands);
+
+}  // namespace shadow::job

@@ -1,0 +1,281 @@
+#include "job/executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/text.hpp"
+
+namespace shadow::job {
+
+namespace {
+
+struct JobAbort {
+  std::string message;
+};
+
+class Sandbox {
+ public:
+  explicit Sandbox(std::map<std::string, std::string> files)
+      : files_(std::move(files)) {}
+
+  const std::string& read(const std::string& name) {
+    auto it = files_.find(name);
+    if (it == files_.end()) {
+      throw JobAbort{"no such file in job sandbox: " + name};
+    }
+    return it->second;
+  }
+
+  void write(const std::string& name, std::string content) {
+    files_[name] = std::move(content);
+  }
+
+  std::map<std::string, std::string> take() { return std::move(files_); }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+u64 parse_u64(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw JobAbort{std::string("bad ") + what + ": " + s};
+  }
+  return v;
+}
+
+double parse_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw JobAbort{std::string("bad ") + what + ": " + s};
+  }
+  return v;
+}
+
+void require_args(const Command& cmd, std::size_t min_count) {
+  if (cmd.args.size() < min_count) {
+    throw JobAbort{cmd.program + ": expected at least " +
+                   std::to_string(min_count) + " argument(s)"};
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Executes one command, returns its stdout, accumulates cpu cost.
+std::string run_one(const Command& cmd, Sandbox& sandbox, u64& cpu_cost) {
+  const auto& p = cmd.program;
+
+  if (p == "cat") {
+    require_args(cmd, 1);
+    std::string out;
+    for (const auto& name : cmd.args) {
+      const auto& content = sandbox.read(name);
+      cpu_cost += content.size();
+      out += content;
+    }
+    return out;
+  }
+  if (p == "echo") {
+    std::string out = join(cmd.args, " ");
+    out += "\n";
+    cpu_cost += out.size();
+    return out;
+  }
+  if (p == "gen") {
+    require_args(cmd, 2);
+    const u64 lines = parse_u64(cmd.args[0], "line count");
+    const u64 seed = parse_u64(cmd.args[1], "seed");
+    Rng rng(seed);
+    std::string out;
+    for (u64 i = 0; i < lines; ++i) {
+      out += std::to_string(rng.below(1000000)) + " " + rng.ascii_line(32) +
+             "\n";
+    }
+    cpu_cost += out.size();
+    return out;
+  }
+  if (p == "sort") {
+    require_args(cmd, 1);
+    auto lines = split_lines(sandbox.read(cmd.args[0]));
+    cpu_cost += lines.size() * 16 + sandbox.read(cmd.args[0]).size();
+    std::sort(lines.begin(), lines.end());
+    return join_lines(lines);
+  }
+  if (p == "uniq") {
+    require_args(cmd, 1);
+    const auto lines = split_lines(sandbox.read(cmd.args[0]));
+    cpu_cost += sandbox.read(cmd.args[0]).size();
+    std::vector<std::string> out;
+    for (const auto& line : lines) {
+      if (out.empty() || out.back() != line) out.push_back(line);
+    }
+    return join_lines(out);
+  }
+  if (p == "grep") {
+    require_args(cmd, 2);
+    const auto& pattern = cmd.args[0];
+    const auto lines = split_lines(sandbox.read(cmd.args[1]));
+    cpu_cost += sandbox.read(cmd.args[1]).size();
+    std::string out;
+    for (const auto& line : lines) {
+      if (line.find(pattern) != std::string::npos) out += line;
+    }
+    return out;
+  }
+  if (p == "head" || p == "tail") {
+    require_args(cmd, 2);
+    const u64 n = parse_u64(cmd.args[0], "line count");
+    auto lines = split_lines(sandbox.read(cmd.args[1]));
+    cpu_cost += sandbox.read(cmd.args[1]).size();
+    std::vector<std::string> keep;
+    if (p == "head") {
+      for (std::size_t i = 0; i < lines.size() && i < n; ++i) {
+        keep.push_back(lines[i]);
+      }
+    } else {
+      const std::size_t start =
+          lines.size() > n ? lines.size() - static_cast<std::size_t>(n) : 0;
+      for (std::size_t i = start; i < lines.size(); ++i) {
+        keep.push_back(lines[i]);
+      }
+    }
+    return join_lines(keep);
+  }
+  if (p == "rev") {
+    require_args(cmd, 1);
+    auto lines = split_lines(sandbox.read(cmd.args[0]));
+    cpu_cost += sandbox.read(cmd.args[0]).size();
+    std::reverse(lines.begin(), lines.end());
+    return join_lines(lines);
+  }
+  if (p == "wc") {
+    require_args(cmd, 1);
+    const auto& content = sandbox.read(cmd.args[0]);
+    cpu_cost += content.size();
+    const auto lines = split_lines(content);
+    std::size_t words = 0;
+    for (const auto& line : lines) words += split_nonempty(line, ' ').size();
+    return std::to_string(lines.size()) + " " + std::to_string(words) + " " +
+           std::to_string(content.size()) + "\n";
+  }
+  if (p == "sum") {
+    require_args(cmd, 1);
+    const auto lines = split_lines(sandbox.read(cmd.args[0]));
+    cpu_cost += sandbox.read(cmd.args[0]).size();
+    double total = 0;
+    for (const auto& line : lines) {
+      const auto fields = split_nonempty(trim(line), ' ');
+      if (!fields.empty()) {
+        char* end = nullptr;
+        const double v = std::strtod(fields[0].c_str(), &end);
+        if (end != fields[0].c_str()) total += v;
+      }
+    }
+    return format_double(total) + "\n";
+  }
+  if (p == "scale") {
+    require_args(cmd, 2);
+    const double factor = parse_double(cmd.args[0], "factor");
+    const auto lines = split_lines(sandbox.read(cmd.args[1]));
+    cpu_cost += 2 * sandbox.read(cmd.args[1]).size();
+    std::string out;
+    for (const auto& line : lines) {
+      const bool had_newline = !line.empty() && line.back() == '\n';
+      const std::string body =
+          had_newline ? line.substr(0, line.size() - 1) : line;
+      std::vector<std::string> tokens;
+      for (const auto& tok : split(body, ' ')) {
+        char* end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (!tok.empty() && end == tok.c_str() + tok.size()) {
+          tokens.push_back(format_double(v * factor));
+        } else {
+          tokens.push_back(tok);
+        }
+      }
+      out += join(tokens, " ");
+      if (had_newline) out += "\n";
+    }
+    return out;
+  }
+  if (p == "matmul") {
+    require_args(cmd, 2);
+    const u64 n = parse_u64(cmd.args[0], "matrix size");
+    const u64 seed = parse_u64(cmd.args[1], "seed");
+    if (n == 0 || n > 512) {
+      throw JobAbort{"matmul: size must be in [1, 512]"};
+    }
+    Rng rng(seed);
+    const std::size_t dim = static_cast<std::size_t>(n);
+    std::vector<double> a(dim * dim);
+    std::vector<double> b(dim * dim);
+    for (auto& x : a) x = rng.uniform();
+    for (auto& x : b) x = rng.uniform();
+    double checksum = 0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        double acc = 0;
+        for (std::size_t k = 0; k < dim; ++k) {
+          acc += a[i * dim + k] * b[k * dim + j];
+        }
+        checksum += acc;
+      }
+    }
+    cpu_cost += n * n * n;
+    return "matmul " + std::to_string(n) + " checksum " +
+           format_double(checksum) + "\n";
+  }
+  if (p == "burn") {
+    // Charge abstract CPU without computing anything: load/scheduling
+    // experiments use this to shape job durations precisely.
+    require_args(cmd, 1);
+    cpu_cost += parse_u64(cmd.args[0], "op count");
+    return "";
+  }
+  if (p == "fail") {
+    throw JobAbort{cmd.args.empty() ? "job aborted" : join(cmd.args, " ")};
+  }
+  throw JobAbort{"unknown command: " + p};
+}
+
+}  // namespace
+
+ExecutionResult Executor::run(const std::vector<Command>& commands,
+                              std::map<std::string, std::string> inputs) const {
+  ExecutionResult result;
+  Sandbox sandbox(std::move(inputs));
+  try {
+    for (const auto& cmd : commands) {
+      std::string out = run_one(cmd, sandbox, result.cpu_cost);
+      if (cmd.redirect.empty()) {
+        result.output += out;
+      } else {
+        sandbox.write(cmd.redirect, std::move(out));
+      }
+    }
+  } catch (const JobAbort& abort) {
+    result.exit_code = 1;
+    result.error += abort.message + "\n";
+  }
+  result.sandbox = sandbox.take();
+  return result;
+}
+
+Result<ExecutionResult> Executor::run_command_file(
+    const std::string& command_file,
+    std::map<std::string, std::string> inputs) const {
+  SHADOW_ASSIGN_OR_RETURN(commands, parse_command_file(command_file));
+  return run(commands, std::move(inputs));
+}
+
+}  // namespace shadow::job

@@ -1,0 +1,62 @@
+// Batch job executor — the "supercomputer" of this reproduction.
+//
+// The paper's evaluation never measures computation (only transfer time);
+// what matters is that submitted jobs really consume the cached input
+// files and produce output that flows back. The executor interprets job
+// command files over an in-memory sandbox with a small built-in command
+// set (sort/grep/wc/scale/matmul/...) and reports an abstract CPU cost
+// that the simulator converts into run time.
+//
+// Built-in commands (FILE args name sandbox files):
+//   cat FILE...            concatenate files
+//   echo WORD...           print words
+//   gen LINES SEED         generate LINES lines of synthetic data
+//   sort FILE              sort lines
+//   uniq FILE              drop consecutive duplicate lines
+//   grep PATTERN FILE      lines containing PATTERN
+//   head N FILE            first N lines
+//   tail N FILE            last N lines
+//   rev FILE               reverse line order
+//   wc FILE                "<lines> <words> <bytes>"
+//   sum FILE               sum of the first numeric field of each line
+//   scale FACTOR FILE      multiply every numeric token by FACTOR
+//   matmul N SEED          dense N x N matrix multiply; prints checksum
+//   burn OPS               charge OPS abstract CPU ops (for load tests)
+//   fail MESSAGE           abort the job with exit code 1
+// Any command may end with "> file" to write into the sandbox instead of
+// the job's stdout.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "job/command_file.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::job {
+
+struct ExecutionResult {
+  std::map<std::string, std::string> sandbox;  // files after execution
+  std::string output;   // job stdout
+  std::string error;    // job stderr
+  int exit_code = 0;
+  u64 cpu_cost = 0;     // abstract ops; simulator maps to seconds
+};
+
+class Executor {
+ public:
+  /// Run `commands` over `inputs` (name -> content). Never returns an
+  /// Error for job-level failures — those land in exit_code/error, like a
+  /// real batch system. Errors are only for executor misuse.
+  ExecutionResult run(const std::vector<Command>& commands,
+                      std::map<std::string, std::string> inputs) const;
+
+  /// Convenience: parse + run.
+  Result<ExecutionResult> run_command_file(
+      const std::string& command_file,
+      std::map<std::string, std::string> inputs) const;
+};
+
+}  // namespace shadow::job

@@ -1,0 +1,100 @@
+#include "job/queue.hpp"
+
+namespace shadow::job {
+
+u64 JobQueue::add(JobRecord record) {
+  record.job_id = next_id_++;
+  record.state = proto::JobState::kQueued;
+  const u64 id = record.job_id;
+  jobs_.emplace(id, std::move(record));
+  return id;
+}
+
+Result<JobRecord*> JobQueue::find(u64 job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Error{ErrorCode::kNotFound,
+                 "no such job: " + std::to_string(job_id)};
+  }
+  return &it->second;
+}
+
+Result<const JobRecord*> JobQueue::find(u64 job_id) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Error{ErrorCode::kNotFound,
+                 "no such job: " + std::to_string(job_id)};
+  }
+  return static_cast<const JobRecord*>(&it->second);
+}
+
+std::vector<proto::JobStatusInfo> JobQueue::status_for_client(
+    const std::string& client_name) const {
+  std::vector<proto::JobStatusInfo> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.client_name != client_name) continue;
+    proto::JobStatusInfo info;
+    info.job_id = id;
+    info.state = job.state;
+    info.detail = job.detail;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool JobQueue::valid_transition(proto::JobState from, proto::JobState to) {
+  using S = proto::JobState;
+  switch (from) {
+    case S::kQueued:
+      return to == S::kWaitingFiles || to == S::kRunning || to == S::kFailed;
+    case S::kWaitingFiles:
+      return to == S::kRunning || to == S::kFailed || to == S::kWaitingFiles;
+    case S::kRunning:
+      return to == S::kCompleted || to == S::kFailed;
+    case S::kCompleted:
+      return to == S::kDelivered || to == S::kFailed;
+    case S::kFailed:
+      return to == S::kDelivered;  // failure reports are delivered too
+    case S::kDelivered:
+      return false;
+  }
+  return false;
+}
+
+Status JobQueue::transition(u64 job_id, proto::JobState next,
+                            const std::string& detail) {
+  SHADOW_ASSIGN_OR_RETURN(record, find(job_id));
+  if (!valid_transition(record->state, next)) {
+    return Error{ErrorCode::kInternal,
+                 std::string("invalid job transition ") +
+                     proto::job_state_name(record->state) + " -> " +
+                     proto::job_state_name(next)};
+  }
+  record->state = next;
+  if (!detail.empty()) record->detail = detail;
+  return Status();
+}
+
+JobRecord* JobQueue::next_schedulable() {
+  for (auto& [id, job] : jobs_) {
+    if (job.state == proto::JobState::kQueued ||
+        job.state == proto::JobState::kWaitingFiles) {
+      return &job;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t JobQueue::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == proto::JobState::kQueued ||
+        job.state == proto::JobState::kWaitingFiles ||
+        job.state == proto::JobState::kRunning) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace shadow::job

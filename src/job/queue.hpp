@@ -1,0 +1,78 @@
+// Server-side job bookkeeping: records every submitted job, its state
+// machine, and the FIFO of jobs awaiting scheduling. The demand-driven
+// scheduler in server/ decides WHEN to run; the queue only tracks WHAT.
+//
+// State machine (proto::JobState):
+//   kQueued -> kWaitingFiles -> kRunning -> kCompleted -> kDelivered
+//                   |                          |
+//                   +-----------> kFailed <----+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::job {
+
+struct JobRecord {
+  u64 job_id = 0;
+  std::string client_name;       // submitting client
+  u64 client_job_token = 0;
+  std::string command_file;
+  std::vector<proto::JobFileRef> files;
+  std::string output_name;
+  std::string error_name;
+  std::string output_route;      // client to deliver output to ("" = owner)
+
+  proto::JobState state = proto::JobState::kQueued;
+  std::string detail;            // human-readable status line
+
+  // Populated on completion:
+  int exit_code = 0;
+  std::string output_content;
+  std::string error_content;
+  u64 cpu_cost = 0;
+};
+
+class JobQueue {
+ public:
+  /// Register a new job in kQueued state; returns its id.
+  u64 add(JobRecord record);
+
+  Result<JobRecord*> find(u64 job_id);
+  Result<const JobRecord*> find(u64 job_id) const;
+
+  /// Status of every job submitted by `client_name` (paper §6.2: status
+  /// with no id returns all pending jobs).
+  std::vector<proto::JobStatusInfo> status_for_client(
+      const std::string& client_name) const;
+
+  /// Transition with validation; invalid transitions are internal errors
+  /// (they indicate a server bug, not bad input).
+  Status transition(u64 job_id, proto::JobState next,
+                    const std::string& detail = "");
+
+  /// Oldest job in kQueued or kWaitingFiles state, if any (FIFO order).
+  JobRecord* next_schedulable();
+
+  std::size_t size() const { return jobs_.size(); }
+  std::size_t active_count() const;  // queued/waiting/running
+
+  /// Iterate all jobs (used by benches for reporting and by the server's
+  /// scheduler).
+  const std::map<u64, JobRecord>& all() const { return jobs_; }
+  std::map<u64, JobRecord>& all_mutable() { return jobs_; }
+
+ private:
+  static bool valid_transition(proto::JobState from, proto::JobState to);
+
+  std::map<u64, JobRecord> jobs_;
+  u64 next_id_ = 1;
+};
+
+}  // namespace shadow::job

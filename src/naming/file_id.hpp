@@ -1,0 +1,72 @@
+// Globally unique file identity (paper §5.3).
+//
+// The client's name space is a (domain id, unique file id within domain)
+// pair. Within a UNIX/NFS domain the unique file id is the fully resolved
+// (storage host, canonical path) pair plus the inode number. The inode
+// disambiguates hard links — two directory entries for one file resolve to
+// different canonical paths but the SAME inode, and must map to one cached
+// copy (§5.3's alias problem).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::naming {
+
+struct GlobalFileId {
+  std::string domain;  // globally unique domain id (e.g. network number)
+  std::string host;    // storage host within the domain
+  std::string path;    // canonical path on that host
+  u64 inode = 0;       // inode on that host (hard-link identity)
+
+  bool operator==(const GlobalFileId&) const = default;
+  bool operator<(const GlobalFileId& other) const {
+    if (domain != other.domain) return domain < other.domain;
+    if (host != other.host) return host < other.host;
+    return inode < other.inode;
+  }
+
+  /// Stable string key. Identity is (domain, host, inode): hard-link
+  /// aliases share it even though their canonical paths differ.
+  std::string key() const {
+    return domain + "!" + host + "#" + std::to_string(inode);
+  }
+
+  /// Human-readable display form including the path.
+  std::string display() const {
+    return domain + ":" + host + ":" + path;
+  }
+
+  void encode(BufWriter& out) const {
+    out.put_string(domain);
+    out.put_string(host);
+    out.put_string(path);
+    out.put_varint(inode);
+  }
+
+  static Result<GlobalFileId> decode(BufReader& in) {
+    GlobalFileId id;
+    SHADOW_ASSIGN_OR_RETURN(domain, in.get_string());
+    SHADOW_ASSIGN_OR_RETURN(host, in.get_string());
+    SHADOW_ASSIGN_OR_RETURN(path, in.get_string());
+    SHADOW_ASSIGN_OR_RETURN(inode, in.get_varint());
+    id.domain = std::move(domain);
+    id.host = std::move(host);
+    id.path = std::move(path);
+    id.inode = inode;
+    return id;
+  }
+};
+
+}  // namespace shadow::naming
+
+template <>
+struct std::hash<shadow::naming::GlobalFileId> {
+  std::size_t operator()(const shadow::naming::GlobalFileId& id) const {
+    return std::hash<std::string>()(id.key());
+  }
+};

@@ -1,0 +1,16 @@
+#include "naming/resolver.hpp"
+
+namespace shadow::naming {
+
+Result<GlobalFileId> NameResolver::resolve(
+    const std::string& host, const std::string& local_path) const {
+  SHADOW_ASSIGN_OR_RETURN(loc, cluster_->resolve(host, local_path));
+  GlobalFileId id;
+  id.domain = domain_id_;
+  id.host = loc.host;
+  id.path = loc.path;
+  id.inode = loc.inode;
+  return id;
+}
+
+}  // namespace shadow::naming

@@ -1,0 +1,33 @@
+// Client-side name resolution (paper §6.5): local file name ->
+// (domain id, unique file id), localizing the naming scheme of the domain.
+#pragma once
+
+#include <string>
+
+#include "naming/file_id.hpp"
+#include "util/result.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow::naming {
+
+/// Resolves names within one NFS domain (a vfs::Cluster of hosts).
+class NameResolver {
+ public:
+  /// `domain_id` must be globally unique (the paper suggests an internet
+  /// network number); the cluster is the set of hosts it spans.
+  NameResolver(std::string domain_id, const vfs::Cluster* cluster)
+      : domain_id_(std::move(domain_id)), cluster_(cluster) {}
+
+  const std::string& domain_id() const { return domain_id_; }
+
+  /// Resolve a local name on `host` to its global id. The file must exist
+  /// (its inode is part of the identity).
+  Result<GlobalFileId> resolve(const std::string& host,
+                               const std::string& local_path) const;
+
+ private:
+  std::string domain_id_;
+  const vfs::Cluster* cluster_;
+};
+
+}  // namespace shadow::naming

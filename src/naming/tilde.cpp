@@ -1,0 +1,170 @@
+#include "naming/tilde.hpp"
+
+#include "vfs/path.hpp"
+
+namespace shadow::naming {
+
+Status TildeForest::create_tree(const std::string& absolute_name,
+                                const std::string& host,
+                                const std::string& root_path) {
+  if (absolute_name.empty() || absolute_name.find('/') != std::string::npos) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "tree names must be non-empty and '/'-free"};
+  }
+  if (trees_.count(absolute_name) != 0) {
+    return Error{ErrorCode::kAlreadyExists,
+                 "tree already exists: " + absolute_name};
+  }
+  SHADOW_ASSIGN_OR_RETURN(fs, cluster_->host(host));
+  SHADOW_TRY(fs->mkdir_p(root_path));
+  trees_.emplace(absolute_name,
+                 TildeTree{absolute_name, host, vfs::normalize(root_path)});
+  return Status();
+}
+
+Status TildeForest::bind(const std::string& user, const std::string& alias,
+                         const std::string& absolute_name) {
+  if (trees_.count(absolute_name) == 0) {
+    return Error{ErrorCode::kNotFound, "no such tree: " + absolute_name};
+  }
+  views_[user][alias] = absolute_name;
+  return Status();
+}
+
+Status TildeForest::unbind(const std::string& user,
+                           const std::string& alias) {
+  auto view = views_.find(user);
+  if (view == views_.end() || view->second.erase(alias) == 0) {
+    return Error{ErrorCode::kNotFound,
+                 "user " + user + " has no binding ~" + alias};
+  }
+  return Status();
+}
+
+Result<std::pair<std::string, std::string>> TildeForest::parse(
+    const std::string& tilde_path) {
+  if (!is_tilde_path(tilde_path)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "not a tilde path: " + tilde_path};
+  }
+  const std::size_t slash = tilde_path.find('/');
+  const std::string alias = tilde_path.substr(1, slash == std::string::npos
+                                                     ? std::string::npos
+                                                     : slash - 1);
+  if (alias.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "empty tilde alias in: " + tilde_path};
+  }
+  const std::string rel =
+      slash == std::string::npos ? "" : tilde_path.substr(slash + 1);
+  return std::make_pair(alias, rel);
+}
+
+Result<std::pair<std::string, std::string>> TildeForest::locate(
+    const std::string& user, const std::string& tilde_path) const {
+  SHADOW_ASSIGN_OR_RETURN(parsed, parse(tilde_path));
+  const auto& [alias, rel] = parsed;
+  auto view = views_.find(user);
+  if (view == views_.end()) {
+    return Error{ErrorCode::kNotFound, "user has no tilde view: " + user};
+  }
+  auto binding = view->second.find(alias);
+  if (binding == view->second.end()) {
+    return Error{ErrorCode::kNotFound,
+                 "user " + user + " has no binding ~" + alias};
+  }
+  const auto tree_it = trees_.find(binding->second);
+  if (tree_it == trees_.end()) {
+    return Error{ErrorCode::kInternal, "binding to vanished tree"};
+  }
+  const TildeTree& t = tree_it->second;
+  const std::string full =
+      rel.empty() ? t.root_path : vfs::join_path(t.root_path, rel);
+  // A tilde name must stay INSIDE its tree ("logically independent
+  // directory trees") — reject ".." escapes.
+  if (!vfs::has_prefix(full, t.root_path)) {
+    return Error{ErrorCode::kPermissionDenied,
+                 "path escapes tree ~" + alias + ": " + tilde_path};
+  }
+  return std::make_pair(t.host, full);
+}
+
+Result<vfs::ResolvedFile> TildeForest::resolve(
+    const std::string& user, const std::string& tilde_path) const {
+  SHADOW_ASSIGN_OR_RETURN(loc, locate(user, tilde_path));
+  return cluster_->resolve(loc.first, loc.second);
+}
+
+namespace {
+// Recursive subtree copy over the public FileSystem API. Symlinks are
+// copied verbatim (targets are not rewritten — relative links inside the
+// tree keep working; absolute links keep pointing wherever they pointed).
+Status copy_tree(vfs::Cluster& cluster, const std::string& src_host,
+                 const std::string& src_path, const std::string& dst_host,
+                 const std::string& dst_path) {
+  SHADOW_ASSIGN_OR_RETURN(src, cluster.host(src_host));
+  SHADOW_ASSIGN_OR_RETURN(dst, cluster.host(dst_host));
+  SHADOW_ASSIGN_OR_RETURN(kind, src->type_of(src_path));
+  switch (kind) {
+    case vfs::FileType::kFile: {
+      SHADOW_ASSIGN_OR_RETURN(content, src->read_file(src_path));
+      return dst->write_file(dst_path, content);
+    }
+    case vfs::FileType::kSymlink:
+      // type_of follows symlinks, so this branch is unreachable from the
+      // directory walk below (which checks lstat-style via list).
+      return Status();
+    case vfs::FileType::kDirectory: {
+      SHADOW_TRY(dst->mkdir_p(dst_path));
+      SHADOW_ASSIGN_OR_RETURN(names, src->list_dir(src_path));
+      for (const auto& name : names) {
+        SHADOW_TRY(copy_tree(cluster, src_host, src_path + "/" + name,
+                             dst_host, dst_path + "/" + name));
+      }
+      return Status();
+    }
+  }
+  return Error{ErrorCode::kInternal, "unknown file type"};
+}
+}  // namespace
+
+Status TildeForest::migrate_tree(const std::string& absolute_name,
+                                 const std::string& new_host,
+                                 const std::string& new_root) {
+  auto it = trees_.find(absolute_name);
+  if (it == trees_.end()) {
+    return Error{ErrorCode::kNotFound, "no such tree: " + absolute_name};
+  }
+  TildeTree& t = it->second;
+  SHADOW_ASSIGN_OR_RETURN(dst_fs, cluster_->host(new_host));
+  (void)dst_fs;
+  SHADOW_TRY(copy_tree(*cluster_, t.host, t.root_path, new_host,
+                       vfs::normalize(new_root)));
+  t.host = new_host;
+  t.root_path = vfs::normalize(new_root);
+  return Status();
+}
+
+Result<const TildeTree*> TildeForest::tree(
+    const std::string& absolute_name) const {
+  auto it = trees_.find(absolute_name);
+  if (it == trees_.end()) {
+    return Error{ErrorCode::kNotFound, "no such tree: " + absolute_name};
+  }
+  return &it->second;
+}
+
+std::map<std::string, std::string> TildeForest::view_of(
+    const std::string& user) const {
+  auto it = views_.find(user);
+  return it == views_.end() ? std::map<std::string, std::string>{}
+                            : it->second;
+}
+
+Result<GlobalFileId> TildeResolver::resolve(
+    const std::string& user, const std::string& tilde_path) const {
+  SHADOW_ASSIGN_OR_RETURN(loc, forest_->locate(user, tilde_path));
+  return plain_.resolve(loc.first, loc.second);
+}
+
+}  // namespace shadow::naming

@@ -1,0 +1,104 @@
+// The Tilde naming scheme [CM86], which §5.3 examines as an alternative
+// organization of the client name space.
+//
+// The directory system is organized into logically independent trees
+// ("tilde trees"). Files are named "~tree/path/in/tree". Each USER binds
+// their own set of tilde aliases to trees — different users may refer to
+// the same file by different tilde names. Every tree has an ABSOLUTE name
+// that is unique across all machines, but (as the paper stresses) an
+// absolute name alone is not sufficient to uniquely identify a file:
+// resolution must continue down to physical identity. Trees may migrate
+// between machines without altering any user's view.
+//
+// TildeResolver plugs this scheme in front of the §6.5 resolver: a tilde
+// name resolves to (tree root host, root path + intra-tree path) and from
+// there through symlinks/mounts to the physical (domain, file id).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "naming/file_id.hpp"
+#include "naming/resolver.hpp"
+#include "util/result.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow::naming {
+
+/// Location of one tilde tree's root.
+struct TildeTree {
+  std::string absolute_name;  // globally unique, machine-independent
+  std::string host;           // current physical location...
+  std::string root_path;      // ...which may change via migrate()
+};
+
+class TildeForest {
+ public:
+  explicit TildeForest(vfs::Cluster* cluster) : cluster_(cluster) {}
+
+  /// Register a tree rooted at (host, root_path); creates the root
+  /// directory if missing. `absolute_name` must be globally unique.
+  Status create_tree(const std::string& absolute_name,
+                     const std::string& host, const std::string& root_path);
+
+  /// Bind `~alias` in `user`'s view to a tree's absolute name.
+  Status bind(const std::string& user, const std::string& alias,
+              const std::string& absolute_name);
+  Status unbind(const std::string& user, const std::string& alias);
+
+  /// Split "~alias/rel/path" into (alias, "rel/path"). "~alias" alone
+  /// yields an empty relative path.
+  static Result<std::pair<std::string, std::string>> parse(
+      const std::string& tilde_path);
+
+  /// True when the path uses tilde syntax.
+  static bool is_tilde_path(const std::string& path) {
+    return !path.empty() && path.front() == '~';
+  }
+
+  /// Resolve a user's tilde name to its physical location (follows
+  /// symlinks and NFS mounts below the tree root).
+  Result<vfs::ResolvedFile> resolve(const std::string& user,
+                                    const std::string& tilde_path) const;
+
+  /// The (host, absolute path) a tilde name currently denotes, before
+  /// symlink/mount resolution — what a write should target.
+  Result<std::pair<std::string, std::string>> locate(
+      const std::string& user, const std::string& tilde_path) const;
+
+  /// Move a tree to another machine, copying its contents; every user's
+  /// view is unchanged ("the actual location of the files is of no
+  /// consequence to the user", §5.3).
+  Status migrate_tree(const std::string& absolute_name,
+                      const std::string& new_host,
+                      const std::string& new_root);
+
+  Result<const TildeTree*> tree(const std::string& absolute_name) const;
+  /// A user's bindings: alias -> absolute tree name.
+  std::map<std::string, std::string> view_of(const std::string& user) const;
+
+ private:
+  vfs::Cluster* cluster_;
+  std::map<std::string, TildeTree> trees_;  // absolute name -> tree
+  // user -> (alias -> absolute name)
+  std::map<std::string, std::map<std::string, std::string>> views_;
+};
+
+/// Drop-in resolver for tilde names: "~alias/path" (for `user`) -> the
+/// same GlobalFileId the plain resolver would produce for the physical
+/// file. Hard links, symlinks and NFS mounts dedupe exactly as in §6.5.
+class TildeResolver {
+ public:
+  TildeResolver(std::string domain_id, const vfs::Cluster* cluster,
+                const TildeForest* forest)
+      : plain_(std::move(domain_id), cluster), forest_(forest) {}
+
+  Result<GlobalFileId> resolve(const std::string& user,
+                               const std::string& tilde_path) const;
+
+ private:
+  NameResolver plain_;
+  const TildeForest* forest_;
+};
+
+}  // namespace shadow::naming

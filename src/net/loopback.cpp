@@ -1,0 +1,46 @@
+#include "net/loopback.hpp"
+
+namespace shadow::net {
+
+Status LoopbackTransport::send(Bytes message) {
+  if (peer_ == nullptr) {
+    return Error{ErrorCode::kIoError, "loopback has no peer wired"};
+  }
+  bytes_sent_ += message.size();
+  ++messages_sent_;
+  peer_->inbox_.push_back(std::move(message));
+  return Status();
+}
+
+std::size_t LoopbackTransport::poll() {
+  std::size_t dispatched = 0;
+  // Dispatch only what is present now; messages enqueued by the receiver's
+  // own handlers wait for the next poll (prevents unbounded recursion).
+  std::size_t batch = inbox_.size();
+  while (batch-- > 0 && !inbox_.empty()) {
+    Bytes message = std::move(inbox_.front());
+    inbox_.pop_front();
+    if (receiver_) receiver_(std::move(message));
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+LoopbackPair make_loopback_pair(const std::string& name_a,
+                                const std::string& name_b) {
+  LoopbackPair pair;
+  pair.a = std::make_unique<LoopbackTransport>(name_b);
+  pair.b = std::make_unique<LoopbackTransport>(name_a);
+  pair.a->set_peer(pair.b.get());
+  pair.b->set_peer(pair.a.get());
+  return pair;
+}
+
+void pump(LoopbackPair& pair, std::size_t max_rounds) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const std::size_t moved = pair.a->poll() + pair.b->poll();
+    if (moved == 0) return;
+  }
+}
+
+}  // namespace shadow::net

@@ -1,0 +1,50 @@
+// In-process transport pair with no timing model: send() enqueues on the
+// peer, poll() drains. Used by unit tests that exercise protocol logic
+// without caring about transfer times.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "net/transport.hpp"
+
+namespace shadow::net {
+
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(std::string peer_name)
+      : peer_name_(std::move(peer_name)) {}
+
+  void set_peer(LoopbackTransport* peer) { peer_ = peer; }
+
+  Status send(Bytes message) override;
+  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+  std::size_t poll() override;
+  u64 bytes_sent() const override { return bytes_sent_; }
+  u64 messages_sent() const override { return messages_sent_; }
+  std::string peer_name() const override { return peer_name_; }
+
+  std::size_t inbox_size() const { return inbox_.size(); }
+
+ private:
+  std::string peer_name_;
+  LoopbackTransport* peer_ = nullptr;
+  ReceiveFn receiver_;
+  std::deque<Bytes> inbox_;
+  u64 bytes_sent_ = 0;
+  u64 messages_sent_ = 0;
+};
+
+struct LoopbackPair {
+  std::unique_ptr<LoopbackTransport> a;
+  std::unique_ptr<LoopbackTransport> b;
+};
+
+LoopbackPair make_loopback_pair(const std::string& name_a,
+                                const std::string& name_b);
+
+/// Poll both ends until neither has pending messages (a quiesce helper for
+/// tests: protocol exchanges often take several round trips).
+void pump(LoopbackPair& pair, std::size_t max_rounds = 1000);
+
+}  // namespace shadow::net

@@ -1,0 +1,61 @@
+#include "net/mux.hpp"
+
+#include "util/logging.hpp"
+
+namespace shadow::net {
+
+Status MuxTransport::send(Bytes message) {
+  bytes_sent_ += message.size();
+  ++messages_sent_;
+  return mux_->send_on(channel_, message);
+}
+
+void MuxTransport::deliver(Bytes message) {
+  if (!receiver_) {
+    SHADOW_WARN() << "mux channel dropped a message: no receiver";
+    return;
+  }
+  receiver_(std::move(message));
+}
+
+Mux::Mux(Transport* carrier) : carrier_(carrier) {
+  carrier_->set_receiver(
+      [this](Bytes wire) { on_carrier_message(std::move(wire)); });
+}
+
+MuxTransport* Mux::channel(u64 id, const std::string& peer_name) {
+  auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(id, std::make_unique<MuxTransport>(this, id,
+                                                         peer_name))
+             .first;
+  }
+  return it->second.get();
+}
+
+Status Mux::send_on(u64 channel, const Bytes& message) {
+  BufWriter w;
+  w.put_varint(channel);
+  w.put_raw(message);
+  return carrier_->send(w.take());
+}
+
+void Mux::on_carrier_message(Bytes wire) {
+  BufReader r(wire);
+  auto channel = r.get_varint();
+  if (!channel.ok()) {
+    ++undeliverable_;
+    return;
+  }
+  auto it = channels_.find(channel.value());
+  if (it == channels_.end()) {
+    ++undeliverable_;
+    SHADOW_WARN() << "mux frame for unopened channel " << channel.value();
+    return;
+  }
+  auto payload = r.get_raw(r.remaining());
+  it->second->deliver(std::move(payload).take());
+}
+
+}  // namespace shadow::net

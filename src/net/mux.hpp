@@ -1,0 +1,70 @@
+// Channel multiplexing: several logical message streams over one shared
+// carrier transport — the 1987 reality of a department sharing a single
+// 9600-baud leased line into the long-haul network (§2.1's "swamped"
+// supercomputer access line, §8.1's congested ARPANET).
+//
+// Framing: varint channel id + payload. Each side constructs a Mux over
+// its carrier endpoint and opens numbered channels; channel i on one side
+// talks to channel i on the other. All channels share the carrier's
+// bandwidth and queueing — that contention is the point.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/transport.hpp"
+#include "util/byte_io.hpp"
+
+namespace shadow::net {
+
+class Mux;
+
+/// One logical channel endpoint; a drop-in net::Transport.
+class MuxTransport final : public Transport {
+ public:
+  MuxTransport(Mux* mux, u64 channel, std::string peer_name)
+      : mux_(mux), channel_(channel), peer_name_(std::move(peer_name)) {}
+
+  Status send(Bytes message) override;
+  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+  std::size_t poll() override { return 0; }  // the carrier's poll drives us
+  u64 bytes_sent() const override { return bytes_sent_; }
+  u64 messages_sent() const override { return messages_sent_; }
+  std::string peer_name() const override { return peer_name_; }
+
+ private:
+  friend class Mux;
+  void deliver(Bytes message);
+
+  Mux* mux_;
+  u64 channel_;
+  std::string peer_name_;
+  ReceiveFn receiver_;
+  u64 bytes_sent_ = 0;
+  u64 messages_sent_ = 0;
+};
+
+/// Demultiplexer over one side's carrier endpoint. The carrier must
+/// outlive the Mux; the Mux must outlive its channels.
+class Mux {
+ public:
+  explicit Mux(Transport* carrier);
+
+  /// Open (or fetch) logical channel `id`. The returned endpoint is owned
+  /// by the Mux.
+  MuxTransport* channel(u64 id, const std::string& peer_name = "peer");
+
+  /// Frames that arrived for channels nobody opened.
+  u64 undeliverable() const { return undeliverable_; }
+
+ private:
+  friend class MuxTransport;
+  Status send_on(u64 channel, const Bytes& message);
+  void on_carrier_message(Bytes wire);
+
+  Transport* carrier_;
+  std::map<u64, std::unique_ptr<MuxTransport>> channels_;
+  u64 undeliverable_ = 0;
+};
+
+}  // namespace shadow::net

@@ -1,0 +1,36 @@
+#include "net/sim_transport.hpp"
+
+#include "util/logging.hpp"
+
+namespace shadow::net {
+
+Status SimTransport::send(Bytes message) {
+  if (peer_ == nullptr) {
+    return Error{ErrorCode::kIoError, "SimTransport has no peer wired"};
+  }
+  SimTransport* peer = peer_;
+  tx_->send(std::move(message),
+            [peer](Bytes delivered) { peer->deliver(std::move(delivered)); });
+  return Status();
+}
+
+void SimTransport::deliver(Bytes message) {
+  if (!receiver_) {
+    SHADOW_WARN() << "SimTransport (peer " << peer_name_
+                  << ") dropped a message: no receiver installed";
+    return;
+  }
+  receiver_(std::move(message));
+}
+
+SimTransportPair make_sim_pair(sim::Link* link, const std::string& name_a,
+                               const std::string& name_b) {
+  SimTransportPair pair;
+  pair.a = std::make_unique<SimTransport>(&link->forward(), name_b);
+  pair.b = std::make_unique<SimTransport>(&link->backward(), name_a);
+  pair.a->set_peer(pair.b.get());
+  pair.b->set_peer(pair.a.get());
+  return pair;
+}
+
+}  // namespace shadow::net

@@ -1,0 +1,51 @@
+// Transport over a simulated link. Created in pairs around a sim::Link:
+// endpoint A sends on the forward channel and the message is delivered to
+// endpoint B after the link's queueing, transmission and latency delays;
+// endpoint B sends on the backward channel.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "net/transport.hpp"
+#include "sim/link.hpp"
+
+namespace shadow::net {
+
+class SimTransport final : public Transport {
+ public:
+  SimTransport(sim::SimplexChannel* tx, std::string peer_name)
+      : tx_(tx), peer_name_(std::move(peer_name)) {}
+
+  /// The endpoint that receives what this one sends. Must be set (by
+  /// make_sim_pair) before the first send.
+  void set_peer(SimTransport* peer) { peer_ = peer; }
+
+  Status send(Bytes message) override;
+  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+  std::size_t poll() override { return 0; }  // simulator dispatches
+  u64 bytes_sent() const override { return tx_->bytes_sent(); }
+  u64 messages_sent() const override { return tx_->messages_sent(); }
+  std::string peer_name() const override { return peer_name_; }
+
+  /// Invoked via the simulator when a message addressed to this endpoint
+  /// arrives.
+  void deliver(Bytes message);
+
+ private:
+  sim::SimplexChannel* tx_;
+  std::string peer_name_;
+  SimTransport* peer_ = nullptr;
+  ReceiveFn receiver_;
+};
+
+struct SimTransportPair {
+  std::unique_ptr<SimTransport> a;  // sends over link.forward()
+  std::unique_ptr<SimTransport> b;  // sends over link.backward()
+};
+
+/// Wire two endpoints around `link`. The link must outlive the endpoints.
+SimTransportPair make_sim_pair(sim::Link* link, const std::string& name_a,
+                               const std::string& name_b);
+
+}  // namespace shadow::net

@@ -1,0 +1,220 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace shadow::net {
+
+namespace {
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("fcntl: ") + std::strerror(errno)};
+  }
+  return Status();
+}
+
+constexpr std::size_t kMaxFrame = 64 * 1024 * 1024;  // sanity bound
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd, std::string peer_name)
+    : fd_(fd), peer_name_(std::move(peer_name)) {
+  (void)set_nonblocking(fd_);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpTransport::~TcpTransport() { close(); }
+
+void TcpTransport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpTransport::send(Bytes message) {
+  if (fd_ < 0) {
+    return Error{ErrorCode::kIoError, "socket closed"};
+  }
+  if (message.size() > kMaxFrame) {
+    return Error{ErrorCode::kInvalidArgument, "frame too large"};
+  }
+  u8 header[4];
+  const u32 len = static_cast<u32>(message.size());
+  header[0] = static_cast<u8>(len);
+  header[1] = static_cast<u8>(len >> 8);
+  header[2] = static_cast<u8>(len >> 16);
+  header[3] = static_cast<u8>(len >> 24);
+
+  auto write_all = [this](const u8* data, std::size_t size) -> Status {
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::write(fd_, data + done, size - done);
+      if (n > 0) {
+        done += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Socket buffer full: wait until writable.
+        struct pollfd pfd {fd_, POLLOUT, 0};
+        ::poll(&pfd, 1, 1000);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return Error{ErrorCode::kIoError,
+                   std::string("write: ") + std::strerror(errno)};
+    }
+    return Status();
+  };
+
+  SHADOW_TRY(write_all(header, sizeof(header)));
+  SHADOW_TRY(write_all(message.data(), message.size()));
+  bytes_sent_ += message.size();
+  ++messages_sent_;
+  return Status();
+}
+
+std::size_t TcpTransport::poll() {
+  if (fd_ < 0) return 0;
+  // Read everything available right now.
+  u8 chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rx_buffer_.insert(rx_buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed_ = true;
+    break;
+  }
+  // Extract complete frames.
+  std::size_t dispatched = 0;
+  std::size_t offset = 0;
+  while (rx_buffer_.size() - offset >= 4) {
+    const u32 len = static_cast<u32>(rx_buffer_[offset]) |
+                    (static_cast<u32>(rx_buffer_[offset + 1]) << 8) |
+                    (static_cast<u32>(rx_buffer_[offset + 2]) << 16) |
+                    (static_cast<u32>(rx_buffer_[offset + 3]) << 24);
+    if (len > kMaxFrame) {
+      peer_closed_ = true;  // protocol violation: poison the connection
+      break;
+    }
+    if (rx_buffer_.size() - offset - 4 < len) break;  // incomplete
+    Bytes message(rx_buffer_.begin() + static_cast<long>(offset + 4),
+                  rx_buffer_.begin() + static_cast<long>(offset + 4 + len));
+    offset += 4 + len;
+    if (receiver_) receiver_(std::move(message));
+    ++dispatched;
+  }
+  if (offset > 0) {
+    rx_buffer_.erase(rx_buffer_.begin(),
+                     rx_buffer_.begin() + static_cast<long>(offset));
+  }
+  return dispatched;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status TcpListener::listen(u16 port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("socket: ") + std::strerror(errno)};
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("bind: ") + std::strerror(errno)};
+  }
+  if (::listen(fd_, 16) < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("listen: ") + std::strerror(errno)};
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("getsockname: ") + std::strerror(errno)};
+  }
+  port_ = ntohs(addr.sin_port);
+  SHADOW_TRY(set_nonblocking(fd_));
+  return Status();
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpListener::accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Error{ErrorCode::kNotFound, "no pending connection"};
+    }
+    return Error{ErrorCode::kIoError,
+                 std::string("accept: ") + std::strerror(errno)};
+  }
+  return std::make_unique<TcpTransport>(client, "client");
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpListener::accept_blocking(
+    int timeout_ms) {
+  struct pollfd pfd {fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) {
+    return Error{ErrorCode::kIoError, "accept timed out"};
+  }
+  return accept();
+}
+
+Result<std::unique_ptr<TcpTransport>> tcp_connect(u16 port,
+                                                  const std::string& peer) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{ErrorCode::kIoError,
+                 std::string("socket: ") + std::strerror(errno)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Error{ErrorCode::kIoError,
+                 std::string("connect: ") + std::strerror(errno)};
+  }
+  return std::make_unique<TcpTransport>(fd, peer);
+}
+
+Result<TcpPair> make_tcp_pair() {
+  TcpListener listener;
+  SHADOW_TRY(listener.listen(0));
+  SHADOW_ASSIGN_OR_RETURN(client, tcp_connect(listener.port(), "server"));
+  SHADOW_ASSIGN_OR_RETURN(server_side, listener.accept_blocking(2000));
+  TcpPair pair;
+  pair.a = std::move(client);
+  pair.b = std::move(server_side);
+  return pair;
+}
+
+}  // namespace shadow::net

@@ -1,0 +1,83 @@
+// Real TCP transport (POSIX sockets) with 4-byte little-endian length
+// framing — the prototype's actual substrate ("a reliable transport
+// protocol (TCP/IP) for interprocess communication", §7).
+//
+// Poll-driven and non-blocking on the receive side: poll() reads whatever
+// the kernel has, reassembles frames and dispatches complete messages.
+// send() performs a blocking write loop (messages are small relative to
+// socket buffers; the figure benches use SimTransport, not this).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace shadow::net {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Takes ownership of a connected socket fd.
+  TcpTransport(int fd, std::string peer_name);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Status send(Bytes message) override;
+  void set_receiver(ReceiveFn fn) override { receiver_ = std::move(fn); }
+  std::size_t poll() override;
+  u64 bytes_sent() const override { return bytes_sent_; }
+  u64 messages_sent() const override { return messages_sent_; }
+  std::string peer_name() const override { return peer_name_; }
+
+  bool closed() const { return fd_ < 0 || peer_closed_; }
+  void close();
+
+ private:
+  int fd_;
+  std::string peer_name_;
+  ReceiveFn receiver_;
+  Bytes rx_buffer_;
+  u64 bytes_sent_ = 0;
+  u64 messages_sent_ = 0;
+  bool peer_closed_ = false;
+};
+
+/// Listening socket for the server side ("a server process listens at a
+/// well-known port for connections from clients", §7).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind and listen on 127.0.0.1:`port` (0 picks an ephemeral port).
+  Status listen(u16 port);
+  u16 port() const { return port_; }
+
+  /// Accept one connection if pending (non-blocking); nullptr if none.
+  Result<std::unique_ptr<TcpTransport>> accept();
+  /// Accept, blocking up to `timeout_ms`.
+  Result<std::unique_ptr<TcpTransport>> accept_blocking(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  u16 port_ = 0;
+};
+
+/// Connect to 127.0.0.1:`port`.
+Result<std::unique_ptr<TcpTransport>> tcp_connect(u16 port,
+                                                  const std::string& peer);
+
+struct TcpPair {
+  std::unique_ptr<TcpTransport> a;
+  std::unique_ptr<TcpTransport> b;
+};
+
+/// Connected localhost socket pair (for integration tests).
+Result<TcpPair> make_tcp_pair();
+
+}  // namespace shadow::net

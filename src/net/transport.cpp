@@ -1,0 +1,5 @@
+#include "net/transport.hpp"
+
+// Interface-only translation unit (keeps the vtable anchored here).
+
+namespace shadow::net {}  // namespace shadow::net

@@ -1,0 +1,48 @@
+// Message transport abstraction.
+//
+// The shadow protocol is transport-agnostic: client and server exchange
+// discrete, reliable, ordered messages. Three implementations:
+//   - SimTransport: runs over sim::Link inside the discrete-event
+//     simulator (deterministic; used by every figure bench),
+//   - LoopbackTransport: immediate in-process queues (unit tests),
+//   - TcpTransport: real POSIX sockets with length framing (examples and
+//     integration tests — the prototype used TCP/IP, §7).
+//
+// All transports are poll-driven and single-threaded: received messages
+// are dispatched to the receiver callback from poll() (or, for
+// SimTransport, from inside the simulator's event loop).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::net {
+
+class Transport {
+ public:
+  using ReceiveFn = std::function<void(Bytes)>;
+
+  virtual ~Transport() = default;
+
+  /// Queue a message for reliable, ordered delivery to the peer.
+  virtual Status send(Bytes message) = 0;
+
+  /// Install the callback invoked once per received message.
+  virtual void set_receiver(ReceiveFn fn) = 0;
+
+  /// Drain pending received messages, dispatching each to the receiver.
+  /// Returns the number dispatched. SimTransport dispatches from the
+  /// simulator instead and returns 0 here.
+  virtual std::size_t poll() = 0;
+
+  virtual u64 bytes_sent() const = 0;
+  virtual u64 messages_sent() const = 0;
+
+  /// Diagnostic name of the other end.
+  virtual std::string peer_name() const = 0;
+};
+
+}  // namespace shadow::net

@@ -1,0 +1,420 @@
+#include "proto/messages.hpp"
+
+namespace shadow::proto {
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kHello: return "Hello";
+    case MessageType::kHelloReply: return "HelloReply";
+    case MessageType::kNotifyNewVersion: return "NotifyNewVersion";
+    case MessageType::kPullRequest: return "PullRequest";
+    case MessageType::kUpdate: return "Update";
+    case MessageType::kUpdateAck: return "UpdateAck";
+    case MessageType::kSubmitJob: return "SubmitJob";
+    case MessageType::kSubmitReply: return "SubmitReply";
+    case MessageType::kStatusQuery: return "StatusQuery";
+    case MessageType::kStatusReply: return "StatusReply";
+    case MessageType::kJobOutput: return "JobOutput";
+    case MessageType::kJobOutputAck: return "JobOutputAck";
+  }
+  return "?";
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kWaitingFiles: return "waiting-for-files";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+MessageType type_of(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> MessageType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) return MessageType::kHello;
+        else if constexpr (std::is_same_v<T, HelloReply>)
+          return MessageType::kHelloReply;
+        else if constexpr (std::is_same_v<T, NotifyNewVersion>)
+          return MessageType::kNotifyNewVersion;
+        else if constexpr (std::is_same_v<T, PullRequest>)
+          return MessageType::kPullRequest;
+        else if constexpr (std::is_same_v<T, Update>)
+          return MessageType::kUpdate;
+        else if constexpr (std::is_same_v<T, UpdateAck>)
+          return MessageType::kUpdateAck;
+        else if constexpr (std::is_same_v<T, SubmitJob>)
+          return MessageType::kSubmitJob;
+        else if constexpr (std::is_same_v<T, SubmitReply>)
+          return MessageType::kSubmitReply;
+        else if constexpr (std::is_same_v<T, StatusQuery>)
+          return MessageType::kStatusQuery;
+        else if constexpr (std::is_same_v<T, StatusReply>)
+          return MessageType::kStatusReply;
+        else if constexpr (std::is_same_v<T, JobOutput>)
+          return MessageType::kJobOutput;
+        else
+          return MessageType::kJobOutputAck;
+      },
+      message);
+}
+
+namespace {
+
+// ---- per-message body encoders ----
+
+void encode_body(const Hello& m, BufWriter& w) {
+  w.put_string(m.client_name);
+  w.put_string(m.domain);
+}
+
+void encode_body(const HelloReply& m, BufWriter& w) {
+  w.put_string(m.server_name);
+}
+
+void encode_body(const NotifyNewVersion& m, BufWriter& w) {
+  m.file.encode(w);
+  w.put_varint(m.version);
+  w.put_varint(m.size);
+  w.put_u32(m.crc);
+}
+
+void encode_body(const PullRequest& m, BufWriter& w) {
+  m.file.encode(w);
+  w.put_varint(m.have_version);
+  w.put_varint(m.want_version);
+}
+
+void encode_body(const Update& m, BufWriter& w) {
+  m.file.encode(w);
+  w.put_varint(m.base_version);
+  w.put_varint(m.new_version);
+  w.put_bytes(m.payload);
+}
+
+void encode_body(const UpdateAck& m, BufWriter& w) {
+  m.file.encode(w);
+  w.put_varint(m.version);
+  w.put_u8(m.ok ? 1 : 0);
+  w.put_string(m.error);
+}
+
+void encode_body(const JobFileRef& m, BufWriter& w) {
+  m.file.encode(w);
+  w.put_string(m.local_name);
+  w.put_varint(m.version);
+  w.put_u32(m.crc);
+}
+
+void encode_body(const SubmitJob& m, BufWriter& w) {
+  w.put_varint(m.client_job_token);
+  w.put_string(m.command_file);
+  w.put_varint(m.files.size());
+  for (const auto& f : m.files) encode_body(f, w);
+  w.put_string(m.output_name);
+  w.put_string(m.error_name);
+  w.put_string(m.output_route);
+}
+
+void encode_body(const SubmitReply& m, BufWriter& w) {
+  w.put_varint(m.client_job_token);
+  w.put_varint(m.job_id);
+  w.put_u8(m.accepted ? 1 : 0);
+  w.put_string(m.reason);
+}
+
+void encode_body(const StatusQuery& m, BufWriter& w) {
+  w.put_varint(m.job_id);
+}
+
+void encode_body(const JobStatusInfo& m, BufWriter& w) {
+  w.put_varint(m.job_id);
+  w.put_u8(static_cast<u8>(m.state));
+  w.put_string(m.detail);
+}
+
+void encode_body(const StatusReply& m, BufWriter& w) {
+  w.put_varint(m.jobs.size());
+  for (const auto& j : m.jobs) encode_body(j, w);
+}
+
+void encode_body(const JobOutput& m, BufWriter& w) {
+  w.put_varint(m.job_id);
+  w.put_varint(m.client_job_token);
+  w.put_varint_signed(m.exit_code);
+  w.put_string(m.output_name);
+  w.put_string(m.error_name);
+  w.put_bytes(m.output_payload);
+  w.put_bytes(m.error_payload);
+  w.put_varint(m.output_base_generation);
+  w.put_varint(m.output_generation);
+}
+
+void encode_body(const JobOutputAck& m, BufWriter& w) {
+  w.put_varint(m.job_id);
+  w.put_u8(m.ok ? 1 : 0);
+  w.put_string(m.error);
+}
+
+// ---- per-message body decoders ----
+
+Result<Hello> decode_hello(BufReader& r) {
+  Hello m;
+  SHADOW_ASSIGN_OR_RETURN(client_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(domain, r.get_string());
+  m.client_name = std::move(client_name);
+  m.domain = std::move(domain);
+  return m;
+}
+
+Result<HelloReply> decode_hello_reply(BufReader& r) {
+  HelloReply m;
+  SHADOW_ASSIGN_OR_RETURN(server_name, r.get_string());
+  m.server_name = std::move(server_name);
+  return m;
+}
+
+Result<NotifyNewVersion> decode_notify(BufReader& r) {
+  NotifyNewVersion m;
+  SHADOW_ASSIGN_OR_RETURN(file, naming::GlobalFileId::decode(r));
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(size, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+  m.file = std::move(file);
+  m.version = version;
+  m.size = size;
+  m.crc = crc;
+  return m;
+}
+
+Result<PullRequest> decode_pull(BufReader& r) {
+  PullRequest m;
+  SHADOW_ASSIGN_OR_RETURN(file, naming::GlobalFileId::decode(r));
+  SHADOW_ASSIGN_OR_RETURN(have, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(want, r.get_varint());
+  m.file = std::move(file);
+  m.have_version = have;
+  m.want_version = want;
+  return m;
+}
+
+Result<Update> decode_update(BufReader& r) {
+  Update m;
+  SHADOW_ASSIGN_OR_RETURN(file, naming::GlobalFileId::decode(r));
+  SHADOW_ASSIGN_OR_RETURN(base, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(payload, r.get_bytes());
+  m.file = std::move(file);
+  m.base_version = base;
+  m.new_version = version;
+  m.payload = std::move(payload);
+  return m;
+}
+
+Result<UpdateAck> decode_update_ack(BufReader& r) {
+  UpdateAck m;
+  SHADOW_ASSIGN_OR_RETURN(file, naming::GlobalFileId::decode(r));
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(ok, r.get_u8());
+  SHADOW_ASSIGN_OR_RETURN(error, r.get_string());
+  m.file = std::move(file);
+  m.version = version;
+  m.ok = ok != 0;
+  m.error = std::move(error);
+  return m;
+}
+
+Result<JobFileRef> decode_file_ref(BufReader& r) {
+  JobFileRef m;
+  SHADOW_ASSIGN_OR_RETURN(file, naming::GlobalFileId::decode(r));
+  SHADOW_ASSIGN_OR_RETURN(local_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+  m.file = std::move(file);
+  m.local_name = std::move(local_name);
+  m.version = version;
+  m.crc = crc;
+  return m;
+}
+
+Result<SubmitJob> decode_submit(BufReader& r) {
+  SubmitJob m;
+  SHADOW_ASSIGN_OR_RETURN(token, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(command_file, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(count, r.get_varint());
+  m.client_job_token = token;
+  m.command_file = std::move(command_file);
+  if (count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "file count exceeds buffer"};
+  }
+  for (u64 i = 0; i < count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(ref, decode_file_ref(r));
+    m.files.push_back(std::move(ref));
+  }
+  SHADOW_ASSIGN_OR_RETURN(output_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(error_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(output_route, r.get_string());
+  m.output_name = std::move(output_name);
+  m.error_name = std::move(error_name);
+  m.output_route = std::move(output_route);
+  return m;
+}
+
+Result<SubmitReply> decode_submit_reply(BufReader& r) {
+  SubmitReply m;
+  SHADOW_ASSIGN_OR_RETURN(token, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(accepted, r.get_u8());
+  SHADOW_ASSIGN_OR_RETURN(reason, r.get_string());
+  m.client_job_token = token;
+  m.job_id = job_id;
+  m.accepted = accepted != 0;
+  m.reason = std::move(reason);
+  return m;
+}
+
+Result<StatusQuery> decode_status_query(BufReader& r) {
+  StatusQuery m;
+  SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+  m.job_id = job_id;
+  return m;
+}
+
+Result<JobStatusInfo> decode_status_info(BufReader& r) {
+  JobStatusInfo m;
+  SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(state, r.get_u8());
+  SHADOW_ASSIGN_OR_RETURN(detail, r.get_string());
+  if (state > static_cast<u8>(JobState::kDelivered)) {
+    return Error{ErrorCode::kProtocolError, "bad job state"};
+  }
+  m.job_id = job_id;
+  m.state = static_cast<JobState>(state);
+  m.detail = std::move(detail);
+  return m;
+}
+
+Result<StatusReply> decode_status_reply(BufReader& r) {
+  StatusReply m;
+  SHADOW_ASSIGN_OR_RETURN(count, r.get_varint());
+  if (count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "job count exceeds buffer"};
+  }
+  for (u64 i = 0; i < count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(info, decode_status_info(r));
+    m.jobs.push_back(std::move(info));
+  }
+  return m;
+}
+
+Result<JobOutput> decode_job_output(BufReader& r) {
+  JobOutput m;
+  SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(token, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(exit_code, r.get_varint_signed());
+  SHADOW_ASSIGN_OR_RETURN(output_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(error_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(output_payload, r.get_bytes());
+  SHADOW_ASSIGN_OR_RETURN(error_payload, r.get_bytes());
+  SHADOW_ASSIGN_OR_RETURN(base_gen, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(gen, r.get_varint());
+  m.job_id = job_id;
+  m.client_job_token = token;
+  m.exit_code = static_cast<int>(exit_code);
+  m.output_name = std::move(output_name);
+  m.error_name = std::move(error_name);
+  m.output_payload = std::move(output_payload);
+  m.error_payload = std::move(error_payload);
+  m.output_base_generation = base_gen;
+  m.output_generation = gen;
+  return m;
+}
+
+Result<JobOutputAck> decode_job_output_ack(BufReader& r) {
+  JobOutputAck m;
+  SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(ok, r.get_u8());
+  SHADOW_ASSIGN_OR_RETURN(error, r.get_string());
+  m.job_id = job_id;
+  m.ok = ok != 0;
+  m.error = std::move(error);
+  return m;
+}
+
+}  // namespace
+
+Bytes encode_message(const Message& message) {
+  BufWriter w;
+  w.put_u8(static_cast<u8>(type_of(message)));
+  std::visit([&w](const auto& m) { encode_body(m, w); }, message);
+  return w.take();
+}
+
+Result<Message> decode_message(const Bytes& wire) {
+  BufReader r(wire);
+  SHADOW_ASSIGN_OR_RETURN(tag, r.get_u8());
+  Result<Message> out = [&]() -> Result<Message> {
+    switch (static_cast<MessageType>(tag)) {
+      case MessageType::kHello: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_hello(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kHelloReply: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_hello_reply(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kNotifyNewVersion: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_notify(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kPullRequest: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_pull(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kUpdate: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_update(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kUpdateAck: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_update_ack(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kSubmitJob: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_submit(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kSubmitReply: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_submit_reply(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kStatusQuery: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_status_query(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kStatusReply: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_status_reply(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kJobOutput: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_job_output(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kJobOutputAck: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_job_output_ack(r));
+        return Message(std::move(m));
+      }
+    }
+    return Error{ErrorCode::kProtocolError,
+                 "unknown message type " + std::to_string(tag)};
+  }();
+  if (out.ok() && !r.at_end()) {
+    return Error{ErrorCode::kProtocolError, "trailing bytes after message"};
+  }
+  return out;
+}
+
+}  // namespace shadow::proto

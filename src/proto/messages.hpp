@@ -1,0 +1,190 @@
+// Shadow protocol wire messages (paper §6.4).
+//
+// The exchange is demand driven: the client only ever *notifies* (small,
+// fixed-size messages); the server decides when to *pull* file content.
+//
+//   client                              server
+//   ------ NotifyNewVersion ----------->        (end of editing session)
+//   <----------------- PullRequest -----        (server's chosen moment)
+//   ------ Update (delta|full) -------->
+//   <------------------- UpdateAck -----        (client may GC versions)
+//   ------ SubmitJob ------------------>        (names + versions only)
+//   <----------------- SubmitReply -----
+//   <----- PullRequest / UpdateAck ----->       (missing files, if any)
+//   ------ StatusQuery ---------------->
+//   <----------------- StatusReply -----
+//   <------------------- JobOutput -----        (run complete; may be a
+//   ------ JobOutputAck --------------->         delta — reverse shadow)
+//
+// Update and JobOutput payloads are a diff::Delta encoded and then wrapped
+// by compress::compress() (self-describing codec tag), so compression is
+// negotiated per message at zero protocol cost.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "naming/file_id.hpp"
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::proto {
+
+enum class MessageType : u8 {
+  kHello = 1,
+  kHelloReply = 2,
+  kNotifyNewVersion = 3,
+  kPullRequest = 4,
+  kUpdate = 5,
+  kUpdateAck = 6,
+  kSubmitJob = 7,
+  kSubmitReply = 8,
+  kStatusQuery = 9,
+  kStatusReply = 10,
+  kJobOutput = 11,
+  kJobOutputAck = 12,
+};
+
+const char* message_type_name(MessageType type);
+
+/// Lifecycle of a job at the server (also reported over the wire).
+enum class JobState : u8 {
+  kQueued = 0,        // accepted, not yet scheduled
+  kWaitingFiles = 1,  // scheduled but input files not all cached yet
+  kRunning = 2,
+  kCompleted = 3,     // ran; output not yet delivered
+  kFailed = 4,
+  kDelivered = 5,     // output transferred and acknowledged
+};
+
+const char* job_state_name(JobState state);
+
+// ---- session ----
+
+struct Hello {
+  std::string client_name;  // client host identity
+  std::string domain;       // client's naming domain id
+};
+
+struct HelloReply {
+  std::string server_name;
+};
+
+// ---- cache maintenance (§6.4) ----
+
+/// Client -> server: a new version of a shadow file exists. Contains no
+/// file content — the server pulls when it wants it.
+struct NotifyNewVersion {
+  naming::GlobalFileId file;
+  u64 version = 0;
+  u64 size = 0;  // content size (lets the server plan cache space)
+  u32 crc = 0;
+};
+
+/// Server -> client: transmit version `want_version` of `file` as a delta
+/// against `have_version` (0 = server holds nothing; send the full file).
+struct PullRequest {
+  naming::GlobalFileId file;
+  u64 have_version = 0;
+  u64 want_version = 0;
+};
+
+/// Client -> server: the requested content. If the client no longer
+/// stores `base_version`, it falls back to a full-content delta and sets
+/// base_version = 0 (§6.3.2).
+struct Update {
+  naming::GlobalFileId file;
+  u64 base_version = 0;
+  u64 new_version = 0;
+  Bytes payload;  // compress(encode(diff::Delta))
+};
+
+/// Server -> client: cache now holds `version`; older client-side versions
+/// may be garbage-collected. ok=false reports an apply failure (e.g. CRC
+/// mismatch); the client should renotify so the server can re-pull full.
+struct UpdateAck {
+  naming::GlobalFileId file;
+  u64 version = 0;
+  bool ok = true;
+  std::string error;
+};
+
+// ---- batch subsystem (§6.2) ----
+
+struct JobFileRef {
+  naming::GlobalFileId file;
+  std::string local_name;  // name the command file uses for this input
+  u64 version = 0;
+  u32 crc = 0;
+};
+
+struct SubmitJob {
+  u64 client_job_token = 0;  // client-chosen correlation id
+  std::string command_file;  // job command file content (one command/line)
+  std::vector<JobFileRef> files;
+  std::string output_name;  // where the client wants stdout stored
+  std::string error_name;   // where the client wants stderr stored
+  /// Client name to deliver output to; empty = the submitting client
+  /// (output routing, §8.3 future work).
+  std::string output_route;
+};
+
+struct SubmitReply {
+  u64 client_job_token = 0;
+  u64 job_id = 0;
+  bool accepted = true;
+  std::string reason;
+};
+
+struct StatusQuery {
+  u64 job_id = 0;  // 0 = all jobs of this client (§6.2 Status)
+};
+
+struct JobStatusInfo {
+  u64 job_id = 0;
+  JobState state = JobState::kQueued;
+  std::string detail;
+};
+
+struct StatusReply {
+  std::vector<JobStatusInfo> jobs;
+};
+
+/// Server -> client: results of a completed job. Payloads are
+/// compress(encode(diff::Delta)); with reverse shadow processing enabled
+/// the delta is against the previous output of the same job signature.
+struct JobOutput {
+  u64 job_id = 0;
+  u64 client_job_token = 0;
+  int exit_code = 0;
+  std::string output_name;
+  std::string error_name;
+  Bytes output_payload;
+  Bytes error_payload;
+  /// Output-cache generation the delta is based on (0 = full content).
+  u64 output_base_generation = 0;
+  u64 output_generation = 0;
+};
+
+struct JobOutputAck {
+  u64 job_id = 0;
+  bool ok = true;
+  std::string error;
+};
+
+using Message =
+    std::variant<Hello, HelloReply, NotifyNewVersion, PullRequest, Update,
+                 UpdateAck, SubmitJob, SubmitReply, StatusQuery, StatusReply,
+                 JobOutput, JobOutputAck>;
+
+MessageType type_of(const Message& message);
+
+/// Serialize a message (1-byte type tag + body).
+Bytes encode_message(const Message& message);
+
+/// Parse a message; rejects malformed or truncated input.
+Result<Message> decode_message(const Bytes& wire);
+
+}  // namespace shadow::proto

@@ -1,0 +1,29 @@
+#include "server/load_monitor.hpp"
+
+#include <cmath>
+
+namespace shadow::server {
+
+void LoadMonitor::advance() const {
+  if (sim_ == nullptr) return;
+  const sim::SimTime now = sim_->now();
+  if (now <= last_update_) return;
+  const double dt = static_cast<double>(now - last_update_);
+  const double tau = static_cast<double>(config_.decay);
+  // Classic exponential smoothing toward the current demand.
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  average_ += (demand_ - average_) * alpha;
+  last_update_ = now;
+}
+
+void LoadMonitor::set_demand(double demand) {
+  advance();
+  demand_ = demand;
+}
+
+double LoadMonitor::load_average() const {
+  advance();
+  return average_;
+}
+
+}  // namespace shadow::server

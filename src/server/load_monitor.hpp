@@ -1,0 +1,58 @@
+// Load monitoring for the demand-driven server (paper §5.2: "By
+// monitoring the load average, cache size to disk space ratio, number of
+// incoming jobs, network delays, etc., the remote host can decide when is
+// the best time to retrieve the needed files and to schedule and run the
+// jobs"; §3 Adaptability: "the system should dynamically tune itself").
+//
+// The monitor keeps a UNIX-style exponentially-decayed load average over
+// the number of running jobs, sampled on the simulated clock. The server
+// consults it before issuing pulls and starting jobs; above the high-water
+// mark it defers and retries after a backoff interval.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace shadow::server {
+
+struct LoadMonitorConfig {
+  /// Load average above which pulls and job starts are deferred.
+  /// <= 0 disables load-based deferral entirely.
+  double high_water = 0.0;
+  /// Decay time constant of the load average, microseconds.
+  sim::SimTime decay = 60 * sim::kMicrosPerSecond;
+  /// How long to wait before re-checking when deferred.
+  sim::SimTime backoff = 5 * sim::kMicrosPerSecond;
+};
+
+class LoadMonitor {
+ public:
+  LoadMonitor(LoadMonitorConfig config, sim::Simulator* simulator)
+      : config_(config), sim_(simulator) {}
+
+  /// Current instantaneous demand being averaged (set by the server to
+  /// its running-job count whenever it changes).
+  void set_demand(double demand);
+
+  /// Exponentially-decayed load average as of now.
+  double load_average() const;
+
+  /// True when new work should be deferred.
+  bool overloaded() const {
+    return config_.high_water > 0 && load_average() > config_.high_water;
+  }
+
+  const LoadMonitorConfig& config() const { return config_; }
+
+ private:
+  /// Fold the elapsed time into the average.
+  void advance() const;
+
+  LoadMonitorConfig config_;
+  sim::Simulator* sim_;
+  mutable double average_ = 0.0;
+  double demand_ = 0.0;
+  mutable sim::SimTime last_update_ = 0;
+};
+
+}  // namespace shadow::server

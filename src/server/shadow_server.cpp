@@ -1,0 +1,717 @@
+#include "server/shadow_server.hpp"
+
+#include <algorithm>
+
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "vfs/path.hpp"
+
+namespace shadow::server {
+
+const char* pull_policy_name(PullPolicy policy) {
+  switch (policy) {
+    case PullPolicy::kEager: return "eager";
+    case PullPolicy::kLazyOnSubmit: return "lazy-on-submit";
+  }
+  return "?";
+}
+
+ShadowServer::ShadowServer(ServerConfig config, sim::Simulator* simulator)
+    : config_(std::move(config)),
+      sim_(simulator),
+      load_monitor_(config_.load, simulator),
+      cache_(config_.cache_budget, config_.eviction) {}
+
+bool ShadowServer::load_says_wait() {
+  if (!load_monitor_.overloaded()) return false;
+  ++stats_.deferred_by_load;
+  // Self-schedule one retry per backoff window (§3: the system tunes
+  // itself — no user or client intervention).
+  if (sim_ != nullptr && !load_retry_scheduled_) {
+    load_retry_scheduled_ = true;
+    sim_->schedule(load_monitor_.config().backoff, [this] {
+      load_retry_scheduled_ = false;
+      drain_deferred_pulls();
+      schedule_jobs();
+    });
+  }
+  return true;
+}
+
+void ShadowServer::attach(net::Transport* transport) {
+  auto conn = std::make_unique<Connection>();
+  conn->transport = transport;
+  Connection* raw = conn.get();
+  transport->set_receiver(
+      [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+  connections_.push_back(std::move(conn));
+}
+
+void ShadowServer::send(Connection* conn, const proto::Message& m) {
+  if (conn == nullptr || conn->transport == nullptr) return;
+  Status st = conn->transport->send(proto::encode_message(m));
+  if (!st.ok()) {
+    SHADOW_WARN() << config_.name << ": send to " << conn->client_name
+                  << " failed: " << st.to_string();
+  }
+}
+
+void ShadowServer::send_to(const std::string& client_name,
+                           const proto::Message& m) {
+  auto it = clients_.find(client_name);
+  if (it == clients_.end()) {
+    SHADOW_WARN() << config_.name << ": no connection for client "
+                  << client_name;
+    return;
+  }
+  send(it->second, m);
+}
+
+void ShadowServer::on_message(Connection* conn, Bytes wire) {
+  auto decoded = proto::decode_message(wire);
+  if (!decoded.ok()) {
+    SHADOW_WARN() << config_.name
+                  << ": dropping malformed message: "
+                  << decoded.error().to_string();
+    return;
+  }
+  std::visit(
+      [&](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::Hello> ||
+                      std::is_same_v<T, proto::NotifyNewVersion> ||
+                      std::is_same_v<T, proto::Update> ||
+                      std::is_same_v<T, proto::SubmitJob> ||
+                      std::is_same_v<T, proto::StatusQuery> ||
+                      std::is_same_v<T, proto::JobOutputAck>) {
+          handle(conn, m);
+        } else {
+          SHADOW_WARN() << config_.name << ": unexpected message type "
+                        << proto::message_type_name(proto::type_of(
+                               proto::Message(std::move(m))));
+        }
+      },
+      decoded.value());
+}
+
+ShadowServer::FileState& ShadowServer::file_state(
+    const naming::GlobalFileId& id) {
+  const std::string key = domains_.cache_key(id);
+  auto it = files_.find(key);
+  if (it == files_.end()) {
+    FileState state;
+    state.id = id;
+    state.cache_key = key;
+    it = files_.emplace(key, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void ShadowServer::handle(Connection* conn, const proto::Hello& m) {
+  conn->client_name = m.client_name;
+  clients_[m.client_name] = conn;
+  // Ensure the domain directory exists (paper §5.3: the server's name
+  // space is divided into per-domain directories).
+  domains_.domain(m.domain);
+  proto::HelloReply reply;
+  reply.server_name = config_.name;
+  send(conn, reply);
+}
+
+void ShadowServer::handle(Connection* conn, const proto::NotifyNewVersion& m) {
+  ++stats_.notifies_received;
+  FileState& state = file_state(m.file);
+  // Version numbers are per-client. If a different workstation (same NFS
+  // file, different mount path — §6.5) announces content that differs from
+  // what we track, restart this file's history under the new owner.
+  const bool owner_changed = !state.owner_client.empty() &&
+                             state.owner_client != conn->client_name;
+  // A version number at or below what we already track, with DIFFERENT
+  // content, from the same client means the client restarted and its
+  // numbering began anew.
+  const bool client_restarted =
+      !owner_changed && !state.owner_client.empty() &&
+      m.version <= state.latest_known &&
+      (m.crc != state.latest_crc || m.size != state.latest_size);
+  if ((owner_changed &&
+       (m.crc != state.latest_crc || m.size != state.latest_size)) ||
+      client_restarted) {
+    cache_.erase(state.cache_key);
+    state.latest_known = 0;
+    if (state.pull_outstanding != 0 && outstanding_pulls_ > 0) {
+      --outstanding_pulls_;
+    }
+    state.pull_outstanding = 0;
+  }
+  if (m.version > state.latest_known) {
+    state.latest_known = m.version;
+    state.latest_size = m.size;
+    state.latest_crc = m.crc;
+  }
+  state.owner_client = conn->client_name;
+  if (config_.pull_policy == PullPolicy::kEager) {
+    maybe_pull(state);
+  }
+}
+
+void ShadowServer::maybe_pull(FileState& state) {
+  if (state.latest_known == 0) return;
+  const auto cached = cache_.version_of(state.cache_key);
+  if (cached && *cached >= state.latest_known) return;  // up to date
+  if (state.pull_outstanding >= state.latest_known) return;  // in flight
+  if (state.owner_client.empty()) return;
+  if (load_says_wait()) {
+    state.pull_wanted = true;  // picked up by the load monitor's retry
+    return;
+  }
+  if (outstanding_pulls_ >= config_.max_outstanding_pulls) {
+    // Flow control: the server refuses to be overrun (§5.2); retry after
+    // the next update drains a slot.
+    state.pull_wanted = true;
+    ++stats_.pulls_deferred;
+    return;
+  }
+  proto::PullRequest pull;
+  pull.file = state.id;
+  pull.have_version = cached.value_or(0);
+  pull.want_version = state.latest_known;
+  state.pull_outstanding = state.latest_known;
+  state.pull_wanted = false;
+  ++outstanding_pulls_;
+  ++stats_.pulls_sent;
+  send_to(state.owner_client, pull);
+}
+
+void ShadowServer::drain_deferred_pulls() {
+  for (auto& [key, state] : files_) {
+    if (outstanding_pulls_ >= config_.max_outstanding_pulls) return;
+    if (state.pull_wanted) maybe_pull(state);
+  }
+}
+
+void ShadowServer::handle(Connection* conn, const proto::Update& m) {
+  ++stats_.updates_received;
+  stats_.update_bytes += m.payload.size();
+  FileState& state = file_state(m.file);
+  state.owner_client = conn->client_name;
+  if (state.pull_outstanding != 0) {
+    state.pull_outstanding = 0;
+    if (outstanding_pulls_ > 0) --outstanding_pulls_;
+  } else {
+    ++stats_.unsolicited_updates;  // request-driven client pushing
+  }
+
+  // Unwrap compression, then the delta.
+  auto raw = compress::decompress(m.payload);
+  if (!raw.ok()) {
+    proto::UpdateAck nack;
+    nack.file = m.file;
+    nack.version = m.new_version;
+    nack.ok = false;
+    nack.error = raw.error().to_string();
+    send(conn, nack);
+    return;
+  }
+  BufReader reader(raw.value());
+  auto delta = diff::Delta::decode(reader);
+  if (delta.ok() && !reader.at_end()) {
+    delta = Error{ErrorCode::kProtocolError,
+                  "trailing bytes after delta payload"};
+  }
+  if (!delta.ok()) {
+    proto::UpdateAck nack;
+    nack.file = m.file;
+    nack.version = m.new_version;
+    nack.ok = false;
+    nack.error = delta.error().to_string();
+    send(conn, nack);
+    return;
+  }
+
+  std::string content;
+  if (delta.value().needs_base()) {
+    ++stats_.delta_transfers;
+    auto base = cache_.get(state.cache_key);
+    if (!base.ok() || base.value()->version != m.base_version) {
+      // Best-effort cache lost the base (or holds the wrong one): fall
+      // back to a full transfer (§5.1). No ack — the re-pull supersedes.
+      SHADOW_DEBUG() << config_.name << ": base v" << m.base_version
+                     << " unavailable for " << m.file.display()
+                     << "; re-pulling full";
+      proto::PullRequest pull;
+      pull.file = m.file;
+      pull.have_version = 0;
+      pull.want_version = m.new_version;
+      state.pull_outstanding = m.new_version;
+      ++outstanding_pulls_;
+      ++stats_.pulls_sent;
+      send(conn, pull);
+      return;
+    }
+    auto applied = delta.value().apply(base.value()->content);
+    if (!applied.ok()) {
+      proto::PullRequest pull;
+      pull.file = m.file;
+      pull.have_version = 0;
+      pull.want_version = m.new_version;
+      state.pull_outstanding = m.new_version;
+      ++outstanding_pulls_;
+      ++stats_.pulls_sent;
+      send(conn, pull);
+      return;
+    }
+    content = std::move(applied).take();
+  } else {
+    ++stats_.full_transfers;
+    content = delta.value().full;
+  }
+
+  const u32 content_crc =
+      crc32(reinterpret_cast<const u8*>(content.data()), content.size());
+  if (m.new_version > state.latest_known) {
+    state.latest_known = m.new_version;
+    state.latest_size = content.size();
+    state.latest_crc = content_crc;
+  }
+
+  // Pin the content if an active job needs it and the cache may refuse it.
+  bool needed_by_job = false;
+  for (const auto& [id, record] : queue_.all()) {
+    if (record.state != proto::JobState::kQueued &&
+        record.state != proto::JobState::kWaitingFiles) {
+      continue;
+    }
+    for (const auto& ref : record.files) {
+      if (domains_.cache_key(ref.file) == state.cache_key &&
+          m.new_version >= ref.version) {
+        needed_by_job = true;
+      }
+    }
+  }
+  Status put =
+      cache_.put(state.cache_key, m.new_version, content, content_crc);
+  if (!put.ok() && needed_by_job) {
+    pinned_[state.cache_key] = PinnedFile{m.new_version, content};
+  }
+
+  proto::UpdateAck ack;
+  ack.file = m.file;
+  ack.version = m.new_version;
+  ack.ok = true;
+  send(conn, ack);
+
+  drain_deferred_pulls();
+  schedule_jobs();
+}
+
+void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
+  ++stats_.jobs_submitted;
+  // Admission control: a saturated batch queue refuses new work rather
+  // than letting it pile up without bound (§5.2's overload concern).
+  if (config_.max_queued_jobs != 0 &&
+      queue_.active_count() >= config_.max_queued_jobs) {
+    ++stats_.jobs_rejected;
+    proto::SubmitReply reject;
+    reject.client_job_token = m.client_job_token;
+    reject.job_id = 0;
+    reject.accepted = false;
+    reject.reason = "job queue full (" +
+                    std::to_string(config_.max_queued_jobs) + " active)";
+    send(conn, reject);
+    return;
+  }
+  job::JobRecord record;
+  record.client_name = conn->client_name;
+  record.client_job_token = m.client_job_token;
+  record.command_file = m.command_file;
+  record.files = m.files;
+  record.output_name = m.output_name;
+  record.error_name = m.error_name;
+  record.output_route = m.output_route;
+  record.detail = "queued";
+  const u64 job_id = queue_.add(std::move(record));
+
+  // Record what the job will need; the submitting client serves pulls.
+  for (const auto& ref : m.files) {
+    FileState& state = file_state(ref.file);
+    // Owner change with different content: per-client version numbers
+    // restart, exactly as in the NotifyNewVersion handler.
+    if (!state.owner_client.empty() &&
+        state.owner_client != conn->client_name &&
+        ref.crc != state.latest_crc) {
+      cache_.erase(state.cache_key);
+      state.latest_known = 0;
+      if (state.pull_outstanding != 0 && outstanding_pulls_ > 0) {
+        --outstanding_pulls_;
+      }
+      state.pull_outstanding = 0;
+    }
+    if (ref.version > state.latest_known) {
+      state.latest_known = ref.version;
+      state.latest_crc = ref.crc;
+      // The submitter holds this version; it must serve the pull.
+      state.owner_client = conn->client_name;
+    }
+    if (state.owner_client.empty()) state.owner_client = conn->client_name;
+  }
+
+  proto::SubmitReply reply;
+  reply.client_job_token = m.client_job_token;
+  reply.job_id = job_id;
+  reply.accepted = true;
+  send(conn, reply);
+
+  schedule_jobs();
+}
+
+bool ShadowServer::files_ready(const job::JobRecord& record) const {
+  for (const auto& ref : record.files) {
+    // cache_key() interns, so use the const-safe lookup path.
+    const auto* dir = domains_.find(ref.file.domain);
+    if (dir == nullptr) return false;
+    const auto sid = dir->lookup(ref.file);
+    if (!sid) return false;
+    const std::string key =
+        ref.file.domain + "/" + std::to_string(*sid);
+    const auto cached = cache_.version_of(key);
+    if (cached && *cached >= ref.version) continue;
+    auto pinned = pinned_.find(key);
+    if (pinned != pinned_.end() && pinned->second.version >= ref.version) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void ShadowServer::schedule_jobs() {
+  for (auto& [id, record] : queue_.all_mutable()) {
+    if (record.state != proto::JobState::kQueued &&
+        record.state != proto::JobState::kWaitingFiles) {
+      continue;
+    }
+    if (files_ready(record)) {
+      if (running_jobs_ < config_.max_concurrent_jobs &&
+          !load_says_wait()) {
+        start_job(record);
+      }
+      continue;
+    }
+    // Demand-driven: pull exactly what the job is missing.
+    if (record.state == proto::JobState::kQueued) {
+      (void)queue_.transition(record.job_id, proto::JobState::kWaitingFiles,
+                              "waiting for input files");
+    }
+    for (const auto& ref : record.files) {
+      FileState& state = file_state(ref.file);
+      maybe_pull(state);
+    }
+  }
+}
+
+void ShadowServer::start_job(job::JobRecord& record) {
+  std::map<std::string, std::string> sandbox;
+  for (const auto& ref : record.files) {
+    const std::string key = domains_.cache_key(ref.file);
+    auto cached = cache_.get(key);
+    if (cached.ok() && cached.value()->version >= ref.version) {
+      sandbox[ref.local_name] = cached.value()->content;
+      continue;
+    }
+    auto pinned = pinned_.find(key);
+    if (pinned != pinned_.end() && pinned->second.version >= ref.version) {
+      sandbox[ref.local_name] = pinned->second.content;
+      continue;
+    }
+    // Evicted between readiness check and start: go back to waiting.
+    (void)queue_.transition(record.job_id, proto::JobState::kWaitingFiles,
+                            "input evicted before start; re-pulling");
+    FileState& state = file_state(ref.file);
+    maybe_pull(state);
+    return;
+  }
+
+  (void)queue_.transition(record.job_id, proto::JobState::kRunning,
+                          "running");
+  ++running_jobs_;
+  load_monitor_.set_demand(static_cast<double>(running_jobs_));
+
+  auto outcome = executor_.run_command_file(record.command_file,
+                                            std::move(sandbox));
+  job::ExecutionResult result;
+  if (outcome.ok()) {
+    result = std::move(outcome).take();
+  } else {
+    result.exit_code = 2;
+    result.error = outcome.error().to_string() + "\n";
+  }
+
+  const u64 job_id = record.job_id;
+  if (sim_ != nullptr) {
+    const double seconds =
+        static_cast<double>(result.cpu_cost) / config_.cpu_ops_per_second;
+    sim_->schedule(sim::from_seconds(seconds),
+                   [this, job_id, result = std::move(result)]() mutable {
+                     finish_job(job_id, std::move(result));
+                   });
+  } else {
+    finish_job(job_id, std::move(result));
+  }
+}
+
+void ShadowServer::finish_job(u64 job_id, job::ExecutionResult result) {
+  auto found = queue_.find(job_id);
+  if (!found.ok()) return;
+  job::JobRecord& record = *found.value();
+  if (running_jobs_ > 0) --running_jobs_;
+  load_monitor_.set_demand(static_cast<double>(running_jobs_));
+
+  record.exit_code = result.exit_code;
+  record.cpu_cost = result.cpu_cost;
+  record.error_content = result.error;
+  // The job's declared output file, if it produced one, takes priority;
+  // otherwise stdout is the output (classic batch semantics).
+  auto produced = result.sandbox.find(record.output_name);
+  record.output_content = (produced != result.sandbox.end())
+                              ? produced->second
+                              : result.output;
+
+  if (result.exit_code == 0) {
+    ++stats_.jobs_completed;
+    (void)queue_.transition(job_id, proto::JobState::kCompleted, "completed");
+  } else {
+    ++stats_.jobs_failed;
+    (void)queue_.transition(job_id, proto::JobState::kFailed,
+                            "failed: " + result.error);
+  }
+
+  release_pins(record);
+  deliver_output(record);
+
+  // A freed job slot may unblock the next queued job.
+  schedule_jobs();
+}
+
+void ShadowServer::release_pins(const job::JobRecord& finished) {
+  for (const auto& ref : finished.files) {
+    const std::string key = domains_.cache_key(ref.file);
+    auto it = pinned_.find(key);
+    if (it == pinned_.end()) continue;
+    bool still_needed = false;
+    for (const auto& [id, record] : queue_.all()) {
+      if (record.job_id == finished.job_id) continue;
+      if (record.state != proto::JobState::kQueued &&
+          record.state != proto::JobState::kWaitingFiles &&
+          record.state != proto::JobState::kRunning) {
+        continue;
+      }
+      for (const auto& other_ref : record.files) {
+        if (domains_.cache_key(other_ref.file) == key) still_needed = true;
+      }
+    }
+    if (!still_needed) pinned_.erase(it);
+  }
+}
+
+std::string ShadowServer::job_signature(const job::JobRecord& record) {
+  std::string sig = record.client_name + "|" + record.output_name + "|" +
+                    record.command_file;
+  std::vector<std::string> keys;
+  for (const auto& ref : record.files) keys.push_back(ref.file.key());
+  std::sort(keys.begin(), keys.end());
+  for (const auto& k : keys) sig += "|" + k;
+  return sig;
+}
+
+void ShadowServer::deliver_output(job::JobRecord& record) {
+  const std::string route = record.output_route.empty()
+                                ? record.client_name
+                                : record.output_route;
+
+  proto::JobOutput out;
+  out.job_id = record.job_id;
+  out.client_job_token = record.client_job_token;
+  out.exit_code = record.exit_code;
+  out.output_name = record.output_name;
+  out.error_name = record.error_name;
+
+  // Reverse shadow processing (§8.3): delta against the previous output of
+  // the same job. Only applicable when output goes back to the same place.
+  diff::Delta output_delta = diff::Delta::make_full(record.output_content);
+  const std::string sig = job_signature(record);
+  if (config_.reverse_shadow) {
+    auto prev = output_cache_.find(sig);
+    if (prev != output_cache_.end()) {
+      output_delta =
+          diff::Delta::compute(prev->second.content, record.output_content,
+                               config_.output_delta_algo);
+      if (output_delta.needs_base()) {
+        out.output_base_generation = prev->second.generation;
+        ++stats_.output_delta_hits;
+      }
+    }
+    auto& entry = output_cache_[sig];
+    entry.generation += 1;
+    entry.content = record.output_content;
+    out.output_generation = entry.generation;
+  }
+
+  BufWriter w;
+  output_delta.encode(w);
+  out.output_payload = compress::compress(w.take(), config_.output_codec);
+
+  BufWriter ew;
+  diff::Delta::make_full(record.error_content).encode(ew);
+  out.error_payload = compress::compress(ew.take(), config_.output_codec);
+
+  ++stats_.outputs_sent;
+  stats_.output_bytes += out.output_payload.size() + out.error_payload.size();
+  send_to(route, out);
+}
+
+void ShadowServer::handle(Connection* conn, const proto::StatusQuery& m) {
+  proto::StatusReply reply;
+  if (m.job_id == 0) {
+    reply.jobs = queue_.status_for_client(conn->client_name);
+  } else {
+    auto found = queue_.find(m.job_id);
+    if (found.ok()) {
+      proto::JobStatusInfo info;
+      info.job_id = m.job_id;
+      info.state = found.value()->state;
+      info.detail = found.value()->detail;
+      reply.jobs.push_back(std::move(info));
+    }
+  }
+  send(conn, reply);
+}
+
+void ShadowServer::handle(Connection* conn, const proto::JobOutputAck& m) {
+  auto found = queue_.find(m.job_id);
+  if (!found.ok()) return;
+  job::JobRecord& record = *found.value();
+  if (m.ok) {
+    if (record.state == proto::JobState::kCompleted ||
+        record.state == proto::JobState::kFailed) {
+      (void)queue_.transition(m.job_id, proto::JobState::kDelivered,
+                              "output delivered");
+    }
+    return;
+  }
+  // Client could not apply the output delta (lost its previous output):
+  // resend as full content.
+  SHADOW_DEBUG() << config_.name << ": client " << conn->client_name
+                 << " nacked output of job " << m.job_id
+                 << " (" << m.error << "); resending full";
+  proto::JobOutput out;
+  out.job_id = record.job_id;
+  out.client_job_token = record.client_job_token;
+  out.exit_code = record.exit_code;
+  out.output_name = record.output_name;
+  out.error_name = record.error_name;
+  if (config_.reverse_shadow) {
+    auto it = output_cache_.find(job_signature(record));
+    if (it != output_cache_.end()) out.output_generation = it->second.generation;
+  }
+  BufWriter w;
+  diff::Delta::make_full(record.output_content).encode(w);
+  out.output_payload = compress::compress(w.take(), config_.output_codec);
+  BufWriter ew;
+  diff::Delta::make_full(record.error_content).encode(ew);
+  out.error_payload = compress::compress(ew.take(), config_.output_codec);
+  ++stats_.outputs_sent;
+  stats_.output_bytes += out.output_payload.size() + out.error_payload.size();
+  const std::string route = record.output_route.empty()
+                                ? record.client_name
+                                : record.output_route;
+  send_to(route, out);
+}
+
+namespace {
+constexpr u32 kServerSnapshotMagic = 0x53485356;  // "SHSV"
+constexpr u8 kSnapshotVersion = 1;
+}  // namespace
+
+Bytes ShadowServer::save_state() const {
+  BufWriter w;
+  w.put_u32(kServerSnapshotMagic);
+  w.put_u8(kSnapshotVersion);
+  cache_.encode(w);
+  domains_.encode(w);
+  w.put_varint(files_.size());
+  for (const auto& [key, state] : files_) {
+    w.put_string(key);
+    state.id.encode(w);
+    w.put_varint(state.latest_known);
+    w.put_varint(state.latest_size);
+    w.put_u32(state.latest_crc);
+    w.put_string(state.owner_client);
+  }
+  w.put_varint(output_cache_.size());
+  for (const auto& [sig, entry] : output_cache_) {
+    w.put_string(sig);
+    w.put_varint(entry.generation);
+    w.put_string(entry.content);
+  }
+  return w.take();
+}
+
+Status ShadowServer::restore_state(const Bytes& snapshot) {
+  BufReader r(snapshot);
+  SHADOW_ASSIGN_OR_RETURN(magic, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_u8());
+  if (magic != kServerSnapshotMagic || version != kSnapshotVersion) {
+    return Error{ErrorCode::kInvalidArgument, "not a server snapshot"};
+  }
+  SHADOW_TRY(cache_.restore(r));
+  SHADOW_ASSIGN_OR_RETURN(domains, naming::DomainMap::decode(r));
+  domains_ = std::move(domains);
+  SHADOW_ASSIGN_OR_RETURN(file_count, r.get_varint());
+  if (file_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "file count exceeds data"};
+  }
+  files_.clear();
+  for (u64 i = 0; i < file_count; ++i) {
+    FileState state;
+    SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(id, naming::GlobalFileId::decode(r));
+    SHADOW_ASSIGN_OR_RETURN(latest, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(size, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+    SHADOW_ASSIGN_OR_RETURN(owner, r.get_string());
+    state.id = std::move(id);
+    state.cache_key = key;
+    state.latest_known = latest;
+    state.latest_size = size;
+    state.latest_crc = crc;
+    state.owner_client = std::move(owner);
+    // No pulls are in flight in a fresh process.
+    state.pull_outstanding = 0;
+    state.pull_wanted = false;
+    files_.emplace(std::move(key), std::move(state));
+  }
+  SHADOW_ASSIGN_OR_RETURN(output_count, r.get_varint());
+  if (output_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "output count exceeds data"};
+  }
+  output_cache_.clear();
+  for (u64 i = 0; i < output_count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(sig, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(generation, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(content, r.get_string());
+    output_cache_[sig] = OutputCacheEntry{generation, std::move(content)};
+  }
+  if (!r.at_end()) {
+    return Error{ErrorCode::kProtocolError, "trailing bytes in snapshot"};
+  }
+  outstanding_pulls_ = 0;
+  return Status();
+}
+
+void ShadowServer::evict_file(const naming::GlobalFileId& id) {
+  const std::string key = domains_.cache_key(id);
+  cache_.erase(key);
+  pinned_.erase(key);
+}
+
+}  // namespace shadow::server

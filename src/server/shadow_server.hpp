@@ -1,0 +1,193 @@
+// The shadow server (paper §4, §6): runs at the supercomputer site,
+// maintains the best-effort cache of shadow files, pulls updates on its
+// own schedule (demand-driven flow control, §5.2), accepts job
+// submissions, executes them, and transfers results back — optionally as
+// deltas against the previous output of the same job (reverse shadow
+// processing, §8.3) and optionally routed to a different client (§8.3).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/shadow_cache.hpp"
+#include "compress/compress.hpp"
+#include "diff/delta.hpp"
+#include "job/executor.hpp"
+#include "job/queue.hpp"
+#include "naming/domain_map.hpp"
+#include "net/transport.hpp"
+#include "proto/messages.hpp"
+#include "server/load_monitor.hpp"
+#include "sim/simulator.hpp"
+#include "util/result.hpp"
+
+namespace shadow::server {
+
+/// When does the server pull a new version into its cache?
+enum class PullPolicy : u8 {
+  /// Immediately on NotifyNewVersion — updates flow in the background
+  /// while the user keeps editing (§5.1's concurrency advantage).
+  kEager = 0,
+  /// Only when a submitted job actually needs the file.
+  kLazyOnSubmit = 1,
+};
+
+const char* pull_policy_name(PullPolicy policy);
+
+struct ServerConfig {
+  std::string name = "supercomputer";
+  u64 cache_budget = 0;  // bytes; 0 = unlimited
+  cache::EvictionPolicy eviction = cache::EvictionPolicy::kLru;
+  PullPolicy pull_policy = PullPolicy::kEager;
+  /// Cap on simultaneously outstanding PullRequests (overrun avoidance —
+  /// the flow-control advantage §5.2 claims for demand-driven).
+  std::size_t max_outstanding_pulls = 4;
+  /// Cache job outputs and ship output deltas on re-runs (§8.3).
+  bool reverse_shadow = false;
+  diff::Algorithm output_delta_algo = diff::Algorithm::kHuntMcIlroy;
+  /// Compression applied to outbound JobOutput payloads (§8.3).
+  compress::Codec output_codec = compress::Codec::kStored;
+  /// Abstract executor ops per second of simulated CPU.
+  double cpu_ops_per_second = 50e6;
+  std::size_t max_concurrent_jobs = 4;
+  /// Admission control: queued+waiting+running jobs above this are
+  /// REJECTED at submit (SubmitReply.accepted = false). 0 = unlimited.
+  std::size_t max_queued_jobs = 0;
+  /// Load-average-based deferral (§5.2 / §3 adaptability). Disabled by
+  /// default (high_water <= 0).
+  LoadMonitorConfig load;
+};
+
+struct ServerStats {
+  u64 notifies_received = 0;
+  u64 pulls_sent = 0;
+  u64 pulls_deferred = 0;   // postponed by flow control
+  u64 updates_received = 0;
+  u64 update_bytes = 0;     // Update payload bytes received
+  u64 full_transfers = 0;   // updates that carried full content
+  u64 delta_transfers = 0;  // updates that carried a delta
+  u64 jobs_submitted = 0;
+  u64 jobs_rejected = 0;  // admission control refusals
+  u64 jobs_completed = 0;
+  u64 jobs_failed = 0;
+  u64 outputs_sent = 0;
+  u64 output_bytes = 0;     // JobOutput payload bytes sent
+  u64 output_delta_hits = 0;  // reverse-shadow deltas shipped
+  u64 unsolicited_updates = 0;  // request-driven clients pushing
+  u64 deferred_by_load = 0;   // pulls/starts postponed by the load monitor
+};
+
+class ShadowServer {
+ public:
+  explicit ShadowServer(ServerConfig config, sim::Simulator* simulator = nullptr);
+
+  /// Attach a client connection. The server installs itself as the
+  /// transport's receiver; the client identifies itself with Hello.
+  void attach(net::Transport* transport);
+
+  const ServerConfig& config() const { return config_; }
+  const ServerStats& stats() const { return stats_; }
+  const LoadMonitor& load_monitor() const { return load_monitor_; }
+  cache::ShadowCache& file_cache() { return cache_; }
+  const job::JobQueue& jobs() const { return queue_; }
+  naming::DomainMap& domains() { return domains_; }
+
+  /// Failure injection for tests: drop a cached file as if evicted.
+  void evict_file(const naming::GlobalFileId& id);
+
+  /// Snapshot the server's durable state: the shadow cache, the per-domain
+  /// name maps, per-file version tracking and the reverse-shadow output
+  /// cache. Live connections and in-flight jobs are NOT included — after
+  /// a crash, clients reconnect and resubmit; the cache is what makes the
+  /// resubmissions cheap.
+  Bytes save_state() const;
+  /// Restore a snapshot into a freshly constructed server (same config).
+  Status restore_state(const Bytes& snapshot);
+
+ private:
+  struct Connection {
+    net::Transport* transport = nullptr;
+    std::string client_name;  // empty until Hello
+  };
+
+  /// Per-file server-side knowledge.
+  struct FileState {
+    naming::GlobalFileId id;
+    std::string cache_key;
+    u64 latest_known = 0;  // newest version any client announced
+    u64 latest_size = 0;
+    u32 latest_crc = 0;
+    u64 pull_outstanding = 0;  // version requested, 0 = none
+    std::string owner_client;  // client that serves pulls for this file
+    bool pull_wanted = false;  // deferred by flow control; retry later
+  };
+
+  void on_message(Connection* conn, Bytes wire);
+  void handle(Connection* conn, const proto::Hello& m);
+  void handle(Connection* conn, const proto::NotifyNewVersion& m);
+  void handle(Connection* conn, const proto::Update& m);
+  void handle(Connection* conn, const proto::SubmitJob& m);
+  void handle(Connection* conn, const proto::StatusQuery& m);
+  void handle(Connection* conn, const proto::JobOutputAck& m);
+
+  void send_to(const std::string& client_name, const proto::Message& m);
+  void send(Connection* conn, const proto::Message& m);
+
+  FileState& file_state(const naming::GlobalFileId& id);
+  /// Issue a PullRequest for `state` if flow control allows.
+  void maybe_pull(FileState& state);
+  /// Retry pulls deferred by the outstanding-pull cap.
+  void drain_deferred_pulls();
+
+  /// Move jobs forward: pull missing files, start runnable jobs.
+  void schedule_jobs();
+  bool files_ready(const job::JobRecord& record) const;
+  void start_job(job::JobRecord& record);
+  void finish_job(u64 job_id, job::ExecutionResult result);
+  void deliver_output(job::JobRecord& record);
+
+  /// Reverse-shadow signature: identifies "the same job" across re-runs.
+  static std::string job_signature(const job::JobRecord& record);
+
+  /// Drop pinned copies no longer needed by any active job.
+  void release_pins(const job::JobRecord& finished);
+
+  /// Postpone work while overloaded; retries are self-scheduled.
+  bool load_says_wait();
+
+  ServerConfig config_;
+  sim::Simulator* sim_;  // nullptr = execute instantaneously
+  LoadMonitor load_monitor_;
+  bool load_retry_scheduled_ = false;
+  cache::ShadowCache cache_;
+  naming::DomainMap domains_;
+  job::JobQueue queue_;
+  job::Executor executor_;
+  ServerStats stats_;
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::string, Connection*> clients_;  // name -> connection
+  std::map<std::string, FileState> files_;      // cache key -> state
+  std::size_t outstanding_pulls_ = 0;
+  std::size_t running_jobs_ = 0;
+
+  struct OutputCacheEntry {
+    u64 generation = 0;
+    std::string content;
+  };
+  std::map<std::string, OutputCacheEntry> output_cache_;  // signature -> prev
+
+  /// Content the best-effort cache refused (over budget) but an active job
+  /// still needs; released when the last interested job finishes.
+  struct PinnedFile {
+    u64 version = 0;
+    std::string content;
+  };
+  std::map<std::string, PinnedFile> pinned_;
+};
+
+}  // namespace shadow::server

@@ -1,0 +1,63 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace shadow::sim {
+
+LinkConfig LinkConfig::cypress_9600() {
+  LinkConfig c;
+  c.name = "cypress-9600";
+  c.bits_per_second = 9600.0;
+  c.latency = 100'000;  // store-and-forward hops on capillary links
+  c.per_message_overhead = 44;  // TCP/IP header over a serial line
+  c.congestion_factor = 1.0;    // dedicated leased line
+  return c;
+}
+
+LinkConfig LinkConfig::arpanet_56k() {
+  LinkConfig c;
+  c.name = "arpanet-56k";
+  c.bits_per_second = 56'000.0;
+  c.latency = 45'000;  // IMP path Purdue -> Illinois (a short haul)
+  c.per_message_overhead = 44;
+  // The paper stresses that ARPANET carried heavy shared traffic and that
+  // effective per-user bandwidth was far below the trunk rate [Nag84].
+  c.congestion_factor = 2.5;
+  return c;
+}
+
+LinkConfig LinkConfig::ethernet_10m() {
+  LinkConfig c;
+  c.name = "ethernet-10m";
+  c.bits_per_second = 10'000'000.0;
+  c.latency = 1'000;
+  c.per_message_overhead = 58;
+  c.congestion_factor = 1.0;
+  return c;
+}
+
+double SimplexChannel::transmission_seconds(std::size_t payload) const {
+  const double bits =
+      static_cast<double>(payload + config_.per_message_overhead) * 8.0;
+  return bits / config_.bits_per_second * config_.congestion_factor;
+}
+
+void SimplexChannel::send(Bytes message, DeliverFn deliver) {
+  const std::size_t payload = message.size();
+  const SimTime tx =
+      from_seconds(transmission_seconds(payload));
+  const SimTime start = std::max(sim_->now(), busy_until_);
+  const SimTime done = start + tx;
+  busy_until_ = done;
+  bytes_sent_ += payload;
+  wire_bytes_ += payload + config_.per_message_overhead;
+  ++messages_;
+  const SimTime arrival = done + config_.latency;
+  sim_->schedule_at(arrival,
+                    [msg = std::move(message), cb = std::move(deliver)]() mutable {
+                      cb(std::move(msg));
+                    });
+}
+
+}  // namespace shadow::sim

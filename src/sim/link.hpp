@@ -1,0 +1,88 @@
+// Point-to-point link model — the stand-in for the paper's Cypress 9600
+// baud lines and ARPANET 56 kbps connections (see DESIGN.md substitution
+// table).
+//
+// A link is full duplex; each direction is a serial pipe: a message's
+// transmission occupies the pipe for (framed size * 8 / bits_per_second) *
+// congestion_factor seconds, transmissions queue behind one another, and
+// delivery additionally lags by the propagation latency. Per-message
+// framing overhead models packet headers (TCP/IP over a serial line).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+
+namespace shadow::sim {
+
+struct LinkConfig {
+  std::string name = "link";
+  double bits_per_second = 9600.0;
+  SimTime latency = 50'000;            // one-way propagation, microseconds
+  u64 per_message_overhead = 44;       // framing bytes per message
+  double congestion_factor = 1.0;      // >1 models a shared, loaded net
+
+  /// Cypress: 9600 baud leased lines (paper §8.1).
+  static LinkConfig cypress_9600();
+  /// ARPANET path to Univ. of Illinois: 56 kbps trunk, real throughput
+  /// reduced by sharing/congestion ([Nag84], §8.1).
+  static LinkConfig arpanet_56k();
+  /// A modern-ish fast link for contrast experiments.
+  static LinkConfig ethernet_10m();
+};
+
+/// One direction of a link.
+class SimplexChannel {
+ public:
+  SimplexChannel(Simulator* simulator, LinkConfig config)
+      : sim_(simulator), config_(std::move(config)) {}
+
+  using DeliverFn = std::function<void(Bytes)>;
+
+  /// Queue `message` for transmission; `deliver` fires at arrival time.
+  void send(Bytes message, DeliverFn deliver);
+
+  /// Seconds a message of `payload` bytes occupies the pipe.
+  double transmission_seconds(std::size_t payload) const;
+
+  u64 bytes_sent() const { return bytes_sent_; }        // payload bytes
+  u64 wire_bytes_sent() const { return wire_bytes_; }   // incl. framing
+  u64 messages_sent() const { return messages_; }
+  SimTime busy_until() const { return busy_until_; }
+
+ private:
+  Simulator* sim_;
+  LinkConfig config_;
+  SimTime busy_until_ = 0;
+  u64 bytes_sent_ = 0;
+  u64 wire_bytes_ = 0;
+  u64 messages_ = 0;
+};
+
+/// Full-duplex link: two independent simplex channels.
+class Link {
+ public:
+  Link(Simulator* simulator, const LinkConfig& config)
+      : forward_(simulator, config), backward_(simulator, config) {}
+
+  SimplexChannel& forward() { return forward_; }
+  SimplexChannel& backward() { return backward_; }
+
+  u64 total_payload_bytes() const {
+    return forward_.bytes_sent() + backward_.bytes_sent();
+  }
+  u64 total_wire_bytes() const {
+    return forward_.wire_bytes_sent() + backward_.wire_bytes_sent();
+  }
+  u64 total_messages() const {
+    return forward_.messages_sent() + backward_.messages_sent();
+  }
+
+ private:
+  SimplexChannel forward_;
+  SimplexChannel backward_;
+};
+
+}  // namespace shadow::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace shadow::sim {
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the function (events are small).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace shadow::sim

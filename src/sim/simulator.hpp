@@ -1,0 +1,68 @@
+// Deterministic discrete-event simulator.
+//
+// Time is in integer microseconds. Events scheduled for the same instant
+// fire in FIFO order of scheduling (a strictly increasing sequence number
+// breaks ties), so a run is a pure function of its inputs — DESIGN.md
+// invariant 6. The figure benches run the whole client/server protocol on
+// top of this clock; transfer durations come from the Link model.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace shadow::sim {
+
+/// Simulated time in microseconds.
+using SimTime = u64;
+
+constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+inline double to_seconds(SimTime t) {
+  return static_cast<double>(t) / kMicrosPerSecond;
+}
+inline SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * kMicrosPerSecond + 0.5);
+}
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now.
+  void schedule(SimTime delay, std::function<void()> fn);
+  /// Schedule at an absolute time (must be >= now()).
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run events until the queue drains. Returns the number processed.
+  std::size_t run();
+  /// Run events with timestamp <= `until`, advancing the clock to exactly
+  /// `until` even if the queue drains earlier.
+  std::size_t run_until(SimTime until);
+  /// Process a single event; returns false if the queue is empty.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    u64 seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace shadow::sim

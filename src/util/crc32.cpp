@@ -1,0 +1,41 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace shadow {
+
+namespace {
+std::array<u32, 256> make_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<u32, 256>& table() {
+  static const std::array<u32, 256> t = make_table();
+  return t;
+}
+}  // namespace
+
+void Crc32::update(const u8* data, std::size_t len) {
+  const auto& t = table();
+  for (std::size_t i = 0; i < len; ++i) {
+    state_ = t[(state_ ^ data[i]) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+u32 crc32(const u8* data, std::size_t len) {
+  Crc32 c;
+  c.update(data, len);
+  return c.value();
+}
+
+u32 crc32(const Bytes& data) { return crc32(data.data(), data.size()); }
+
+}  // namespace shadow

@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3 polynomial) used for content fingerprints and wire
+// integrity checks. The paper's protocol must detect a stale or corrupted
+// cached version before applying a delta to it; we use CRC32 of the file
+// content as the cheap fingerprint.
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace shadow {
+
+/// Incremental CRC-32 computation.
+class Crc32 {
+ public:
+  /// Feed `len` bytes.
+  void update(const u8* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+
+  /// Finalized CRC value of everything fed so far.
+  u32 value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  u32 state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte buffer.
+u32 crc32(const Bytes& data);
+u32 crc32(const u8* data, std::size_t len);
+
+}  // namespace shadow

@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace shadow {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+std::mutex g_log_mutex;
+
+void stderr_sink(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+}  // namespace
+
+Logger::Logger() : sink_(stderr_sink) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(LogSink sink) {
+  sink_ = sink ? std::move(sink) : LogSink(stderr_sink);
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace shadow

@@ -1,0 +1,67 @@
+// Minimal leveled logger with pluggable sink.
+//
+// Default sink writes to stderr; tests install a capturing sink. Logging is
+// process-global and cheap when the level is filtered out.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace shadow {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Global logger configuration.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink. Pass nullptr to restore the stderr sink.
+  void set_sink(LogSink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  LogSink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define SHADOW_LOG(level)                                  \
+  if (!::shadow::Logger::instance().enabled(level)) {      \
+  } else                                                   \
+    ::shadow::detail::LogLine(level)
+
+#define SHADOW_TRACE() SHADOW_LOG(::shadow::LogLevel::kTrace)
+#define SHADOW_DEBUG() SHADOW_LOG(::shadow::LogLevel::kDebug)
+#define SHADOW_INFO() SHADOW_LOG(::shadow::LogLevel::kInfo)
+#define SHADOW_WARN() SHADOW_LOG(::shadow::LogLevel::kWarn)
+#define SHADOW_ERROR() SHADOW_LOG(::shadow::LogLevel::kError)
+
+}  // namespace shadow

@@ -1,0 +1,25 @@
+#include "util/result.hpp"
+
+namespace shadow {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kProtocolError: return "PROTOCOL_ERROR";
+    case ErrorCode::kVersionMismatch: return "VERSION_MISMATCH";
+    case ErrorCode::kCacheMiss: return "CACHE_MISS";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kNotADirectory: return "NOT_A_DIRECTORY";
+    case ErrorCode::kIsADirectory: return "IS_A_DIRECTORY";
+    case ErrorCode::kLoopDetected: return "LOOP_DETECTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace shadow

@@ -1,0 +1,143 @@
+// Lightweight Result<T> error-handling type.
+//
+// The shadow library does not throw exceptions across module boundaries:
+// fallible operations return Result<T>, which either holds a value or an
+// Error carrying a code and a human-readable message. This mirrors the
+// paper's "best effort" philosophy — a missing cached file, an evicted
+// shadow or a lost version is an expected outcome that callers must handle,
+// not an exceptional one.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace shadow {
+
+/// Machine-readable error categories used throughout the library.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,          // file / version / job / cache entry absent
+  kAlreadyExists,     // creating something that exists
+  kInvalidArgument,   // caller passed something malformed
+  kProtocolError,     // malformed or out-of-order wire message
+  kVersionMismatch,   // delta base version not available
+  kCacheMiss,         // shadow copy evicted or never stored (best-effort)
+  kIoError,           // transport / socket failure
+  kPermissionDenied,  // operation not allowed in current state
+  kResourceExhausted, // disk budget, queue limit, retention limit
+  kNotADirectory,     // path component is not a directory
+  kIsADirectory,      // file operation on a directory
+  kLoopDetected,      // symlink / mount resolution cycle
+  kInternal,          // invariant violation (bug)
+};
+
+/// Human-readable name for an ErrorCode.
+const char* error_code_name(ErrorCode code);
+
+/// An error: code + context message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  Error() = default;
+  Error(ErrorCode c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  std::string to_string() const {
+    return std::string(error_code_name(code)) + ": " + message;
+  }
+};
+
+/// Result<T>: holds either a T or an Error.
+///
+/// Usage:
+///   Result<int> r = parse(s);
+///   if (!r.ok()) return r.error();
+///   use(r.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT implicit
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT implicit
+  Result(ErrorCode code, std::string msg)
+      : data_(Error{code, std::move(msg)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Value if ok, otherwise the provided fallback.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : error().code;
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+  Status(ErrorCode code, std::string msg)
+      : error_(code, std::move(msg)), failed_(true) {}
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+  ErrorCode code() const { return failed_ ? error_.code : ErrorCode::kOk; }
+  std::string to_string() const {
+    return failed_ ? error_.to_string() : "OK";
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+/// Propagate an error from a Result/Status expression.
+#define SHADOW_TRY(expr)                         \
+  do {                                           \
+    auto shadow_try_tmp_ = (expr);               \
+    if (!shadow_try_tmp_.ok()) {                 \
+      return shadow_try_tmp_.error();            \
+    }                                            \
+  } while (0)
+
+/// Assign a Result's value or propagate its error.
+#define SHADOW_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto lhs##_result_ = (expr);                   \
+  if (!lhs##_result_.ok()) {                     \
+    return lhs##_result_.error();                \
+  }                                              \
+  auto lhs = std::move(lhs##_result_).take()
+
+}  // namespace shadow

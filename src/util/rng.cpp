@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+namespace shadow {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+u64 Rng::below(u64 bound) {
+  // Rejection sampling to avoid modulo bias.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+u64 Rng::between(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::string Rng::ascii_line(std::size_t length) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:";
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    s.push_back(kAlphabet[below(sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+Bytes Rng::bytes(std::size_t length) {
+  Bytes b(length);
+  for (auto& byte : b) byte = static_cast<u8>(below(256));
+  return b;
+}
+
+}  // namespace shadow

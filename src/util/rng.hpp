@@ -1,0 +1,45 @@
+// Deterministic pseudo-random generator (xoshiro256**) used by workload
+// generators, property tests and the simulator. Seeded explicitly so every
+// experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace shadow {
+
+/// xoshiro256** seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed5eedULL) { reseed(seed); }
+
+  void reseed(u64 seed);
+
+  /// Uniform 64-bit value.
+  u64 next();
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  u64 below(u64 bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  u64 between(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Random printable ASCII text line of the given length (no newline).
+  std::string ascii_line(std::size_t length);
+
+  /// Random byte buffer.
+  Bytes bytes(std::size_t length);
+
+ private:
+  u64 state_[4];
+};
+
+}  // namespace shadow

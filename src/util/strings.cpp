@@ -1,0 +1,112 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+
+namespace shadow {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_nonempty(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  for (auto& part : split(s, delim)) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string format_bytes(double bytes) {
+  char buf[64];
+  if (bytes < 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  } else if (bytes < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+Result<Bytes> read_disk_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kNotFound, "cannot open " + path};
+  }
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Error{ErrorCode::kIoError, "read error on " + path};
+  }
+  return data;
+}
+
+Status write_disk_file(const std::string& path, const Bytes& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Error{ErrorCode::kIoError, "cannot create " + tmp};
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return Error{ErrorCode::kIoError, "write error on " + tmp};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Error{ErrorCode::kIoError, "rename failed for " + path};
+  }
+  return Status();
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm %.1fs", minutes,
+                  seconds - minutes * 60.0);
+  }
+  return buf;
+}
+
+}  // namespace shadow

@@ -1,0 +1,41 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow {
+
+/// Split on a delimiter character. "a,,b" -> {"a","","b"}; "" -> {""}.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split, dropping empty fields. "a,,b" -> {"a","b"}; "" -> {}.
+std::vector<std::string> split_nonempty(std::string_view s, char delim);
+
+/// Join with a delimiter.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Format a byte count as "12.3 KB" style for reports.
+std::string format_bytes(double bytes);
+
+/// Format seconds as "1m 23.4s" style for reports.
+std::string format_duration(double seconds);
+
+/// Read a whole file from the REAL filesystem (used by the CLI tools for
+/// snapshots; the simulated world uses vfs instead).
+Result<Bytes> read_disk_file(const std::string& path);
+/// Write a whole file to the real filesystem (atomic via rename).
+Status write_disk_file(const std::string& path, const Bytes& data);
+
+}  // namespace shadow

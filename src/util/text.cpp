@@ -1,0 +1,42 @@
+#include "util/text.hpp"
+
+namespace shadow {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.emplace_back(text.substr(start, i - start + 1));
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) {
+    lines.emplace_back(text.substr(start));
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& line : lines) total += line.size();
+  out.reserve(total);
+  for (const auto& line : lines) out += line;
+  return out;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t n = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++n;
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) ++n;
+  return n;
+}
+
+}  // namespace shadow

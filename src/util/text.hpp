@@ -1,0 +1,27 @@
+// Line-oriented text model used by the diff algorithms.
+//
+// A text file is a sequence of lines where every line RETAINS its trailing
+// '\n' except possibly the last one. With this representation
+// join_lines(split_lines(t)) == t for every input, including files with no
+// trailing newline and empty files — the exact round-trip the diff/patch
+// invariant depends on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace shadow {
+
+/// Split into newline-terminated lines (terminators retained).
+/// "" -> {}; "a\nb" -> {"a\n", "b"}; "a\n" -> {"a\n"}.
+std::vector<std::string> split_lines(const std::string& text);
+
+/// Inverse of split_lines: plain concatenation.
+std::string join_lines(const std::vector<std::string>& lines);
+
+/// Count lines using the same convention as split_lines.
+std::size_t count_lines(const std::string& text);
+
+}  // namespace shadow

@@ -1,0 +1,32 @@
+// Fundamental type aliases shared across the shadow library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shadow {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Raw byte sequence used for file contents and wire payloads.
+using Bytes = std::vector<u8>;
+
+/// Convert a string to a byte vector (no encoding assumptions).
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Convert raw bytes back to a std::string.
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace shadow

@@ -1,0 +1,297 @@
+#include "version/version_store.hpp"
+
+#include "util/crc32.hpp"
+
+namespace shadow::version {
+
+const char* storage_mode_name(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kFull: return "full";
+    case StorageMode::kReverseDelta: return "reverse-delta";
+  }
+  return "?";
+}
+
+namespace {
+u32 content_crc(const std::string& content) {
+  return crc32(reinterpret_cast<const u8*>(content.data()), content.size());
+}
+}  // namespace
+
+VersionNumber VersionChain::append(std::string content) {
+  const VersionNumber number = next_++;
+  const u32 crc = content_crc(content);
+  if (mode_ == StorageMode::kFull) {
+    Version v;
+    v.number = number;
+    v.crc = crc;
+    v.content = std::move(content);
+    full_.emplace(number, std::move(v));
+  } else {
+    if (has_latest_) {
+      // Demote the old latest to a reverse delta from the new content.
+      ReverseEntry entry;
+      entry.delta = diff::Delta::compute(content, latest_.content,
+                                         diff::Algorithm::kHuntMcIlroy);
+      entry.crc = latest_.crc;
+      reverse_.emplace(latest_.number, std::move(entry));
+    }
+    latest_.number = number;
+    latest_.crc = crc;
+    latest_.content = std::move(content);
+    has_latest_ = true;
+  }
+  prune();
+  return number;
+}
+
+std::optional<VersionNumber> VersionChain::latest_number() const {
+  if (mode_ == StorageMode::kFull) {
+    if (full_.empty()) return std::nullopt;
+    return full_.rbegin()->first;
+  }
+  if (!has_latest_) return std::nullopt;
+  return latest_.number;
+}
+
+Result<Version> VersionChain::latest() const {
+  if (mode_ == StorageMode::kFull) {
+    if (full_.empty()) {
+      return Error{ErrorCode::kNotFound, "no versions recorded"};
+    }
+    return full_.rbegin()->second;
+  }
+  if (!has_latest_) {
+    return Error{ErrorCode::kNotFound, "no versions recorded"};
+  }
+  return latest_;
+}
+
+bool VersionChain::has(VersionNumber n) const {
+  if (mode_ == StorageMode::kFull) return full_.count(n) != 0;
+  return (has_latest_ && latest_.number == n) || reverse_.count(n) != 0;
+}
+
+Result<Version> VersionChain::get(VersionNumber n) const {
+  if (mode_ == StorageMode::kFull) {
+    auto it = full_.find(n);
+    if (it == full_.end()) {
+      return Error{ErrorCode::kNotFound,
+                   "version " + std::to_string(n) + " no longer stored"};
+    }
+    return it->second;
+  }
+  if (!has_latest_) {
+    return Error{ErrorCode::kNotFound, "no versions recorded"};
+  }
+  if (n == latest_.number) return latest_;
+  if (reverse_.count(n) == 0) {
+    return Error{ErrorCode::kNotFound,
+                 "version " + std::to_string(n) + " no longer stored"};
+  }
+  // Walk from the latest content back through the delta chain. Deltas are
+  // stored for consecutive version numbers, so every step down to n must
+  // exist — a gap means internal corruption.
+  std::string content = latest_.content;
+  for (VersionNumber k = latest_.number; k-- > n;) {
+    auto it = reverse_.find(k);
+    if (it == reverse_.end()) {
+      return Error{ErrorCode::kInternal,
+                   "reverse-delta chain broken at version " +
+                       std::to_string(k)};
+    }
+    SHADOW_ASSIGN_OR_RETURN(older, it->second.delta.apply(content));
+    content = std::move(older);
+  }
+  Version v;
+  v.number = n;
+  v.crc = content_crc(content);
+  if (v.crc != reverse_.at(n).crc) {
+    return Error{ErrorCode::kInternal,
+                 "reconstructed version fails its CRC"};
+  }
+  v.content = std::move(content);
+  return v;
+}
+
+void VersionChain::acknowledge(VersionNumber n) {
+  if (n <= acked_) return;
+  acked_ = n;
+  // Delete versions strictly older than the acknowledged one; keep `n`
+  // itself — it is the base the server will diff against next.
+  if (mode_ == StorageMode::kFull) {
+    full_.erase(full_.begin(), full_.lower_bound(n));
+  } else {
+    reverse_.erase(reverse_.begin(), reverse_.lower_bound(n));
+  }
+}
+
+void VersionChain::set_retention_limit(std::size_t limit) {
+  retention_limit_ = limit;
+  prune();
+}
+
+void VersionChain::prune() {
+  // Keep the latest version plus at most retention_limit_ older ones.
+  if (mode_ == StorageMode::kFull) {
+    while (full_.size() > retention_limit_ + 1) {
+      full_.erase(full_.begin());
+    }
+  } else {
+    while (reverse_.size() > retention_limit_) {
+      reverse_.erase(reverse_.begin());
+    }
+  }
+}
+
+std::size_t VersionChain::stored_count() const {
+  if (mode_ == StorageMode::kFull) return full_.size();
+  return reverse_.size() + (has_latest_ ? 1 : 0);
+}
+
+u64 VersionChain::stored_bytes() const {
+  u64 total = 0;
+  if (mode_ == StorageMode::kFull) {
+    for (const auto& [n, v] : full_) total += v.content.size();
+    return total;
+  }
+  if (has_latest_) total += latest_.content.size();
+  for (const auto& [n, entry] : reverse_) total += entry.delta.wire_size();
+  return total;
+}
+
+void VersionChain::encode(BufWriter& out) const {
+  out.put_u8(static_cast<u8>(mode_));
+  out.put_varint(next_);
+  out.put_varint(acked_);
+  out.put_varint(retention_limit_);
+  if (mode_ == StorageMode::kFull) {
+    out.put_varint(full_.size());
+    for (const auto& [n, v] : full_) {
+      out.put_varint(n);
+      out.put_u32(v.crc);
+      out.put_string(v.content);
+    }
+    return;
+  }
+  out.put_u8(has_latest_ ? 1 : 0);
+  if (has_latest_) {
+    out.put_varint(latest_.number);
+    out.put_u32(latest_.crc);
+    out.put_string(latest_.content);
+  }
+  out.put_varint(reverse_.size());
+  for (const auto& [n, entry] : reverse_) {
+    out.put_varint(n);
+    out.put_u32(entry.crc);
+    entry.delta.encode(out);
+  }
+}
+
+Result<VersionChain> VersionChain::decode(BufReader& in) {
+  SHADOW_ASSIGN_OR_RETURN(mode_byte, in.get_u8());
+  if (mode_byte > 1) {
+    return Error{ErrorCode::kProtocolError, "bad storage mode"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(next, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(acked, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(retention, in.get_varint());
+  VersionChain chain(static_cast<std::size_t>(retention),
+                     static_cast<StorageMode>(mode_byte));
+  chain.next_ = next;
+  chain.acked_ = acked;
+  if (chain.mode_ == StorageMode::kFull) {
+    SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
+    if (count > in.remaining()) {
+      return Error{ErrorCode::kProtocolError, "version count exceeds data"};
+    }
+    for (u64 i = 0; i < count; ++i) {
+      Version v;
+      SHADOW_ASSIGN_OR_RETURN(n, in.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+      SHADOW_ASSIGN_OR_RETURN(content, in.get_string());
+      v.number = n;
+      v.crc = crc;
+      v.content = std::move(content);
+      chain.full_.emplace(n, std::move(v));
+    }
+    return chain;
+  }
+  SHADOW_ASSIGN_OR_RETURN(has_latest, in.get_u8());
+  chain.has_latest_ = has_latest != 0;
+  if (chain.has_latest_) {
+    SHADOW_ASSIGN_OR_RETURN(n, in.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+    SHADOW_ASSIGN_OR_RETURN(content, in.get_string());
+    chain.latest_.number = n;
+    chain.latest_.crc = crc;
+    chain.latest_.content = std::move(content);
+  }
+  SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
+  if (count > in.remaining()) {
+    return Error{ErrorCode::kProtocolError, "delta count exceeds data"};
+  }
+  for (u64 i = 0; i < count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(n, in.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+    SHADOW_ASSIGN_OR_RETURN(delta, diff::Delta::decode(in));
+    ReverseEntry entry;
+    entry.crc = crc;
+    entry.delta = std::move(delta);
+    chain.reverse_.emplace(n, std::move(entry));
+  }
+  return chain;
+}
+
+void VersionStore::encode(BufWriter& out) const {
+  out.put_varint(default_retention_);
+  out.put_u8(static_cast<u8>(mode_));
+  out.put_varint(chains_.size());
+  for (const auto& [key, chain] : chains_) {
+    out.put_string(key);
+    chain.encode(out);
+  }
+}
+
+Result<VersionStore> VersionStore::decode(BufReader& in) {
+  SHADOW_ASSIGN_OR_RETURN(retention, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(mode_byte, in.get_u8());
+  if (mode_byte > 1) {
+    return Error{ErrorCode::kProtocolError, "bad storage mode"};
+  }
+  VersionStore store(static_cast<std::size_t>(retention),
+                     static_cast<StorageMode>(mode_byte));
+  SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
+  if (count > in.remaining()) {
+    return Error{ErrorCode::kProtocolError, "chain count exceeds data"};
+  }
+  for (u64 i = 0; i < count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(key, in.get_string());
+    SHADOW_ASSIGN_OR_RETURN(chain, VersionChain::decode(in));
+    store.chains_.emplace(std::move(key), std::move(chain));
+  }
+  return store;
+}
+
+VersionChain& VersionStore::chain(const std::string& file_key) {
+  auto it = chains_.find(file_key);
+  if (it == chains_.end()) {
+    it = chains_
+             .emplace(file_key, VersionChain(default_retention_, mode_))
+             .first;
+  }
+  return it->second;
+}
+
+const VersionChain* VersionStore::find(const std::string& file_key) const {
+  auto it = chains_.find(file_key);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+u64 VersionStore::total_bytes() const {
+  u64 total = 0;
+  for (const auto& [key, chain] : chains_) total += chain.stored_bytes();
+  return total;
+}
+
+}  // namespace shadow::version

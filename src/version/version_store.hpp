@@ -1,0 +1,142 @@
+// Client-side version control (paper §6.3.2).
+//
+// Every edit of a shadow file creates a new numbered version. Old versions
+// are retained so that when the server pulls an update and names the
+// version it holds, the client can compute a delta against exactly that
+// base. Versions are garbage-collected once the server acknowledges a
+// later version, and a per-user retention limit bounds how many old
+// versions are ever kept. If the server asks for a base the client no
+// longer has, the client falls back to sending the full file (§6.3.2:
+// "may transmit a completely new version if the specified version is not
+// available for computing the differences").
+//
+// Two storage strategies:
+//  - kFull: every retained version stored verbatim (simple, fast access);
+//  - kReverseDelta: only the LATEST version stored verbatim, older ones as
+//    reverse deltas from their successor — Tichy's RCS technique ([Tic84]
+//    is in the paper's bibliography). Cuts client disk use to
+//    latest + O(changes), at reconstruction cost proportional to age.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "diff/delta.hpp"
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::version {
+
+using VersionNumber = u64;
+
+enum class StorageMode : u8 {
+  kFull = 0,
+  kReverseDelta = 1,
+};
+
+const char* storage_mode_name(StorageMode mode);
+
+struct Version {
+  VersionNumber number = 0;
+  std::string content;
+  u32 crc = 0;
+};
+
+/// Version history for one file.
+class VersionChain {
+ public:
+  explicit VersionChain(std::size_t retention_limit = 8,
+                        StorageMode mode = StorageMode::kFull)
+      : retention_limit_(retention_limit), mode_(mode) {}
+
+  /// Record a new version; returns its number (1-based, increasing).
+  /// Identical content to the latest version still creates a new version
+  /// — the shadow editor decides whether to skip no-op edits, not us.
+  VersionNumber append(std::string content);
+
+  /// Latest version, if any version exists.
+  std::optional<VersionNumber> latest_number() const;
+  Result<Version> latest() const;
+  /// Retrieve a version (reconstructing through reverse deltas if needed).
+  Result<Version> get(VersionNumber n) const;
+  bool has(VersionNumber n) const;
+
+  /// Server acknowledged holding version `n`: every version < n becomes
+  /// garbage (the server will never request an older base).
+  void acknowledge(VersionNumber n);
+  VersionNumber acked() const { return acked_; }
+
+  /// Change the retention limit (count of versions kept besides the
+  /// latest); prunes immediately.
+  void set_retention_limit(std::size_t limit);
+  std::size_t retention_limit() const { return retention_limit_; }
+
+  StorageMode storage_mode() const { return mode_; }
+
+  /// Number of retrievable versions.
+  std::size_t stored_count() const;
+  /// Actual bytes held (full contents, or latest + delta sizes).
+  u64 stored_bytes() const;
+
+  /// Checkpoint/restore (crash recovery — the paper's transparency goal
+  /// says users never maintain this state by hand, so the SYSTEM must).
+  void encode(BufWriter& out) const;
+  static Result<VersionChain> decode(BufReader& in);
+
+ private:
+  void prune();
+  VersionNumber oldest_stored() const;
+
+  // kFull: every retained version, keyed by number.
+  std::map<VersionNumber, Version> full_;
+
+  // kReverseDelta: the newest version verbatim...
+  Version latest_;
+  bool has_latest_ = false;
+  // ...plus, for each retained older version n, the delta that rebuilds n
+  // from n+1's content, and n's crc for verification.
+  struct ReverseEntry {
+    diff::Delta delta;  // apply to content(n+1) to obtain content(n)
+    u32 crc = 0;
+  };
+  std::map<VersionNumber, ReverseEntry> reverse_;
+
+  VersionNumber next_ = 1;
+  VersionNumber acked_ = 0;
+  std::size_t retention_limit_;
+  StorageMode mode_;
+};
+
+/// All version chains of one client, keyed by the file's global id key.
+class VersionStore {
+ public:
+  explicit VersionStore(std::size_t default_retention = 8,
+                        StorageMode mode = StorageMode::kFull)
+      : default_retention_(default_retention), mode_(mode) {}
+
+  VersionChain& chain(const std::string& file_key);
+  const VersionChain* find(const std::string& file_key) const;
+  bool has(const std::string& file_key) const {
+    return chains_.count(file_key) != 0;
+  }
+
+  std::size_t file_count() const { return chains_.size(); }
+  u64 total_bytes() const;
+
+  void set_default_retention(std::size_t limit) {
+    default_retention_ = limit;
+  }
+  StorageMode storage_mode() const { return mode_; }
+
+  void encode(BufWriter& out) const;
+  static Result<VersionStore> decode(BufReader& in);
+
+ private:
+  std::map<std::string, VersionChain> chains_;
+  std::size_t default_retention_;
+  StorageMode mode_;
+};
+
+}  // namespace shadow::version

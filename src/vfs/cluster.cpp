@@ -1,0 +1,98 @@
+#include "vfs/cluster.hpp"
+
+#include "vfs/path.hpp"
+
+namespace shadow::vfs {
+
+namespace {
+// NFS forbids mount circularities (§6.5), but a misconfigured cluster
+// could still produce one; bound the iteration defensively.
+constexpr int kMaxMountHops = 32;
+}
+
+FileSystem& Cluster::add_host(const std::string& name) {
+  auto [it, inserted] =
+      hosts_.emplace(name, std::make_unique<FileSystem>(name));
+  return *it->second;
+}
+
+Result<FileSystem*> Cluster::host(const std::string& name) {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) {
+    return Error{ErrorCode::kNotFound, "no such host: " + name};
+  }
+  return it->second.get();
+}
+
+Result<const FileSystem*> Cluster::host(const std::string& name) const {
+  auto it = hosts_.find(name);
+  if (it == hosts_.end()) {
+    return Error{ErrorCode::kNotFound, "no such host: " + name};
+  }
+  return static_cast<const FileSystem*>(it->second.get());
+}
+
+bool Cluster::has_host(const std::string& name) const {
+  return hosts_.count(name) != 0;
+}
+
+Status Cluster::mount(const std::string& host_name,
+                      const std::string& mount_point,
+                      const std::string& remote_host,
+                      const std::string& remote_path) {
+  SHADOW_ASSIGN_OR_RETURN(fs, host(host_name));
+  if (!has_host(remote_host)) {
+    return Error{ErrorCode::kNotFound, "no such host: " + remote_host};
+  }
+  return fs->add_mount(mount_point, remote_host, remote_path);
+}
+
+Result<ResolvedFile> Cluster::resolve(const std::string& host_name,
+                                      const std::string& path,
+                                      bool require_exists) const {
+  std::string cur_host = host_name;
+  std::string cur_path = path;
+  for (int hop = 0; hop < kMaxMountHops; ++hop) {
+    SHADOW_ASSIGN_OR_RETURN(fs, host(cur_host));
+    // Step 1 (§6.5): resolve aliases and symlinks locally.
+    SHADOW_ASSIGN_OR_RETURN(canon, fs->realpath(cur_path));
+    // Step 2: if a prefix belongs to a mounted file system, continue on
+    // the exporting host.
+    if (auto m = fs->mount_for(canon)) {
+      const std::string rest = strip_prefix(canon, m->mount_point);
+      cur_host = m->remote_host;
+      cur_path = rest.empty() ? m->remote_path : m->remote_path + "/" + rest;
+      continue;
+    }
+    ResolvedFile out;
+    out.host = cur_host;
+    out.path = canon;
+    auto inode = fs->inode_of(canon);
+    if (inode.ok()) {
+      out.inode = inode.value();
+    } else if (require_exists) {
+      return Error{ErrorCode::kNotFound,
+                   canon + " does not exist on " + cur_host};
+    }
+    return out;
+  }
+  return Error{ErrorCode::kLoopDetected, "mount resolution did not settle"};
+}
+
+Result<std::string> Cluster::read_file(const std::string& host_name,
+                                       const std::string& path) const {
+  SHADOW_ASSIGN_OR_RETURN(loc, resolve(host_name, path));
+  SHADOW_ASSIGN_OR_RETURN(fs, host(loc.host));
+  return fs->read_file(loc.path);
+}
+
+Status Cluster::write_file(const std::string& host_name,
+                           const std::string& path,
+                           const std::string& content) {
+  SHADOW_ASSIGN_OR_RETURN(loc, resolve(host_name, path,
+                                       /*require_exists=*/false));
+  SHADOW_ASSIGN_OR_RETURN(fs, host(loc.host));
+  return fs->write_file(loc.path, content);
+}
+
+}  // namespace shadow::vfs

@@ -1,0 +1,63 @@
+// A set of hosts whose filesystems are cross-connected by NFS mounts —
+// the client-side "domain" of the paper (§5.3: "a domain may span a single
+// host or a collection of hosts as in a NFS environment").
+//
+// Cluster implements the paper's iterative resolution (§6.5): resolve
+// locally (symlinks/aliases), then if any prefix belongs to a mounted file
+// system, continue resolution on the exporting host; iterate until the
+// name settles on the host that actually stores the file. File reads and
+// writes route through the same resolution, so a write on host A to a path
+// mounted from host C lands in C's filesystem — exactly NFS behaviour.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/result.hpp"
+#include "vfs/filesystem.hpp"
+
+namespace shadow::vfs {
+
+/// A file's physical location after full resolution.
+struct ResolvedFile {
+  std::string host;   // host that stores the file
+  std::string path;   // canonical path on that host
+  InodeId inode = 0;  // inode id on that host (0 if the file doesn't exist)
+
+  bool operator==(const ResolvedFile&) const = default;
+};
+
+class Cluster {
+ public:
+  /// Create a host with an empty filesystem. Returns the filesystem
+  /// (owned by the cluster).
+  FileSystem& add_host(const std::string& name);
+
+  Result<FileSystem*> host(const std::string& name);
+  Result<const FileSystem*> host(const std::string& name) const;
+  bool has_host(const std::string& name) const;
+
+  /// NFS export/mount: `mount_point` on `host` shows `remote_path` from
+  /// `remote_host`. (Exports are implicit; any path can be exported.)
+  Status mount(const std::string& host_name, const std::string& mount_point,
+               const std::string& remote_host,
+               const std::string& remote_path);
+
+  /// The paper's §6.5 iterative resolution. `require_exists` controls
+  /// whether a missing final file is an error (reads) or fine (writes).
+  Result<ResolvedFile> resolve(const std::string& host_name,
+                               const std::string& path,
+                               bool require_exists = true) const;
+
+  /// Read/write through mounts (like an NFS client would).
+  Result<std::string> read_file(const std::string& host_name,
+                                const std::string& path) const;
+  Status write_file(const std::string& host_name, const std::string& path,
+                    const std::string& content);
+
+ private:
+  std::map<std::string, std::unique_ptr<FileSystem>> hosts_;
+};
+
+}  // namespace shadow::vfs

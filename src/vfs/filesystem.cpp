@@ -1,0 +1,364 @@
+#include "vfs/filesystem.hpp"
+
+#include <algorithm>
+
+#include "vfs/path.hpp"
+
+namespace shadow::vfs {
+
+namespace {
+constexpr int kMaxSymlinkDepth = 40;  // matches Linux's ELOOP limit
+}
+
+FileSystem::FileSystem(std::string host_name)
+    : host_name_(std::move(host_name)) {
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.link_count = 1;
+  inodes_.emplace(kRootInode, std::move(root));
+}
+
+const Inode* FileSystem::get(InodeId id) const {
+  auto it = inodes_.find(id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+Inode* FileSystem::get(InodeId id) {
+  auto it = inodes_.find(id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+// Canonicalize: expand symlinks left-to-right, restarting from the root
+// after each expansion. ".." is resolved lexically by normalize() (both in
+// the input and in spliced symlink targets) — a documented simplification.
+// Components with no local inode are kept verbatim (realpath -m), because
+// they may live behind an NFS mount served by another host.
+Result<std::string> FileSystem::realpath(const std::string& path) const {
+  if (!is_absolute(path)) {
+    return Error{ErrorCode::kInvalidArgument, "path must be absolute"};
+  }
+  std::string canon = normalize(path);
+  int depth = 0;
+restart:
+  const auto parts = components(canon);
+  InodeId current = kRootInode;
+  std::string prefix;  // canonical, existing prefix walked so far
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Inode* node = get(current);
+    if (node->type != FileType::kDirectory) {
+      return Error{ErrorCode::kNotADirectory, prefix + " is not a directory"};
+    }
+    auto it = node->entries.find(parts[i]);
+    if (it == node->entries.end()) {
+      // Off the local tree: keep the remainder verbatim.
+      std::string out = prefix;
+      for (std::size_t j = i; j < parts.size(); ++j) out += "/" + parts[j];
+      return out.empty() ? std::string("/") : out;
+    }
+    const Inode* child = get(it->second);
+    if (child->type == FileType::kSymlink) {
+      if (++depth > kMaxSymlinkDepth) {
+        return Error{ErrorCode::kLoopDetected, "too many levels of symlinks"};
+      }
+      std::string base = is_absolute(child->symlink_target)
+                             ? child->symlink_target
+                             : prefix + "/" + child->symlink_target;
+      for (std::size_t j = i + 1; j < parts.size(); ++j) {
+        base += "/" + parts[j];
+      }
+      canon = normalize(base);
+      goto restart;
+    }
+    prefix += "/" + parts[i];
+    current = it->second;
+  }
+  return prefix.empty() ? std::string("/") : prefix;
+}
+
+// Strict lookup of a canonical (symlink-free up to the leaf) path; every
+// component must exist locally.
+Result<InodeId> FileSystem::resolve_components(InodeId base,
+                                               std::vector<std::string> parts,
+                                               bool follow_last,
+                                               int /*depth*/) const {
+  InodeId current = base;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Inode* node = get(current);
+    if (node == nullptr) {
+      return Error{ErrorCode::kInternal, "dangling inode id"};
+    }
+    if (node->type != FileType::kDirectory) {
+      return Error{ErrorCode::kNotADirectory,
+                   "path component is not a directory"};
+    }
+    auto it = node->entries.find(parts[i]);
+    if (it == node->entries.end()) {
+      return Error{ErrorCode::kNotFound, "no such file: " + parts[i]};
+    }
+    current = it->second;
+    const bool is_last = (i + 1 == parts.size());
+    if (is_last && !follow_last) return current;
+  }
+  return current;
+}
+
+Result<InodeId> FileSystem::resolve(const std::string& path,
+                                    bool follow_last) const {
+  if (!is_absolute(path)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "VFS paths must be absolute: " + path};
+  }
+  if (follow_last) {
+    SHADOW_ASSIGN_OR_RETURN(canon, realpath(path));
+    return resolve_components(kRootInode, components(canon), true, 0);
+  }
+  // lstat semantics: canonicalize the parent, not the leaf.
+  const std::string norm = normalize(path);
+  if (norm == "/") return kRootInode;
+  SHADOW_ASSIGN_OR_RETURN(parent_canon, realpath(dirname(norm)));
+  auto parts = components(parent_canon);
+  parts.push_back(basename(norm));
+  return resolve_components(kRootInode, std::move(parts), false, 0);
+}
+
+Result<std::pair<InodeId, std::string>> FileSystem::resolve_parent(
+    const std::string& path) const {
+  const std::string norm = normalize(path);
+  if (norm == "/") {
+    return Error{ErrorCode::kInvalidArgument, "cannot operate on root"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(dir, resolve(dirname(norm), /*follow_last=*/true));
+  const Inode* node = get(dir);
+  if (node == nullptr || node->type != FileType::kDirectory) {
+    return Error{ErrorCode::kNotADirectory, "parent is not a directory"};
+  }
+  return std::make_pair(dir, basename(norm));
+}
+
+Status FileSystem::mkdir(const std::string& path) {
+  SHADOW_ASSIGN_OR_RETURN(parent, resolve_parent(path));
+  Inode* dir = get(parent.first);
+  if (dir->entries.count(parent.second) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "exists: " + path};
+  }
+  Inode node;
+  node.type = FileType::kDirectory;
+  node.link_count = 1;
+  const InodeId id = next_inode_++;
+  inodes_.emplace(id, std::move(node));
+  dir->entries.emplace(parent.second, id);
+  return Status();
+}
+
+Status FileSystem::mkdir_p(const std::string& path) {
+  const auto parts = components(normalize(path));
+  std::string prefix;
+  for (const auto& part : parts) {
+    prefix += "/" + part;
+    auto existing = resolve(prefix, /*follow_last=*/true);
+    if (existing.ok()) {
+      const Inode* node = get(existing.value());
+      if (node->type != FileType::kDirectory) {
+        return Error{ErrorCode::kNotADirectory, prefix + " is not a dir"};
+      }
+      continue;
+    }
+    SHADOW_TRY(mkdir(prefix));
+  }
+  return Status();
+}
+
+Status FileSystem::write_file(const std::string& path,
+                              const std::string& content) {
+  SHADOW_ASSIGN_OR_RETURN(parent, resolve_parent(path));
+  Inode* dir = get(parent.first);
+  auto it = dir->entries.find(parent.second);
+  if (it != dir->entries.end()) {
+    // Existing entry: follow a symlink leaf to its target (POSIX open).
+    SHADOW_ASSIGN_OR_RETURN(target, resolve(path, /*follow_last=*/true));
+    Inode* node = get(target);
+    if (node->type == FileType::kDirectory) {
+      return Error{ErrorCode::kIsADirectory, path + " is a directory"};
+    }
+    node->data = content;
+    return Status();
+  }
+  Inode node;
+  node.type = FileType::kFile;
+  node.data = content;
+  node.link_count = 1;
+  const InodeId id = next_inode_++;
+  inodes_.emplace(id, std::move(node));
+  dir->entries.emplace(parent.second, id);
+  return Status();
+}
+
+Result<std::string> FileSystem::read_file(const std::string& path) const {
+  SHADOW_ASSIGN_OR_RETURN(id, resolve(path, /*follow_last=*/true));
+  const Inode* node = get(id);
+  if (node->type == FileType::kDirectory) {
+    return Error{ErrorCode::kIsADirectory, path + " is a directory"};
+  }
+  return node->data;
+}
+
+Status FileSystem::symlink(const std::string& target,
+                           const std::string& link_path) {
+  SHADOW_ASSIGN_OR_RETURN(parent, resolve_parent(link_path));
+  Inode* dir = get(parent.first);
+  if (dir->entries.count(parent.second) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "exists: " + link_path};
+  }
+  Inode node;
+  node.type = FileType::kSymlink;
+  node.symlink_target = target;
+  node.link_count = 1;
+  const InodeId id = next_inode_++;
+  inodes_.emplace(id, std::move(node));
+  dir->entries.emplace(parent.second, id);
+  return Status();
+}
+
+Status FileSystem::hard_link(const std::string& existing,
+                             const std::string& new_path) {
+  SHADOW_ASSIGN_OR_RETURN(target, resolve(existing, /*follow_last=*/true));
+  Inode* target_node = get(target);
+  if (target_node->type == FileType::kDirectory) {
+    return Error{ErrorCode::kIsADirectory,
+                 "hard links to directories are not allowed"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(parent, resolve_parent(new_path));
+  Inode* dir = get(parent.first);
+  if (dir->entries.count(parent.second) != 0) {
+    return Error{ErrorCode::kAlreadyExists, "exists: " + new_path};
+  }
+  dir->entries.emplace(parent.second, target);
+  ++target_node->link_count;
+  return Status();
+}
+
+Status FileSystem::unlink(const std::string& path) {
+  SHADOW_ASSIGN_OR_RETURN(parent, resolve_parent(path));
+  Inode* dir = get(parent.first);
+  auto it = dir->entries.find(parent.second);
+  if (it == dir->entries.end()) {
+    return Error{ErrorCode::kNotFound, "no such file: " + path};
+  }
+  Inode* node = get(it->second);
+  if (node->type == FileType::kDirectory && !node->entries.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "directory not empty"};
+  }
+  if (--node->link_count == 0) {
+    inodes_.erase(it->second);
+  }
+  dir->entries.erase(it);
+  return Status();
+}
+
+Status FileSystem::rename(const std::string& from, const std::string& to) {
+  SHADOW_ASSIGN_OR_RETURN(src, resolve_parent(from));
+  Inode* src_dir = get(src.first);
+  auto src_it = src_dir->entries.find(src.second);
+  if (src_it == src_dir->entries.end()) {
+    return Error{ErrorCode::kNotFound, "no such file: " + from};
+  }
+  const InodeId moving = src_it->second;
+
+  // Moving a directory into itself would orphan the subtree.
+  if (get(moving)->type == FileType::kDirectory &&
+      has_prefix(normalize(to), normalize(from))) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "cannot move a directory into itself"};
+  }
+
+  SHADOW_ASSIGN_OR_RETURN(dst, resolve_parent(to));
+  Inode* dst_dir = get(dst.first);
+  auto dst_it = dst_dir->entries.find(dst.second);
+  if (dst_it != dst_dir->entries.end()) {
+    if (dst_it->second == moving) return Status();  // same file: no-op
+    Inode* existing = get(dst_it->second);
+    if (existing->type == FileType::kDirectory) {
+      return Error{ErrorCode::kIsADirectory,
+                   "rename target is a directory: " + to};
+    }
+    if (get(moving)->type == FileType::kDirectory) {
+      // POSIX: a directory may not replace a non-directory (ENOTDIR).
+      return Error{ErrorCode::kNotADirectory,
+                   "cannot rename a directory onto a file: " + to};
+    }
+    if (--existing->link_count == 0) inodes_.erase(dst_it->second);
+    dst_dir->entries.erase(dst_it);
+  }
+  // Re-look up the source entry: the erase above may have invalidated
+  // iterators when src and dst share a directory.
+  src_dir = get(src.first);
+  src_dir->entries.erase(src.second);
+  get(dst.first)->entries.emplace(dst.second, moving);
+  return Status();
+}
+
+Result<std::vector<std::string>> FileSystem::list_dir(
+    const std::string& path) const {
+  SHADOW_ASSIGN_OR_RETURN(id, resolve(path, /*follow_last=*/true));
+  const Inode* node = get(id);
+  if (node->type != FileType::kDirectory) {
+    return Error{ErrorCode::kNotADirectory, path + " is not a directory"};
+  }
+  std::vector<std::string> names;
+  names.reserve(node->entries.size());
+  for (const auto& [name, unused] : node->entries) names.push_back(name);
+  return names;
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  return resolve(path, /*follow_last=*/true).ok();
+}
+
+Result<FileType> FileSystem::type_of(const std::string& path) const {
+  SHADOW_ASSIGN_OR_RETURN(id, resolve(path, /*follow_last=*/true));
+  return get(id)->type;
+}
+
+Result<InodeId> FileSystem::inode_of(const std::string& path) const {
+  return resolve(path, /*follow_last=*/true);
+}
+
+Status FileSystem::add_mount(const std::string& mount_point,
+                             const std::string& remote_host,
+                             const std::string& remote_path) {
+  const std::string mp = normalize(mount_point);
+  SHADOW_TRY(mkdir_p(mp));
+  for (const auto& m : mounts_) {
+    if (m.mount_point == mp) {
+      return Error{ErrorCode::kAlreadyExists, "already mounted: " + mp};
+    }
+  }
+  mounts_.push_back(MountEntry{mp, remote_host, normalize(remote_path)});
+  return Status();
+}
+
+std::optional<MountEntry> FileSystem::mount_for(
+    const std::string& path) const {
+  const std::string p = normalize(path);
+  const MountEntry* best = nullptr;
+  for (const auto& m : mounts_) {
+    if (has_prefix(p, m.mount_point)) {
+      if (best == nullptr ||
+          m.mount_point.size() > best->mount_point.size()) {
+        best = &m;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+u64 FileSystem::total_file_bytes() const {
+  u64 total = 0;
+  for (const auto& [id, node] : inodes_) {
+    if (node.type == FileType::kFile) total += node.data.size();
+  }
+  return total;
+}
+
+}  // namespace shadow::vfs

@@ -1,0 +1,110 @@
+// In-memory POSIX-like filesystem for one simulated host.
+//
+// Supports regular files, directories, symbolic links and hard links —
+// everything the paper's name-resolution algorithm (§6.5) must see —
+// plus an NFS-style mount table mapping local mount points to
+// (remote host, remote path) pairs. Mount traversal itself lives in
+// vfs::Cluster; a single FileSystem only records its mounts.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::vfs {
+
+using InodeId = u64;
+constexpr InodeId kRootInode = 1;
+
+enum class FileType : u8 { kFile = 0, kDirectory = 1, kSymlink = 2 };
+
+/// One filesystem object. Hard links are multiple directory entries
+/// referring to the same inode id.
+struct Inode {
+  FileType type = FileType::kFile;
+  std::string data;                       // kFile: content
+  std::map<std::string, InodeId> entries; // kDirectory: name -> inode
+  std::string symlink_target;             // kSymlink
+  u32 link_count = 0;                     // directory entries pointing here
+};
+
+/// NFS mount record: `mount_point` on this host shows the tree exported by
+/// `remote_host` at `remote_path`.
+struct MountEntry {
+  std::string mount_point;
+  std::string remote_host;
+  std::string remote_path;
+};
+
+class FileSystem {
+ public:
+  explicit FileSystem(std::string host_name);
+
+  const std::string& host_name() const { return host_name_; }
+
+  // ---- file & directory operations (paths may contain symlinks) ----
+  Status mkdir(const std::string& path);
+  /// mkdir -p: creates missing ancestors, succeeds if already a directory.
+  Status mkdir_p(const std::string& path);
+  /// Create or truncate a regular file (parent directory must exist).
+  Status write_file(const std::string& path, const std::string& content);
+  Result<std::string> read_file(const std::string& path) const;
+  /// Create a symlink at `link_path` pointing to `target` (not resolved or
+  /// validated — dangling links are legal, as in POSIX).
+  Status symlink(const std::string& target, const std::string& link_path);
+  /// Create a hard link: `new_path` becomes another name for `existing`.
+  Status hard_link(const std::string& existing, const std::string& new_path);
+  /// Remove a directory entry; file data is freed when link_count drops to
+  /// zero. Directories must be empty.
+  Status unlink(const std::string& path);
+  /// POSIX rename: move a directory entry (any type, including whole
+  /// subtrees) to a new name; replaces an existing non-directory target.
+  /// The inode — and thus the file's shadow identity — is unchanged.
+  Status rename(const std::string& from, const std::string& to);
+  Result<std::vector<std::string>> list_dir(const std::string& path) const;
+
+  bool exists(const std::string& path) const;
+  Result<FileType> type_of(const std::string& path) const;
+  /// Inode id after following symlinks — the identity hard-link aliases
+  /// share.
+  Result<InodeId> inode_of(const std::string& path) const;
+
+  /// Resolve all symlinks, returning a canonical absolute path. Components
+  /// that do not exist locally are kept verbatim (realpath -m semantics) —
+  /// required because paths under NFS mount points have no local inodes.
+  Result<std::string> realpath(const std::string& path) const;
+
+  // ---- NFS mount table ----
+  Status add_mount(const std::string& mount_point,
+                   const std::string& remote_host,
+                   const std::string& remote_path);
+  const std::vector<MountEntry>& mounts() const { return mounts_; }
+  /// Longest-prefix mount covering `path`, if any.
+  std::optional<MountEntry> mount_for(const std::string& path) const;
+
+  /// Total bytes of regular-file data (used by disk-pressure experiments).
+  u64 total_file_bytes() const;
+
+ private:
+  Result<InodeId> resolve(const std::string& path, bool follow_last) const;
+  Result<InodeId> resolve_components(InodeId base,
+                                     std::vector<std::string> parts,
+                                     bool follow_last, int depth) const;
+  const Inode* get(InodeId id) const;
+  Inode* get(InodeId id);
+  /// Resolve the parent directory of `path`; returns (dir inode, leaf).
+  Result<std::pair<InodeId, std::string>> resolve_parent(
+      const std::string& path) const;
+
+  std::string host_name_;
+  std::unordered_map<InodeId, Inode> inodes_;
+  InodeId next_inode_ = kRootInode + 1;
+  std::vector<MountEntry> mounts_;
+};
+
+}  // namespace shadow::vfs

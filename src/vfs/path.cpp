@@ -1,0 +1,77 @@
+#include "vfs/path.hpp"
+
+#include "util/strings.hpp"
+
+namespace shadow::vfs {
+
+bool is_absolute(const std::string& path) {
+  return !path.empty() && path.front() == '/';
+}
+
+std::string normalize(const std::string& path) {
+  std::vector<std::string> stack;
+  for (const auto& part : split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;  // ".." at root stays at root
+    }
+    stack.push_back(part);
+  }
+  return from_components(stack);
+}
+
+std::vector<std::string> components(const std::string& path) {
+  std::vector<std::string> out;
+  for (const auto& part : split(path, '/')) {
+    if (!part.empty() && part != ".") out.push_back(part);
+  }
+  return out;
+}
+
+std::string from_components(const std::vector<std::string>& parts) {
+  if (parts.empty()) return "/";
+  std::string out;
+  for (const auto& part : parts) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string dirname(const std::string& path) {
+  auto parts = components(normalize(path));
+  if (parts.empty()) return "/";
+  parts.pop_back();
+  return from_components(parts);
+}
+
+std::string basename(const std::string& path) {
+  const auto parts = components(normalize(path));
+  return parts.empty() ? "" : parts.back();
+}
+
+std::string join_path(const std::string& base, const std::string& tail) {
+  if (is_absolute(tail)) return normalize(tail);
+  if (tail.empty()) return normalize(base);
+  return normalize(base + "/" + tail);
+}
+
+bool has_prefix(const std::string& path, const std::string& prefix) {
+  const std::string p = normalize(path);
+  const std::string pre = normalize(prefix);
+  if (pre == "/") return true;
+  if (p == pre) return true;
+  return p.size() > pre.size() && p.compare(0, pre.size(), pre) == 0 &&
+         p[pre.size()] == '/';
+}
+
+std::string strip_prefix(const std::string& path, const std::string& prefix) {
+  const std::string p = normalize(path);
+  const std::string pre = normalize(prefix);
+  if (pre == "/") return p == "/" ? "" : p.substr(1);
+  if (p == pre) return "";
+  return p.substr(pre.size() + 1);
+}
+
+}  // namespace shadow::vfs

@@ -1,0 +1,44 @@
+// Absolute-path utilities for the virtual filesystem. All VFS paths are
+// absolute, '/'-separated, with no "." or ".." components after
+// normalization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shadow::vfs {
+
+/// True when the path begins with '/'.
+bool is_absolute(const std::string& path);
+
+/// Normalize an absolute path: collapse "//", resolve "." and ".."
+/// lexically ("/a/../b" -> "/b"; ".." at root stays at root). Returns "/"
+/// for empty input.
+std::string normalize(const std::string& path);
+
+/// Split a normalized path into components ("/a/b" -> {"a","b"};
+/// "/" -> {}).
+std::vector<std::string> components(const std::string& path);
+
+/// Join components back into an absolute path.
+std::string from_components(const std::vector<std::string>& parts);
+
+/// Parent directory ("/a/b" -> "/a"; "/a" -> "/"; "/" -> "/").
+std::string dirname(const std::string& path);
+
+/// Final component ("/a/b" -> "b"; "/" -> "").
+std::string basename(const std::string& path);
+
+/// Append a relative or absolute tail to a base directory. Absolute tails
+/// replace the base entirely (symlink-target semantics).
+std::string join_path(const std::string& base, const std::string& tail);
+
+/// True when `path` equals `prefix` or lies underneath it.
+/// has_prefix("/a/bc", "/a/b") is false.
+bool has_prefix(const std::string& path, const std::string& prefix);
+
+/// Remainder of `path` under `prefix` as a relative path ("" when equal).
+/// Precondition: has_prefix(path, prefix).
+std::string strip_prefix(const std::string& path, const std::string& prefix);
+
+}  // namespace shadow::vfs

@@ -1,0 +1,153 @@
+// Unit tests for the Tichy block-move delta [Tic84].
+#include <gtest/gtest.h>
+
+#include "diff/block_move.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::diff {
+namespace {
+
+std::string roundtrip(const std::string& source, const std::string& target) {
+  const BlockMoveDelta delta = compute_block_move(source, target);
+  auto result = apply_block_move(source, delta);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return result.ok() ? result.value() : std::string();
+}
+
+TEST(BlockMoveTest, IdenticalIsOneCopy) {
+  std::string text(1000, 'q');
+  for (int i = 0; i < 100; ++i) text += "unique " + std::to_string(i) + "\n";
+  const BlockMoveDelta delta = compute_block_move(text, text);
+  ASSERT_EQ(delta.ops.size(), 1u);
+  EXPECT_EQ(delta.ops[0].kind, BlockOp::Kind::kCopy);
+  EXPECT_EQ(delta.ops[0].length, text.size());
+  EXPECT_EQ(roundtrip(text, text), text);
+}
+
+TEST(BlockMoveTest, EmptyCases) {
+  EXPECT_EQ(roundtrip("", ""), "");
+  EXPECT_EQ(roundtrip("abc", ""), "");
+  EXPECT_EQ(roundtrip("", "xyz"), "xyz");
+}
+
+TEST(BlockMoveTest, MovedBlockIsCheap) {
+  // ed-scripts handle moves badly; block moves handle them with 2 copies.
+  std::string a, b;
+  for (int i = 0; i < 50; ++i) a += "alpha line " + std::to_string(i) + "\n";
+  for (int i = 0; i < 50; ++i) a += "beta line " + std::to_string(i) + "\n";
+  // b = second half + first half.
+  b = a.substr(a.size() / 2) + a.substr(0, a.size() / 2);
+  const BlockMoveDelta delta = compute_block_move(a, b);
+  std::size_t literal_bytes = 0;
+  for (const auto& op : delta.ops) {
+    if (op.kind == BlockOp::Kind::kAdd) literal_bytes += op.literal.size();
+  }
+  EXPECT_LT(literal_bytes, 32u);
+  EXPECT_EQ(roundtrip(a, b), b);
+}
+
+TEST(BlockMoveTest, SmallEditMostlyCopies) {
+  std::string source;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) source += rng.ascii_line(40) + "\n";
+  std::string target = source;
+  target.replace(2000, 10, "REPLACEMNT");
+  const BlockMoveDelta delta = compute_block_move(source, target);
+  EXPECT_LE(delta.ops.size(), 5u);
+  EXPECT_EQ(roundtrip(source, target), target);
+  EXPECT_LT(block_move_wire_size(delta), 128u);
+}
+
+TEST(BlockMoveTest, DisjointContentIsAllAdds) {
+  Rng rng(6);
+  const std::string source = rng.ascii_line(500);
+  const std::string target = rng.ascii_line(500);
+  const BlockMoveDelta delta = compute_block_move(source, target);
+  EXPECT_EQ(roundtrip(source, target), target);
+  // Delta cannot be meaningfully smaller than the target here.
+  EXPECT_GE(block_move_wire_size(delta), 500u);
+}
+
+TEST(BlockMoveTest, SeedLengthControlsGranularity) {
+  std::string source = "0123456789abcdef0123456789abcdef";
+  std::string target = "0123456789abcdefXX0123456789abcdef";
+  const BlockMoveDelta fine = compute_block_move(source, target, 8);
+  EXPECT_EQ(apply_block_move(source, fine).value(), target);
+  const BlockMoveDelta coarse = compute_block_move(source, target, 32);
+  EXPECT_EQ(apply_block_move(source, coarse).value(), target);
+}
+
+TEST(BlockMoveTest, WrongSourceRejected) {
+  const BlockMoveDelta delta = compute_block_move("source text here....",
+                                                  "target text here....");
+  EXPECT_EQ(apply_block_move("tampered source!....", delta).code(),
+            ErrorCode::kVersionMismatch);
+}
+
+TEST(BlockMoveTest, OutOfBoundsCopyRejected) {
+  BlockMoveDelta delta = compute_block_move("abcdefghijklmnopqrstuvwxyz",
+                                            "abcdefghijklmnopqrstuvwxyz");
+  ASSERT_FALSE(delta.ops.empty());
+  delta.ops[0].length += 100;
+  EXPECT_FALSE(apply_block_move("abcdefghijklmnopqrstuvwxyz", delta).ok());
+}
+
+TEST(BlockMoveTest, CodecRoundTrip) {
+  Rng rng(7);
+  std::string source;
+  for (int i = 0; i < 50; ++i) source += rng.ascii_line(30) + "\n";
+  std::string target = source.substr(300) + "inserted!" + source.substr(0, 300);
+  const BlockMoveDelta delta = compute_block_move(source, target);
+  BufWriter w;
+  encode_block_move(delta, w);
+  BufReader r(w.data());
+  auto decoded = decode_block_move(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), delta);
+  EXPECT_EQ(apply_block_move(source, decoded.value()).value(), target);
+}
+
+TEST(BlockMoveTest, DecodeRejectsBadOpKind) {
+  BufWriter w;
+  encode_block_move(compute_block_move("aaaa", "aaaa"), w);
+  Bytes wire = w.take();
+  // Op kind byte is right after two u32 CRCs + 2 varints + count varint.
+  wire[4 + 4 + 1 + 1 + 1] = 9;
+  BufReader r(wire);
+  EXPECT_FALSE(decode_block_move(r).ok());
+}
+
+class BlockMoveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockMoveProperty, RandomEditsRoundTrip) {
+  Rng rng(static_cast<u64>(GetParam()) * 31 + 1);
+  std::string source;
+  const std::size_t n = rng.below(5000);
+  for (std::size_t i = 0; i < n; i += 40) {
+    source += rng.ascii_line(39) + "\n";
+  }
+  // Random splice edits.
+  std::string target = source;
+  for (int e = 0; e < 5 && !target.empty(); ++e) {
+    const std::size_t pos = rng.below(target.size() + 1);
+    switch (rng.below(3)) {
+      case 0:
+        target.insert(pos, rng.ascii_line(rng.below(100)));
+        break;
+      case 1:
+        target.erase(pos, rng.below(100));
+        break;
+      default: {
+        const std::size_t len =
+            std::min<std::size_t>(rng.below(50), target.size() - pos);
+        target.replace(pos, len, rng.ascii_line(len));
+      }
+    }
+  }
+  EXPECT_EQ(roundtrip(source, target), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockMoveProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace shadow::diff

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end test of the real binaries: shadowd daemon + shadow client
+# talking over a localhost TCP socket, driven exactly as a user would.
+set -u
+
+BUILD_DIR="$1"
+PORT=$((20000 + RANDOM % 20000))
+LOG=$(mktemp)
+
+"$BUILD_DIR/tools/shadowd" --port "$PORT" --once > "$LOG" 2>&1 &
+DPID=$!
+# Wait for the listening line.
+for _ in $(seq 1 50); do
+  grep -q "listening" "$LOG" && break
+  sleep 0.1
+done
+
+OUT=$(printf 'gen /home/user/d 1000 7\nedit /home/user/c\nsort d\n.\nsubmit /home/user/c /home/user/d -o /home/user/out\nstatus\nstats\nquit\n' \
+      | "$BUILD_DIR/tools/shadow" --connect "$PORT")
+CLIENT_RC=$?
+
+wait "$DPID"
+DAEMON_RC=$?
+
+fail() { echo "FAIL: $1"; echo "--- client ---"; echo "$OUT"; echo "--- daemon ---"; cat "$LOG"; rm -f "$LOG"; exit 1; }
+
+[ "$CLIENT_RC" -eq 0 ] || fail "client exit code $CLIENT_RC"
+[ "$DAEMON_RC" -eq 0 ] || fail "daemon exit code $DAEMON_RC"
+echo "$OUT" | grep -q "generated 1000 bytes" || fail "gen output missing"
+echo "$OUT" | grep -q "submitted; job id 1" || fail "submit output missing"
+echo "$OUT" | grep -q "job 1: delivered" || fail "status output missing"
+echo "$OUT" | grep -q "updates sent:" || fail "stats output missing"
+grep -q "client connected" "$LOG" || fail "daemon never saw the client"
+grep -q "1 jobs completed" "$LOG" || fail "daemon job count wrong"
+
+# --- alternate client configuration: tichy deltas + lz77 ----------------
+PORT3=$((20000 + RANDOM % 20000))
+"$BUILD_DIR/tools/shadowd" --port "$PORT3" --once --reverse-shadow --codec lz77 > "$LOG" 2>&1 &
+DPID=$!
+for _ in $(seq 1 50); do
+  grep -q "listening" "$LOG" && break
+  sleep 0.1
+done
+OUT=$(printf 'gen /home/user/d 5000 3\nedit /home/user/c\nsort d\n.\nsubmit /home/user/c /home/user/d\nstats\nquit\n' \
+      | "$BUILD_DIR/tools/shadow" --connect "$PORT3" --algorithm tichy --codec lz77)
+wait "$DPID"
+echo "$OUT" | grep -q "submitted; job id 1" || fail "tichy/lz77 submit missing"
+grep -q "1 jobs completed" "$LOG" || fail "tichy/lz77 job not completed"
+
+# --- second phase: daemon state persistence across restarts -------------
+STATE=$(mktemp -u)
+PORT2=$((20000 + RANDOM % 20000))
+"$BUILD_DIR/tools/shadowd" --port "$PORT2" --once --state "$STATE" > "$LOG" 2>&1 &
+DPID=$!
+for _ in $(seq 1 50); do
+  grep -q "listening" "$LOG" && break
+  sleep 0.1
+done
+printf 'gen /home/user/d 2000 9\nquit\n' | "$BUILD_DIR/tools/shadow" --connect "$PORT2" > /dev/null
+wait "$DPID"
+[ -f "$STATE" ] || fail "state file not written"
+grep -q "state saved" "$LOG" || fail "daemon did not report saving state"
+
+"$BUILD_DIR/tools/shadowd" --port "$PORT2" --once --state "$STATE" > "$LOG" 2>&1 &
+DPID=$!
+for _ in $(seq 1 50); do
+  grep -q "listening" "$LOG" && break
+  sleep 0.1
+done
+grep -q "restored state from .* (1 cached files)" "$LOG" || fail "daemon did not restore state"
+printf 'quit\n' | "$BUILD_DIR/tools/shadow" --connect "$PORT2" > /dev/null
+wait "$DPID"
+
+rm -f "$LOG" "$STATE"
+echo "PASS: cli end-to-end"

@@ -1,0 +1,82 @@
+// Unit tests for the job command file parser (paper §6.2).
+#include <gtest/gtest.h>
+
+#include "job/command_file.hpp"
+
+namespace shadow::job {
+namespace {
+
+TEST(CommandFileTest, SingleCommand) {
+  auto result = parse_command_file("sort data.f\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].program, "sort");
+  EXPECT_EQ(result.value()[0].args, (std::vector<std::string>{"data.f"}));
+  EXPECT_TRUE(result.value()[0].redirect.empty());
+}
+
+TEST(CommandFileTest, MultipleCommandsAndArgs) {
+  auto result = parse_command_file(
+      "gen 100 42\n"
+      "grep pattern input.txt\n"
+      "scale 2.5 numbers.dat\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 3u);
+  EXPECT_EQ(result.value()[1].args,
+            (std::vector<std::string>{"pattern", "input.txt"}));
+}
+
+TEST(CommandFileTest, RedirectForms) {
+  auto spaced = parse_command_file("sort in > out\n");
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ(spaced.value()[0].redirect, "out");
+  EXPECT_EQ(spaced.value()[0].args, (std::vector<std::string>{"in"}));
+
+  auto glued = parse_command_file("sort in >out\n");
+  ASSERT_TRUE(glued.ok());
+  EXPECT_EQ(glued.value()[0].redirect, "out");
+}
+
+TEST(CommandFileTest, CommentsAndBlanksIgnored) {
+  auto result = parse_command_file(
+      "# job header comment\n"
+      "\n"
+      "   \n"
+      "wc data  # trailing comment\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0].program, "wc");
+  EXPECT_EQ(result.value()[0].args, (std::vector<std::string>{"data"}));
+}
+
+TEST(CommandFileTest, TabsSeparateTokens) {
+  auto result = parse_command_file("head\t10\tdata\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()[0].args,
+            (std::vector<std::string>{"10", "data"}));
+}
+
+TEST(CommandFileTest, MissingNewlineAtEof) {
+  auto result = parse_command_file("wc data");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()[0].program, "wc");
+}
+
+TEST(CommandFileTest, EmptyFileRejected) {
+  EXPECT_FALSE(parse_command_file("").ok());
+  EXPECT_FALSE(parse_command_file("# only comments\n\n").ok());
+}
+
+TEST(CommandFileTest, BareRedirectRejected) {
+  EXPECT_FALSE(parse_command_file("> out\n").ok());
+}
+
+TEST(CommandFileTest, ToTextRoundTrip) {
+  const std::string text = "gen 10 1 > raw\nsort raw > sorted\nwc sorted\n";
+  auto parsed = parse_command_file(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(to_text(parsed.value()), text);
+}
+
+}  // namespace
+}  // namespace shadow::job

@@ -1,0 +1,163 @@
+// Unit tests for the compress module: RLE, LZ77, header handling,
+// anti-expansion fallback, and property-style round trips.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compress/compress.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::compress {
+namespace {
+
+Bytes str(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(CompressTest, CodecNames) {
+  EXPECT_STREQ(codec_name(Codec::kStored), "stored");
+  EXPECT_STREQ(codec_name(Codec::kRle), "rle");
+  EXPECT_STREQ(codec_name(Codec::kLz77), "lz77");
+}
+
+TEST(CompressTest, StoredRoundTrip) {
+  const Bytes input = str("plain content, nothing clever");
+  const Bytes packed = compress(input, Codec::kStored);
+  EXPECT_EQ(packed.size(), input.size() + 2);  // tag + 1-byte varint size
+  auto out = decompress(packed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+TEST(CompressTest, EmptyInputAllCodecs) {
+  for (Codec codec : {Codec::kStored, Codec::kRle, Codec::kLz77}) {
+    auto out = decompress(compress(Bytes{}, codec));
+    ASSERT_TRUE(out.ok()) << codec_name(codec);
+    EXPECT_TRUE(out.value().empty());
+  }
+}
+
+TEST(CompressTest, RleCompressesRuns) {
+  Bytes input(10000, 'a');
+  const Bytes packed = compress(input, Codec::kRle);
+  EXPECT_LT(packed.size(), 32u);
+  auto out = decompress(packed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+TEST(CompressTest, RleHandlesEscapeByte) {
+  Bytes input;
+  for (int i = 0; i < 300; ++i) input.push_back(0xFF);
+  input.push_back(0x01);
+  input.push_back(0xFF);
+  auto out = decompress(compress(input, Codec::kRle));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+TEST(CompressTest, Lz77CompressesRepeatedText) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog\n";
+  }
+  const Bytes input = str(text);
+  const Bytes packed = compress(input, Codec::kLz77);
+  EXPECT_LT(packed.size(), input.size() / 4);
+  auto out = decompress(packed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+TEST(CompressTest, Lz77HandlesOverlappingMatches) {
+  // "abababab..." forces matches that copy from their own output.
+  std::string text = "ab";
+  for (int i = 0; i < 10; ++i) text += text;
+  const Bytes input = str(text);
+  auto out = decompress(compress(input, Codec::kLz77));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), input);
+}
+
+TEST(CompressTest, IncompressibleFallsBackToStored) {
+  Rng rng(99);
+  const Bytes input = rng.bytes(4096);  // random bytes don't compress
+  for (Codec codec : {Codec::kRle, Codec::kLz77}) {
+    const Bytes packed = compress(input, codec);
+    // Never expands beyond input + small header.
+    EXPECT_LE(packed.size(), input.size() + 6) << codec_name(codec);
+    auto out = decompress(packed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), input);
+  }
+}
+
+TEST(CompressTest, DecompressRejectsBadTag) {
+  Bytes evil = {0x07, 0x00};
+  EXPECT_EQ(decompress(evil).code(), ErrorCode::kProtocolError);
+}
+
+TEST(CompressTest, DecompressRejectsEmpty) {
+  EXPECT_FALSE(decompress(Bytes{}).ok());
+}
+
+TEST(CompressTest, DecompressRejectsSizeMismatch) {
+  Bytes packed = compress(str("hello world"), Codec::kStored);
+  packed[1] = 200;  // lie about the original size
+  EXPECT_FALSE(decompress(packed).ok());
+}
+
+TEST(CompressTest, DecompressRejectsTruncatedRle) {
+  Bytes input(100, 'x');
+  Bytes packed = compress(input, Codec::kRle);
+  packed.resize(packed.size() / 2);
+  EXPECT_FALSE(decompress(packed).ok());
+}
+
+TEST(CompressTest, RatioHelper) {
+  const Bytes original(1000, 'a');
+  const Bytes packed = compress(original, Codec::kRle);
+  const double r = ratio(original, packed);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 0.1);
+  EXPECT_EQ(ratio(Bytes{}, Bytes{}), 1.0);
+}
+
+// Property: round trip over many shapes of random data.
+class CompressRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressRoundTrip, AllCodecsIdentity) {
+  Rng rng(static_cast<u64>(GetParam()));
+  // Mix of random, runs, and text-like content.
+  Bytes input;
+  const std::size_t segments = 1 + rng.below(8);
+  for (std::size_t s = 0; s < segments; ++s) {
+    switch (rng.below(3)) {
+      case 0: {
+        const Bytes r = rng.bytes(rng.below(2000));
+        input.insert(input.end(), r.begin(), r.end());
+        break;
+      }
+      case 1: {
+        input.insert(input.end(), rng.below(3000),
+                     static_cast<u8>(rng.below(256)));
+        break;
+      }
+      default: {
+        const std::string line = rng.ascii_line(40);
+        for (u64 i = 0, n = rng.below(50); i < n; ++i) {
+          input.insert(input.end(), line.begin(), line.end());
+          input.push_back('\n');
+        }
+      }
+    }
+  }
+  for (Codec codec : {Codec::kStored, Codec::kRle, Codec::kLz77}) {
+    auto out = decompress(compress(input, codec));
+    ASSERT_TRUE(out.ok()) << codec_name(codec);
+    EXPECT_EQ(out.value(), input) << codec_name(codec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressRoundTrip, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace shadow::compress

@@ -1,0 +1,140 @@
+// Tests for the core facade itself: ShadowSystem wiring, the experiment
+// harness, and the editor wrapper.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+namespace shadow::core {
+namespace {
+
+TEST(ShadowSystemTest, AddClientCreatesHostWithHome) {
+  ShadowSystem system;
+  system.add_client("ws");
+  EXPECT_TRUE(system.cluster().has_host("ws"));
+  EXPECT_TRUE(system.cluster().host("ws").value()->exists("/home/user"));
+}
+
+TEST(ShadowSystemTest, UnknownNamesThrow) {
+  ShadowSystem system;
+  EXPECT_THROW(system.client("nope"), std::out_of_range);
+  EXPECT_THROW(system.editor("nope"), std::out_of_range);
+  EXPECT_THROW(system.server("nope"), std::out_of_range);
+}
+
+TEST(ShadowSystemTest, SettleDrainsAndReturnsTime) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c");
+  system.connect("c", "s", sim::LinkConfig::cypress_9600());
+  const sim::SimTime t = system.settle();
+  EXPECT_GT(t, 0u);  // the Hello round trip took link time
+  EXPECT_TRUE(system.simulator().idle());
+}
+
+TEST(ShadowSystemTest, ByteCountersAggregateAcrossLinks) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c1");
+  system.add_client("c2");
+  system.connect("c1", "s", sim::LinkConfig::cypress_9600());
+  system.connect("c2", "s", sim::LinkConfig::cypress_9600());
+  system.settle();
+  ASSERT_TRUE(system.editor("c1").create("/home/user/a", "aaa\n").ok());
+  ASSERT_TRUE(system.editor("c2").create("/home/user/b", "bbb\n").ok());
+  system.settle();
+  EXPECT_GT(system.total_payload_bytes(), 8u);
+  EXPECT_GT(system.total_wire_bytes(), system.total_payload_bytes());
+}
+
+TEST(ShadowSystemTest, DomainIdFlowsToClients) {
+  ShadowSystem system("my-special-net");
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c");
+  system.connect("c", "s", sim::LinkConfig::cypress_9600());
+  system.settle();
+  ASSERT_TRUE(system.editor("c").create("/home/user/f", "x\n").ok());
+  system.settle();
+  EXPECT_NE(system.server("s").domains().find("my-special-net"), nullptr);
+}
+
+TEST(ShadowEditorTest, SessionCountingAndMutator) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c");
+  system.connect("c", "s", sim::LinkConfig::cypress_9600());
+  system.settle();
+  auto& editor = system.editor("c");
+  EXPECT_EQ(editor.sessions(), 0u);
+  ASSERT_TRUE(editor.create("/home/user/f", "v1\n").ok());
+  // A mutator sees the previous content.
+  ASSERT_TRUE(editor
+                  .edit("/home/user/f",
+                        [](const std::string& old) { return old + "v2\n"; })
+                  .ok());
+  EXPECT_EQ(editor.sessions(), 2u);
+  EXPECT_EQ(system.cluster().read_file("c", "/home/user/f").value(),
+            "v1\nv2\n");
+}
+
+TEST(ShadowEditorTest, EditIntoMissingDirectoryFails) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c");
+  system.connect("c", "s", sim::LinkConfig::cypress_9600());
+  system.settle();
+  EXPECT_FALSE(system.editor("c").create("/no/such/dir/f", "x").ok());
+}
+
+TEST(ExperimentTest, CycleReportFieldsPopulated) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c");
+  sim::Link& link = system.connect("c", "s", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/f"};
+  opts.command_file = "wc f\n";
+  const CycleReport report = run_submit_cycle(
+      system, "c", "/home/user/f", make_file(5000, 1), opts, &link);
+  EXPECT_TRUE(report.completed);
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.payload_bytes, 5000u);  // the file + protocol chatter
+  EXPECT_GT(report.wire_bytes, report.payload_bytes);
+}
+
+TEST(ExperimentTest, FailedSubmitReportsIncomplete) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "s";
+  system.add_server(sc);
+  system.add_client("c");
+  sim::Link& link = system.connect("c", "s", sim::LinkConfig::cypress_9600());
+  system.settle();
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/f"};
+  opts.command_file = "wc f\n";
+  opts.server = "no-such-server";
+  const CycleReport report = run_submit_cycle(
+      system, "c", "/home/user/f", "content\n", opts, &link);
+  EXPECT_FALSE(report.completed);
+}
+
+}  // namespace
+}  // namespace shadow::core

@@ -1,0 +1,173 @@
+// Unit tests for the unified Delta type: format selection, fallback to
+// full content, codec round trips.
+#include <gtest/gtest.h>
+
+#include "diff/delta.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::diff {
+namespace {
+
+TEST(DeltaTest, AlgorithmNames) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kHuntMcIlroy), "hunt-mcilroy");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMyers), "myers");
+  EXPECT_STREQ(algorithm_name(Algorithm::kBlockMove), "block-move");
+  EXPECT_EQ(algorithm_from_name("hm").value(), Algorithm::kHuntMcIlroy);
+  EXPECT_EQ(algorithm_from_name("myers").value(), Algorithm::kMyers);
+  EXPECT_EQ(algorithm_from_name("tichy").value(), Algorithm::kBlockMove);
+  EXPECT_FALSE(algorithm_from_name("quantum").ok());
+}
+
+TEST(DeltaTest, MakeFullNeedsNoBase) {
+  const Delta d = Delta::make_full("content");
+  EXPECT_FALSE(d.needs_base());
+  EXPECT_EQ(d.apply("anything").value(), "content");
+  EXPECT_EQ(d.apply("").value(), "content");
+}
+
+TEST(DeltaTest, SmallEditYieldsSmallDelta) {
+  Rng rng(1);
+  std::string base;
+  for (int i = 0; i < 500; ++i) base += rng.ascii_line(40) + "\n";
+  std::string target = base;
+  target.replace(100, 5, "EDITS");
+  for (Algorithm algo : {Algorithm::kHuntMcIlroy, Algorithm::kMyers,
+                         Algorithm::kBlockMove}) {
+    const Delta d = Delta::compute(base, target, algo);
+    EXPECT_TRUE(d.needs_base()) << algorithm_name(algo);
+    EXPECT_LT(d.wire_size(), 200u) << algorithm_name(algo);
+    EXPECT_EQ(d.apply(base).value(), target) << algorithm_name(algo);
+  }
+}
+
+TEST(DeltaTest, DisjointContentFallsBackToFull) {
+  Rng rng(2);
+  std::string base;
+  std::string target;
+  for (int i = 0; i < 100; ++i) {
+    base += rng.ascii_line(40) + "\n";
+    target += rng.ascii_line(40) + "\n";
+  }
+  for (Algorithm algo : {Algorithm::kHuntMcIlroy, Algorithm::kMyers,
+                         Algorithm::kBlockMove}) {
+    const Delta d = Delta::compute(base, target, algo);
+    EXPECT_EQ(d.format, Delta::Format::kFull) << algorithm_name(algo);
+    // Invariant 5: a delta never costs more than full + small header.
+    EXPECT_LE(d.wire_size(), target.size() + 8) << algorithm_name(algo);
+    EXPECT_EQ(d.apply("whatever").value(), target);
+  }
+}
+
+TEST(DeltaTest, EmptyToEmpty) {
+  for (Algorithm algo : {Algorithm::kHuntMcIlroy, Algorithm::kMyers,
+                         Algorithm::kBlockMove}) {
+    const Delta d = Delta::compute("", "", algo);
+    EXPECT_EQ(d.apply("").value(), "");
+  }
+}
+
+TEST(DeltaTest, CodecRoundTripAllFormats) {
+  Rng rng(3);
+  std::string base;
+  for (int i = 0; i < 100; ++i) base += rng.ascii_line(30) + "\n";
+  std::string target = base;
+  target.insert(500, "INSERTED CONTENT\n");
+
+  const Delta cases[] = {
+      Delta::make_full(target),
+      Delta::compute(base, target, Algorithm::kHuntMcIlroy),
+      Delta::compute(base, target, Algorithm::kBlockMove),
+  };
+  for (const Delta& d : cases) {
+    BufWriter w;
+    d.encode(w);
+    BufReader r(w.data());
+    auto decoded = Delta::decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), d);
+    EXPECT_TRUE(r.at_end());
+    EXPECT_EQ(decoded.value().apply(base).value(), target);
+  }
+}
+
+TEST(DeltaTest, DecodeRejectsBadTag) {
+  Bytes evil = {9, 0, 0};
+  BufReader r(evil);
+  EXPECT_EQ(Delta::decode(r).code(), ErrorCode::kProtocolError);
+}
+
+TEST(DeltaTest, DecodeRejectsEmpty) {
+  Bytes empty;
+  BufReader r(empty);
+  EXPECT_FALSE(Delta::decode(r).ok());
+}
+
+TEST(DeltaTest, ApplyToWrongBaseFailsClosed) {
+  const std::string base = "a\nb\nc\nd\ne\nf\ng\nh\ni\nj\n";
+  std::string target = base;
+  target.replace(2, 1, "X");
+  for (Algorithm algo : {Algorithm::kHuntMcIlroy, Algorithm::kBlockMove}) {
+    const Delta d = Delta::compute(base, target, algo);
+    ASSERT_TRUE(d.needs_base()) << algorithm_name(algo);
+    EXPECT_FALSE(d.apply("a\nTAMPERED\n").ok()) << algorithm_name(algo);
+  }
+}
+
+TEST(DeltaTest, WireSizeIsEncodedSize) {
+  const Delta d = Delta::make_full("0123456789");
+  BufWriter w;
+  d.encode(w);
+  EXPECT_EQ(d.wire_size(), w.size());
+}
+
+TEST(DeltaTest, FullContentCarriesCrc) {
+  // A tampered full-content delta must fail closed (fuzzing found this).
+  Delta d = Delta::make_full("important bits");
+  d.full[0] ^= 0x01;
+  EXPECT_FALSE(d.apply("").ok());
+}
+
+TEST(AdaptiveDeltaTest, PicksBlockMoveForMovedBlocks) {
+  std::string base;
+  for (int i = 0; i < 200; ++i) {
+    base += "line " + std::to_string(i) + " of the program\n";
+  }
+  const std::string moved = base.substr(base.size() / 2) +
+                            base.substr(0, base.size() / 2);
+  const Delta d = Delta::compute_adaptive(base, moved);
+  EXPECT_EQ(d.format, Delta::Format::kBlockMove);
+  EXPECT_LT(d.wire_size(), 128u);
+  EXPECT_EQ(d.apply(base).value(), moved);
+}
+
+TEST(AdaptiveDeltaTest, PicksEdScriptForLineEdits) {
+  Rng rng(9);
+  std::string base;
+  for (int i = 0; i < 300; ++i) base += rng.ascii_line(40) + "\n";
+  std::string edited = base;
+  edited.replace(40, 8, "CHANGED!");
+  edited.replace(4000, 8, "CHANGED!");
+  const Delta d = Delta::compute_adaptive(base, edited);
+  // For scattered line edits the ed script is (at worst) competitive; the
+  // chosen delta must round-trip and beat shipping the file.
+  EXPECT_TRUE(d.needs_base());
+  EXPECT_LT(d.wire_size(), 300u);
+  EXPECT_EQ(d.apply(base).value(), edited);
+}
+
+TEST(AdaptiveDeltaTest, BinaryContentHandled) {
+  // Byte-blob "files" with no newlines defeat line diffs; adaptive must
+  // fall through to block-move (or full) and round-trip exactly.
+  Rng rng(10);
+  Bytes raw = rng.bytes(20'000);
+  std::string base(raw.begin(), raw.end());
+  std::string edited = base;
+  edited.insert(10'000, "patched-in-sequence");
+  const Delta d = Delta::compute_adaptive(base, edited);
+  EXPECT_EQ(d.format, Delta::Format::kBlockMove);
+  EXPECT_LT(d.wire_size(), 1024u);
+  EXPECT_EQ(d.apply(base).value(), edited);
+}
+
+}  // namespace
+}  // namespace shadow::diff

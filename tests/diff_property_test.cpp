@@ -1,0 +1,129 @@
+// Property suite for DESIGN.md invariant 1: apply(old, diff(old, new)) ==
+// new, for every algorithm, across randomized file shapes and edit
+// patterns — including the workload generator used by the benches.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/workload.hpp"
+#include "diff/diff.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace shadow::diff {
+namespace {
+
+using core::make_file;
+using core::modify_percent;
+
+struct Case {
+  std::string name;
+  std::string old_text;
+  std::string new_text;
+};
+
+std::vector<Case> edge_cases() {
+  return {
+      {"both-empty", "", ""},
+      {"create", "", "new file\ncontent\n"},
+      {"truncate", "old\ncontent\n", ""},
+      {"no-trailing-newline-old", "a\nb", "a\nb\nc\n"},
+      {"no-trailing-newline-new", "a\nb\n", "a\nb"},
+      {"no-trailing-newline-both", "x", "y"},
+      {"only-newlines", "\n\n\n", "\n\n"},
+      {"single-char", "a", "b"},
+      {"blank-lines-inserted", "a\nb\n", "a\n\n\n\nb\n"},
+      {"dot-lines", "a\n.\nb\n", ".\n.\na\n"},
+      {"binaryish", std::string("\x01\x02\xff\n\x00zz\n", 8),
+       std::string("\x01\x02\xfe\n\x00zz\n", 8)},
+      {"identical-lines", "x\nx\nx\nx\nx\n", "x\nx\nx\n"},
+      {"swap-halves", "1\n2\n3\n4\n", "3\n4\n1\n2\n"},
+  };
+}
+
+class EdgeCaseRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EdgeCaseRoundTrip, ApplyInvertsDiff) {
+  const auto cases = edge_cases();
+  const Case& c = cases[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const auto algo = static_cast<Algorithm>(std::get<1>(GetParam()));
+  const Delta d = Delta::compute(c.old_text, c.new_text, algo);
+  auto result = d.apply(c.old_text);
+  ASSERT_TRUE(result.ok()) << c.name << " / " << algorithm_name(algo) << ": "
+                           << result.error().to_string();
+  EXPECT_EQ(result.value(), c.new_text)
+      << c.name << " / " << algorithm_name(algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EdgeCaseRoundTrip,
+    ::testing::Combine(::testing::Range(0, 13), ::testing::Range(0, 3)));
+
+// Random workload edits at every modification percentage the paper sweeps.
+class WorkloadRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WorkloadRoundTrip, ApplyInvertsDiff) {
+  const int seed = std::get<0>(GetParam());
+  const int percent = std::get<1>(GetParam());
+  const std::string old_text =
+      make_file(5000 + 1000 * static_cast<std::size_t>(seed),
+                static_cast<u64>(seed));
+  const std::string new_text = modify_percent(
+      old_text, percent, static_cast<u64>(seed) * 977 + 3);
+  for (Algorithm algo : {Algorithm::kHuntMcIlroy, Algorithm::kMyers,
+                         Algorithm::kBlockMove}) {
+    const Delta d = Delta::compute(old_text, new_text, algo);
+    auto result = d.apply(old_text);
+    ASSERT_TRUE(result.ok()) << algorithm_name(algo);
+    EXPECT_EQ(result.value(), new_text) << algorithm_name(algo);
+    // Invariant 5: never worse than full content + header slack.
+    EXPECT_LE(d.wire_size(), new_text.size() + 8) << algorithm_name(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadRoundTrip,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(1, 5, 20, 80)));
+
+// Delta size must shrink with locality: for the same byte budget of edits,
+// an ed script of a 1% edit is far smaller than the file.
+TEST(DiffScalingTest, DeltaSizeTracksEditSize) {
+  const std::string base = make_file(100'000, 42);
+  double last_size = 0;
+  for (int percent : {1, 5, 10, 20}) {
+    const std::string edited = modify_percent(base, percent, 7);
+    const Delta d = Delta::compute(base, edited, Algorithm::kHuntMcIlroy);
+    const double size = static_cast<double>(d.wire_size());
+    EXPECT_GT(size, last_size * 0.8) << percent;  // roughly monotone
+    last_size = size;
+  }
+  // 1% edit => delta is a small fraction of the 100 KB file.
+  const Delta one_percent = Delta::compute(
+      base, modify_percent(base, 1, 7), Algorithm::kHuntMcIlroy);
+  EXPECT_LT(one_percent.wire_size(), 6000u);
+}
+
+// Ed scripts of an identity edit are empty regardless of file size.
+TEST(DiffScalingTest, NoEditNoBytes) {
+  const std::string base = make_file(50'000, 9);
+  const Delta d = Delta::compute(base, base, Algorithm::kHuntMcIlroy);
+  EXPECT_LT(d.wire_size(), 32u);
+}
+
+// Deterministic: identical inputs => identical deltas (sim invariant 6).
+TEST(DiffScalingTest, Deterministic) {
+  const std::string base = make_file(20'000, 3);
+  const std::string edited = modify_percent(base, 10, 4);
+  const Delta a = Delta::compute(base, edited, Algorithm::kHuntMcIlroy);
+  const Delta b = Delta::compute(base, edited, Algorithm::kHuntMcIlroy);
+  BufWriter wa, wb;
+  a.encode(wa);
+  b.encode(wb);
+  EXPECT_EQ(wa.data(), wb.data());
+}
+
+}  // namespace
+}  // namespace shadow::diff

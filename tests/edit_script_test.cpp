@@ -1,0 +1,277 @@
+// Unit tests for the ed-script model: construction, application, wire
+// codec, and the paper's CRC safety checks.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+
+#include "diff/diff.hpp"
+#include "util/strings.hpp"
+#include "util/text.hpp"
+
+namespace shadow::diff {
+namespace {
+
+EditScript script_between(const std::string& old_text,
+                          const std::string& new_text) {
+  return compute_ed_script(old_text, new_text);
+}
+
+TEST(EdScriptTest, IdenticalFilesEmptyScript) {
+  const std::string text = "a\nb\nc\n";
+  const EditScript script = script_between(text, text);
+  EXPECT_TRUE(script.commands.empty());
+  EXPECT_EQ(apply_ed_script(text, script).value(), text);
+}
+
+TEST(EdScriptTest, PureAppend) {
+  const EditScript script = script_between("a\n", "a\nb\nc\n");
+  ASSERT_EQ(script.commands.size(), 1u);
+  EXPECT_EQ(script.commands[0].kind, EdCommand::Kind::kAppend);
+  EXPECT_EQ(script.commands[0].line1, 1u);
+  EXPECT_EQ(apply_ed_script("a\n", script).value(), "a\nb\nc\n");
+}
+
+TEST(EdScriptTest, InsertAtFront) {
+  const EditScript script = script_between("b\n", "a\nb\n");
+  ASSERT_EQ(script.commands.size(), 1u);
+  EXPECT_EQ(script.commands[0].kind, EdCommand::Kind::kAppend);
+  EXPECT_EQ(script.commands[0].line1, 0u);  // "0a" in ed
+  EXPECT_EQ(apply_ed_script("b\n", script).value(), "a\nb\n");
+}
+
+TEST(EdScriptTest, PureDelete) {
+  const EditScript script = script_between("a\nb\nc\n", "a\nc\n");
+  ASSERT_EQ(script.commands.size(), 1u);
+  EXPECT_EQ(script.commands[0].kind, EdCommand::Kind::kDelete);
+  EXPECT_EQ(script.commands[0].line1, 2u);
+  EXPECT_EQ(script.commands[0].line2, 2u);
+  EXPECT_EQ(apply_ed_script("a\nb\nc\n", script).value(), "a\nc\n");
+}
+
+TEST(EdScriptTest, ChangeRange) {
+  const EditScript script =
+      script_between("a\nb\nc\nd\n", "a\nX\nY\nd\n");
+  ASSERT_EQ(script.commands.size(), 1u);
+  EXPECT_EQ(script.commands[0].kind, EdCommand::Kind::kChange);
+  EXPECT_EQ(script.commands[0].line1, 2u);
+  EXPECT_EQ(script.commands[0].line2, 3u);
+  EXPECT_EQ(apply_ed_script("a\nb\nc\nd\n", script).value(), "a\nX\nY\nd\n");
+}
+
+TEST(EdScriptTest, MultipleHunksDescendingOrder) {
+  const std::string old_text = "1\n2\n3\n4\n5\n6\n7\n8\n";
+  const std::string new_text = "1\nX\n3\n4\nY\nZ\n6\n7\n8\nW\n";
+  const EditScript script = script_between(old_text, new_text);
+  ASSERT_GE(script.commands.size(), 2u);
+  for (std::size_t i = 1; i < script.commands.size(); ++i) {
+    EXPECT_LT(script.commands[i].line1, script.commands[i - 1].line1);
+  }
+  EXPECT_EQ(apply_ed_script(old_text, script).value(), new_text);
+}
+
+TEST(EdScriptTest, EmptyToContent) {
+  const EditScript script = script_between("", "a\nb\n");
+  EXPECT_EQ(apply_ed_script("", script).value(), "a\nb\n");
+}
+
+TEST(EdScriptTest, ContentToEmpty) {
+  const EditScript script = script_between("a\nb\n", "");
+  EXPECT_EQ(apply_ed_script("a\nb\n", script).value(), "");
+}
+
+TEST(EdScriptTest, NoTrailingNewlineHandled) {
+  const std::string old_text = "a\nb";      // no trailing newline
+  const std::string new_text = "a\nb\nc";   // still none
+  const EditScript script = script_between(old_text, new_text);
+  EXPECT_EQ(apply_ed_script(old_text, script).value(), new_text);
+}
+
+TEST(EdScriptTest, GainingTrailingNewline) {
+  const EditScript script = script_between("a\nb", "a\nb\n");
+  EXPECT_EQ(apply_ed_script("a\nb", script).value(), "a\nb\n");
+}
+
+TEST(EdScriptTest, ApplyToWrongBaseRejected) {
+  const EditScript script = script_between("a\nb\n", "a\nc\n");
+  auto result = apply_ed_script("a\nDIFFERENT\n", script);
+  EXPECT_EQ(result.code(), ErrorCode::kVersionMismatch);
+}
+
+TEST(EdScriptTest, CorruptedScriptRejectedByBounds) {
+  EditScript script = script_between("a\nb\nc\n", "a\nc\n");
+  script.commands[0].line2 = 99;  // out of range
+  EXPECT_FALSE(apply_ed_script("a\nb\nc\n", script).ok());
+}
+
+TEST(EdScriptTest, NonDescendingScriptRejected) {
+  EditScript good = script_between("1\n2\n3\n4\n", "1\nX\n3\nY\n");
+  ASSERT_EQ(good.commands.size(), 2u);
+  EditScript bad = good;
+  std::swap(bad.commands[0], bad.commands[1]);  // ascending now
+  EXPECT_FALSE(apply_ed_script("1\n2\n3\n4\n", bad).ok());
+}
+
+TEST(EdScriptTest, InsertedBytesAccounting) {
+  const EditScript script = script_between("a\n", "a\nhello\nworld\n");
+  EXPECT_EQ(script.inserted_bytes(), 12u);  // "hello\n" + "world\n"
+}
+
+TEST(EdScriptTest, BinaryCodecRoundTrip) {
+  const std::string old_text = "alpha\nbeta\ngamma\ndelta\n";
+  const std::string new_text = "alpha\nBETA\ngamma\nepsilon\nzeta\n";
+  const EditScript script = script_between(old_text, new_text);
+  BufWriter w;
+  encode_ed_script(script, w);
+  BufReader r(w.data());
+  auto decoded = decode_ed_script(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), script);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(apply_ed_script(old_text, decoded.value()).value(), new_text);
+}
+
+TEST(EdScriptTest, WireSizeMatchesEncoding) {
+  const EditScript script = script_between("a\nb\n", "a\nc\n");
+  BufWriter w;
+  encode_ed_script(script, w);
+  EXPECT_EQ(ed_script_wire_size(script), w.size());
+}
+
+TEST(EdScriptTest, WireSizeScalesWithChange) {
+  const std::string base = []() {
+    std::string t;
+    for (int i = 0; i < 100; ++i) t += "line number " + std::to_string(i) + "\n";
+    return t;
+  }();
+  std::string small_change = base;
+  small_change.replace(0, 4, "LINE");
+  std::string big_change;
+  for (int i = 0; i < 100; ++i) {
+    big_change += "totally different " + std::to_string(i * 7) + "\n";
+  }
+  const auto small_script = script_between(base, small_change);
+  const auto big_script = script_between(base, big_change);
+  EXPECT_LT(ed_script_wire_size(small_script), 64u);
+  EXPECT_GT(ed_script_wire_size(big_script),
+            20 * ed_script_wire_size(small_script));
+}
+
+TEST(EdScriptTest, DecodeTruncatedFails) {
+  const EditScript script = script_between("a\nb\n", "a\nc\nd\n");
+  BufWriter w;
+  encode_ed_script(script, w);
+  for (std::size_t cut = 0; cut < w.size(); ++cut) {
+    Bytes partial(w.data().begin(),
+                  w.data().begin() + static_cast<long>(cut));
+    BufReader r(partial);
+    auto decoded = decode_ed_script(r);
+    // Either fails outright, or decodes a prefix that the CRC check in
+    // apply would reject; it must never crash.
+    if (decoded.ok()) {
+      (void)apply_ed_script("a\nb\n", decoded.value());
+    }
+  }
+}
+
+TEST(EdScriptTest, TextRenderingLooksLikeEd) {
+  const EditScript script = script_between("a\nb\nc\n", "a\nX\n");
+  const std::string text = ed_script_to_text(script);
+  // Change of lines 2,3 into one line: "2,3c\nX\n.\n".
+  EXPECT_NE(text.find("2,3c\n"), std::string::npos);
+  EXPECT_NE(text.find("X\n.\n"), std::string::npos);
+}
+
+TEST(EdScriptTest, TextRenderingEscapesDotLine) {
+  const EditScript script = script_between("a\n", "a\n.\n");
+  const std::string text = ed_script_to_text(script);
+  EXPECT_NE(text.find("..\n"), std::string::npos);
+}
+
+// ---- text parser (interop with ed / diff -e) ----
+
+TEST(EdTextParseTest, RoundTripThroughText) {
+  const std::string old_text = "alpha\nbeta\ngamma\ndelta\nepsilon\n";
+  const std::string new_text = "alpha\nBETA!\ngamma\nzeta\nepsilon\neta\n";
+  const EditScript script = script_between(old_text, new_text);
+  auto parsed = parse_ed_script_text(ed_script_to_text(script), old_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(apply_ed_script(old_text, parsed.value()).value(), new_text);
+}
+
+TEST(EdTextParseTest, DotLinesSurviveTextRoundTrip) {
+  const std::string old_text = "keep\n";
+  const std::string new_text = "keep\n.\n..\n.leading\n";
+  const EditScript script = script_between(old_text, new_text);
+  auto parsed = parse_ed_script_text(ed_script_to_text(script), old_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(apply_ed_script(old_text, parsed.value()).value(), new_text);
+}
+
+TEST(EdTextParseTest, HandwrittenScript) {
+  // A script a human (or 1987's diff -e) would write.
+  const std::string base = "one\ntwo\nthree\nfour\n";
+  const std::string script_text =
+      "4d\n"
+      "2,3c\n"
+      "TWO\n"
+      "THREE\n"
+      ".\n"
+      "0a\n"
+      "zero\n"
+      ".\n";
+  auto parsed = parse_ed_script_text(script_text, base);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(apply_ed_script(base, parsed.value()).value(),
+            "zero\none\nTWO\nTHREE\n");
+}
+
+TEST(EdTextParseTest, RejectsMalformedScripts) {
+  const std::string base = "a\nb\n";
+  EXPECT_FALSE(parse_ed_script_text("2x\n", base).ok());
+  EXPECT_FALSE(parse_ed_script_text("c\n.\n", base).ok());     // no address
+  EXPECT_FALSE(parse_ed_script_text("1a\nnew line\n", base).ok());  // no "."
+  EXPECT_FALSE(parse_ed_script_text("9,12d\n", base).ok());  // out of range
+  EXPECT_FALSE(parse_ed_script_text("1,xd\n", base).ok());
+}
+
+TEST(EdTextParseTest, InteropWithRealDiffDashE) {
+  // End-to-end interop: the REAL diff(1) computes the ed script (exactly
+  // what the 1987 prototype shipped) and OUR engine applies it.
+  if (std::system("command -v diff > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "diff(1) not available";
+  }
+  const std::string old_text =
+      "program shadow\n  integer i\n  do 10 i = 1, 100\n"
+      "10 continue\n  stop\n  end\n";
+  const std::string new_text =
+      "program shadow\n  integer i, j\n  j = 0\n  do 10 i = 1, 200\n"
+      "10 continue\n  stop\n  end\n";
+  const std::string dir = ::testing::TempDir();
+  const std::string old_path = dir + "/shadow_old.f";
+  const std::string new_path = dir + "/shadow_new.f";
+  const std::string script_path = dir + "/shadow.ed";
+  ASSERT_TRUE(write_disk_file(old_path,
+                              Bytes(old_text.begin(), old_text.end()))
+                  .ok());
+  ASSERT_TRUE(write_disk_file(new_path,
+                              Bytes(new_text.begin(), new_text.end()))
+                  .ok());
+  const std::string cmd =
+      "diff -e " + old_path + " " + new_path + " > " + script_path;
+  // diff exits 1 when files differ; that's success here.
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc) && WEXITSTATUS(rc) <= 1);
+  auto script_bytes = read_disk_file(script_path);
+  ASSERT_TRUE(script_bytes.ok());
+  const std::string script_text(script_bytes.value().begin(),
+                                script_bytes.value().end());
+
+  auto parsed = parse_ed_script_text(script_text, old_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string() << "\nscript:\n"
+                           << script_text;
+  EXPECT_EQ(apply_ed_script(old_text, parsed.value()).value(), new_text);
+}
+
+}  // namespace
+}  // namespace shadow::diff

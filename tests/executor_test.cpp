@@ -1,0 +1,139 @@
+// Unit tests for the batch executor's built-in command set.
+#include <gtest/gtest.h>
+
+#include "job/executor.hpp"
+
+namespace shadow::job {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutionResult run(const std::string& commands,
+                      std::map<std::string, std::string> inputs = {}) {
+    auto result = executor_.run_command_file(commands, std::move(inputs));
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? std::move(result).take() : ExecutionResult{};
+  }
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, EchoAndCat) {
+  auto r = run("echo hello batch world\n");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "hello batch world\n");
+
+  auto r2 = run("cat a b\n", {{"a", "first\n"}, {"b", "second\n"}});
+  EXPECT_EQ(r2.output, "first\nsecond\n");
+}
+
+TEST_F(ExecutorTest, SortAndUniq) {
+  auto r = run("sort in\n", {{"in", "c\na\nb\na\n"}});
+  EXPECT_EQ(r.output, "a\na\nb\nc\n");
+  auto r2 = run("sort in > s\nuniq s\n", {{"in", "c\na\nb\na\n"}});
+  EXPECT_EQ(r2.output, "a\nb\nc\n");
+}
+
+TEST_F(ExecutorTest, GrepHeadTailRev) {
+  const std::string data = "apple\nbanana\ncherry\napricot\n";
+  EXPECT_EQ(run("grep ap in\n", {{"in", data}}).output, "apple\napricot\n");
+  EXPECT_EQ(run("head 2 in\n", {{"in", data}}).output, "apple\nbanana\n");
+  EXPECT_EQ(run("tail 2 in\n", {{"in", data}}).output, "cherry\napricot\n");
+  EXPECT_EQ(run("rev in\n", {{"in", "1\n2\n3\n"}}).output, "3\n2\n1\n");
+}
+
+TEST_F(ExecutorTest, WcCountsEverything) {
+  auto r = run("wc in\n", {{"in", "one two\nthree\n"}});
+  EXPECT_EQ(r.output, "2 3 14\n");
+}
+
+TEST_F(ExecutorTest, SumAndScale) {
+  EXPECT_EQ(run("sum in\n", {{"in", "1 x\n2.5 y\nnot-a-number\n"}}).output,
+            "3.5\n");
+  EXPECT_EQ(run("scale 2 in\n", {{"in", "1 a 2\n"}}).output, "2 a 4\n");
+}
+
+TEST_F(ExecutorTest, GenIsDeterministic) {
+  auto a = run("gen 50 7\n");
+  auto b = run("gen 50 7\n");
+  auto c = run("gen 50 8\n");
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output, c.output);
+  EXPECT_EQ(std::count(a.output.begin(), a.output.end(), '\n'), 50);
+}
+
+TEST_F(ExecutorTest, MatmulChecksumStable) {
+  auto a = run("matmul 16 3\n");
+  auto b = run("matmul 16 3\n");
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output.find("matmul 16 checksum"), std::string::npos);
+  EXPECT_GE(a.cpu_cost, 16u * 16u * 16u);
+}
+
+TEST_F(ExecutorTest, MatmulRejectsHugeSize) {
+  auto r = run("matmul 100000 1\n");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST_F(ExecutorTest, PipelineThroughRedirects) {
+  auto r = run(
+      "gen 20 5 > raw\n"
+      "sort raw > sorted\n"
+      "head 3 sorted > top\n"
+      "wc top\n");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.substr(0, 2), "3 ");
+  EXPECT_TRUE(r.sandbox.count("raw"));
+  EXPECT_TRUE(r.sandbox.count("sorted"));
+  EXPECT_TRUE(r.sandbox.count("top"));
+}
+
+TEST_F(ExecutorTest, MissingFileAborts) {
+  auto r = run("cat ghost\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("ghost"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, UnknownCommandAborts) {
+  auto r = run("frobnicate x\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.error.find("unknown command"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, FailCommandAborts) {
+  auto r = run("echo before\nfail deliberate stop\necho after\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.output, "before\n");  // "after" never ran
+  EXPECT_NE(r.error.find("deliberate stop"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, BadNumericArgAborts) {
+  EXPECT_EQ(run("head lots in\n", {{"in", "x\n"}}).exit_code, 1);
+  EXPECT_EQ(run("scale wide in\n", {{"in", "1\n"}}).exit_code, 1);
+}
+
+TEST_F(ExecutorTest, MissingArgsAbort) {
+  EXPECT_EQ(run("sort\n").exit_code, 1);
+  EXPECT_EQ(run("grep onlypattern\n").exit_code, 1);
+}
+
+TEST_F(ExecutorTest, BurnChargesExactCost) {
+  auto r = run("burn 12345\necho done\n");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "done\n");
+  EXPECT_GE(r.cpu_cost, 12345u);
+  EXPECT_EQ(run("burn notanumber\n").exit_code, 1);
+}
+
+TEST_F(ExecutorTest, CpuCostGrowsWithData) {
+  auto small = run("gen 10 1 > d\nsort d\n");
+  auto large = run("gen 1000 1 > d\nsort d\n");
+  EXPECT_GT(large.cpu_cost, small.cpu_cost);
+}
+
+TEST_F(ExecutorTest, ParseErrorSurfacesAsError) {
+  auto result = executor_.run_command_file("", {});
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace shadow::job

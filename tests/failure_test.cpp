@@ -1,0 +1,209 @@
+// Failure-injection tests: the "best effort" guarantees of §5.1 — cache
+// eviction at every awkward moment must degrade to full transfers, never
+// to corruption or deadlock (DESIGN.md invariant 2).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "net/loopback.hpp"
+
+namespace shadow::core {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::ServerConfig sc;
+    sc.name = "super";
+    sc.cache_budget = budget_;
+    system_ = std::make_unique<ShadowSystem>();
+    system_->add_server(sc);
+    system_->add_client("ws");
+    link_ = &system_->connect("ws", "super", sim::LinkConfig::cypress_9600());
+    system_->settle();
+  }
+
+  naming::GlobalFileId id_of(const std::string& path) {
+    return naming::NameResolver(system_->domain_id(), &system_->cluster())
+        .resolve("ws", path)
+        .value();
+  }
+
+  u64 budget_ = 0;
+  std::unique_ptr<ShadowSystem> system_;
+  sim::Link* link_ = nullptr;
+};
+
+TEST_F(FailureTest, EvictionBetweenEditsForcesFullTransfer) {
+  auto& editor = system_->editor("ws");
+  auto& server = system_->server("super");
+  const std::string v1 = make_file(30'000, 1);
+  ASSERT_TRUE(editor.create("/home/user/f", v1).ok());
+  system_->settle();
+  ASSERT_EQ(server.stats().full_transfers, 1u);
+
+  // Disk pressure at the server: the shadow copy is dropped (§5.1: "if for
+  // some reason the user's file is lost ... the system will still
+  // function").
+  server.evict_file(id_of("/home/user/f"));
+
+  ASSERT_TRUE(editor.create("/home/user/f", modify_percent(v1, 2, 2)).ok());
+  system_->settle();
+  // The server had no base, so the pull asked for a full file.
+  EXPECT_EQ(server.stats().full_transfers, 2u);
+  EXPECT_EQ(server.stats().delta_transfers, 0u);
+  // And the cache converged to the right content.
+  auto entry =
+      server.file_cache().get(server.domains().cache_key(id_of("/home/user/f")));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->version, 2u);
+}
+
+TEST_F(FailureTest, EvictionBetweenPullAndUpdateRecovers) {
+  // The nastiest window: the server requests a delta against v1, then
+  // loses v1 BEFORE the delta arrives. The delta cannot apply; the server
+  // must re-pull full and converge.
+  auto& editor = system_->editor("ws");
+  auto& server = system_->server("super");
+  const std::string v1 = make_file(30'000, 3);
+  ASSERT_TRUE(editor.create("/home/user/f", v1).ok());
+  system_->settle();
+
+  const std::string v2 = modify_percent(v1, 2, 4);
+  ASSERT_TRUE(editor.create("/home/user/f", v2).ok());
+  // The notify + pull exchange is in flight; evict the base mid-air.
+  // Run just a little so the pull is issued but the delta not yet applied.
+  system_->simulator().run_until(system_->simulator().now() + 1000);
+  server.evict_file(id_of("/home/user/f"));
+  system_->settle();
+
+  auto entry =
+      server.file_cache().get(server.domains().cache_key(id_of("/home/user/f")));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->content, v2);
+  // Recovery used a second, full pull.
+  EXPECT_GE(server.stats().pulls_sent, 2u);
+  EXPECT_EQ(server.stats().full_transfers, 2u);
+}
+
+TEST_F(FailureTest, ClientPrunedBaseFallsBackToFull) {
+  // §6.3.2: server asks for a delta against a version the client pruned.
+  auto& editor = system_->editor("ws");
+  auto& client = system_->client("ws");
+  client.env().retention_limit = 0;  // keep only the latest version
+  auto& server = system_->server("super");
+
+  server::ServerConfig lazy = server.config();
+  (void)lazy;
+  const std::string v1 = make_file(20'000, 5);
+  ASSERT_TRUE(editor.create("/home/user/f", v1).ok());
+  system_->settle();
+
+  // Make v2 and v3 quickly; retention 0 discards v2 the moment v3 exists,
+  // while the server may still ask for a v2-based delta. Use run_until to
+  // keep both edits inside one network round trip.
+  ASSERT_TRUE(editor.create("/home/user/f", modify_percent(v1, 2, 6)).ok());
+  ASSERT_TRUE(editor.create("/home/user/f", modify_percent(v1, 4, 7)).ok());
+  system_->settle();
+
+  // Whatever mix of pulls happened, the cache must equal the client's
+  // latest content (invariant 3) — fallback logic never corrupts.
+  naming::NameResolver resolver(system_->domain_id(), &system_->cluster());
+  const auto id = resolver.resolve("ws", "/home/user/f").value();
+  auto entry = server.file_cache().get(server.domains().cache_key(id));
+  ASSERT_TRUE(entry.ok());
+  const auto latest =
+      client.versions().chain(id.key()).latest().value().content;
+  EXPECT_EQ(entry.value()->content, latest);
+}
+
+TEST_F(FailureTest, JobWaitingOnEvictedInputRepulls) {
+  auto& editor = system_->editor("ws");
+  auto& server = system_->server("super");
+  auto& client = system_->client("ws");
+  ASSERT_TRUE(editor.create("/home/user/f", make_file(10'000, 8)).ok());
+  system_->settle();
+  // Input cached. Now evict it, then submit — the job must re-pull.
+  server.evict_file(id_of("/home/user/f"));
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/f"};
+  opts.command_file = "wc f\n";
+  auto token = client.submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_->settle();
+  EXPECT_TRUE(client.job_done(token.value()));
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_GE(server.stats().pulls_sent, 2u);
+}
+
+class TinyCacheTest : public FailureTest {
+ protected:
+  TinyCacheTest() { budget_ = 15'000; }  // smaller than one big file
+};
+
+TEST_F(TinyCacheTest, OversizedFileStillRunsJobs) {
+  // A 30 KB file cannot live in a 15 KB cache; the pinning path must let
+  // the job run anyway, and later submissions pay full transfers.
+  auto& editor = system_->editor("ws");
+  auto& client = system_->client("ws");
+  auto& server = system_->server("super");
+  const std::string big = make_file(30'000, 9);
+  ASSERT_TRUE(editor.create("/home/user/big.f", big).ok());
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/big.f"};
+  opts.command_file = "wc big.f\n";
+  auto token = client.submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_->settle();
+  ASSERT_TRUE(client.job_done(token.value()));
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+  EXPECT_EQ(server.file_cache().stats().rejected, 1u);
+  EXPECT_EQ(server.file_cache().entry_count(), 0u);
+  auto out = system_->cluster().read_file("ws", "/home/user/job.out");
+  ASSERT_TRUE(out.ok());
+}
+
+TEST_F(TinyCacheTest, ManyFilesThrashButConverge) {
+  auto& editor = system_->editor("ws");
+  auto& client = system_->client("ws");
+  auto& server = system_->server("super");
+  // Six 5 KB files against a 15 KB budget: at most 3 fit.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(editor
+                    .create("/home/user/f" + std::to_string(i),
+                            make_file(5000, static_cast<u64>(i)))
+                    .ok());
+  }
+  system_->settle();
+  EXPECT_LE(server.file_cache().bytes_used(), 15'000u);
+  EXPECT_GT(server.file_cache().stats().evictions, 0u);
+
+  // A job over three of them still completes (re-pulling as needed).
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/f0", "/home/user/f1", "/home/user/f2"};
+  opts.command_file = "cat f0 f1 f2 > all\nwc all\n";
+  auto token = client.submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_->settle();
+  EXPECT_TRUE(client.job_done(token.value()));
+}
+
+TEST_F(FailureTest, MalformedMessagesDroppedNotFatal) {
+  // A rogue connection floods the server with garbage; real clients must
+  // be unaffected.
+  auto& server = system_->server("super");
+  auto rogue = net::make_loopback_pair("rogue", "super");
+  server.attach(rogue.b.get());
+  ASSERT_TRUE(rogue.a->send(Bytes{0xFF, 0x00, 0x13, 0x37}).ok());
+  ASSERT_TRUE(rogue.a->send(Bytes{}).ok());
+  ASSERT_TRUE(rogue.a->send(Bytes(10'000, 0xAA)).ok());
+  net::pump(rogue);
+
+  auto& editor = system_->editor("ws");
+  ASSERT_TRUE(editor.create("/home/user/ok.f", "fine\n").ok());
+  system_->settle();
+  EXPECT_GE(server.stats().updates_received, 1u);
+}
+
+}  // namespace
+}  // namespace shadow::core

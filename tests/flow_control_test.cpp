@@ -1,0 +1,176 @@
+// Tests for data-flow control (paper §5.2): demand-driven vs request-
+// driven, eager vs lazy pulls, and the outstanding-pull cap that protects
+// the server from being overrun.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+namespace shadow::core {
+namespace {
+
+TEST(FlowControlTest, RequestDrivenClientPushesUnprompted) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  client::ShadowEnvironment env;
+  env.flow = client::FlowMode::kRequestDriven;
+  auto& client = system.add_client("pushy");
+  client.env().flow = env.flow;
+  system.connect("pushy", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("pushy");
+  ASSERT_TRUE(editor.create("/home/user/f", make_file(5000, 1)).ok());
+  system.settle();
+
+  auto& server = system.server("super");
+  EXPECT_EQ(server.stats().notifies_received, 0u);
+  EXPECT_EQ(server.stats().pulls_sent, 0u);
+  EXPECT_EQ(server.stats().updates_received, 1u);
+  EXPECT_EQ(server.stats().unsolicited_updates, 1u);
+}
+
+TEST(FlowControlTest, RequestDrivenSecondPushIsDelta) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  auto& client = system.add_client("pushy");
+  client.env().flow = client::FlowMode::kRequestDriven;
+  system.connect("pushy", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("pushy");
+  const std::string v1 = make_file(30'000, 2);
+  ASSERT_TRUE(editor.create("/home/user/f", v1).ok());
+  system.settle();  // push v1 full, receive ack
+  ASSERT_TRUE(editor.create("/home/user/f", modify_percent(v1, 3, 5)).ok());
+  system.settle();
+
+  EXPECT_EQ(client.stats().full_sent, 1u);
+  EXPECT_EQ(client.stats().delta_sent, 1u);
+  EXPECT_EQ(system.server("super").stats().delta_transfers, 1u);
+}
+
+TEST(FlowControlTest, LazyServerPullsOnlyAtSubmit) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.pull_policy = server::PullPolicy::kLazyOnSubmit;
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("ws");
+  auto& server = system.server("super");
+  ASSERT_TRUE(editor.create("/home/user/f", "content\n").ok());
+  system.settle();
+  // Notified but not pulled.
+  EXPECT_EQ(server.stats().notifies_received, 1u);
+  EXPECT_EQ(server.stats().pulls_sent, 0u);
+  EXPECT_EQ(server.file_cache().entry_count(), 0u);
+
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/f"};
+  opts.command_file = "wc f\n";
+  auto token = system.client("ws").submit(opts);
+  ASSERT_TRUE(token.ok());
+  system.settle();
+  EXPECT_EQ(server.stats().pulls_sent, 1u);
+  EXPECT_TRUE(system.client("ws").job_done(token.value()));
+}
+
+TEST(FlowControlTest, OutstandingPullCapDefersThenDrains) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.max_outstanding_pulls = 2;  // tight flow-control window
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  // Ten files edited back to back: the server may only have 2 pulls in
+  // flight at any time, but must eventually retrieve all ten.
+  auto& editor = system.editor("ws");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(editor
+                    .create("/home/user/f" + std::to_string(i),
+                            make_file(2000, static_cast<u64>(i)))
+                    .ok());
+  }
+  system.settle();
+
+  auto& server = system.server("super");
+  EXPECT_GT(server.stats().pulls_deferred, 0u);
+  EXPECT_EQ(server.stats().updates_received, 10u);
+  EXPECT_EQ(server.file_cache().entry_count(), 10u);
+}
+
+TEST(FlowControlTest, DemandDrivenNotifiesAreTiny) {
+  // §5.2: "job submission and update requests are short and quick in the
+  // demand driven model because no explicit bulk data transfer is
+  // involved". A notify must cost O(name), not O(file).
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.pull_policy = server::PullPolicy::kLazyOnSubmit;  // no pull follows
+  system.add_server(sc);
+  system.add_client("ws");
+  sim::Link& link = system.connect("ws", "super",
+                                   sim::LinkConfig::cypress_9600());
+  system.settle();
+  const u64 before = link.total_payload_bytes();
+  ASSERT_TRUE(system.editor("ws")
+                  .create("/home/user/big.f", make_file(200'000, 4))
+                  .ok());
+  system.settle();
+  const u64 notify_cost = link.total_payload_bytes() - before;
+  EXPECT_LT(notify_cost, 200u);
+}
+
+TEST(FlowControlTest, EagerPullOverlapsEditingSessions) {
+  // §5.1 concurrency: while the user edits file B, file A's update is
+  // already flowing. With eager pulls, by the time the user submits, the
+  // submit round trip is all that remains.
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  system.add_client("ws");
+  sim::Link& link = system.connect("ws", "super",
+                                   sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("ws");
+  ASSERT_TRUE(editor.create("/home/user/a.f", make_file(20'000, 1)).ok());
+  // User spends 60 seconds editing the second file; the first transfer
+  // proceeds in the background.
+  system.simulator().run_until(system.simulator().now() +
+                               sim::from_seconds(60));
+  ASSERT_TRUE(editor.create("/home/user/b.f", make_file(20'000, 2)).ok());
+  system.simulator().run_until(system.simulator().now() +
+                               sim::from_seconds(60));
+
+  // Both files already cached before any submit.
+  EXPECT_EQ(system.server("super").file_cache().entry_count(), 2u);
+
+  const sim::SimTime t0 = system.simulator().now();
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/a.f", "/home/user/b.f"};
+  opts.command_file = "cat a.f b.f > all\nwc all\n";
+  auto token = system.client("ws").submit(opts);
+  ASSERT_TRUE(token.ok());
+  system.settle();
+  ASSERT_TRUE(system.client("ws").job_done(token.value()));
+  // Submit-to-output took far less than a 20 KB transfer would (~17 s at
+  // 9600 baud): only control messages + tiny output crossed the link.
+  EXPECT_LT(sim::to_seconds(system.simulator().now() - t0), 5.0);
+  (void)link;
+}
+
+}  // namespace
+}  // namespace shadow::core

@@ -1,0 +1,409 @@
+// End-to-end integration tests: full client/server protocol over simulated
+// links — the paper's §6.4 scenario plus DESIGN.md invariants 2 and 3.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "vfs/path.hpp"
+
+namespace shadow::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::ServerConfig sc;
+    sc.name = "super";
+    system_.add_server(sc);
+    system_.add_client("ws1");
+    link_ = &system_.connect("ws1", "super", sim::LinkConfig::cypress_9600());
+    system_.settle();  // drain Hello/HelloReply
+  }
+
+  client::ShadowClient::SubmitOptions wc_job(const std::string& file) {
+    client::ShadowClient::SubmitOptions opts;
+    opts.files = {file};
+    opts.command_file = "wc " + vfs::basename(file) + "\n";
+    opts.output_path = "/home/user/job.out";
+    opts.error_path = "/home/user/job.err";
+    return opts;
+  }
+
+  ShadowSystem system_;
+  sim::Link* link_ = nullptr;
+};
+
+TEST_F(IntegrationTest, HelloHandshakeCompletes) {
+  // SetUp settled; the server must know the client by name (routing works).
+  auto& client = system_.client("ws1");
+  EXPECT_EQ(client.stats().updates_sent, 0u);
+}
+
+TEST_F(IntegrationTest, EagerServerPullsAfterEdit) {
+  auto& editor = system_.editor("ws1");
+  auto& server = system_.server("super");
+  const std::string content = make_file(10'000, 1);
+  ASSERT_TRUE(editor.create("/home/user/data.f", content).ok());
+  system_.settle();
+
+  EXPECT_EQ(server.stats().notifies_received, 1u);
+  EXPECT_EQ(server.stats().pulls_sent, 1u);
+  EXPECT_EQ(server.stats().updates_received, 1u);
+  EXPECT_EQ(server.stats().full_transfers, 1u);
+
+  // Invariant 3: the cached bytes equal the client's latest version.
+  EXPECT_EQ(server.file_cache().entry_count(), 1u);
+  auto& cache = server.file_cache();
+  const auto& entry = cache.get(
+      server.domains().cache_key(
+          naming::NameResolver(system_.domain_id(), &system_.cluster())
+              .resolve("ws1", "/home/user/data.f")
+              .value()));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->content, content);
+  EXPECT_EQ(entry.value()->version, 1u);
+}
+
+TEST_F(IntegrationTest, SecondEditShipsDeltaNotFull) {
+  auto& editor = system_.editor("ws1");
+  auto& server = system_.server("super");
+  auto& client = system_.client("ws1");
+  const std::string v1 = make_file(50'000, 2);
+  ASSERT_TRUE(editor.create("/home/user/data.f", v1).ok());
+  system_.settle();
+  const u64 payload_after_full = link_->total_payload_bytes();
+
+  const std::string v2 = modify_percent(v1, 2, 3);
+  ASSERT_TRUE(editor.create("/home/user/data.f", v2).ok());
+  system_.settle();
+
+  EXPECT_EQ(server.stats().delta_transfers, 1u);
+  EXPECT_EQ(client.stats().delta_sent, 1u);
+  const u64 delta_bytes = link_->total_payload_bytes() - payload_after_full;
+  EXPECT_LT(delta_bytes, v2.size() / 5);  // a 2% edit is a small delta
+
+  // Server cache converged to v2.
+  naming::NameResolver resolver(system_.domain_id(), &system_.cluster());
+  const auto id = resolver.resolve("ws1", "/home/user/data.f").value();
+  auto entry = server.file_cache().get(server.domains().cache_key(id));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->content, v2);
+  EXPECT_EQ(entry.value()->version, 2u);
+}
+
+TEST_F(IntegrationTest, UnchangedSaveSendsNothing) {
+  auto& editor = system_.editor("ws1");
+  auto& server = system_.server("super");
+  ASSERT_TRUE(editor.create("/home/user/data.f", "same\n").ok());
+  system_.settle();
+  ASSERT_TRUE(editor.create("/home/user/data.f", "same\n").ok());
+  system_.settle();
+  // The no-op save did not create a version or a transfer.
+  EXPECT_EQ(server.stats().updates_received, 1u);
+  EXPECT_EQ(system_.client("ws1").versions().chain(
+      naming::NameResolver(system_.domain_id(), &system_.cluster())
+          .resolve("ws1", "/home/user/data.f").value().key())
+          .latest_number().value(), 1u);
+}
+
+TEST_F(IntegrationTest, VersionsGarbageCollectedAfterAck) {
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(editor.create("/home/user/data.f",
+                              make_file(5000, static_cast<u64>(i))).ok());
+    system_.settle();
+  }
+  naming::NameResolver resolver(system_.domain_id(), &system_.cluster());
+  const auto key =
+      resolver.resolve("ws1", "/home/user/data.f").value().key();
+  auto& chain = client.versions().chain(key);
+  // All five versions acked; only v5 (the server's base) should remain.
+  EXPECT_EQ(chain.acked(), 5u);
+  EXPECT_EQ(chain.stored_count(), 1u);
+  EXPECT_TRUE(chain.has(5));
+}
+
+TEST_F(IntegrationTest, SubmitRunsJobAndReturnsOutput) {
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  const std::string content = "alpha\nbeta\ngamma\n";
+  ASSERT_TRUE(editor.create("/home/user/data.f", content).ok());
+  auto token = client.submit(wc_job("/home/user/data.f"));
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+
+  ASSERT_TRUE(client.job_done(token.value()));
+  const auto& view = client.jobs().at(token.value());
+  EXPECT_EQ(view.exit_code, 0);
+  EXPECT_EQ(view.state, proto::JobState::kDelivered);
+  auto output = system_.cluster().read_file("ws1", "/home/user/job.out");
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output.value(), "3 3 17\n");  // 3 lines, 3 words, 17 bytes
+  auto err = system_.cluster().read_file("ws1", "/home/user/job.err");
+  ASSERT_TRUE(err.ok());
+  EXPECT_TRUE(err.value().empty());
+}
+
+TEST_F(IntegrationTest, ServerSideJobStateReachesDelivered) {
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  auto& server = system_.server("super");
+  ASSERT_TRUE(editor.create("/home/user/data.f", "x\n").ok());
+  auto token = client.submit(wc_job("/home/user/data.f"));
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  const auto& jobs = server.jobs().all();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.begin()->second.state, proto::JobState::kDelivered);
+  EXPECT_EQ(server.stats().jobs_completed, 1u);
+}
+
+TEST_F(IntegrationTest, FailingJobReportsError) {
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  ASSERT_TRUE(editor.create("/home/user/data.f", "x\n").ok());
+  auto opts = wc_job("/home/user/data.f");
+  opts.command_file = "cat no-such-input\n";
+  auto token = client.submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  ASSERT_TRUE(client.job_done(token.value()));
+  const auto& view = client.jobs().at(token.value());
+  EXPECT_EQ(view.exit_code, 1);
+  EXPECT_EQ(view.state, proto::JobState::kFailed);
+  auto err = system_.cluster().read_file("ws1", "/home/user/job.err");
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err.value().find("no-such-input"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, MultiFileJobPipeline) {
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  ASSERT_TRUE(editor.create("/home/user/a.txt", "3\n1\n").ok());
+  ASSERT_TRUE(editor.create("/home/user/b.txt", "2\n").ok());
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/home/user/a.txt", "/home/user/b.txt"};
+  opts.command_file = "cat a.txt b.txt > all\nsort all\n";
+  opts.output_path = "/home/user/sorted.out";
+  opts.error_path = "/home/user/sorted.err";
+  auto token = client.submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  ASSERT_TRUE(client.job_done(token.value()));
+  EXPECT_EQ(system_.cluster().read_file("ws1", "/home/user/sorted.out").value(),
+            "1\n2\n3\n");
+}
+
+TEST_F(IntegrationTest, StatusQueryReflectsServerState) {
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  ASSERT_TRUE(editor.create("/home/user/data.f", "x\n").ok());
+  auto token = client.submit(wc_job("/home/user/data.f"));
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+
+  std::vector<proto::JobStatusInfo> seen;
+  client.on_status([&](const std::vector<proto::JobStatusInfo>& jobs) {
+    seen = jobs;
+  });
+  ASSERT_TRUE(client.request_status().ok());
+  system_.settle();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].state, proto::JobState::kDelivered);
+}
+
+TEST_F(IntegrationTest, LazyClientWorksViaSubmitPull) {
+  // background_updates off: the server learns about files only at submit.
+  client::ShadowEnvironment env;
+  env.background_updates = false;
+  system_.add_client("lazy");
+  system_.client("lazy").env() = env;
+  sim::Link& link =
+      system_.connect("lazy", "super", sim::LinkConfig::cypress_9600());
+  (void)link;
+  system_.settle();
+
+  auto& editor = system_.editor("lazy");
+  auto& client = system_.client("lazy");
+  auto& server = system_.server("super");
+  const u64 notifies_before = server.stats().notifies_received;
+  ASSERT_TRUE(editor.create("/home/user/quiet.f", "lazy content\n").ok());
+  system_.settle();
+  EXPECT_EQ(server.stats().notifies_received, notifies_before);
+
+  auto token = client.submit(wc_job("/home/user/quiet.f"));
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  EXPECT_TRUE(client.job_done(token.value()));
+}
+
+TEST_F(IntegrationTest, ResubmitCycleFasterThanFirst) {
+  // The paper's headline effect, as a correctness property: the second
+  // cycle (2% edit) must move far fewer bytes than the first (full file).
+  auto& client = system_.client("ws1");
+  const std::string v1 = make_file(100'000, 10);
+  auto first = run_submit_cycle(system_, "ws1", "/home/user/big.f", v1,
+                                wc_job("/home/user/big.f"), link_);
+  ASSERT_TRUE(first.completed);
+  (void)client;
+
+  const std::string v2 = modify_percent(v1, 2, 11);
+  auto second = run_submit_cycle(system_, "ws1", "/home/user/big.f", v2,
+                                 wc_job("/home/user/big.f"), link_);
+  ASSERT_TRUE(second.completed);
+  EXPECT_LT(second.payload_bytes, first.payload_bytes / 5);
+  EXPECT_LT(second.seconds, first.seconds / 2);
+}
+
+TEST_F(IntegrationTest, TwoClientsShareOneServer) {
+  system_.add_client("ws2");
+  system_.connect("ws2", "super", sim::LinkConfig::cypress_9600());
+  system_.settle();
+
+  ASSERT_TRUE(
+      system_.editor("ws1").create("/home/user/one.f", "from ws1\n").ok());
+  ASSERT_TRUE(
+      system_.editor("ws2").create("/home/user/two.f", "from ws2\n").ok());
+  auto t1 = system_.client("ws1").submit(wc_job("/home/user/one.f"));
+  auto t2 = system_.client("ws2").submit(wc_job("/home/user/two.f"));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  system_.settle();
+  EXPECT_TRUE(system_.client("ws1").job_done(t1.value()));
+  EXPECT_TRUE(system_.client("ws2").job_done(t2.value()));
+  EXPECT_EQ(system_.server("super").stats().jobs_completed, 2u);
+}
+
+TEST_F(IntegrationTest, OneClientTwoServers) {
+  server::ServerConfig sc2;
+  sc2.name = "cray";
+  system_.add_server(sc2);
+  system_.connect("ws1", "cray", sim::LinkConfig::arpanet_56k());
+  system_.settle();
+
+  auto& editor = system_.editor("ws1");
+  ASSERT_TRUE(editor.create("/home/user/shared.f", "both servers\n").ok());
+  system_.settle();
+  // Both servers pulled the file.
+  EXPECT_EQ(system_.server("super").stats().updates_received, 1u);
+  EXPECT_EQ(system_.server("cray").stats().updates_received, 1u);
+
+  auto opts = wc_job("/home/user/shared.f");
+  opts.server = "cray";
+  auto token = system_.client("ws1").submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  EXPECT_TRUE(system_.client("ws1").job_done(token.value()));
+  EXPECT_EQ(system_.server("cray").stats().jobs_completed, 1u);
+  EXPECT_EQ(system_.server("super").stats().jobs_completed, 0u);
+}
+
+TEST_F(IntegrationTest, OutputRoutedToAnotherClient) {
+  // §8.3 future work: submit from ws1, deliver output to ws2.
+  system_.add_client("ws2");
+  system_.connect("ws2", "super", sim::LinkConfig::cypress_9600());
+  system_.settle();
+
+  ASSERT_TRUE(
+      system_.editor("ws1").create("/home/user/data.f", "a\nb\n").ok());
+  auto opts = wc_job("/home/user/data.f");
+  opts.output_route = "ws2";
+  opts.output_path = "/home/user/routed.out";
+  opts.error_path = "/home/user/routed.err";
+  auto token = system_.client("ws1").submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+
+  // Output landed on ws2, not ws1.
+  EXPECT_TRUE(
+      system_.cluster().read_file("ws2", "/home/user/routed.out").ok());
+  EXPECT_FALSE(
+      system_.cluster().read_file("ws1", "/home/user/routed.out").ok());
+}
+
+TEST_F(IntegrationTest, TwoServersConvergeDespiteSpeedMismatch) {
+  server::ServerConfig sc2;
+  sc2.name = "slow-site";
+  system_.add_server(sc2);
+  // Much slower second link: updates arrive there long after the first.
+  sim::LinkConfig crawl;
+  crawl.bits_per_second = 1200;
+  system_.connect("ws1", "slow-site", crawl);
+  system_.settle();
+
+  auto& editor = system_.editor("ws1");
+  std::string content = make_file(20'000, 21);
+  ASSERT_TRUE(editor.create("/home/user/f", content).ok());
+  for (int i = 0; i < 3; ++i) {
+    content = modify_percent(content, 4, static_cast<u64>(30 + i));
+    ASSERT_TRUE(editor.create("/home/user/f", content).ok());
+  }
+  system_.settle();
+
+  naming::NameResolver resolver(system_.domain_id(), &system_.cluster());
+  const auto id = resolver.resolve("ws1", "/home/user/f").value();
+  for (const char* name : {"super", "slow-site"}) {
+    auto& server = system_.server(name);
+    auto entry = server.file_cache().get(server.domains().cache_key(id));
+    ASSERT_TRUE(entry.ok()) << name;
+    EXPECT_EQ(entry.value()->content, content) << name;
+    EXPECT_EQ(entry.value()->version, 4u) << name;
+  }
+}
+
+TEST_F(IntegrationTest, VersionGcWaitsForSlowestServer) {
+  // With two servers, versions may only be GC'd below the MINIMUM acked
+  // version — the slow server still needs old bases to diff against.
+  server::ServerConfig sc2;
+  sc2.name = "slow-site";
+  sc2.pull_policy = server::PullPolicy::kLazyOnSubmit;  // never pulls
+  system_.add_server(sc2);
+  system_.connect("ws1", "slow-site", sim::LinkConfig::cypress_9600());
+  system_.settle();
+
+  auto& editor = system_.editor("ws1");
+  auto& client = system_.client("ws1");
+  std::string content = make_file(5000, 40);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(editor.create("/home/user/f", content).ok());
+    system_.settle();
+    content = modify_percent(content, 5, static_cast<u64>(50 + i));
+  }
+  naming::NameResolver resolver(system_.domain_id(), &system_.cluster());
+  const auto key = resolver.resolve("ws1", "/home/user/f").value().key();
+  auto& chain = client.versions().chain(key);
+  // "super" acked up to v4, but slow-site never acked anything: nothing
+  // may be garbage-collected (min acked == 0), only retention pruning.
+  EXPECT_EQ(chain.acked(), 0u);
+  EXPECT_EQ(chain.stored_count(), 4u);
+}
+
+TEST_F(IntegrationTest, DeterministicByteCounts) {
+  auto run_once = [](u64 seed) {
+    ShadowSystem system;
+    server::ServerConfig sc;
+    sc.name = "s";
+    system.add_server(sc);
+    system.add_client("c");
+    sim::Link& link =
+        system.connect("c", "s", sim::LinkConfig::cypress_9600());
+    system.settle();
+    auto& editor = system.editor("c");
+    EXPECT_TRUE(editor.create("/home/user/f", make_file(20'000, seed)).ok());
+    system.settle();
+    client::ShadowClient::SubmitOptions opts;
+    opts.files = {"/home/user/f"};
+    opts.command_file = "wc f\n";
+    auto token = system.client("c").submit(opts);
+    EXPECT_TRUE(token.ok());
+    system.settle();
+    return std::make_pair(link.total_payload_bytes(),
+                          system.simulator().now());
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+}
+
+}  // namespace
+}  // namespace shadow::core

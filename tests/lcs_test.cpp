@@ -1,0 +1,135 @@
+// Unit tests for the two LCS algorithms (Hunt–McIlroy and Myers) against
+// each other and against known answers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "diff/hunt_mcilroy.hpp"
+#include "diff/myers.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace shadow::diff {
+namespace {
+
+std::string lines(std::initializer_list<const char*> names) {
+  std::string out;
+  for (const char* n : names) {
+    out += n;
+    out += '\n';
+  }
+  return out;
+}
+
+// Both algorithms compute a true common subsequence; HM and Myers both
+// find a LONGEST one, so their lengths must agree.
+void check_both(const std::string& old_text, const std::string& new_text,
+                std::size_t expected_lcs_len) {
+  LineTable table(old_text, new_text);
+  const MatchList hm = hunt_mcilroy_lcs(table);
+  const MatchList my = myers_lcs(table);
+  EXPECT_TRUE(is_valid_match_list(hm, table.old_ids().size(),
+                                  table.new_ids().size()));
+  EXPECT_TRUE(is_valid_match_list(my, table.old_ids().size(),
+                                  table.new_ids().size()));
+  EXPECT_EQ(hm.size(), expected_lcs_len) << "hunt-mcilroy";
+  EXPECT_EQ(my.size(), expected_lcs_len) << "myers";
+  for (const auto& m : hm) {
+    EXPECT_EQ(table.old_ids()[m.old_index], table.new_ids()[m.new_index]);
+  }
+  for (const auto& m : my) {
+    EXPECT_EQ(table.old_ids()[m.old_index], table.new_ids()[m.new_index]);
+  }
+}
+
+TEST(LcsTest, IdenticalFiles) {
+  const std::string text = lines({"a", "b", "c"});
+  check_both(text, text, 3);
+}
+
+TEST(LcsTest, CompletelyDifferent) {
+  check_both(lines({"a", "b"}), lines({"x", "y"}), 0);
+}
+
+TEST(LcsTest, EmptySides) {
+  check_both("", lines({"a"}), 0);
+  check_both(lines({"a"}), "", 0);
+  check_both("", "", 0);
+}
+
+TEST(LcsTest, ClassicExample) {
+  // LCS of abcabba / cbabac is 4 (e.g. caba).
+  check_both(lines({"a", "b", "c", "a", "b", "b", "a"}),
+             lines({"c", "b", "a", "b", "a", "c"}), 4);
+}
+
+TEST(LcsTest, SingleInsertion) {
+  check_both(lines({"a", "b", "c"}), lines({"a", "x", "b", "c"}), 3);
+}
+
+TEST(LcsTest, SingleDeletion) {
+  check_both(lines({"a", "b", "c"}), lines({"a", "c"}), 2);
+}
+
+TEST(LcsTest, MovedBlockCountsOnce) {
+  // Moving a block: line-based LCS keeps the longer run.
+  check_both(lines({"1", "2", "3", "4", "5"}),
+             lines({"4", "5", "1", "2", "3"}), 3);
+}
+
+TEST(LcsTest, RepeatedLines) {
+  check_both(lines({"x", "x", "x", "x"}), lines({"x", "x"}), 2);
+  check_both(lines({"a", "x", "a", "x"}), lines({"x", "a", "x", "a"}), 3);
+}
+
+TEST(LcsTest, MyersBoundedBailsToEmpty) {
+  // With max_d = 1 a 4-line rewrite cannot be expressed; bounded search
+  // reports no matches (caller then sends a full file).
+  LineTable table(lines({"a", "b"}), lines({"x", "y"}));
+  EXPECT_TRUE(myers_lcs(table, 1).empty());
+}
+
+TEST(LcsTest, MatchValidatorCatchesBadLists) {
+  EXPECT_TRUE(is_valid_match_list({}, 0, 0));
+  EXPECT_FALSE(is_valid_match_list({{5, 0}}, 3, 3));       // out of range
+  EXPECT_FALSE(is_valid_match_list({{0, 5}}, 3, 3));       // out of range
+  EXPECT_FALSE(is_valid_match_list({{1, 1}, {1, 2}}, 3, 3));  // not strict
+  EXPECT_FALSE(is_valid_match_list({{1, 2}, {2, 2}}, 3, 3));  // not strict
+  EXPECT_TRUE(is_valid_match_list({{0, 1}, {2, 2}}, 3, 3));
+}
+
+// Property: on random inputs both algorithms agree on LCS length and
+// produce valid common subsequences.
+class LcsAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcsAgreement, HmAndMyersAgree) {
+  Rng rng(static_cast<u64>(GetParam()) * 7919 + 13);
+  // Small alphabet forces many repeated lines (the hard case for HM).
+  const char* alphabet[] = {"red", "green", "blue", "cyan", "gold"};
+  auto make = [&](std::size_t n) {
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out += alphabet[rng.below(5)];
+      out += '\n';
+    }
+    return out;
+  };
+  const std::string a = make(rng.below(40));
+  const std::string b = make(rng.below(40));
+  LineTable table(a, b);
+  const MatchList hm = hunt_mcilroy_lcs(table);
+  const MatchList my = myers_lcs(table);
+  ASSERT_TRUE(is_valid_match_list(hm, table.old_ids().size(),
+                                  table.new_ids().size()));
+  ASSERT_TRUE(is_valid_match_list(my, table.old_ids().size(),
+                                  table.new_ids().size()));
+  EXPECT_EQ(hm.size(), my.size()) << "a:\n" << a << "b:\n" << b;
+  for (const auto& m : hm) {
+    EXPECT_EQ(table.old_ids()[m.old_index], table.new_ids()[m.new_index]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcsAgreement, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace shadow::diff

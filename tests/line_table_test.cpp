@@ -1,0 +1,52 @@
+// Unit tests for line interning.
+#include <gtest/gtest.h>
+
+#include "diff/line_table.hpp"
+
+namespace shadow::diff {
+namespace {
+
+TEST(LineTableTest, SharedSymbolSpace) {
+  LineTable table("a\nb\nc\n", "b\nc\nd\n");
+  ASSERT_EQ(table.old_ids().size(), 3u);
+  ASSERT_EQ(table.new_ids().size(), 3u);
+  // "b\n" and "c\n" get the same ids in both files.
+  EXPECT_EQ(table.old_ids()[1], table.new_ids()[0]);
+  EXPECT_EQ(table.old_ids()[2], table.new_ids()[1]);
+  EXPECT_NE(table.old_ids()[0], table.new_ids()[2]);
+  EXPECT_EQ(table.symbol_count(), 4u);
+}
+
+TEST(LineTableTest, EmptyFiles) {
+  LineTable table("", "");
+  EXPECT_TRUE(table.old_ids().empty());
+  EXPECT_TRUE(table.new_ids().empty());
+  EXPECT_EQ(table.symbol_count(), 0u);
+}
+
+TEST(LineTableTest, TrailingNewlineDistinguishesLines) {
+  // "x" and "x\n" are different symbols (exactly like diff(1)).
+  LineTable table("x", "x\n");
+  ASSERT_EQ(table.old_ids().size(), 1u);
+  ASSERT_EQ(table.new_ids().size(), 1u);
+  EXPECT_NE(table.old_ids()[0], table.new_ids()[0]);
+}
+
+TEST(LineTableTest, DuplicateLinesShareId) {
+  LineTable table("same\nsame\nsame\n", "same\n");
+  EXPECT_EQ(table.old_ids()[0], table.old_ids()[1]);
+  EXPECT_EQ(table.old_ids()[1], table.old_ids()[2]);
+  EXPECT_EQ(table.old_ids()[0], table.new_ids()[0]);
+  EXPECT_EQ(table.symbol_count(), 1u);
+}
+
+TEST(LineTableTest, LinesPreserved) {
+  const std::string old_text = "alpha\nbeta\n";
+  LineTable table(old_text, "gamma");
+  EXPECT_EQ(table.old_lines()[0], "alpha\n");
+  EXPECT_EQ(table.old_lines()[1], "beta\n");
+  EXPECT_EQ(table.new_lines()[0], "gamma");
+}
+
+}  // namespace
+}  // namespace shadow::diff

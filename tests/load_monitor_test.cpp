@@ -1,0 +1,128 @@
+// Tests for the load monitor and the server's load-based deferral
+// (paper §5.2 / §3 adaptability).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "server/load_monitor.hpp"
+
+namespace shadow::server {
+namespace {
+
+TEST(LoadMonitorTest, StartsIdle) {
+  sim::Simulator sim;
+  LoadMonitor monitor({/*high_water=*/1.0}, &sim);
+  EXPECT_DOUBLE_EQ(monitor.load_average(), 0.0);
+  EXPECT_FALSE(monitor.overloaded());
+}
+
+TEST(LoadMonitorTest, AverageApproachesDemand) {
+  sim::Simulator sim;
+  LoadMonitorConfig config;
+  config.high_water = 1.0;
+  config.decay = 10 * sim::kMicrosPerSecond;
+  LoadMonitor monitor(config, &sim);
+  monitor.set_demand(4.0);
+  // After one time constant the average reaches ~63% of the demand.
+  sim.run_until(10 * sim::kMicrosPerSecond);
+  EXPECT_NEAR(monitor.load_average(), 4.0 * 0.632, 0.1);
+  // After many time constants it converges.
+  sim.run_until(100 * sim::kMicrosPerSecond);
+  EXPECT_NEAR(monitor.load_average(), 4.0, 0.01);
+  EXPECT_TRUE(monitor.overloaded());
+}
+
+TEST(LoadMonitorTest, DecaysWhenDemandDrops) {
+  sim::Simulator sim;
+  LoadMonitorConfig config;
+  config.high_water = 1.0;
+  config.decay = 10 * sim::kMicrosPerSecond;
+  LoadMonitor monitor(config, &sim);
+  monitor.set_demand(4.0);
+  sim.run_until(100 * sim::kMicrosPerSecond);
+  ASSERT_TRUE(monitor.overloaded());
+  monitor.set_demand(0.0);
+  sim.run_until(200 * sim::kMicrosPerSecond);
+  EXPECT_LT(monitor.load_average(), 0.01);
+  EXPECT_FALSE(monitor.overloaded());
+}
+
+TEST(LoadMonitorTest, DisabledNeverOverloaded) {
+  sim::Simulator sim;
+  LoadMonitor monitor({/*high_water=*/0.0}, &sim);
+  monitor.set_demand(100.0);
+  sim.run_until(1000 * sim::kMicrosPerSecond);
+  EXPECT_FALSE(monitor.overloaded());
+}
+
+TEST(LoadMonitorTest, NullSimulatorIsInert) {
+  LoadMonitor monitor({/*high_water=*/1.0}, nullptr);
+  monitor.set_demand(100.0);
+  EXPECT_FALSE(monitor.overloaded());
+}
+
+// ---- server integration ----
+
+TEST(LoadDeferralTest, HeavyJobsDeferPullsThenDrain) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.cpu_ops_per_second = 1e4;  // slow CPU: matmul jobs run for a while
+  sc.max_concurrent_jobs = 8;
+  sc.load.high_water = 1.5;
+  sc.load.decay = 2 * sim::kMicrosPerSecond;  // reacts fast
+  sc.load.backoff = 1 * sim::kMicrosPerSecond;
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& client = system.client("ws");
+  auto& editor = system.editor("ws");
+
+  // Saturate the server with compute-heavy jobs (no input files).
+  for (int i = 0; i < 4; ++i) {
+    client::ShadowClient::SubmitOptions heavy;
+    heavy.command_file = "matmul 64 " + std::to_string(i) + "\n";
+    heavy.output_path = "/home/user/m" + std::to_string(i);
+    heavy.error_path = "/home/user/me" + std::to_string(i);
+    ASSERT_TRUE(client.submit(heavy).ok());
+  }
+  // Let the jobs start and the load average climb.
+  system.simulator().run_until(system.simulator().now() +
+                               2 * sim::kMicrosPerSecond);
+
+  // Now edits arrive; the overloaded server defers the pulls.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(editor
+                    .create("/home/user/f" + std::to_string(i),
+                            core::make_file(3000, static_cast<u64>(i)))
+                    .ok());
+  }
+  system.settle();
+
+  const auto& stats = system.server("super").stats();
+  EXPECT_GT(stats.deferred_by_load, 0u);
+  // But adaptability is not starvation: everything arrived eventually.
+  EXPECT_EQ(stats.updates_received, 3u);
+  EXPECT_EQ(system.server("super").file_cache().entry_count(), 3u);
+  EXPECT_EQ(stats.jobs_completed, 4u);
+}
+
+TEST(LoadDeferralTest, DisabledByDefault) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+  ASSERT_TRUE(
+      system.editor("ws").create("/home/user/f", "content\n").ok());
+  system.settle();
+  EXPECT_EQ(system.server("super").stats().deferred_by_load, 0u);
+  EXPECT_EQ(system.server("super").stats().updates_received, 1u);
+}
+
+}  // namespace
+}  // namespace shadow::server

@@ -1,0 +1,363 @@
+// Unit tests for the wire protocol codec: round trips for every message
+// type, malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "proto/messages.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::proto {
+namespace {
+
+naming::GlobalFileId sample_file() {
+  naming::GlobalFileId id;
+  id.domain = "net-128.10";
+  id.host = "fileserver";
+  id.path = "/usr/comer/data.f";
+  id.inode = 1234;
+  return id;
+}
+
+template <typename T>
+T roundtrip(const T& msg) {
+  const Bytes wire = encode_message(Message(msg));
+  auto decoded = decode_message(wire);
+  EXPECT_TRUE(decoded.ok()) << (decoded.ok()
+                                    ? ""
+                                    : decoded.error().to_string());
+  T* out = std::get_if<T>(&decoded.value());
+  EXPECT_NE(out, nullptr);
+  return out != nullptr ? *out : T{};
+}
+
+TEST(MessagesTest, HelloRoundTrip) {
+  Hello m;
+  m.client_name = "workstation-3";
+  m.domain = "net-128.10";
+  const Hello out = roundtrip(m);
+  EXPECT_EQ(out.client_name, m.client_name);
+  EXPECT_EQ(out.domain, m.domain);
+}
+
+TEST(MessagesTest, HelloReplyRoundTrip) {
+  HelloReply m;
+  m.server_name = "cyber-205";
+  EXPECT_EQ(roundtrip(m).server_name, "cyber-205");
+}
+
+TEST(MessagesTest, NotifyRoundTrip) {
+  NotifyNewVersion m;
+  m.file = sample_file();
+  m.version = 17;
+  m.size = 102400;
+  m.crc = 0xDEADBEEF;
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.file, m.file);
+  EXPECT_EQ(out.version, 17u);
+  EXPECT_EQ(out.size, 102400u);
+  EXPECT_EQ(out.crc, 0xDEADBEEFu);
+}
+
+TEST(MessagesTest, PullRequestRoundTrip) {
+  PullRequest m;
+  m.file = sample_file();
+  m.have_version = 3;
+  m.want_version = 7;
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.have_version, 3u);
+  EXPECT_EQ(out.want_version, 7u);
+}
+
+TEST(MessagesTest, UpdateRoundTrip) {
+  Update m;
+  m.file = sample_file();
+  m.base_version = 3;
+  m.new_version = 4;
+  Rng rng(1);
+  m.payload = rng.bytes(4096);
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.payload, m.payload);
+  EXPECT_EQ(out.base_version, 3u);
+  EXPECT_EQ(out.new_version, 4u);
+}
+
+TEST(MessagesTest, UpdateAckRoundTrip) {
+  UpdateAck m;
+  m.file = sample_file();
+  m.version = 9;
+  m.ok = false;
+  m.error = "crc mismatch";
+  const auto out = roundtrip(m);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "crc mismatch");
+}
+
+TEST(MessagesTest, SubmitJobRoundTrip) {
+  SubmitJob m;
+  m.client_job_token = 42;
+  m.command_file = "sort data.f > sorted\nwc sorted\n";
+  for (int i = 0; i < 3; ++i) {
+    JobFileRef ref;
+    ref.file = sample_file();
+    ref.file.inode += static_cast<u64>(i);
+    ref.local_name = "data" + std::to_string(i) + ".f";
+    ref.version = static_cast<u64>(10 + i);
+    ref.crc = static_cast<u32>(i);
+    m.files.push_back(ref);
+  }
+  m.output_name = "/home/user/run.out";
+  m.error_name = "/home/user/run.err";
+  m.output_route = "print-host";
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.client_job_token, 42u);
+  EXPECT_EQ(out.command_file, m.command_file);
+  ASSERT_EQ(out.files.size(), 3u);
+  EXPECT_EQ(out.files[2].local_name, "data2.f");
+  EXPECT_EQ(out.files[2].version, 12u);
+  EXPECT_EQ(out.output_route, "print-host");
+}
+
+TEST(MessagesTest, SubmitReplyRoundTrip) {
+  SubmitReply m;
+  m.client_job_token = 42;
+  m.job_id = 7;
+  m.accepted = false;
+  m.reason = "queue full";
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.job_id, 7u);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, "queue full");
+}
+
+TEST(MessagesTest, StatusRoundTrip) {
+  StatusQuery q;
+  q.job_id = 0;
+  EXPECT_EQ(roundtrip(q).job_id, 0u);
+
+  StatusReply r;
+  JobStatusInfo info;
+  info.job_id = 5;
+  info.state = JobState::kRunning;
+  info.detail = "running";
+  r.jobs.push_back(info);
+  info.job_id = 6;
+  info.state = JobState::kDelivered;
+  r.jobs.push_back(info);
+  const auto out = roundtrip(r);
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[0].state, JobState::kRunning);
+  EXPECT_EQ(out.jobs[1].state, JobState::kDelivered);
+}
+
+TEST(MessagesTest, JobOutputRoundTrip) {
+  JobOutput m;
+  m.job_id = 11;
+  m.client_job_token = 4;
+  m.exit_code = -3;
+  m.output_name = "/home/user/out";
+  m.error_name = "/home/user/err";
+  m.output_payload = {1, 2, 3};
+  m.error_payload = {};
+  m.output_base_generation = 2;
+  m.output_generation = 3;
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.exit_code, -3);
+  EXPECT_EQ(out.output_payload, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(out.error_payload.empty());
+  EXPECT_EQ(out.output_base_generation, 2u);
+  EXPECT_EQ(out.output_generation, 3u);
+}
+
+TEST(MessagesTest, JobOutputAckRoundTrip) {
+  JobOutputAck m;
+  m.job_id = 11;
+  m.ok = false;
+  m.error = "missing base";
+  const auto out = roundtrip(m);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "missing base");
+}
+
+TEST(MessagesTest, TypeOfMatchesTag) {
+  EXPECT_EQ(type_of(Message(Hello{})), MessageType::kHello);
+  EXPECT_EQ(type_of(Message(JobOutputAck{})), MessageType::kJobOutputAck);
+  EXPECT_EQ(type_of(Message(Update{})), MessageType::kUpdate);
+}
+
+TEST(MessagesTest, RejectsUnknownTag) {
+  Bytes wire = {0x7F};
+  EXPECT_EQ(decode_message(wire).code(), ErrorCode::kProtocolError);
+}
+
+TEST(MessagesTest, RejectsEmpty) {
+  EXPECT_FALSE(decode_message(Bytes{}).ok());
+}
+
+TEST(MessagesTest, RejectsTrailingGarbage) {
+  Bytes wire = encode_message(Message(StatusQuery{}));
+  wire.push_back(0xAA);
+  EXPECT_EQ(decode_message(wire).code(), ErrorCode::kProtocolError);
+}
+
+TEST(MessagesTest, RejectsTruncationEverywhere) {
+  SubmitJob m;
+  m.client_job_token = 9;
+  m.command_file = "wc data";
+  JobFileRef ref;
+  ref.file = sample_file();
+  ref.local_name = "data";
+  ref.version = 2;
+  m.files.push_back(ref);
+  const Bytes wire = encode_message(Message(m));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes partial(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_message(partial).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(MessagesTest, RejectsAbsurdCounts) {
+  // A SubmitJob claiming 2^40 file refs must fail fast, not allocate.
+  BufWriter w;
+  w.put_u8(static_cast<u8>(MessageType::kSubmitJob));
+  w.put_varint(1);
+  w.put_string("cmd");
+  w.put_varint(1ull << 40);  // file count
+  EXPECT_FALSE(decode_message(w.data()).ok());
+}
+
+TEST(MessagesTest, RejectsBadJobState) {
+  BufWriter w;
+  w.put_u8(static_cast<u8>(MessageType::kStatusReply));
+  w.put_varint(1);
+  w.put_varint(3);   // job id
+  w.put_u8(99);      // bad state
+  w.put_string("");
+  EXPECT_FALSE(decode_message(w.data()).ok());
+}
+
+// Property: decode(encode(m)) re-encodes byte-identically for randomized
+// messages of every type (codec idempotence).
+class MessageRoundTripFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageRoundTripFuzz, EncodeDecodeEncodeIdentity) {
+  Rng rng(static_cast<u64>(GetParam()) * 131 + 7);
+  auto rand_string = [&] { return rng.ascii_line(rng.below(40)); };
+  auto rand_file = [&] {
+    naming::GlobalFileId id;
+    id.domain = rand_string();
+    id.host = rand_string();
+    id.path = "/" + rand_string();
+    id.inode = rng.next();
+    return id;
+  };
+
+  for (int round = 0; round < 50; ++round) {
+    Message m;
+    switch (rng.below(12)) {
+      case 0: m = Hello{rand_string(), rand_string()}; break;
+      case 1: m = HelloReply{rand_string()}; break;
+      case 2: {
+        NotifyNewVersion n;
+        n.file = rand_file();
+        n.version = rng.next();
+        n.size = rng.next();
+        n.crc = static_cast<u32>(rng.next());
+        m = n;
+        break;
+      }
+      case 3: {
+        PullRequest p;
+        p.file = rand_file();
+        p.have_version = rng.next();
+        p.want_version = rng.next();
+        m = p;
+        break;
+      }
+      case 4: {
+        Update u;
+        u.file = rand_file();
+        u.base_version = rng.next();
+        u.new_version = rng.next();
+        u.payload = rng.bytes(rng.below(200));
+        m = u;
+        break;
+      }
+      case 5: {
+        UpdateAck a;
+        a.file = rand_file();
+        a.version = rng.next();
+        a.ok = rng.chance(0.5);
+        a.error = rand_string();
+        m = a;
+        break;
+      }
+      case 6: {
+        SubmitJob s;
+        s.client_job_token = rng.next();
+        s.command_file = rand_string();
+        for (u64 i = 0, n = rng.below(4); i < n; ++i) {
+          JobFileRef ref;
+          ref.file = rand_file();
+          ref.local_name = rand_string();
+          ref.version = rng.next();
+          ref.crc = static_cast<u32>(rng.next());
+          s.files.push_back(std::move(ref));
+        }
+        s.output_name = rand_string();
+        s.error_name = rand_string();
+        s.output_route = rand_string();
+        m = s;
+        break;
+      }
+      case 7:
+        m = SubmitReply{rng.next(), rng.next(), rng.chance(0.5),
+                        rand_string()};
+        break;
+      case 8: m = StatusQuery{rng.next()}; break;
+      case 9: {
+        StatusReply r;
+        for (u64 i = 0, n = rng.below(4); i < n; ++i) {
+          JobStatusInfo info;
+          info.job_id = rng.next();
+          info.state = static_cast<JobState>(rng.below(6));
+          info.detail = rand_string();
+          r.jobs.push_back(std::move(info));
+        }
+        m = r;
+        break;
+      }
+      case 10: {
+        JobOutput o;
+        o.job_id = rng.next();
+        o.client_job_token = rng.next();
+        o.exit_code = static_cast<int>(rng.next());
+        o.output_name = rand_string();
+        o.error_name = rand_string();
+        o.output_payload = rng.bytes(rng.below(100));
+        o.error_payload = rng.bytes(rng.below(100));
+        o.output_base_generation = rng.next();
+        o.output_generation = rng.next();
+        m = o;
+        break;
+      }
+      default:
+        m = JobOutputAck{rng.next(), rng.chance(0.5), rand_string()};
+        break;
+    }
+    const Bytes once = encode_message(m);
+    auto decoded = decode_message(once);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+    EXPECT_EQ(encode_message(decoded.value()), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageRoundTripFuzz,
+                         ::testing::Range(0, 8));
+
+TEST(MessagesTest, StateNames) {
+  EXPECT_STREQ(job_state_name(JobState::kQueued), "queued");
+  EXPECT_STREQ(job_state_name(JobState::kDelivered), "delivered");
+  EXPECT_STREQ(message_type_name(MessageType::kPullRequest), "PullRequest");
+}
+
+}  // namespace
+}  // namespace shadow::proto

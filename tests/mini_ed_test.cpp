@@ -1,0 +1,155 @@
+// Tests for the embedded mini-ed(1) and its integration with the shadow
+// shell (the paper's §6.2 editor encapsulation, in its native dialect).
+#include <gtest/gtest.h>
+
+#include "net/loopback.hpp"
+#include "server/shadow_server.hpp"
+#include "tools/mini_ed.hpp"
+#include "tools/shadow_shell.hpp"
+
+namespace shadow::tools {
+namespace {
+
+std::string feed_all(MiniEd& ed, std::initializer_list<const char*> lines) {
+  std::string out;
+  for (const char* line : lines) out += ed.feed(line);
+  return out;
+}
+
+TEST(MiniEdTest, PrintCommands) {
+  MiniEd ed("alpha\nbeta\ngamma\n");
+  EXPECT_EQ(ed.feed("1p"), "alpha\n");
+  EXPECT_EQ(ed.feed("1,2p"), "alpha\nbeta\n");
+  EXPECT_EQ(ed.feed(",p"), "alpha\nbeta\ngamma\n");
+  EXPECT_EQ(ed.feed("$p"), "gamma\n");
+  EXPECT_EQ(ed.feed("2n"), "2\tbeta\n");
+  EXPECT_EQ(ed.feed("="), "3\n");
+  EXPECT_EQ(ed.feed("9p"), "?\n");
+}
+
+TEST(MiniEdTest, CurrentLineAndAdvance) {
+  MiniEd ed("one\ntwo\nthree\n");
+  EXPECT_EQ(ed.feed("1p"), "one\n");   // sets current to 1
+  EXPECT_EQ(ed.feed(""), "two\n");     // bare ENTER advances
+  EXPECT_EQ(ed.feed(""), "three\n");
+  EXPECT_EQ(ed.feed(".p"), "three\n"); // "." = current
+}
+
+TEST(MiniEdTest, AppendInsertChange) {
+  MiniEd ed("one\nthree\n");
+  feed_all(ed, {"1a", "two", "."});
+  EXPECT_EQ(ed.buffer(), "one\ntwo\nthree\n");
+  feed_all(ed, {"0a", "zero", "."});
+  EXPECT_EQ(ed.buffer(), "zero\none\ntwo\nthree\n");
+  feed_all(ed, {"1i", "minus-one", "."});
+  EXPECT_EQ(ed.buffer(), "minus-one\nzero\none\ntwo\nthree\n");
+  feed_all(ed, {"1,2c", "start", "."});
+  EXPECT_EQ(ed.buffer(), "start\none\ntwo\nthree\n");
+  EXPECT_TRUE(ed.dirty());
+}
+
+TEST(MiniEdTest, DeleteRange) {
+  MiniEd ed("a\nb\nc\nd\n");
+  EXPECT_EQ(ed.feed("2,3d"), "");
+  EXPECT_EQ(ed.buffer(), "a\nd\n");
+  EXPECT_EQ(ed.feed("9d"), "?\n");
+}
+
+TEST(MiniEdTest, EmptyBufferAppend) {
+  MiniEd ed("");
+  feed_all(ed, {"a", "first line", "second line", "."});
+  EXPECT_EQ(ed.buffer(), "first line\nsecond line\n");
+}
+
+TEST(MiniEdTest, WriteReportsBytesAndQuitSemantics) {
+  MiniEd ed("data\n");
+  feed_all(ed, {"1c", "DATA", "."});
+  EXPECT_EQ(ed.feed("q"), "?\n");  // unsaved changes: warn once
+  EXPECT_FALSE(ed.done());
+  EXPECT_EQ(ed.feed("w"), "5\n");  // byte count, like real ed
+  EXPECT_TRUE(ed.write_requested());
+  ed.clear_write_request();
+  EXPECT_EQ(ed.feed("q"), "");
+  EXPECT_TRUE(ed.done());
+}
+
+TEST(MiniEdTest, ForcedQuitAndWq) {
+  MiniEd dirty("x\n");
+  feed_all(dirty, {"1d"});
+  EXPECT_EQ(dirty.feed("Q"), "");
+  EXPECT_TRUE(dirty.done());
+
+  MiniEd both("x\n");
+  feed_all(both, {"1c", "y", "."});
+  EXPECT_EQ(both.feed("wq"), "2\n");
+  EXPECT_TRUE(both.done());
+  EXPECT_TRUE(both.write_requested());
+}
+
+TEST(MiniEdTest, GarbageIsQuestionMark) {
+  MiniEd ed("x\n");
+  EXPECT_EQ(ed.feed("zz"), "?\n");
+  EXPECT_EQ(ed.feed("1,zp"), "?\n");
+  EXPECT_FALSE(ed.done());
+}
+
+// ---- shell integration: `ed` drives the shadow postprocessor ----
+
+class ShellEdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    (void)cluster_.add_host("ws").mkdir_p("/home/user");
+    server::ServerConfig sc;
+    sc.name = "super";
+    server_ = std::make_unique<server::ShadowServer>(sc);
+    pair_ = net::make_loopback_pair("ws", "super");
+    server_->attach(pair_.b.get());
+    client_ = std::make_unique<client::ShadowClient>(
+        "ws", client::ShadowEnvironment{}, &cluster_, "ed-net");
+    editor_ = std::make_unique<client::ShadowEditor>(client_.get(),
+                                                     &cluster_);
+    client_->connect("super", pair_.a.get());
+    net::pump(pair_);
+    shell_ = std::make_unique<ShadowShell>(
+        client_.get(), editor_.get(), &cluster_,
+        [this] { net::pump(pair_); });
+  }
+  vfs::Cluster cluster_;
+  net::LoopbackPair pair_;
+  std::unique_ptr<server::ShadowServer> server_;
+  std::unique_ptr<client::ShadowClient> client_;
+  std::unique_ptr<client::ShadowEditor> editor_;
+  std::unique_ptr<ShadowShell> shell_;
+};
+
+TEST_F(ShellEdTest, EdSessionShadowsOnWrite) {
+  EXPECT_EQ(shell_->feed("ed /home/user/prog.f"), "0\n");  // new file
+  EXPECT_EQ(shell_->prompt(), std::string("*"));
+  shell_->feed("a");
+  shell_->feed("      program test");
+  shell_->feed("      end");
+  shell_->feed(".");
+  const std::string wrote = shell_->feed("w");
+  EXPECT_EQ(wrote, "29\n");
+  // `w` ran the postprocessor: the server has the file already.
+  EXPECT_EQ(server_->file_cache().entry_count(), 1u);
+  shell_->feed("q");
+  EXPECT_EQ(shell_->prompt(), std::string("shadow> "));
+  EXPECT_EQ(cluster_.read_file("ws", "/home/user/prog.f").value(),
+            "      program test\n      end\n");
+}
+
+TEST_F(ShellEdTest, SecondEdSessionSendsDelta) {
+  shell_->feed("gen /home/user/data.f 20000 3");
+  EXPECT_NE(shell_->feed("ed /home/user/data.f"), "0\n");
+  shell_->feed("1c");
+  shell_->feed("replaced first line");
+  shell_->feed(".");
+  shell_->feed("w");
+  shell_->feed("q");
+  EXPECT_EQ(client_->stats().delta_sent, 1u);
+  EXPECT_EQ(server_->stats().delta_transfers, 1u);
+}
+
+}  // namespace
+}  // namespace shadow::tools

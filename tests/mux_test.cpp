@@ -1,0 +1,146 @@
+// Tests for channel multiplexing over a shared carrier, and the shared
+// trunk topology in ShadowSystem.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "net/loopback.hpp"
+#include "net/mux.hpp"
+
+namespace shadow::net {
+namespace {
+
+Bytes msg(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class MuxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pair_ = make_loopback_pair("left", "right");
+    left_ = std::make_unique<Mux>(pair_.a.get());
+    right_ = std::make_unique<Mux>(pair_.b.get());
+  }
+  LoopbackPair pair_;
+  std::unique_ptr<Mux> left_;
+  std::unique_ptr<Mux> right_;
+};
+
+TEST_F(MuxTest, ChannelsAreIsolated) {
+  std::string got0, got1;
+  right_->channel(0)->set_receiver(
+      [&](Bytes m) { got0.assign(m.begin(), m.end()); });
+  right_->channel(1)->set_receiver(
+      [&](Bytes m) { got1.assign(m.begin(), m.end()); });
+  ASSERT_TRUE(left_->channel(0)->send(msg("for zero")).ok());
+  ASSERT_TRUE(left_->channel(1)->send(msg("for one")).ok());
+  pump(pair_);
+  EXPECT_EQ(got0, "for zero");
+  EXPECT_EQ(got1, "for one");
+}
+
+TEST_F(MuxTest, BidirectionalPerChannel) {
+  std::string at_left;
+  left_->channel(5)->set_receiver(
+      [&](Bytes m) { at_left.assign(m.begin(), m.end()); });
+  right_->channel(5)->set_receiver([&](Bytes m) {
+    m.push_back('!');
+    (void)right_->channel(5)->send(std::move(m));
+  });
+  ASSERT_TRUE(left_->channel(5)->send(msg("ping")).ok());
+  pump(pair_);
+  EXPECT_EQ(at_left, "ping!");
+}
+
+TEST_F(MuxTest, UnopenedChannelCounted) {
+  ASSERT_TRUE(left_->channel(9)->send(msg("lost")).ok());
+  pump(pair_);
+  EXPECT_EQ(right_->undeliverable(), 1u);
+}
+
+TEST_F(MuxTest, PerChannelCounters) {
+  ASSERT_TRUE(left_->channel(0)->send(msg("abc")).ok());
+  ASSERT_TRUE(left_->channel(0)->send(msg("de")).ok());
+  EXPECT_EQ(left_->channel(0)->bytes_sent(), 5u);
+  EXPECT_EQ(left_->channel(0)->messages_sent(), 2u);
+  EXPECT_EQ(left_->channel(1)->bytes_sent(), 0u);
+}
+
+TEST_F(MuxTest, EmptyPayloadSurvives) {
+  bool got = false;
+  right_->channel(0)->set_receiver([&](Bytes m) { got = m.empty(); });
+  ASSERT_TRUE(left_->channel(0)->send(Bytes{}).ok());
+  pump(pair_);
+  EXPECT_TRUE(got);
+}
+
+// ---- shared trunk end to end ----
+
+TEST(SharedTrunkTest, ThreeClientsOverOneLine) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  std::vector<std::string> names = {"ws0", "ws1", "ws2"};
+  for (const auto& name : names) system.add_client(name);
+  sim::Link& trunk =
+      system.connect_shared(names, "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  // Everyone edits and submits; all jobs complete over the single trunk.
+  std::vector<u64> tokens;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ASSERT_TRUE(system.editor(names[i])
+                    .create("/home/user/f",
+                            core::make_file(5000, static_cast<u64>(i)))
+                    .ok());
+    client::ShadowClient::SubmitOptions job;
+    job.files = {"/home/user/f"};
+    job.command_file = "wc f\n";
+    auto token = system.client(names[i]).submit(job);
+    ASSERT_TRUE(token.ok());
+    tokens.push_back(token.value());
+  }
+  system.settle();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_TRUE(system.client(names[i]).job_done(tokens[i])) << names[i];
+  }
+  EXPECT_EQ(system.server("super").stats().jobs_completed, 3u);
+  EXPECT_GT(trunk.total_payload_bytes(), 15'000u);
+}
+
+TEST(SharedTrunkTest, ContentionSlowsEveryone) {
+  // The same workload over a private line vs a trunk shared three ways.
+  auto run = [](bool shared) {
+    core::ShadowSystem system;
+    server::ServerConfig sc;
+    sc.name = "super";
+    system.add_server(sc);
+    std::vector<std::string> names = {"ws0", "ws1", "ws2"};
+    for (const auto& name : names) system.add_client(name);
+    if (shared) {
+      system.connect_shared(names, "super",
+                            sim::LinkConfig::cypress_9600());
+    } else {
+      for (const auto& name : names) {
+        system.connect(name, "super", sim::LinkConfig::cypress_9600());
+      }
+    }
+    system.settle();
+    const sim::SimTime t0 = system.simulator().now();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      EXPECT_TRUE(system.editor(names[i])
+                      .create("/home/user/f",
+                              core::make_file(20'000, static_cast<u64>(i)))
+                      .ok());
+    }
+    system.settle();
+    return sim::to_seconds(system.simulator().now() - t0);
+  };
+  const double private_lines = run(false);
+  const double shared_trunk = run(true);
+  // Three 20k transfers serialized on one 9600-baud line take ~3x as
+  // long as in parallel on three lines.
+  EXPECT_GT(shared_trunk, private_lines * 2.0);
+}
+
+}  // namespace
+}  // namespace shadow::net

@@ -1,0 +1,192 @@
+// Unit tests for the transport layer: loopback pair, simulated transport
+// over links, and the real TCP transport with length framing.
+#include <gtest/gtest.h>
+
+#include "net/loopback.hpp"
+#include "net/sim_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::net {
+namespace {
+
+Bytes msg(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---- loopback ----
+
+TEST(LoopbackTest, DeliversOnPoll) {
+  auto pair = make_loopback_pair("a", "b");
+  std::vector<std::string> got;
+  pair.b->set_receiver([&](Bytes m) { got.emplace_back(m.begin(), m.end()); });
+  ASSERT_TRUE(pair.a->send(msg("one")).ok());
+  ASSERT_TRUE(pair.a->send(msg("two")).ok());
+  EXPECT_TRUE(got.empty());  // nothing until poll
+  EXPECT_EQ(pair.b->poll(), 2u);
+  EXPECT_EQ(got, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(LoopbackTest, BidirectionalAndCounted) {
+  auto pair = make_loopback_pair("a", "b");
+  int a_got = 0;
+  int b_got = 0;
+  pair.a->set_receiver([&](Bytes) { ++a_got; });
+  pair.b->set_receiver([&](Bytes) { ++b_got; });
+  ASSERT_TRUE(pair.a->send(msg("x")).ok());
+  ASSERT_TRUE(pair.b->send(msg("yy")).ok());
+  pump(pair);
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(pair.a->bytes_sent(), 1u);
+  EXPECT_EQ(pair.b->bytes_sent(), 2u);
+  EXPECT_EQ(pair.a->messages_sent(), 1u);
+}
+
+TEST(LoopbackTest, PumpHandlesPingPong) {
+  auto pair = make_loopback_pair("a", "b");
+  int rounds = 0;
+  pair.b->set_receiver([&](Bytes m) {
+    if (m.size() < 5) {
+      m.push_back('!');
+      (void)pair.b->send(std::move(m));
+    }
+  });
+  pair.a->set_receiver([&](Bytes m) {
+    ++rounds;
+    if (m.size() < 5) {
+      m.push_back('?');
+      (void)pair.a->send(std::move(m));
+    }
+  });
+  ASSERT_TRUE(pair.a->send(msg("x")).ok());
+  pump(pair);
+  EXPECT_GT(rounds, 0);
+  EXPECT_EQ(pair.a->inbox_size(), 0u);
+  EXPECT_EQ(pair.b->inbox_size(), 0u);
+}
+
+// ---- sim transport ----
+
+TEST(SimTransportTest, DeliveryTimedByLink) {
+  sim::Simulator sim;
+  sim::LinkConfig config;
+  config.bits_per_second = 9600;
+  config.latency = 0;
+  config.per_message_overhead = 0;
+  sim::Link link(&sim, config);
+  auto pair = make_sim_pair(&link, "client", "server");
+
+  sim::SimTime arrival = 0;
+  pair.b->set_receiver([&](Bytes) { arrival = sim.now(); });
+  ASSERT_TRUE(pair.a->send(Bytes(1200, 'x')).ok());
+  sim.run();
+  EXPECT_EQ(arrival, sim::from_seconds(1.0));
+  EXPECT_EQ(pair.a->bytes_sent(), 1200u);
+}
+
+TEST(SimTransportTest, DirectionsIndependent) {
+  sim::Simulator sim;
+  sim::Link link(&sim, sim::LinkConfig::cypress_9600());
+  auto pair = make_sim_pair(&link, "client", "server");
+  std::string at_a;
+  std::string at_b;
+  pair.a->set_receiver([&](Bytes m) { at_a.assign(m.begin(), m.end()); });
+  pair.b->set_receiver([&](Bytes m) { at_b.assign(m.begin(), m.end()); });
+  ASSERT_TRUE(pair.a->send(msg("to-server")).ok());
+  ASSERT_TRUE(pair.b->send(msg("to-client")).ok());
+  sim.run();
+  EXPECT_EQ(at_b, "to-server");
+  EXPECT_EQ(at_a, "to-client");
+}
+
+TEST(SimTransportTest, PeerNamesAndPoll) {
+  sim::Simulator sim;
+  sim::Link link(&sim, sim::LinkConfig::cypress_9600());
+  auto pair = make_sim_pair(&link, "client", "server");
+  EXPECT_EQ(pair.a->peer_name(), "server");
+  EXPECT_EQ(pair.b->peer_name(), "client");
+  EXPECT_EQ(pair.a->poll(), 0u);
+}
+
+// ---- TCP transport ----
+
+TEST(TcpTest, RoundTripOverRealSockets) {
+  auto pair_result = make_tcp_pair();
+  ASSERT_TRUE(pair_result.ok()) << pair_result.error().to_string();
+  auto pair = std::move(pair_result).take();
+
+  std::vector<std::string> got;
+  pair.b->set_receiver([&](Bytes m) { got.emplace_back(m.begin(), m.end()); });
+  ASSERT_TRUE(pair.a->send(msg("hello over tcp")).ok());
+  ASSERT_TRUE(pair.a->send(msg("second frame")).ok());
+  for (int i = 0; i < 100 && got.size() < 2; ++i) {
+    pair.b->poll();
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "hello over tcp");
+  EXPECT_EQ(got[1], "second frame");
+}
+
+TEST(TcpTest, LargeFrameReassembled) {
+  auto pair_result = make_tcp_pair();
+  ASSERT_TRUE(pair_result.ok());
+  auto pair = std::move(pair_result).take();
+  Rng rng(4);
+  const Bytes big = rng.bytes(1 << 20);  // 1 MB
+  Bytes received;
+  pair.b->set_receiver([&](Bytes m) { received = std::move(m); });
+  ASSERT_TRUE(pair.a->send(big).ok());
+  for (int i = 0; i < 10000 && received.empty(); ++i) {
+    pair.b->poll();
+  }
+  EXPECT_EQ(received, big);
+}
+
+TEST(TcpTest, BidirectionalTraffic) {
+  auto pair_result = make_tcp_pair();
+  ASSERT_TRUE(pair_result.ok());
+  auto pair = std::move(pair_result).take();
+  std::string at_a, at_b;
+  pair.a->set_receiver([&](Bytes m) { at_a.assign(m.begin(), m.end()); });
+  pair.b->set_receiver([&](Bytes m) { at_b.assign(m.begin(), m.end()); });
+  ASSERT_TRUE(pair.a->send(msg("ping")).ok());
+  ASSERT_TRUE(pair.b->send(msg("pong")).ok());
+  for (int i = 0; i < 1000 && (at_a.empty() || at_b.empty()); ++i) {
+    pair.a->poll();
+    pair.b->poll();
+  }
+  EXPECT_EQ(at_a, "pong");
+  EXPECT_EQ(at_b, "ping");
+}
+
+TEST(TcpTest, PeerCloseDetected) {
+  auto pair_result = make_tcp_pair();
+  ASSERT_TRUE(pair_result.ok());
+  auto pair = std::move(pair_result).take();
+  pair.a->close();
+  for (int i = 0; i < 1000 && !pair.b->closed(); ++i) {
+    pair.b->poll();
+  }
+  EXPECT_TRUE(pair.b->closed());
+  EXPECT_FALSE(pair.a->send(msg("x")).ok());
+}
+
+TEST(TcpTest, ListenerRejectsWhenNoPending) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).ok());
+  EXPECT_GT(listener.port(), 0);
+  EXPECT_FALSE(listener.accept().ok());  // nothing connecting
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close the listener; connect must fail.
+  u16 dead_port;
+  {
+    TcpListener listener;
+    ASSERT_TRUE(listener.listen(0).ok());
+    dead_port = listener.port();
+  }
+  EXPECT_FALSE(tcp_connect(dead_port, "ghost").ok());
+}
+
+}  // namespace
+}  // namespace shadow::net

@@ -1,0 +1,144 @@
+// End-to-end tests of the paper's name-resolution promise (§6.5): "Even if
+// a user submits the same file from two different hosts within a NFS
+// domain, there will be a single cached copy of that file at the remote
+// site." Plus domain isolation (§5.3).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "net/loopback.hpp"
+
+namespace shadow::core {
+namespace {
+
+class NfsNamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::ServerConfig sc;
+    sc.name = "super";
+    system_.add_server(sc);
+    // Two workstations and a file server in one NFS domain.
+    system_.add_client("wsA");
+    system_.add_client("wsB");
+    auto& fileserver = system_.cluster().add_host("fileserver");
+    ASSERT_TRUE(fileserver.mkdir_p("/export/proj").ok());
+    ASSERT_TRUE(system_.cluster()
+                    .mount("wsA", "/proj", "fileserver", "/export/proj")
+                    .ok());
+    ASSERT_TRUE(system_.cluster()
+                    .mount("wsB", "/work", "fileserver", "/export/proj")
+                    .ok());
+    system_.connect("wsA", "super", sim::LinkConfig::cypress_9600());
+    system_.connect("wsB", "super", sim::LinkConfig::cypress_9600());
+    system_.settle();
+  }
+
+  ShadowSystem system_;
+};
+
+TEST_F(NfsNamingTest, SameFileTwoHostsOneCachedCopy) {
+  auto& server = system_.server("super");
+  // wsA creates the file under its mount name.
+  ASSERT_TRUE(system_.editor("wsA")
+                  .create("/proj/data.f", make_file(5000, 1))
+                  .ok());
+  system_.settle();
+  EXPECT_EQ(server.file_cache().entry_count(), 1u);
+
+  // wsB "edits" the same physical file under a different name. The shadow
+  // system must recognize it and keep ONE cached copy.
+  ASSERT_TRUE(system_.editor("wsB")
+                  .create("/work/data.f", make_file(5000, 2))
+                  .ok());
+  system_.settle();
+  EXPECT_EQ(server.file_cache().entry_count(), 1u);
+  EXPECT_EQ(server.domains().domain(system_.domain_id()).size(), 1u);
+}
+
+TEST_F(NfsNamingTest, VersionChainsAreIndependentButKeysAgree) {
+  ASSERT_TRUE(system_.editor("wsA").create("/proj/f", "v-from-A\n").ok());
+  system_.settle();
+  naming::NameResolver resolver(system_.domain_id(), &system_.cluster());
+  const auto id_a = resolver.resolve("wsA", "/proj/f").value();
+  const auto id_b = resolver.resolve("wsB", "/work/f").value();
+  EXPECT_EQ(id_a.key(), id_b.key());
+  EXPECT_EQ(id_a.host, "fileserver");
+}
+
+TEST_F(NfsNamingTest, JobsFromEitherHostUseTheSharedCache) {
+  auto& server = system_.server("super");
+  ASSERT_TRUE(system_.editor("wsA")
+                  .create("/proj/data.f", "1\n2\n3\n")
+                  .ok());
+  system_.settle();
+  const u64 updates_after_edit = server.stats().updates_received;
+
+  // wsB submits a job on the same file via its own mount path: the server
+  // already caches it, so NO new transfer happens.
+  client::ShadowClient::SubmitOptions opts;
+  opts.files = {"/work/data.f"};
+  opts.command_file = "wc data.f\n";
+  auto token = system_.client("wsB").submit(opts);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  EXPECT_TRUE(system_.client("wsB").job_done(token.value()));
+  EXPECT_EQ(server.stats().updates_received, updates_after_edit);
+  EXPECT_EQ(
+      system_.cluster().read_file("wsB", "/home/user/job.out").value(),
+      "3 3 6\n");
+}
+
+TEST_F(NfsNamingTest, SymlinkAliasDoesNotDuplicateCache) {
+  auto& server = system_.server("super");
+  auto wsA = system_.cluster().host("wsA").value();
+  ASSERT_TRUE(system_.editor("wsA").create("/proj/real.f", "data\n").ok());
+  system_.settle();
+  ASSERT_TRUE(wsA->symlink("/proj/real.f", "/home/user/alias.f").ok());
+  // Editing through the alias touches the same shadow file.
+  ASSERT_TRUE(system_.editor("wsA")
+                  .create("/home/user/alias.f", "data v2\n")
+                  .ok());
+  system_.settle();
+  EXPECT_EQ(server.file_cache().entry_count(), 1u);
+  EXPECT_EQ(server.domains().domain(system_.domain_id()).size(), 1u);
+}
+
+TEST_F(NfsNamingTest, HardLinkAliasDoesNotDuplicateCache) {
+  auto& server = system_.server("super");
+  auto fileserver = system_.cluster().host("fileserver").value();
+  ASSERT_TRUE(system_.editor("wsA").create("/proj/one.f", "payload\n").ok());
+  system_.settle();
+  ASSERT_TRUE(
+      fileserver->hard_link("/export/proj/one.f", "/export/proj/two.f").ok());
+  ASSERT_TRUE(system_.editor("wsA").create("/proj/two.f", "payload v2\n").ok());
+  system_.settle();
+  EXPECT_EQ(server.file_cache().entry_count(), 1u);
+}
+
+TEST_F(NfsNamingTest, DifferentDomainsStayIsolated) {
+  // A second system with its own domain id: same paths, same server name
+  // space division (§5.3) — the server keeps them apart.
+  server::ServerConfig sc;
+  sc.name = "super2";
+  auto& server = system_.add_server(sc);
+  system_.connect("wsA", "super2", sim::LinkConfig::cypress_9600());
+
+  ShadowSystem other("other-net-192.5");
+  other.add_client("wsX");
+  // Connect the other-domain client to OUR server instance via loopback.
+  auto pair = net::make_loopback_pair("wsX", "super2");
+  server.attach(pair.b.get());
+  other.client("wsX").connect("super2", pair.a.get());
+  net::pump(pair);
+
+  ASSERT_TRUE(system_.editor("wsA").create("/proj/f", "domain1\n").ok());
+  system_.settle();
+  ASSERT_TRUE(other.editor("wsX").create("/home/user/f", "domain2\n").ok());
+  other.settle();
+  net::pump(pair);
+
+  EXPECT_EQ(server.domains().domain_count(), 2u);
+}
+
+}  // namespace
+}  // namespace shadow::core

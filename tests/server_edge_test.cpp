@@ -1,0 +1,304 @@
+// Targeted edge-case tests of the server's protocol handling, driven
+// directly over loopback so individual messages can be forged.
+#include <gtest/gtest.h>
+
+#include "compress/compress.hpp"
+#include "diff/diff.hpp"
+#include "net/loopback.hpp"
+#include "proto/messages.hpp"
+#include "core/system.hpp"
+#include "server/shadow_server.hpp"
+
+namespace shadow::server {
+namespace {
+
+naming::GlobalFileId file_id(u64 inode) {
+  naming::GlobalFileId id;
+  id.domain = "net-x";
+  id.host = "ws";
+  id.path = "/f" + std::to_string(inode);
+  id.inode = inode;
+  return id;
+}
+
+Bytes pack_delta(const diff::Delta& delta) {
+  BufWriter w;
+  delta.encode(w);
+  return compress::compress(w.take(), compress::Codec::kStored);
+}
+
+class ServerEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerConfig sc;
+    sc.name = "super";
+    server_ = std::make_unique<ShadowServer>(sc);
+    pair_ = net::make_loopback_pair("ws", "super");
+    server_->attach(pair_.b.get());
+    // Capture everything the server sends back.
+    pair_.a->set_receiver([this](Bytes wire) {
+      auto m = proto::decode_message(wire);
+      if (m.ok()) received_.push_back(std::move(m).take());
+    });
+    send(proto::Hello{"ws", "net-x"});
+    pump();
+    received_.clear();
+  }
+
+  void send(proto::Message m) {
+    ASSERT_TRUE(pair_.a->send(proto::encode_message(m)).ok());
+  }
+  void pump() { net::pump(pair_); }
+
+  template <typename T>
+  const T* last_of() const {
+    for (auto it = received_.rbegin(); it != received_.rend(); ++it) {
+      if (const T* m = std::get_if<T>(&*it)) return m;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<ShadowServer> server_;
+  net::LoopbackPair pair_;
+  std::vector<proto::Message> received_;
+};
+
+TEST_F(ServerEdgeTest, NotifyTriggersPullWithCorrectVersions) {
+  proto::NotifyNewVersion notify;
+  notify.file = file_id(1);
+  notify.version = 4;
+  notify.size = 100;
+  notify.crc = 0xAB;
+  send(notify);
+  pump();
+  const auto* pull = last_of<proto::PullRequest>();
+  ASSERT_NE(pull, nullptr);
+  EXPECT_EQ(pull->have_version, 0u);
+  EXPECT_EQ(pull->want_version, 4u);
+}
+
+TEST_F(ServerEdgeTest, DuplicateNotifyDoesNotDoublePull) {
+  proto::NotifyNewVersion notify;
+  notify.file = file_id(1);
+  notify.version = 2;
+  send(notify);
+  send(notify);
+  pump();
+  EXPECT_EQ(server_->stats().pulls_sent, 1u);
+}
+
+TEST_F(ServerEdgeTest, StaleNotifyIgnored) {
+  proto::NotifyNewVersion notify;
+  notify.file = file_id(1);
+  notify.version = 5;
+  send(notify);
+  pump();
+  received_.clear();
+  notify.version = 3;  // older than what the server already wants
+  send(notify);
+  pump();
+  EXPECT_EQ(server_->stats().pulls_sent, 1u);
+}
+
+TEST_F(ServerEdgeTest, UndecodableUpdatePayloadNacked) {
+  proto::Update update;
+  update.file = file_id(1);
+  update.base_version = 0;
+  update.new_version = 1;
+  update.payload = {0xFF, 0xEE, 0xDD};  // not a compressed delta
+  send(update);
+  pump();
+  const auto* ack = last_of<proto::UpdateAck>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_FALSE(ack->ok);
+  EXPECT_EQ(server_->file_cache().entry_count(), 0u);
+}
+
+TEST_F(ServerEdgeTest, DeltaAgainstUncachedBaseTriggersFullRepull) {
+  proto::Update update;
+  update.file = file_id(1);
+  update.base_version = 3;  // server has nothing cached
+  update.new_version = 4;
+  // Big enough that the computed delta stays a delta (tiny inputs fall
+  // back to full-content format, which needs no base).
+  std::string base;
+  for (int i = 0; i < 50; ++i) base += "line " + std::to_string(i) + "\n";
+  std::string target = base;
+  target.replace(0, 4, "LINE");
+  const diff::Delta delta =
+      diff::Delta::compute(base, target, diff::Algorithm::kHuntMcIlroy);
+  ASSERT_TRUE(delta.needs_base());
+  update.payload = pack_delta(delta);
+  send(update);
+  pump();
+  const auto* pull = last_of<proto::PullRequest>();
+  ASSERT_NE(pull, nullptr);
+  EXPECT_EQ(pull->have_version, 0u);
+  EXPECT_EQ(pull->want_version, 4u);
+  EXPECT_EQ(server_->file_cache().entry_count(), 0u);
+}
+
+TEST_F(ServerEdgeTest, FullUpdateCachedAndAcked) {
+  proto::Update update;
+  update.file = file_id(1);
+  update.base_version = 0;
+  update.new_version = 7;
+  update.payload = pack_delta(diff::Delta::make_full("cached content\n"));
+  send(update);
+  pump();
+  const auto* ack = last_of<proto::UpdateAck>();
+  ASSERT_NE(ack, nullptr);
+  EXPECT_TRUE(ack->ok);
+  EXPECT_EQ(ack->version, 7u);
+  EXPECT_EQ(server_->file_cache().entry_count(), 1u);
+}
+
+TEST_F(ServerEdgeTest, SubmitWithUnpullableFileStaysWaiting) {
+  proto::SubmitJob submit;
+  submit.client_job_token = 1;
+  submit.command_file = "wc data\n";
+  proto::JobFileRef ref;
+  ref.file = file_id(9);
+  ref.local_name = "data";
+  ref.version = 1;
+  submit.files.push_back(ref);
+  send(submit);
+  pump();
+  const auto* reply = last_of<proto::SubmitReply>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->accepted);
+  // The pull went out; until an Update arrives the job waits.
+  const auto& jobs = server_->jobs().all();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs.begin()->second.state, proto::JobState::kWaitingFiles);
+
+  // Now satisfy it.
+  proto::Update update;
+  update.file = file_id(9);
+  update.base_version = 0;
+  update.new_version = 1;
+  update.payload = pack_delta(diff::Delta::make_full("a\nb\n"));
+  send(update);
+  pump();
+  EXPECT_EQ(jobs.begin()->second.state, proto::JobState::kCompleted);
+}
+
+TEST_F(ServerEdgeTest, StatusForSpecificJob) {
+  proto::SubmitJob submit;
+  submit.client_job_token = 2;
+  submit.command_file = "echo done\n";
+  send(submit);
+  pump();
+  received_.clear();
+  proto::StatusQuery query;
+  query.job_id = 1;
+  send(query);
+  pump();
+  const auto* reply = last_of<proto::StatusReply>();
+  ASSERT_NE(reply, nullptr);
+  ASSERT_EQ(reply->jobs.size(), 1u);
+  EXPECT_EQ(reply->jobs[0].job_id, 1u);
+  EXPECT_EQ(reply->jobs[0].state, proto::JobState::kCompleted);
+}
+
+TEST_F(ServerEdgeTest, StatusForUnknownJobIsEmpty) {
+  proto::StatusQuery query;
+  query.job_id = 42;
+  send(query);
+  pump();
+  const auto* reply = last_of<proto::StatusReply>();
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(reply->jobs.empty());
+}
+
+TEST_F(ServerEdgeTest, JobWithBadCommandFileFails) {
+  proto::SubmitJob submit;
+  submit.client_job_token = 3;
+  submit.command_file = "";  // unparsable: no commands
+  send(submit);
+  pump();
+  const auto* out = last_of<proto::JobOutput>();
+  ASSERT_NE(out, nullptr);
+  EXPECT_NE(out->exit_code, 0);
+  EXPECT_EQ(server_->stats().jobs_failed, 1u);
+}
+
+TEST_F(ServerEdgeTest, AckForUnknownJobIgnored) {
+  proto::JobOutputAck ack;
+  ack.job_id = 99;
+  ack.ok = true;
+  send(ack);
+  pump();  // must not crash or reply
+  EXPECT_TRUE(last_of<proto::JobOutput>() == nullptr);
+}
+
+TEST_F(ServerEdgeTest, AckForUnknownJobNackAlsoIgnored) {
+  proto::JobOutputAck ack;
+  ack.job_id = 77;
+  ack.ok = false;
+  ack.error = "whatever";
+  send(ack);
+  pump();
+  EXPECT_TRUE(last_of<proto::JobOutput>() == nullptr);
+}
+
+TEST(AdmissionControlTest, QueueFullRejectsAndClientSeesFailure) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.max_queued_jobs = 2;
+  sc.max_concurrent_jobs = 1;
+  sc.cpu_ops_per_second = 1e3;  // slow: jobs stay active a long time
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& client = system.client("ws");
+  std::vector<u64> tokens;
+  for (int i = 0; i < 4; ++i) {
+    client::ShadowClient::SubmitOptions job;
+    job.command_file = "burn 1000000\necho ok\n";
+    job.output_path = "/home/user/o" + std::to_string(i);
+    job.error_path = "/home/user/e" + std::to_string(i);
+    auto token = client.submit(job);
+    ASSERT_TRUE(token.ok());
+    tokens.push_back(token.value());
+    // Let the submit reach the server before the next one.
+    system.simulator().run_until(system.simulator().now() +
+                                 sim::from_seconds(2));
+  }
+  system.settle();
+
+  const auto& stats = system.server("super").stats();
+  EXPECT_EQ(stats.jobs_rejected, 2u);
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  // The client's view: two delivered, two refused (kFailed with reason).
+  int failed = 0;
+  int delivered = 0;
+  for (u64 token : tokens) {
+    const auto& view = client.jobs().at(token);
+    if (view.state == proto::JobState::kFailed) {
+      ++failed;
+      EXPECT_NE(view.detail.find("queue full"), std::string::npos);
+    }
+    if (view.output_received) ++delivered;
+  }
+  EXPECT_EQ(failed, 2);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(ServerEdgeTest, PullCapRespectedAcrossManyNotifies) {
+  for (u64 i = 0; i < 10; ++i) {
+    proto::NotifyNewVersion notify;
+    notify.file = file_id(100 + i);
+    notify.version = 1;
+    send(notify);
+  }
+  pump();
+  EXPECT_LE(server_->stats().pulls_sent, server_->config().max_outstanding_pulls);
+  EXPECT_GT(server_->stats().pulls_deferred, 0u);
+}
+
+}  // namespace
+}  // namespace shadow::server

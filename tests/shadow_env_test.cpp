@@ -1,0 +1,129 @@
+// Tests for the shadow environment (paper §6.3.1): defaults, dotfile
+// round trip, rejection of malformed customizations — and the end-to-end
+// behaviour of the reverse-delta version storage option.
+#include <gtest/gtest.h>
+
+#include "client/shadow_env.hpp"
+#include "core/system.hpp"
+#include "core/workload.hpp"
+
+namespace shadow::client {
+namespace {
+
+TEST(ShadowEnvTest, DefaultsMatchPaper) {
+  ShadowEnvironment env;
+  EXPECT_TRUE(env.default_server.empty());
+  EXPECT_EQ(env.retention_limit, 8u);
+  EXPECT_EQ(env.algorithm, diff::Algorithm::kHuntMcIlroy);  // the prototype's
+  EXPECT_EQ(env.codec, compress::Codec::kStored);
+  EXPECT_TRUE(env.background_updates);
+  EXPECT_EQ(env.flow, FlowMode::kDemandDriven);  // the paper's choice (5.2)
+  EXPECT_EQ(env.version_storage, version::StorageMode::kFull);
+}
+
+TEST(ShadowEnvTest, TextRoundTrip) {
+  ShadowEnvironment env;
+  env.default_server = "cyber-205";
+  env.editor = "emacs";
+  env.retention_limit = 3;
+  env.algorithm = diff::Algorithm::kBlockMove;
+  env.codec = compress::Codec::kLz77;
+  env.background_updates = false;
+  env.flow = FlowMode::kRequestDriven;
+  env.version_storage = version::StorageMode::kReverseDelta;
+  env.diff_bytes_per_second = 250000;
+
+  auto parsed = ShadowEnvironment::from_text(env.to_text());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const ShadowEnvironment& back = parsed.value();
+  EXPECT_EQ(back.default_server, "cyber-205");
+  EXPECT_EQ(back.editor, "emacs");
+  EXPECT_EQ(back.retention_limit, 3u);
+  EXPECT_EQ(back.algorithm, diff::Algorithm::kBlockMove);
+  EXPECT_EQ(back.codec, compress::Codec::kLz77);
+  EXPECT_FALSE(back.background_updates);
+  EXPECT_EQ(back.flow, FlowMode::kRequestDriven);
+  EXPECT_EQ(back.version_storage, version::StorageMode::kReverseDelta);
+  EXPECT_DOUBLE_EQ(back.diff_bytes_per_second, 250000);
+}
+
+TEST(ShadowEnvTest, ParsingToleratesCommentsAndBlanks) {
+  auto parsed = ShadowEnvironment::from_text(
+      "# my shadow setup\n"
+      "\n"
+      "editor vi\n"
+      "  retention_limit 2  \n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().editor, "vi");
+  EXPECT_EQ(parsed.value().retention_limit, 2u);
+}
+
+TEST(ShadowEnvTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ShadowEnvironment::from_text("editor\n").ok());
+  EXPECT_FALSE(ShadowEnvironment::from_text("mystery_key 1\n").ok());
+  EXPECT_FALSE(ShadowEnvironment::from_text("codec zip\n").ok());
+  EXPECT_FALSE(ShadowEnvironment::from_text("flow chaotic\n").ok());
+  EXPECT_FALSE(ShadowEnvironment::from_text("version_storage cloud\n").ok());
+  EXPECT_FALSE(ShadowEnvironment::from_text("algorithm magic\n").ok());
+}
+
+TEST(ShadowEnvTest, FlowModeNames) {
+  EXPECT_STREQ(flow_mode_name(FlowMode::kDemandDriven), "demand-driven");
+  EXPECT_STREQ(flow_mode_name(FlowMode::kRequestDriven), "request-driven");
+}
+
+// ---- reverse-delta storage end to end ----
+
+TEST(ReverseDeltaClientTest, FullProtocolWorksWithRcsStorage) {
+  core::ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  ShadowEnvironment env;
+  env.version_storage = version::StorageMode::kReverseDelta;
+  env.retention_limit = 4;
+  system.add_client("ws", env);
+  sim::Link& link =
+      system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto& editor = system.editor("ws");
+  auto& client = system.client("ws");
+  std::string content = core::make_file(30'000, 1);
+  ASSERT_TRUE(editor.create("/home/user/f", content).ok());
+  system.settle();
+
+  // Several further edits: the pulls diff against reconstructed bases.
+  for (int i = 0; i < 4; ++i) {
+    content = core::modify_percent(content, 2, static_cast<u64>(i + 10));
+    ASSERT_TRUE(editor.create("/home/user/f", content).ok());
+    system.settle();
+  }
+  const auto& stats = system.server("super").stats();
+  EXPECT_EQ(stats.full_transfers, 1u);
+  EXPECT_EQ(stats.delta_transfers, 4u);
+
+  // The server cache equals the client's latest content (invariant 3).
+  naming::NameResolver resolver(system.domain_id(), &system.cluster());
+  const auto id = resolver.resolve("ws", "/home/user/f").value();
+  auto entry = system.server("super").file_cache().get(
+      system.server("super").domains().cache_key(id));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry.value()->content, content);
+
+  // Client-side storage is latest + deltas, far below 5 full copies.
+  EXPECT_LT(client.versions().total_bytes(), content.size() + 20'000);
+
+  // And a submit cycle completes.
+  client::ShadowClient::SubmitOptions job;
+  job.files = {"/home/user/f"};
+  job.command_file = "wc f\n";
+  auto token = client.submit(job);
+  ASSERT_TRUE(token.ok());
+  system.settle();
+  EXPECT_TRUE(client.job_done(token.value()));
+  (void)link;
+}
+
+}  // namespace
+}  // namespace shadow::client

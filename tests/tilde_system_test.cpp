@@ -1,0 +1,112 @@
+// End-to-end tests of Tilde names driving the full shadow system: editing,
+// submitting and receiving output purely through "~tree/..." names.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "naming/tilde.hpp"
+
+namespace shadow::core {
+namespace {
+
+class TildeSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server::ServerConfig sc;
+    sc.name = "super";
+    system_.add_server(sc);
+    system_.add_client("ws1");
+    system_.add_client("ws2");
+    system_.cluster().add_host("fs-a");
+    system_.cluster().add_host("fs-b");
+    system_.connect("ws1", "super", sim::LinkConfig::cypress_9600());
+    system_.connect("ws2", "super", sim::LinkConfig::cypress_9600());
+    system_.settle();
+
+    forest_ = std::make_unique<naming::TildeForest>(&system_.cluster());
+    ASSERT_TRUE(forest_->create_tree("proj", "fs-a", "/t/proj").ok());
+    ASSERT_TRUE(forest_->bind("alice", "p", "proj").ok());
+    ASSERT_TRUE(forest_->bind("bob", "shared", "proj").ok());
+    system_.client("ws1").set_tilde(forest_.get(), "alice");
+    system_.client("ws2").set_tilde(forest_.get(), "bob");
+  }
+
+  ShadowSystem system_;
+  std::unique_ptr<naming::TildeForest> forest_;
+};
+
+TEST_F(TildeSystemTest, EditViaTildeCachesOnce) {
+  ASSERT_TRUE(
+      system_.editor("ws1").create("~p/data.f", make_file(5000, 1)).ok());
+  system_.settle();
+  EXPECT_EQ(system_.server("super").file_cache().entry_count(), 1u);
+
+  // Bob edits the same file under his alias: still one cached copy.
+  ASSERT_TRUE(system_.editor("ws2")
+                  .create("~shared/data.f", make_file(5000, 2))
+                  .ok());
+  system_.settle();
+  EXPECT_EQ(system_.server("super").file_cache().entry_count(), 1u);
+}
+
+TEST_F(TildeSystemTest, FullJobCycleThroughTildeNames) {
+  ASSERT_TRUE(
+      system_.editor("ws1").create("~p/data.f", "3\n1\n2\n").ok());
+  client::ShadowClient::SubmitOptions job;
+  job.files = {"~p/data.f"};
+  job.command_file = "sort data.f\n";
+  job.output_path = "~p/sorted.out";
+  job.error_path = "~p/sorted.err";
+  auto token = system_.client("ws1").submit(job);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  ASSERT_TRUE(system_.client("ws1").job_done(token.value()));
+  // Output landed inside the tree — visible to BOTH users' names.
+  EXPECT_EQ(system_.cluster().read_file("fs-a", "/t/proj/sorted.out").value(),
+            "1\n2\n3\n");
+  auto via_bob = forest_->resolve("bob", "~shared/sorted.out");
+  ASSERT_TRUE(via_bob.ok());
+}
+
+TEST_F(TildeSystemTest, MigrationMidProjectKeepsWorking) {
+  const std::string v1 = make_file(20'000, 3);
+  ASSERT_TRUE(system_.editor("ws1").create("~p/data.f", v1).ok());
+  system_.settle();
+
+  ASSERT_TRUE(forest_->migrate_tree("proj", "fs-b", "/moved/proj").ok());
+  // Same tilde name, new physical location; edit + submit still work.
+  ASSERT_TRUE(system_.editor("ws1")
+                  .create("~p/data.f", modify_percent(v1, 2, 4))
+                  .ok());
+  client::ShadowClient::SubmitOptions job;
+  job.files = {"~p/data.f"};
+  job.command_file = "wc data.f\n";
+  job.output_path = "~p/out";
+  job.error_path = "~p/err";
+  auto token = system_.client("ws1").submit(job);
+  ASSERT_TRUE(token.ok());
+  system_.settle();
+  EXPECT_TRUE(system_.client("ws1").job_done(token.value()));
+  EXPECT_TRUE(
+      system_.cluster().read_file("fs-b", "/moved/proj/out").ok());
+}
+
+TEST_F(TildeSystemTest, TildeWithoutConfigurationFails) {
+  ShadowSystem other;
+  server::ServerConfig sc;
+  sc.name = "s";
+  other.add_server(sc);
+  other.add_client("c");
+  other.connect("c", "s", sim::LinkConfig::cypress_9600());
+  other.settle();
+  auto st = other.editor("c").create("~x/f", "content");
+  EXPECT_EQ(st.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TildeSystemTest, UnboundAliasFailsCleanly) {
+  auto st = system_.editor("ws1").create("~nope/f", "content");
+  EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace shadow::core

@@ -1,0 +1,191 @@
+// Unit tests for the Tilde naming scheme (paper §5.3, [CM86]).
+#include <gtest/gtest.h>
+
+#include "naming/tilde.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow::naming {
+namespace {
+
+class TildeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_.add_host("alpha");
+    cluster_.add_host("beta");
+    ASSERT_TRUE(forest_.create_tree("comer-research", "alpha",
+                                    "/trees/research").ok());
+    ASSERT_TRUE(forest_.create_tree("shared-tools", "beta",
+                                    "/trees/tools").ok());
+    // doug sees the research tree as ~work; jim sees it as ~dougs.
+    ASSERT_TRUE(forest_.bind("doug", "work", "comer-research").ok());
+    ASSERT_TRUE(forest_.bind("doug", "tools", "shared-tools").ok());
+    ASSERT_TRUE(forest_.bind("jim", "dougs", "comer-research").ok());
+    ASSERT_TRUE(cluster_.write_file("alpha", "/trees/research/paper.tex",
+                                    "shadow editing draft").ok());
+  }
+  vfs::Cluster cluster_;
+  TildeForest forest_{&cluster_};
+};
+
+TEST_F(TildeTest, ParseSyntax) {
+  auto ok = TildeForest::parse("~work/src/main.c");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().first, "work");
+  EXPECT_EQ(ok.value().second, "src/main.c");
+  auto bare = TildeForest::parse("~work");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().second, "");
+  EXPECT_FALSE(TildeForest::parse("/absolute/path").ok());
+  EXPECT_FALSE(TildeForest::parse("~/x").ok());  // empty alias
+  EXPECT_TRUE(TildeForest::is_tilde_path("~t/x"));
+  EXPECT_FALSE(TildeForest::is_tilde_path("t/x"));
+}
+
+TEST_F(TildeTest, ResolveThroughUserView) {
+  auto loc = forest_.resolve("doug", "~work/paper.tex");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().host, "alpha");
+  EXPECT_EQ(loc.value().path, "/trees/research/paper.tex");
+}
+
+TEST_F(TildeTest, DifferentUsersDifferentNamesSameFile) {
+  // "Different users may refer to the same file by different tilde names."
+  auto as_doug = forest_.resolve("doug", "~work/paper.tex");
+  auto as_jim = forest_.resolve("jim", "~dougs/paper.tex");
+  ASSERT_TRUE(as_doug.ok());
+  ASSERT_TRUE(as_jim.ok());
+  EXPECT_EQ(as_doug.value(), as_jim.value());
+}
+
+TEST_F(TildeTest, ViewsAreIndependent) {
+  // jim has no ~work; doug's binding does not leak.
+  EXPECT_EQ(forest_.resolve("jim", "~work/paper.tex").code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(forest_.resolve("stranger", "~work/x").code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(TildeTest, RebindChangesView) {
+  // "A user may occasionally change the set of absolute names."
+  ASSERT_TRUE(forest_.bind("jim", "dougs", "shared-tools").ok());
+  auto located = forest_.locate("jim", "~dougs");
+  ASSERT_TRUE(located.ok());
+  EXPECT_EQ(located.value().first, "beta");
+  EXPECT_EQ(located.value().second, "/trees/tools");
+}
+
+TEST_F(TildeTest, UnbindRemovesAlias) {
+  ASSERT_TRUE(forest_.unbind("doug", "tools").ok());
+  EXPECT_EQ(forest_.locate("doug", "~tools/x").code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(forest_.unbind("doug", "tools").ok());
+  // ~work still bound.
+  EXPECT_TRUE(forest_.locate("doug", "~work/paper.tex").ok());
+}
+
+TEST_F(TildeTest, DuplicateTreeRejected) {
+  EXPECT_EQ(forest_.create_tree("comer-research", "beta", "/x").code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(forest_.create_tree("bad/name", "alpha", "/y").ok());
+  EXPECT_FALSE(forest_.create_tree("", "alpha", "/y").ok());
+}
+
+TEST_F(TildeTest, BindToUnknownTreeRejected) {
+  EXPECT_EQ(forest_.bind("doug", "x", "no-such-tree").code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(TildeTest, PathMayNotEscapeTree) {
+  // Tilde trees are "logically independent": ~work/../../etc is illegal.
+  EXPECT_EQ(forest_.locate("doug", "~work/../../../etc/passwd").code(),
+            ErrorCode::kPermissionDenied);
+  // But ".." WITHIN the tree is fine.
+  ASSERT_TRUE(
+      cluster_.host("alpha").value()->mkdir_p("/trees/research/sub").ok());
+  auto ok = forest_.locate("doug", "~work/sub/../paper.tex");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().second, "/trees/research/paper.tex");
+}
+
+TEST_F(TildeTest, MigrationPreservesViewAndContent) {
+  // "Files may migrate from a machine to another without altering the
+  // user's view."
+  ASSERT_TRUE(cluster_.host("alpha")
+                  .value()
+                  ->mkdir_p("/trees/research/src")
+                  .ok());
+  ASSERT_TRUE(cluster_.write_file("alpha", "/trees/research/src/a.c",
+                                  "int main(){}").ok());
+  ASSERT_TRUE(forest_.migrate_tree("comer-research", "beta",
+                                   "/migrated/research").ok());
+
+  auto loc = forest_.resolve("doug", "~work/paper.tex");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().host, "beta");
+  EXPECT_EQ(cluster_.read_file("beta", "/migrated/research/paper.tex")
+                .value(),
+            "shadow editing draft");
+  EXPECT_EQ(cluster_
+                .read_file(loc.value().host, "/migrated/research/src/a.c")
+                .value(),
+            "int main(){}");
+  // jim's different name for the same tree migrated too.
+  auto as_jim = forest_.resolve("jim", "~dougs/src/a.c");
+  ASSERT_TRUE(as_jim.ok());
+  EXPECT_EQ(as_jim.value().host, "beta");
+}
+
+TEST_F(TildeTest, MigrateUnknownTreeFails) {
+  EXPECT_FALSE(forest_.migrate_tree("ghost", "beta", "/x").ok());
+}
+
+TEST_F(TildeTest, ViewOfListsBindings) {
+  const auto view = forest_.view_of("doug");
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.at("work"), "comer-research");
+  EXPECT_EQ(view.at("tools"), "shared-tools");
+  EXPECT_TRUE(forest_.view_of("nobody").empty());
+}
+
+// ---- TildeResolver: down to physical identity ----
+
+TEST_F(TildeTest, ResolverProducesSameIdAsPlainResolver) {
+  TildeResolver tilde_resolver("net-1", &cluster_, &forest_);
+  NameResolver plain("net-1", &cluster_);
+  auto via_tilde = tilde_resolver.resolve("doug", "~work/paper.tex");
+  auto via_path = plain.resolve("alpha", "/trees/research/paper.tex");
+  ASSERT_TRUE(via_tilde.ok());
+  ASSERT_TRUE(via_path.ok());
+  EXPECT_EQ(via_tilde.value().key(), via_path.value().key());
+}
+
+TEST_F(TildeTest, AbsoluteNameAloneInsufficient) {
+  // The paper's point: two users' names, one file — identity comes from
+  // full resolution, not from the tree name. Create a hard link inside
+  // the tree; both names map to one id.
+  auto alpha = cluster_.host("alpha").value();
+  ASSERT_TRUE(alpha->hard_link("/trees/research/paper.tex",
+                               "/trees/research/draft.tex").ok());
+  TildeResolver resolver("net-1", &cluster_, &forest_);
+  auto one = resolver.resolve("doug", "~work/paper.tex");
+  auto two = resolver.resolve("doug", "~work/draft.tex");
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(one.value().key(), two.value().key());
+  EXPECT_NE(one.value().path, two.value().path);
+}
+
+TEST_F(TildeTest, TreeSpanningMount) {
+  // A tree whose subdirectory is an NFS mount resolves through it.
+  auto& gamma = cluster_.add_host("gamma");
+  ASSERT_TRUE(gamma.mkdir_p("/exported").ok());
+  ASSERT_TRUE(gamma.write_file("/exported/data.bin", "remote bits").ok());
+  ASSERT_TRUE(cluster_.mount("alpha", "/trees/research/remote", "gamma",
+                             "/exported").ok());
+  auto loc = forest_.resolve("doug", "~work/remote/data.bin");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().host, "gamma");
+  EXPECT_EQ(loc.value().path, "/exported/data.bin");
+}
+
+}  // namespace
+}  // namespace shadow::naming

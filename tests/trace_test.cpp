@@ -1,0 +1,141 @@
+// Tests for trace-driven sessions: text parsing round trips and replays.
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "core/workload.hpp"
+
+namespace shadow::core {
+namespace {
+
+Trace sample_trace() {
+  Trace trace;
+  trace.client = "ws";
+  TraceStep edit;
+  edit.kind = TraceStep::Kind::kEdit;
+  edit.path = "/home/user/data.f";
+  edit.create_bytes = 20'000;
+  edit.seed = 5;
+  trace.steps.push_back(edit);
+
+  TraceStep think;
+  think.kind = TraceStep::Kind::kThink;
+  think.seconds = 60;
+  trace.steps.push_back(think);
+
+  TraceStep submit;
+  submit.kind = TraceStep::Kind::kSubmit;
+  submit.command = "sort data.f > s\nwc s\n";
+  submit.files = {"/home/user/data.f"};
+  submit.output_path = "/home/user/out";
+  submit.error_path = "/home/user/err";
+  trace.steps.push_back(submit);
+
+  TraceStep await_step;
+  await_step.kind = TraceStep::Kind::kAwait;
+  trace.steps.push_back(await_step);
+
+  TraceStep reedit;
+  reedit.kind = TraceStep::Kind::kEdit;
+  reedit.path = "/home/user/data.f";
+  reedit.percent = 3;
+  reedit.seed = 6;
+  trace.steps.push_back(reedit);
+  trace.steps.push_back(think);
+  trace.steps.push_back(submit);
+  trace.steps.push_back(await_step);
+  return trace;
+}
+
+TEST(TraceTest, TextRoundTrip) {
+  const Trace trace = sample_trace();
+  auto parsed = Trace::parse(trace.to_text());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value(), trace);
+}
+
+TEST(TraceTest, ParseHandwritten) {
+  auto parsed = Trace::parse(
+      "# a tiny session\n"
+      "client alice\n"
+      "edit /home/user/f create=1000 seed=1\n"
+      "think 30\n"
+      "submit cmd=\"wc f\\n\" files=/home/user/f out=/home/user/o\n"
+      "await\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().client, "alice");
+  ASSERT_EQ(parsed.value().steps.size(), 4u);
+  EXPECT_EQ(parsed.value().steps[2].command, "wc f\n");
+  EXPECT_EQ(parsed.value().steps[2].error_path, "/home/user/job.err");
+}
+
+TEST(TraceTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Trace::parse("edit /f\n").ok());  // no client line
+  EXPECT_FALSE(Trace::parse("client c\nteleport /f\n").ok());
+  EXPECT_FALSE(Trace::parse("client c\nsubmit files=/f\n").ok());
+  EXPECT_FALSE(Trace::parse("client c\nthink\n").ok());
+  EXPECT_FALSE(
+      Trace::parse("client c\nsubmit cmd=\"unterminated\n").ok());
+}
+
+TEST(TraceTest, ReplayProducesWorkAndNumbers) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  system.add_client("ws");
+  sim::Link& link =
+      system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+
+  auto report = run_trace(system, sample_trace(), &link);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().edits, 2);
+  EXPECT_EQ(report.value().submits, 2);
+  EXPECT_EQ(report.value().jobs_delivered, 2);
+  EXPECT_GT(report.value().payload_bytes, 20'000u);
+  EXPECT_GT(report.value().elapsed_seconds, 120.0);  // two think steps
+  EXPECT_GT(report.value().waiting_seconds, 0.0);
+  EXPECT_TRUE(system.cluster().read_file("ws", "/home/user/out").ok());
+  // The second submission was a delta, not a re-send.
+  EXPECT_EQ(system.server("super").stats().delta_transfers, 1u);
+}
+
+TEST(TraceTest, ReplayBenefitsFromThinkTime) {
+  // Same trace, two think durations: longer thinking => less waiting
+  // (background updates overlap editing).
+  auto run_with_think = [](double think_seconds) {
+    ShadowSystem system;
+    server::ServerConfig sc;
+    sc.name = "super";
+    system.add_server(sc);
+    system.add_client("ws");
+    system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+    system.settle();
+    Trace trace = sample_trace();
+    for (auto& step : trace.steps) {
+      if (step.kind == TraceStep::Kind::kThink) {
+        step.seconds = think_seconds;
+      }
+    }
+    auto report = run_trace(system, trace);
+    EXPECT_TRUE(report.ok());
+    return report.value().waiting_seconds;
+  };
+  EXPECT_LT(run_with_think(120.0), run_with_think(0.0));
+}
+
+TEST(TraceTest, ReplayFailsCleanlyOnBadClient) {
+  ShadowSystem system;
+  server::ServerConfig sc;
+  sc.name = "super";
+  system.add_server(sc);
+  system.add_client("ws");
+  system.connect("ws", "super", sim::LinkConfig::cypress_9600());
+  system.settle();
+  Trace trace = sample_trace();
+  trace.client = "ghost";
+  EXPECT_THROW((void)run_trace(system, trace), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace shadow::core

@@ -1,0 +1,253 @@
+// Unit tests for client-side version control (paper §6.3.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/crc32.hpp"
+#include "version/version_store.hpp"
+
+namespace shadow::version {
+namespace {
+
+TEST(VersionChainTest, AppendNumbersIncrease) {
+  VersionChain chain;
+  EXPECT_EQ(chain.append("v1"), 1u);
+  EXPECT_EQ(chain.append("v2"), 2u);
+  EXPECT_EQ(chain.append("v3"), 3u);
+  EXPECT_EQ(chain.latest_number().value(), 3u);
+  EXPECT_EQ(chain.latest().value().content, "v3");
+}
+
+TEST(VersionChainTest, EmptyChain) {
+  VersionChain chain;
+  EXPECT_FALSE(chain.latest_number().has_value());
+  EXPECT_FALSE(chain.latest().ok());
+  EXPECT_EQ(chain.get(1).code(), ErrorCode::kNotFound);
+}
+
+TEST(VersionChainTest, GetRetrievesHistoricVersions) {
+  VersionChain chain;
+  chain.append("alpha");
+  chain.append("beta");
+  EXPECT_EQ(chain.get(1).value().content, "alpha");
+  EXPECT_EQ(chain.get(2).value().content, "beta");
+  EXPECT_NE(chain.get(1).value().crc, chain.get(2).value().crc);
+}
+
+TEST(VersionChainTest, AcknowledgeGarbageCollectsOlder) {
+  VersionChain chain;
+  for (int i = 0; i < 5; ++i) chain.append("v" + std::to_string(i + 1));
+  chain.acknowledge(4);
+  // Versions 1..3 are gone; 4 (the server's base) and 5 remain.
+  EXPECT_FALSE(chain.has(1));
+  EXPECT_FALSE(chain.has(3));
+  EXPECT_TRUE(chain.has(4));
+  EXPECT_TRUE(chain.has(5));
+  EXPECT_EQ(chain.acked(), 4u);
+}
+
+TEST(VersionChainTest, StaleAckIsIgnored) {
+  VersionChain chain;
+  chain.append("a");
+  chain.append("b");
+  chain.acknowledge(2);
+  chain.acknowledge(1);  // out-of-order ack must not resurrect/regress
+  EXPECT_EQ(chain.acked(), 2u);
+  EXPECT_FALSE(chain.has(1));
+}
+
+TEST(VersionChainTest, RetentionLimitBoundsStorage) {
+  VersionChain chain(/*retention_limit=*/2);
+  for (int i = 0; i < 10; ++i) chain.append("v" + std::to_string(i));
+  // Latest + at most 2 older ones.
+  EXPECT_EQ(chain.stored_count(), 3u);
+  EXPECT_TRUE(chain.has(10));
+  EXPECT_TRUE(chain.has(9));
+  EXPECT_TRUE(chain.has(8));
+  EXPECT_FALSE(chain.has(7));
+}
+
+TEST(VersionChainTest, RetentionZeroKeepsOnlyLatest) {
+  VersionChain chain(0);
+  chain.append("a");
+  chain.append("b");
+  EXPECT_EQ(chain.stored_count(), 1u);
+  EXPECT_TRUE(chain.has(2));
+}
+
+TEST(VersionChainTest, ShrinkingRetentionPrunesImmediately) {
+  VersionChain chain(8);
+  for (int i = 0; i < 6; ++i) chain.append("x");
+  EXPECT_EQ(chain.stored_count(), 6u);
+  chain.set_retention_limit(1);
+  EXPECT_EQ(chain.stored_count(), 2u);
+}
+
+TEST(VersionChainTest, PrunedBaseForcesFullTransferScenario) {
+  // The §6.3.2 fallback: the server asks for a base the client dropped.
+  VersionChain chain(1);
+  chain.append("v1");
+  chain.append("v2");
+  chain.append("v3");  // retention 1 => v1 gone
+  EXPECT_FALSE(chain.has(1));
+  EXPECT_EQ(chain.get(1).code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(chain.has(3));
+}
+
+TEST(VersionChainTest, StoredBytes) {
+  VersionChain chain;
+  chain.append("12345");
+  chain.append("123");
+  EXPECT_EQ(chain.stored_bytes(), 8u);
+}
+
+TEST(VersionStoreTest, ChainsAreIndependent) {
+  VersionStore store;
+  store.chain("fileA").append("a1");
+  store.chain("fileB").append("b1");
+  store.chain("fileB").append("b2");
+  EXPECT_EQ(store.file_count(), 2u);
+  EXPECT_EQ(store.chain("fileA").latest_number().value(), 1u);
+  EXPECT_EQ(store.chain("fileB").latest_number().value(), 2u);
+}
+
+TEST(VersionStoreTest, FindDoesNotCreate) {
+  VersionStore store;
+  EXPECT_EQ(store.find("ghost"), nullptr);
+  EXPECT_FALSE(store.has("ghost"));
+  store.chain("real");
+  EXPECT_NE(store.find("real"), nullptr);
+}
+
+TEST(VersionStoreTest, DefaultRetentionApplied) {
+  VersionStore store(/*default_retention=*/1);
+  auto& chain = store.chain("f");
+  for (int i = 0; i < 5; ++i) chain.append("v");
+  EXPECT_EQ(chain.stored_count(), 2u);
+}
+
+TEST(VersionStoreTest, TotalBytesSumsChains) {
+  VersionStore store;
+  store.chain("a").append("1234");
+  store.chain("b").append("12");
+  EXPECT_EQ(store.total_bytes(), 6u);
+}
+
+// ---- reverse-delta storage (Tichy/RCS technique) ----
+// The observable behaviour of a chain must be IDENTICAL in both storage
+// modes; these parameterized tests run the same scenarios against each.
+
+class ChainModeTest : public ::testing::TestWithParam<StorageMode> {
+ protected:
+  VersionChain make(std::size_t retention = 8) {
+    return VersionChain(retention, GetParam());
+  }
+};
+
+TEST_P(ChainModeTest, GetReconstructsEveryRetainedVersion) {
+  VersionChain chain = make();
+  std::vector<std::string> contents;
+  std::string base = "line one\nline two\nline three\n";
+  for (int i = 0; i < 6; ++i) {
+    base += "appended line " + std::to_string(i) + "\n";
+    contents.push_back(base);
+    chain.append(base);
+  }
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    auto v = chain.get(i + 1);
+    ASSERT_TRUE(v.ok()) << storage_mode_name(GetParam()) << " v" << i + 1;
+    EXPECT_EQ(v.value().content, contents[i]);
+    EXPECT_EQ(v.value().number, i + 1);
+  }
+}
+
+TEST_P(ChainModeTest, RetentionAndAckBehaveIdentically) {
+  VersionChain chain = make(/*retention=*/2);
+  for (int i = 0; i < 6; ++i) {
+    chain.append("content v" + std::to_string(i + 1) + "\nmore\n");
+  }
+  EXPECT_EQ(chain.stored_count(), 3u);  // latest + 2 older
+  EXPECT_FALSE(chain.has(3));
+  EXPECT_TRUE(chain.has(4));
+  EXPECT_TRUE(chain.has(6));
+  chain.acknowledge(5);
+  EXPECT_FALSE(chain.has(4));
+  EXPECT_TRUE(chain.has(5));
+  EXPECT_EQ(chain.get(5).value().content, "content v5\nmore\n");
+}
+
+TEST_P(ChainModeTest, EmptyAndSingleVersion) {
+  VersionChain chain = make();
+  EXPECT_FALSE(chain.latest().ok());
+  chain.append("only");
+  EXPECT_EQ(chain.latest().value().content, "only");
+  EXPECT_EQ(chain.get(1).value().content, "only");
+  EXPECT_EQ(chain.stored_count(), 1u);
+}
+
+TEST_P(ChainModeTest, IdenticalConsecutiveVersions) {
+  VersionChain chain = make();
+  chain.append("same\n");
+  chain.append("same\n");
+  chain.append("same\n");
+  EXPECT_EQ(chain.get(1).value().content, "same\n");
+  EXPECT_EQ(chain.get(2).value().content, "same\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ChainModeTest,
+                         ::testing::Values(StorageMode::kFull,
+                                           StorageMode::kReverseDelta),
+                         [](const auto& info) {
+                           return std::string(
+                               storage_mode_name(info.param)) == "full"
+                                      ? "Full"
+                                      : "ReverseDelta";
+                         });
+
+TEST(ReverseDeltaTest, StorageIsLatestPlusSmallDeltas) {
+  // 10 versions of a 50 KB file with tiny edits: full mode stores ~500 KB,
+  // reverse-delta mode ~50 KB + small deltas.
+  VersionChain full(/*retention=*/16, StorageMode::kFull);
+  VersionChain rcs(/*retention=*/16, StorageMode::kReverseDelta);
+  std::string content;
+  for (int i = 0; i < 1200; ++i) {
+    content += "data line number " + std::to_string(i) + "\n";
+  }
+  for (int v = 0; v < 10; ++v) {
+    content.replace(static_cast<std::size_t>(v) * 100, 4, "EDIT");
+    full.append(content);
+    rcs.append(content);
+  }
+  EXPECT_EQ(full.stored_count(), rcs.stored_count());
+  EXPECT_GT(full.stored_bytes(), 8 * rcs.stored_bytes());
+  // And both still reconstruct version 1 identically.
+  EXPECT_EQ(full.get(1).value().content, rcs.get(1).value().content);
+}
+
+TEST(ReverseDeltaTest, ReconstructionVerifiedByCrc) {
+  VersionChain chain(8, StorageMode::kReverseDelta);
+  chain.append("alpha\nbeta\n");
+  chain.append("alpha\nGAMMA\n");
+  chain.append("alpha\nGAMMA\ndelta\n");
+  auto v1 = chain.get(1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value().content, "alpha\nbeta\n");
+  EXPECT_EQ(v1.value().crc,
+            crc32(reinterpret_cast<const u8*>("alpha\nbeta\n"), 11));
+}
+
+TEST(ReverseDeltaTest, StoreWithModePropagates) {
+  VersionStore store(4, StorageMode::kReverseDelta);
+  auto& chain = store.chain("f");
+  EXPECT_EQ(chain.storage_mode(), StorageMode::kReverseDelta);
+  EXPECT_EQ(store.storage_mode(), StorageMode::kReverseDelta);
+}
+
+TEST(ReverseDeltaTest, ModeNames) {
+  EXPECT_STREQ(storage_mode_name(StorageMode::kFull), "full");
+  EXPECT_STREQ(storage_mode_name(StorageMode::kReverseDelta),
+               "reverse-delta");
+}
+
+}  // namespace
+}  // namespace shadow::version

@@ -1,0 +1,202 @@
+// Model-based randomized testing of the virtual filesystem: a reference
+// model (plain maps with obvious semantics) runs the same random operation
+// sequence as the real FileSystem; every divergence is a bug in one of
+// them. Seeds make failures replayable.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/path.hpp"
+
+namespace shadow::vfs {
+namespace {
+
+// The reference model: directories as a set of paths, files as a map.
+// No symlinks (those have dedicated deterministic tests) — this hammers
+// the directory/file/rename/unlink state machine.
+class ModelFs {
+ public:
+  ModelFs() { dirs_.insert("/"); }
+
+  bool mkdir_p(const std::string& path) {
+    const auto parts = components(normalize(path));
+    std::string prefix;
+    for (const auto& part : parts) {
+      prefix += "/" + part;
+      if (files_.count(prefix)) return false;  // file in the way
+      dirs_.insert(prefix);
+    }
+    return true;
+  }
+
+  bool write(const std::string& path, const std::string& content) {
+    const std::string p = normalize(path);
+    if (p == "/" || dirs_.count(p)) return false;
+    if (!dirs_.count(dirname(p))) return false;
+    // Writing under a file parent is illegal.
+    files_[p] = content;
+    return true;
+  }
+
+  bool read(const std::string& path, std::string* out) const {
+    auto it = files_.find(normalize(path));
+    if (it == files_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  bool unlink(const std::string& path) {
+    const std::string p = normalize(path);
+    if (files_.erase(p)) return true;
+    if (dirs_.count(p) && p != "/") {
+      // Only empty directories.
+      for (const auto& d : dirs_) {
+        if (d != p && has_prefix(d, p)) return false;
+      }
+      for (const auto& [f, unused] : files_) {
+        if (has_prefix(f, p)) return false;
+      }
+      dirs_.erase(p);
+      return true;
+    }
+    return false;
+  }
+
+  bool rename(const std::string& from, const std::string& to) {
+    const std::string f = normalize(from);
+    const std::string t = normalize(to);
+    if (f == "/" || t == "/") return false;
+    if (!dirs_.count(dirname(t))) return false;
+    if (files_.count(f)) {
+      if (dirs_.count(t)) return false;
+      if (f == t) return true;
+      files_[t] = files_[f];
+      files_.erase(f);
+      return true;
+    }
+    if (dirs_.count(f)) {
+      if (has_prefix(t, f)) return false;  // into own subtree
+      if (files_.count(t) || dirs_.count(t)) return false;  // simplify:
+      // the real fs also rejects dir-onto-existing; file targets are
+      // rejected as kIsADirectory mismatches... keep the model strict and
+      // only generate such targets rarely.
+      // Move the subtree.
+      std::map<std::string, std::string> moved_files;
+      std::set<std::string> moved_dirs;
+      for (const auto& d : dirs_) {
+        if (d == f || has_prefix(d, f)) {
+          moved_dirs.insert(t + d.substr(f.size()));
+        }
+      }
+      for (const auto& [p, content] : files_) {
+        if (has_prefix(p, f)) {
+          moved_files[t + p.substr(f.size())] = content;
+        }
+      }
+      for (auto it = dirs_.begin(); it != dirs_.end();) {
+        if (*it == f || has_prefix(*it, f)) {
+          it = dirs_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = files_.begin(); it != files_.end();) {
+        if (has_prefix(it->first, f)) {
+          it = files_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      dirs_.insert(moved_dirs.begin(), moved_dirs.end());
+      files_.insert(moved_files.begin(), moved_files.end());
+      return true;
+    }
+    return false;
+  }
+
+  const std::map<std::string, std::string>& files() const { return files_; }
+
+ private:
+  std::set<std::string> dirs_;
+  std::map<std::string, std::string> files_;
+};
+
+class VfsModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VfsModelTest, RandomOpsAgreeWithModel) {
+  Rng rng(static_cast<u64>(GetParam()) * 6151 + 11);
+  FileSystem fs("host");
+  ModelFs model;
+
+  // A small path vocabulary so operations collide interestingly.
+  const char* names[] = {"a", "b", "c", "dir", "sub"};
+  auto random_path = [&] {
+    std::string path;
+    const u64 depth = 1 + rng.below(3);
+    for (u64 d = 0; d < depth; ++d) {
+      path += "/";
+      path += names[rng.below(5)];
+    }
+    return path;
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    const std::string p = random_path();
+    switch (rng.below(5)) {
+      case 0: {
+        const bool model_ok = model.mkdir_p(p);
+        const bool fs_ok = fs.mkdir_p(p).ok();
+        EXPECT_EQ(fs_ok, model_ok) << "mkdir_p " << p << " op " << op;
+        break;
+      }
+      case 1: {
+        const std::string content = rng.ascii_line(rng.below(60));
+        const bool model_ok = model.write(p, content);
+        const bool fs_ok = fs.write_file(p, content).ok();
+        EXPECT_EQ(fs_ok, model_ok) << "write " << p << " op " << op;
+        break;
+      }
+      case 2: {
+        std::string expected;
+        const bool model_ok = model.read(p, &expected);
+        auto got = fs.read_file(p);
+        EXPECT_EQ(got.ok(), model_ok) << "read " << p << " op " << op;
+        if (model_ok && got.ok()) EXPECT_EQ(got.value(), expected);
+        break;
+      }
+      case 3: {
+        const bool model_ok = model.unlink(p);
+        const bool fs_ok = fs.unlink(p).ok();
+        EXPECT_EQ(fs_ok, model_ok) << "unlink " << p << " op " << op;
+        break;
+      }
+      default: {
+        const std::string q = random_path();
+        const bool model_ok = model.rename(p, q);
+        const bool fs_ok = fs.rename(p, q).ok();
+        EXPECT_EQ(fs_ok, model_ok)
+            << "rename " << p << " -> " << q << " op " << op;
+        break;
+      }
+    }
+  }
+
+  // Final state: every model file readable with identical content, and
+  // total bytes agree.
+  u64 model_bytes = 0;
+  for (const auto& [path, content] : model.files()) {
+    auto got = fs.read_file(path);
+    ASSERT_TRUE(got.ok()) << path;
+    EXPECT_EQ(got.value(), content) << path;
+    model_bytes += content.size();
+  }
+  EXPECT_EQ(fs.total_file_bytes(), model_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsModelTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace shadow::vfs

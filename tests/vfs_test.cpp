@@ -1,0 +1,380 @@
+// Unit tests for the virtual filesystem: paths, files, directories,
+// symlinks, hard links, realpath, and NFS mounts across a cluster.
+#include <gtest/gtest.h>
+
+#include "vfs/cluster.hpp"
+#include "vfs/filesystem.hpp"
+#include "vfs/path.hpp"
+
+namespace shadow::vfs {
+namespace {
+
+// ---- path utilities ----
+
+TEST(PathTest, Normalize) {
+  EXPECT_EQ(normalize("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(normalize("/a//b///c"), "/a/b/c");
+  EXPECT_EQ(normalize("/a/./b"), "/a/b");
+  EXPECT_EQ(normalize("/a/../b"), "/b");
+  EXPECT_EQ(normalize("/../.."), "/");
+  EXPECT_EQ(normalize("/"), "/");
+  EXPECT_EQ(normalize(""), "/");
+  EXPECT_EQ(normalize("/a/b/../../c/"), "/c");
+}
+
+TEST(PathTest, Components) {
+  EXPECT_EQ(components("/a/b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(components("/").empty());
+  EXPECT_EQ(from_components({"x", "y"}), "/x/y");
+  EXPECT_EQ(from_components({}), "/");
+}
+
+TEST(PathTest, DirnameBasename) {
+  EXPECT_EQ(dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(dirname("/a"), "/");
+  EXPECT_EQ(dirname("/"), "/");
+  EXPECT_EQ(basename("/a/b/c"), "c");
+  EXPECT_EQ(basename("/"), "");
+}
+
+TEST(PathTest, JoinPath) {
+  EXPECT_EQ(join_path("/a/b", "c/d"), "/a/b/c/d");
+  EXPECT_EQ(join_path("/a/b", "/abs"), "/abs");
+  EXPECT_EQ(join_path("/a/b", "../c"), "/a/c");
+  EXPECT_EQ(join_path("/a", ""), "/a");
+}
+
+TEST(PathTest, PrefixOps) {
+  EXPECT_TRUE(has_prefix("/a/b/c", "/a/b"));
+  EXPECT_TRUE(has_prefix("/a/b", "/a/b"));
+  EXPECT_FALSE(has_prefix("/a/bc", "/a/b"));
+  EXPECT_TRUE(has_prefix("/anything", "/"));
+  EXPECT_EQ(strip_prefix("/a/b/c", "/a"), "b/c");
+  EXPECT_EQ(strip_prefix("/a/b", "/a/b"), "");
+  EXPECT_EQ(strip_prefix("/a/b", "/"), "a/b");
+}
+
+// ---- basic file operations ----
+
+class FsTest : public ::testing::Test {
+ protected:
+  FileSystem fs_{"hostA"};
+};
+
+TEST_F(FsTest, WriteAndReadFile) {
+  ASSERT_TRUE(fs_.mkdir_p("/home/user").ok());
+  ASSERT_TRUE(fs_.write_file("/home/user/f.txt", "content").ok());
+  auto read = fs_.read_file("/home/user/f.txt");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "content");
+}
+
+TEST_F(FsTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(fs_.write_file("/f", "v1").ok());
+  ASSERT_TRUE(fs_.write_file("/f", "v2").ok());
+  EXPECT_EQ(fs_.read_file("/f").value(), "v2");
+}
+
+TEST_F(FsTest, ReadMissingFails) {
+  EXPECT_EQ(fs_.read_file("/nope").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, WriteIntoMissingParentFails) {
+  EXPECT_EQ(fs_.write_file("/no/dir/f", "x").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, MkdirSemantics) {
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  EXPECT_EQ(fs_.mkdir("/d").code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(fs_.mkdir_p("/d/e/f").ok());
+  EXPECT_TRUE(fs_.mkdir_p("/d/e/f").ok());  // idempotent
+  EXPECT_EQ(fs_.type_of("/d/e/f").value(), FileType::kDirectory);
+}
+
+TEST_F(FsTest, MkdirPThroughFileFails) {
+  ASSERT_TRUE(fs_.write_file("/f", "x").ok());
+  EXPECT_EQ(fs_.mkdir_p("/f/sub").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_F(FsTest, ListDirSorted) {
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  ASSERT_TRUE(fs_.write_file("/d/b", "").ok());
+  ASSERT_TRUE(fs_.write_file("/d/a", "").ok());
+  auto names = fs_.list_dir("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(FsTest, UnlinkFreesFile) {
+  ASSERT_TRUE(fs_.write_file("/f", "x").ok());
+  ASSERT_TRUE(fs_.unlink("/f").ok());
+  EXPECT_FALSE(fs_.exists("/f"));
+  EXPECT_EQ(fs_.unlink("/f").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, UnlinkNonEmptyDirFails) {
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  ASSERT_TRUE(fs_.write_file("/d/f", "x").ok());
+  EXPECT_FALSE(fs_.unlink("/d").ok());
+  ASSERT_TRUE(fs_.unlink("/d/f").ok());
+  EXPECT_TRUE(fs_.unlink("/d").ok());
+}
+
+TEST_F(FsTest, RelativePathRejected) {
+  EXPECT_EQ(fs_.read_file("rel/path").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FsTest, TotalFileBytes) {
+  ASSERT_TRUE(fs_.write_file("/a", "12345").ok());
+  ASSERT_TRUE(fs_.write_file("/b", "123").ok());
+  EXPECT_EQ(fs_.total_file_bytes(), 8u);
+}
+
+// ---- rename ----
+
+TEST_F(FsTest, RenameFileKeepsInode) {
+  ASSERT_TRUE(fs_.write_file("/a", "payload").ok());
+  const auto inode = fs_.inode_of("/a").value();
+  ASSERT_TRUE(fs_.rename("/a", "/b").ok());
+  EXPECT_FALSE(fs_.exists("/a"));
+  EXPECT_EQ(fs_.read_file("/b").value(), "payload");
+  EXPECT_EQ(fs_.inode_of("/b").value(), inode);
+}
+
+TEST_F(FsTest, RenameAcrossDirectories) {
+  ASSERT_TRUE(fs_.mkdir_p("/src").ok());
+  ASSERT_TRUE(fs_.mkdir_p("/dst").ok());
+  ASSERT_TRUE(fs_.write_file("/src/f", "x").ok());
+  ASSERT_TRUE(fs_.rename("/src/f", "/dst/g").ok());
+  EXPECT_EQ(fs_.read_file("/dst/g").value(), "x");
+  EXPECT_TRUE(fs_.list_dir("/src").value().empty());
+}
+
+TEST_F(FsTest, RenameReplacesExistingFile) {
+  ASSERT_TRUE(fs_.write_file("/old", "old bits").ok());
+  ASSERT_TRUE(fs_.write_file("/new", "new bits").ok());
+  ASSERT_TRUE(fs_.rename("/new", "/old").ok());
+  EXPECT_EQ(fs_.read_file("/old").value(), "new bits");
+  EXPECT_FALSE(fs_.exists("/new"));
+}
+
+TEST_F(FsTest, RenameDirectoryMovesSubtree) {
+  ASSERT_TRUE(fs_.mkdir_p("/tree/sub").ok());
+  ASSERT_TRUE(fs_.write_file("/tree/sub/f", "deep").ok());
+  ASSERT_TRUE(fs_.rename("/tree", "/moved").ok());
+  EXPECT_EQ(fs_.read_file("/moved/sub/f").value(), "deep");
+  EXPECT_FALSE(fs_.exists("/tree"));
+}
+
+TEST_F(FsTest, RenameIntoOwnSubtreeRejected) {
+  ASSERT_TRUE(fs_.mkdir_p("/d/sub").ok());
+  EXPECT_FALSE(fs_.rename("/d", "/d/sub/d2").ok());
+  EXPECT_TRUE(fs_.exists("/d/sub"));
+}
+
+TEST_F(FsTest, RenameOntoDirectoryRejected) {
+  ASSERT_TRUE(fs_.write_file("/f", "x").ok());
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  EXPECT_EQ(fs_.rename("/f", "/d").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(FsTest, RenameMissingSourceFails) {
+  EXPECT_EQ(fs_.rename("/ghost", "/x").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FsTest, RenameToItselfIsNoop) {
+  ASSERT_TRUE(fs_.write_file("/f", "same").ok());
+  ASSERT_TRUE(fs_.rename("/f", "/f").ok());
+  EXPECT_EQ(fs_.read_file("/f").value(), "same");
+}
+
+// ---- symlinks ----
+
+TEST_F(FsTest, SymlinkToFileFollowed) {
+  ASSERT_TRUE(fs_.write_file("/target", "data").ok());
+  ASSERT_TRUE(fs_.symlink("/target", "/link").ok());
+  EXPECT_EQ(fs_.read_file("/link").value(), "data");
+  EXPECT_EQ(fs_.inode_of("/link").value(), fs_.inode_of("/target").value());
+}
+
+TEST_F(FsTest, RelativeSymlink) {
+  ASSERT_TRUE(fs_.mkdir_p("/a/b").ok());
+  ASSERT_TRUE(fs_.write_file("/a/b/real", "x").ok());
+  ASSERT_TRUE(fs_.symlink("b/real", "/a/lnk").ok());
+  EXPECT_EQ(fs_.read_file("/a/lnk").value(), "x");
+  EXPECT_EQ(fs_.realpath("/a/lnk").value(), "/a/b/real");
+}
+
+TEST_F(FsTest, SymlinkChain) {
+  ASSERT_TRUE(fs_.write_file("/real", "deep").ok());
+  ASSERT_TRUE(fs_.symlink("/real", "/l1").ok());
+  ASSERT_TRUE(fs_.symlink("/l1", "/l2").ok());
+  ASSERT_TRUE(fs_.symlink("/l2", "/l3").ok());
+  EXPECT_EQ(fs_.read_file("/l3").value(), "deep");
+  EXPECT_EQ(fs_.realpath("/l3").value(), "/real");
+}
+
+TEST_F(FsTest, SymlinkDirComponent) {
+  ASSERT_TRUE(fs_.mkdir_p("/data/v1").ok());
+  ASSERT_TRUE(fs_.write_file("/data/v1/f", "one").ok());
+  ASSERT_TRUE(fs_.symlink("/data/v1", "/current").ok());
+  EXPECT_EQ(fs_.read_file("/current/f").value(), "one");
+  EXPECT_EQ(fs_.realpath("/current/f").value(), "/data/v1/f");
+}
+
+TEST_F(FsTest, SymlinkLoopDetected) {
+  ASSERT_TRUE(fs_.symlink("/b", "/a").ok());
+  ASSERT_TRUE(fs_.symlink("/a", "/b").ok());
+  EXPECT_EQ(fs_.read_file("/a").code(), ErrorCode::kLoopDetected);
+  EXPECT_EQ(fs_.realpath("/a/x").code(), ErrorCode::kLoopDetected);
+}
+
+TEST_F(FsTest, DanglingSymlinkRealpathKeepsTail) {
+  ASSERT_TRUE(fs_.symlink("/nonexistent/dir", "/dangle").ok());
+  auto rp = fs_.realpath("/dangle/file");
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(rp.value(), "/nonexistent/dir/file");
+  EXPECT_FALSE(fs_.exists("/dangle/file"));
+}
+
+TEST_F(FsTest, WriteThroughSymlink) {
+  ASSERT_TRUE(fs_.write_file("/real", "old").ok());
+  ASSERT_TRUE(fs_.symlink("/real", "/lnk").ok());
+  ASSERT_TRUE(fs_.write_file("/lnk", "new").ok());
+  EXPECT_EQ(fs_.read_file("/real").value(), "new");
+}
+
+// ---- hard links ----
+
+TEST_F(FsTest, HardLinkSharesInode) {
+  ASSERT_TRUE(fs_.write_file("/orig", "shared").ok());
+  ASSERT_TRUE(fs_.hard_link("/orig", "/alias").ok());
+  EXPECT_EQ(fs_.inode_of("/orig").value(), fs_.inode_of("/alias").value());
+  ASSERT_TRUE(fs_.write_file("/alias", "updated").ok());
+  EXPECT_EQ(fs_.read_file("/orig").value(), "updated");
+}
+
+TEST_F(FsTest, HardLinkSurvivesUnlinkOfOriginal) {
+  ASSERT_TRUE(fs_.write_file("/orig", "keep").ok());
+  ASSERT_TRUE(fs_.hard_link("/orig", "/alias").ok());
+  ASSERT_TRUE(fs_.unlink("/orig").ok());
+  EXPECT_EQ(fs_.read_file("/alias").value(), "keep");
+}
+
+TEST_F(FsTest, HardLinkToDirectoryRejected) {
+  ASSERT_TRUE(fs_.mkdir("/d").ok());
+  EXPECT_EQ(fs_.hard_link("/d", "/dlink").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(FsTest, RealpathCannotCanonicalizeHardLinks) {
+  // Documents WHY naming uses inode identity: two hard links are equally
+  // canonical paths.
+  ASSERT_TRUE(fs_.write_file("/one", "x").ok());
+  ASSERT_TRUE(fs_.hard_link("/one", "/two").ok());
+  EXPECT_EQ(fs_.realpath("/one").value(), "/one");
+  EXPECT_EQ(fs_.realpath("/two").value(), "/two");
+  EXPECT_EQ(fs_.inode_of("/one").value(), fs_.inode_of("/two").value());
+}
+
+// ---- mounts & cluster resolution (paper §6.5 scenario) ----
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_.add_host("A");
+    cluster_.add_host("B");
+    auto& c = cluster_.add_host("C");
+    // Machine C exports /usr; A mounts it as /proj1, B as /others
+    // (the exact scenario of §5.3).
+    ASSERT_TRUE(c.mkdir_p("/usr").ok());
+    ASSERT_TRUE(c.write_file("/usr/foo", "shared file").ok());
+    ASSERT_TRUE(cluster_.mount("A", "/proj1", "C", "/usr").ok());
+    ASSERT_TRUE(cluster_.mount("B", "/others", "C", "/usr").ok());
+  }
+  Cluster cluster_;
+};
+
+TEST_F(ClusterTest, SameFileTwoNames) {
+  auto from_a = cluster_.resolve("A", "/proj1/foo");
+  auto from_b = cluster_.resolve("B", "/others/foo");
+  ASSERT_TRUE(from_a.ok());
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(from_a.value(), from_b.value());
+  EXPECT_EQ(from_a.value().host, "C");
+  EXPECT_EQ(from_a.value().path, "/usr/foo");
+  EXPECT_NE(from_a.value().inode, 0u);
+}
+
+TEST_F(ClusterTest, ReadThroughMount) {
+  auto content = cluster_.read_file("A", "/proj1/foo");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "shared file");
+}
+
+TEST_F(ClusterTest, WriteThroughMountLandsOnExporter) {
+  ASSERT_TRUE(cluster_.write_file("A", "/proj1/new.txt", "via A").ok());
+  EXPECT_EQ(cluster_.read_file("B", "/others/new.txt").value(), "via A");
+  EXPECT_EQ(cluster_.host("C").value()->read_file("/usr/new.txt").value(),
+            "via A");
+}
+
+TEST_F(ClusterTest, SymlinkBeforeMountPoint) {
+  auto a = cluster_.host("A").value();
+  ASSERT_TRUE(a->symlink("/proj1", "/shortcut").ok());
+  auto loc = cluster_.resolve("A", "/shortcut/foo");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().host, "C");
+  EXPECT_EQ(loc.value().path, "/usr/foo");
+}
+
+TEST_F(ClusterTest, SymlinkOnRemoteHostResolved) {
+  auto c = cluster_.host("C").value();
+  ASSERT_TRUE(c->symlink("/usr/foo", "/usr/alias").ok());
+  auto loc = cluster_.resolve("A", "/proj1/alias");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().path, "/usr/foo");
+}
+
+TEST_F(ClusterTest, ChainedMounts) {
+  // B mounts C:/usr at /others; A can mount B:/others at /via-b.
+  ASSERT_TRUE(cluster_.mount("A", "/via-b", "B", "/others").ok());
+  auto loc = cluster_.resolve("A", "/via-b/foo");
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().host, "C");
+  EXPECT_EQ(loc.value().path, "/usr/foo");
+}
+
+TEST_F(ClusterTest, LongestPrefixMountWins) {
+  auto& d = cluster_.add_host("D");
+  ASSERT_TRUE(d.mkdir_p("/special").ok());
+  ASSERT_TRUE(d.write_file("/special/foo", "from D").ok());
+  // /proj1 -> C:/usr, but the deeper /proj1/sub -> D:/special.
+  ASSERT_TRUE(cluster_.mount("A", "/proj1/sub", "D", "/special").ok());
+  EXPECT_EQ(cluster_.read_file("A", "/proj1/sub/foo").value(), "from D");
+  EXPECT_EQ(cluster_.read_file("A", "/proj1/foo").value(), "shared file");
+}
+
+TEST_F(ClusterTest, MissingFileRequireExists) {
+  EXPECT_EQ(cluster_.resolve("A", "/proj1/ghost").code(),
+            ErrorCode::kNotFound);
+  auto loc = cluster_.resolve("A", "/proj1/ghost", /*require_exists=*/false);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc.value().inode, 0u);
+  EXPECT_EQ(loc.value().host, "C");
+}
+
+TEST_F(ClusterTest, UnknownHostFails) {
+  EXPECT_EQ(cluster_.resolve("Z", "/x").code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(cluster_.mount("A", "/m", "Z", "/x").ok());
+}
+
+TEST_F(ClusterTest, MountLoopDetected) {
+  // Deliberately misconfigure a cycle (NFS forbids this; we must not spin).
+  ASSERT_TRUE(cluster_.mount("A", "/loop", "B", "/loop2").ok());
+  ASSERT_TRUE(cluster_.mount("B", "/loop2", "A", "/loop").ok());
+  EXPECT_EQ(cluster_.resolve("A", "/loop/x").code(),
+            ErrorCode::kLoopDetected);
+}
+
+}  // namespace
+}  // namespace shadow::vfs

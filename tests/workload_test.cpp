@@ -1,0 +1,78 @@
+// Unit tests for the workload generator that drives the paper's sweeps.
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "util/text.hpp"
+
+namespace shadow::core {
+namespace {
+
+TEST(WorkloadTest, MakeFileExactSize) {
+  for (std::size_t size : {1u, 100u, 10'000u, 102'400u}) {
+    const std::string f = make_file(size, 1);
+    EXPECT_EQ(f.size(), size);
+  }
+}
+
+TEST(WorkloadTest, MakeFileDeterministic) {
+  EXPECT_EQ(make_file(5000, 7), make_file(5000, 7));
+  EXPECT_NE(make_file(5000, 7), make_file(5000, 8));
+}
+
+TEST(WorkloadTest, MakeFileIsLines) {
+  const std::string f = make_file(10'000, 3);
+  const auto lines = split_lines(f);
+  EXPECT_GT(lines.size(), 100u);
+  for (const auto& line : lines) {
+    EXPECT_LE(line.size(), 80u);
+  }
+  EXPECT_EQ(f.back(), '\n');
+}
+
+TEST(WorkloadTest, ModifyZeroPercentIsIdentity) {
+  const std::string f = make_file(5000, 2);
+  EXPECT_EQ(modify_percent(f, 0, 9), f);
+}
+
+TEST(WorkloadTest, ModifyIsDeterministic) {
+  const std::string f = make_file(5000, 2);
+  EXPECT_EQ(modify_percent(f, 10, 5), modify_percent(f, 10, 5));
+  EXPECT_NE(modify_percent(f, 10, 5), modify_percent(f, 10, 6));
+}
+
+TEST(WorkloadTest, ModifiedAmountTracksPercent) {
+  const std::string f = make_file(100'000, 4);
+  for (double percent : {1.0, 5.0, 20.0, 50.0}) {
+    const std::string g = modify_percent(f, percent, 11);
+    const double frac = changed_fraction(f, g);
+    // changed_fraction is position-based so inserts/deletes smear it; the
+    // broad band is what matters: more asked => more changed.
+    EXPECT_GT(frac, percent / 100.0 * 0.3) << percent;
+  }
+  const double small = changed_fraction(f, modify_percent(f, 1, 11));
+  const double large = changed_fraction(f, modify_percent(f, 50, 11));
+  EXPECT_LT(small, large);
+}
+
+TEST(WorkloadTest, ModifySmallPercentKeepsSizeClose) {
+  const std::string f = make_file(50'000, 6);
+  const std::string g = modify_percent(f, 5, 3);
+  EXPECT_NEAR(static_cast<double>(g.size()),
+              static_cast<double>(f.size()),
+              static_cast<double>(f.size()) * 0.1);
+}
+
+TEST(WorkloadTest, ModifyEmptyFileIsNoop) {
+  EXPECT_EQ(modify_percent("", 50, 1), "");
+}
+
+TEST(WorkloadTest, ChangedFractionBasics) {
+  EXPECT_EQ(changed_fraction("abc", "abc"), 0.0);
+  EXPECT_EQ(changed_fraction("abc", "abd"), 1.0 / 3.0);
+  EXPECT_EQ(changed_fraction("", ""), 0.0);
+  EXPECT_EQ(changed_fraction("", "x"), 1.0);
+  EXPECT_NEAR(changed_fraction("abcd", "abcdef"), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace shadow::core

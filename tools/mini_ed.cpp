@@ -1,0 +1,165 @@
+#include "tools/mini_ed.hpp"
+
+#include "util/text.hpp"
+
+namespace shadow::tools {
+
+MiniEd::MiniEd(const std::string& initial)
+    : lines_(split_lines(initial)), current_(lines_.size()) {}
+
+std::string MiniEd::buffer() const { return join_lines(lines_); }
+
+std::string MiniEd::feed(const std::string& line) {
+  if (mode_ == Mode::kInput) {
+    if (line == ".") {
+      mode_ = Mode::kCommand;
+      return "";
+    }
+    lines_.insert(lines_.begin() + static_cast<std::ptrdiff_t>(insert_after_),
+                  line + "\n");
+    ++insert_after_;
+    current_ = insert_after_;
+    dirty_ = true;
+    return "";
+  }
+  return run_command(line);
+}
+
+std::size_t MiniEd::parse_range(const std::string& line,
+                                Range& range) const {
+  std::size_t i = 0;
+  auto parse_one = [&](std::size_t& out) -> bool {
+    if (i < line.size() && line[i] == '.') {
+      out = current_;
+      ++i;
+      return true;
+    }
+    if (i < line.size() && line[i] == '$') {
+      out = lines_.size();
+      ++i;
+      return true;
+    }
+    if (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      std::size_t value = 0;
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        value = value * 10 + static_cast<std::size_t>(line[i] - '0');
+        ++i;
+      }
+      out = value;
+      return true;
+    }
+    return false;
+  };
+
+  if (i < line.size() && line[i] == ',') {
+    // "," or ",cmd" = whole buffer.
+    range.from = 1;
+    range.to = lines_.size();
+    range.given = true;
+    return i + 1;
+  }
+  if (!parse_one(range.from)) {
+    range.given = false;
+    return 0;  // no address present: command decides its default
+  }
+  range.to = range.from;
+  range.given = true;
+  if (i < line.size() && line[i] == ',') {
+    ++i;
+    if (!parse_one(range.to)) return std::string::npos;
+  }
+  return i;
+}
+
+std::string MiniEd::print(const Range& range, bool numbered) const {
+  if (range.from < 1 || range.to > lines_.size() || range.from > range.to) {
+    return "?\n";
+  }
+  std::string out;
+  for (std::size_t n = range.from; n <= range.to; ++n) {
+    if (numbered) out += std::to_string(n) + "\t";
+    const std::string& line = lines_[n - 1];
+    out += line;
+    if (line.empty() || line.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+std::string MiniEd::run_command(const std::string& line) {
+  Range range;
+  const std::size_t consumed = parse_range(line, range);
+  if (consumed == std::string::npos) return "?\n";
+  const std::string cmd = line.substr(consumed);
+
+  if (cmd == "q") {
+    if (dirty_ && !write_requested_ && !quit_warned_) {
+      quit_warned_ = true;
+      return "?\n";  // classic ed: warn once about unsaved changes
+    }
+    done_ = true;
+    return "";
+  }
+  if (cmd == "Q") {
+    done_ = true;
+    return "";
+  }
+  if (cmd == "w" || cmd == "wq") {
+    write_requested_ = true;
+    dirty_ = false;  // buffer is saved the moment the host persists it
+    quit_warned_ = false;
+    if (cmd == "wq") done_ = true;
+    return std::to_string(buffer().size()) + "\n";
+  }
+  if (cmd == "=") {
+    return std::to_string(range.given ? range.to : lines_.size()) + "\n";
+  }
+  if (cmd == "p" || cmd == "n" || cmd.empty()) {
+    Range r = range;
+    if (!r.given) {
+      // Bare address prints it; bare ENTER advances, like real ed.
+      if (cmd.empty() && current_ < lines_.size()) ++current_;
+      r.from = r.to = current_;
+    } else {
+      current_ = r.to;
+    }
+    return print(r, cmd == "n");
+  }
+  if (cmd == "d") {
+    Range r = range;
+    if (!r.given) r.from = r.to = current_;
+    if (r.from < 1 || r.to > lines_.size() || r.from > r.to) return "?\n";
+    lines_.erase(lines_.begin() + static_cast<std::ptrdiff_t>(r.from - 1),
+                 lines_.begin() + static_cast<std::ptrdiff_t>(r.to));
+    current_ = std::min(r.from, lines_.size());
+    dirty_ = true;
+    return "";
+  }
+  if (cmd == "a") {
+    const std::size_t after = range.given ? range.to : current_;
+    if (after > lines_.size()) return "?\n";
+    insert_after_ = after;
+    mode_ = Mode::kInput;
+    return "";
+  }
+  if (cmd == "i") {
+    std::size_t before = range.given ? range.from : current_;
+    if (before > lines_.size() + 1) return "?\n";
+    insert_after_ = before == 0 ? 0 : before - 1;
+    mode_ = Mode::kInput;
+    return "";
+  }
+  if (cmd == "c") {
+    Range r = range;
+    if (!r.given) r.from = r.to = current_;
+    if (r.from < 1 || r.to > lines_.size() || r.from > r.to) return "?\n";
+    lines_.erase(lines_.begin() + static_cast<std::ptrdiff_t>(r.from - 1),
+                 lines_.begin() + static_cast<std::ptrdiff_t>(r.to));
+    insert_after_ = r.from - 1;
+    mode_ = Mode::kInput;
+    dirty_ = true;
+    return "";
+  }
+  return "?\n";
+}
+
+}  // namespace shadow::tools

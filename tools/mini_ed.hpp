@@ -1,0 +1,69 @@
+// A miniature ed(1): the line editor of the paper's era, embedded in the
+// shadow shell so an editing session LOOKS like 1987 — and its `w` runs
+// the shadow postprocessor exactly as §6.2's encapsulated editor would.
+//
+// Supported subset:
+//   addresses: N | N,M | . | $ | , (= 1,$) ; default ranges per command
+//   p   print range            n   print range with line numbers
+//   d   delete range           a   append after line (input mode)
+//   i   insert before line     c   change range (input mode)
+//   =   print addressed line number ($ by default)
+//   w   "write" (hands the buffer to the host; marks saved)
+//   q   quit (refuses once if the buffer has unsaved changes; Q forces)
+//   input mode ends with a lone "."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace shadow::tools {
+
+class MiniEd {
+ public:
+  explicit MiniEd(const std::string& initial);
+
+  /// Process one line of user input; returns text to display (ed is
+  /// famously terse: often "" or "?").
+  std::string feed(const std::string& line);
+
+  bool done() const { return done_; }
+  /// True when `w` was issued at least once (the host persists then).
+  bool write_requested() const { return write_requested_; }
+  /// Consume the write flag (host calls after persisting).
+  void clear_write_request() { write_requested_ = false; }
+  bool dirty() const { return dirty_; }
+
+  /// Current buffer contents.
+  std::string buffer() const;
+
+  const char* prompt() const { return mode_ == Mode::kInput ? "" : "*"; }
+
+ private:
+  enum class Mode { kCommand, kInput };
+
+  struct Range {
+    std::size_t from = 0;  // 1-based; 0 only legal for append
+    std::size_t to = 0;
+    bool given = false;
+  };
+
+  std::string run_command(const std::string& line);
+  /// Parse a leading address range; returns chars consumed or an error
+  /// marker (npos) for malformed addresses.
+  std::size_t parse_range(const std::string& line, Range& range) const;
+  std::string print(const Range& range, bool numbered) const;
+
+  std::vector<std::string> lines_;  // each retains '\n'
+  std::size_t current_ = 0;         // 1-based; 0 = empty buffer
+  Mode mode_ = Mode::kCommand;
+  // Input-mode bookkeeping: insert position (lines go AFTER this index).
+  std::size_t insert_after_ = 0;
+  bool done_ = false;
+  bool dirty_ = false;
+  bool write_requested_ = false;
+  bool quit_warned_ = false;
+};
+
+}  // namespace shadow::tools

@@ -1,0 +1,109 @@
+// shadow — the interactive client (the user commands of §6.2).
+//
+//   shadow --connect PORT [--name workstation] [--server NAME]
+//          [--algorithm hm|myers|tichy] [--codec stored|rle|lz77]
+//
+// Reads commands from stdin (see `help`); the workstation's filesystem is
+// an in-memory VFS living for the session.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "client/shadow_client.hpp"
+#include "client/shadow_editor.hpp"
+#include "net/tcp_transport.hpp"
+#include "tools/shadow_shell.hpp"
+#include "vfs/cluster.hpp"
+
+using namespace shadow;
+
+int main(int argc, char** argv) {
+  u16 port = 7788;
+  std::string name = "workstation";
+  std::string server_name = "supercomputer";
+  client::ShadowEnvironment env;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--connect") {
+      if (const char* v = next()) port = static_cast<u16>(std::atoi(v));
+    } else if (arg == "--name") {
+      if (const char* v = next()) name = v;
+    } else if (arg == "--server") {
+      if (const char* v = next()) server_name = v;
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (v != nullptr) {
+        auto algo = diff::algorithm_from_name(v);
+        if (!algo.ok()) {
+          std::fprintf(stderr, "%s\n", algo.error().to_string().c_str());
+          return 2;
+        }
+        env.algorithm = algo.value();
+      }
+    } else if (arg == "--codec") {
+      const char* v = next();
+      if (v != nullptr) {
+        if (std::strcmp(v, "stored") == 0) env.codec = compress::Codec::kStored;
+        else if (std::strcmp(v, "rle") == 0) env.codec = compress::Codec::kRle;
+        else if (std::strcmp(v, "lz77") == 0) env.codec = compress::Codec::kLz77;
+        else {
+          std::fprintf(stderr, "unknown codec: %s\n", v);
+          return 2;
+        }
+      }
+    } else if (arg == "--help") {
+      std::printf("usage: shadow [--connect PORT] [--name NAME] "
+                  "[--server NAME] [--algorithm ALGO] [--codec CODEC]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  vfs::Cluster cluster;
+  (void)cluster.add_host(name).mkdir_p("/home/user");
+
+  auto transport = net::tcp_connect(port, server_name);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "shadow: cannot connect to 127.0.0.1:%u: %s\n",
+                 port, transport.error().to_string().c_str());
+    return 1;
+  }
+
+  client::ShadowClient client(name, env, &cluster, "cli-domain");
+  client::ShadowEditor editor(&client, &cluster);
+  client.connect(server_name, transport.value().get());
+
+  auto pump = [&transport] {
+    int quiet = 0;
+    for (int i = 0; i < 5000 && quiet < 25; ++i) {
+      if (transport.value()->poll() == 0) {
+        ++quiet;
+        ::usleep(1000);
+      } else {
+        quiet = 0;
+      }
+    }
+  };
+  pump();  // complete the Hello exchange
+  std::printf("connected to %s on 127.0.0.1:%u (type `help`)\n",
+              server_name.c_str(), port);
+
+  tools::ShadowShell shell(&client, &editor, &cluster, pump);
+  std::string line;
+  while (!shell.done()) {
+    std::fputs(shell.prompt(), stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::fputs(shell.feed(line).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,270 @@
+#include "tools/shadow_shell.hpp"
+
+#include "core/workload.hpp"
+#include "util/strings.hpp"
+
+namespace shadow::tools {
+
+namespace {
+const char kHelp[] =
+    "commands:\n"
+    "  edit <path>                     enter text, end with a lone \".\"\n"
+    "  ed <path>                       ed(1) session (p n d a i c w q)\n"
+    "  cat <path>                      print a local file\n"
+    "  ls <path>                       list a local directory\n"
+    "  gen <path> <bytes> <seed>       generate a synthetic data file\n"
+    "  submit <cmd-file> <data>...     submit a job "
+    "[-o out] [-e err] [-s server]\n"
+    "  status [job-id]                 query the server\n"
+    "  versions <path>                 version-chain info for a file\n"
+    "  du                              client-side shadow storage use\n"
+    "  jobs                            local view of submitted jobs\n"
+    "  env                             show the shadow environment\n"
+    "  stats                           client transfer statistics\n"
+    "  quit\n";
+}  // namespace
+
+ShadowShell::ShadowShell(client::ShadowClient* client,
+                         client::ShadowEditor* editor, vfs::Cluster* cluster,
+                         std::function<void()> pump)
+    : client_(client),
+      editor_(editor),
+      cluster_(cluster),
+      pump_(std::move(pump)) {
+  client_->on_job_output([this](const client::JobView& view) {
+    async_lines_.push_back(
+        "job " + std::to_string(view.job_id) + " finished (exit " +
+        std::to_string(view.exit_code) + "), output in " + view.output_path);
+  });
+}
+
+std::string ShadowShell::feed(const std::string& line) {
+  if (ed_ != nullptr) {
+    std::string out = ed_->feed(line);
+    if (ed_->write_requested()) {
+      ed_->clear_write_request();
+      const std::string content = ed_->buffer();
+      Status st = editor_->edit(ed_path_,
+                                [&](const std::string&) { return content; });
+      if (!st.ok()) {
+        out += "write failed: " + st.to_string() + "\n";
+      } else {
+        pump_();
+      }
+    }
+    if (ed_->done()) {
+      ed_.reset();
+      ed_path_.clear();
+    }
+    return out;
+  }
+  if (mode_ == Mode::kCollect) {
+    if (trim(line) == ".") return finish_edit();
+    collect_text_ += line;
+    collect_text_ += '\n';
+    return "";
+  }
+  const auto args = split_nonempty(trim(line), ' ');
+  if (args.empty()) return "";
+  std::string out = run_command(args);
+  // Surface async job notifications after every command.
+  for (const auto& note : async_lines_) {
+    out += (out.empty() || out.back() == '\n' ? "" : "\n");
+    out += note + "\n";
+  }
+  async_lines_.clear();
+  return out;
+}
+
+std::string ShadowShell::finish_edit() {
+  mode_ = Mode::kCommand;
+  const std::string text = std::move(collect_text_);
+  collect_text_.clear();
+  Status st = editor_->edit(collect_path_,
+                            [&](const std::string&) { return text; });
+  if (!st.ok()) return "edit failed: " + st.to_string() + "\n";
+  pump_();
+  return "saved " + std::to_string(text.size()) + " bytes to " +
+         collect_path_ + "\n";
+}
+
+std::string ShadowShell::run_command(const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  if (cmd == "help") return kHelp;
+  if (cmd == "quit" || cmd == "exit") {
+    done_ = true;
+    return "";
+  }
+  if (cmd == "edit") {
+    if (args.size() != 2) return "usage: edit <path>\n";
+    mode_ = Mode::kCollect;
+    collect_path_ = args[1];
+    return "enter text for " + collect_path_ + ", end with \".\"\n";
+  }
+  if (cmd == "ed") {
+    if (args.size() != 2) return "usage: ed <path>\n";
+    std::string initial;
+    auto where = client_->translate(args[1]);
+    if (!where.ok()) return where.error().to_string() + "\n";
+    auto existing = cluster_->read_file(where.value().first,
+                                        where.value().second);
+    if (existing.ok()) initial = existing.value();
+    ed_path_ = args[1];
+    ed_ = std::make_unique<MiniEd>(initial);
+    // ed greets with the byte count, as the real one does.
+    return std::to_string(initial.size()) + "\n";
+  }
+  if (cmd == "cat") {
+    if (args.size() != 2) return "usage: cat <path>\n";
+    auto where = client_->translate(args[1]);
+    if (!where.ok()) return where.error().to_string() + "\n";
+    auto content = cluster_->read_file(where.value().first,
+                                       where.value().second);
+    if (!content.ok()) return content.error().to_string() + "\n";
+    std::string out = content.value();
+    if (!out.empty() && out.back() != '\n') out += '\n';
+    return out;
+  }
+  if (cmd == "ls") {
+    if (args.size() != 2) return "usage: ls <path>\n";
+    auto where = client_->translate(args[1]);
+    if (!where.ok()) return where.error().to_string() + "\n";
+    auto fs = cluster_->host(where.value().first);
+    if (!fs.ok()) return fs.error().to_string() + "\n";
+    auto names = fs.value()->list_dir(where.value().second);
+    if (!names.ok()) return names.error().to_string() + "\n";
+    std::string out;
+    for (const auto& name : names.value()) out += name + "\n";
+    return out;
+  }
+  if (cmd == "gen") {
+    if (args.size() != 4) return "usage: gen <path> <bytes> <seed>\n";
+    const auto bytes = static_cast<std::size_t>(std::stoul(args[2]));
+    const auto seed = static_cast<u64>(std::stoull(args[3]));
+    Status st = editor_->create(args[1], core::make_file(bytes, seed));
+    if (!st.ok()) return "gen failed: " + st.to_string() + "\n";
+    pump_();
+    return "generated " + std::to_string(bytes) + " bytes at " + args[1] +
+           "\n";
+  }
+  if (cmd == "versions") {
+    if (args.size() != 2) return "usage: versions <path>\n";
+    auto id = client_->resolve_name(args[1]);
+    if (!id.ok()) return id.error().to_string() + "\n";
+    const auto* chain = client_->versions().find(id.value().key());
+    if (chain == nullptr) return "not a shadow file (never edited)\n";
+    std::string out;
+    out += "file:      " + id.value().display() + "\n";
+    out += "latest:    v" +
+           std::to_string(chain->latest_number().value_or(0)) + "\n";
+    out += "acked:     v" + std::to_string(chain->acked()) + "\n";
+    out += "stored:    " + std::to_string(chain->stored_count()) +
+           " version(s), " + std::to_string(chain->stored_bytes()) +
+           " bytes (" +
+           version::storage_mode_name(chain->storage_mode()) + ")\n";
+    return out;
+  }
+  if (cmd == "du") {
+    const auto& store = client_->versions();
+    return "shadow files: " + std::to_string(store.file_count()) +
+           ", retained history: " + std::to_string(store.total_bytes()) +
+           " bytes\n";
+  }
+  if (cmd == "submit") return cmd_submit(args);
+  if (cmd == "status") return cmd_status(args);
+  if (cmd == "jobs") return cmd_jobs();
+  if (cmd == "env") return client_->env().to_text();
+  if (cmd == "stats") return cmd_stats();
+  return "unknown command: " + cmd + " (try: help)\n";
+}
+
+std::string ShadowShell::cmd_submit(const std::vector<std::string>& args) {
+  client::ShadowClient::SubmitOptions options;
+  options.output_path = "/home/user/job.out";
+  options.error_path = "/home/user/job.err";
+  std::string command_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      options.output_path = args[++i];
+    } else if (args[i] == "-e" && i + 1 < args.size()) {
+      options.error_path = args[++i];
+    } else if (args[i] == "-s" && i + 1 < args.size()) {
+      options.server = args[++i];
+    } else if (args[i] == "-r" && i + 1 < args.size()) {
+      options.output_route = args[++i];
+    } else if (command_path.empty()) {
+      command_path = args[i];
+    } else {
+      options.files.push_back(args[i]);
+    }
+  }
+  if (command_path.empty()) {
+    return "usage: submit <cmd-file> <data>... [-o out] [-e err] "
+           "[-s server] [-r route]\n";
+  }
+  auto where = client_->translate(command_path);
+  if (!where.ok()) return where.error().to_string() + "\n";
+  auto command_file =
+      cluster_->read_file(where.value().first, where.value().second);
+  if (!command_file.ok()) {
+    return "cannot read command file: " + command_file.error().to_string() +
+           "\n";
+  }
+  options.command_file = command_file.value();
+  auto token = client_->submit(options);
+  if (!token.ok()) return "submit failed: " + token.error().to_string() + "\n";
+  pump_();
+  const auto& view = client_->jobs().at(token.value());
+  return "submitted; job id " + std::to_string(view.job_id) + " (token " +
+         std::to_string(token.value()) + ")\n";
+}
+
+std::string ShadowShell::cmd_status(const std::vector<std::string>& args) {
+  u64 job_id = 0;
+  if (args.size() > 1) job_id = std::stoull(args[1]);
+  std::string out;
+  client_->on_status([&](const std::vector<proto::JobStatusInfo>& jobs) {
+    if (jobs.empty()) out += "no jobs at the server\n";
+    for (const auto& info : jobs) {
+      out += "job " + std::to_string(info.job_id) + ": " +
+             proto::job_state_name(info.state);
+      if (!info.detail.empty()) out += " (" + info.detail + ")";
+      out += "\n";
+    }
+  });
+  Status st = client_->request_status(job_id);
+  if (!st.ok()) return st.to_string() + "\n";
+  pump_();
+  client_->on_status(nullptr);
+  return out.empty() ? "no reply from server\n" : out;
+}
+
+std::string ShadowShell::cmd_jobs() const {
+  if (client_->jobs().empty()) return "no jobs submitted\n";
+  std::string out;
+  for (const auto& [token, view] : client_->jobs()) {
+    out += "token " + std::to_string(token) + " -> job " +
+           std::to_string(view.job_id) + " @" + view.server + ": " +
+           proto::job_state_name(view.state) +
+           (view.output_received ? " [output received]" : "") + "\n";
+  }
+  return out;
+}
+
+std::string ShadowShell::cmd_stats() const {
+  const auto& s = client_->stats();
+  std::string out;
+  out += "notifies sent:      " + std::to_string(s.notifies_sent) + "\n";
+  out += "pulls answered:     " + std::to_string(s.pulls_received) + "\n";
+  out += "updates sent:       " + std::to_string(s.updates_sent) + " (" +
+         std::to_string(s.full_sent) + " full, " +
+         std::to_string(s.delta_sent) + " delta)\n";
+  out += "update bytes:       " + std::to_string(s.update_payload_bytes) +
+         "\n";
+  out += "outputs received:   " + std::to_string(s.outputs_received) + "\n";
+  out += "output bytes:       " + std::to_string(s.output_payload_bytes) +
+         "\n";
+  return out;
+}
+
+}  // namespace shadow::tools

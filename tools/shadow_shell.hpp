@@ -1,0 +1,79 @@
+// Interactive command shell for the shadow client — the user interface of
+// §6.2 (shadow editor, submit, status) in command form, plus conveniences.
+//
+// The shell is transport-agnostic and side-effect-free on stdout: feed()
+// takes one input line and returns the text to display, so the same class
+// powers the `shadow` binary (stdin/TCP) and the in-process tests
+// (scripted lines/loopback).
+//
+// Commands:
+//   help
+//   edit <path>          enter text, finish with a lone "." (like ed(1))
+//   ed <path>            a real ed(1) session (p/n/d/a/i/c/w/q subset);
+//                        `w` runs the shadow postprocessor
+//   cat <path>           print a local file
+//   ls <path>            list a local directory
+//   gen <path> <bytes> <seed>   generate a synthetic data file
+//   submit <command-file> <data-file>... [-o out] [-e err] [-s server]
+//   status [job-id]      ask the server (replies arrive asynchronously)
+//   jobs                 local view of submitted jobs
+//   env                  print the shadow environment
+//   stats                client-side transfer statistics
+//   quit
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/shadow_client.hpp"
+#include "client/shadow_editor.hpp"
+#include "tools/mini_ed.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow::tools {
+
+class ShadowShell {
+ public:
+  /// `pump` drives the transport until pending traffic quiesces (poll loop
+  /// for TCP, pair pump for loopback, simulator run for sim transports).
+  ShadowShell(client::ShadowClient* client, client::ShadowEditor* editor,
+              vfs::Cluster* cluster, std::function<void()> pump);
+
+  /// Process one line of input; returns display text ("" for silence).
+  std::string feed(const std::string& line);
+
+  bool done() const { return done_; }
+
+  /// The prompt to display (command, collect, or ed mode).
+  const char* prompt() const {
+    if (ed_ != nullptr) return ed_->prompt();
+    return mode_ == Mode::kCollect ? "  " : "shadow> ";
+  }
+
+ private:
+  enum class Mode { kCommand, kCollect };
+
+  std::string run_command(const std::vector<std::string>& args);
+  std::string finish_edit();
+  std::string cmd_submit(const std::vector<std::string>& args);
+  std::string cmd_status(const std::vector<std::string>& args);
+  std::string cmd_jobs() const;
+  std::string cmd_stats() const;
+
+  client::ShadowClient* client_;
+  client::ShadowEditor* editor_;
+  vfs::Cluster* cluster_;
+  std::function<void()> pump_;
+
+  Mode mode_ = Mode::kCommand;
+  std::string collect_path_;
+  std::string collect_text_;
+  std::unique_ptr<MiniEd> ed_;  // active ed session, if any
+  std::string ed_path_;
+  bool done_ = false;
+  std::vector<std::string> async_lines_;  // completed-job notifications
+};
+
+}  // namespace shadow::tools

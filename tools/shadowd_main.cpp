@@ -1,0 +1,157 @@
+// shadowd — the shadow server daemon (paper §7: "a server process listens
+// at a well-known port for connections from clients").
+//
+//   shadowd --port 7788 [--name supercomputer] [--cache-budget BYTES]
+//           [--eviction lru|fifo|largest-first] [--reverse-shadow]
+//           [--codec stored|rle|lz77] [--verbose]
+//
+// Accepts any number of clients; serves until killed. With --once it
+// exits after the first client disconnects (used by the e2e test).
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+#include "server/shadow_server.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace shadow;
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  u16 port = 7788;
+  bool once = false;
+  std::string state_path;
+  server::ServerConfig config;
+  config.name = "supercomputer";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      if (const char* v = next()) port = static_cast<u16>(std::atoi(v));
+    } else if (arg == "--name") {
+      if (const char* v = next()) config.name = v;
+    } else if (arg == "--cache-budget") {
+      if (const char* v = next()) config.cache_budget = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--eviction") {
+      const char* v = next();
+      if (v != nullptr) {
+        if (std::strcmp(v, "lru") == 0) {
+          config.eviction = cache::EvictionPolicy::kLru;
+        } else if (std::strcmp(v, "fifo") == 0) {
+          config.eviction = cache::EvictionPolicy::kFifo;
+        } else if (std::strcmp(v, "largest-first") == 0) {
+          config.eviction = cache::EvictionPolicy::kLargestFirst;
+        } else {
+          std::fprintf(stderr, "unknown eviction policy: %s\n", v);
+          return 2;
+        }
+      }
+    } else if (arg == "--reverse-shadow") {
+      config.reverse_shadow = true;
+    } else if (arg == "--codec") {
+      const char* v = next();
+      if (v != nullptr) {
+        if (std::strcmp(v, "stored") == 0) {
+          config.output_codec = compress::Codec::kStored;
+        } else if (std::strcmp(v, "rle") == 0) {
+          config.output_codec = compress::Codec::kRle;
+        } else if (std::strcmp(v, "lz77") == 0) {
+          config.output_codec = compress::Codec::kLz77;
+        } else {
+          std::fprintf(stderr, "unknown codec: %s\n", v);
+          return 2;
+        }
+      }
+    } else if (arg == "--state") {
+      if (const char* v = next()) state_path = v;
+    } else if (arg == "--verbose") {
+      Logger::instance().set_level(LogLevel::kDebug);
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help") {
+      std::printf("usage: shadowd [--port N] [--name NAME] "
+                  "[--cache-budget BYTES] [--eviction POLICY] "
+                  "[--reverse-shadow] [--codec CODEC] [--state FILE] "
+                  "[--once] [--verbose]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  server::ShadowServer server(config);
+  if (!state_path.empty()) {
+    if (auto snapshot = read_disk_file(state_path); snapshot.ok()) {
+      if (auto st = server.restore_state(snapshot.value()); st.ok()) {
+        std::printf("shadowd: restored state from %s (%zu cached files)\n",
+                    state_path.c_str(), server.file_cache().entry_count());
+      } else {
+        std::fprintf(stderr, "shadowd: ignoring bad snapshot %s: %s\n",
+                     state_path.c_str(), st.to_string().c_str());
+      }
+    }
+  }
+  net::TcpListener listener;
+  if (auto st = listener.listen(port); !st.ok()) {
+    std::fprintf(stderr, "shadowd: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("shadowd: %s listening on 127.0.0.1:%u\n",
+              config.name.c_str(), listener.port());
+  std::fflush(stdout);
+
+  std::vector<std::unique_ptr<net::TcpTransport>> connections;
+  bool had_client = false;
+  while (g_stop == 0) {
+    if (auto accepted = listener.accept(); accepted.ok()) {
+      std::printf("shadowd: client connected\n");
+      std::fflush(stdout);
+      server.attach(accepted.value().get());
+      connections.push_back(std::move(accepted).take());
+      had_client = true;
+    }
+    std::size_t moved = 0;
+    bool all_closed = !connections.empty();
+    for (auto& conn : connections) {
+      moved += conn->poll();
+      if (!conn->closed()) all_closed = false;
+    }
+    if (once && had_client && all_closed) break;
+    if (moved == 0) ::usleep(2000);
+  }
+
+  if (!state_path.empty()) {
+    if (auto st = write_disk_file(state_path, server.save_state());
+        st.ok()) {
+      std::printf("shadowd: state saved to %s\n", state_path.c_str());
+    } else {
+      std::fprintf(stderr, "shadowd: failed to save state: %s\n",
+                   st.to_string().c_str());
+    }
+  }
+  const auto& stats = server.stats();
+  std::printf("shadowd: exiting; %llu updates received (%llu full, %llu "
+              "delta), %llu jobs completed\n",
+              static_cast<unsigned long long>(stats.updates_received),
+              static_cast<unsigned long long>(stats.full_transfers),
+              static_cast<unsigned long long>(stats.delta_transfers),
+              static_cast<unsigned long long>(stats.jobs_completed));
+  return 0;
+}
