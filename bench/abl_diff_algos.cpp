@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/workload.hpp"
 #include "diff/diff.hpp"
@@ -124,9 +125,17 @@ void print_size_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Machine-readable output (bench/bench_to_json.sh -> BENCH_diff.json)
+  // must stay pure JSON, so the human-oriented table is suppressed then.
+  bool json_output = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_format=json") == 0) {
+      json_output = true;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_size_table();
+  if (!json_output) print_size_table();
   return 0;
 }

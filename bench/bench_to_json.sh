@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_diff.json — the tracked Release-mode snapshot of the
+# diff-algorithm ablation (abl_diff_algos). Future PRs compare against this
+# file to keep a perf trajectory for the Delta::compute hot path.
+#
+# Usage: bench/bench_to_json.sh [build-dir]   (default: build-rel)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build-rel}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" --target abl_diff_algos -j"$(nproc)"
+
+# min_time smooths scheduler noise; JSON format suppresses the size table.
+"$BUILD/bench/abl_diff_algos" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.5 \
+  > "$ROOT/BENCH_diff.json"
+
+echo "wrote $ROOT/BENCH_diff.json"

@@ -157,8 +157,9 @@ Status ShadowClient::send_update(Session* session,
   auto& chain = versions_.chain(file.key());
   SHADOW_ASSIGN_OR_RETURN(target, chain.get(version));
 
-  diff::Delta delta = diff::Delta::make_full(target.content);
+  diff::Delta delta;
   u64 actual_base = 0;
+  bool have_delta = false;
   if (base != 0) {
     auto base_version = chain.get(base);
     if (base_version.ok()) {
@@ -168,8 +169,14 @@ Status ShadowClient::send_update(Session* session,
                   : diff::Delta::compute(base_version.value().content,
                                          target.content, env_.algorithm);
       if (delta.needs_base()) actual_base = base;
+      have_delta = true;
     }
     // Base no longer stored (§6.3.2): fall through with the full content.
+  }
+  if (!have_delta) {
+    // First submission (or evicted base): the full-content copy is made
+    // only on this path, not eagerly before every diff.
+    delta = diff::Delta::make_full(target.content);
   }
 
   BufWriter w;

@@ -21,8 +21,8 @@ u64 window_hash(const char* data, std::size_t len) {
 constexpr std::size_t kMaxChain = 8;  // candidates kept per hash bucket
 }  // namespace
 
-BlockMoveDelta compute_block_move(const std::string& source,
-                                  const std::string& target,
+BlockMoveDelta compute_block_move(std::string_view source,
+                                  std::string_view target,
                                   std::size_t seed_length) {
   BlockMoveDelta delta;
   delta.source_size = source.size();

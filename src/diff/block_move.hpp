@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/byte_io.hpp"
@@ -43,9 +44,10 @@ struct BlockMoveDelta {
 };
 
 /// Compute a block-move delta. `seed_length` is the minimum match length
-/// worth emitting as a copy (also the hash-window size).
-BlockMoveDelta compute_block_move(const std::string& source,
-                                  const std::string& target,
+/// worth emitting as a copy (also the hash-window size). Zero-copy: both
+/// buffers are only read, never duplicated.
+BlockMoveDelta compute_block_move(std::string_view source,
+                                  std::string_view target,
                                   std::size_t seed_length = 16);
 
 /// Reconstruct the target from the source; verifies both CRCs.

@@ -32,18 +32,20 @@ Delta Delta::make_full(std::string content) {
   return d;
 }
 
-Delta Delta::compute(const std::string& base, const std::string& target,
+Delta Delta::compute(std::string_view base, std::string_view target,
                      Algorithm algo) {
   Delta d;
   switch (algo) {
     case Algorithm::kHuntMcIlroy:
     case Algorithm::kMyers: {
+      // One LineTable per diff: the same tokenization feeds the LCS pass
+      // and the ed-script builder (no re-splitting).
       LineTable table(base, target);
       const MatchList matches = (algo == Algorithm::kHuntMcIlroy)
                                     ? hunt_mcilroy_lcs(table)
                                     : myers_lcs(table);
       d.format = Format::kEdScript;
-      d.ed = build_ed_script(base, target, matches);
+      d.ed = build_ed_script(table, base, target, matches);
       break;
     }
     case Algorithm::kBlockMove: {
@@ -54,13 +56,13 @@ Delta Delta::compute(const std::string& base, const std::string& target,
   }
   // Never ship a delta bigger than the content itself.
   if (d.wire_size() >= target.size() + sizeof(u32)) {
-    return make_full(target);
+    return make_full(std::string(target));
   }
   return d;
 }
 
-Delta Delta::compute_adaptive(const std::string& base,
-                              const std::string& target) {
+Delta Delta::compute_adaptive(std::string_view base,
+                              std::string_view target) {
   Delta ed = compute(base, target, Algorithm::kHuntMcIlroy);
   Delta blocks = compute(base, target, Algorithm::kBlockMove);
   return blocks.wire_size() < ed.wire_size() ? blocks : ed;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "diff/block_move.hpp"
 #include "diff/edit_script.hpp"
@@ -41,7 +42,9 @@ struct Delta {
   /// Compute a delta of `target` against `base` with the given algorithm.
   /// Falls back to kFull when the delta would be larger than the content
   /// itself (shadow must never lose badly — DESIGN.md invariant 5).
-  static Delta compute(const std::string& base, const std::string& target,
+  /// Zero-copy on the compute path: both buffers are only read through
+  /// views until hunk text / full content is materialized for the result.
+  static Delta compute(std::string_view base, std::string_view target,
                        Algorithm algo);
 
   /// Adaptive selection (the paper's §3 adaptability objective, §8.3
@@ -49,8 +52,8 @@ struct Delta {
   /// byte-oriented block-move delta and ship whichever encodes smaller.
   /// Costs roughly the CPU of both algorithms; wins on restructured files
   /// and binary-ish content, ties on ordinary edits.
-  static Delta compute_adaptive(const std::string& base,
-                                const std::string& target);
+  static Delta compute_adaptive(std::string_view base,
+                                std::string_view target);
 
   /// Reconstruct the target. `base` is ignored for kFull.
   Result<std::string> apply(const std::string& base) const;

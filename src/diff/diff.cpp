@@ -2,13 +2,13 @@
 
 namespace shadow::diff {
 
-EditScript compute_ed_script(const std::string& old_text,
-                             const std::string& new_text, Algorithm algo) {
+EditScript compute_ed_script(std::string_view old_text,
+                             std::string_view new_text, Algorithm algo) {
   LineTable table(old_text, new_text);
   const MatchList matches = (algo == Algorithm::kMyers)
                                 ? myers_lcs(table)
                                 : hunt_mcilroy_lcs(table);
-  return build_ed_script(old_text, new_text, matches);
+  return build_ed_script(table, old_text, new_text, matches);
 }
 
 }  // namespace shadow::diff

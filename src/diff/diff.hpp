@@ -17,9 +17,11 @@
 namespace shadow::diff {
 
 /// Convenience: compute an ed script between two texts using the given
-/// line-matching algorithm (HM75 by default, as in the prototype).
-EditScript compute_ed_script(const std::string& old_text,
-                             const std::string& new_text,
+/// line-matching algorithm (HM75 by default, as in the prototype). Both
+/// files are tokenized exactly once (zero-copy) and the same LineTable
+/// feeds the LCS pass and the ed-script builder.
+EditScript compute_ed_script(std::string_view old_text,
+                             std::string_view new_text,
                              Algorithm algo = Algorithm::kHuntMcIlroy);
 
 }  // namespace shadow::diff

@@ -1,6 +1,8 @@
 #include "diff/edit_script.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <span>
 
 #include "util/crc32.hpp"
 #include "util/text.hpp"
@@ -15,12 +17,16 @@ std::size_t EditScript::inserted_bytes() const {
   return total;
 }
 
-EditScript build_ed_script(const std::string& old_text,
-                           const std::string& new_text,
-                           const MatchList& matches) {
-  const auto old_lines = split_lines(old_text);
-  const auto new_lines = split_lines(new_text);
+namespace {
 
+// Shared hunk-emission core: consumes line VIEWS (into the caller's
+// old/new buffers) and materializes owning strings only for the inserted
+// text each hunk actually carries.
+EditScript build_ed_script_views(std::span<const std::string_view> old_lines,
+                                 std::span<const std::string_view> new_lines,
+                                 std::string_view old_text,
+                                 std::string_view new_text,
+                                 const MatchList& matches) {
   EditScript script;
   script.old_line_count = old_lines.size();
   script.new_line_count = new_lines.size();
@@ -52,7 +58,10 @@ EditScript build_ed_script(const std::string& old_text,
       cmd.line1 = oi;  // insert after the line before the gap (0 = front)
       cmd.line2 = oi;
     }
-    for (std::size_t j = nj; j < new_end; ++j) cmd.text.push_back(new_lines[j]);
+    cmd.text.reserve(new_end - nj);
+    for (std::size_t j = nj; j < new_end; ++j) {
+      cmd.text.emplace_back(new_lines[j]);
+    }
     ascending.push_back(std::move(cmd));
   };
 
@@ -64,8 +73,27 @@ EditScript build_ed_script(const std::string& old_text,
   emit_hunk(old_lines.size(), new_lines.size());
 
   // Ed order: descending so earlier applications don't renumber later ones.
-  script.commands.assign(ascending.rbegin(), ascending.rend());
+  script.commands.assign(std::make_move_iterator(ascending.rbegin()),
+                         std::make_move_iterator(ascending.rend()));
   return script;
+}
+
+}  // namespace
+
+EditScript build_ed_script(const LineTable& table, std::string_view old_text,
+                           std::string_view new_text,
+                           const MatchList& matches) {
+  return build_ed_script_views(table.old_lines(), table.new_lines(),
+                               old_text, new_text, matches);
+}
+
+EditScript build_ed_script(std::string_view old_text,
+                           std::string_view new_text,
+                           const MatchList& matches) {
+  const auto old_lines = split_line_views(old_text);
+  const auto new_lines = split_line_views(new_text);
+  return build_ed_script_views(old_lines, new_lines, old_text, new_text,
+                               matches);
 }
 
 namespace {

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "diff/lcs.hpp"
+#include "diff/line_table.hpp"
 #include "util/byte_io.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
@@ -53,10 +55,19 @@ struct EditScript {
   std::size_t inserted_bytes() const;
 };
 
-/// Build an ed script from an LCS match list over the given line table
-/// contents. `old_text`/`new_text` must be the texts the matches refer to.
-EditScript build_ed_script(const std::string& old_text,
-                           const std::string& new_text,
+/// Build an ed script from an LCS match list over an already-tokenized
+/// LineTable. `old_text`/`new_text` must be the exact buffers `table` was
+/// constructed over (they feed the CRC fingerprints); the table's line
+/// views are reused so neither file is re-split. Owning strings are
+/// materialized only for the inserted-text payload of each hunk.
+EditScript build_ed_script(const LineTable& table, std::string_view old_text,
+                           std::string_view new_text,
+                           const MatchList& matches);
+
+/// Convenience overload that tokenizes (zero-copy) internally. Prefer the
+/// LineTable overload when the caller already tokenized for the LCS pass.
+EditScript build_ed_script(std::string_view old_text,
+                           std::string_view new_text,
                            const MatchList& matches);
 
 /// Apply a script to base content; verifies both CRCs. Returns the

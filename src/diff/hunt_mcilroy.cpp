@@ -1,8 +1,7 @@
 #include "diff/hunt_mcilroy.hpp"
 
 #include <algorithm>
-#include <memory>
-#include <unordered_map>
+#include <deque>
 
 namespace shadow::diff {
 
@@ -16,42 +15,56 @@ struct Candidate {
 };
 }  // namespace
 
-MatchList hunt_mcilroy_lcs(const LineTable& table) {
-  const auto& old_ids = table.old_ids();
-  const auto& new_ids = table.new_ids();
+MatchList hunt_mcilroy_lcs_untrimmed(std::span<const u32> old_ids,
+                                     std::span<const u32> new_ids) {
   if (old_ids.empty() || new_ids.empty()) return {};
 
   // Occurrence lists: for each symbol, the positions in the NEW file in
-  // ascending order (we iterate them descending below).
-  std::unordered_map<u32, std::vector<std::size_t>> occurrences;
-  occurrences.reserve(new_ids.size());
-  for (std::size_t j = 0; j < new_ids.size(); ++j) {
-    occurrences[new_ids[j]].push_back(j);
+  // ascending order (we iterate them descending below). Built with a
+  // counting sort over the dense symbol ids — flat arrays, no hashing.
+  u32 max_id = 0;
+  for (u32 id : new_ids) max_id = std::max(max_id, id);
+  std::vector<std::size_t> bucket_end(static_cast<std::size_t>(max_id) + 2,
+                                      0);
+  for (u32 id : new_ids) ++bucket_end[id + 1];
+  for (std::size_t s = 1; s < bucket_end.size(); ++s) {
+    bucket_end[s] += bucket_end[s - 1];
+  }
+  const std::vector<std::size_t> bucket_begin(bucket_end.begin(),
+                                              bucket_end.end() - 1);
+  std::vector<std::size_t> positions(new_ids.size());
+  {
+    std::vector<std::size_t> fill(bucket_begin);
+    for (std::size_t j = 0; j < new_ids.size(); ++j) {
+      positions[fill[new_ids[j]]++] = j;
+    }
   }
 
   // thresholds[k] = smallest new-file index that ends a common subsequence
   // of length k+1 found so far; strictly increasing.
   std::vector<std::size_t> thresholds;
   std::vector<const Candidate*> chain_tail;  // parallel to thresholds
-  std::vector<std::unique_ptr<Candidate>> arena;
-  arena.reserve(old_ids.size());
+  // Chunked arena: deque never moves existing elements, so Candidate
+  // pointers stay stable while costing one allocation per block instead of
+  // one per candidate.
+  std::deque<Candidate> arena;
 
   for (std::size_t i = 0; i < old_ids.size(); ++i) {
-    auto it = occurrences.find(old_ids[i]);
-    if (it == occurrences.end()) continue;
-    const auto& positions = it->second;
+    const u32 id = old_ids[i];
+    if (id > max_id) continue;  // symbol absent from the new file
     // Descending order so that updates within one old line cannot chain to
     // each other (each old line may contribute at most one match).
-    for (auto pos = positions.rbegin(); pos != positions.rend(); ++pos) {
-      const std::size_t j = *pos;
+    std::size_t p = bucket_end[id + 1];
+    const std::size_t first = bucket_begin[id];
+    while (p > first) {
+      const std::size_t j = positions[--p];
       // Find k: first threshold >= j (replace), i.e. LIS update.
       const auto lo =
           std::lower_bound(thresholds.begin(), thresholds.end(), j);
       const std::size_t k = static_cast<std::size_t>(lo - thresholds.begin());
       if (lo != thresholds.end() && *lo == j) continue;  // no improvement
       const Candidate* prev = (k == 0) ? nullptr : chain_tail[k - 1];
-      arena.push_back(std::make_unique<Candidate>(Candidate{i, j, prev}));
-      const Candidate* cand = arena.back().get();
+      const Candidate* cand = &arena.emplace_back(Candidate{i, j, prev});
       if (lo == thresholds.end()) {
         thresholds.push_back(j);
         chain_tail.push_back(cand);
@@ -70,6 +83,22 @@ MatchList hunt_mcilroy_lcs(const LineTable& table) {
   }
   std::reverse(matches.begin(), matches.end());
   return matches;
+}
+
+MatchList hunt_mcilroy_lcs(const LineTable& table) {
+  const std::span<const u32> old_ids{table.old_ids()};
+  const std::span<const u32> new_ids{table.new_ids()};
+  const CommonAffix affix = trim_common_affixes(old_ids, new_ids);
+  if (affix.prefix == 0 && affix.suffix == 0) {
+    return hunt_mcilroy_lcs_untrimmed(old_ids, new_ids);
+  }
+  MatchList middle = hunt_mcilroy_lcs_untrimmed(
+      old_ids.subspan(affix.prefix,
+                      old_ids.size() - affix.prefix - affix.suffix),
+      new_ids.subspan(affix.prefix,
+                      new_ids.size() - affix.prefix - affix.suffix));
+  return expand_trimmed_matches(affix, std::move(middle), old_ids.size(),
+                                new_ids.size());
 }
 
 }  // namespace shadow::diff

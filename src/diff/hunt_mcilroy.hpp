@@ -7,14 +7,27 @@
 // chain is the LCS. Complexity O((R + N) log N) where R is the number of
 // matching line pairs — fast in practice because source files have many
 // unique lines.
+//
+// Before the candidate core runs, identical leading/trailing line runs are
+// trimmed in O(n) (lcs.hpp) so the quadratic-ish work is confined to the
+// edited region — the dominant win for the paper's small-scattered-edits
+// workload.
 #pragma once
+
+#include <span>
 
 #include "diff/lcs.hpp"
 #include "diff/line_table.hpp"
 
 namespace shadow::diff {
 
-/// Longest common subsequence of the two tokenized files.
+/// Longest common subsequence of the two tokenized files (with affix
+/// trimming).
 MatchList hunt_mcilroy_lcs(const LineTable& table);
+
+/// The candidate-list core over raw symbol ranges, WITHOUT affix trimming.
+/// Exposed so tests can assert the trimmed path emits identical scripts.
+MatchList hunt_mcilroy_lcs_untrimmed(std::span<const u32> old_ids,
+                                     std::span<const u32> new_ids);
 
 }  // namespace shadow::diff

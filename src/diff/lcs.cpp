@@ -1,5 +1,7 @@
 #include "diff/lcs.hpp"
 
+#include <algorithm>
+
 namespace shadow::diff {
 
 bool is_valid_match_list(const MatchList& matches, std::size_t old_size,
@@ -13,6 +15,40 @@ bool is_valid_match_list(const MatchList& matches, std::size_t old_size,
     }
   }
   return true;
+}
+
+CommonAffix trim_common_affixes(std::span<const u32> old_ids,
+                                std::span<const u32> new_ids) {
+  CommonAffix affix;
+  const std::size_t limit = std::min(old_ids.size(), new_ids.size());
+  while (affix.prefix < limit &&
+         old_ids[affix.prefix] == new_ids[affix.prefix]) {
+    ++affix.prefix;
+  }
+  while (affix.suffix < limit - affix.prefix &&
+         old_ids[old_ids.size() - 1 - affix.suffix] ==
+             new_ids[new_ids.size() - 1 - affix.suffix]) {
+    ++affix.suffix;
+  }
+  return affix;
+}
+
+MatchList expand_trimmed_matches(const CommonAffix& affix, MatchList middle,
+                                 std::size_t old_size, std::size_t new_size) {
+  MatchList out;
+  out.reserve(affix.prefix + middle.size() + affix.suffix);
+  for (std::size_t i = 0; i < affix.prefix; ++i) {
+    out.push_back(Match{i, i});
+  }
+  for (const Match& m : middle) {
+    out.push_back(
+        Match{m.old_index + affix.prefix, m.new_index + affix.prefix});
+  }
+  for (std::size_t i = 0; i < affix.suffix; ++i) {
+    out.push_back(Match{old_size - affix.suffix + i,
+                        new_size - affix.suffix + i});
+  }
+  return out;
 }
 
 }  // namespace shadow::diff

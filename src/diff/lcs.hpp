@@ -1,8 +1,12 @@
-// Common output type for the line-matching (LCS) algorithms.
+// Common output type for the line-matching (LCS) algorithms, plus the
+// shared prefix/suffix trimming both algorithms apply before the LCS core.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
+
+#include "util/types.hpp"
 
 namespace shadow::diff {
 
@@ -20,5 +24,27 @@ using MatchList = std::vector<Match>;
 /// assertions on algorithm outputs).
 bool is_valid_match_list(const MatchList& matches, std::size_t old_size,
                          std::size_t new_size);
+
+/// Identical leading/trailing line runs shared by both files. For the
+/// "small scattered edits" workload these runs dominate the file, so
+/// stripping them in O(n) before the LCS core shrinks the problem to the
+/// edited region. `suffix` never overlaps `prefix` (it is clamped to the
+/// shorter file's remainder), so e.g. "a\na\n" vs "a\n" trims prefix 1,
+/// suffix 0.
+struct CommonAffix {
+  std::size_t prefix = 0;
+  std::size_t suffix = 0;
+};
+
+/// O(n) scan for the common affix of the two symbol sequences.
+CommonAffix trim_common_affixes(std::span<const u32> old_ids,
+                                std::span<const u32> new_ids);
+
+/// Re-assemble a full-file match list from a `middle` list computed on the
+/// trimmed ranges: prefix matches (i, i), then `middle` shifted by
+/// `affix.prefix` in both coordinates, then the suffix matches aligned to
+/// the file ends.
+MatchList expand_trimmed_matches(const CommonAffix& affix, MatchList middle,
+                                 std::size_t old_size, std::size_t new_size);
 
 }  // namespace shadow::diff

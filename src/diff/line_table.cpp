@@ -4,19 +4,60 @@
 
 namespace shadow::diff {
 
-LineTable::LineTable(const std::string& old_text,
-                     const std::string& new_text)
-    : old_lines_(split_lines(old_text)), new_lines_(split_lines(new_text)) {
-  old_ids_.reserve(old_lines_.size());
-  for (const auto& line : old_lines_) old_ids_.push_back(intern(line));
-  new_ids_.reserve(new_lines_.size());
-  for (const auto& line : new_lines_) new_ids_.push_back(intern(line));
+namespace {
+
+// FNV-1a over the line bytes. Full comparison confirms every probe hit, so
+// collision quality only affects speed, not correctness.
+u64 line_hash(std::string_view line) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (char c : line) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
-u32 LineTable::intern(const std::string& line) {
-  auto [it, inserted] = ids_.emplace(line, next_id_);
-  if (inserted) ++next_id_;
-  return it->second;
+// Smallest power of two >= n (and >= 16) — keeps the probe mask cheap.
+std::size_t table_capacity(std::size_t n) {
+  std::size_t cap = 16;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+LineTable::LineTable(std::string_view old_text, std::string_view new_text)
+    : old_lines_(split_line_views(old_text)),
+      new_lines_(split_line_views(new_text)) {
+  // Worst case every line is distinct; doubling keeps the load factor
+  // at most 0.5 so linear probes stay short and no rehash is ever needed.
+  slots_.resize(
+      table_capacity((old_lines_.size() + new_lines_.size()) * 2));
+  intern_all(old_lines_, old_ids_);
+  intern_all(new_lines_, new_ids_);
+}
+
+void LineTable::intern_all(const std::vector<std::string_view>& lines,
+                           std::vector<u32>& ids) {
+  ids.reserve(lines.size());
+  for (std::string_view line : lines) ids.push_back(intern(line));
+}
+
+u32 LineTable::intern(std::string_view line) {
+  const u64 h = line_hash(line);
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(h) & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.id_plus1 == 0) {
+      slot.hash = h;
+      slot.line = line;
+      slot.id_plus1 = ++next_id_;
+      return slot.id_plus1 - 1;
+    }
+    if (slot.hash == h && slot.line == line) return slot.id_plus1 - 1;
+    i = (i + 1) & mask;
+  }
 }
 
 }  // namespace shadow::diff

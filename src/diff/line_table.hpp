@@ -1,12 +1,18 @@
 // Line interning for the line-based diff algorithms.
 //
 // Both files are tokenized into lines (util/text.hpp conventions) and each
-// distinct line string is assigned a dense integer id, so the LCS
-// algorithms compare ints instead of strings.
+// distinct line is assigned a dense integer id, so the LCS algorithms
+// compare ints instead of strings.
+//
+// Zero-copy: tokenization produces string_views into the caller's buffers
+// and interning hashes those views directly — file content is never copied.
+// LIFETIME CONTRACT: the old/new text buffers passed to the constructor
+// must outlive the LineTable and any string_view obtained from old_lines()
+// / new_lines(). Ed-script construction materializes owning strings only at
+// hunk-emission time (see build_ed_script).
 #pragma once
 
-#include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
@@ -16,10 +22,15 @@ namespace shadow::diff {
 /// Two files tokenized against one shared symbol table.
 class LineTable {
  public:
-  LineTable(const std::string& old_text, const std::string& new_text);
+  LineTable(std::string_view old_text, std::string_view new_text);
 
-  const std::vector<std::string>& old_lines() const { return old_lines_; }
-  const std::vector<std::string>& new_lines() const { return new_lines_; }
+  /// Views into the constructor's buffers (see lifetime contract above).
+  const std::vector<std::string_view>& old_lines() const {
+    return old_lines_;
+  }
+  const std::vector<std::string_view>& new_lines() const {
+    return new_lines_;
+  }
 
   /// Symbol ids, parallel to old_lines()/new_lines().
   const std::vector<u32>& old_ids() const { return old_ids_; }
@@ -28,12 +39,24 @@ class LineTable {
   std::size_t symbol_count() const { return next_id_; }
 
  private:
-  u32 intern(const std::string& line);
+  // Open-addressing interner slot: linear probing over a power-of-two
+  // table, sized once in the constructor for the worst case (every line
+  // distinct), so interning never rehashes. `id_plus1 == 0` marks empty;
+  // the precomputed hash short-circuits most probe comparisons.
+  struct Slot {
+    u64 hash = 0;
+    u32 id_plus1 = 0;
+    std::string_view line;
+  };
 
-  std::unordered_map<std::string, u32> ids_;
+  u32 intern(std::string_view line);
+  void intern_all(const std::vector<std::string_view>& lines,
+                  std::vector<u32>& ids);
+
+  std::vector<Slot> slots_;  // size is a power of two
   u32 next_id_ = 0;
-  std::vector<std::string> old_lines_;
-  std::vector<std::string> new_lines_;
+  std::vector<std::string_view> old_lines_;
+  std::vector<std::string_view> new_lines_;
   std::vector<u32> old_ids_;
   std::vector<u32> new_ids_;
 };

@@ -10,11 +10,45 @@ namespace {
 // different that a whole-file replacement is cheaper than a minimal script;
 // O(D^2) trace memory also stays modest (~130 MB worst case at 4096).
 constexpr std::size_t kDefaultMaxD = 4096;
+
+// Chunked arena for the backtracking trace. Step d's window (2d+1 values of
+// the v array) is appended as one contiguous run inside a fixed-size chunk;
+// a new chunk opens only when the window would not fit. Compared with one
+// vector per step this costs ~one allocation per kChunkElems values, and
+// compared with a single growing buffer it never realloc-copies the O(D^2)
+// trace (window pointers stay stable because a chunk, once reserved, never
+// exceeds its capacity).
+class TraceArena {
+ public:
+  void push_window(const std::size_t* first, const std::size_t* last) {
+    const std::size_t len = static_cast<std::size_t>(last - first);
+    if (chunks_.empty() ||
+        chunks_.back().capacity() - chunks_.back().size() < len) {
+      chunks_.emplace_back();
+      chunks_.back().reserve(std::max(kChunkElems, len));
+    }
+    auto& chunk = chunks_.back();
+    const std::size_t offset = chunk.size();
+    chunk.insert(chunk.end(), first, last);
+    windows_.push_back(chunk.data() + offset);
+  }
+
+  /// Window for step d, indexed by k + d.
+  const std::size_t* window(std::size_t d) const { return windows_[d]; }
+
+ private:
+  static constexpr std::size_t kChunkElems = std::size_t{1} << 18;  // 2 MB
+
+  std::vector<std::vector<std::size_t>> chunks_;
+  std::vector<const std::size_t*> windows_;
+};
 }  // namespace
 
-MatchList myers_lcs(const LineTable& table, std::size_t max_d) {
-  const auto& a = table.old_ids();
-  const auto& b = table.new_ids();
+MatchList myers_lcs_untrimmed(std::span<const u32> old_ids,
+                              std::span<const u32> new_ids,
+                              std::size_t max_d) {
+  const std::span<const u32> a = old_ids;
+  const std::span<const u32> b = new_ids;
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   if (n == 0 || m == 0) return {};
@@ -26,15 +60,13 @@ MatchList myers_lcs(const LineTable& table, std::size_t max_d) {
   // v[k + offset] = furthest x on diagonal k.
   const std::size_t offset = dmax;
   std::vector<std::size_t> v(2 * dmax + 1, 0);
-  // Compact trace: trace[d] holds v[offset-d .. offset+d] BEFORE step d's
-  // updates, i.e. the state backtracking needs at step d.
-  std::vector<std::vector<std::size_t>> trace;
-  trace.reserve(dmax + 1);
+  // Compact trace: step d's window v[offset-d .. offset+d] (the state
+  // backtracking needs at step d) goes into the chunked arena.
+  TraceArena trace;
 
   std::size_t found_d = dmax_full + 1;
   for (std::size_t d = 0; d <= dmax && found_d > dmax; ++d) {
-    trace.emplace_back(v.begin() + static_cast<std::ptrdiff_t>(offset - d),
-                       v.begin() + static_cast<std::ptrdiff_t>(offset + d + 1));
+    trace.push_window(v.data() + (offset - d), v.data() + (offset + d + 1));
     for (std::size_t ki = 0; ki <= 2 * d; ki += 2) {
       // k runs over -d, -d+2, ..., +d.
       const std::ptrdiff_t k =
@@ -68,12 +100,13 @@ MatchList myers_lcs(const LineTable& table, std::size_t max_d) {
     return {};
   }
 
-  // Backtrack from (n, m) through the per-d traces, collecting snakes.
+  // Backtrack from (n, m) through the per-d trace windows, collecting
+  // snakes.
   MatchList matches;
   std::size_t x = n;
   std::size_t y = m;
   for (std::size_t d = found_d; d > 0; --d) {
-    const auto& vd = trace[d];  // indexed by k + d
+    const std::size_t* vd = trace.window(d);  // indexed by k + d
     const std::ptrdiff_t k =
         static_cast<std::ptrdiff_t>(x) - static_cast<std::ptrdiff_t>(y);
     const std::size_t idx =
@@ -109,6 +142,23 @@ MatchList myers_lcs(const LineTable& table, std::size_t max_d) {
   }
   std::reverse(matches.begin(), matches.end());
   return matches;
+}
+
+MatchList myers_lcs(const LineTable& table, std::size_t max_d) {
+  const std::span<const u32> old_ids{table.old_ids()};
+  const std::span<const u32> new_ids{table.new_ids()};
+  const CommonAffix affix = trim_common_affixes(old_ids, new_ids);
+  if (affix.prefix == 0 && affix.suffix == 0) {
+    return myers_lcs_untrimmed(old_ids, new_ids, max_d);
+  }
+  MatchList middle = myers_lcs_untrimmed(
+      old_ids.subspan(affix.prefix,
+                      old_ids.size() - affix.prefix - affix.suffix),
+      new_ids.subspan(affix.prefix,
+                      new_ids.size() - affix.prefix - affix.suffix),
+      max_d);
+  return expand_trimmed_matches(affix, std::move(middle), old_ids.size(),
+                                new_ids.size());
 }
 
 }  // namespace shadow::diff

@@ -6,15 +6,27 @@
 // bounded by `max_d`; beyond it we fall back to a trivial
 // delete-all/insert-all result, which the caller turns into a full-file
 // replacement — same behaviour production diff tools use.
+//
+// Identical leading/trailing runs are trimmed before the O(ND) core runs
+// (lcs.hpp), which both speeds up the common case and lets small edits in
+// huge files stay under the explored-distance bound.
 #pragma once
+
+#include <span>
 
 #include "diff/lcs.hpp"
 #include "diff/line_table.hpp"
 
 namespace shadow::diff {
 
-/// LCS via the Myers greedy algorithm. `max_d` bounds the edit distance
-/// explored; 0 means no bound.
+/// LCS via the Myers greedy algorithm (with affix trimming). `max_d`
+/// bounds the edit distance explored; 0 means the default bound.
 MatchList myers_lcs(const LineTable& table, std::size_t max_d = 0);
+
+/// The O(ND) core over raw symbol ranges, WITHOUT affix trimming. Exposed
+/// so tests can assert the trimmed path emits identical scripts.
+MatchList myers_lcs_untrimmed(std::span<const u32> old_ids,
+                              std::span<const u32> new_ids,
+                              std::size_t max_d = 0);
 
 }  // namespace shadow::diff

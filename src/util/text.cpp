@@ -1,20 +1,32 @@
 #include "util/text.hpp"
 
+#include <cstring>
+
 namespace shadow {
 
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
+std::vector<std::string_view> split_line_views(std::string_view text) {
+  std::vector<std::string_view> lines;
+  if (text.empty()) return lines;
+  lines.reserve(count_lines(text));
   std::size_t start = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') {
-      lines.emplace_back(text.substr(start, i - start + 1));
-      start = i + 1;
+  while (start < text.size()) {
+    const void* nl = std::memchr(text.data() + start, '\n',
+                                 text.size() - start);
+    if (nl == nullptr) {
+      lines.push_back(text.substr(start));
+      break;
     }
-  }
-  if (start < text.size()) {
-    lines.emplace_back(text.substr(start));
+    const std::size_t end =
+        static_cast<std::size_t>(static_cast<const char*>(nl) - text.data());
+    lines.push_back(text.substr(start, end - start + 1));
+    start = end + 1;
   }
   return lines;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  const auto views = split_line_views(text);
+  return {views.begin(), views.end()};
 }
 
 std::string join_lines(const std::vector<std::string>& lines) {
@@ -26,16 +38,21 @@ std::string join_lines(const std::vector<std::string>& lines) {
   return out;
 }
 
-std::size_t count_lines(const std::string& text) {
+std::size_t count_lines(std::string_view text) {
   std::size_t n = 0;
   std::size_t start = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') {
+  while (start < text.size()) {
+    const void* nl = std::memchr(text.data() + start, '\n',
+                                 text.size() - start);
+    if (nl == nullptr) {
       ++n;
-      start = i + 1;
+      break;
     }
+    ++n;
+    start = static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                     text.data()) +
+            1;
   }
-  if (start < text.size()) ++n;
   return n;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
@@ -18,10 +19,16 @@ namespace shadow {
 /// "" -> {}; "a\nb" -> {"a\n", "b"}; "a\n" -> {"a\n"}.
 std::vector<std::string> split_lines(const std::string& text);
 
+/// Zero-copy variant: the same line boundaries as split_lines, but each
+/// element is a view INTO `text`. The views are valid only while the
+/// underlying buffer outlives them — callers must keep `text` alive (and
+/// unmodified) for as long as the returned vector is used.
+std::vector<std::string_view> split_line_views(std::string_view text);
+
 /// Inverse of split_lines: plain concatenation.
 std::string join_lines(const std::vector<std::string>& lines);
 
 /// Count lines using the same convention as split_lines.
-std::size_t count_lines(const std::string& text);
+std::size_t count_lines(std::string_view text);
 
 }  // namespace shadow

@@ -1,0 +1,119 @@
+// Edge cases the prefix/suffix trimming pass must not break.
+//
+// For each case and each line-oriented algorithm we assert BOTH that the
+// ed script round-trips (apply(old, script) == new) and that the script is
+// byte-identical to the one the untrimmed LCS core emits — i.e. trimming
+// is a pure optimization on these inputs, not a behaviour change.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "diff/diff.hpp"
+
+namespace shadow::diff {
+namespace {
+
+struct TrimCase {
+  std::string name;
+  std::string old_text;
+  std::string new_text;
+};
+
+std::vector<TrimCase> trim_cases() {
+  return {
+      {"both-empty", "", ""},
+      {"empty-old", "", "a\nb\nc\n"},
+      {"empty-new", "a\nb\nc\n", ""},
+      {"identical", "a\nb\nc\n", "a\nb\nc\n"},
+      {"identical-dup-lines", "a\na\n", "a\na\n"},
+      {"identical-no-trailing-nl", "a\nb\nc", "a\nb\nc"},
+      {"no-trailing-newline-edit", "a\nb\nc", "a\nX\nc"},
+      {"single-shared-line-both-ends", "s\nx\ns\n", "s\ny\ns\n"},
+      {"shared-ends-only", "s\na\nb\nt\n", "s\nc\nt\n"},
+      {"change-at-both-extremes", "x\nm\nm\ny\n", "z\nm\nm\nw\n"},
+      {"prefix-run-longer-than-new", "a\na\n", "a\n"},
+      {"suffix-run-longer-than-old", "a\n", "b\na\n"},
+      {"pure-append", "a\nb\n", "a\nb\nc\nd\n"},
+      {"pure-prepend", "c\nd\n", "a\nb\nc\nd\n"},
+      {"middle-only-edit", "p\nq\n1\n2\nr\ns\n", "p\nq\n3\nr\ns\n"},
+  };
+}
+
+MatchList untrimmed_matches(const LineTable& table, Algorithm algo) {
+  return (algo == Algorithm::kMyers)
+             ? myers_lcs_untrimmed(table.old_ids(), table.new_ids())
+             : hunt_mcilroy_lcs_untrimmed(table.old_ids(), table.new_ids());
+}
+
+std::vector<u8> encoded(const EditScript& script) {
+  BufWriter w;
+  encode_ed_script(script, w);
+  return w.take();
+}
+
+class TrimEdgeCase : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrimEdgeCase, RoundTripsAndMatchesUntrimmedBytes) {
+  const auto cases = trim_cases();
+  const TrimCase& c = cases[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const auto algo = static_cast<Algorithm>(std::get<1>(GetParam()));
+
+  // Trimmed (production) path.
+  const EditScript script = compute_ed_script(c.old_text, c.new_text, algo);
+  auto applied = apply_ed_script(c.old_text, script);
+  ASSERT_TRUE(applied.ok()) << c.name << ": " << applied.error().to_string();
+  EXPECT_EQ(applied.value(), c.new_text) << c.name;
+
+  // Untrimmed reference path over the same tokenization.
+  LineTable table(c.old_text, c.new_text);
+  const EditScript reference = build_ed_script(
+      table, c.old_text, c.new_text, untrimmed_matches(table, algo));
+  EXPECT_EQ(encoded(script), encoded(reference))
+      << c.name << " / " << algorithm_name(algo)
+      << ": trimming changed the emitted script";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TrimEdgeCase,
+    ::testing::Combine(::testing::Range(0, 15), ::testing::Range(0, 2)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      const auto cases = trim_cases();
+      std::string name =
+          cases[static_cast<std::size_t>(std::get<0>(info.param))].name;
+      name += "_";
+      name += algorithm_name(static_cast<Algorithm>(std::get<1>(info.param)));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(TrimAffixTest, ComputesPrefixAndClampedSuffix) {
+  const std::vector<u32> a{1, 2, 3, 4};
+  const std::vector<u32> b{1, 2, 9, 3, 4};
+  const CommonAffix affix = trim_common_affixes(a, b);
+  EXPECT_EQ(affix.prefix, 2u);
+  EXPECT_EQ(affix.suffix, 2u);
+
+  // Overlap clamp: "a a" vs "a" trims one line of prefix, none of suffix.
+  const std::vector<u32> aa{1, 1};
+  const std::vector<u32> just_a{1};
+  const CommonAffix overlap = trim_common_affixes(aa, just_a);
+  EXPECT_EQ(overlap.prefix, 1u);
+  EXPECT_EQ(overlap.suffix, 0u);
+}
+
+TEST(TrimAffixTest, ExpandReoffsetsMiddleMatches) {
+  CommonAffix affix;
+  affix.prefix = 2;
+  affix.suffix = 1;
+  MatchList middle{{0, 1}};
+  const MatchList full = expand_trimmed_matches(affix, middle, 5, 6);
+  const MatchList expected{{0, 0}, {1, 1}, {2, 3}, {4, 5}};
+  EXPECT_EQ(full, expected);
+  EXPECT_TRUE(is_valid_match_list(full, 5, 6));
+}
+
+}  // namespace
+}  // namespace shadow::diff

@@ -48,5 +48,35 @@ TEST(LineTableTest, LinesPreserved) {
   EXPECT_EQ(table.new_lines()[0], "gamma");
 }
 
+TEST(LineTableTest, ZeroCopyViewsAliasSourceBuffers) {
+  const std::string old_text = "one\ntwo\nthree\n";
+  const std::string new_text = "two\nfour\n";
+  LineTable table(old_text, new_text);
+  for (std::string_view line : table.old_lines()) {
+    EXPECT_GE(line.data(), old_text.data());
+    EXPECT_LE(line.data() + line.size(), old_text.data() + old_text.size());
+  }
+  for (std::string_view line : table.new_lines()) {
+    EXPECT_GE(line.data(), new_text.data());
+    EXPECT_LE(line.data() + line.size(), new_text.data() + new_text.size());
+  }
+}
+
+TEST(LineTableTest, ManyDistinctLinesStressInterner) {
+  // Enough distinct lines to exercise the open-addressing table well past
+  // its initial bucket span, plus duplicates to verify id reuse.
+  std::string old_text, new_text;
+  for (int i = 0; i < 1000; ++i) {
+    old_text += "line-" + std::to_string(i) + "\n";
+    new_text += "line-" + std::to_string(i + 500) + "\n";
+  }
+  LineTable table(old_text, new_text);
+  EXPECT_EQ(table.symbol_count(), 1500u);
+  // Shared middle: old line 500.. matches new line 0..
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(table.old_ids()[500 + i], table.new_ids()[i]);
+  }
+}
+
 }  // namespace
 }  // namespace shadow::diff

@@ -1,0 +1,62 @@
+// Property tests for the zero-copy tokenizer: split_line_views must agree
+// with split_lines on every input (same line boundaries, same bytes) and
+// its views must point INTO the source buffer — never at copies.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "util/text.hpp"
+
+namespace shadow {
+namespace {
+
+using core::make_file;
+using core::modify_percent;
+
+void expect_views_match(const std::string& text) {
+  const auto owned = split_lines(text);
+  const auto views = split_line_views(text);
+  ASSERT_EQ(owned.size(), views.size());
+  ASSERT_EQ(views.size(), count_lines(text));
+
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    // Identical content and boundaries...
+    EXPECT_EQ(owned[i], views[i]) << "line " << i;
+    // ...and zero-copy: the view aliases the source buffer, at the exact
+    // offset where the line starts.
+    EXPECT_GE(views[i].data(), begin) << "line " << i;
+    EXPECT_LE(views[i].data() + views[i].size(), end) << "line " << i;
+    EXPECT_EQ(views[i].data(), begin + offset) << "line " << i;
+    offset += views[i].size();
+  }
+  EXPECT_EQ(offset, text.size());
+}
+
+TEST(SplitLineViewsTest, EdgeCases) {
+  expect_views_match("");
+  expect_views_match("\n");
+  expect_views_match("\n\n\n");
+  expect_views_match("a");
+  expect_views_match("a\n");
+  expect_views_match("a\nb");
+  expect_views_match("a\nb\n");
+  expect_views_match(std::string("\0\n\0", 3));  // NUL bytes are content
+}
+
+TEST(SplitLineViewsTest, RandomWorkloads) {
+  for (u64 seed = 0; seed < 8; ++seed) {
+    const std::string base = make_file(2000 + 3000 * seed, seed);
+    expect_views_match(base);
+    for (int percent : {1, 10, 50}) {
+      expect_views_match(modify_percent(base, percent, seed * 31 + 7));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shadow
