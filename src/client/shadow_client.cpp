@@ -27,8 +27,16 @@ void ShadowClient::connect(const std::string& server_name,
       restored != restored_server_has_.end()) {
     raw->server_has = restored->second;
   }
-  transport->set_receiver(
-      [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+  if (env_.reliable_session) {
+    raw->channel = std::make_unique<proto::ReliableChannel>(transport);
+    raw->channel->set_receiver(
+        [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+    raw->channel->on_desync([this, raw] { resync_session(raw); });
+    if (sim_ != nullptr) raw->channel->attach_simulator(sim_);
+  } else {
+    transport->set_receiver(
+        [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+  }
   if (env_.default_server.empty()) env_.default_server = server_name;
 
   proto::Hello hello;
@@ -38,11 +46,73 @@ void ShadowClient::connect(const std::string& server_name,
 }
 
 void ShadowClient::send(Session* session, const proto::Message& m) {
-  Status st = session->transport->send(proto::encode_message(m));
+  Status st = session->channel != nullptr
+                  ? session->channel->send(proto::encode_message(m))
+                  : session->transport->send(proto::encode_message(m));
   if (!st.ok()) {
     SHADOW_WARN() << name_ << ": send to " << session->server_name
                   << " failed: " << st.to_string();
   }
+}
+
+void ShadowClient::resync_session(Session* session) {
+  // The session lost messages beyond repair (or the server reset). Forget
+  // what the server holds — every subsequent update is then diffed
+  // against base 0, i.e. a full-file transfer, the paper's escape hatch
+  // (§5.1) — and re-announce the newest version of every shadowed file so
+  // whatever the lost frames carried is offered again.
+  ++stats_.session_resyncs;
+  session->server_has.clear();
+  for (const auto& [key, id] : ids_) {
+    auto latest = versions_.chain(key).latest();
+    if (!latest.ok()) continue;
+    if (env_.flow == FlowMode::kRequestDriven) {
+      Status st = send_update(session, id, 0, latest.value().number);
+      if (!st.ok()) {
+        SHADOW_WARN() << name_ << ": resync push failed: " << st.to_string();
+      }
+    } else {
+      proto::NotifyNewVersion notify;
+      notify.file = id;
+      notify.version = latest.value().number;
+      notify.size = latest.value().content.size();
+      notify.crc = latest.value().crc;
+      ++stats_.notifies_sent;
+      send(session, notify);
+    }
+  }
+  // Submissions the server never answered may have died with the lost
+  // frames; resend them (the server dedupes on the token).
+  for (const auto& [token, msg] : pending_submits_) {
+    auto it = jobs_.find(token);
+    if (it == jobs_.end() || it->second.server != session->server_name) {
+      continue;
+    }
+    send(session, msg);
+  }
+}
+
+void ShadowClient::set_simulator(sim::Simulator* simulator) {
+  sim_ = simulator;
+  for (auto& [server_name, session] : sessions_) {
+    if (session.channel != nullptr && sim_ != nullptr) {
+      session.channel->attach_simulator(sim_);
+    }
+  }
+}
+
+std::size_t ShadowClient::tick() {
+  std::size_t resent = 0;
+  for (auto& [server_name, session] : sessions_) {
+    if (session.channel != nullptr) resent += session.channel->tick();
+  }
+  return resent;
+}
+
+const proto::ReliableChannel* ShadowClient::session_channel(
+    const std::string& server) const {
+  auto it = sessions_.find(server.empty() ? env_.default_server : server);
+  return it == sessions_.end() ? nullptr : it->second.channel.get();
 }
 
 Result<ShadowClient::Session*> ShadowClient::session_for(
@@ -242,9 +312,22 @@ void ShadowClient::handle(Session* session, const proto::PullRequest& m) {
 void ShadowClient::handle(Session* session, const proto::UpdateAck& m) {
   ++stats_.acks_received;
   if (!m.ok) {
+    // The server could not apply our update (corrupt payload, wrong base
+    // — a desync). Forget what it holds and resend the newest version as
+    // full content: delta sync must degrade to a full-file transfer,
+    // never to a corrupt shadow copy (§5.1).
     SHADOW_WARN() << name_ << ": server failed to apply update v"
                   << m.version << " of " << m.file.display() << ": "
-                  << m.error;
+                  << m.error << "; resending full";
+    session->server_has.erase(m.file.key());
+    const auto latest = versions_.chain(m.file.key()).latest_number();
+    if (latest) {
+      ++stats_.nack_full_resends;
+      Status st = send_update(session, m.file, 0, *latest);
+      if (!st.ok()) {
+        SHADOW_WARN() << name_ << ": full resend failed: " << st.to_string();
+      }
+    }
     return;
   }
   session->server_has[m.file.key()] = m.version;
@@ -301,11 +384,15 @@ Result<u64> ShadowClient::submit(const SubmitOptions& options) {
   view.error_path = options.error_path;
   jobs_[view.token] = view;
 
+  // Kept until SubmitReply so a session resync can resend the submission
+  // (the server dedupes on the token).
+  pending_submits_[view.token] = msg;
   send(session, msg);
   return view.token;
 }
 
 void ShadowClient::handle(Session* session, const proto::SubmitReply& m) {
+  pending_submits_.erase(m.client_job_token);
   auto it = jobs_.find(m.client_job_token);
   if (it == jobs_.end()) return;
   it->second.job_id = m.job_id;

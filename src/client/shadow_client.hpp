@@ -12,11 +12,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "client/shadow_env.hpp"
 #include "naming/resolver.hpp"
 #include "naming/tilde.hpp"
 #include "net/transport.hpp"
 #include "proto/messages.hpp"
+#include "proto/session.hpp"
 #include "sim/simulator.hpp"
 #include "util/result.hpp"
 #include "version/version_store.hpp"
@@ -36,6 +39,8 @@ struct ClientStats {
   u64 output_payload_bytes = 0;
   u64 output_delta_applied = 0;  // reverse-shadow deltas applied
   u64 output_nacks_sent = 0;
+  u64 session_resyncs = 0;    // desyncs detected by the reliable session
+  u64 nack_full_resends = 0;  // full-content resends after an UpdateAck nack
 };
 
 /// Client-side view of one submitted job.
@@ -71,9 +76,20 @@ class ShadowClient {
   void connect(const std::string& server_name, net::Transport* transport);
 
   /// Attach the discrete-event clock so the workstation's diff-computation
-  /// time (env().diff_bytes_per_second) is charged to the simulation.
+  /// time (env().diff_bytes_per_second) is charged to the simulation, and
+  /// reliable-session retransmit timers self-schedule with backoff.
   /// Without a simulator updates are sent immediately.
-  void set_simulator(sim::Simulator* simulator) { sim_ = simulator; }
+  void set_simulator(sim::Simulator* simulator);
+
+  /// One retransmit round on every reliable session (no-op without
+  /// env().reliable_session). Poll-driven hosts without a simulator call
+  /// this when traffic stalls. Returns the number of frames resent.
+  std::size_t tick();
+
+  /// The reliable session to `server` (nullptr when not connected or when
+  /// the session layer is off) — diagnostics and tests.
+  const proto::ReliableChannel* session_channel(
+      const std::string& server) const;
 
   /// Enable Tilde names (§5.3, [CM86]): paths beginning with '~' are
   /// resolved through `user`'s view in `forest`. The forest must outlive
@@ -136,6 +152,10 @@ class ShadowClient {
   struct Session {
     std::string server_name;
     net::Transport* transport = nullptr;
+    /// Present iff env.reliable_session: the ack/retransmit layer between
+    /// this client and the server. On desync, server_has is cleared so
+    /// every subsequent update degrades to a full-file transfer.
+    std::unique_ptr<proto::ReliableChannel> channel;
     bool hello_done = false;
     /// Version the server acknowledged holding, per file key
     /// (request-driven mode pushes deltas against this).
@@ -152,6 +172,10 @@ class ShadowClient {
 
   void send(Session* session, const proto::Message& m);
   Result<Session*> session_for(const std::string& server);
+
+  /// Reliable-session desync recovery: forget peer state, re-announce
+  /// every file's latest version (degrades to full-file transfers).
+  void resync_session(Session* session);
 
   /// Ensure the VFS content of `local_path` is captured as a version;
   /// returns (file id, version of the current content).
@@ -176,6 +200,8 @@ class ShadowClient {
   /// server_has maps restored before their sessions reconnect.
   std::map<std::string, std::map<std::string, u64>> restored_server_has_;
   std::map<u64, JobView> jobs_;                      // token -> view
+  /// Submissions awaiting SubmitReply, kept for resend after a resync.
+  std::map<u64, proto::SubmitJob> pending_submits_;
   u64 next_token_ = 1;
   ClientStats stats_;
 

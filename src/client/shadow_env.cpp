@@ -27,6 +27,8 @@ std::string ShadowEnvironment::to_text() const {
   out += std::string("background_updates ") +
          (background_updates ? "on" : "off") + "\n";
   out += std::string("flow ") + flow_mode_name(flow) + "\n";
+  out += std::string("reliable_session ") +
+         (reliable_session ? "on" : "off") + "\n";
   out += "diff_bytes_per_second " +
          std::to_string(static_cast<long long>(diff_bytes_per_second)) +
          "\n";
@@ -73,6 +75,8 @@ Result<ShadowEnvironment> ShadowEnvironment::from_text(
       else return Error{ErrorCode::kInvalidArgument, "bad codec: " + value};
     } else if (key == "background_updates") {
       env.background_updates = (value == "on" || value == "true");
+    } else if (key == "reliable_session") {
+      env.reliable_session = (value == "on" || value == "true");
     } else if (key == "diff_bytes_per_second") {
       env.diff_bytes_per_second = std::stod(value);
     } else if (key == "flow") {

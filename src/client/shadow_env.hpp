@@ -47,6 +47,11 @@ struct ShadowEnvironment {
   /// flow in the background (§5.1); false = server learns at submit time.
   bool background_updates = true;
   FlowMode flow = FlowMode::kDemandDriven;
+  /// Run each server session over the reliable session layer (sequence
+  /// numbers + CRC frames + ack/retransmit — proto::ReliableChannel).
+  /// Required when the transport below can lose, reorder or corrupt
+  /// messages; both ends must agree (ServerConfig::reliable_session).
+  bool reliable_session = false;
   /// Workstation throughput for computing differential comparisons, in
   /// bytes of base file per second (simulation only). ~100 KB/s models the
   /// 1987-class workstations of the paper running HM75 diff; the cost is

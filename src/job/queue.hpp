@@ -28,6 +28,12 @@ struct JobRecord {
   std::string output_name;
   std::string error_name;
   std::string output_route;      // client to deliver output to ("" = owner)
+  // Identity of the connection that submitted this job (opaque, never
+  // dereferenced, not persisted). Duplicate-submit detection is scoped to
+  // it: a resync resend arrives on the same connection, while a restarted
+  // client — whose token counter starts over — arrives on a new one and
+  // must get a fresh job.
+  const void* submitted_via = nullptr;
 
   proto::JobState state = proto::JobState::kQueued;
   std::string detail;            // human-readable status line

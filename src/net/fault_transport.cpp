@@ -1,0 +1,151 @@
+#include "net/fault_transport.hpp"
+
+#include <algorithm>
+
+namespace shadow::net {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDisconnect: return "disconnect";
+  }
+  return "?";
+}
+
+FaultKind FaultTransport::pick_fault(u64 index) {
+  for (const auto& scripted : plan_.script) {
+    if (scripted.message_index == index) return scripted.kind;
+  }
+  // The probabilistic draws happen unconditionally so the random sequence
+  // — and therefore the whole fault schedule — does not depend on which
+  // branch an earlier message took.
+  const double draw_drop = rng_.uniform();
+  const double draw_dup = rng_.uniform();
+  const double draw_reorder = rng_.uniform();
+  const double draw_corrupt = rng_.uniform();
+  const double draw_truncate = rng_.uniform();
+  const double draw_delay = rng_.uniform();
+  if (draw_drop < plan_.drop_p) return FaultKind::kDrop;
+  if (draw_dup < plan_.duplicate_p) return FaultKind::kDuplicate;
+  if (draw_reorder < plan_.reorder_p) return FaultKind::kReorder;
+  if (draw_corrupt < plan_.corrupt_p) return FaultKind::kCorrupt;
+  if (draw_truncate < plan_.truncate_p) return FaultKind::kTruncate;
+  if (draw_delay < plan_.delay_p) return FaultKind::kDelay;
+  return FaultKind::kNone;
+}
+
+Status FaultTransport::send(Bytes message) {
+  const u64 index = send_index_++;
+  if (plan_.disconnect_at != 0 && index + 1 >= plan_.disconnect_at) {
+    disconnected_ = true;
+  }
+  if (disconnected_) {
+    // A dead link loses data silently — the sender finds out (or not)
+    // from missing acks, exactly like an unplugged serial line.
+    ++stats_.disconnect_drops;
+    return Status();
+  }
+
+  const FaultKind fault = pick_fault(index);
+  Status result;
+  switch (fault) {
+    case FaultKind::kNone:
+      ++stats_.passed;
+      result = inner_->send(std::move(message));
+      break;
+    case FaultKind::kDrop:
+      ++stats_.dropped;
+      break;
+    case FaultKind::kDuplicate: {
+      ++stats_.duplicated;
+      Bytes copy = message;
+      result = inner_->send(std::move(message));
+      if (result.ok()) result = inner_->send(std::move(copy));
+      break;
+    }
+    case FaultKind::kReorder:
+      // Released once the NEXT message has gone out (send_index_ is
+      // already index+1 here, so index+2 means "after one later send").
+      ++stats_.reordered;
+      held_.push_back(Held{std::move(message), index + 2});
+      break;
+    case FaultKind::kCorrupt: {
+      ++stats_.corrupted;
+      if (!message.empty()) {
+        const std::size_t lo =
+            plan_.corrupt_payload_only ? (message.size() * 2) / 3 : 0;
+        const u64 flips = rng_.between(1, 3);
+        for (u64 f = 0; f < flips; ++f) {
+          const std::size_t at =
+              lo + static_cast<std::size_t>(rng_.below(message.size() - lo));
+          message[at] ^= static_cast<u8>(1u << rng_.below(8));
+        }
+      }
+      result = inner_->send(std::move(message));
+      break;
+    }
+    case FaultKind::kTruncate:
+      ++stats_.truncated;
+      message.resize(static_cast<std::size_t>(
+          rng_.below(std::max<std::size_t>(message.size(), 1))));
+      result = inner_->send(std::move(message));
+      break;
+    case FaultKind::kDelay:
+      ++stats_.delayed;
+      if (sim_ != nullptr) {
+        sim_->schedule(plan_.delay_micros,
+                       [this, m = std::move(message)]() mutable {
+                         if (!disconnected_) (void)inner_->send(std::move(m));
+                       });
+      } else {
+        held_.push_back(
+            Held{std::move(message), index + 1 + plan_.delay_messages});
+      }
+      break;
+    case FaultKind::kDisconnect:
+      disconnected_ = true;
+      ++stats_.disconnect_drops;
+      break;
+  }
+  release_due();
+  return result;
+}
+
+void FaultTransport::release_due() {
+  // Held messages re-enter the stream once enough later sends have passed.
+  // Release preserves hold order among themselves (deterministic).
+  std::deque<Held> keep;
+  for (auto& held : held_) {
+    if (held.release_at_send <= send_index_ || disconnected_) {
+      if (disconnected_) {
+        ++stats_.disconnect_drops;
+        continue;
+      }
+      (void)inner_->send(std::move(held.message));
+    } else {
+      keep.push_back(std::move(held));
+    }
+  }
+  held_ = std::move(keep);
+}
+
+void FaultTransport::flush() {
+  for (auto& held : held_) {
+    if (!disconnected_) (void)inner_->send(std::move(held.message));
+  }
+  held_.clear();
+}
+
+std::size_t FaultTransport::poll() {
+  const std::size_t dispatched = inner_->poll();
+  release_due();
+  return dispatched;
+}
+
+}  // namespace shadow::net

@@ -1,0 +1,139 @@
+// Fault injection for transports (chaos harness). The paper's protocol is
+// best effort end to end (§5.1): cache eviction, lost notifications and
+// flaky long-haul links must degrade to a full-file transfer, never to
+// corruption. FaultTransport is a decorator over any Transport whose send
+// path is perturbed by a seeded, scriptable FaultPlan, so the degraded
+// paths are exercised deterministically: same plan, same seed, same
+// message sequence → bit-identical fault schedule.
+//
+// Faults apply to outbound messages only; wrap each endpoint of a pair to
+// cover both directions. With an empty plan the decorator is
+// byte-transparent.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace shadow::net {
+
+enum class FaultKind : u8 {
+  kNone = 0,
+  kDrop = 1,        // message silently discarded
+  kDuplicate = 2,   // message delivered twice
+  kReorder = 3,     // message held back, released after later sends
+  kCorrupt = 4,     // 1..3 byte flips
+  kTruncate = 5,    // random proper prefix (possibly empty)
+  kDelay = 6,       // held back; released by later sends / flush / sim timer
+  kDisconnect = 7,  // link dies: this and all later sends vanish
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Pin a specific fault to the Nth outbound message (0-based). Scripted
+/// entries take precedence over the probabilistic knobs, which makes
+/// regression tests exact ("corrupt message 3, drop message 7").
+struct ScriptedFault {
+  u64 message_index = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+struct FaultPlan {
+  u64 seed = 1;
+  // Independent per-message probabilities, sampled in this order; the
+  // first hit wins. All zero = transparent.
+  double drop_p = 0;
+  double duplicate_p = 0;
+  double reorder_p = 0;
+  double corrupt_p = 0;
+  double truncate_p = 0;
+  double delay_p = 0;
+  /// Held (reorder/delay) messages are released after this many subsequent
+  /// sends (reorder uses 1 regardless; delay uses this).
+  u64 delay_messages = 2;
+  /// With a simulator attached, delayed messages are instead re-injected
+  /// at now + delay_micros (deterministic sim-time fault scheduling).
+  sim::SimTime delay_micros = 250'000;
+  /// Drop everything from this outbound message index on (0 = never).
+  u64 disconnect_at = 0;
+  /// Restrict corruption flips to the final third of the message — keeps
+  /// the message envelope decodable so the fault surfaces in the payload
+  /// decoder rather than the framer (targeted desync tests).
+  bool corrupt_payload_only = false;
+  std::vector<ScriptedFault> script;
+
+  bool transparent() const {
+    return drop_p == 0 && duplicate_p == 0 && reorder_p == 0 &&
+           corrupt_p == 0 && truncate_p == 0 && delay_p == 0 &&
+           disconnect_at == 0 && script.empty();
+  }
+};
+
+struct FaultStats {
+  u64 passed = 0;  // delivered unmodified (excluding releases of held)
+  u64 dropped = 0;
+  u64 duplicated = 0;
+  u64 reordered = 0;
+  u64 corrupted = 0;
+  u64 truncated = 0;
+  u64 delayed = 0;
+  u64 disconnect_drops = 0;
+  u64 injected() const {
+    return dropped + duplicated + reordered + corrupted + truncated +
+           delayed + disconnect_drops;
+  }
+};
+
+class FaultTransport final : public Transport {
+ public:
+  FaultTransport(Transport* inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  /// Delay faults become sim-time re-injections instead of send-count
+  /// holds. Must outlive the transport.
+  void set_simulator(sim::Simulator* simulator) { sim_ = simulator; }
+
+  Status send(Bytes message) override;
+  void set_receiver(ReceiveFn fn) override { inner_->set_receiver(std::move(fn)); }
+  /// Polls the carrier, then releases held messages that have come due.
+  std::size_t poll() override;
+  u64 bytes_sent() const override { return inner_->bytes_sent(); }
+  u64 messages_sent() const override { return inner_->messages_sent(); }
+  std::string peer_name() const override { return inner_->peer_name(); }
+
+  /// Release every held message immediately (quiesce helper: a reordered
+  /// or delayed message at end-of-stream must not be stranded).
+  void flush();
+
+  /// Direct link control for targeted tests: kill the link mid-run
+  /// (everything sent meanwhile vanishes silently) and repair it later.
+  void disconnect() { disconnected_ = true; }
+  void reconnect() { disconnected_ = false; }
+
+  const FaultStats& fault_stats() const { return stats_; }
+  bool disconnected() const { return disconnected_; }
+  u64 sends_seen() const { return send_index_; }
+
+ private:
+  FaultKind pick_fault(u64 index);
+  void release_due();
+
+  struct Held {
+    Bytes message;
+    u64 release_at_send = 0;  // send index at which it comes due
+  };
+
+  Transport* inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  FaultStats stats_;
+  std::deque<Held> held_;
+  u64 send_index_ = 0;
+  bool disconnected_ = false;
+};
+
+}  // namespace shadow::net

@@ -42,6 +42,27 @@ Status Mux::send_on(u64 channel, const Bytes& message) {
 }
 
 void Mux::on_carrier_message(Bytes wire) {
+  // A channel receiver that polls the carrier from inside its handler
+  // re-enters here with the previous dispatch still on the stack. Queue
+  // the frame instead: nested dispatch would run a receiver inside
+  // another receiver's critical section and, transitively, recurse
+  // without bound if each delivery triggers another poll.
+  if (dispatching_) {
+    ++reentrant_deferred_;
+    pending_.push_back(std::move(wire));
+    return;
+  }
+  dispatching_ = true;
+  dispatch(wire);
+  while (!pending_.empty()) {
+    Bytes next = std::move(pending_.front());
+    pending_.pop_front();
+    dispatch(next);
+  }
+  dispatching_ = false;
+}
+
+void Mux::dispatch(const Bytes& wire) {
   BufReader r(wire);
   auto channel = r.get_varint();
   if (!channel.ok()) {

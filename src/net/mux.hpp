@@ -9,6 +9,7 @@
 // bandwidth and queueing — that contention is the point.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 
@@ -57,14 +58,25 @@ class Mux {
   /// Frames that arrived for channels nobody opened.
   u64 undeliverable() const { return undeliverable_; }
 
+  /// Carrier frames that arrived re-entrantly (a channel receiver polled
+  /// the carrier from inside its handler) and were queued to preserve
+  /// exactly-once, in-order dispatch.
+  u64 reentrant_deferred() const { return reentrant_deferred_; }
+
  private:
   friend class MuxTransport;
   Status send_on(u64 channel, const Bytes& message);
   void on_carrier_message(Bytes wire);
+  void dispatch(const Bytes& wire);
 
   Transport* carrier_;
   std::map<u64, std::unique_ptr<MuxTransport>> channels_;
   u64 undeliverable_ = 0;
+  u64 reentrant_deferred_ = 0;
+  /// Re-entrancy flattening: frames arriving while a channel receiver is
+  /// still running are queued and drained by the outermost dispatch.
+  bool dispatching_ = false;
+  std::deque<Bytes> pending_;
 };
 
 }  // namespace shadow::net

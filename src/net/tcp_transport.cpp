@@ -60,16 +60,29 @@ Status TcpTransport::send(Bytes message) {
 
   auto write_all = [this](const u8* data, std::size_t size) -> Status {
     std::size_t done = 0;
+    int stalled_rounds = 0;
     while (done < size) {
       const ssize_t n = ::write(fd_, data + done, size - done);
       if (n > 0) {
         done += static_cast<std::size_t>(n);
+        stalled_rounds = 0;
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        // Socket buffer full: wait until writable.
+        // Socket buffer full. Classic single-threaded deadlock: if the
+        // peer is also blocked writing to us, neither side's buffer ever
+        // drains. Keep reading inbound bytes (buffered, not dispatched)
+        // while we wait so the peer's writes can complete, and give up
+        // after a bounded stall instead of spinning forever.
+        read_available();
+        if (peer_closed_) {
+          return Error{ErrorCode::kIoError, "peer closed during write"};
+        }
+        if (++stalled_rounds > 200) {  // ~10s at 50ms per round
+          return Error{ErrorCode::kIoError, "write stalled: peer not reading"};
+        }
         struct pollfd pfd {fd_, POLLOUT, 0};
-        ::poll(&pfd, 1, 1000);
+        ::poll(&pfd, 1, 50);
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -86,9 +99,8 @@ Status TcpTransport::send(Bytes message) {
   return Status();
 }
 
-std::size_t TcpTransport::poll() {
-  if (fd_ < 0) return 0;
-  // Read everything available right now.
+void TcpTransport::read_available() {
+  if (fd_ < 0) return;
   u8 chunk[16 * 1024];
   for (;;) {
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
@@ -105,6 +117,19 @@ std::size_t TcpTransport::poll() {
     peer_closed_ = true;
     break;
   }
+}
+
+std::size_t TcpTransport::poll() {
+  if (fd_ < 0) return 0;
+  read_available();
+  // A receiver callback may call poll() again (e.g. while waiting for a
+  // reply it just solicited). The outer invocation is mid-iteration over
+  // rx_buffer_ with a byte offset; letting the inner call dispatch and
+  // erase would double-deliver frames and shift the outer offset into
+  // garbage. The inner call only reads; the outer loop picks the new
+  // bytes up because it re-checks rx_buffer_.size() every iteration.
+  if (in_poll_) return 0;
+  in_poll_ = true;
   // Extract complete frames.
   std::size_t dispatched = 0;
   std::size_t offset = 0;
@@ -128,6 +153,7 @@ std::size_t TcpTransport::poll() {
     rx_buffer_.erase(rx_buffer_.begin(),
                      rx_buffer_.begin() + static_cast<long>(offset));
   }
+  in_poll_ = false;
   return dispatched;
 }
 

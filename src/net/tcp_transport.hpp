@@ -35,6 +35,10 @@ class TcpTransport final : public Transport {
   void close();
 
  private:
+  /// Drain the socket into rx_buffer_ without dispatching. Safe to call
+  /// from anywhere (including inside send()'s write-stall loop).
+  void read_available();
+
   int fd_;
   std::string peer_name_;
   ReceiveFn receiver_;
@@ -42,6 +46,9 @@ class TcpTransport final : public Transport {
   u64 bytes_sent_ = 0;
   u64 messages_sent_ = 0;
   bool peer_closed_ = false;
+  /// Re-entrancy guard: a receiver callback that calls poll() again must
+  /// not re-dispatch frames the outer poll() is still iterating over.
+  bool in_poll_ = false;
 };
 
 /// Listening socket for the server side ("a server process listens at a

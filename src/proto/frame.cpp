@@ -1,0 +1,61 @@
+#include "proto/frame.hpp"
+
+#include "util/byte_io.hpp"
+#include "util/crc32.hpp"
+
+namespace shadow::proto {
+
+namespace {
+constexpr u8 kFrameMagic = 0xF5;
+}  // namespace
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return "data";
+    case FrameType::kAck: return "ack";
+    case FrameType::kNack: return "nack";
+    case FrameType::kReset: return "reset";
+  }
+  return "?";
+}
+
+Bytes encode_frame(FrameType type, u64 seq, const Bytes& payload) {
+  BufWriter w;
+  w.put_u8(kFrameMagic);
+  w.put_u8(static_cast<u8>(type));
+  w.put_varint(seq);
+  w.put_bytes(payload);
+  const u32 crc = crc32(w.data());
+  w.put_u32(crc);
+  return w.take();
+}
+
+Result<Frame> decode_frame(const Bytes& wire) {
+  BufReader r(wire);
+  SHADOW_ASSIGN_OR_RETURN(magic, r.get_u8());
+  if (magic != kFrameMagic) {
+    return Error{ErrorCode::kProtocolError, "bad frame magic"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(type_raw, r.get_u8());
+  if (type_raw < static_cast<u8>(FrameType::kData) ||
+      type_raw > static_cast<u8>(FrameType::kReset)) {
+    return Error{ErrorCode::kProtocolError, "bad frame type"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(seq, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(payload, r.get_bytes());
+  const std::size_t crc_pos = r.position();
+  SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+  if (!r.at_end()) {
+    return Error{ErrorCode::kProtocolError, "trailing bytes after frame"};
+  }
+  if (crc != crc32(wire.data(), crc_pos)) {
+    return Error{ErrorCode::kProtocolError, "frame crc mismatch"};
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_raw);
+  frame.seq = seq;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace shadow::proto

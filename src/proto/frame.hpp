@@ -1,0 +1,40 @@
+// Session-layer framing: every message crossing a fallible link is wrapped
+// in a frame carrying a sequence number and a CRC32 over the whole frame.
+// The underlying Transport contract promises reliable ordered delivery;
+// real long-haul links (and FaultTransport) break that promise, and a
+// delta applied to the wrong base silently corrupts the shadow copy — so
+// the session layer must detect loss, duplication, reordering and
+// corruption before any payload reaches the protocol handlers.
+//
+// Wire layout (all little-endian / LEB128):
+//   u8 magic (0xF5) | u8 type | varint seq | varint len | payload bytes |
+//   u32 crc32 over everything preceding the crc field
+#pragma once
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::proto {
+
+enum class FrameType : u8 {
+  kData = 1,  // seq = message sequence number; payload = encoded message
+  kAck = 2,   // seq = highest contiguously received sequence (cumulative)
+  kNack = 3,  // seq = next sequence the receiver expects (retransmit hint)
+  kReset = 4, // seq = sender's next outgoing sequence; receive state resets
+};
+
+const char* frame_type_name(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  u64 seq = 0;
+  Bytes payload;
+};
+
+Bytes encode_frame(FrameType type, u64 seq, const Bytes& payload);
+
+/// Parse and verify a frame. Any malformed, truncated or CRC-failing
+/// input yields an error — never a partial frame.
+Result<Frame> decode_frame(const Bytes& wire);
+
+}  // namespace shadow::proto

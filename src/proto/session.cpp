@@ -1,0 +1,191 @@
+#include "proto/session.hpp"
+
+#include "util/logging.hpp"
+
+namespace shadow::proto {
+
+ReliableChannel::ReliableChannel(net::Transport* transport, Config config)
+    : transport_(transport),
+      config_(config),
+      backoff_(config.retransmit_initial, config.retransmit_cap) {
+  transport_->set_receiver([this](Bytes wire) { on_wire(std::move(wire)); });
+}
+
+Status ReliableChannel::send(Bytes payload) {
+  const u64 seq = next_send_seq_++;
+  Bytes wire = encode_frame(FrameType::kData, seq, payload);
+  auto [it, inserted] = unacked_.emplace(seq, std::move(wire));
+  ++stats_.data_sent;
+  Status st = transport_->send(it->second);
+  arm_timer();
+  return st;
+}
+
+void ReliableChannel::send_control(FrameType type, u64 seq) {
+  if (type == FrameType::kAck) ++stats_.acks_sent;
+  if (type == FrameType::kNack) ++stats_.nacks_sent;
+  if (type == FrameType::kReset) ++stats_.resets_sent;
+  (void)transport_->send(encode_frame(type, seq, Bytes{}));
+}
+
+void ReliableChannel::deliver(Bytes payload) {
+  ++stats_.delivered;
+  if (receiver_) receiver_(std::move(payload));
+}
+
+void ReliableChannel::on_wire(Bytes wire) {
+  auto decoded = decode_frame(wire);
+  if (!decoded.ok()) {
+    // Corruption or truncation below us. We cannot know what the frame
+    // was; the nack re-synchronizes the sender on our expected sequence
+    // (and, if it was data, triggers its retransmission).
+    ++stats_.corrupt_dropped;
+    send_control(FrameType::kNack, expected_);
+    return;
+  }
+  Frame frame = std::move(decoded).take();
+  switch (frame.type) {
+    case FrameType::kData:
+      handle_data(std::move(frame));
+      return;
+    case FrameType::kAck: {
+      // Cumulative: everything <= seq is delivered; forget it.
+      const auto end = unacked_.upper_bound(frame.seq);
+      const bool progress = end != unacked_.begin();
+      unacked_.erase(unacked_.begin(), end);
+      if (progress) {
+        fruitless_ticks_ = 0;
+        backoff_.reset();
+      }
+      return;
+    }
+    case FrameType::kNack: {
+      if (frame.seq > next_send_seq_) {
+        // The peer expects a sequence we never sent: our send state is
+        // behind its receive state (we restarted). Resynchronize.
+        declare_desync();
+        return;
+      }
+      // The peer expects frame.seq next — an implicit cumulative ack of
+      // everything below it.
+      if (frame.seq > 0) {
+        unacked_.erase(unacked_.begin(), unacked_.lower_bound(frame.seq));
+      }
+      if (frame.seq == next_send_seq_) return;  // peer already up to date
+      auto it = unacked_.lower_bound(frame.seq);
+      if (reset_seq_ != 0 && frame.seq < reset_seq_ &&
+          (it == unacked_.end() || it->first > frame.seq)) {
+        // The peer still expects a frame we cleared at a desync: our
+        // kReset died with the rest of the link. Re-align it to the
+        // oldest frame we still hold; retransmission does the rest.
+        send_control(FrameType::kReset, unacked_.empty()
+                                            ? next_send_seq_
+                                            : unacked_.begin()->first);
+        return;
+      }
+      if (it == unacked_.end()) {
+        // The peer is missing a frame we believe it acknowledged: its
+        // receive state regressed (process restart). Unrecoverable at
+        // this layer — reset and let the application resend content.
+        declare_desync();
+        return;
+      }
+      // it->first > frame.seq here means a stale (reordered/duplicated)
+      // nack whose gap has since been acked; retransmitting what is still
+      // outstanding is the harmless answer.
+      for (; it != unacked_.end(); ++it) {
+        ++stats_.retransmits;
+        (void)transport_->send(it->second);
+      }
+      arm_timer();
+      return;
+    }
+    case FrameType::kReset:
+      ++stats_.resets_received;
+      ++stats_.desyncs;
+      expected_ = frame.seq;
+      out_of_order_.clear();
+      if (desync_cb_) desync_cb_();
+      return;
+  }
+}
+
+void ReliableChannel::handle_data(Frame frame) {
+  if (frame.seq < expected_) {
+    // Duplicate (retransmission of something we already delivered). The
+    // re-ack lets the sender clear its buffer if our first ack was lost.
+    ++stats_.duplicates_dropped;
+    send_control(FrameType::kAck, expected_ - 1);
+    return;
+  }
+  if (frame.seq > expected_) {
+    // Gap: hold the frame for in-order delivery, ask for the missing one.
+    if (out_of_order_.size() < config_.max_out_of_order) {
+      ++stats_.out_of_order_held;
+      out_of_order_.emplace(frame.seq, std::move(frame.payload));
+    } else {
+      ++stats_.overflow_dropped;
+    }
+    send_control(FrameType::kNack, expected_);
+    return;
+  }
+  deliver(std::move(frame.payload));
+  ++expected_;
+  // Drain any contiguous run the gap was blocking.
+  for (auto it = out_of_order_.begin();
+       it != out_of_order_.end() && it->first == expected_;
+       it = out_of_order_.erase(it)) {
+    deliver(std::move(it->second));
+    ++expected_;
+  }
+  // Anything still held is a later gap; re-ack what is now contiguous.
+  send_control(FrameType::kAck, expected_ - 1);
+}
+
+std::size_t ReliableChannel::tick() {
+  if (unacked_.empty()) {
+    fruitless_ticks_ = 0;
+    return 0;
+  }
+  ++fruitless_ticks_;
+  if (fruitless_ticks_ > config_.retransmit_limit) {
+    declare_desync();
+    return 0;
+  }
+  std::size_t resent = 0;
+  for (const auto& [seq, wire] : unacked_) {
+    ++stats_.retransmits;
+    (void)transport_->send(wire);
+    ++resent;
+  }
+  return resent;
+}
+
+void ReliableChannel::declare_desync() {
+  ++stats_.desyncs;
+  SHADOW_WARN() << "session desync with " << transport_->peer_name()
+                << ": " << unacked_.size()
+                << " frames unacknowledged after retransmit limit";
+  // Align the peer's receive pointer with our next sequence so the
+  // conversation can continue once connectivity returns; the lost frames'
+  // CONTENT is the application's to resend (full-file fallback).
+  reset_seq_ = next_send_seq_;
+  send_control(FrameType::kReset, next_send_seq_);
+  unacked_.clear();
+  fruitless_ticks_ = 0;
+  backoff_.reset();
+  if (desync_cb_) desync_cb_();
+}
+
+void ReliableChannel::arm_timer() {
+  if (sim_ == nullptr || timer_pending_ || unacked_.empty()) return;
+  timer_pending_ = true;
+  sim_->schedule(backoff_.next(), [this] {
+    timer_pending_ = false;
+    if (unacked_.empty()) return;
+    tick();
+    arm_timer();
+  });
+}
+
+}  // namespace shadow::proto

@@ -1,0 +1,118 @@
+// Reliable session channel: ack/retransmit/resync machinery layered over a
+// fallible Transport using the sequence-numbered, CRC-checked frames of
+// proto/frame.hpp. This is what lets the shadow protocol keep its
+// "degrade to full-file transfer, never corrupt" promise (§5.1) when the
+// link below drops, duplicates, reorders, corrupts or truncates messages.
+//
+//   - every payload is a kData frame with a monotone sequence number and
+//     is retained until cumulatively acknowledged;
+//   - the receiver acks the highest contiguous sequence, buffers a bounded
+//     window of out-of-order frames, and nacks on gaps or corrupt frames
+//     (a nack for seq n implicitly acknowledges everything below n);
+//   - tick() retransmits everything unacknowledged; with a simulator
+//     attached, ticks self-schedule on an exponential backoff, so
+//     recovery happens at deterministic sim times;
+//   - after retransmit_limit fruitless ticks the channel declares DESYNC:
+//     it emits a kReset frame, clears its send state and fires the desync
+//     callback — the application's cue to fall back to full-file transfer
+//     (the paper's escape hatch).
+//
+// Single-threaded and poll-driven like everything else in the stack; the
+// receiver callback may itself call send() re-entrantly.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "net/transport.hpp"
+#include "proto/frame.hpp"
+#include "sim/backoff.hpp"
+#include "sim/simulator.hpp"
+
+namespace shadow::proto {
+
+class ReliableChannel {
+ public:
+  struct Config {
+    /// Future (gap-following) data frames buffered for in-order delivery.
+    std::size_t max_out_of_order = 64;
+    /// Fruitless retransmit rounds tolerated before declaring desync.
+    u64 retransmit_limit = 8;
+    /// First sim-scheduled retransmit delay; doubles per round up to cap.
+    sim::SimTime retransmit_initial = 200'000;
+    sim::SimTime retransmit_cap = 1'600'000;
+  };
+
+  struct Stats {
+    u64 data_sent = 0;
+    u64 delivered = 0;
+    u64 retransmits = 0;       // frames resent (nack- or tick-driven)
+    u64 acks_sent = 0;
+    u64 nacks_sent = 0;
+    u64 duplicates_dropped = 0;
+    u64 corrupt_dropped = 0;   // CRC/decode failures on inbound frames
+    u64 out_of_order_held = 0;
+    u64 overflow_dropped = 0;  // future frames beyond the reorder window
+    u64 resets_sent = 0;
+    u64 resets_received = 0;
+    u64 desyncs = 0;           // local declarations + received resets
+  };
+
+  explicit ReliableChannel(net::Transport* transport)
+      : ReliableChannel(transport, Config{}) {}
+  ReliableChannel(net::Transport* transport, Config config);
+
+  /// Frame, sequence and transmit `payload`; retained until acked.
+  Status send(Bytes payload);
+
+  /// Callback receiving clean, in-order, exactly-once payloads.
+  void set_receiver(net::Transport::ReceiveFn fn) { receiver_ = std::move(fn); }
+
+  /// Fired on desync: local retransmit-limit exhaustion or a peer reset.
+  /// The application should discard its assumptions about peer state
+  /// (e.g. which file versions the peer holds).
+  void on_desync(std::function<void()> fn) { desync_cb_ = std::move(fn); }
+
+  /// Self-schedule retransmit ticks on `simulator`'s clock with
+  /// exponential backoff. The simulator must outlive the channel.
+  void attach_simulator(sim::Simulator* simulator) { sim_ = simulator; }
+
+  /// One retransmit round: resend every unacknowledged frame. Returns the
+  /// number resent. Counts toward the desync limit; acked progress resets
+  /// the count. Tests and pollers without a simulator call this manually.
+  std::size_t tick();
+
+  std::size_t unacked() const { return unacked_.size(); }
+  u64 next_send_seq() const { return next_send_seq_; }
+  u64 next_expected_seq() const { return expected_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_wire(Bytes wire);
+  void handle_data(Frame frame);
+  void deliver(Bytes payload);
+  void send_control(FrameType type, u64 seq);
+  void declare_desync();
+  void arm_timer();
+
+  net::Transport* transport_;
+  Config config_;
+  net::Transport::ReceiveFn receiver_;
+  std::function<void()> desync_cb_;
+
+  std::map<u64, Bytes> unacked_;        // seq -> framed wire bytes
+  u64 next_send_seq_ = 0;
+  u64 fruitless_ticks_ = 0;
+  u64 reset_seq_ = 0;  // sequence announced by our last kReset (0 = none)
+
+  u64 expected_ = 0;                    // next in-order receive sequence
+  std::map<u64, Bytes> out_of_order_;   // seq -> payload
+
+  sim::Simulator* sim_ = nullptr;
+  sim::Backoff backoff_;
+  bool timer_pending_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace shadow::proto

@@ -42,14 +42,79 @@ void ShadowServer::attach(net::Transport* transport) {
   auto conn = std::make_unique<Connection>();
   conn->transport = transport;
   Connection* raw = conn.get();
-  transport->set_receiver(
-      [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+  if (config_.reliable_session) {
+    raw->channel = std::make_unique<proto::ReliableChannel>(transport);
+    raw->channel->set_receiver(
+        [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+    raw->channel->on_desync([this, raw] { resync_connection(raw); });
+    if (sim_ != nullptr) raw->channel->attach_simulator(sim_);
+  } else {
+    transport->set_receiver(
+        [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
+  }
   connections_.push_back(std::move(conn));
+}
+
+std::size_t ShadowServer::tick() {
+  std::size_t resent = 0;
+  for (auto& conn : connections_) {
+    if (conn->channel != nullptr) resent += conn->channel->tick();
+  }
+  return resent;
+}
+
+void ShadowServer::resync_connection(Connection* conn) {
+  ++stats_.session_resyncs;
+  // Frames may have been lost in either direction. Re-arm every pull that
+  // was in flight (the request or its answer may be gone) and re-deliver
+  // outputs the client never acknowledged; duplicates are harmless — the
+  // client's handlers are idempotent and nack what it cannot apply.
+  for (auto& [key, state] : files_) {
+    if (state.pull_outstanding != 0) {
+      state.pull_outstanding = 0;
+      if (outstanding_pulls_ > 0) --outstanding_pulls_;
+      state.pull_wanted = true;
+    }
+  }
+  drain_deferred_pulls();
+  if (!conn->client_name.empty()) {
+    for (auto& [id, record] : queue_.all_mutable()) {
+      if (record.client_name != conn->client_name) continue;
+      if (record.state == proto::JobState::kCompleted ||
+          record.state == proto::JobState::kFailed) {
+        deliver_output(record);
+      }
+    }
+  }
+  schedule_jobs();
+}
+
+proto::ReliableChannel::Stats ShadowServer::session_stats() const {
+  proto::ReliableChannel::Stats total;
+  for (const auto& conn : connections_) {
+    if (conn->channel == nullptr) continue;
+    const auto& s = conn->channel->stats();
+    total.data_sent += s.data_sent;
+    total.delivered += s.delivered;
+    total.retransmits += s.retransmits;
+    total.acks_sent += s.acks_sent;
+    total.nacks_sent += s.nacks_sent;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.corrupt_dropped += s.corrupt_dropped;
+    total.out_of_order_held += s.out_of_order_held;
+    total.overflow_dropped += s.overflow_dropped;
+    total.resets_sent += s.resets_sent;
+    total.resets_received += s.resets_received;
+    total.desyncs += s.desyncs;
+  }
+  return total;
 }
 
 void ShadowServer::send(Connection* conn, const proto::Message& m) {
   if (conn == nullptr || conn->transport == nullptr) return;
-  Status st = conn->transport->send(proto::encode_message(m));
+  Status st = conn->channel != nullptr
+                  ? conn->channel->send(proto::encode_message(m))
+                  : conn->transport->send(proto::encode_message(m));
   if (!st.ok()) {
     SHADOW_WARN() << config_.name << ": send to " << conn->client_name
                   << " failed: " << st.to_string();
@@ -263,11 +328,41 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
     content = std::move(applied).take();
   } else {
     ++stats_.full_transfers;
-    content = delta.value().full;
+    // apply() on a full-content delta verifies full_crc — bit flips inside
+    // the content survive decode, so skipping this would cache bad bytes.
+    auto verified = delta.value().apply(std::string());
+    if (!verified.ok()) {
+      proto::UpdateAck nack;
+      nack.file = m.file;
+      nack.version = m.new_version;
+      nack.ok = false;
+      nack.error = verified.error().to_string();
+      send(conn, nack);
+      return;
+    }
+    content = std::move(verified).take();
   }
 
   const u32 content_crc =
       crc32(reinterpret_cast<const u8*>(content.data()), content.size());
+  // The notify for this exact version told us its CRC. A mismatch means
+  // the payload was damaged in flight yet still decoded (bit flips inside
+  // the delta text): nack so the client resends full — never cache bad
+  // bytes.
+  if (m.new_version == state.latest_known && state.latest_crc != 0 &&
+      content_crc != state.latest_crc) {
+    // One shot only: the RECORDED crc may itself be the corrupted half
+    // (a damaged notify). The nacked client resends full content, whose
+    // own delta CRC vouches for it; accept that resend.
+    state.latest_crc = 0;
+    proto::UpdateAck nack;
+    nack.file = m.file;
+    nack.version = m.new_version;
+    nack.ok = false;
+    nack.error = "content crc mismatch";
+    send(conn, nack);
+    return;
+  }
   if (m.new_version > state.latest_known) {
     state.latest_known = m.new_version;
     state.latest_size = content.size();
@@ -305,6 +400,29 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
 }
 
 void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
+  // Duplicate submit: the original or its reply was lost and the client
+  // resent after a resync. Answer from the existing record instead of
+  // queueing the job twice. Matching is scoped to this connection: token
+  // counters restart with a client process, so an identical-looking
+  // submission from a new connection is a genuinely new job.
+  for (auto& [id, record] : queue_.all_mutable()) {
+    if (record.submitted_via != conn ||
+        record.client_name != conn->client_name ||
+        record.client_job_token != m.client_job_token ||
+        record.command_file != m.command_file) {
+      continue;
+    }
+    proto::SubmitReply reply;
+    reply.client_job_token = m.client_job_token;
+    reply.job_id = record.job_id;
+    reply.accepted = true;
+    send(conn, reply);
+    if (record.state == proto::JobState::kCompleted ||
+        record.state == proto::JobState::kFailed) {
+      deliver_output(record);
+    }
+    return;
+  }
   ++stats_.jobs_submitted;
   // Admission control: a saturated batch queue refuses new work rather
   // than letting it pile up without bound (§5.2's overload concern).
@@ -322,6 +440,7 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
   }
   job::JobRecord record;
   record.client_name = conn->client_name;
+  record.submitted_via = conn;
   record.client_job_token = m.client_job_token;
   record.command_file = m.command_file;
   record.files = m.files;

@@ -21,6 +21,7 @@
 #include "naming/domain_map.hpp"
 #include "net/transport.hpp"
 #include "proto/messages.hpp"
+#include "proto/session.hpp"
 #include "server/load_monitor.hpp"
 #include "sim/simulator.hpp"
 #include "util/result.hpp"
@@ -60,6 +61,10 @@ struct ServerConfig {
   /// Load-average-based deferral (§5.2 / §3 adaptability). Disabled by
   /// default (high_water <= 0).
   LoadMonitorConfig load;
+  /// Run every client connection over the reliable session layer
+  /// (sequence numbers + CRC frames + ack/retransmit). Both ends must
+  /// agree (ShadowEnvironment::reliable_session).
+  bool reliable_session = false;
 };
 
 struct ServerStats {
@@ -79,6 +84,7 @@ struct ServerStats {
   u64 output_delta_hits = 0;  // reverse-shadow deltas shipped
   u64 unsolicited_updates = 0;  // request-driven clients pushing
   u64 deferred_by_load = 0;   // pulls/starts postponed by the load monitor
+  u64 session_resyncs = 0;    // desyncs detected by the reliable session
 };
 
 class ShadowServer {
@@ -99,6 +105,13 @@ class ShadowServer {
   /// Failure injection for tests: drop a cached file as if evicted.
   void evict_file(const naming::GlobalFileId& id);
 
+  /// One retransmit round on every reliable session (no-op without
+  /// config.reliable_session). Returns the number of frames resent.
+  std::size_t tick();
+
+  /// Reliable-session stats summed over all connections (diagnostics).
+  proto::ReliableChannel::Stats session_stats() const;
+
   /// Snapshot the server's durable state: the shadow cache, the per-domain
   /// name maps, per-file version tracking and the reverse-shadow output
   /// cache. Live connections and in-flight jobs are NOT included — after
@@ -111,6 +124,8 @@ class ShadowServer {
  private:
   struct Connection {
     net::Transport* transport = nullptr;
+    /// Present iff config.reliable_session.
+    std::unique_ptr<proto::ReliableChannel> channel;
     std::string client_name;  // empty until Hello
   };
 
@@ -158,6 +173,10 @@ class ShadowServer {
 
   /// Postpone work while overloaded; retries are self-scheduled.
   bool load_says_wait();
+
+  /// Reliable-session desync recovery: re-arm pulls that were in flight
+  /// and re-deliver outputs the client never acknowledged.
+  void resync_connection(Connection* conn);
 
   ServerConfig config_;
   sim::Simulator* sim_;  // nullptr = execute instantaneously

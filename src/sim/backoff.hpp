@@ -1,0 +1,33 @@
+// Exponential backoff schedule for retry timers driven by the simulator
+// (or by any deterministic tick source). Doubles up to a cap; reset() on
+// forward progress. Pure arithmetic — no clock access — so schedules are
+// reproducible.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace shadow::sim {
+
+class Backoff {
+ public:
+  Backoff(SimTime initial, SimTime cap) : initial_(initial), cap_(cap) {}
+
+  /// Delay to wait before the next retry; doubles on each call.
+  SimTime next() {
+    const SimTime current = current_;
+    current_ = current_ >= cap_ / 2 ? cap_ : current_ * 2;
+    return current;
+  }
+
+  /// Delay the next call to next() will return, without advancing.
+  SimTime peek() const { return current_; }
+
+  void reset() { current_ = initial_; }
+
+ private:
+  SimTime initial_;
+  SimTime cap_;
+  SimTime current_ = initial_;
+};
+
+}  // namespace shadow::sim

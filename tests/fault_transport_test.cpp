@@ -1,0 +1,256 @@
+// Unit coverage of every FaultPlan primitive: each fault kind observably
+// perturbs the stream, the schedule is deterministic in the seed, and an
+// empty plan makes the decorator byte-transparent.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "net/fault_transport.hpp"
+#include "net/loopback.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace shadow {
+namespace {
+
+Bytes msg(u8 tag, std::size_t size = 32) {
+  Bytes m(size, tag);
+  for (std::size_t i = 0; i < size; ++i) m[i] = static_cast<u8>(tag + i);
+  return m;
+}
+
+/// FaultTransport over one side of a loopback pair, collecting what the
+/// far end actually receives.
+struct Harness {
+  explicit Harness(net::FaultPlan plan)
+      : pair(net::make_loopback_pair("near", "far")),
+        faulty(pair.a.get(), std::move(plan)) {
+    pair.b->set_receiver([this](Bytes m) { received.push_back(std::move(m)); });
+  }
+  void drain() {
+    while (pair.b->poll() != 0) {
+    }
+  }
+
+  net::LoopbackPair pair;
+  net::FaultTransport faulty;
+  std::vector<Bytes> received;
+};
+
+TEST(FaultTransportTest, EmptyPlanIsByteTransparent) {
+  net::FaultPlan plan;
+  ASSERT_TRUE(plan.transparent());
+  Harness h(plan);
+  std::vector<Bytes> sent;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(rng.bytes(1 + rng.below(200)));
+    ASSERT_TRUE(h.faulty.send(sent.back()).ok());
+  }
+  h.drain();
+  EXPECT_EQ(h.received, sent);
+  EXPECT_EQ(h.faulty.fault_stats().passed, 20u);
+  EXPECT_EQ(h.faulty.fault_stats().injected(), 0u);
+}
+
+TEST(FaultTransportTest, ScriptedDropDiscardsExactlyThatMessage) {
+  net::FaultPlan plan;
+  plan.script = {{2, net::FaultKind::kDrop}};
+  Harness h(plan);
+  for (u8 i = 0; i < 5; ++i) ASSERT_TRUE(h.faulty.send(msg(i)).ok());
+  h.drain();
+  ASSERT_EQ(h.received.size(), 4u);
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(0), msg(1), msg(3), msg(4)}));
+  EXPECT_EQ(h.faulty.fault_stats().dropped, 1u);
+}
+
+TEST(FaultTransportTest, ScriptedDuplicateDeliversTwice) {
+  net::FaultPlan plan;
+  plan.script = {{1, net::FaultKind::kDuplicate}};
+  Harness h(plan);
+  for (u8 i = 0; i < 3; ++i) ASSERT_TRUE(h.faulty.send(msg(i)).ok());
+  h.drain();
+  EXPECT_EQ(h.received,
+            (std::vector<Bytes>{msg(0), msg(1), msg(1), msg(2)}));
+  EXPECT_EQ(h.faulty.fault_stats().duplicated, 1u);
+}
+
+TEST(FaultTransportTest, ScriptedReorderSwapsWithNextMessage) {
+  net::FaultPlan plan;
+  plan.script = {{1, net::FaultKind::kReorder}};
+  Harness h(plan);
+  for (u8 i = 0; i < 3; ++i) ASSERT_TRUE(h.faulty.send(msg(i)).ok());
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(0), msg(2), msg(1)}));
+  EXPECT_EQ(h.faulty.fault_stats().reordered, 1u);
+}
+
+TEST(FaultTransportTest, ScriptedCorruptFlipsOneToThreeBitsKeepingSize) {
+  net::FaultPlan plan;
+  plan.script = {{0, net::FaultKind::kCorrupt}};
+  Harness h(plan);
+  const Bytes original = msg(9, 90);
+  ASSERT_TRUE(h.faulty.send(original).ok());
+  h.drain();
+  ASSERT_EQ(h.received.size(), 1u);
+  ASSERT_EQ(h.received[0].size(), original.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += std::popcount(
+        static_cast<unsigned>(original[i] ^ h.received[0][i]));
+  }
+  EXPECT_GE(flipped_bits, 1);
+  EXPECT_LE(flipped_bits, 3);
+  EXPECT_EQ(h.faulty.fault_stats().corrupted, 1u);
+}
+
+TEST(FaultTransportTest, CorruptPayloadOnlyLeavesTheEnvelopeIntact) {
+  net::FaultPlan plan;
+  plan.corrupt_payload_only = true;
+  plan.script = {{0, net::FaultKind::kCorrupt}};
+  Harness h(plan);
+  const Bytes original = msg(3, 90);
+  ASSERT_TRUE(h.faulty.send(original).ok());
+  h.drain();
+  ASSERT_EQ(h.received.size(), 1u);
+  // All flips land in the final third; the first two thirds are untouched.
+  const std::size_t lo = (original.size() * 2) / 3;
+  for (std::size_t i = 0; i < lo; ++i) {
+    ASSERT_EQ(original[i], h.received[0][i]) << "flip below payload at " << i;
+  }
+  EXPECT_NE(original, h.received[0]);
+}
+
+TEST(FaultTransportTest, ScriptedTruncateShortensTheMessage) {
+  net::FaultPlan plan;
+  plan.script = {{0, net::FaultKind::kTruncate}};
+  Harness h(plan);
+  const Bytes original = msg(5, 64);
+  ASSERT_TRUE(h.faulty.send(original).ok());
+  h.drain();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_LT(h.received[0].size(), original.size());
+  EXPECT_TRUE(std::equal(h.received[0].begin(), h.received[0].end(),
+                         original.begin()));
+  EXPECT_EQ(h.faulty.fault_stats().truncated, 1u);
+}
+
+TEST(FaultTransportTest, DelayedMessageReleasedAfterLaterSends) {
+  net::FaultPlan plan;
+  plan.delay_messages = 2;
+  plan.script = {{0, net::FaultKind::kDelay}};
+  Harness h(plan);
+  ASSERT_TRUE(h.faulty.send(msg(0)).ok());
+  ASSERT_TRUE(h.faulty.send(msg(1)).ok());
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(1)}));  // still held
+  ASSERT_TRUE(h.faulty.send(msg(2)).ok());
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(1), msg(2), msg(0)}));
+  EXPECT_EQ(h.faulty.fault_stats().delayed, 1u);
+}
+
+TEST(FaultTransportTest, FlushReleasesStrandedHeldMessages) {
+  net::FaultPlan plan;
+  plan.script = {{0, net::FaultKind::kDelay}};
+  Harness h(plan);
+  ASSERT_TRUE(h.faulty.send(msg(7)).ok());
+  h.drain();
+  EXPECT_TRUE(h.received.empty());
+  h.faulty.flush();
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(7)}));
+}
+
+TEST(FaultTransportTest, SimulatorDelayReinjectsAtSimTime) {
+  sim::Simulator sim;
+  net::FaultPlan plan;
+  plan.delay_micros = 5'000;
+  plan.script = {{0, net::FaultKind::kDelay}};
+  Harness h(plan);
+  h.faulty.set_simulator(&sim);
+  ASSERT_TRUE(h.faulty.send(msg(1)).ok());
+  ASSERT_TRUE(h.faulty.send(msg(2)).ok());
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(2)}));  // held in sim queue
+  sim.run();
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(2), msg(1)}));
+  EXPECT_EQ(sim.now(), 5'000u);
+}
+
+TEST(FaultTransportTest, DisconnectAtSilencesTheLinkFromThatMessageOn) {
+  net::FaultPlan plan;
+  plan.disconnect_at = 3;
+  Harness h(plan);
+  for (u8 i = 0; i < 5; ++i) ASSERT_TRUE(h.faulty.send(msg(i)).ok());
+  h.drain();
+  EXPECT_EQ(h.received, (std::vector<Bytes>{msg(0), msg(1)}));
+  EXPECT_TRUE(h.faulty.disconnected());
+  EXPECT_EQ(h.faulty.fault_stats().disconnect_drops, 3u);
+}
+
+TEST(FaultTransportTest, DisconnectDropsHeldMessagesToo) {
+  net::FaultPlan plan;
+  plan.script = {{0, net::FaultKind::kDelay}, {1, net::FaultKind::kDisconnect}};
+  Harness h(plan);
+  ASSERT_TRUE(h.faulty.send(msg(0)).ok());
+  ASSERT_TRUE(h.faulty.send(msg(1)).ok());
+  h.faulty.flush();
+  h.drain();
+  EXPECT_TRUE(h.received.empty());
+  EXPECT_EQ(h.faulty.fault_stats().disconnect_drops, 2u);
+}
+
+TEST(FaultTransportTest, SameSeedSamePlanSameSchedule) {
+  net::FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_p = 0.2;
+  plan.duplicate_p = 0.1;
+  plan.reorder_p = 0.1;
+  plan.corrupt_p = 0.1;
+  plan.truncate_p = 0.1;
+  plan.delay_p = 0.1;
+  auto run = [&plan] {
+    Harness h(plan);
+    for (u8 i = 0; i < 40; ++i) (void)h.faulty.send(msg(i));
+    h.faulty.flush();
+    h.drain();
+    return h.received;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(FaultTransportTest, DifferentSeedsDiverge) {
+  net::FaultPlan plan;
+  plan.drop_p = 0.3;
+  plan.corrupt_p = 0.3;
+  auto run = [&plan](u64 seed) {
+    net::FaultPlan p = plan;
+    p.seed = seed;
+    Harness h(p);
+    for (u8 i = 0; i < 40; ++i) (void)h.faulty.send(msg(i));
+    h.faulty.flush();
+    h.drain();
+    return h.received;
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(FaultTransportTest, StatsAccountForEveryMessage) {
+  net::FaultPlan plan;
+  plan.seed = 9;
+  plan.drop_p = 0.25;
+  plan.delay_p = 0.25;
+  Harness h(plan);
+  for (u8 i = 0; i < 100; ++i) (void)h.faulty.send(msg(i));
+  const auto& stats = h.faulty.fault_stats();
+  EXPECT_EQ(stats.passed + stats.injected(), 100u);
+  EXPECT_EQ(h.faulty.sends_seen(), 100u);
+}
+
+}  // namespace
+}  // namespace shadow

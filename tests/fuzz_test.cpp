@@ -3,11 +3,19 @@
 // allocation. Deterministic seeds keep failures reproducible.
 #include <gtest/gtest.h>
 
+#include "client/shadow_client.hpp"
+#include "client/shadow_editor.hpp"
 #include "compress/compress.hpp"
 #include "core/workload.hpp"
 #include "diff/diff.hpp"
+#include "net/loopback.hpp"
+#include "proto/frame.hpp"
 #include "proto/messages.hpp"
+#include "proto/session.hpp"
+#include "server/shadow_server.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "vfs/cluster.hpp"
 
 namespace shadow {
 namespace {
@@ -122,6 +130,113 @@ TEST_P(FuzzSeeds, MutatedCompressedPayloadsFailClosed) {
       EXPECT_EQ(out.value().size(), text.size());
     }
   }
+}
+
+TEST_P(FuzzSeeds, RandomBytesIntoFrameDecoder) {
+  for (int round = 0; round < 400; ++round) {
+    const Bytes junk = rng_.bytes(rng_.below(200));
+    auto result = proto::decode_frame(junk);
+    // Random bytes passing magic + type + CRC checks would be a miracle;
+    // what matters is a clean error, never a crash or partial frame.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error().message.empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, EveryMutatedFrameIsRejected) {
+  // Unlike messages, frames carry a CRC over their full contents: any
+  // single flip, truncation or extension MUST fail decode.
+  const Bytes wire = proto::encode_frame(proto::FrameType::kData, 42,
+                                         rng_.bytes(64));
+  for (int round = 0; round < 400; ++round) {
+    Bytes mutated = wire;
+    const u64 op = rng_.below(3);
+    if (op == 0) {
+      mutated[rng_.below(mutated.size())] ^=
+          static_cast<u8>(1u << rng_.below(8));
+    } else if (op == 1) {
+      mutated.resize(rng_.below(mutated.size()));
+    } else {
+      const Bytes extra = rng_.bytes(1 + rng_.below(16));
+      mutated.insert(mutated.end(), extra.begin(), extra.end());
+    }
+    EXPECT_FALSE(proto::decode_frame(mutated).ok());
+  }
+}
+
+TEST_P(FuzzSeeds, JunkOnTheWireNeverDerailsAReliableChannel) {
+  const LogLevel saved = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kError);
+  auto pair = net::make_loopback_pair("a", "b");
+  proto::ReliableChannel a(pair.a.get());
+  proto::ReliableChannel b(pair.b.get());
+  std::vector<std::string> at_b;
+  b.set_receiver([&](Bytes m) { at_b.emplace_back(m.begin(), m.end()); });
+
+  int sent = 0;
+  for (int round = 0; round < 200; ++round) {
+    if (rng_.chance(0.3)) {
+      const std::string payload = "m" + std::to_string(sent++);
+      ASSERT_TRUE(a.send(Bytes(payload.begin(), payload.end())).ok());
+    } else {
+      // Raw garbage injected below the channel, as line noise would.
+      (void)pair.a->send(rng_.bytes(rng_.below(60)));
+    }
+    net::pump(pair);
+  }
+  (void)a.tick();
+  net::pump(pair);
+  // Every real payload arrived exactly once, in order, despite the noise.
+  ASSERT_EQ(at_b.size(), static_cast<std::size_t>(sent));
+  for (int i = 0; i < sent; ++i) {
+    EXPECT_EQ(at_b[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+  }
+  EXPECT_GT(b.stats().corrupt_dropped, 0u);
+  Logger::instance().set_level(saved);
+}
+
+TEST_P(FuzzSeeds, JunkIntoClientAndServerReceivePathsNeverCrashes) {
+  const LogLevel saved = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kOff);
+  {
+    vfs::Cluster cluster;
+    (void)cluster.add_host("ws").mkdir_p("/home/user");
+    server::ServerConfig sc;
+    sc.name = "super";
+    server::ShadowServer server(sc);
+    auto pair = net::make_loopback_pair("ws", "super");
+    client::ShadowEnvironment env;  // raw link: handlers see bytes directly
+    client::ShadowClient client("ws", env, &cluster, "net-fuzz");
+    client::ShadowEditor editor(&client, &cluster);
+    server.attach(pair.b.get());
+    client.connect("super", pair.a.get());
+    net::pump(pair);
+
+    ASSERT_TRUE(editor.create("/home/user/f", "b\na\n").ok());
+    net::pump(pair);
+    for (int round = 0; round < 150; ++round) {
+      (void)pair.a->send(rng_.bytes(rng_.below(80)));  // junk to the server
+      (void)pair.b->send(rng_.bytes(rng_.below(80)));  // junk to the client
+      net::pump(pair);
+    }
+
+    // The session still works after the noise storm.
+    client::ShadowClient::SubmitOptions job;
+    job.files = {"/home/user/f"};
+    job.command_file = "sort f\n";
+    job.output_path = "/home/user/out";
+    auto token = client.submit(job);
+    ASSERT_TRUE(token.ok());
+    for (int i = 0; i < 50 && !client.job_done(token.value()); ++i) {
+      net::pump(pair);
+      (void)server.tick();
+      (void)client.tick();
+    }
+    EXPECT_TRUE(client.job_done(token.value()));
+    EXPECT_EQ(cluster.read_file("ws", "/home/user/out").value(), "a\nb\n");
+  }
+  Logger::instance().set_level(saved);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 8));

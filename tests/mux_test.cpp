@@ -2,6 +2,9 @@
 // trunk topology in ShadowSystem.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/system.hpp"
 #include "core/workload.hpp"
 #include "net/loopback.hpp"
@@ -70,6 +73,30 @@ TEST_F(MuxTest, EmptyPayloadSurvives) {
   ASSERT_TRUE(left_->channel(0)->send(Bytes{}).ok());
   pump(pair_);
   EXPECT_TRUE(got);
+}
+
+// Regression: a channel receiver that polls its own carrier mid-delivery
+// (e.g. waiting for a reply it just solicited) used to re-enter the mux
+// dispatch and run a receiver inside another receiver — recursing without
+// bound when every delivery triggered another poll. Re-entrant carrier
+// frames are now queued and drained by the outermost dispatch.
+TEST_F(MuxTest, ReentrantCarrierPollDefersNestedDispatch) {
+  std::vector<std::string> order;
+  int depth = 0;
+  int max_depth = 0;
+  right_->channel(0)->set_receiver([&](Bytes m) {
+    ++depth;
+    max_depth = std::max(max_depth, depth);
+    order.emplace_back(m.begin(), m.end());
+    (void)pair_.b->poll();
+    --depth;
+  });
+  ASSERT_TRUE(left_->channel(0)->send(msg("first")).ok());
+  ASSERT_TRUE(left_->channel(0)->send(msg("second")).ok());
+  pump(pair_);
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+  EXPECT_EQ(max_depth, 1);  // never a receiver inside a receiver
+  EXPECT_EQ(right_->reentrant_deferred(), 1u);
 }
 
 // ---- shared trunk end to end ----

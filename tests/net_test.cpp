@@ -2,6 +2,8 @@
 // over links, and the real TCP transport with length framing.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "net/loopback.hpp"
 #include "net/sim_transport.hpp"
 #include "net/tcp_transport.hpp"
@@ -156,6 +158,57 @@ TEST(TcpTest, BidirectionalTraffic) {
   }
   EXPECT_EQ(at_a, "pong");
   EXPECT_EQ(at_b, "ping");
+}
+
+// Regression: both sides writing a frame far larger than the socket
+// buffers used to deadlock — each write loop stalled on EAGAIN waiting
+// for the peer to read, and neither ever did. write_all now drains
+// inbound bytes (buffered, not dispatched) while stalled.
+TEST(TcpTest, SimultaneousLargeWritesDoNotDeadlock) {
+  auto pair_result = make_tcp_pair();
+  ASSERT_TRUE(pair_result.ok());
+  auto pair = std::move(pair_result).take();
+  const Bytes from_a(8 * 1024 * 1024, u8{0xAB});
+  const Bytes from_b(8 * 1024 * 1024, u8{0xBA});
+  Bytes at_a, at_b;
+  pair.a->set_receiver([&](Bytes m) { at_a = std::move(m); });
+  pair.b->set_receiver([&](Bytes m) { at_b = std::move(m); });
+
+  Status a_status;
+  std::thread a_writer([&] { a_status = pair.a->send(from_a); });
+  const Status b_status = pair.b->send(from_b);
+  a_writer.join();
+  ASSERT_TRUE(a_status.ok()) << a_status.to_string();
+  ASSERT_TRUE(b_status.ok()) << b_status.to_string();
+
+  for (int i = 0; i < 10000 && (at_a.empty() || at_b.empty()); ++i) {
+    pair.a->poll();
+    pair.b->poll();
+  }
+  EXPECT_EQ(at_a, from_b);
+  EXPECT_EQ(at_b, from_a);
+}
+
+// Regression: a receiver calling poll() re-entrantly used to re-dispatch
+// frames the outer poll was still iterating over. The inner call must
+// only read, and every frame must arrive exactly once, in order.
+TEST(TcpTest, ReentrantPollFromReceiverIsSafe) {
+  auto pair_result = make_tcp_pair();
+  ASSERT_TRUE(pair_result.ok());
+  auto pair = std::move(pair_result).take();
+  std::vector<std::string> got;
+  std::size_t inner_dispatched = 99;
+  pair.b->set_receiver([&](Bytes m) {
+    got.emplace_back(m.begin(), m.end());
+    if (got.size() == 1) inner_dispatched = pair.b->poll();
+  });
+  ASSERT_TRUE(pair.a->send(msg("one")).ok());
+  ASSERT_TRUE(pair.a->send(msg("two")).ok());
+  for (int i = 0; i < 1000 && got.size() < 2; ++i) {
+    pair.b->poll();
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"one", "two"}));
+  EXPECT_EQ(inner_dispatched, 0u);  // guard: nested poll dispatches nothing
 }
 
 TEST(TcpTest, PeerCloseDetected) {
