@@ -1,0 +1,163 @@
+// Durability-cost ablation: what does crash consistency charge per
+// operation? Journal appends (the per-acknowledgment cost, over both the
+// in-memory storage model and the real filesystem with genuine fsyncs),
+// raw journal scanning, and full server recovery (snapshot restore +
+// journal replay + orphan requeue) as a function of journal length.
+// google-benchmark binary; exported to BENCH_persist.json by
+// bench/bench_to_json.sh.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "client/shadow_client.hpp"
+#include "client/shadow_editor.hpp"
+#include "core/workload.hpp"
+#include "net/loopback.hpp"
+#include "persist/durable_store.hpp"
+#include "persist/storage.hpp"
+#include "persist/wal.hpp"
+#include "server/shadow_server.hpp"
+#include "util/logging.hpp"
+#include "vfs/cluster.hpp"
+
+namespace {
+
+using namespace shadow;
+
+// A representative cached-shadow record: a ~2 KB payload, the dominant
+// record type in an editing session.
+Bytes sample_body() {
+  const std::string content = core::make_file(2'000, 9);
+  BufWriter w;
+  w.put_string("bench-domain/11");
+  w.put_varint(7);
+  w.put_string(content);
+  return w.take();
+}
+
+void BM_JournalAppendMem(benchmark::State& state) {
+  persist::MemDir dir;
+  persist::DurableStore store(&dir, /*compact_every=*/1u << 30);
+  const Bytes body = sample_body();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.append(persist::RecordType::kShadowCached, body).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(body.size()));
+}
+
+void BM_JournalAppendFs(benchmark::State& state) {
+  // The real cost of the durability promise: every append fsyncs. Run in
+  // a temp directory; expect this to be wildly slower than MemDir — that
+  // gap IS the measurement.
+  const auto root =
+      std::filesystem::temp_directory_path() / "shadow_bench_persist";
+  std::filesystem::remove_all(root);
+  persist::FsDir dir(root.string());
+  persist::DurableStore store(&dir, /*compact_every=*/1u << 30);
+  const Bytes body = sample_body();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.append(persist::RecordType::kShadowCached, body).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(body.size()));
+  std::filesystem::remove_all(root);
+}
+
+void BM_ReplayScan(benchmark::State& state) {
+  // Raw journal scan throughput at recovery time.
+  const int records = static_cast<int>(state.range(0));
+  BufWriter w;
+  w.put_raw(persist::journal_header());
+  const Bytes body = sample_body();
+  for (int i = 0; i < records; ++i) {
+    w.put_raw(persist::frame_record(persist::RecordType::kShadowCached, body));
+  }
+  const Bytes journal = w.take();
+  for (auto _ : state) {
+    const auto scan = persist::scan_journal(journal);
+    benchmark::DoNotOptimize(scan.records.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(journal.size()));
+  state.counters["journal_bytes"] =
+      benchmark::Counter(static_cast<double>(journal.size()));
+}
+
+/// Populate a MemDir with the durable droppings of a real editing
+/// session: `edits` rounds of a client editing a 4 KB file against a
+/// journaling server.
+void populate_disk(persist::MemDir& disk, int edits) {
+  persist::DurableStore store(&disk, /*compact_every=*/1u << 30);
+  vfs::Cluster cluster;
+  (void)cluster.add_host("ws").mkdir_p("/home/user");
+  server::ServerConfig sc;
+  sc.name = "super";
+  server::ShadowServer server(sc, nullptr, &store);
+  (void)server.recover_from_storage();
+  client::ShadowEnvironment env;
+  client::ShadowClient client("ws", env, &cluster, "bench-domain");
+  client::ShadowEditor editor(&client, &cluster);
+  auto pair = net::make_loopback_pair("ws", "super");
+  server.attach(pair.b.get());
+  client.connect("super", pair.a.get());
+  net::pump(pair);
+  std::string content = core::make_file(4'000, 17);
+  (void)editor.create("/home/user/f", content);
+  net::pump(pair);
+  for (int i = 0; i < edits; ++i) {
+    content = core::modify_percent(content, 5.0, 1000 + i);
+    (void)editor.create("/home/user/f", content);
+    net::pump(pair);
+  }
+}
+
+void BM_ServerRecovery(benchmark::State& state) {
+  // End-to-end recovery: construct a fresh server over the survived disk
+  // and replay it back to serving state. Recovery itself compacts (it
+  // folds the replay into a snapshot and truncates the journal), so the
+  // disk is restored between iterations — every iteration replays the
+  // same full journal.
+  persist::MemDir disk;
+  populate_disk(disk, static_cast<int>(state.range(0)));
+  const Bytes journal_image =
+      disk.read(persist::DurableStore::kJournalName).value_or(Bytes{});
+  u64 recovered = 0;
+  for (auto _ : state) {
+    persist::DurableStore store(&disk, /*compact_every=*/1u << 30);
+    server::ServerConfig sc;
+    sc.name = "super";
+    server::ShadowServer server(sc, nullptr, &store);
+    benchmark::DoNotOptimize(server.recover_from_storage().ok());
+    recovered = server.stats().recovered_records;
+    state.PauseTiming();
+    (void)disk.write_atomic(persist::DurableStore::kJournalName,
+                            journal_image);
+    if (disk.exists(persist::DurableStore::kSnapshotName)) {
+      (void)disk.remove(persist::DurableStore::kSnapshotName);
+    }
+    state.ResumeTiming();
+  }
+  state.counters["records"] =
+      benchmark::Counter(static_cast<double>(recovered));
+}
+
+BENCHMARK(BM_JournalAppendMem);
+BENCHMARK(BM_JournalAppendFs);
+BENCHMARK(BM_ReplayScan)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_ServerRecovery)->Arg(16)->Arg(128)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shadow::Logger::instance().set_level(shadow::LogLevel::kError);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

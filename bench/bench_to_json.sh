@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_diff.json — the tracked Release-mode snapshot of the
-# diff-algorithm ablation (abl_diff_algos). Future PRs compare against this
-# file to keep a perf trajectory for the Delta::compute hot path.
+# Regenerate the tracked Release-mode benchmark snapshots:
+#   BENCH_diff.json     — diff-algorithm ablation (abl_diff_algos)
+#   BENCH_persist.json  — durability costs: journal append, replay scan,
+#                         server recovery (abl_persist)
+# Future PRs compare against these files to keep a perf trajectory for the
+# Delta::compute hot path and the crash-consistency overhead.
 #
 # Usage: bench/bench_to_json.sh [build-dir]   (default: build-rel)
 set -euo pipefail
@@ -10,7 +13,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${1:-$ROOT/build-rel}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" --target abl_diff_algos -j"$(nproc)"
+cmake --build "$BUILD" --target abl_diff_algos abl_persist -j"$(nproc)"
 
 # min_time smooths scheduler noise; JSON format suppresses the size table.
 "$BUILD/bench/abl_diff_algos" \
@@ -19,3 +22,10 @@ cmake --build "$BUILD" --target abl_diff_algos -j"$(nproc)"
   > "$ROOT/BENCH_diff.json"
 
 echo "wrote $ROOT/BENCH_diff.json"
+
+"$BUILD/bench/abl_persist" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  > "$ROOT/BENCH_persist.json"
+
+echo "wrote $ROOT/BENCH_persist.json"

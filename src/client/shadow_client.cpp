@@ -90,6 +90,24 @@ void ShadowClient::resync_session(Session* session) {
     }
     send(session, msg);
   }
+  // Submissions the server DID answer may still be gone: a crashed server
+  // whose disk lost the journal record forgets the job entirely, and the
+  // client would wait for its output forever. Take a full-status census;
+  // the reply names every job this server still knows, and anything of
+  // ours missing from it gets resubmitted (handle(StatusReply)).
+  bool awaiting_output = false;
+  for (const auto& [token, view] : jobs_) {
+    if (view.server == session->server_name && view.job_id != 0 &&
+        !view.output_received) {
+      awaiting_output = true;
+    }
+  }
+  if (awaiting_output) {
+    status_sweep_pending_.insert(session->server_name);
+    proto::StatusQuery query;
+    query.job_id = 0;  // everything of mine
+    send(session, query);
+  }
 }
 
 void ShadowClient::set_simulator(sim::Simulator* simulator) {
@@ -385,8 +403,10 @@ Result<u64> ShadowClient::submit(const SubmitOptions& options) {
   jobs_[view.token] = view;
 
   // Kept until SubmitReply so a session resync can resend the submission
-  // (the server dedupes on the token).
+  // (the server dedupes on the token); archived until the output arrives
+  // so a job lost to a server crash can be submitted afresh.
   pending_submits_[view.token] = msg;
+  submit_archive_[view.token] = msg;
   send(session, msg);
   return view.token;
 }
@@ -419,6 +439,37 @@ void ShadowClient::handle(Session* session, const proto::StatusReply& m) {
         view.state = info.state;
         view.detail = info.detail;
       }
+    }
+  }
+  // A census requested by resync_session: any job the server acknowledged
+  // that is now absent from its books was lost with the crash. Submit it
+  // again as a fresh job — same token, so a dedupe on a server that DID
+  // survive is still possible and the view needs no rewiring.
+  if (status_sweep_pending_.erase(session->server_name) > 0) {
+    for (auto& [token, view] : jobs_) {
+      if (view.server != session->server_name || token == 0 ||
+          view.job_id == 0 || view.output_received ||
+          view.state == proto::JobState::kFailed) {
+        continue;
+      }
+      // Match by OUR token, not the server's job id: a restarted server
+      // renumbers from 1, so a fresh job can shadow a lost one's id.
+      bool known = false;
+      for (const auto& info : m.jobs) {
+        if (info.client_job_token == token) known = true;
+      }
+      if (known) continue;
+      auto archived = submit_archive_.find(token);
+      if (archived == submit_archive_.end()) continue;
+      SHADOW_INFO() << name_ << ": server " << session->server_name
+                    << " lost job " << view.job_id << " (token " << token
+                    << "); resubmitting";
+      view.job_id = 0;
+      view.state = proto::JobState::kQueued;
+      view.detail = "resubmitted after server lost the job";
+      ++stats_.lost_job_resubmits;
+      pending_submits_[token] = archived->second;
+      send(session, archived->second);
     }
   }
   if (status_callback_) status_callback_(m.jobs);
@@ -539,12 +590,27 @@ void ShadowClient::handle(Session* session, const proto::JobOutput& m) {
                                  : proto::JobState::kFailed;
   view->exit_code = m.exit_code;
   view->output_received = true;
+  submit_archive_.erase(view->token);
   if (output_callback_) output_callback_(*view);
 }
 
 bool ShadowClient::job_done(u64 token) const {
   auto it = jobs_.find(token);
   return it != jobs_.end() && it->second.output_received;
+}
+
+std::map<std::string, u64> ShadowClient::acked_versions(
+    const std::string& server) const {
+  auto it = sessions_.find(server);
+  if (it == sessions_.end()) return {};
+  return it->second.server_has;
+}
+
+void ShadowClient::resync(const std::string& server) {
+  for (auto& [name, session] : sessions_) {
+    if (!server.empty() && name != server) continue;
+    resync_session(&session);
+  }
 }
 
 namespace {

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct ClientStats {
   u64 output_nacks_sent = 0;
   u64 session_resyncs = 0;    // desyncs detected by the reliable session
   u64 nack_full_resends = 0;  // full-content resends after an UpdateAck nack
+  u64 lost_job_resubmits = 0;  // acked jobs a restarted server had lost
 };
 
 /// Client-side view of one submitted job.
@@ -131,6 +133,16 @@ class ShadowClient {
   /// True when the output of `token` has been received and written.
   bool job_done(u64 token) const;
 
+  /// Versions the server has acknowledged holding, per file key. What
+  /// "acked" means for the crash harness: the server promised these are
+  /// durable, so they must survive any server crash.
+  std::map<std::string, u64> acked_versions(const std::string& server) const;
+
+  /// Force a resync: re-announce every file's latest version and resend
+  /// pending submits. Used after reconnecting to a restarted server
+  /// ("" = every connected server).
+  void resync(const std::string& server = "");
+
   /// Snapshot the client's durable shadow state: version chains, resolved
   /// file ids, reverse-shadow output cache, and per-server acknowledged
   /// versions. Restoring after a restart lets the next edit ship a DELTA
@@ -202,6 +214,12 @@ class ShadowClient {
   std::map<u64, JobView> jobs_;                      // token -> view
   /// Submissions awaiting SubmitReply, kept for resend after a resync.
   std::map<u64, proto::SubmitJob> pending_submits_;
+  /// Every submission until its output arrives — the raw material for
+  /// resubmitting a job a crashed server acknowledged and then lost.
+  std::map<u64, proto::SubmitJob> submit_archive_;
+  /// Servers with a full StatusQuery sweep in flight (sent by resync);
+  /// the matching StatusReply doubles as a lost-job census.
+  std::set<std::string> status_sweep_pending_;
   u64 next_token_ = 1;
   ClientStats stats_;
 

@@ -1,0 +1,249 @@
+#include "core/crash.hpp"
+
+#include <map>
+#include <memory>
+
+#include "client/shadow_client.hpp"
+#include "client/shadow_editor.hpp"
+#include "core/workload.hpp"
+#include "net/loopback.hpp"
+#include "persist/durable_store.hpp"
+#include "persist/fault_fs.hpp"
+#include "persist/wal.hpp"
+#include "server/shadow_server.hpp"
+#include "util/rng.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow::core {
+
+CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
+  CrashOutcome out;
+
+  vfs::Cluster cluster;
+  (void)cluster.add_host("ws").mkdir_p("/home/user");
+
+  persist::MemDir disk;
+  persist::StorageFaultPlan fault_plan;
+  fault_plan.crash_at_write = crash_at_write;
+  fault_plan.torn_keep = options.torn_keep;
+  fault_plan.lie_about_sync_after = options.lying_fsync_after;
+  persist::FaultFs faults(&disk, fault_plan);
+  persist::DurableStore store1(&faults, options.compact_every);
+
+  server::ServerConfig sc;
+  sc.name = "super";
+  sc.max_job_retries = options.max_job_retries;
+  auto server1 =
+      std::make_unique<server::ShadowServer>(sc, nullptr, &store1);
+  (void)server1->recover_from_storage();  // empty disk: no-op
+
+  client::ShadowEnvironment env;
+  env.retention_limit = 64;  // keep every version the checks below read
+  client::ShadowClient client("ws", env, &cluster, "crash-domain");
+  client::ShadowEditor editor(&client, &cluster);
+
+  auto pair1 = net::make_loopback_pair("ws", "super");
+  server1->attach(pair1.b.get());
+  client.connect("super", pair1.a.get());
+  net::pump(pair1);
+
+  // ---- Phase 1: the workload, dying at the chosen write point --------
+  const std::string edit_path = "/home/user/f";
+  std::string content = make_file(options.file_bytes, options.seed);
+  Status st = editor.create(edit_path, content);
+  if (!st.ok()) {
+    out.detail = "create failed: " + st.to_string();
+    return out;
+  }
+  net::pump(pair1);
+
+  struct SubmittedJob {
+    u64 token = 0;
+    std::string output_path;
+  };
+  std::vector<std::string> data_paths;
+  std::vector<SubmittedJob> submitted;
+
+  Rng edit_rng(options.seed ^ 0xC7A5Bu);
+  for (int i = 0; i < options.edits; ++i) {
+    content = modify_percent(content, options.edit_percent, edit_rng.next());
+    st = editor.create(edit_path, content);
+    if (!st.ok()) {
+      out.detail = "edit failed: " + st.to_string();
+      return out;
+    }
+    net::pump(pair1);
+    if (options.submit_every > 0 && (i + 1) % options.submit_every == 0) {
+      // Immutable input file: never edited again, so the job's output is
+      // the same whether it runs before the crash, after, or both.
+      const std::string dpath = "/home/user/d" + std::to_string(i);
+      st = editor.create(
+          dpath, make_file(options.file_bytes / 2, options.seed * 31 + i));
+      if (!st.ok()) {
+        out.detail = "data create failed: " + st.to_string();
+        return out;
+      }
+      net::pump(pair1);
+      client::ShadowClient::SubmitOptions job;
+      job.files = {dpath};
+      job.command_file = "sort d" + std::to_string(i) + "\n";
+      job.output_path = "/home/user/out" + std::to_string(i);
+      job.error_path = "/home/user/err" + std::to_string(i);
+      auto token = client.submit(job);
+      if (!token.ok()) {
+        out.detail = "submit failed: " + token.error().to_string();
+        return out;
+      }
+      data_paths.push_back(dpath);
+      submitted.push_back({token.value(), job.output_path});
+      net::pump(pair1);
+    }
+  }
+  net::pump(pair1);
+
+  out.write_points = faults.writes_seen();
+  out.crashed_at = faults.dead() ? crash_at_write : 0;
+
+  // What did the server PROMISE before the lights went out?
+  const auto acked = client.acked_versions("super");
+  std::vector<u64> acked_job_ids;
+  for (const auto& job : submitted) {
+    const auto it = client.jobs().find(job.token);
+    if (it != client.jobs().end() && it->second.job_id != 0) {
+      acked_job_ids.push_back(it->second.job_id);
+    }
+  }
+
+  // ---- The power cut -------------------------------------------------
+  disk.crash(options.keep_unsynced_fraction, options.flip_bit_in_kept_tail,
+             options.seed + crash_at_write);
+  server1.reset();  // the old process is gone
+  if (options.wipe_disk_before_restart) {
+    for (const auto& name : disk.list()) (void)disk.remove(name);
+  }
+
+  // Journal damage report, read the way the recovering store will.
+  if (disk.exists(persist::DurableStore::kJournalName)) {
+    auto raw = disk.read(persist::DurableStore::kJournalName);
+    if (raw.ok()) {
+      const auto scan = persist::scan_journal(raw.value());
+      out.discarded_tail_bytes = scan.total_bytes - scan.valid_bytes;
+    }
+  }
+  out.snapshot_present = disk.exists(persist::DurableStore::kSnapshotName);
+
+  // ---- Phase 2: recover a fresh server from whatever survived --------
+  persist::DurableStore store2(&disk, options.compact_every);
+  server::ShadowServer server2(sc, nullptr, &store2);
+  Status recovered = server2.recover_from_storage();
+  out.clean_recovery = recovered.ok();
+  if (!recovered.ok()) {
+    out.detail = "recovery failed: " + recovered.to_string();
+    return out;
+  }
+  out.recovered_records = server2.stats().recovered_records;
+  out.requeued_jobs = server2.stats().requeued_jobs;
+  out.retry_capped_jobs = server2.stats().retry_capped_jobs;
+
+  // Invariant A: acked state survives byte-identically. A lying fsync (or
+  // a deliberately wiped disk) voids the promise, so those trials only
+  // assert convergence.
+  const bool durability_holds =
+      options.lying_fsync_after == 0 && !options.wipe_disk_before_restart;
+  auto fail = [&](const std::string& why) {
+    out.acked_survived = false;
+    if (out.detail.empty()) out.detail = why;
+  };
+  if (durability_holds) {
+    std::vector<std::string> tracked = data_paths;
+    tracked.push_back(edit_path);
+    for (const auto& path : tracked) {
+      auto id = client.resolve_name(path);
+      if (!id.ok()) continue;
+      const auto it = acked.find(id.value().key());
+      if (it == acked.end()) continue;  // never acked: no promise to keep
+      ++out.acked_versions_checked;
+      const std::string key = server2.domains().cache_key(id.value());
+      auto entry = server2.file_cache().get(key);
+      if (!entry.ok()) {
+        fail("acked file lost: " + path + " v" + std::to_string(it->second));
+        continue;
+      }
+      if (entry.value()->version < it->second) {
+        fail("acked version regressed: " + path + " has v" +
+             std::to_string(entry.value()->version) + " < acked v" +
+             std::to_string(it->second));
+        continue;
+      }
+      auto ours = client.versions()
+                      .chain(id.value().key())
+                      .get(entry.value()->version);
+      if (ours.ok() && ours.value().content != entry.value()->content) {
+        fail("recovered content differs from client version for " + path);
+      }
+    }
+    for (const u64 job_id : acked_job_ids) {
+      ++out.acked_jobs_checked;
+      if (!server2.jobs().find(job_id).ok()) {
+        fail("acked job lost: id " + std::to_string(job_id));
+      }
+    }
+  }
+
+  // ---- Phase 3: reconnect, resync, converge --------------------------
+  const u64 full_before = client.stats().full_sent;
+  const u64 delta_before = client.stats().delta_sent;
+
+  auto pair2 = net::make_loopback_pair("ws", "super");
+  server2.attach(pair2.b.get());
+  client.connect("super", pair2.a.get());
+  net::pump(pair2);
+  // Re-announce every file and resend unacknowledged submits — the
+  // client-side half of crash recovery.
+  client.resync("super");
+  net::pump(pair2);
+
+  content = modify_percent(content, options.edit_percent, edit_rng.next());
+  st = editor.create(edit_path, content);
+  if (!st.ok()) {
+    out.detail = "post-restart edit failed: " + st.to_string();
+    return out;
+  }
+  out.final_content = content;
+  net::pump(pair2);
+
+  bool all_done = true;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    net::pump(pair2);
+    all_done = true;
+    for (const auto& job : submitted) {
+      if (!client.job_done(job.token)) all_done = false;
+    }
+    if (all_done) break;
+  }
+
+  out.post_restart_full = client.stats().full_sent - full_before;
+  out.post_restart_delta = client.stats().delta_sent - delta_before;
+
+  auto id = client.resolve_name(edit_path);
+  if (id.ok()) {
+    auto entry =
+        server2.file_cache().get(server2.domains().cache_key(id.value()));
+    if (entry.ok()) out.server_cached = entry.value()->content;
+  }
+  for (const auto& job : submitted) {
+    auto produced = cluster.read_file("ws", job.output_path);
+    out.job_outputs.push_back(produced.ok() ? produced.value() : "");
+  }
+
+  if (!all_done) {
+    if (out.detail.empty()) out.detail = "job outputs never arrived";
+  } else if (out.server_cached != out.final_content) {
+    if (out.detail.empty()) out.detail = "server cache did not converge";
+  } else {
+    out.converged = true;
+  }
+  return out;
+}
+
+}  // namespace shadow::core

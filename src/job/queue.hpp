@@ -43,7 +43,18 @@ struct JobRecord {
   std::string output_content;
   std::string error_content;
   u64 cpu_cost = 0;
+
+  /// How many times this job was re-queued after a crash interrupted it
+  /// mid-run. Persisted, so a job that keeps dying eventually fails for
+  /// good instead of looping forever.
+  u64 retries = 0;
 };
+
+/// Wire/journal codec for a full job record (everything except
+/// submitted_via, which is connection-scoped and meaningless after a
+/// restart).
+void encode_job_record(const JobRecord& job, BufWriter& out);
+Result<JobRecord> decode_job_record(BufReader& in);
 
 class JobQueue {
  public:
@@ -73,6 +84,19 @@ class JobQueue {
   /// scheduler).
   const std::map<u64, JobRecord>& all() const { return jobs_; }
   std::map<u64, JobRecord>& all_mutable() { return jobs_; }
+
+  /// Put an interrupted job back on the queue (crash recovery): a job
+  /// found kRunning after a restart never actually finished, so it runs
+  /// again. Bumps the retry counter.
+  Status requeue(u64 job_id, const std::string& detail);
+
+  /// Snapshot codec: every record plus the id counter.
+  void encode(BufWriter& out) const;
+  static Result<JobQueue> restore(BufReader& in);
+
+  /// Journal replay: re-insert a job if (and only if) it is not already
+  /// present — records older than the snapshot replay as no-ops.
+  void restore_record(JobRecord job);
 
  private:
   static bool valid_transition(proto::JobState from, proto::JobState to);

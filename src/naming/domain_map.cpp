@@ -11,6 +11,12 @@ ShadowId DomainDirectory::intern(const GlobalFileId& id) {
   return sid;
 }
 
+void DomainDirectory::bind(const GlobalFileId& id, ShadowId sid) {
+  forward_[id.key()] = sid;
+  display_[sid] = id.display();
+  if (sid >= next_) next_ = sid + 1;
+}
+
 std::optional<ShadowId> DomainDirectory::lookup(
     const GlobalFileId& id) const {
   auto it = forward_.find(id.key());
@@ -91,6 +97,10 @@ const DomainDirectory* DomainMap::find(const std::string& domain_id) const {
 
 std::string DomainMap::cache_key(const GlobalFileId& id) {
   return id.domain + "/" + std::to_string(domain(id.domain).intern(id));
+}
+
+void DomainMap::bind(const GlobalFileId& id, ShadowId sid) {
+  domain(id.domain).bind(id, sid);
 }
 
 }  // namespace shadow::naming

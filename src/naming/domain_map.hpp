@@ -25,6 +25,11 @@ class DomainDirectory {
   /// Existing mapping, if any.
   std::optional<ShadowId> lookup(const GlobalFileId& id) const;
 
+  /// Restore a known (file id, shadow id) pair, e.g. when replaying a
+  /// journal record that captured the assignment. Keeps next_ ahead of
+  /// every bound id so later intern() calls never collide.
+  void bind(const GlobalFileId& id, ShadowId sid);
+
   std::size_t size() const { return forward_.size(); }
 
   /// Serialize as the "mapping file" the paper describes (one line per
@@ -49,6 +54,9 @@ class DomainMap {
 
   /// Globally usable cache key: "<domain>/<shadow-id>".
   std::string cache_key(const GlobalFileId& id);
+
+  /// Restore a mapping in the file's domain (journal replay).
+  void bind(const GlobalFileId& id, ShadowId sid);
 
   std::size_t domain_count() const { return domains_.size(); }
 

@@ -1,0 +1,79 @@
+#include "persist/durable_store.hpp"
+
+#include "util/logging.hpp"
+
+namespace shadow::persist {
+
+DurableStore::DurableStore(StorageDir* dir, u64 compact_every)
+    : dir_(dir), compact_every_(compact_every == 0 ? 1 : compact_every) {}
+
+Status DurableStore::append(RecordType type, const Bytes& body) {
+  if (journal_ == nullptr) {
+    SHADOW_ASSIGN_OR_RETURN(file, dir_->open_append(kJournalName));
+    journal_ = std::move(file);
+  }
+  BufWriter w;
+  // A fresh (or just-truncated-to-nothing) journal gets its header in the
+  // same append as the first record: one write point, no headerless file.
+  if (journal_->size() == 0) w.put_raw(journal_header());
+  w.put_raw(frame_record(type, body));
+  const Bytes framed = w.take();
+  SHADOW_TRY(journal_->append(framed));
+  SHADOW_TRY(journal_->sync());
+  ++stats_.appends;
+  stats_.append_bytes += framed.size();
+  ++appends_since_compact_;
+  return Status();
+}
+
+Result<RecoveredState> DurableStore::recover() {
+  RecoveredState out;
+  ++stats_.recoveries;
+
+  if (dir_->exists(kSnapshotName)) {
+    out.snapshot_present = true;
+    SHADOW_ASSIGN_OR_RETURN(raw, dir_->read(kSnapshotName));
+    auto unwrapped = unwrap_snapshot(raw);
+    if (unwrapped.ok()) {
+      out.snapshot = std::move(unwrapped).take();
+    } else {
+      // Atomic replacement means this "cannot happen" — but disks flip
+      // bits, so a damaged snapshot degrades to journal-only recovery
+      // instead of refusing to start.
+      out.snapshot_corrupt = true;
+      out.detail = "snapshot discarded: " + unwrapped.error().to_string();
+      SHADOW_WARN() << "persist: " << out.detail;
+    }
+  }
+
+  if (dir_->exists(kJournalName)) {
+    SHADOW_ASSIGN_OR_RETURN(raw, dir_->read(kJournalName));
+    JournalScan scan = scan_journal(raw);
+    out.records = std::move(scan.records);
+    out.journal_torn = scan.torn;
+    out.discarded_bytes = scan.total_bytes - scan.valid_bytes;
+    if (scan.torn) {
+      if (!out.detail.empty()) out.detail += "; ";
+      out.detail += "journal tail discarded (" +
+                    std::to_string(out.discarded_bytes) +
+                    " bytes): " + scan.tail_detail;
+      SHADOW_WARN() << "persist: " << out.detail;
+    }
+  }
+  return out;
+}
+
+Status DurableStore::compact(const Bytes& state) {
+  // Order is the whole game: make the snapshot durable FIRST. A crash
+  // after the snapshot but before the truncate leaves old journal records
+  // alongside the new snapshot; replaying them is idempotent. The reverse
+  // order would have a crash window that loses every journaled mutation.
+  SHADOW_TRY(dir_->write_atomic(kSnapshotName, wrap_snapshot(state)));
+  journal_.reset();  // the handle is stale once the file is replaced
+  SHADOW_TRY(dir_->write_atomic(kJournalName, journal_header()));
+  appends_since_compact_ = 0;
+  ++stats_.compactions;
+  return Status();
+}
+
+}  // namespace shadow::persist

@@ -1,0 +1,78 @@
+// The server's durability engine: an append-only CRC-framed journal plus
+// an atomically replaced snapshot, over any StorageDir. The contract the
+// crash matrix enforces:
+//
+//   * append() returns OK only after the record is framed, written and
+//     fsynced — the caller may then acknowledge the mutation to a client;
+//   * compact() writes the snapshot atomically BEFORE truncating the
+//     journal, so a crash between the two leaves snapshot + stale journal,
+//     which replays idempotently;
+//   * recover() reads whatever the crash left: a missing or corrupt
+//     snapshot degrades to empty state, and a torn or bit-flipped journal
+//     tail is truncated, never trusted — damage is recovered from, not
+//     reported as an error.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "persist/storage.hpp"
+#include "persist/wal.hpp"
+
+namespace shadow::persist {
+
+struct RecoveredState {
+  /// Unwrapped snapshot payload; empty when no usable snapshot exists.
+  Bytes snapshot;
+  /// Intact journal records appended after that snapshot, in order.
+  std::vector<JournalRecord> records;
+  bool snapshot_present = false;  // a snapshot file existed
+  bool snapshot_corrupt = false;  // ...but failed its CRC (state dropped)
+  bool journal_torn = false;      // trailing journal damage was discarded
+  u64 discarded_bytes = 0;        // journal bytes beyond the valid prefix
+  std::string detail;             // human-readable damage description
+};
+
+struct DurableStoreStats {
+  u64 appends = 0;
+  u64 append_bytes = 0;
+  u64 compactions = 0;
+  u64 recoveries = 0;
+};
+
+class DurableStore {
+ public:
+  /// `dir` must outlive the store. `compact_every` is the number of
+  /// journal appends after which compaction_due() turns true.
+  explicit DurableStore(StorageDir* dir, u64 compact_every = 64);
+
+  /// Frame, append and fsync one record. On any failure the record must
+  /// be considered NOT durable (do not acknowledge).
+  Status append(RecordType type, const Bytes& body);
+
+  /// Read snapshot + journal as left by the last run (or crash). Errors
+  /// are reserved for the storage itself failing to read; damaged
+  /// contents come back as a degraded-but-clean RecoveredState.
+  Result<RecoveredState> recover();
+
+  /// Snapshot-then-truncate. `state` is the application snapshot blob.
+  Status compact(const Bytes& state);
+
+  bool compaction_due() const {
+    return appends_since_compact_ >= compact_every_;
+  }
+  u64 compact_every() const { return compact_every_; }
+  const DurableStoreStats& stats() const { return stats_; }
+
+  static constexpr const char* kJournalName = "journal.wal";
+  static constexpr const char* kSnapshotName = "snapshot.bin";
+
+ private:
+  StorageDir* dir_;
+  u64 compact_every_;
+  u64 appends_since_compact_ = 0;
+  std::unique_ptr<StorageFile> journal_;
+  DurableStoreStats stats_;
+};
+
+}  // namespace shadow::persist

@@ -1,0 +1,302 @@
+#include "persist/storage.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define SHADOW_HAVE_FSYNC 1
+#endif
+
+namespace shadow::persist {
+
+bool valid_storage_name(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  return name.find('/') == std::string::npos &&
+         name.find('\\') == std::string::npos;
+}
+
+namespace {
+
+Error bad_name(const std::string& name) {
+  return Error{ErrorCode::kInvalidArgument, "bad storage name: " + name};
+}
+
+}  // namespace
+
+// ---- MemDir ----
+
+namespace {
+
+/// Append handle over a MemDir entry. Stateless by design: every call goes
+/// through the directory, so the handle stays valid across write_atomic
+/// replacements of the same name (mirroring a real fd... closely enough
+/// for the journal, which reopens after compaction anyway).
+class MemStorageFile final : public StorageFile {
+ public:
+  MemStorageFile(MemDir* dir, std::string name)
+      : dir_(dir), name_(std::move(name)) {}
+
+  Status append(const Bytes& data) override {
+    return dir_->append_to(name_, data);
+  }
+  Status sync() override { return dir_->sync_file(name_); }
+  u64 size() const override { return dir_->size_of(name_); }
+
+ private:
+  MemDir* dir_;
+  std::string name_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<StorageFile>> MemDir::open_append(
+    const std::string& name) {
+  if (!valid_storage_name(name)) return bad_name(name);
+  files_[name];  // create if absent
+  return std::unique_ptr<StorageFile>(new MemStorageFile(this, name));
+}
+
+Result<Bytes> MemDir::read(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{ErrorCode::kNotFound, "no such file: " + name};
+  }
+  Bytes out = it->second.synced;
+  out.insert(out.end(), it->second.pending.begin(), it->second.pending.end());
+  return out;
+}
+
+bool MemDir::exists(const std::string& name) const {
+  return files_.count(name) != 0;
+}
+
+Status MemDir::write_atomic(const std::string& name, const Bytes& data) {
+  if (!valid_storage_name(name)) return bad_name(name);
+  MemFile& f = files_[name];
+  f.synced = data;
+  f.pending.clear();
+  return Status();
+}
+
+Status MemDir::remove(const std::string& name) {
+  if (files_.erase(name) == 0) {
+    return Error{ErrorCode::kNotFound, "no such file: " + name};
+  }
+  return Status();
+}
+
+std::vector<std::string> MemDir::list() const {
+  std::vector<std::string> out;
+  for (const auto& [name, f] : files_) out.push_back(name);
+  return out;
+}
+
+Status MemDir::append_to(const std::string& name, const Bytes& data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{ErrorCode::kNotFound, "no such file: " + name};
+  }
+  it->second.pending.insert(it->second.pending.end(), data.begin(),
+                            data.end());
+  return Status();
+}
+
+Status MemDir::sync_file(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Error{ErrorCode::kNotFound, "no such file: " + name};
+  }
+  MemFile& f = it->second;
+  f.synced.insert(f.synced.end(), f.pending.begin(), f.pending.end());
+  f.pending.clear();
+  return Status();
+}
+
+u64 MemDir::size_of(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return 0;
+  return it->second.synced.size() + it->second.pending.size();
+}
+
+u64 MemDir::pending_bytes() const {
+  u64 total = 0;
+  for (const auto& [name, f] : files_) total += f.pending.size();
+  return total;
+}
+
+void MemDir::crash(double keep_unsynced_fraction, bool flip_bit_in_kept_tail,
+                   u64 seed) {
+  if (keep_unsynced_fraction < 0) keep_unsynced_fraction = 0;
+  if (keep_unsynced_fraction > 1) keep_unsynced_fraction = 1;
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  for (auto& [name, f] : files_) {
+    const std::size_t keep = static_cast<std::size_t>(
+        keep_unsynced_fraction * static_cast<double>(f.pending.size()));
+    const std::size_t tail_start = f.synced.size();
+    f.synced.insert(f.synced.end(), f.pending.begin(),
+                    f.pending.begin() + static_cast<long>(keep));
+    f.pending.clear();
+    if (flip_bit_in_kept_tail && keep > 0) {
+      const std::size_t at = tail_start + rng.below(keep);
+      f.synced[at] ^= static_cast<u8>(1u << rng.below(8));
+    }
+  }
+}
+
+// ---- FsDir ----
+
+namespace {
+
+void fsync_path_best_effort(const std::string& path) {
+#ifdef SHADOW_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+class FsStorageFile final : public StorageFile {
+ public:
+  FsStorageFile(std::FILE* fp, u64 size) : fp_(fp), size_(size) {}
+  ~FsStorageFile() override {
+    if (fp_ != nullptr) (void)std::fclose(fp_);
+  }
+
+  Status append(const Bytes& data) override {
+    if (data.empty()) return Status();
+    if (std::fwrite(data.data(), 1, data.size(), fp_) != data.size()) {
+      return Error{ErrorCode::kIoError,
+                   std::string("append failed: ") + std::strerror(errno)};
+    }
+    size_ += data.size();
+    return Status();
+  }
+
+  Status sync() override {
+    if (std::fflush(fp_) != 0) {
+      return Error{ErrorCode::kIoError,
+                   std::string("flush failed: ") + std::strerror(errno)};
+    }
+#ifdef SHADOW_HAVE_FSYNC
+    if (::fsync(::fileno(fp_)) != 0) {
+      return Error{ErrorCode::kIoError,
+                   std::string("fsync failed: ") + std::strerror(errno)};
+    }
+#endif
+    return Status();
+  }
+
+  u64 size() const override { return size_; }
+
+ private:
+  std::FILE* fp_;
+  u64 size_;
+};
+
+}  // namespace
+
+FsDir::FsDir(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+}
+
+std::string FsDir::path_of(const std::string& name) const {
+  return root_ + "/" + name;
+}
+
+Result<std::unique_ptr<StorageFile>> FsDir::open_append(
+    const std::string& name) {
+  if (!valid_storage_name(name)) return bad_name(name);
+  const std::string path = path_of(name);
+  std::error_code ec;
+  const u64 size = std::filesystem::exists(path, ec)
+                       ? std::filesystem::file_size(path, ec)
+                       : 0;
+  std::FILE* fp = std::fopen(path.c_str(), "ab");
+  if (fp == nullptr) {
+    return Error{ErrorCode::kIoError,
+                 "open append " + path + ": " + std::strerror(errno)};
+  }
+  return std::unique_ptr<StorageFile>(new FsStorageFile(fp, size));
+}
+
+Result<Bytes> FsDir::read(const std::string& name) {
+  if (!valid_storage_name(name)) return bad_name(name);
+  const std::string path = path_of(name);
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    return Error{ErrorCode::kNotFound, "no such file: " + path};
+  }
+  Bytes out;
+  u8 buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  const bool failed = std::ferror(fp) != 0;
+  (void)std::fclose(fp);
+  if (failed) {
+    return Error{ErrorCode::kIoError, "read failed: " + path};
+  }
+  return out;
+}
+
+bool FsDir::exists(const std::string& name) const {
+  std::error_code ec;
+  return std::filesystem::exists(path_of(name), ec);
+}
+
+Status FsDir::write_atomic(const std::string& name, const Bytes& data) {
+  if (!valid_storage_name(name)) return bad_name(name);
+  const std::string tmp = path_of(name) + ".tmp";
+  {
+    std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+    if (fp == nullptr) {
+      return Error{ErrorCode::kIoError,
+                   "open " + tmp + ": " + std::strerror(errno)};
+    }
+    FsStorageFile file(fp, 0);  // owns and closes fp
+    SHADOW_TRY(file.append(data));
+    SHADOW_TRY(file.sync());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_of(name), ec);
+  if (ec) {
+    return Error{ErrorCode::kIoError,
+                 "rename " + tmp + ": " + ec.message()};
+  }
+  // Make the rename itself durable before reporting success.
+  fsync_path_best_effort(root_);
+  return Status();
+}
+
+Status FsDir::remove(const std::string& name) {
+  if (!valid_storage_name(name)) return bad_name(name);
+  std::error_code ec;
+  if (!std::filesystem::remove(path_of(name), ec) || ec) {
+    return Error{ErrorCode::kNotFound, "no such file: " + path_of(name)};
+  }
+  fsync_path_best_effort(root_);
+  return Status();
+}
+
+std::vector<std::string> FsDir::list() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) out.push_back(entry.path().filename());
+  }
+  return out;
+}
+
+}  // namespace shadow::persist

@@ -1,0 +1,128 @@
+#include "persist/wal.hpp"
+
+#include "util/crc32.hpp"
+
+namespace shadow::persist {
+
+const char* record_type_name(RecordType type) {
+  switch (type) {
+    case RecordType::kShadowCached: return "shadow-cached";
+    case RecordType::kShadowEvicted: return "shadow-evicted";
+    case RecordType::kJobSubmitted: return "job-submitted";
+    case RecordType::kJobStarted: return "job-started";
+    case RecordType::kJobFinished: return "job-finished";
+    case RecordType::kJobDelivered: return "job-delivered";
+    case RecordType::kOutputStored: return "output-stored";
+  }
+  return "?";
+}
+
+Bytes journal_header() {
+  BufWriter w;
+  w.put_u32(kJournalMagic);
+  w.put_u8(kJournalVersion);
+  w.put_u8(0);
+  w.put_u8(0);
+  w.put_u8(0);
+  return w.take();
+}
+
+Bytes frame_record(RecordType type, const Bytes& body) {
+  BufWriter payload;
+  payload.put_u8(static_cast<u8>(type));
+  payload.put_raw(body);
+  const Bytes& p = payload.data();
+  BufWriter w;
+  w.put_u32(static_cast<u32>(p.size()));
+  w.put_u32(crc32(p));
+  w.put_raw(p);
+  return w.take();
+}
+
+JournalScan scan_journal(const Bytes& raw) {
+  JournalScan scan;
+  scan.total_bytes = raw.size();
+  if (raw.empty()) return scan;  // a journal never written: empty, not torn
+
+  BufReader r(raw);
+  {
+    auto magic = r.get_u32();
+    auto version = r.get_u8();
+    if (!magic.ok() || !version.ok() || magic.value() != kJournalMagic ||
+        version.value() != kJournalVersion || r.get_raw(3).code() != ErrorCode::kOk) {
+      scan.torn = true;
+      scan.tail_detail = "bad or truncated journal header";
+      return scan;
+    }
+  }
+  scan.header_ok = true;
+  scan.valid_bytes = kJournalHeaderSize;
+
+  while (!r.at_end()) {
+    const u64 offset = r.position();
+    if (r.remaining() < kRecordFrameSize) {
+      scan.torn = true;
+      scan.tail_detail = "torn frame header at offset " +
+                         std::to_string(offset);
+      return scan;
+    }
+    const u32 len = r.get_u32().value();
+    const u32 crc = r.get_u32().value();
+    if (len == 0 || len > kMaxRecordSize || len > r.remaining()) {
+      scan.torn = true;
+      scan.tail_detail = "torn record of claimed length " +
+                         std::to_string(len) + " at offset " +
+                         std::to_string(offset);
+      return scan;
+    }
+    Bytes payload = std::move(r.get_raw(len)).take();
+    if (crc32(payload) != crc) {
+      scan.torn = true;
+      scan.tail_detail = "crc mismatch at offset " + std::to_string(offset);
+      return scan;
+    }
+    JournalRecord record;
+    record.type = static_cast<RecordType>(payload[0]);
+    record.body.assign(payload.begin() + 1, payload.end());
+    record.offset = offset;
+    scan.records.push_back(std::move(record));
+    scan.valid_bytes = r.position();
+  }
+  return scan;
+}
+
+namespace {
+constexpr u32 kSnapshotFileMagic = 0x4E534853;  // "SHSN"
+constexpr u8 kSnapshotFileVersion = 1;
+}  // namespace
+
+Bytes wrap_snapshot(const Bytes& state) {
+  BufWriter w;
+  w.put_u32(kSnapshotFileMagic);
+  w.put_u8(kSnapshotFileVersion);
+  w.put_u32(crc32(state));
+  w.put_varint(state.size());
+  w.put_raw(state);
+  return w.take();
+}
+
+Result<Bytes> unwrap_snapshot(const Bytes& raw) {
+  BufReader r(raw);
+  SHADOW_ASSIGN_OR_RETURN(magic, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_u8());
+  if (magic != kSnapshotFileMagic || version != kSnapshotFileVersion) {
+    return Error{ErrorCode::kInvalidArgument, "not a snapshot file"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(len, r.get_varint());
+  if (len != r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "snapshot length mismatch"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(state, r.get_raw(len));
+  if (crc32(state) != crc) {
+    return Error{ErrorCode::kProtocolError, "snapshot crc mismatch"};
+  }
+  return state;
+}
+
+}  // namespace shadow::persist

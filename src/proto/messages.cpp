@@ -133,6 +133,7 @@ void encode_body(const StatusQuery& m, BufWriter& w) {
 
 void encode_body(const JobStatusInfo& m, BufWriter& w) {
   w.put_varint(m.job_id);
+  w.put_varint(m.client_job_token);
   w.put_u8(static_cast<u8>(m.state));
   w.put_string(m.detail);
 }
@@ -287,12 +288,14 @@ Result<StatusQuery> decode_status_query(BufReader& r) {
 Result<JobStatusInfo> decode_status_info(BufReader& r) {
   JobStatusInfo m;
   SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(client_job_token, r.get_varint());
   SHADOW_ASSIGN_OR_RETURN(state, r.get_u8());
   SHADOW_ASSIGN_OR_RETURN(detail, r.get_string());
   if (state > static_cast<u8>(JobState::kDelivered)) {
     return Error{ErrorCode::kProtocolError, "bad job state"};
   }
   m.job_id = job_id;
+  m.client_job_token = client_job_token;
   m.state = static_cast<JobState>(state);
   m.detail = std::move(detail);
   return m;

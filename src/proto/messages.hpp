@@ -144,6 +144,9 @@ struct StatusQuery {
 
 struct JobStatusInfo {
   u64 job_id = 0;
+  /// The submitter's own token, echoed back so a client can recognize its
+  /// jobs even across a server restart that renumbered job ids.
+  u64 client_job_token = 0;
   JobState state = JobState::kQueued;
   std::string detail;
 };

@@ -16,11 +16,73 @@ const char* pull_policy_name(PullPolicy policy) {
   return "?";
 }
 
-ShadowServer::ShadowServer(ServerConfig config, sim::Simulator* simulator)
+ShadowServer::ShadowServer(ServerConfig config, sim::Simulator* simulator,
+                           persist::DurableStore* store)
     : config_(std::move(config)),
       sim_(simulator),
+      store_(store),
       load_monitor_(config_.load, simulator),
       cache_(config_.cache_budget, config_.eviction) {}
+
+bool ShadowServer::persist_append(persist::RecordType type, Bytes body) {
+  if (store_ == nullptr) return true;
+  if (persist_dead_) return false;
+  Status st = store_->append(type, body);
+  if (!st.ok()) {
+    persist_dead_ = true;
+    ++stats_.journal_failures;
+    SHADOW_WARN() << config_.name << ": journal append failed ("
+                  << persist::record_type_name(type)
+                  << "): " << st.to_string();
+    return false;
+  }
+  ++stats_.journal_appends;
+  if (store_->compaction_due()) {
+    Status cs = store_->compact(save_state());
+    if (!cs.ok()) {
+      // The record itself is already durable (the append fsynced), so the
+      // caller may still acknowledge — but no further promises.
+      persist_dead_ = true;
+      ++stats_.journal_failures;
+      SHADOW_WARN() << config_.name
+                    << ": compaction failed: " << cs.to_string();
+    } else {
+      ++stats_.compactions;
+    }
+  }
+  return true;
+}
+
+Bytes ShadowServer::cached_record_body(const FileState& state, u64 version,
+                                       u32 crc,
+                                       const std::string& content) {
+  BufWriter w;
+  state.id.encode(w);
+  w.put_string(state.cache_key);
+  w.put_varint(version);
+  w.put_u32(crc);
+  w.put_string(content);
+  w.put_string(state.owner_client);
+  return w.take();
+}
+
+Bytes ShadowServer::finished_record_body(const job::JobRecord& record) {
+  BufWriter w;
+  w.put_varint(record.job_id);
+  w.put_u8(static_cast<u8>(record.state));
+  w.put_varint_signed(record.exit_code);
+  w.put_string(record.output_content);
+  w.put_string(record.error_content);
+  w.put_varint(record.cpu_cost);
+  w.put_string(record.detail);
+  return w.take();
+}
+
+void ShadowServer::persist_eviction(const std::string& cache_key) {
+  BufWriter w;
+  w.put_string(cache_key);
+  (void)persist_append(persist::RecordType::kShadowEvicted, w.take());
+}
 
 bool ShadowServer::load_says_wait() {
   if (!load_monitor_.overloaded()) return false;
@@ -181,6 +243,17 @@ void ShadowServer::handle(Connection* conn, const proto::Hello& m) {
   proto::HelloReply reply;
   reply.server_name = config_.name;
   send(conn, reply);
+  // Results that finished while the client was away (e.g. the server was
+  // restarted from its journal): deliver now that there is a connection.
+  // Harmless on a first-ever Hello — the queue has nothing for this name.
+  for (auto& [id, record] : queue_.all_mutable()) {
+    if (record.client_name != m.client_name) continue;
+    if (record.state == proto::JobState::kCompleted ||
+        record.state == proto::JobState::kFailed) {
+      deliver_output(record);
+    }
+  }
+  schedule_jobs();
 }
 
 void ShadowServer::handle(Connection* conn, const proto::NotifyNewVersion& m) {
@@ -202,6 +275,7 @@ void ShadowServer::handle(Connection* conn, const proto::NotifyNewVersion& m) {
        (m.crc != state.latest_crc || m.size != state.latest_size)) ||
       client_restarted) {
     cache_.erase(state.cache_key);
+    persist_eviction(state.cache_key);
     state.latest_known = 0;
     if (state.pull_outstanding != 0 && outstanding_pulls_ > 0) {
       --outstanding_pulls_;
@@ -389,6 +463,16 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
     pinned_[state.cache_key] = PinnedFile{m.new_version, content};
   }
 
+  // The write-ahead rule: the ack below is a durability promise, so the
+  // record must hit the journal (and survive its fsync) first. A refused
+  // append means no ack — the client keeps the version and re-offers it
+  // after reconnecting.
+  if (!persist_append(
+          persist::RecordType::kShadowCached,
+          cached_record_body(state, m.new_version, content_crc, content))) {
+    return;
+  }
+
   proto::UpdateAck ack;
   ack.file = m.file;
   ack.version = m.new_version;
@@ -459,6 +543,7 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
         state.owner_client != conn->client_name &&
         ref.crc != state.latest_crc) {
       cache_.erase(state.cache_key);
+      persist_eviction(state.cache_key);
       state.latest_known = 0;
       if (state.pull_outstanding != 0 && outstanding_pulls_ > 0) {
         --outstanding_pulls_;
@@ -472,6 +557,17 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
       state.owner_client = conn->client_name;
     }
     if (state.owner_client.empty()) state.owner_client = conn->client_name;
+  }
+
+  // Journal the accepted job before the SubmitReply: an acked job id is a
+  // promise that the job survives a server crash.
+  {
+    auto added = queue_.find(job_id);
+    BufWriter w;
+    job::encode_job_record(*added.value(), w);
+    if (!persist_append(persist::RecordType::kJobSubmitted, w.take())) {
+      return;  // not durable: no reply; the client resubmits after reconnect
+    }
   }
 
   proto::SubmitReply reply;
@@ -552,6 +648,13 @@ void ShadowServer::start_job(job::JobRecord& record) {
 
   (void)queue_.transition(record.job_id, proto::JobState::kRunning,
                           "running");
+  // Non-gating: losing this record just means the crash-recovered job
+  // replays as still-queued and runs again from scratch.
+  {
+    BufWriter w;
+    w.put_varint(record.job_id);
+    (void)persist_append(persist::RecordType::kJobStarted, w.take());
+  }
   ++running_jobs_;
   load_monitor_.set_demand(static_cast<double>(running_jobs_));
 
@@ -604,8 +707,14 @@ void ShadowServer::finish_job(u64 job_id, job::ExecutionResult result) {
                             "failed: " + result.error);
   }
 
+  // The result must be durable before it is delivered: the client's
+  // JobOutputAck would otherwise mark delivered a result a crashed server
+  // no longer has.
+  const bool durable = persist_append(persist::RecordType::kJobFinished,
+                                      finished_record_body(record));
+
   release_pins(record);
-  deliver_output(record);
+  if (durable) deliver_output(record);
 
   // A freed job slot may unblock the next queued job.
   schedule_jobs();
@@ -673,6 +782,13 @@ void ShadowServer::deliver_output(job::JobRecord& record) {
     entry.generation += 1;
     entry.content = record.output_content;
     out.output_generation = entry.generation;
+    // Non-gating: a lost reverse-shadow base costs one full output
+    // transfer on the next re-run, never correctness.
+    BufWriter w;
+    w.put_string(sig);
+    w.put_varint(entry.generation);
+    w.put_string(entry.content);
+    (void)persist_append(persist::RecordType::kOutputStored, w.take());
   }
 
   BufWriter w;
@@ -697,6 +813,7 @@ void ShadowServer::handle(Connection* conn, const proto::StatusQuery& m) {
     if (found.ok()) {
       proto::JobStatusInfo info;
       info.job_id = m.job_id;
+      info.client_job_token = found.value()->client_job_token;
       info.state = found.value()->state;
       info.detail = found.value()->detail;
       reply.jobs.push_back(std::move(info));
@@ -714,6 +831,11 @@ void ShadowServer::handle(Connection* conn, const proto::JobOutputAck& m) {
         record.state == proto::JobState::kFailed) {
       (void)queue_.transition(m.job_id, proto::JobState::kDelivered,
                               "output delivered");
+      // Non-gating: if this record is lost the job replays as kCompleted
+      // and the output is re-delivered — a duplicate, not a loss.
+      BufWriter w;
+      w.put_varint(m.job_id);
+      (void)persist_append(persist::RecordType::kJobDelivered, w.take());
     }
     return;
   }
@@ -748,7 +870,9 @@ void ShadowServer::handle(Connection* conn, const proto::JobOutputAck& m) {
 
 namespace {
 constexpr u32 kServerSnapshotMagic = 0x53485356;  // "SHSV"
-constexpr u8 kSnapshotVersion = 1;
+// v2 appended the job queue (crash-consistent durability needs jobs in
+// the compacted snapshot, not only in the journal).
+constexpr u8 kSnapshotVersion = 2;
 }  // namespace
 
 Bytes ShadowServer::save_state() const {
@@ -772,6 +896,7 @@ Bytes ShadowServer::save_state() const {
     w.put_varint(entry.generation);
     w.put_string(entry.content);
   }
+  queue_.encode(w);
   return w.take();
 }
 
@@ -820,6 +945,8 @@ Status ShadowServer::restore_state(const Bytes& snapshot) {
     SHADOW_ASSIGN_OR_RETURN(content, r.get_string());
     output_cache_[sig] = OutputCacheEntry{generation, std::move(content)};
   }
+  SHADOW_ASSIGN_OR_RETURN(queue, job::JobQueue::restore(r));
+  queue_ = std::move(queue);
   if (!r.at_end()) {
     return Error{ErrorCode::kProtocolError, "trailing bytes in snapshot"};
   }
@@ -827,10 +954,254 @@ Status ShadowServer::restore_state(const Bytes& snapshot) {
   return Status();
 }
 
+void ShadowServer::reset_volatile_state() {
+  cache_.clear();
+  domains_ = naming::DomainMap();
+  queue_ = job::JobQueue();
+  files_.clear();
+  output_cache_.clear();
+  pinned_.clear();
+  outstanding_pulls_ = 0;
+}
+
+namespace {
+/// Shadow id encoded in a cache key ("<domain>/<shadow-id>"), or nullopt
+/// for a malformed key (possible only with a corrupted-but-CRC-colliding
+/// journal; the caller skips the record).
+std::optional<std::pair<std::string, naming::ShadowId>> split_cache_key(
+    const std::string& key) {
+  const auto slash = key.rfind('/');
+  if (slash == std::string::npos || slash + 1 >= key.size()) {
+    return std::nullopt;
+  }
+  naming::ShadowId sid = 0;
+  for (std::size_t i = slash + 1; i < key.size(); ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    if (sid > (~u64{0} - (c - '0')) / 10) return std::nullopt;  // overflow
+    sid = sid * 10 + static_cast<u64>(c - '0');
+  }
+  return std::make_pair(key.substr(0, slash), sid);
+}
+}  // namespace
+
+Status ShadowServer::replay_record(const persist::JournalRecord& record) {
+  BufReader r(record.body);
+  switch (record.type) {
+    case persist::RecordType::kShadowCached: {
+      SHADOW_ASSIGN_OR_RETURN(id, naming::GlobalFileId::decode(r));
+      SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+      SHADOW_ASSIGN_OR_RETURN(content, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(owner, r.get_string());
+      const auto split = split_cache_key(key);
+      if (!split) {
+        return Error{ErrorCode::kProtocolError, "malformed cache key " + key};
+      }
+      domains_.bind(id, split->second);
+      FileState& state = files_[key];
+      state.id = std::move(id);
+      state.cache_key = key;
+      if (version >= state.latest_known) {
+        state.latest_known = version;
+        state.latest_size = content.size();
+        state.latest_crc = crc;
+        state.owner_client = std::move(owner);
+      }
+      state.pull_outstanding = 0;
+      state.pull_wanted = false;
+      // A refused put (over budget) is the cache's normal best-effort
+      // behaviour, not a replay failure.
+      (void)cache_.put(key, version, std::move(content), crc);
+      return Status();
+    }
+    case persist::RecordType::kShadowEvicted: {
+      SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+      cache_.erase(key);
+      auto it = files_.find(key);
+      if (it != files_.end()) it->second.latest_known = 0;
+      return Status();
+    }
+    case persist::RecordType::kJobSubmitted: {
+      SHADOW_ASSIGN_OR_RETURN(job, job::decode_job_record(r));
+      // Seed per-file knowledge so the rerun can pull what it needs once
+      // the owner reconnects; intern is safe — every key the journal ever
+      // assigned was bound in the pre-pass.
+      for (const auto& ref : job.files) {
+        FileState& state = file_state(ref.file);
+        if (ref.version > state.latest_known) {
+          state.latest_known = ref.version;
+          state.latest_crc = ref.crc;
+          state.owner_client = job.client_name;
+        }
+        if (state.owner_client.empty()) state.owner_client = job.client_name;
+      }
+      queue_.restore_record(std::move(job));
+      return Status();
+    }
+    case persist::RecordType::kJobStarted: {
+      SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+      auto found = queue_.find(job_id);
+      if (!found.ok()) return Status();  // older than the snapshot horizon
+      job::JobRecord& job = *found.value();
+      if (job.state == proto::JobState::kQueued ||
+          job.state == proto::JobState::kWaitingFiles) {
+        job.state = proto::JobState::kRunning;
+        job.detail = "running (journal)";
+      }
+      return Status();
+    }
+    case persist::RecordType::kJobFinished: {
+      SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(state_raw, r.get_u8());
+      SHADOW_ASSIGN_OR_RETURN(exit_code, r.get_varint_signed());
+      SHADOW_ASSIGN_OR_RETURN(output_content, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(error_content, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(cpu_cost, r.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(detail, r.get_string());
+      if (state_raw != static_cast<u8>(proto::JobState::kCompleted) &&
+          state_raw != static_cast<u8>(proto::JobState::kFailed)) {
+        return Error{ErrorCode::kProtocolError, "bad finished state"};
+      }
+      auto found = queue_.find(job_id);
+      if (!found.ok()) return Status();
+      job::JobRecord& job = *found.value();
+      if (job.state == proto::JobState::kDelivered) return Status();
+      job.state = static_cast<proto::JobState>(state_raw);
+      job.exit_code = static_cast<int>(exit_code);
+      job.output_content = std::move(output_content);
+      job.error_content = std::move(error_content);
+      job.cpu_cost = cpu_cost;
+      job.detail = std::move(detail);
+      return Status();
+    }
+    case persist::RecordType::kJobDelivered: {
+      SHADOW_ASSIGN_OR_RETURN(job_id, r.get_varint());
+      auto found = queue_.find(job_id);
+      if (!found.ok()) return Status();
+      job::JobRecord& job = *found.value();
+      if (job.state == proto::JobState::kCompleted ||
+          job.state == proto::JobState::kFailed) {
+        job.state = proto::JobState::kDelivered;
+        job.detail = "output delivered";
+      }
+      return Status();
+    }
+    case persist::RecordType::kOutputStored: {
+      SHADOW_ASSIGN_OR_RETURN(sig, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(generation, r.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(content, r.get_string());
+      auto& entry = output_cache_[sig];
+      if (generation >= entry.generation) {
+        entry.generation = generation;
+        entry.content = std::move(content);
+      }
+      return Status();
+    }
+  }
+  return Error{ErrorCode::kProtocolError,
+               "unknown record type " +
+                   std::to_string(static_cast<unsigned>(record.type))};
+}
+
+void ShadowServer::requeue_orphans() {
+  for (auto& [id, record] : queue_.all_mutable()) {
+    if (record.state != proto::JobState::kRunning) continue;
+    if (record.retries >= config_.max_job_retries) {
+      // Enough is enough: a job that dies with the server on every
+      // attempt is failed for good, and the owner is told why (the
+      // failure is delivered like any other result).
+      ++stats_.retry_capped_jobs;
+      ++stats_.jobs_failed;
+      record.state = proto::JobState::kFailed;
+      record.exit_code = 2;
+      record.detail = "failed: interrupted by repeated server crashes";
+      record.error_content =
+          "job " + std::to_string(id) + " was interrupted by a server "
+          "crash " + std::to_string(record.retries + 1) + " time(s); "
+          "retry limit (" + std::to_string(config_.max_job_retries) +
+          ") reached, not re-queued\n";
+      record.output_content.clear();
+    } else {
+      (void)queue_.requeue(id, "re-queued after server restart");
+      ++stats_.requeued_jobs;
+    }
+  }
+}
+
+Status ShadowServer::recover_from_storage() {
+  if (store_ == nullptr) return Status();
+  SHADOW_ASSIGN_OR_RETURN(recovered, store_->recover());
+
+  bool dirty = recovered.journal_torn || recovered.snapshot_corrupt;
+  if (!recovered.snapshot.empty()) {
+    Status st = restore_state(recovered.snapshot);
+    if (!st.ok()) {
+      // Same posture as a CRC failure inside the store: a snapshot this
+      // process cannot parse degrades to journal-only recovery.
+      SHADOW_WARN() << config_.name << ": snapshot unusable ("
+                    << st.to_string() << "); replaying journal only";
+      reset_volatile_state();
+      dirty = true;
+    } else {
+      dirty = true;
+    }
+  }
+
+  // Pre-pass: bind every (file id, shadow id) pair the journal assigned
+  // BEFORE any record is replayed. Replaying a job first could otherwise
+  // intern one of its files under a fresh id that a later kShadowCached
+  // record claims for a different file.
+  for (const auto& record : recovered.records) {
+    if (record.type != persist::RecordType::kShadowCached) continue;
+    BufReader r(record.body);
+    auto id = naming::GlobalFileId::decode(r);
+    auto key = r.get_string();
+    if (!id.ok() || !key.ok()) continue;  // full replay will reject it
+    const auto split = split_cache_key(key.value());
+    if (split) domains_.bind(id.value(), split->second);
+  }
+
+  for (const auto& record : recovered.records) {
+    Status st = replay_record(record);
+    if (!st.ok()) {
+      // A record that passed its CRC but does not decode is as trustworthy
+      // as a torn tail: stop here and keep the clean prefix.
+      SHADOW_WARN() << config_.name << ": journal replay stopped at offset "
+                    << record.offset << ": " << st.to_string();
+      dirty = true;
+      break;
+    }
+    ++stats_.recovered_records;
+    dirty = true;
+  }
+
+  requeue_orphans();
+
+  if (dirty) {
+    // Fold the replay into a fresh snapshot and truncate — this is also
+    // what durably discards a torn tail instead of re-reading it forever.
+    Status cs = store_->compact(save_state());
+    if (!cs.ok()) {
+      persist_dead_ = true;
+      ++stats_.journal_failures;
+      SHADOW_WARN() << config_.name << ": post-recovery compaction failed: "
+                    << cs.to_string();
+    } else {
+      ++stats_.compactions;
+    }
+  }
+
+  schedule_jobs();
+  return Status();
+}
+
 void ShadowServer::evict_file(const naming::GlobalFileId& id) {
   const std::string key = domains_.cache_key(id);
   cache_.erase(key);
   pinned_.erase(key);
+  persist_eviction(key);
 }
 
 }  // namespace shadow::server

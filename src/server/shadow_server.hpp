@@ -20,6 +20,7 @@
 #include "job/queue.hpp"
 #include "naming/domain_map.hpp"
 #include "net/transport.hpp"
+#include "persist/durable_store.hpp"
 #include "proto/messages.hpp"
 #include "proto/session.hpp"
 #include "server/load_monitor.hpp"
@@ -65,6 +66,9 @@ struct ServerConfig {
   /// (sequence numbers + CRC frames + ack/retransmit). Both ends must
   /// agree (ShadowEnvironment::reliable_session).
   bool reliable_session = false;
+  /// How many times a job interrupted mid-run by a crash is re-queued
+  /// before it is marked failed and the owner is notified instead.
+  u64 max_job_retries = 3;
 };
 
 struct ServerStats {
@@ -85,11 +89,21 @@ struct ServerStats {
   u64 unsolicited_updates = 0;  // request-driven clients pushing
   u64 deferred_by_load = 0;   // pulls/starts postponed by the load monitor
   u64 session_resyncs = 0;    // desyncs detected by the reliable session
+  u64 journal_appends = 0;    // durable mutation records written
+  u64 journal_failures = 0;   // appends/compactions the storage refused
+  u64 compactions = 0;        // snapshot + journal-truncate cycles
+  u64 recovered_records = 0;  // journal records replayed at startup
+  u64 requeued_jobs = 0;      // orphaned kRunning jobs put back in queue
+  u64 retry_capped_jobs = 0;  // orphans failed after too many retries
 };
 
 class ShadowServer {
  public:
-  explicit ShadowServer(ServerConfig config, sim::Simulator* simulator = nullptr);
+  /// `store` (optional) makes every mutation crash-consistent: the server
+  /// appends a journal record — and waits for the fsync — BEFORE it
+  /// acknowledges anything to a client. Must outlive the server.
+  explicit ShadowServer(ServerConfig config, sim::Simulator* simulator = nullptr,
+                        persist::DurableStore* store = nullptr);
 
   /// Attach a client connection. The server installs itself as the
   /// transport's receiver; the client identifies itself with Hello.
@@ -120,6 +134,17 @@ class ShadowServer {
   Bytes save_state() const;
   /// Restore a snapshot into a freshly constructed server (same config).
   Status restore_state(const Bytes& snapshot);
+
+  /// Crash recovery: load the store's snapshot, replay the journal's
+  /// valid prefix (damaged tails were already truncated by the store),
+  /// re-queue jobs that were running when the lights went out, and
+  /// compact so the next crash starts from here. Call once, before
+  /// attach(). A missing/empty store directory recovers to empty state.
+  Status recover_from_storage();
+
+  /// False once the durable store has refused a write — acknowledgements
+  /// stop flowing because durability can no longer be promised.
+  bool persist_alive() const { return store_ == nullptr || !persist_dead_; }
 
  private:
   struct Connection {
@@ -178,8 +203,32 @@ class ShadowServer {
   /// and re-deliver outputs the client never acknowledged.
   void resync_connection(Connection* conn);
 
+  /// Append one journal record (then compact if due). Returns true when
+  /// the mutation is durable — the caller may acknowledge it. With no
+  /// store attached this is trivially true.
+  bool persist_append(persist::RecordType type, Bytes body);
+  /// Journal bodies for the two record types built in several places.
+  static Bytes cached_record_body(const FileState& state, u64 version,
+                                  u32 crc, const std::string& content);
+  static Bytes finished_record_body(const job::JobRecord& record);
+  /// Non-gating eviction record (losing it costs a re-pull, not
+  /// correctness).
+  void persist_eviction(const std::string& cache_key);
+
+  /// Replay one journal record over the current state; all replays are
+  /// idempotent so records older than the snapshot are harmless.
+  Status replay_record(const persist::JournalRecord& record);
+  /// Drop every piece of recoverable state (used when a damaged snapshot
+  /// degrades recovery to journal-only).
+  void reset_volatile_state();
+  /// Jobs found kRunning after a restart never finished: re-queue them,
+  /// or fail them for good once the retry budget is spent.
+  void requeue_orphans();
+
   ServerConfig config_;
   sim::Simulator* sim_;  // nullptr = execute instantaneously
+  persist::DurableStore* store_;  // nullptr = in-memory only
+  bool persist_dead_ = false;     // storage refused a write; stop acking
   LoadMonitor load_monitor_;
   bool load_retry_scheduled_ = false;
   cache::ShadowCache cache_;

@@ -9,6 +9,9 @@
 #include "core/workload.hpp"
 #include "diff/diff.hpp"
 #include "net/loopback.hpp"
+#include "persist/durable_store.hpp"
+#include "persist/storage.hpp"
+#include "persist/wal.hpp"
 #include "proto/frame.hpp"
 #include "proto/messages.hpp"
 #include "proto/session.hpp"
@@ -235,6 +238,113 @@ TEST_P(FuzzSeeds, JunkIntoClientAndServerReceivePathsNeverCrashes) {
     }
     EXPECT_TRUE(client.job_done(token.value()));
     EXPECT_EQ(cluster.read_file("ws", "/home/user/out").value(), "a\nb\n");
+  }
+  Logger::instance().set_level(saved);
+}
+
+TEST_P(FuzzSeeds, RandomBytesIntoJournalScanner) {
+  // The scanner contract is total: any byte string yields a (possibly
+  // empty) clean record prefix — no crash, no runaway allocation, and
+  // every returned record passed its CRC.
+  for (int round = 0; round < 200; ++round) {
+    const Bytes junk = rng_.bytes(rng_.below(400));
+    const auto scan = persist::scan_journal(junk);
+    EXPECT_LE(scan.valid_bytes, junk.size());
+    EXPECT_EQ(scan.total_bytes, junk.size());
+    if (!scan.header_ok) {
+      EXPECT_TRUE(scan.records.empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, RandomBytesIntoSnapshotUnwrap) {
+  for (int round = 0; round < 200; ++round) {
+    const Bytes junk = rng_.bytes(rng_.below(400));
+    auto result = persist::unwrap_snapshot(junk);
+    // A random blob forging the magic, version AND whole-payload CRC is
+    // out of reach; what matters is the clean error.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error().message.empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedJournalsAlwaysYieldACleanPrefix) {
+  // Build a genuine multi-record journal, then flip/truncate/extend it.
+  // The scan must return a byte-identical prefix of the ORIGINAL records
+  // — damage truncates, it never fabricates or reorders.
+  Bytes raw = persist::journal_header();
+  std::vector<Bytes> bodies;
+  for (int i = 0; i < 6; ++i) {
+    bodies.push_back(rng_.bytes(1 + rng_.below(50)));
+    const Bytes frame = persist::frame_record(
+        persist::RecordType::kShadowCached, bodies.back());
+    raw.insert(raw.end(), frame.begin(), frame.end());
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    Bytes mutated = raw;
+    const u64 op = rng_.below(3);
+    if (op == 0) {
+      mutated[rng_.below(mutated.size())] ^=
+          static_cast<u8>(1u << rng_.below(8));
+    } else if (op == 1) {
+      mutated.resize(rng_.below(mutated.size()));
+    } else {
+      const Bytes extra = rng_.bytes(1 + rng_.below(24));
+      mutated.insert(mutated.end(), extra.begin(), extra.end());
+    }
+    const auto scan = persist::scan_journal(mutated);
+    ASSERT_LE(scan.records.size(), bodies.size() + 1);
+    for (std::size_t i = 0;
+         i < scan.records.size() && i < bodies.size(); ++i) {
+      EXPECT_EQ(scan.records[i].body, bodies[i]);
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, RandomBytesAsDurableStateRecoverCleanly) {
+  const LogLevel saved = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kOff);
+  // Worst case: the journal AND snapshot files are pure noise (or
+  // absent). A server recovering from them must come up OK with empty (or
+  // prefix) state and then serve a normal editing session.
+  for (int round = 0; round < 30; ++round) {
+    persist::MemDir disk;
+    if (rng_.chance(0.8)) {
+      auto journal =
+          disk.open_append(persist::DurableStore::kJournalName);
+      ASSERT_TRUE(journal.ok());
+      ASSERT_TRUE(journal.value()->append(rng_.bytes(rng_.below(300))).ok());
+      ASSERT_TRUE(journal.value()->sync().ok());
+    }
+    if (rng_.chance(0.8)) {
+      ASSERT_TRUE(disk.write_atomic(persist::DurableStore::kSnapshotName,
+                                    rng_.bytes(rng_.below(300)))
+                      .ok());
+    }
+
+    persist::DurableStore store(&disk);
+    server::ServerConfig sc;
+    sc.name = "super";
+    server::ShadowServer server(sc, nullptr, &store);
+    ASSERT_TRUE(server.recover_from_storage().ok())
+        << "garbage on disk must degrade, never fail recovery";
+
+    vfs::Cluster cluster;
+    (void)cluster.add_host("ws").mkdir_p("/home/user");
+    client::ShadowEnvironment env;
+    client::ShadowClient client("ws", env, &cluster, "recover-fuzz");
+    client::ShadowEditor editor(&client, &cluster);
+    auto pair = net::make_loopback_pair("ws", "super");
+    server.attach(pair.b.get());
+    client.connect("super", pair.a.get());
+    net::pump(pair);
+    ASSERT_TRUE(editor.create("/home/user/f", "b\na\n").ok());
+    net::pump(pair);
+    EXPECT_TRUE(server.persist_alive());
+    EXPECT_GE(server.stats().journal_appends, 1u)
+        << "the recovered store must accept new appends";
   }
   Logger::instance().set_level(saved);
 }

@@ -3,10 +3,15 @@
 //
 //   shadowd --port 7788 [--name supercomputer] [--cache-budget BYTES]
 //           [--eviction lru|fifo|largest-first] [--reverse-shadow]
-//           [--codec stored|rle|lz77] [--verbose]
+//           [--codec stored|rle|lz77] [--journal DIR] [--verbose]
 //
 // Accepts any number of clients; serves until killed. With --once it
 // exits after the first client disconnects (used by the e2e test).
+//
+// Two durability modes: --state FILE snapshots on clean shutdown only
+// (a crash loses everything since startup); --journal DIR write-ahead
+// journals every acknowledged mutation to DIR/journal.wal, so acked
+// state survives a kill -9. Inspect the directory with tools/wal.
 #include <unistd.h>
 
 #include <csignal>
@@ -16,6 +21,8 @@
 #include <vector>
 
 #include "net/tcp_transport.hpp"
+#include "persist/durable_store.hpp"
+#include "persist/storage.hpp"
 #include "server/shadow_server.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -31,6 +38,7 @@ int main(int argc, char** argv) {
   u16 port = 7788;
   bool once = false;
   std::string state_path;
+  std::string journal_dir;
   server::ServerConfig config;
   config.name = "supercomputer";
 
@@ -77,6 +85,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--state") {
       if (const char* v = next()) state_path = v;
+    } else if (arg == "--journal") {
+      if (const char* v = next()) journal_dir = v;
     } else if (arg == "--verbose") {
       Logger::instance().set_level(LogLevel::kDebug);
     } else if (arg == "--once") {
@@ -85,7 +95,7 @@ int main(int argc, char** argv) {
       std::printf("usage: shadowd [--port N] [--name NAME] "
                   "[--cache-budget BYTES] [--eviction POLICY] "
                   "[--reverse-shadow] [--codec CODEC] [--state FILE] "
-                  "[--once] [--verbose]\n");
+                  "[--journal DIR] [--once] [--verbose]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -96,7 +106,28 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  server::ShadowServer server(config);
+  std::unique_ptr<persist::FsDir> journal_fs;
+  std::unique_ptr<persist::DurableStore> store;
+  if (!journal_dir.empty()) {
+    journal_fs = std::make_unique<persist::FsDir>(journal_dir);
+    store = std::make_unique<persist::DurableStore>(journal_fs.get());
+  }
+  server::ShadowServer server(config, nullptr, store.get());
+  if (store != nullptr) {
+    if (auto st = server.recover_from_storage(); st.ok()) {
+      std::printf("shadowd: recovered from %s (%zu cached files, "
+                  "%llu journal records, %llu requeued jobs)\n",
+                  journal_dir.c_str(), server.file_cache().entry_count(),
+                  static_cast<unsigned long long>(
+                      server.stats().recovered_records),
+                  static_cast<unsigned long long>(
+                      server.stats().requeued_jobs));
+    } else {
+      std::fprintf(stderr, "shadowd: cannot recover from %s: %s\n",
+                   journal_dir.c_str(), st.to_string().c_str());
+      return 1;
+    }
+  }
   if (!state_path.empty()) {
     if (auto snapshot = read_disk_file(state_path); snapshot.ok()) {
       if (auto st = server.restore_state(snapshot.value()); st.ok()) {
