@@ -15,17 +15,40 @@ BUILD="${1:-$ROOT/build-rel}"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" --target abl_diff_algos abl_persist -j"$(nproc)"
 
+# Provenance stamp: which commit and build type produced these numbers.
+# A snapshot from a dirty tree is marked so regressions aren't chased
+# against unreproducible baselines.
+GIT_SHA="$(git -C "$ROOT" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if ! git -C "$ROOT" diff --quiet HEAD 2>/dev/null; then
+  GIT_SHA="${GIT_SHA}-dirty"
+fi
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt" | head -n1)"
+BUILD_TYPE="${BUILD_TYPE:-unknown}"
+
+# Inject the stamp into the benchmark JSON's "context" object. Google
+# Benchmark emits `"context": {` on its own line; extend it in place so
+# the file stays valid JSON without needing jq.
+stamp_json() {
+  local file="$1"
+  sed -i "s/^  \"context\": {\$/  \"context\": {\n    \"git_sha\": \"$GIT_SHA\",\n    \"build_type\": \"$BUILD_TYPE\",/" "$file"
+  if ! grep -q '"git_sha"' "$file"; then
+    echo "warning: could not stamp provenance into $file" >&2
+  fi
+}
+
 # min_time smooths scheduler noise; JSON format suppresses the size table.
 "$BUILD/bench/abl_diff_algos" \
   --benchmark_format=json \
   --benchmark_min_time=0.5 \
   > "$ROOT/BENCH_diff.json"
+stamp_json "$ROOT/BENCH_diff.json"
 
-echo "wrote $ROOT/BENCH_diff.json"
+echo "wrote $ROOT/BENCH_diff.json ($GIT_SHA, $BUILD_TYPE)"
 
 "$BUILD/bench/abl_persist" \
   --benchmark_format=json \
   --benchmark_min_time=0.2 \
   > "$ROOT/BENCH_persist.json"
+stamp_json "$ROOT/BENCH_persist.json"
 
-echo "wrote $ROOT/BENCH_persist.json"
+echo "wrote $ROOT/BENCH_persist.json ($GIT_SHA, $BUILD_TYPE)"

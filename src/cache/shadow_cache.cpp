@@ -1,6 +1,37 @@
 #include "cache/shadow_cache.hpp"
 
+#include "telemetry/registry.hpp"
+
 namespace shadow::cache {
+
+namespace {
+// Process-wide cache telemetry, summed over every ShadowCache instance
+// (per-instance numbers stay in CacheStats). The invariant suite checks
+// cache.lookups == cache.hits + cache.misses.
+struct CacheMetrics {
+  telemetry::Counter& lookups;
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& puts;
+  telemetry::Counter& put_bytes;
+  telemetry::Counter& evictions;
+  telemetry::Counter& rejected;
+  telemetry::Histogram& entry_bytes;
+
+  static CacheMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static CacheMetrics m{r.counter("cache.lookups"),
+                          r.counter("cache.hits"),
+                          r.counter("cache.misses"),
+                          r.counter("cache.puts"),
+                          r.counter("cache.put_bytes"),
+                          r.counter("cache.evictions"),
+                          r.counter("cache.rejected"),
+                          r.histogram("cache.entry_bytes")};
+    return m;
+  }
+};
+}  // namespace
 
 const char* eviction_policy_name(EvictionPolicy policy) {
   switch (policy) {
@@ -46,17 +77,23 @@ void ShadowCache::make_room(std::size_t incoming_size) {
     bytes_used_ -= victim->second.content.size();
     entries_.erase(victim);
     ++stats_.evictions;
+    CacheMetrics::get().evictions.add();
   }
 }
 
 Status ShadowCache::put(const std::string& key, u64 version,
                         std::string content, u32 crc) {
   ++stats_.puts;
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.puts.add();
+  metrics.put_bytes.add(content.size());
+  metrics.entry_bytes.observe(content.size());
   ++tick_;
   if (byte_budget_ != 0 && content.size() > byte_budget_) {
     // The file alone exceeds the whole budget: refuse (best-effort).
     erase(key);
     ++stats_.rejected;
+    metrics.rejected.add();
     return Error{ErrorCode::kResourceExhausted,
                  "content larger than cache budget"};
   }
@@ -86,12 +123,16 @@ Status ShadowCache::put(const std::string& key, u64 version,
 
 Result<const CacheEntry*> ShadowCache::get(const std::string& key) {
   ++tick_;
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.lookups.add();
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    metrics.misses.add();
     return Error{ErrorCode::kCacheMiss, "not cached: " + key};
   }
   ++stats_.hits;
+  metrics.hits.add();
   it->second.last_access = tick_;
   return &it->second;
 }
@@ -115,6 +156,7 @@ bool ShadowCache::evict_one() {
   bytes_used_ -= victim->second.content.size();
   entries_.erase(victim);
   ++stats_.evictions;
+  CacheMetrics::get().evictions.add();
   return true;
 }
 

@@ -1,10 +1,51 @@
 #include "client/shadow_client.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
 #include "vfs/path.hpp"
 
 namespace shadow::client {
+
+namespace {
+// Workstation-side telemetry summed over every ShadowClient instance
+// (per-instance numbers stay in ClientStats).
+struct ClientMetrics {
+  telemetry::Counter& notifies_sent;
+  telemetry::Counter& updates_sent;
+  telemetry::Counter& update_payload_bytes;
+  telemetry::Counter& full_sent;
+  telemetry::Counter& delta_sent;
+  telemetry::Counter& pulls_received;
+  telemetry::Counter& acks_received;
+  telemetry::Counter& nack_full_resends;
+  telemetry::Counter& session_resyncs;
+  telemetry::Counter& lost_job_resubmits;
+  telemetry::Counter& outputs_received;
+  telemetry::Counter& output_payload_bytes;
+  telemetry::Counter& output_nacks_sent;
+  telemetry::Counter& output_delta_applied;
+
+  static ClientMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static ClientMetrics m{r.counter("client.notifies_sent"),
+                           r.counter("client.updates_sent"),
+                           r.counter("client.update_payload_bytes"),
+                           r.counter("client.full_sent"),
+                           r.counter("client.delta_sent"),
+                           r.counter("client.pulls_received"),
+                           r.counter("client.acks_received"),
+                           r.counter("client.nack_full_resends"),
+                           r.counter("client.session_resyncs"),
+                           r.counter("client.lost_job_resubmits"),
+                           r.counter("client.outputs_received"),
+                           r.counter("client.output_payload_bytes"),
+                           r.counter("client.output_nacks_sent"),
+                           r.counter("client.output_delta_applied")};
+    return m;
+  }
+};
+}  // namespace
 
 ShadowClient::ShadowClient(std::string name, ShadowEnvironment env,
                            vfs::Cluster* cluster, std::string domain_id)
@@ -62,6 +103,7 @@ void ShadowClient::resync_session(Session* session) {
   // (§5.1) — and re-announce the newest version of every shadowed file so
   // whatever the lost frames carried is offered again.
   ++stats_.session_resyncs;
+  ClientMetrics::get().session_resyncs.add();
   session->server_has.clear();
   for (const auto& [key, id] : ids_) {
     auto latest = versions_.chain(key).latest();
@@ -78,6 +120,7 @@ void ShadowClient::resync_session(Session* session) {
       notify.size = latest.value().content.size();
       notify.crc = latest.value().crc;
       ++stats_.notifies_sent;
+      ClientMetrics::get().notifies_sent.add();
       send(session, notify);
     }
   }
@@ -233,6 +276,7 @@ Status ShadowClient::edited(const std::string& local_path) {
         notify.crc = chain_latest.value().crc;
       }
       ++stats_.notifies_sent;
+      ClientMetrics::get().notifies_sent.add();
       send(&session, notify);
     }
   }
@@ -277,10 +321,15 @@ Status ShadowClient::send_update(Session* session,
 
   ++stats_.updates_sent;
   stats_.update_payload_bytes += update.payload.size();
+  ClientMetrics& metrics = ClientMetrics::get();
+  metrics.updates_sent.add();
+  metrics.update_payload_bytes.add(update.payload.size());
   if (actual_base == 0) {
     ++stats_.full_sent;
+    metrics.full_sent.add();
   } else {
     ++stats_.delta_sent;
+    metrics.delta_sent.add();
   }
   // Charge the workstation's diff-computation time to the simulated clock
   // (a 1987 workstation took real seconds to diff a big file). The delta
@@ -303,6 +352,7 @@ Status ShadowClient::send_update(Session* session,
 
 void ShadowClient::handle(Session* session, const proto::PullRequest& m) {
   ++stats_.pulls_received;
+  ClientMetrics::get().pulls_received.add();
   auto& chain = versions_.chain(m.file.key());
   // Serve the requested version, or the latest if the user has moved on.
   u64 target = m.want_version;
@@ -329,6 +379,7 @@ void ShadowClient::handle(Session* session, const proto::PullRequest& m) {
 
 void ShadowClient::handle(Session* session, const proto::UpdateAck& m) {
   ++stats_.acks_received;
+  ClientMetrics::get().acks_received.add();
   if (!m.ok) {
     // The server could not apply our update (corrupt payload, wrong base
     // — a desync). Forget what it holds and resend the newest version as
@@ -341,6 +392,7 @@ void ShadowClient::handle(Session* session, const proto::UpdateAck& m) {
     const auto latest = versions_.chain(m.file.key()).latest_number();
     if (latest) {
       ++stats_.nack_full_resends;
+      ClientMetrics::get().nack_full_resends.add();
       Status st = send_update(session, m.file, 0, *latest);
       if (!st.ok()) {
         SHADOW_WARN() << name_ << ": full resend failed: " << st.to_string();
@@ -468,6 +520,7 @@ void ShadowClient::handle(Session* session, const proto::StatusReply& m) {
       view.state = proto::JobState::kQueued;
       view.detail = "resubmitted after server lost the job";
       ++stats_.lost_job_resubmits;
+      ClientMetrics::get().lost_job_resubmits.add();
       pending_submits_[token] = archived->second;
       send(session, archived->second);
     }
@@ -479,6 +532,12 @@ void ShadowClient::handle(Session* session, const proto::JobOutput& m) {
   ++stats_.outputs_received;
   stats_.output_payload_bytes += m.output_payload.size() +
                                  m.error_payload.size();
+  {
+    ClientMetrics& metrics = ClientMetrics::get();
+    metrics.outputs_received.add();
+    metrics.output_payload_bytes.add(m.output_payload.size() +
+                                     m.error_payload.size());
+  }
 
   auto decode_payload = [](const Bytes& payload) -> Result<diff::Delta> {
     SHADOW_ASSIGN_OR_RETURN(raw, compress::decompress(payload));
@@ -497,6 +556,7 @@ void ShadowClient::handle(Session* session, const proto::JobOutput& m) {
     ack.ok = false;
     ack.error = why;
     ++stats_.output_nacks_sent;
+    ClientMetrics::get().output_nacks_sent.add();
     send(session, ack);
   };
 
@@ -523,6 +583,7 @@ void ShadowClient::handle(Session* session, const proto::JobOutput& m) {
     }
     output_content = std::move(applied).take();
     ++stats_.output_delta_applied;
+    ClientMetrics::get().output_delta_applied.add();
   } else {
     output_content = output_delta.value().full;
   }

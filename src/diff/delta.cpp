@@ -2,9 +2,43 @@
 
 #include "diff/hunt_mcilroy.hpp"
 #include "diff/myers.hpp"
+#include "telemetry/registry.hpp"
 #include "util/crc32.hpp"
 
 namespace shadow::diff {
+
+namespace {
+// Diff-engine telemetry (docs/OBSERVABILITY.md). Resolved once; hot-path
+// cost is a relaxed fetch_add per metric. The invariant suite checks
+// diff.computes == diff.ed_deltas + diff.block_deltas + diff.full_fallbacks.
+struct DiffMetrics {
+  telemetry::Counter& computes;
+  telemetry::Counter& lines_compared;
+  telemetry::Counter& ed_deltas;
+  telemetry::Counter& block_deltas;
+  telemetry::Counter& full_fallbacks;  // computed delta >= full content
+  telemetry::Counter& delta_bytes;     // wire bytes actually produced
+  telemetry::Counter& full_file_bytes;  // what full transfers would cost
+  telemetry::Counter& applies;
+  telemetry::Counter& apply_failures;
+  telemetry::Histogram& delta_wire_bytes;
+
+  static DiffMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static DiffMetrics m{r.counter("diff.computes"),
+                         r.counter("diff.lines_compared"),
+                         r.counter("diff.ed_deltas"),
+                         r.counter("diff.block_deltas"),
+                         r.counter("diff.full_fallbacks"),
+                         r.counter("diff.delta_bytes"),
+                         r.counter("diff.full_file_bytes"),
+                         r.counter("diff.applies"),
+                         r.counter("diff.apply_failures"),
+                         r.histogram("diff.delta_wire_bytes")};
+    return m;
+  }
+};
+}  // namespace
 
 const char* algorithm_name(Algorithm algo) {
   switch (algo) {
@@ -34,6 +68,9 @@ Delta Delta::make_full(std::string content) {
 
 Delta Delta::compute(std::string_view base, std::string_view target,
                      Algorithm algo) {
+  DiffMetrics& metrics = DiffMetrics::get();
+  metrics.computes.add();
+  metrics.full_file_bytes.add(target.size());
   Delta d;
   switch (algo) {
     case Algorithm::kHuntMcIlroy:
@@ -41,6 +78,8 @@ Delta Delta::compute(std::string_view base, std::string_view target,
       // One LineTable per diff: the same tokenization feeds the LCS pass
       // and the ed-script builder (no re-splitting).
       LineTable table(base, target);
+      metrics.lines_compared.add(table.old_lines().size() +
+                                 table.new_lines().size());
       const MatchList matches = (algo == Algorithm::kHuntMcIlroy)
                                     ? hunt_mcilroy_lcs(table)
                                     : myers_lcs(table);
@@ -55,9 +94,19 @@ Delta Delta::compute(std::string_view base, std::string_view target,
     }
   }
   // Never ship a delta bigger than the content itself.
-  if (d.wire_size() >= target.size() + sizeof(u32)) {
-    return make_full(std::string(target));
+  const std::size_t wire = d.wire_size();
+  if (wire >= target.size() + sizeof(u32)) {
+    metrics.full_fallbacks.add();
+    Delta full = make_full(std::string(target));
+    const std::size_t full_wire = full.wire_size();
+    metrics.delta_bytes.add(full_wire);
+    metrics.delta_wire_bytes.observe(full_wire);
+    return full;
   }
+  (d.format == Format::kEdScript ? metrics.ed_deltas : metrics.block_deltas)
+      .add();
+  metrics.delta_bytes.add(wire);
+  metrics.delta_wire_bytes.observe(wire);
   return d;
 }
 
@@ -69,24 +118,30 @@ Delta Delta::compute_adaptive(std::string_view base,
 }
 
 Result<std::string> Delta::apply(const std::string& base) const {
-  switch (format) {
-    case Format::kFull: {
-      // full_crc is set by make_full/decode; a default-constructed Delta
-      // (crc 0 over empty content) also passes.
-      const u32 actual = crc32(
-          reinterpret_cast<const u8*>(full.data()), full.size());
-      if (actual != full_crc) {
-        return Error{ErrorCode::kVersionMismatch,
-                     "full-content delta fails its CRC"};
+  DiffMetrics& metrics = DiffMetrics::get();
+  metrics.applies.add();
+  auto applied = [&]() -> Result<std::string> {
+    switch (format) {
+      case Format::kFull: {
+        // full_crc is set by make_full/decode; a default-constructed Delta
+        // (crc 0 over empty content) also passes.
+        const u32 actual = crc32(
+            reinterpret_cast<const u8*>(full.data()), full.size());
+        if (actual != full_crc) {
+          return Error{ErrorCode::kVersionMismatch,
+                       "full-content delta fails its CRC"};
+        }
+        return full;
       }
-      return full;
+      case Format::kEdScript:
+        return apply_ed_script(base, ed);
+      case Format::kBlockMove:
+        return apply_block_move(base, blocks);
     }
-    case Format::kEdScript:
-      return apply_ed_script(base, ed);
-    case Format::kBlockMove:
-      return apply_block_move(base, blocks);
-  }
-  return Error{ErrorCode::kInternal, "corrupt delta format tag"};
+    return Error{ErrorCode::kInternal, "corrupt delta format tag"};
+  }();
+  if (!applied.ok()) metrics.apply_failures.add();
+  return applied;
 }
 
 std::size_t Delta::wire_size() const {

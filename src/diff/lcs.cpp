@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
+
 namespace shadow::diff {
 
 bool is_valid_match_list(const MatchList& matches, std::size_t old_size,
@@ -30,6 +32,14 @@ CommonAffix trim_common_affixes(std::span<const u32> old_ids,
              new_ids[new_ids.size() - 1 - affix.suffix]) {
     ++affix.suffix;
   }
+  // Lines the trim spared the quadratic-ish LCS cores — the measured form
+  // of PR 1's affix optimization (docs/OBSERVABILITY.md).
+  static auto& c_trimmed =
+      telemetry::Registry::global().counter("diff.affix_trimmed_lines");
+  static auto& c_trims =
+      telemetry::Registry::global().counter("diff.affix_trims");
+  c_trimmed.add(affix.prefix + affix.suffix);
+  c_trims.add();
   return affix;
 }
 

@@ -1,6 +1,37 @@
 #include "job/queue.hpp"
 
+#include "telemetry/registry.hpp"
+
 namespace shadow::job {
+
+namespace {
+// Job-queue telemetry summed over every JobQueue instance. Terminal-state
+// counters (completions/failures/deliveries) fire on the transition INTO
+// the state, so job.transitions >= completions + failures + deliveries.
+struct JobMetrics {
+  telemetry::Counter& submits;
+  telemetry::Counter& transitions;
+  telemetry::Counter& invalid_transitions;
+  telemetry::Counter& completions;
+  telemetry::Counter& failures;
+  telemetry::Counter& deliveries;
+  telemetry::Counter& requeues;
+  telemetry::Counter& restored;
+
+  static JobMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static JobMetrics m{r.counter("job.submits"),
+                        r.counter("job.transitions"),
+                        r.counter("job.invalid_transitions"),
+                        r.counter("job.completions"),
+                        r.counter("job.failures"),
+                        r.counter("job.deliveries"),
+                        r.counter("job.requeues"),
+                        r.counter("job.restored")};
+    return m;
+  }
+};
+}  // namespace
 
 void encode_job_record(const JobRecord& job, BufWriter& out) {
   out.put_varint(job.job_id);
@@ -84,6 +115,7 @@ u64 JobQueue::add(JobRecord record) {
   record.state = proto::JobState::kQueued;
   const u64 id = record.job_id;
   jobs_.emplace(id, std::move(record));
+  JobMetrics::get().submits.add();
   return id;
 }
 
@@ -142,13 +174,19 @@ bool JobQueue::valid_transition(proto::JobState from, proto::JobState to) {
 Status JobQueue::transition(u64 job_id, proto::JobState next,
                             const std::string& detail) {
   SHADOW_ASSIGN_OR_RETURN(record, find(job_id));
+  JobMetrics& metrics = JobMetrics::get();
   if (!valid_transition(record->state, next)) {
+    metrics.invalid_transitions.add();
     return Error{ErrorCode::kInternal,
                  std::string("invalid job transition ") +
                      proto::job_state_name(record->state) + " -> " +
                      proto::job_state_name(next)};
   }
   record->state = next;
+  metrics.transitions.add();
+  if (next == proto::JobState::kCompleted) metrics.completions.add();
+  if (next == proto::JobState::kFailed) metrics.failures.add();
+  if (next == proto::JobState::kDelivered) metrics.deliveries.add();
   if (!detail.empty()) record->detail = detail;
   return Status();
 }
@@ -174,6 +212,7 @@ Status JobQueue::requeue(u64 job_id, const std::string& detail) {
   }
   record->state = proto::JobState::kQueued;
   record->retries += 1;
+  JobMetrics::get().requeues.add();
   if (!detail.empty()) record->detail = detail;
   return Status();
 }
@@ -205,6 +244,7 @@ void JobQueue::restore_record(JobRecord job) {
   const u64 id = job.job_id;
   if (id == 0 || jobs_.count(id) != 0) return;  // already in snapshot
   jobs_.emplace(id, std::move(job));
+  JobMetrics::get().restored.add();
   if (id >= next_id_) next_id_ = id + 1;
 }
 

@@ -1,34 +1,81 @@
 #include "persist/durable_store.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 
 namespace shadow::persist {
+
+namespace {
+// Durability telemetry summed over every DurableStore (per-store numbers
+// stay in DurableStoreStats). persist.fsyncs counts successful sync()
+// returns; persist.append_failures counts append() calls that returned an
+// error at any stage (the record is NOT durable and must not be acked).
+struct PersistMetrics {
+  telemetry::Counter& appends;
+  telemetry::Counter& append_bytes;
+  telemetry::Counter& append_failures;
+  telemetry::Counter& fsyncs;
+  telemetry::Counter& compactions;
+  telemetry::Counter& recoveries;
+  telemetry::Counter& replayed_records;
+  telemetry::Counter& torn_tails;
+  telemetry::Counter& corrupt_snapshots;
+  telemetry::Histogram& record_bytes;
+
+  static PersistMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static PersistMetrics m{r.counter("persist.appends"),
+                            r.counter("persist.append_bytes"),
+                            r.counter("persist.append_failures"),
+                            r.counter("persist.fsyncs"),
+                            r.counter("persist.compactions"),
+                            r.counter("persist.recoveries"),
+                            r.counter("persist.replayed_records"),
+                            r.counter("persist.torn_tails"),
+                            r.counter("persist.corrupt_snapshots"),
+                            r.histogram("persist.record_bytes")};
+    return m;
+  }
+};
+}  // namespace
 
 DurableStore::DurableStore(StorageDir* dir, u64 compact_every)
     : dir_(dir), compact_every_(compact_every == 0 ? 1 : compact_every) {}
 
 Status DurableStore::append(RecordType type, const Bytes& body) {
-  if (journal_ == nullptr) {
-    SHADOW_ASSIGN_OR_RETURN(file, dir_->open_append(kJournalName));
-    journal_ = std::move(file);
-  }
-  BufWriter w;
-  // A fresh (or just-truncated-to-nothing) journal gets its header in the
-  // same append as the first record: one write point, no headerless file.
-  if (journal_->size() == 0) w.put_raw(journal_header());
-  w.put_raw(frame_record(type, body));
-  const Bytes framed = w.take();
-  SHADOW_TRY(journal_->append(framed));
-  SHADOW_TRY(journal_->sync());
-  ++stats_.appends;
-  stats_.append_bytes += framed.size();
-  ++appends_since_compact_;
-  return Status();
+  PersistMetrics& metrics = PersistMetrics::get();
+  Status st = [&]() -> Status {
+    if (journal_ == nullptr) {
+      SHADOW_ASSIGN_OR_RETURN(file, dir_->open_append(kJournalName));
+      journal_ = std::move(file);
+    }
+    BufWriter w;
+    // A fresh (or just-truncated-to-nothing) journal gets its header in
+    // the same append as the first record: one write point, no headerless
+    // file.
+    if (journal_->size() == 0) w.put_raw(journal_header());
+    w.put_raw(frame_record(type, body));
+    const Bytes framed = w.take();
+    SHADOW_TRY(journal_->append(framed));
+    SHADOW_TRY(journal_->sync());
+    metrics.fsyncs.add();
+    ++stats_.appends;
+    stats_.append_bytes += framed.size();
+    metrics.appends.add();
+    metrics.append_bytes.add(framed.size());
+    metrics.record_bytes.observe(framed.size());
+    ++appends_since_compact_;
+    return Status();
+  }();
+  if (!st.ok()) metrics.append_failures.add();
+  return st;
 }
 
 Result<RecoveredState> DurableStore::recover() {
   RecoveredState out;
   ++stats_.recoveries;
+  PersistMetrics& metrics = PersistMetrics::get();
+  metrics.recoveries.add();
 
   if (dir_->exists(kSnapshotName)) {
     out.snapshot_present = true;
@@ -41,6 +88,7 @@ Result<RecoveredState> DurableStore::recover() {
       // bits, so a damaged snapshot degrades to journal-only recovery
       // instead of refusing to start.
       out.snapshot_corrupt = true;
+      metrics.corrupt_snapshots.add();
       out.detail = "snapshot discarded: " + unwrapped.error().to_string();
       SHADOW_WARN() << "persist: " << out.detail;
     }
@@ -52,7 +100,9 @@ Result<RecoveredState> DurableStore::recover() {
     out.records = std::move(scan.records);
     out.journal_torn = scan.torn;
     out.discarded_bytes = scan.total_bytes - scan.valid_bytes;
+    metrics.replayed_records.add(out.records.size());
     if (scan.torn) {
+      metrics.torn_tails.add();
       if (!out.detail.empty()) out.detail += "; ";
       out.detail += "journal tail discarded (" +
                     std::to_string(out.discarded_bytes) +
@@ -73,6 +123,7 @@ Status DurableStore::compact(const Bytes& state) {
   SHADOW_TRY(dir_->write_atomic(kJournalName, journal_header()));
   appends_since_compact_ = 0;
   ++stats_.compactions;
+  PersistMetrics::get().compactions.add();
   return Status();
 }
 

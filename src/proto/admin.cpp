@@ -1,0 +1,42 @@
+#include "proto/admin.hpp"
+
+namespace shadow::proto {
+
+AdminReply build_admin_reply(const AdminQuery& query,
+                             const telemetry::Registry& registry,
+                             const std::string& server_name) {
+  AdminReply reply;
+  reply.protocol_version = kAdminProtocolVersion;
+  if (query.protocol_version != kAdminProtocolVersion) {
+    reply.ok = false;
+    reply.error = "unsupported admin protocol version " +
+                  std::to_string(query.protocol_version) + " (speaking " +
+                  std::to_string(kAdminProtocolVersion) + ")";
+    return reply;
+  }
+  reply.ok = true;
+  if ((query.sections & kAdminServerInfo) != 0) {
+    reply.server_name = server_name;
+  }
+  const std::size_t max_events =
+      (query.sections & kAdminEvents) != 0
+          ? static_cast<std::size_t>(query.max_events)
+          : 0;
+  telemetry::Snapshot snap = registry.snapshot(query.prefix, max_events);
+  if ((query.sections & kAdminCounters) != 0) {
+    reply.snapshot.counters = std::move(snap.counters);
+  }
+  if ((query.sections & kAdminGauges) != 0) {
+    reply.snapshot.gauges = std::move(snap.gauges);
+  }
+  if ((query.sections & kAdminHistograms) != 0) {
+    reply.snapshot.histograms = std::move(snap.histograms);
+  }
+  if ((query.sections & kAdminEvents) != 0) {
+    reply.snapshot.events = std::move(snap.events);
+    reply.events_total = registry.events().total_recorded();
+  }
+  return reply;
+}
+
+}  // namespace shadow::proto

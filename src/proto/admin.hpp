@@ -1,0 +1,22 @@
+// Server-side builder for the admin (telemetry) exchange: turn an
+// AdminQuery into an AdminReply from a live Registry, honouring the
+// section mask, prefix filter, event cap and protocol version. Read-only
+// by construction — building a reply never mutates the registry.
+#pragma once
+
+#include <string>
+
+#include "proto/messages.hpp"
+#include "telemetry/registry.hpp"
+
+namespace shadow::proto {
+
+/// Answer `query` from `registry`. A protocol version the server does not
+/// speak yields ok=false with the version echoed back (never a guess at a
+/// foreign layout). Section bits absent from the mask leave their reply
+/// sections empty.
+AdminReply build_admin_reply(const AdminQuery& query,
+                             const telemetry::Registry& registry,
+                             const std::string& server_name);
+
+}  // namespace shadow::proto

@@ -1,5 +1,7 @@
 #include "proto/messages.hpp"
 
+#include <bit>
+
 namespace shadow::proto {
 
 const char* message_type_name(MessageType type) {
@@ -16,6 +18,8 @@ const char* message_type_name(MessageType type) {
     case MessageType::kStatusReply: return "StatusReply";
     case MessageType::kJobOutput: return "JobOutput";
     case MessageType::kJobOutputAck: return "JobOutputAck";
+    case MessageType::kAdminQuery: return "AdminQuery";
+    case MessageType::kAdminReply: return "AdminReply";
   }
   return "?";
 }
@@ -57,8 +61,12 @@ MessageType type_of(const Message& message) {
           return MessageType::kStatusReply;
         else if constexpr (std::is_same_v<T, JobOutput>)
           return MessageType::kJobOutput;
-        else
+        else if constexpr (std::is_same_v<T, JobOutputAck>)
           return MessageType::kJobOutputAck;
+        else if constexpr (std::is_same_v<T, AdminQuery>)
+          return MessageType::kAdminQuery;
+        else
+          return MessageType::kAdminReply;
       },
       message);
 }
@@ -159,6 +167,49 @@ void encode_body(const JobOutputAck& m, BufWriter& w) {
   w.put_varint(m.job_id);
   w.put_u8(m.ok ? 1 : 0);
   w.put_string(m.error);
+}
+
+void encode_body(const AdminQuery& m, BufWriter& w) {
+  w.put_u32(m.protocol_version);
+  w.put_u32(m.sections);
+  w.put_string(m.prefix);
+  w.put_varint(m.max_events);
+}
+
+void encode_body(const AdminReply& m, BufWriter& w) {
+  w.put_u32(m.protocol_version);
+  w.put_u8(m.ok ? 1 : 0);
+  w.put_string(m.error);
+  w.put_string(m.server_name);
+  w.put_varint(m.events_total);
+  w.put_varint(m.snapshot.counters.size());
+  for (const auto& c : m.snapshot.counters) {
+    w.put_string(c.name);
+    w.put_varint(c.value);
+  }
+  w.put_varint(m.snapshot.gauges.size());
+  for (const auto& g : m.snapshot.gauges) {
+    w.put_string(g.name);
+    // IEEE-754 bit pattern, fixed width: doubles round-trip exactly.
+    w.put_u64(std::bit_cast<u64>(g.value));
+  }
+  w.put_varint(m.snapshot.histograms.size());
+  for (const auto& h : m.snapshot.histograms) {
+    w.put_string(h.name);
+    w.put_varint(h.count);
+    w.put_varint(h.sum);
+    w.put_varint(h.buckets.size());
+    for (const auto& [index, count] : h.buckets) {
+      w.put_u8(index);
+      w.put_varint(count);
+    }
+  }
+  w.put_varint(m.snapshot.events.size());
+  for (const auto& e : m.snapshot.events) {
+    w.put_varint(e.seq);
+    w.put_u16(static_cast<u16>(e.kind));
+    w.put_string(e.detail);
+  }
 }
 
 // ---- per-message body decoders ----
@@ -348,6 +399,102 @@ Result<JobOutputAck> decode_job_output_ack(BufReader& r) {
   return m;
 }
 
+Result<AdminQuery> decode_admin_query(BufReader& r) {
+  AdminQuery m;
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(sections, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(prefix, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(max_events, r.get_varint());
+  m.protocol_version = version;
+  m.sections = sections;
+  m.prefix = std::move(prefix);
+  m.max_events = max_events;
+  return m;
+}
+
+Result<AdminReply> decode_admin_reply(BufReader& r) {
+  AdminReply m;
+  SHADOW_ASSIGN_OR_RETURN(version, r.get_u32());
+  SHADOW_ASSIGN_OR_RETURN(ok, r.get_u8());
+  SHADOW_ASSIGN_OR_RETURN(error, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(server_name, r.get_string());
+  SHADOW_ASSIGN_OR_RETURN(events_total, r.get_varint());
+  m.protocol_version = version;
+  m.ok = ok != 0;
+  m.error = std::move(error);
+  m.server_name = std::move(server_name);
+  m.events_total = events_total;
+
+  SHADOW_ASSIGN_OR_RETURN(counter_count, r.get_varint());
+  if (counter_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "counter count exceeds buffer"};
+  }
+  for (u64 i = 0; i < counter_count; ++i) {
+    telemetry::CounterSnapshot c;
+    SHADOW_ASSIGN_OR_RETURN(name, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(value, r.get_varint());
+    c.name = std::move(name);
+    c.value = value;
+    m.snapshot.counters.push_back(std::move(c));
+  }
+
+  SHADOW_ASSIGN_OR_RETURN(gauge_count, r.get_varint());
+  if (gauge_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "gauge count exceeds buffer"};
+  }
+  for (u64 i = 0; i < gauge_count; ++i) {
+    telemetry::GaugeSnapshot g;
+    SHADOW_ASSIGN_OR_RETURN(name, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(bits, r.get_u64());
+    g.name = std::move(name);
+    g.value = std::bit_cast<double>(bits);
+    m.snapshot.gauges.push_back(std::move(g));
+  }
+
+  SHADOW_ASSIGN_OR_RETURN(histogram_count, r.get_varint());
+  if (histogram_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "histogram count exceeds buffer"};
+  }
+  for (u64 i = 0; i < histogram_count; ++i) {
+    telemetry::HistogramSnapshot h;
+    SHADOW_ASSIGN_OR_RETURN(name, r.get_string());
+    SHADOW_ASSIGN_OR_RETURN(count, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(sum, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(bucket_count, r.get_varint());
+    if (bucket_count > telemetry::Histogram::kBuckets) {
+      return Error{ErrorCode::kProtocolError, "too many histogram buckets"};
+    }
+    h.name = std::move(name);
+    h.count = count;
+    h.sum = sum;
+    for (u64 j = 0; j < bucket_count; ++j) {
+      SHADOW_ASSIGN_OR_RETURN(index, r.get_u8());
+      SHADOW_ASSIGN_OR_RETURN(bucket_value, r.get_varint());
+      if (index >= telemetry::Histogram::kBuckets) {
+        return Error{ErrorCode::kProtocolError, "bad histogram bucket index"};
+      }
+      h.buckets.emplace_back(index, bucket_value);
+    }
+    m.snapshot.histograms.push_back(std::move(h));
+  }
+
+  SHADOW_ASSIGN_OR_RETURN(event_count, r.get_varint());
+  if (event_count > r.remaining()) {
+    return Error{ErrorCode::kProtocolError, "event count exceeds buffer"};
+  }
+  for (u64 i = 0; i < event_count; ++i) {
+    telemetry::Event e;
+    SHADOW_ASSIGN_OR_RETURN(seq, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(kind, r.get_u16());
+    SHADOW_ASSIGN_OR_RETURN(detail, r.get_string());
+    e.seq = seq;
+    e.kind = static_cast<telemetry::EventKind>(kind);
+    e.detail = std::move(detail);
+    m.snapshot.events.push_back(std::move(e));
+  }
+  return m;
+}
+
 }  // namespace
 
 Bytes encode_message(const Message& message) {
@@ -408,6 +555,14 @@ Result<Message> decode_message(const Bytes& wire) {
       }
       case MessageType::kJobOutputAck: {
         SHADOW_ASSIGN_OR_RETURN(m, decode_job_output_ack(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kAdminQuery: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_admin_query(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kAdminReply: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_admin_reply(r));
         return Message(std::move(m));
       }
     }

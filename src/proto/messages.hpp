@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "naming/file_id.hpp"
+#include "telemetry/registry.hpp"
 #include "util/byte_io.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
@@ -45,6 +46,8 @@ enum class MessageType : u8 {
   kStatusReply = 10,
   kJobOutput = 11,
   kJobOutputAck = 12,
+  kAdminQuery = 13,
+  kAdminReply = 14,
 };
 
 const char* message_type_name(MessageType type);
@@ -177,10 +180,50 @@ struct JobOutputAck {
   std::string error;
 };
 
+// ---- observability (docs/OBSERVABILITY.md) ----
+
+/// Wire version of the admin (telemetry) exchange. The reply always echoes
+/// the version it speaks; a server that cannot honour the requested
+/// version answers ok=false instead of guessing.
+inline constexpr u32 kAdminProtocolVersion = 1;
+
+/// AdminQuery.sections bitmask: which parts of the registry to ship.
+inline constexpr u32 kAdminCounters = 1;
+inline constexpr u32 kAdminGauges = 2;
+inline constexpr u32 kAdminHistograms = 4;
+inline constexpr u32 kAdminEvents = 8;
+inline constexpr u32 kAdminServerInfo = 16;
+inline constexpr u32 kAdminAllSections =
+    kAdminCounters | kAdminGauges | kAdminHistograms | kAdminEvents |
+    kAdminServerInfo;
+
+/// Client (shadowtop) -> server: read-only request for a telemetry
+/// snapshot. Safe to send over a chaotic link — it mutates nothing and is
+/// idempotent.
+struct AdminQuery {
+  u32 protocol_version = kAdminProtocolVersion;
+  u32 sections = kAdminAllSections;
+  std::string prefix;  // metric-name prefix filter ("" = everything)
+  u64 max_events = 0;  // cap on event entries (0 = none even if requested)
+};
+
+/// Server -> client: the snapshot. Counters/gauges/histograms arrive
+/// sorted by name; events oldest-first. events_total is the ring's
+/// all-time count, so a poller can tell how many events it missed between
+/// queries.
+struct AdminReply {
+  u32 protocol_version = kAdminProtocolVersion;
+  bool ok = true;
+  std::string error;        // set when ok=false (e.g. version mismatch)
+  std::string server_name;  // kAdminServerInfo
+  u64 events_total = 0;     // kAdminEvents: EventRing::total_recorded()
+  telemetry::Snapshot snapshot;
+};
+
 using Message =
     std::variant<Hello, HelloReply, NotifyNewVersion, PullRequest, Update,
                  UpdateAck, SubmitJob, SubmitReply, StatusQuery, StatusReply,
-                 JobOutput, JobOutputAck>;
+                 JobOutput, JobOutputAck, AdminQuery, AdminReply>;
 
 MessageType type_of(const Message& message);
 

@@ -1,8 +1,64 @@
 #include "proto/session.hpp"
 
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 
 namespace shadow::proto {
+
+namespace {
+// Session-layer telemetry summed over every ReliableChannel (per-channel
+// numbers stay in ReliableChannel::Stats). Wire accounting holds by
+// construction: session.wire_bytes_sent ==
+// session.payload_bytes_sent + session.frame_overhead_bytes, measured at
+// frame-encode time; retransmitted bytes are tallied separately so the
+// identity is exact.
+struct SessionMetrics {
+  telemetry::Counter& data_sent;
+  telemetry::Counter& delivered;
+  telemetry::Counter& retransmits;
+  telemetry::Counter& retransmit_bytes;
+  telemetry::Counter& acks_sent;
+  telemetry::Counter& nacks_sent;
+  telemetry::Counter& duplicates_dropped;
+  telemetry::Counter& corrupt_dropped;
+  telemetry::Counter& out_of_order_held;
+  telemetry::Counter& overflow_dropped;
+  telemetry::Counter& resets_sent;
+  telemetry::Counter& resets_received;
+  telemetry::Counter& desyncs;
+  telemetry::Counter& wire_bytes_sent;
+  telemetry::Counter& payload_bytes_sent;
+  telemetry::Counter& frame_overhead_bytes;
+
+  static SessionMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static SessionMetrics m{r.counter("session.data_sent"),
+                            r.counter("session.delivered"),
+                            r.counter("session.retransmits"),
+                            r.counter("session.retransmit_bytes"),
+                            r.counter("session.acks_sent"),
+                            r.counter("session.nacks_sent"),
+                            r.counter("session.duplicates_dropped"),
+                            r.counter("session.corrupt_dropped"),
+                            r.counter("session.out_of_order_held"),
+                            r.counter("session.overflow_dropped"),
+                            r.counter("session.resets_sent"),
+                            r.counter("session.resets_received"),
+                            r.counter("session.desyncs"),
+                            r.counter("session.wire_bytes_sent"),
+                            r.counter("session.payload_bytes_sent"),
+                            r.counter("session.frame_overhead_bytes")};
+    return m;
+  }
+};
+
+void count_first_transmission(SessionMetrics& m, std::size_t wire_size,
+                              std::size_t payload_size) {
+  m.wire_bytes_sent.add(wire_size);
+  m.payload_bytes_sent.add(payload_size);
+  m.frame_overhead_bytes.add(wire_size - payload_size);
+}
+}  // namespace
 
 ReliableChannel::ReliableChannel(net::Transport* transport, Config config)
     : transport_(transport),
@@ -14,22 +70,38 @@ ReliableChannel::ReliableChannel(net::Transport* transport, Config config)
 Status ReliableChannel::send(Bytes payload) {
   const u64 seq = next_send_seq_++;
   Bytes wire = encode_frame(FrameType::kData, seq, payload);
+  SessionMetrics& metrics = SessionMetrics::get();
+  count_first_transmission(metrics, wire.size(), payload.size());
   auto [it, inserted] = unacked_.emplace(seq, std::move(wire));
   ++stats_.data_sent;
+  metrics.data_sent.add();
   Status st = transport_->send(it->second);
   arm_timer();
   return st;
 }
 
 void ReliableChannel::send_control(FrameType type, u64 seq) {
-  if (type == FrameType::kAck) ++stats_.acks_sent;
-  if (type == FrameType::kNack) ++stats_.nacks_sent;
-  if (type == FrameType::kReset) ++stats_.resets_sent;
-  (void)transport_->send(encode_frame(type, seq, Bytes{}));
+  SessionMetrics& metrics = SessionMetrics::get();
+  if (type == FrameType::kAck) {
+    ++stats_.acks_sent;
+    metrics.acks_sent.add();
+  }
+  if (type == FrameType::kNack) {
+    ++stats_.nacks_sent;
+    metrics.nacks_sent.add();
+  }
+  if (type == FrameType::kReset) {
+    ++stats_.resets_sent;
+    metrics.resets_sent.add();
+  }
+  Bytes wire = encode_frame(type, seq, Bytes{});
+  count_first_transmission(metrics, wire.size(), 0);
+  (void)transport_->send(wire);
 }
 
 void ReliableChannel::deliver(Bytes payload) {
   ++stats_.delivered;
+  SessionMetrics::get().delivered.add();
   if (receiver_) receiver_(std::move(payload));
 }
 
@@ -40,6 +112,7 @@ void ReliableChannel::on_wire(Bytes wire) {
     // was; the nack re-synchronizes the sender on our expected sequence
     // (and, if it was data, triggers its retransmission).
     ++stats_.corrupt_dropped;
+    SessionMetrics::get().corrupt_dropped.add();
     send_control(FrameType::kNack, expected_);
     return;
   }
@@ -95,26 +168,35 @@ void ReliableChannel::on_wire(Bytes wire) {
       // outstanding is the harmless answer.
       for (; it != unacked_.end(); ++it) {
         ++stats_.retransmits;
+        SessionMetrics& metrics = SessionMetrics::get();
+        metrics.retransmits.add();
+        metrics.retransmit_bytes.add(it->second.size());
         (void)transport_->send(it->second);
       }
       arm_timer();
       return;
     }
-    case FrameType::kReset:
+    case FrameType::kReset: {
       ++stats_.resets_received;
       ++stats_.desyncs;
+      SessionMetrics& metrics = SessionMetrics::get();
+      metrics.resets_received.add();
+      metrics.desyncs.add();
       expected_ = frame.seq;
       out_of_order_.clear();
       if (desync_cb_) desync_cb_();
       return;
+    }
   }
 }
 
 void ReliableChannel::handle_data(Frame frame) {
+  SessionMetrics& metrics = SessionMetrics::get();
   if (frame.seq < expected_) {
     // Duplicate (retransmission of something we already delivered). The
     // re-ack lets the sender clear its buffer if our first ack was lost.
     ++stats_.duplicates_dropped;
+    metrics.duplicates_dropped.add();
     send_control(FrameType::kAck, expected_ - 1);
     return;
   }
@@ -122,9 +204,11 @@ void ReliableChannel::handle_data(Frame frame) {
     // Gap: hold the frame for in-order delivery, ask for the missing one.
     if (out_of_order_.size() < config_.max_out_of_order) {
       ++stats_.out_of_order_held;
+      metrics.out_of_order_held.add();
       out_of_order_.emplace(frame.seq, std::move(frame.payload));
     } else {
       ++stats_.overflow_dropped;
+      metrics.overflow_dropped.add();
     }
     send_control(FrameType::kNack, expected_);
     return;
@@ -153,8 +237,11 @@ std::size_t ReliableChannel::tick() {
     return 0;
   }
   std::size_t resent = 0;
+  SessionMetrics& metrics = SessionMetrics::get();
   for (const auto& [seq, wire] : unacked_) {
     ++stats_.retransmits;
+    metrics.retransmits.add();
+    metrics.retransmit_bytes.add(wire.size());
     (void)transport_->send(wire);
     ++resent;
   }
@@ -163,6 +250,7 @@ std::size_t ReliableChannel::tick() {
 
 void ReliableChannel::declare_desync() {
   ++stats_.desyncs;
+  SessionMetrics::get().desyncs.add();
   SHADOW_WARN() << "session desync with " << transport_->peer_name()
                 << ": " << unacked_.size()
                 << " frames unacknowledged after retransmit limit";

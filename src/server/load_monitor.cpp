@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/registry.hpp"
+
 namespace shadow::server {
 
 void LoadMonitor::advance() const {
@@ -24,6 +26,16 @@ void LoadMonitor::set_demand(double demand) {
 double LoadMonitor::load_average() const {
   advance();
   return average_;
+}
+
+void LoadMonitor::publish() const {
+  auto& r = telemetry::Registry::global();
+  r.gauge("load.average").set(load_average());
+  r.gauge("load.demand").set(demand_);
+  r.gauge("load.high_water").set(config_.high_water);
+  r.gauge("load.decay_us").set(static_cast<double>(config_.decay));
+  r.gauge("load.backoff_us").set(static_cast<double>(config_.backoff));
+  r.gauge("load.overloaded").set(overloaded() ? 1.0 : 0.0);
 }
 
 }  // namespace shadow::server

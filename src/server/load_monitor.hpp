@@ -44,6 +44,14 @@ class LoadMonitor {
 
   const LoadMonitorConfig& config() const { return config_; }
 
+  /// Instantaneous demand last fed to set_demand().
+  double demand() const { return demand_; }
+
+  /// Mirror thresholds and current readings into the global telemetry
+  /// registry (load.average, load.demand, load.high_water, ...). Cold
+  /// path; called when an admin snapshot is taken.
+  void publish() const;
+
  private:
   /// Fold the elapsed time into the average.
   void advance() const;

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 
+#include "proto/admin.hpp"
+#include "telemetry/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
 #include "vfs/path.hpp"
 
 namespace shadow::server {
+
+namespace {
+// Flight-recorder entry for the global event ring (shadowtop's "events"
+// view). Cold-path only — every call site below is a state change, not a
+// per-byte hot loop.
+void record_event(telemetry::EventKind kind, std::string detail) {
+  telemetry::Registry::global().events().record(kind, std::move(detail));
+}
+}  // namespace
 
 const char* pull_policy_name(PullPolicy policy) {
   switch (policy) {
@@ -31,6 +42,9 @@ bool ShadowServer::persist_append(persist::RecordType type, Bytes body) {
   if (!st.ok()) {
     persist_dead_ = true;
     ++stats_.journal_failures;
+    record_event(telemetry::EventKind::kJournal,
+                 std::string("append refused (") +
+                     persist::record_type_name(type) + "); persistence dead");
     SHADOW_WARN() << config_.name << ": journal append failed ("
                   << persist::record_type_name(type)
                   << "): " << st.to_string();
@@ -48,6 +62,7 @@ bool ShadowServer::persist_append(persist::RecordType type, Bytes body) {
                     << ": compaction failed: " << cs.to_string();
     } else {
       ++stats_.compactions;
+      record_event(telemetry::EventKind::kJournal, "journal compacted");
     }
   }
   return true;
@@ -87,6 +102,8 @@ void ShadowServer::persist_eviction(const std::string& cache_key) {
 bool ShadowServer::load_says_wait() {
   if (!load_monitor_.overloaded()) return false;
   ++stats_.deferred_by_load;
+  telemetry::Registry::global().counter("load.deferrals").add();
+  record_event(telemetry::EventKind::kLoad, "work deferred by load monitor");
   // Self-schedule one retry per backoff window (§3: the system tunes
   // itself — no user or client intervention).
   if (sim_ != nullptr && !load_retry_scheduled_) {
@@ -127,6 +144,10 @@ std::size_t ShadowServer::tick() {
 
 void ShadowServer::resync_connection(Connection* conn) {
   ++stats_.session_resyncs;
+  record_event(telemetry::EventKind::kSession,
+               "session resync with " +
+                   (conn->client_name.empty() ? std::string("<pre-hello>")
+                                              : conn->client_name));
   // Frames may have been lost in either direction. Re-arm every pull that
   // was in flight (the request or its answer may be gone) and re-deliver
   // outputs the client never acknowledged; duplicates are harmless — the
@@ -197,6 +218,9 @@ void ShadowServer::send_to(const std::string& client_name,
 void ShadowServer::on_message(Connection* conn, Bytes wire) {
   auto decoded = proto::decode_message(wire);
   if (!decoded.ok()) {
+    telemetry::Registry::global().counter("server.malformed_dropped").add();
+    record_event(telemetry::EventKind::kMessage,
+                 "malformed message dropped: " + decoded.error().to_string());
     SHADOW_WARN() << config_.name
                   << ": dropping malformed message: "
                   << decoded.error().to_string();
@@ -210,7 +234,8 @@ void ShadowServer::on_message(Connection* conn, Bytes wire) {
                       std::is_same_v<T, proto::Update> ||
                       std::is_same_v<T, proto::SubmitJob> ||
                       std::is_same_v<T, proto::StatusQuery> ||
-                      std::is_same_v<T, proto::JobOutputAck>) {
+                      std::is_same_v<T, proto::JobOutputAck> ||
+                      std::is_same_v<T, proto::AdminQuery>) {
           handle(conn, m);
         } else {
           SHADOW_WARN() << config_.name << ": unexpected message type "
@@ -237,6 +262,8 @@ ShadowServer::FileState& ShadowServer::file_state(
 void ShadowServer::handle(Connection* conn, const proto::Hello& m) {
   conn->client_name = m.client_name;
   clients_[m.client_name] = conn;
+  record_event(telemetry::EventKind::kServer,
+               "hello from " + m.client_name + " (domain " + m.domain + ")");
   // Ensure the domain directory exists (paper §5.3: the server's name
   // space is divided into per-domain directories).
   domains_.domain(m.domain);
@@ -462,6 +489,10 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
   if (!put.ok() && needed_by_job) {
     pinned_[state.cache_key] = PinnedFile{m.new_version, content};
   }
+  record_event(telemetry::EventKind::kCache,
+               (put.ok() ? "cached " : "cache refused ") + state.cache_key +
+                   " v" + std::to_string(m.new_version) + " (" +
+                   std::to_string(content.size()) + " bytes)");
 
   // The write-ahead rule: the ack below is a durability promise, so the
   // record must hit the journal (and survive its fsync) first. A refused
@@ -513,6 +544,8 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
   if (config_.max_queued_jobs != 0 &&
       queue_.active_count() >= config_.max_queued_jobs) {
     ++stats_.jobs_rejected;
+    record_event(telemetry::EventKind::kJob,
+                 "submit rejected (queue full) from " + conn->client_name);
     proto::SubmitReply reject;
     reject.client_job_token = m.client_job_token;
     reject.job_id = 0;
@@ -569,6 +602,13 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
       return;  // not durable: no reply; the client resubmits after reconnect
     }
   }
+
+  // Event details are one-line; keep only the command's first line.
+  std::string command_head =
+      m.command_file.substr(0, m.command_file.find('\n'));
+  record_event(telemetry::EventKind::kJob,
+               "job " + std::to_string(job_id) + " accepted from " +
+                   conn->client_name + " (" + command_head + ")");
 
   proto::SubmitReply reply;
   reply.client_job_token = m.client_job_token;
@@ -706,6 +746,10 @@ void ShadowServer::finish_job(u64 job_id, job::ExecutionResult result) {
     (void)queue_.transition(job_id, proto::JobState::kFailed,
                             "failed: " + result.error);
   }
+  record_event(telemetry::EventKind::kJob,
+               "job " + std::to_string(job_id) +
+                   (result.exit_code == 0 ? " completed" : " failed") +
+                   " (exit " + std::to_string(result.exit_code) + ")");
 
   // The result must be durable before it is delivered: the client's
   // JobOutputAck would otherwise mark delivered a result a crashed server
@@ -866,6 +910,15 @@ void ShadowServer::handle(Connection* conn, const proto::JobOutputAck& m) {
                                 ? record.client_name
                                 : record.output_route;
   send_to(route, out);
+}
+
+void ShadowServer::handle(Connection* conn, const proto::AdminQuery& m) {
+  // Read-only: refresh the mirrored server.*/load.* values, then answer
+  // from the global registry. Version mismatches come back ok=false from
+  // the builder; the query mutates nothing, so it is chaos-safe.
+  sync_telemetry();
+  send(conn, proto::build_admin_reply(m, telemetry::Registry::global(),
+                                      config_.name));
 }
 
 namespace {
@@ -1179,6 +1232,11 @@ Status ShadowServer::recover_from_storage() {
 
   requeue_orphans();
 
+  record_event(telemetry::EventKind::kServer,
+               "recovered from storage: " +
+                   std::to_string(stats_.recovered_records) +
+                   " journal records replayed");
+
   if (dirty) {
     // Fold the replay into a fresh snapshot and truncate — this is also
     // what durably discards a torn tail instead of re-reading it forever.
@@ -1195,6 +1253,62 @@ Status ShadowServer::recover_from_storage() {
 
   schedule_jobs();
   return Status();
+}
+
+void ShadowServer::sync_telemetry() const {
+  auto& r = telemetry::Registry::global();
+  // store(), not add(): these counters MIRROR the authoritative ServerStats
+  // accumulators, so re-syncing is idempotent.
+  r.counter("server.notifies_received").store(stats_.notifies_received);
+  r.counter("server.pulls_sent").store(stats_.pulls_sent);
+  r.counter("server.pulls_deferred").store(stats_.pulls_deferred);
+  r.counter("server.updates_received").store(stats_.updates_received);
+  r.counter("server.update_bytes").store(stats_.update_bytes);
+  r.counter("server.full_transfers").store(stats_.full_transfers);
+  r.counter("server.delta_transfers").store(stats_.delta_transfers);
+  r.counter("server.jobs_submitted").store(stats_.jobs_submitted);
+  r.counter("server.jobs_rejected").store(stats_.jobs_rejected);
+  r.counter("server.jobs_completed").store(stats_.jobs_completed);
+  r.counter("server.jobs_failed").store(stats_.jobs_failed);
+  r.counter("server.outputs_sent").store(stats_.outputs_sent);
+  r.counter("server.output_bytes").store(stats_.output_bytes);
+  r.counter("server.output_delta_hits").store(stats_.output_delta_hits);
+  r.counter("server.unsolicited_updates").store(stats_.unsolicited_updates);
+  r.counter("server.deferred_by_load").store(stats_.deferred_by_load);
+  r.counter("server.session_resyncs").store(stats_.session_resyncs);
+  r.counter("server.journal_appends").store(stats_.journal_appends);
+  r.counter("server.journal_failures").store(stats_.journal_failures);
+  r.counter("server.compactions").store(stats_.compactions);
+  r.counter("server.recovered_records").store(stats_.recovered_records);
+  r.counter("server.requeued_jobs").store(stats_.requeued_jobs);
+  r.counter("server.retry_capped_jobs").store(stats_.retry_capped_jobs);
+
+  r.gauge("server.connections").set(static_cast<double>(connections_.size()));
+  r.gauge("server.named_clients").set(static_cast<double>(clients_.size()));
+  r.gauge("server.tracked_files").set(static_cast<double>(files_.size()));
+  r.gauge("server.outstanding_pulls")
+      .set(static_cast<double>(outstanding_pulls_));
+  r.gauge("server.running_jobs").set(static_cast<double>(running_jobs_));
+  r.gauge("server.active_jobs")
+      .set(static_cast<double>(queue_.active_count()));
+  r.gauge("server.cache_bytes").set(static_cast<double>(cache_.bytes_used()));
+  r.gauge("server.cache_entries")
+      .set(static_cast<double>(cache_.entry_count()));
+  r.gauge("server.pinned_files").set(static_cast<double>(pinned_.size()));
+  r.gauge("server.output_cache_entries")
+      .set(static_cast<double>(output_cache_.size()));
+  r.gauge("server.persist_alive").set(persist_alive() ? 1.0 : 0.0);
+
+  // Per-connection session totals, summed (the per-channel breakdown stays
+  // in ReliableChannel::Stats).
+  const auto sessions = session_stats();
+  r.counter("server.session_data_sent").store(sessions.data_sent);
+  r.counter("server.session_delivered").store(sessions.delivered);
+  r.counter("server.session_retransmits").store(sessions.retransmits);
+  r.counter("server.session_corrupt_dropped").store(sessions.corrupt_dropped);
+  r.counter("server.session_desyncs").store(sessions.desyncs);
+
+  load_monitor_.publish();
 }
 
 void ShadowServer::evict_file(const naming::GlobalFileId& id) {

@@ -126,6 +126,12 @@ class ShadowServer {
   /// Reliable-session stats summed over all connections (diagnostics).
   proto::ReliableChannel::Stats session_stats() const;
 
+  /// Mirror this server's accumulated ServerStats, queue/cache/connection
+  /// readings and load-monitor state into the global telemetry registry
+  /// (server.* and load.* names). Called before every admin snapshot so
+  /// shadowtop sees current values; cheap enough to call at will.
+  void sync_telemetry() const;
+
   /// Snapshot the server's durable state: the shadow cache, the per-domain
   /// name maps, per-file version tracking and the reverse-shadow output
   /// cache. Live connections and in-flight jobs are NOT included — after
@@ -173,6 +179,7 @@ class ShadowServer {
   void handle(Connection* conn, const proto::SubmitJob& m);
   void handle(Connection* conn, const proto::StatusQuery& m);
   void handle(Connection* conn, const proto::JobOutputAck& m);
+  void handle(Connection* conn, const proto::AdminQuery& m);
 
   void send_to(const std::string& client_name, const proto::Message& m);
   void send(Connection* conn, const proto::Message& m);

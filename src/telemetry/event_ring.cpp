@@ -1,0 +1,58 @@
+#include "telemetry/event_ring.hpp"
+
+#include <algorithm>
+
+namespace shadow::telemetry {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMessage: return "message";
+    case EventKind::kCache: return "cache";
+    case EventKind::kJournal: return "journal";
+    case EventKind::kJob: return "job";
+    case EventKind::kSession: return "session";
+    case EventKind::kLoad: return "load";
+    case EventKind::kServer: return "server";
+  }
+  return "?";
+}
+
+EventRing::EventRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void EventRing::record(EventKind kind, std::string detail) {
+  if (detail.size() > kMaxDetailBytes) detail.resize(kMaxDetailBytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& slot = ring_[next_seq_ % capacity_];
+  slot.seq = next_seq_++;
+  slot.kind = kind;
+  slot.detail = std::move(detail);
+}
+
+std::vector<Event> EventRing::recent(std::size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 total = next_seq_ - 1;
+  u64 held = std::min<u64>(total, capacity_);
+  if (max != 0) held = std::min<u64>(held, max);
+  std::vector<Event> out;
+  out.reserve(held);
+  for (u64 seq = next_seq_ - held; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+u64 EventRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void EventRing::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : ring_) e = Event{};
+  next_seq_ = 1;
+}
+
+}  // namespace shadow::telemetry

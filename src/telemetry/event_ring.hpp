@@ -1,0 +1,61 @@
+// Fixed-size ring of recent protocol/storage events — the flight recorder
+// behind `shadowtop events`. Bounded memory, O(1) record, and one hard
+// invariant the telemetry tests enforce: the ring always holds the
+// min(total_recorded, capacity) MOST RECENT events, with strictly
+// increasing sequence numbers and no gaps.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace shadow::telemetry {
+
+/// Coarse event taxonomy; the detail string carries the specifics.
+enum class EventKind : u16 {
+  kMessage = 1,  // protocol message received/sent
+  kCache = 2,    // shadow-cache insert/evict/reject
+  kJournal = 3,  // persist-layer append/compaction/recovery
+  kJob = 4,      // job lifecycle transition
+  kSession = 5,  // reliable-session resync/desync
+  kLoad = 6,     // load-monitor deferral
+  kServer = 7,   // server lifecycle (connect, recover, shutdown)
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  u64 seq = 0;  // 1-based, strictly increasing, never reused
+  EventKind kind = EventKind::kServer;
+  std::string detail;
+};
+
+class EventRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+  /// Longer details are truncated at record() time: the ring's footprint
+  /// stays bounded no matter what callers pass in.
+  static constexpr std::size_t kMaxDetailBytes = 160;
+
+  explicit EventRing(std::size_t capacity = kDefaultCapacity);
+
+  void record(EventKind kind, std::string detail);
+
+  /// The most recent min(max, size) events, oldest first (0 = all held).
+  std::vector<Event> recent(std::size_t max = 0) const;
+
+  u64 total_recorded() const;
+  std::size_t capacity() const { return capacity_; }
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;  // ring_[seq % capacity_]
+  u64 next_seq_ = 1;
+};
+
+}  // namespace shadow::telemetry

@@ -1,0 +1,225 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace shadow::telemetry {
+
+std::size_t Histogram::bucket_index(u64 v) {
+  // bit_width(0) == 0, bit_width(1) == 1, ... bit_width(2^63) == 64.
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+u64 Histogram::bucket_floor(std::size_t i) {
+  if (i == 0) return 0;
+  return u64{1} << (i - 1);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+template <typename Map>
+auto& fetch_or_create(Map& map, std::string_view name, std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return fetch_or_create(counters_, name, mu_);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return fetch_or_create(gauges_, name, mu_);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return fetch_or_create(histograms_, name, mu_);
+}
+
+namespace {
+bool has_prefix(const std::string& name, std::string_view prefix) {
+  return prefix.empty() ||
+         (name.size() >= prefix.size() &&
+          name.compare(0, prefix.size(), prefix) == 0);
+}
+}  // namespace
+
+Snapshot Registry::snapshot(std::string_view prefix,
+                            std::size_t max_events) const {
+  Snapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) {
+      if (has_prefix(name, prefix)) out.counters.push_back({name, c->value()});
+    }
+    for (const auto& [name, g] : gauges_) {
+      if (has_prefix(name, prefix)) out.gauges.push_back({name, g->value()});
+    }
+    for (const auto& [name, h] : histograms_) {
+      if (!has_prefix(name, prefix)) continue;
+      HistogramSnapshot hs;
+      hs.name = name;
+      hs.count = h->count();
+      hs.sum = h->sum();
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        const u64 c = h->bucket(i);
+        if (c != 0) hs.buckets.emplace_back(static_cast<u8>(i), c);
+      }
+      out.histograms.push_back(std::move(hs));
+    }
+  }
+  if (max_events != 0) out.events = events_.recent(max_events);
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  events_.reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+void append_format(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void append_format(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+/// JSON string escaping for metric names and event details (control
+/// characters, quotes, backslashes; everything else passes through).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_format(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string render_text(const Snapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& c : snapshot.counters) {
+      append_format(out, "  %-44s %" PRIu64 "\n", c.name.c_str(), c.value);
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& g : snapshot.gauges) {
+      append_format(out, "  %-44s %.3f\n", g.name.c_str(), g.value);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& h : snapshot.histograms) {
+      append_format(out, "  %-44s count=%" PRIu64 " sum=%" PRIu64 "\n",
+                    h.name.c_str(), h.count, h.sum);
+      for (const auto& [idx, count] : h.buckets) {
+        const u64 lo = Histogram::bucket_floor(idx);
+        std::string bar(static_cast<std::size_t>(
+                            std::min<u64>(40, count)), '#');
+        append_format(out, "    [%12" PRIu64 ", ...)  %-8" PRIu64 " %s\n",
+                      lo, count, bar.c_str());
+      }
+    }
+  }
+  if (!snapshot.events.empty()) {
+    out += "events (oldest first):\n";
+    for (const auto& e : snapshot.events) {
+      append_format(out, "  #%-6" PRIu64 " %-8s %s\n", e.seq,
+                    event_kind_name(e.kind), e.detail.c_str());
+    }
+  }
+  if (out.empty()) out = "(no metrics)\n";
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    append_format(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+                  json_escape(c.name).c_str(), c.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    append_format(out, "%s\n    \"%s\": %.6f", first ? "" : ",",
+                  json_escape(g.name).c_str(), g.value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    append_format(out, "%s\n    \"%s\": {\"count\": %" PRIu64
+                       ", \"sum\": %" PRIu64 ", \"buckets\": [",
+                  first ? "" : ",", json_escape(h.name).c_str(), h.count,
+                  h.sum);
+    bool bfirst = true;
+    for (const auto& [idx, count] : h.buckets) {
+      append_format(out, "%s[%" PRIu64 ", %" PRIu64 "]", bfirst ? "" : ", ",
+                    Histogram::bucket_floor(idx), count);
+      bfirst = false;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"events\": [";
+  first = true;
+  for (const auto& e : snapshot.events) {
+    append_format(out, "%s\n    {\"seq\": %" PRIu64
+                       ", \"kind\": \"%s\", \"detail\": \"%s\"}",
+                  first ? "" : ",", e.seq, event_kind_name(e.kind),
+                  json_escape(e.detail).c_str());
+    first = false;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace shadow::telemetry

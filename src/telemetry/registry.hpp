@@ -1,0 +1,173 @@
+// First-class observability for the shadow system (ROADMAP: heavy
+// multi-user traffic needs the server to SEE its own load — the paper's
+// §5.2 "monitoring the load average, cache size ... number of incoming
+// jobs" made queryable instead of buried in private fields).
+//
+// A Registry is a nameable, enumerable set of metrics:
+//   * Counter   — monotonic u64 (events that happened),
+//   * Gauge     — instantaneous double (current readings: load average,
+//                 cache bytes, queue depth),
+//   * Histogram — log2-bucketed u64 distribution (latencies, sizes).
+//
+// Lock-cheap by construction: instrumentation sites resolve their metric
+// ONCE (registration takes a mutex, returns a stable reference) and then
+// touch only relaxed atomics. The hot path is a single fetch_add.
+//
+//   static auto& c_hits = telemetry::Registry::global()
+//                             .counter("cache.hits");
+//   c_hits.add();
+//
+// One process-global registry serves the daemon (shadowd exposes it over
+// the AdminQuery/AdminReply channel; see docs/OBSERVABILITY.md for the
+// naming scheme). Tests may construct private registries, or zero the
+// global one with reset_values() — references stay valid forever; metrics
+// are never deleted.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/event_ring.hpp"
+#include "util/types.hpp"
+
+namespace shadow::telemetry {
+
+/// Monotonic event count. store() exists only for mirroring an externally
+/// accumulated statistic (e.g. ServerStats) into the registry; organic
+/// instrumentation uses add().
+class Counter {
+ public:
+  void add(u64 n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void store(u64 v) { value_.store(v, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<u64> value_{0};
+};
+
+/// Instantaneous reading; set() overwrites.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed distribution of u64 samples: bucket i holds samples whose
+/// bit width is i (bucket 0 = value 0, bucket 1 = 1, bucket 2 = 2..3,
+/// bucket 3 = 4..7, ... bucket 64 = 2^63..). Fixed footprint, O(1)
+/// observe, no allocation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(u64 v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  u64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  u64 bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket index a value falls in.
+  static std::size_t bucket_index(u64 v);
+  /// Smallest value of bucket i (0, 1, 2, 4, 8, ...).
+  static u64 bucket_floor(std::size_t i);
+
+ private:
+  friend class Registry;
+  void reset();
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_{0};
+  std::atomic<u64> buckets_[kBuckets] = {};
+};
+
+// ---- enumeration ----
+
+struct CounterSnapshot {
+  std::string name;
+  u64 value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  u64 count = 0;
+  u64 sum = 0;
+  /// Sparse: only non-empty buckets, as (bucket index, count).
+  std::vector<std::pair<u8, u64>> buckets;
+};
+
+/// Point-in-time, self-contained copy of a registry (and optionally the
+/// event ring) — what the admin channel ships and the renderers consume.
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;   // sorted by name
+  std::vector<GaugeSnapshot> gauges;       // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+  std::vector<Event> events;               // oldest -> newest
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Fetch-or-create by name. References remain valid for the registry's
+  /// lifetime (metrics are never deleted). A name denotes one kind only;
+  /// re-registering under a different kind is an abort-worthy bug, caught
+  /// by assert in debug builds and by the first snapshot in release.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  EventRing& events() { return events_; }
+  const EventRing& events() const { return events_; }
+
+  /// Enumerate everything whose name starts with `prefix` ("" = all).
+  /// `max_events` caps the event section (0 = none included).
+  Snapshot snapshot(std::string_view prefix = {},
+                    std::size_t max_events = 0) const;
+
+  /// Zero every value and clear the ring; references stay valid. Tests
+  /// call this between trials to measure per-trial deltas.
+  void reset_values();
+
+  /// The process-wide registry all built-in instrumentation feeds.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  EventRing events_;
+};
+
+/// Human-oriented flat text ("name value" lines, histogram bucket bars,
+/// recent events) — what `shadowtop` and `shadowd --metrics` print.
+std::string render_text(const Snapshot& snapshot);
+
+/// Machine-oriented JSON export (stable key order; no external deps).
+std::string render_json(const Snapshot& snapshot);
+
+}  // namespace shadow::telemetry

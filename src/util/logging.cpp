@@ -1,6 +1,8 @@
 #include "util/logging.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace shadow {
@@ -17,6 +19,22 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+Result<LogLevel> log_level_from_name(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return Error{ErrorCode::kInvalidArgument,
+               "unknown log level '" + std::string(name) +
+                   "' (want trace|debug|info|warn|error|off)"};
+}
+
 namespace {
 std::mutex g_log_mutex;
 
@@ -26,7 +44,17 @@ void stderr_sink(LogLevel level, const std::string& message) {
 }
 }  // namespace
 
-Logger::Logger() : sink_(stderr_sink) {}
+Logger::Logger() : sink_(stderr_sink) {
+  if (const char* env = std::getenv("SHADOW_LOG_LEVEL")) {
+    auto level = log_level_from_name(env);
+    if (level.ok()) {
+      level_ = level.value();
+    } else {
+      std::fprintf(stderr, "[WARN] ignoring SHADOW_LOG_LEVEL: %s\n",
+                   level.error().to_string().c_str());
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;

@@ -8,15 +8,24 @@
 #include <sstream>
 #include <string>
 
+#include "util/result.hpp"
+
 namespace shadow {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 const char* log_level_name(LogLevel level);
 
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off";
+/// case-insensitive). The inverse of log_level_name — what `--log-level`
+/// and the SHADOW_LOG_LEVEL environment variable accept.
+Result<LogLevel> log_level_from_name(std::string_view name);
+
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
-/// Global logger configuration.
+/// Global logger configuration. The first instance() call honours the
+/// SHADOW_LOG_LEVEL environment variable (any log_level_from_name()
+/// spelling); a later set_level() — e.g. from --log-level — overrides it.
 class Logger {
  public:
   static Logger& instance();

@@ -21,6 +21,7 @@
 #include "net/fault_transport.hpp"
 #include "net/loopback.hpp"
 #include "server/shadow_server.hpp"
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 #include "vfs/cluster.hpp"
 
@@ -39,6 +40,24 @@ class QuietLogs {
  private:
   LogLevel saved_;
 };
+
+/// Accounting identities the global telemetry registry must satisfy after
+/// ANY workload — fault-injected or not. Counters accumulate across the
+/// whole test binary; the identities hold at every instant because each
+/// instrumentation site increments both sides of its equation together.
+void expect_metrics_invariants() {
+  auto& reg = telemetry::Registry::global();
+  EXPECT_EQ(reg.counter("cache.lookups").value(),
+            reg.counter("cache.hits").value() +
+                reg.counter("cache.misses").value());
+  EXPECT_EQ(reg.counter("diff.computes").value(),
+            reg.counter("diff.ed_deltas").value() +
+                reg.counter("diff.block_deltas").value() +
+                reg.counter("diff.full_fallbacks").value());
+  EXPECT_EQ(reg.counter("session.wire_bytes_sent").value(),
+            reg.counter("session.payload_bytes_sent").value() +
+                reg.counter("session.frame_overhead_bytes").value());
+}
 
 void expect_conformance(diff::Algorithm algorithm, u64 seed) {
   core::ChaosOptions base;
@@ -60,6 +79,7 @@ void expect_conformance(diff::Algorithm algorithm, u64 seed) {
   EXPECT_EQ(outcome.final_content, oracle.final_content) << repro;
   EXPECT_EQ(outcome.server_cached, oracle.server_cached) << repro;
   EXPECT_EQ(outcome.job_output, oracle.job_output) << repro;
+  expect_metrics_invariants();
 }
 
 class ChaosConformance

@@ -71,5 +71,45 @@ grep -q "restored state from .* (1 cached files)" "$LOG" || fail "daemon did not
 printf 'quit\n' | "$BUILD_DIR/tools/shadow" --connect "$PORT2" > /dev/null
 wait "$DPID"
 
+# --- third phase: live telemetry over the admin channel -----------------
+# A journaled reverse-shadow daemon serves a scripted edit+submit session;
+# shadowtop (a second, concurrent connection) must then see non-zero diff,
+# cache and persist counters, and its protocol selftest must pass.
+PORT4=$((20000 + RANDOM % 20000))
+JOURNAL=$(mktemp -d)
+"$BUILD_DIR/tools/shadowd" --port "$PORT4" --reverse-shadow --journal "$JOURNAL" > "$LOG" 2>&1 &
+DPID=$!
+for _ in $(seq 1 50); do
+  grep -q "listening" "$LOG" && break
+  sleep 0.1
+done
+printf 'gen /home/user/d 1000 7\nedit /home/user/c\nsort d\n.\nsubmit /home/user/c /home/user/d -o /home/user/out\nstatus\nedit /home/user/c\nsort d\nwc d\n.\nsubmit /home/user/c /home/user/d -o /home/user/out\nstatus\nquit\n' \
+  | "$BUILD_DIR/tools/shadow" --connect "$PORT4" > /dev/null 2>&1
+
+TOP=$("$BUILD_DIR/tools/shadowtop" --connect "$PORT4" --events 32)
+TOP_RC=$?
+topfail() { echo "FAIL: $1"; echo "--- shadowtop ---"; echo "$TOP"; echo "--- daemon ---"; cat "$LOG"; kill "$DPID" 2>/dev/null; rm -rf "$LOG" "$JOURNAL"; exit 1; }
+[ "$TOP_RC" -eq 0 ] || topfail "shadowtop exit code $TOP_RC"
+nonzero() {  # metric name must be present with a non-zero value
+  echo "$TOP" | grep -E "^  $1 " | grep -qv " 0\$" || topfail "$1 is missing or zero"
+}
+nonzero "diff.applies"
+nonzero "cache.puts"
+nonzero "cache.lookups"
+nonzero "persist.appends"
+nonzero "persist.fsyncs"
+nonzero "server.jobs_completed"
+echo "$TOP" | grep -q "job 1 completed" || topfail "job event missing from ring"
+
+"$BUILD_DIR/tools/shadowtop" --connect "$PORT4" --json \
+  | grep -q '"counters"' || topfail "JSON export missing counters"
+
+"$BUILD_DIR/tools/shadowtop" --connect "$PORT4" --selftest \
+  || topfail "shadowtop selftest failed"
+
+kill "$DPID" 2>/dev/null
+wait "$DPID" 2>/dev/null
+rm -rf "$JOURNAL"
+
 rm -f "$LOG" "$STATE"
 echo "PASS: cli end-to-end"

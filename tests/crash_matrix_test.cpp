@@ -17,6 +17,7 @@
 #include "persist/durable_store.hpp"
 #include "server/shadow_server.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 #include "vfs/cluster.hpp"
 
@@ -69,6 +70,20 @@ u64 sweep_matrix(const CrashOptions& options, bool expect_acked_survival) {
         << "job outputs diverged from the no-crash run";
     if (out.discarded_tail_bytes > 0) ++torn_trials;
   }
+
+  // Persist-layer telemetry accounting: every recovery, torn tail and
+  // replayed record in the sweep also incremented its global counter.
+  // A lying fsync may legitimately lose every journal record, so replay
+  // counts are only demanded where acked state had to survive.
+  auto& reg = telemetry::Registry::global();
+  EXPECT_GT(reg.counter("persist.recoveries").value(), 0u);
+  if (expect_acked_survival) {
+    EXPECT_GT(reg.counter("persist.replayed_records").value(), 0u);
+  }
+  EXPECT_GE(reg.counter("persist.torn_tails").value(), torn_trials);
+  EXPECT_EQ(reg.counter("cache.lookups").value(),
+            reg.counter("cache.hits").value() +
+                reg.counter("cache.misses").value());
   return torn_trials;
 }
 

@@ -177,10 +177,51 @@ TEST(MessagesTest, JobOutputAckRoundTrip) {
   EXPECT_EQ(out.error, "missing base");
 }
 
+TEST(MessagesTest, AdminQueryRoundTrip) {
+  AdminQuery m;
+  m.sections = kAdminCounters | kAdminHistograms;
+  m.prefix = "session.";
+  m.max_events = 100;
+  const auto out = roundtrip(m);
+  EXPECT_EQ(out.protocol_version, kAdminProtocolVersion);
+  EXPECT_EQ(out.sections, m.sections);
+  EXPECT_EQ(out.prefix, "session.");
+  EXPECT_EQ(out.max_events, 100u);
+}
+
+TEST(MessagesTest, AdminReplyRoundTrip) {
+  AdminReply m;
+  m.server_name = "cyber-205";
+  m.events_total = 42;
+  m.snapshot.counters = {{"diff.computes", 17}};
+  m.snapshot.gauges = {{"load.average", 1.5}};
+  telemetry::HistogramSnapshot h;
+  h.name = "persist.record_bytes";
+  h.count = 2;
+  h.sum = 96;
+  h.buckets = {{6, 2}};
+  m.snapshot.histograms = {h};
+  m.snapshot.events = {{7, telemetry::EventKind::kJournal, "compacted"}};
+  const auto out = roundtrip(m);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.server_name, "cyber-205");
+  EXPECT_EQ(out.events_total, 42u);
+  ASSERT_EQ(out.snapshot.counters.size(), 1u);
+  EXPECT_EQ(out.snapshot.counters[0].value, 17u);
+  ASSERT_EQ(out.snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.snapshot.gauges[0].value, 1.5);
+  ASSERT_EQ(out.snapshot.histograms.size(), 1u);
+  EXPECT_EQ(out.snapshot.histograms[0].sum, 96u);
+  ASSERT_EQ(out.snapshot.events.size(), 1u);
+  EXPECT_EQ(out.snapshot.events[0].detail, "compacted");
+}
+
 TEST(MessagesTest, TypeOfMatchesTag) {
   EXPECT_EQ(type_of(Message(Hello{})), MessageType::kHello);
   EXPECT_EQ(type_of(Message(JobOutputAck{})), MessageType::kJobOutputAck);
   EXPECT_EQ(type_of(Message(Update{})), MessageType::kUpdate);
+  EXPECT_EQ(type_of(Message(AdminQuery{})), MessageType::kAdminQuery);
+  EXPECT_EQ(type_of(Message(AdminReply{})), MessageType::kAdminReply);
 }
 
 TEST(MessagesTest, RejectsUnknownTag) {

@@ -6,6 +6,7 @@
 
 #include "core/system.hpp"
 #include "core/workload.hpp"
+#include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 
 namespace shadow::core {
@@ -117,6 +118,25 @@ TEST_P(SystemStress, RandomOpsThenInvariantsHold) {
           << "seed " << seed << " file " << key;
     }
   }
+
+  // Telemetry accounting identities hold after any interleaving (the
+  // registry is process-global and accumulates across seeds; the
+  // identities hold at every instant regardless).
+  auto& reg = telemetry::Registry::global();
+  EXPECT_EQ(reg.counter("cache.lookups").value(),
+            reg.counter("cache.hits").value() +
+                reg.counter("cache.misses").value())
+      << "seed " << seed;
+  EXPECT_EQ(reg.counter("diff.computes").value(),
+            reg.counter("diff.ed_deltas").value() +
+                reg.counter("diff.block_deltas").value() +
+                reg.counter("diff.full_fallbacks").value())
+      << "seed " << seed;
+  EXPECT_GE(reg.counter("job.transitions").value(),
+            reg.counter("job.completions").value() +
+                reg.counter("job.failures").value() +
+                reg.counter("job.deliveries").value())
+      << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SystemStress, ::testing::Range(0, 12));

@@ -80,6 +80,25 @@ TEST(ErrorCodeTest, AllNamesDistinct) {
   EXPECT_EQ(names.count("UNKNOWN"), 0u);
 }
 
+// ---- logging ----
+
+TEST(LoggingTest, LevelFromNameInvertsLevelName) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    auto parsed = log_level_from_name(log_level_name(level));
+    ASSERT_TRUE(parsed.ok()) << log_level_name(level);
+    EXPECT_EQ(parsed.value(), level);
+  }
+}
+
+TEST(LoggingTest, LevelFromNameAcceptsAnyCaseAndAliases) {
+  EXPECT_EQ(log_level_from_name("debug").value(), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("WARNING").value(), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("none").value(), LogLevel::kOff);
+  EXPECT_FALSE(log_level_from_name("chatty").ok());
+  EXPECT_FALSE(log_level_from_name("").ok());
+}
+
 // ---- CRC32 ----
 
 TEST(Crc32Test, KnownVector) {

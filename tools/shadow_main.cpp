@@ -16,6 +16,7 @@
 #include "client/shadow_editor.hpp"
 #include "net/tcp_transport.hpp"
 #include "tools/shadow_shell.hpp"
+#include "util/logging.hpp"
 #include "vfs/cluster.hpp"
 
 using namespace shadow;
@@ -58,9 +59,23 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (arg == "--verbose") {
+      Logger::instance().set_level(LogLevel::kDebug);
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v != nullptr) {
+        auto level = log_level_from_name(v);
+        if (!level.ok()) {
+          std::fprintf(stderr, "shadow: %s\n",
+                       level.error().to_string().c_str());
+          return 2;
+        }
+        Logger::instance().set_level(level.value());
+      }
     } else if (arg == "--help") {
       std::printf("usage: shadow [--connect PORT] [--name NAME] "
-                  "[--server NAME] [--algorithm ALGO] [--codec CODEC]\n");
+                  "[--server NAME] [--algorithm ALGO] [--codec CODEC] "
+                  "[--verbose] [--log-level LEVEL]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());

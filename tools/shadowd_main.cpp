@@ -89,13 +89,25 @@ int main(int argc, char** argv) {
       if (const char* v = next()) journal_dir = v;
     } else if (arg == "--verbose") {
       Logger::instance().set_level(LogLevel::kDebug);
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v != nullptr) {
+        auto level = log_level_from_name(v);
+        if (!level.ok()) {
+          std::fprintf(stderr, "shadowd: %s\n",
+                       level.error().to_string().c_str());
+          return 2;
+        }
+        Logger::instance().set_level(level.value());
+      }
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--help") {
       std::printf("usage: shadowd [--port N] [--name NAME] "
                   "[--cache-budget BYTES] [--eviction POLICY] "
                   "[--reverse-shadow] [--codec CODEC] [--state FILE] "
-                  "[--journal DIR] [--once] [--verbose]\n");
+                  "[--journal DIR] [--once] [--verbose] "
+                  "[--log-level LEVEL]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());

@@ -1,0 +1,267 @@
+// shadowtop — live telemetry viewer for a running shadowd.
+//
+//   shadowtop --connect PORT [--interval SECONDS] [--json]
+//             [--filter PREFIX] [--events N] [--selftest] [--timeout MS]
+//
+// One-shot by default: sends a single AdminQuery, renders the reply and
+// exits. With --interval it redraws every N seconds until killed (a
+// poor-man's top(1) over the admin channel). --json emits the snapshot as
+// machine-readable JSON instead of the text view. --selftest runs the
+// admin-protocol conformance checks against the live daemon (version
+// echo, bad-version rejection, counter monotonicity, contiguous event
+// sequence numbers, histogram consistency, section masking) and exits
+// non-zero on the first violation.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "net/tcp_transport.hpp"
+#include "proto/messages.hpp"
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+using namespace shadow;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+/// Send `query` and poll until an AdminReply arrives (or `timeout_ms`
+/// passes). Any other message type is ignored — the daemon may be serving
+/// real clients on the same dispatcher.
+Result<proto::AdminReply> query_once(net::TcpTransport& transport,
+                                     const proto::AdminQuery& query,
+                                     int timeout_ms) {
+  std::optional<proto::AdminReply> reply;
+  std::string decode_error;
+  transport.set_receiver([&](Bytes wire) {
+    auto decoded = proto::decode_message(wire);
+    if (!decoded.ok()) {
+      decode_error = decoded.error().to_string();
+      return;
+    }
+    if (auto* m = std::get_if<proto::AdminReply>(&decoded.value())) {
+      reply = std::move(*m);
+    }
+  });
+  SHADOW_TRY(transport.send(proto::encode_message(proto::Message(query))));
+  for (int waited = 0; waited < timeout_ms && !reply.has_value();
+       waited += 2) {
+    if (!decode_error.empty()) {
+      return Error{ErrorCode::kProtocolError,
+                   "undecodable reply: " + decode_error};
+    }
+    if (transport.closed()) {
+      return Error{ErrorCode::kIoError, "server closed the connection"};
+    }
+    transport.poll();
+    ::usleep(2000);
+  }
+  if (!reply.has_value()) {
+    return Error{ErrorCode::kIoError, "no AdminReply within " +
+                                          std::to_string(timeout_ms) + "ms"};
+  }
+  return std::move(*reply);
+}
+
+void render_reply(const proto::AdminReply& reply, bool json) {
+  if (json) {
+    std::fputs(telemetry::render_json(reply.snapshot).c_str(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::printf("shadowtop — %s (admin v%u, %llu events recorded)\n\n",
+              reply.server_name.empty() ? "<unnamed>"
+                                        : reply.server_name.c_str(),
+              reply.protocol_version,
+              static_cast<unsigned long long>(reply.events_total));
+  std::fputs(telemetry::render_text(reply.snapshot).c_str(), stdout);
+}
+
+int fail(const char* check, const std::string& detail) {
+  std::fprintf(stderr, "shadowtop: selftest FAILED [%s]: %s\n", check,
+               detail.c_str());
+  return 1;
+}
+
+/// Conformance checks against a live daemon; 0 on pass.
+int run_selftest(net::TcpTransport& transport, int timeout_ms) {
+  proto::AdminQuery query;
+  query.max_events = 64;
+
+  // 1. A well-formed query is answered ok with the version echoed.
+  auto first = query_once(transport, query, timeout_ms);
+  if (!first.ok()) return fail("reply", first.error().to_string());
+  if (!first.value().ok) return fail("reply", first.value().error);
+  if (first.value().protocol_version != proto::kAdminProtocolVersion) {
+    return fail("version-echo",
+                "server speaks v" +
+                    std::to_string(first.value().protocol_version));
+  }
+
+  // 2. An unsupported version is refused, not guessed at.
+  proto::AdminQuery bad = query;
+  bad.protocol_version = proto::kAdminProtocolVersion + 99;
+  auto refused = query_once(transport, bad, timeout_ms);
+  if (!refused.ok()) return fail("bad-version", refused.error().to_string());
+  if (refused.value().ok) {
+    return fail("bad-version", "server accepted an unknown admin version");
+  }
+
+  // 3. Counters are monotonic across two snapshots.
+  auto second = query_once(transport, query, timeout_ms);
+  if (!second.ok()) return fail("second-reply", second.error().to_string());
+  if (!second.value().ok) return fail("second-reply", second.value().error);
+  {
+    std::size_t i = 0;
+    for (const auto& c2 : second.value().snapshot.counters) {
+      const auto& counters1 = first.value().snapshot.counters;
+      while (i < counters1.size() && counters1[i].name < c2.name) ++i;
+      if (i >= counters1.size() || counters1[i].name != c2.name) continue;
+      if (c2.value < counters1[i].value) {
+        return fail("monotonic",
+                    c2.name + " went backwards: " +
+                        std::to_string(counters1[i].value) + " -> " +
+                        std::to_string(c2.value));
+      }
+    }
+  }
+
+  // 4. Event sequence numbers are strictly increasing with no gaps.
+  const auto& events = second.value().snapshot.events;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].seq != events[i - 1].seq + 1) {
+      return fail("event-seqs",
+                  "gap between seq " + std::to_string(events[i - 1].seq) +
+                      " and " + std::to_string(events[i].seq));
+    }
+  }
+
+  // 5. Histograms are internally consistent: bucket counts sum to count.
+  for (const auto& h : second.value().snapshot.histograms) {
+    u64 bucket_total = 0;
+    for (const auto& [index, count] : h.buckets) bucket_total += count;
+    if (bucket_total != h.count) {
+      return fail("histogram",
+                  h.name + ": buckets sum to " +
+                      std::to_string(bucket_total) + ", count is " +
+                      std::to_string(h.count));
+    }
+  }
+
+  // 6. The sections mask is honoured: counters-only means counters only.
+  proto::AdminQuery masked = query;
+  masked.sections = proto::kAdminCounters;
+  auto lean = query_once(transport, masked, timeout_ms);
+  if (!lean.ok()) return fail("sections", lean.error().to_string());
+  const auto& snap = lean.value().snapshot;
+  if (!snap.gauges.empty() || !snap.histograms.empty() ||
+      !snap.events.empty() || !lean.value().server_name.empty()) {
+    return fail("sections", "masked-out sections arrived anyway");
+  }
+  if (snap.counters.empty()) {
+    return fail("sections", "counters requested but none arrived");
+  }
+
+  std::printf("shadowtop: selftest passed (%zu counters, %zu gauges, "
+              "%zu histograms, %zu events)\n",
+              second.value().snapshot.counters.size(),
+              second.value().snapshot.gauges.size(),
+              second.value().snapshot.histograms.size(), events.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u16 port = 7788;
+  double interval = 0.0;  // 0 = one-shot
+  bool json = false;
+  bool selftest = false;
+  int timeout_ms = 5000;
+  proto::AdminQuery query;
+  query.max_events = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--connect" || arg == "--port") {
+      if (const char* v = next()) port = static_cast<u16>(std::atoi(v));
+    } else if (arg == "--interval") {
+      if (const char* v = next()) interval = std::atof(v);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--filter") {
+      if (const char* v = next()) query.prefix = v;
+    } else if (arg == "--events") {
+      if (const char* v = next()) {
+        query.max_events = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--timeout") {
+      if (const char* v = next()) timeout_ms = std::atoi(v);
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v != nullptr) {
+        auto level = log_level_from_name(v);
+        if (!level.ok()) {
+          std::fprintf(stderr, "shadowtop: %s\n",
+                       level.error().to_string().c_str());
+          return 2;
+        }
+        Logger::instance().set_level(level.value());
+      }
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: shadowtop [--connect PORT] [--interval SECONDS] [--json]\n"
+          "                 [--filter PREFIX] [--events N] [--timeout MS]\n"
+          "                 [--selftest] [--log-level LEVEL]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto connected = net::tcp_connect(port, "shadowd");
+  if (!connected.ok()) {
+    std::fprintf(stderr, "shadowtop: cannot connect to 127.0.0.1:%u: %s\n",
+                 port, connected.error().to_string().c_str());
+    return 1;
+  }
+  auto transport = std::move(connected).take();
+
+  if (selftest) return run_selftest(*transport, timeout_ms);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  do {
+    auto reply = query_once(*transport, query, timeout_ms);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "shadowtop: %s\n",
+                   reply.error().to_string().c_str());
+      return 1;
+    }
+    if (!reply.value().ok) {
+      std::fprintf(stderr, "shadowtop: server refused query: %s\n",
+                   reply.value().error.c_str());
+      return 1;
+    }
+    if (interval > 0) std::fputs("\033[2J\033[H", stdout);  // clear screen
+    render_reply(reply.value(), json);
+    std::fflush(stdout);
+    if (interval > 0 && g_stop == 0) {
+      ::usleep(static_cast<useconds_t>(interval * 1e6));
+    }
+  } while (interval > 0 && g_stop == 0);
+  return 0;
+}
