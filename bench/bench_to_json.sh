@@ -3,6 +3,8 @@
 #   BENCH_diff.json     — diff-algorithm ablation (abl_diff_algos)
 #   BENCH_persist.json  — durability costs: journal append, replay scan,
 #                         server recovery (abl_persist)
+#   BENCH_shard.json    — thread-per-core sharding sweep: acks/sec at
+#                         1/2/4/8 shards x 32/256 editors (abl_shards)
 # Future PRs compare against these files to keep a perf trajectory for the
 # Delta::compute hot path and the crash-consistency overhead.
 #
@@ -13,7 +15,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${1:-$ROOT/build-rel}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" --target abl_diff_algos abl_persist -j"$(nproc)"
+cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards -j"$(nproc)"
 
 # Provenance stamp: which commit and build type produced these numbers.
 # A snapshot from a dirty tree is marked so regressions aren't chased
@@ -24,13 +26,17 @@ if ! git -C "$ROOT" diff --quiet HEAD 2>/dev/null; then
 fi
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt" | head -n1)"
 BUILD_TYPE="${BUILD_TYPE:-unknown}"
+# Hardware context for the sharding sweep: the tpc_acks_per_sec projection
+# models one loop per core, so the core count the numbers were taken on is
+# part of their provenance.
+HOST_CORES="$(nproc 2>/dev/null || echo unknown)"
 
 # Inject the stamp into the benchmark JSON's "context" object. Google
 # Benchmark emits `"context": {` on its own line; extend it in place so
 # the file stays valid JSON without needing jq.
 stamp_json() {
   local file="$1"
-  sed -i "s/^  \"context\": {\$/  \"context\": {\n    \"git_sha\": \"$GIT_SHA\",\n    \"build_type\": \"$BUILD_TYPE\",/" "$file"
+  sed -i "s/^  \"context\": {\$/  \"context\": {\n    \"git_sha\": \"$GIT_SHA\",\n    \"build_type\": \"$BUILD_TYPE\",\n    \"host_cores\": \"$HOST_CORES\",/" "$file"
   if ! grep -q '"git_sha"' "$file"; then
     echo "warning: could not stamp provenance into $file" >&2
   fi
@@ -52,3 +58,11 @@ echo "wrote $ROOT/BENCH_diff.json ($GIT_SHA, $BUILD_TYPE)"
 stamp_json "$ROOT/BENCH_persist.json"
 
 echo "wrote $ROOT/BENCH_persist.json ($GIT_SHA, $BUILD_TYPE)"
+
+"$BUILD/bench/abl_shards" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  > "$ROOT/BENCH_shard.json"
+stamp_json "$ROOT/BENCH_shard.json"
+
+echo "wrote $ROOT/BENCH_shard.json ($GIT_SHA, $BUILD_TYPE, ${HOST_CORES} cores)"

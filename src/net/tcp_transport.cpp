@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -58,45 +59,84 @@ Status TcpTransport::send(Bytes message) {
   header[2] = static_cast<u8>(len >> 16);
   header[3] = static_cast<u8>(len >> 24);
 
-  auto write_all = [this](const u8* data, std::size_t size) -> Status {
-    std::size_t done = 0;
-    int stalled_rounds = 0;
-    while (done < size) {
-      const ssize_t n = ::write(fd_, data + done, size - done);
-      if (n > 0) {
-        done += static_cast<std::size_t>(n);
-        stalled_rounds = 0;
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        // Socket buffer full. Classic single-threaded deadlock: if the
-        // peer is also blocked writing to us, neither side's buffer ever
-        // drains. Keep reading inbound bytes (buffered, not dispatched)
-        // while we wait so the peer's writes can complete, and give up
-        // after a bounded stall instead of spinning forever.
-        read_available();
-        if (peer_closed_) {
-          return Error{ErrorCode::kIoError, "peer closed during write"};
-        }
-        if (++stalled_rounds > 200) {  // ~10s at 50ms per round
-          return Error{ErrorCode::kIoError, "write stalled: peer not reading"};
-        }
-        struct pollfd pfd {fd_, POLLOUT, 0};
-        ::poll(&pfd, 1, 50);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      return Error{ErrorCode::kIoError,
-                   std::string("write: ") + std::strerror(errno)};
+  // Header and payload go out through one gathered write loop: a short
+  // write (tiny socket buffers, signal interruptions) resumes mid-frame
+  // wherever it stopped, and small frames cost a single syscall instead
+  // of two — with TCP_NODELAY set, two write()s would otherwise emit two
+  // packets per message.
+  struct iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<u8*>(message.data());
+  iov[1].iov_len = message.size();
+  int iov_index = 0;
+  int stalled_rounds = 0;
+  while (iov_index < 2) {
+    if (iov[iov_index].iov_len == 0) {
+      ++iov_index;
+      continue;
     }
-    return Status();
-  };
-
-  SHADOW_TRY(write_all(header, sizeof(header)));
-  SHADOW_TRY(write_all(message.data(), message.size()));
+    const ssize_t n = ::writev(fd_, &iov[iov_index], 2 - iov_index);
+    if (n > 0) {
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (iov_index < 2 && advanced >= iov[iov_index].iov_len) {
+        advanced -= iov[iov_index].iov_len;
+        iov[iov_index].iov_len = 0;
+        ++iov_index;
+      }
+      if (iov_index < 2 && advanced > 0) {
+        iov[iov_index].iov_base =
+            static_cast<u8*>(iov[iov_index].iov_base) + advanced;
+        iov[iov_index].iov_len -= advanced;
+      }
+      stalled_rounds = 0;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full. Classic single-threaded deadlock: if the
+      // peer is also blocked writing to us, neither side's buffer ever
+      // drains. Keep reading inbound bytes (buffered, not dispatched)
+      // while we wait so the peer's writes can complete, and give up
+      // after a bounded stall instead of spinning forever.
+      read_available();
+      if (peer_closed_) {
+        return Error{ErrorCode::kIoError, "peer closed during write"};
+      }
+      if (++stalled_rounds > 200) {  // ~10s at 50ms per round
+        return Error{ErrorCode::kIoError, "write stalled: peer not reading"};
+      }
+      struct pollfd pfd {fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, 50) < 0 && errno != EINTR) {
+        return Error{ErrorCode::kIoError,
+                     std::string("poll: ") + std::strerror(errno)};
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Error{ErrorCode::kIoError,
+                 std::string("write: ") + std::strerror(errno)};
+  }
   bytes_sent_ += message.size();
   ++messages_sent_;
   return Status();
+}
+
+void TcpTransport::unread_message(const Bytes& message) {
+  // in_poll_ would mean an outer poll() is mid-iteration with a byte
+  // offset into rx_buffer_; prepending would shift frames under it.
+  if (in_poll_) return;
+  u8 header[4];
+  const u32 len = static_cast<u32>(message.size());
+  header[0] = static_cast<u8>(len);
+  header[1] = static_cast<u8>(len >> 8);
+  header[2] = static_cast<u8>(len >> 16);
+  header[3] = static_cast<u8>(len >> 24);
+  Bytes framed;
+  framed.reserve(sizeof(header) + message.size() + rx_buffer_.size());
+  framed.insert(framed.end(), header, header + sizeof(header));
+  framed.insert(framed.end(), message.begin(), message.end());
+  framed.insert(framed.end(), rx_buffer_.begin(), rx_buffer_.end());
+  rx_buffer_ = std::move(framed);
 }
 
 void TcpTransport::read_available() {
@@ -206,7 +246,10 @@ Result<std::unique_ptr<TcpTransport>> TcpListener::accept() {
 Result<std::unique_ptr<TcpTransport>> TcpListener::accept_blocking(
     int timeout_ms) {
   struct pollfd pfd {fd_, POLLIN, 0};
-  const int rc = ::poll(&pfd, 1, timeout_ms);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
   if (rc <= 0) {
     return Error{ErrorCode::kIoError, "accept timed out"};
   }

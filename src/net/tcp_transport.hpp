@@ -34,6 +34,18 @@ class TcpTransport final : public Transport {
   bool closed() const { return fd_ < 0 || peer_closed_; }
   void close();
 
+  /// Underlying socket (for poll sets and socket-option tests); -1 once
+  /// closed.
+  int fd() const { return fd_; }
+
+  /// Push an already-dispatched message back to the FRONT of the receive
+  /// buffer so the next poll() delivers it first, before anything that
+  /// arrived later. Used by the accept→shard handoff: the lobby consumes
+  /// the Hello to pick a shard, then unreads it (and anything buffered
+  /// behind it) for the shard's ShadowServer to handle. Must not be
+  /// called from inside a receiver callback.
+  void unread_message(const Bytes& message);
+
  private:
   /// Drain the socket into rx_buffer_ without dispatching. Safe to call
   /// from anywhere (including inside send()'s write-stall loop).

@@ -8,9 +8,13 @@
 //   - TcpTransport: real POSIX sockets with length framing (examples and
 //     integration tests — the prototype used TCP/IP, §7).
 //
-// All transports are poll-driven and single-threaded: received messages
-// are dispatched to the receiver callback from poll() (or, for
-// SimTransport, from inside the simulator's event loop).
+// All transports are poll-driven and single-OWNER: received messages are
+// dispatched to the receiver callback from poll() (or, for SimTransport,
+// from inside the simulator's event loop), and exactly one thread may
+// touch a given transport at a time. The thread-per-core server keeps
+// that contract by pinning each connection to one shard's event loop at
+// Hello time (net/event_loop.hpp); ownership moves between threads only
+// through EventLoop::adopt()'s synchronized handoff.
 #pragma once
 
 #include <functional>

@@ -28,14 +28,14 @@ double LoadMonitor::load_average() const {
   return average_;
 }
 
-void LoadMonitor::publish() const {
+void LoadMonitor::publish(const std::string& prefix) const {
   auto& r = telemetry::Registry::global();
-  r.gauge("load.average").set(load_average());
-  r.gauge("load.demand").set(demand_);
-  r.gauge("load.high_water").set(config_.high_water);
-  r.gauge("load.decay_us").set(static_cast<double>(config_.decay));
-  r.gauge("load.backoff_us").set(static_cast<double>(config_.backoff));
-  r.gauge("load.overloaded").set(overloaded() ? 1.0 : 0.0);
+  r.gauge(prefix + "load.average").set(load_average());
+  r.gauge(prefix + "load.demand").set(demand_);
+  r.gauge(prefix + "load.high_water").set(config_.high_water);
+  r.gauge(prefix + "load.decay_us").set(static_cast<double>(config_.decay));
+  r.gauge(prefix + "load.backoff_us").set(static_cast<double>(config_.backoff));
+  r.gauge(prefix + "load.overloaded").set(overloaded() ? 1.0 : 0.0);
 }
 
 }  // namespace shadow::server

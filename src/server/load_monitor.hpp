@@ -10,6 +10,8 @@
 // mark it defers and retries after a backoff interval.
 #pragma once
 
+#include <string>
+
 #include "sim/simulator.hpp"
 #include "util/types.hpp"
 
@@ -48,9 +50,11 @@ class LoadMonitor {
   double demand() const { return demand_; }
 
   /// Mirror thresholds and current readings into the global telemetry
-  /// registry (load.average, load.demand, load.high_water, ...). Cold
-  /// path; called when an admin snapshot is taken.
-  void publish() const;
+  /// registry (load.average, load.demand, load.high_water, ...), with
+  /// `prefix` prepended to every name ("shard0." for a sharded server's
+  /// shard 0, "" for a standalone server). Cold path; called when an
+  /// admin snapshot is taken.
+  void publish(const std::string& prefix = std::string()) const;
 
  private:
   /// Fold the elapsed time into the average.

@@ -102,7 +102,9 @@ void ShadowServer::persist_eviction(const std::string& cache_key) {
 bool ShadowServer::load_says_wait() {
   if (!load_monitor_.overloaded()) return false;
   ++stats_.deferred_by_load;
-  telemetry::Registry::global().counter("load.deferrals").add();
+  telemetry::Registry::global()
+      .counter(config_.telemetry_prefix + "load.deferrals")
+      .add();
   record_event(telemetry::EventKind::kLoad, "work deferred by load monitor");
   // Self-schedule one retry per backoff window (§3: the system tunes
   // itself — no user or client intervention).
@@ -132,6 +134,37 @@ void ShadowServer::attach(net::Transport* transport) {
         [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
   }
   connections_.push_back(std::move(conn));
+}
+
+void ShadowServer::detach(net::Transport* transport) {
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    if ((*it)->transport != transport) continue;
+    Connection* raw = it->get();
+    if (!raw->client_name.empty()) {
+      auto named = clients_.find(raw->client_name);
+      if (named != clients_.end() && named->second == raw) {
+        clients_.erase(named);
+      }
+      record_event(telemetry::EventKind::kServer,
+                   "client " + raw->client_name + " disconnected");
+    }
+    // Jobs this connection submitted keep their record; submitted_via is
+    // only ever compared against live Connection pointers (duplicate
+    // detection), never dereferenced, so the dangling token is harmless.
+    connections_.erase(it);
+    return;
+  }
+}
+
+void ShadowServer::inject_message(net::Transport* transport, Bytes wire) {
+  for (auto& conn : connections_) {
+    if (conn->transport == transport) {
+      on_message(conn.get(), std::move(wire));
+      return;
+    }
+  }
+  SHADOW_WARN() << config_.name
+                << ": inject_message for unattached transport";
 }
 
 std::size_t ShadowServer::tick() {
@@ -208,7 +241,22 @@ void ShadowServer::send_to(const std::string& client_name,
                            const proto::Message& m) {
   auto it = clients_.find(client_name);
   if (it == clients_.end()) {
+    // Not one of ours. In a sharded server the client may be pinned to a
+    // sibling shard (a job's output_route to a different workstation —
+    // §8.3); offer the message to the facade before giving up.
+    if (peer_router_ != nullptr && peer_router_(client_name, m)) return;
     SHADOW_WARN() << config_.name << ": no connection for client "
+                  << client_name;
+    return;
+  }
+  send(it->second, m);
+}
+
+void ShadowServer::deliver_to_client(const std::string& client_name,
+                                     const proto::Message& m) {
+  auto it = clients_.find(client_name);
+  if (it == clients_.end()) {
+    SHADOW_WARN() << config_.name << ": routed message for unknown client "
                   << client_name;
     return;
   }
@@ -218,7 +266,9 @@ void ShadowServer::send_to(const std::string& client_name,
 void ShadowServer::on_message(Connection* conn, Bytes wire) {
   auto decoded = proto::decode_message(wire);
   if (!decoded.ok()) {
-    telemetry::Registry::global().counter("server.malformed_dropped").add();
+    telemetry::Registry::global()
+        .counter(config_.telemetry_prefix + "server.malformed_dropped")
+        .add();
     record_event(telemetry::EventKind::kMessage,
                  "malformed message dropped: " + decoded.error().to_string());
     SHADOW_WARN() << config_.name
@@ -924,8 +974,11 @@ void ShadowServer::handle(Connection* conn, const proto::AdminQuery& m) {
 namespace {
 constexpr u32 kServerSnapshotMagic = 0x53485356;  // "SHSV"
 // v2 appended the job queue (crash-consistent durability needs jobs in
-// the compacted snapshot, not only in the journal).
-constexpr u8 kSnapshotVersion = 2;
+// the compacted snapshot, not only in the journal). v3 appended the
+// shard manifest (shard id + shard count) for the thread-per-core
+// server; v2 snapshots still restore (as shard 0 of 1).
+constexpr u8 kSnapshotVersion = 3;
+constexpr u8 kMinSnapshotVersion = 2;
 }  // namespace
 
 Bytes ShadowServer::save_state() const {
@@ -950,6 +1003,10 @@ Bytes ShadowServer::save_state() const {
     w.put_string(entry.content);
   }
   queue_.encode(w);
+  // v3 shard manifest, at the tail so a v2 reader-shaped layout precedes
+  // it unchanged.
+  w.put_varint(config_.shard_id);
+  w.put_varint(config_.shard_count);
   return w.take();
 }
 
@@ -957,7 +1014,8 @@ Status ShadowServer::restore_state(const Bytes& snapshot) {
   BufReader r(snapshot);
   SHADOW_ASSIGN_OR_RETURN(magic, r.get_u32());
   SHADOW_ASSIGN_OR_RETURN(version, r.get_u8());
-  if (magic != kServerSnapshotMagic || version != kSnapshotVersion) {
+  if (magic != kServerSnapshotMagic || version < kMinSnapshotVersion ||
+      version > kSnapshotVersion) {
     return Error{ErrorCode::kInvalidArgument, "not a server snapshot"};
   }
   SHADOW_TRY(cache_.restore(r));
@@ -1000,6 +1058,20 @@ Status ShadowServer::restore_state(const Bytes& snapshot) {
   }
   SHADOW_ASSIGN_OR_RETURN(queue, job::JobQueue::restore(r));
   queue_ = std::move(queue);
+  if (version >= 3) {
+    SHADOW_ASSIGN_OR_RETURN(snap_shard, r.get_varint());
+    SHADOW_ASSIGN_OR_RETURN(snap_count, r.get_varint());
+    // A re-sharded deployment (e.g. --threads 4 over a store written with
+    // --threads 2) changes which shard owns which file. Stale entries are
+    // only cache — clients re-announce and re-pull on reconnect — so warn
+    // and keep what we have rather than refuse to start.
+    if (snap_shard != config_.shard_id || snap_count != config_.shard_count) {
+      SHADOW_WARN() << config_.name << ": snapshot written as shard "
+                    << snap_shard << "/" << snap_count << ", recovering as "
+                    << config_.shard_id << "/" << config_.shard_count
+                    << "; cached state may belong to sibling shards";
+    }
+  }
   if (!r.at_end()) {
     return Error{ErrorCode::kProtocolError, "trailing bytes in snapshot"};
   }
@@ -1257,58 +1329,68 @@ Status ShadowServer::recover_from_storage() {
 
 void ShadowServer::sync_telemetry() const {
   auto& r = telemetry::Registry::global();
+  // Every name carries this server's prefix ("shard2." on shard 2 of a
+  // ShardedServer, empty standalone) so `shadowtop --filter shard2.`
+  // selects one shard's view; the facade writes the aggregated plain
+  // server.* names.
+  const std::string& p = config_.telemetry_prefix;
   // store(), not add(): these counters MIRROR the authoritative ServerStats
   // accumulators, so re-syncing is idempotent.
-  r.counter("server.notifies_received").store(stats_.notifies_received);
-  r.counter("server.pulls_sent").store(stats_.pulls_sent);
-  r.counter("server.pulls_deferred").store(stats_.pulls_deferred);
-  r.counter("server.updates_received").store(stats_.updates_received);
-  r.counter("server.update_bytes").store(stats_.update_bytes);
-  r.counter("server.full_transfers").store(stats_.full_transfers);
-  r.counter("server.delta_transfers").store(stats_.delta_transfers);
-  r.counter("server.jobs_submitted").store(stats_.jobs_submitted);
-  r.counter("server.jobs_rejected").store(stats_.jobs_rejected);
-  r.counter("server.jobs_completed").store(stats_.jobs_completed);
-  r.counter("server.jobs_failed").store(stats_.jobs_failed);
-  r.counter("server.outputs_sent").store(stats_.outputs_sent);
-  r.counter("server.output_bytes").store(stats_.output_bytes);
-  r.counter("server.output_delta_hits").store(stats_.output_delta_hits);
-  r.counter("server.unsolicited_updates").store(stats_.unsolicited_updates);
-  r.counter("server.deferred_by_load").store(stats_.deferred_by_load);
-  r.counter("server.session_resyncs").store(stats_.session_resyncs);
-  r.counter("server.journal_appends").store(stats_.journal_appends);
-  r.counter("server.journal_failures").store(stats_.journal_failures);
-  r.counter("server.compactions").store(stats_.compactions);
-  r.counter("server.recovered_records").store(stats_.recovered_records);
-  r.counter("server.requeued_jobs").store(stats_.requeued_jobs);
-  r.counter("server.retry_capped_jobs").store(stats_.retry_capped_jobs);
+  r.counter(p + "server.notifies_received").store(stats_.notifies_received);
+  r.counter(p + "server.pulls_sent").store(stats_.pulls_sent);
+  r.counter(p + "server.pulls_deferred").store(stats_.pulls_deferred);
+  r.counter(p + "server.updates_received").store(stats_.updates_received);
+  r.counter(p + "server.update_bytes").store(stats_.update_bytes);
+  r.counter(p + "server.full_transfers").store(stats_.full_transfers);
+  r.counter(p + "server.delta_transfers").store(stats_.delta_transfers);
+  r.counter(p + "server.jobs_submitted").store(stats_.jobs_submitted);
+  r.counter(p + "server.jobs_rejected").store(stats_.jobs_rejected);
+  r.counter(p + "server.jobs_completed").store(stats_.jobs_completed);
+  r.counter(p + "server.jobs_failed").store(stats_.jobs_failed);
+  r.counter(p + "server.outputs_sent").store(stats_.outputs_sent);
+  r.counter(p + "server.output_bytes").store(stats_.output_bytes);
+  r.counter(p + "server.output_delta_hits").store(stats_.output_delta_hits);
+  r.counter(p + "server.unsolicited_updates")
+      .store(stats_.unsolicited_updates);
+  r.counter(p + "server.deferred_by_load").store(stats_.deferred_by_load);
+  r.counter(p + "server.session_resyncs").store(stats_.session_resyncs);
+  r.counter(p + "server.journal_appends").store(stats_.journal_appends);
+  r.counter(p + "server.journal_failures").store(stats_.journal_failures);
+  r.counter(p + "server.compactions").store(stats_.compactions);
+  r.counter(p + "server.recovered_records").store(stats_.recovered_records);
+  r.counter(p + "server.requeued_jobs").store(stats_.requeued_jobs);
+  r.counter(p + "server.retry_capped_jobs").store(stats_.retry_capped_jobs);
 
-  r.gauge("server.connections").set(static_cast<double>(connections_.size()));
-  r.gauge("server.named_clients").set(static_cast<double>(clients_.size()));
-  r.gauge("server.tracked_files").set(static_cast<double>(files_.size()));
-  r.gauge("server.outstanding_pulls")
+  r.gauge(p + "server.connections")
+      .set(static_cast<double>(connections_.size()));
+  r.gauge(p + "server.named_clients")
+      .set(static_cast<double>(clients_.size()));
+  r.gauge(p + "server.tracked_files").set(static_cast<double>(files_.size()));
+  r.gauge(p + "server.outstanding_pulls")
       .set(static_cast<double>(outstanding_pulls_));
-  r.gauge("server.running_jobs").set(static_cast<double>(running_jobs_));
-  r.gauge("server.active_jobs")
+  r.gauge(p + "server.running_jobs").set(static_cast<double>(running_jobs_));
+  r.gauge(p + "server.active_jobs")
       .set(static_cast<double>(queue_.active_count()));
-  r.gauge("server.cache_bytes").set(static_cast<double>(cache_.bytes_used()));
-  r.gauge("server.cache_entries")
+  r.gauge(p + "server.cache_bytes")
+      .set(static_cast<double>(cache_.bytes_used()));
+  r.gauge(p + "server.cache_entries")
       .set(static_cast<double>(cache_.entry_count()));
-  r.gauge("server.pinned_files").set(static_cast<double>(pinned_.size()));
-  r.gauge("server.output_cache_entries")
+  r.gauge(p + "server.pinned_files").set(static_cast<double>(pinned_.size()));
+  r.gauge(p + "server.output_cache_entries")
       .set(static_cast<double>(output_cache_.size()));
-  r.gauge("server.persist_alive").set(persist_alive() ? 1.0 : 0.0);
+  r.gauge(p + "server.persist_alive").set(persist_alive() ? 1.0 : 0.0);
 
   // Per-connection session totals, summed (the per-channel breakdown stays
   // in ReliableChannel::Stats).
   const auto sessions = session_stats();
-  r.counter("server.session_data_sent").store(sessions.data_sent);
-  r.counter("server.session_delivered").store(sessions.delivered);
-  r.counter("server.session_retransmits").store(sessions.retransmits);
-  r.counter("server.session_corrupt_dropped").store(sessions.corrupt_dropped);
-  r.counter("server.session_desyncs").store(sessions.desyncs);
+  r.counter(p + "server.session_data_sent").store(sessions.data_sent);
+  r.counter(p + "server.session_delivered").store(sessions.delivered);
+  r.counter(p + "server.session_retransmits").store(sessions.retransmits);
+  r.counter(p + "server.session_corrupt_dropped")
+      .store(sessions.corrupt_dropped);
+  r.counter(p + "server.session_desyncs").store(sessions.desyncs);
 
-  load_monitor_.publish();
+  load_monitor_.publish(p);
 }
 
 void ShadowServer::evict_file(const naming::GlobalFileId& id) {

@@ -6,6 +6,7 @@
 // processing, §8.3) and optionally routed to a different client (§8.3).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -69,6 +70,15 @@ struct ServerConfig {
   /// How many times a job interrupted mid-run by a crash is re-queued
   /// before it is marked failed and the owner is notified instead.
   u64 max_job_retries = 3;
+  /// Which shard of a ShardedServer this instance is (recorded in the
+  /// snapshot manifest so recovery can detect a re-sharded store), and
+  /// how many shards the server was split into. 0/1 = standalone.
+  std::size_t shard_id = 0;
+  std::size_t shard_count = 1;
+  /// Prepended to every telemetry name this server mirrors ("shard2." for
+  /// shard 2; empty for a standalone server, preserving the plain
+  /// server.*/load.* names shadowtop has always shown).
+  std::string telemetry_prefix;
 };
 
 struct ServerStats {
@@ -108,6 +118,37 @@ class ShadowServer {
   /// Attach a client connection. The server installs itself as the
   /// transport's receiver; the client identifies itself with Hello.
   void attach(net::Transport* transport);
+
+  /// Forget a connection whose transport is about to be destroyed (the
+  /// sharded event loops reap closed sockets). Drops the Connection and
+  /// its clients_ entry; per-file state stays — the client may reconnect.
+  void detach(net::Transport* transport);
+
+  /// Cross-shard delivery hook: when send_to() finds no local connection
+  /// for a client, the router is offered the message (ShardedServer posts
+  /// it to the client's home shard — the §8.3 output_route case where a
+  /// job's output goes to a different workstation). Return true when the
+  /// message was taken.
+  using PeerRouteFn =
+      std::function<bool(const std::string& client_name,
+                         const proto::Message& m)>;
+  void set_peer_router(PeerRouteFn fn) { peer_router_ = std::move(fn); }
+
+  /// True if this client said Hello over one of OUR connections.
+  bool has_client(const std::string& client_name) const {
+    return clients_.count(client_name) != 0;
+  }
+
+  /// Deliver a message to a locally connected client (the receiving half
+  /// of the peer-router hook; runs on this shard's thread).
+  void deliver_to_client(const std::string& client_name,
+                         const proto::Message& m);
+
+  /// Feed one already-received wire message through the normal dispatch
+  /// path on behalf of `transport` (which must be attach()ed). The
+  /// sharded lobby uses this to replay the Hello it consumed while
+  /// deciding which shard owns the connection.
+  void inject_message(net::Transport* transport, Bytes wire);
 
   const ServerConfig& config() const { return config_; }
   const ServerStats& stats() const { return stats_; }
@@ -234,6 +275,7 @@ class ShadowServer {
 
   ServerConfig config_;
   sim::Simulator* sim_;  // nullptr = execute instantaneously
+  PeerRouteFn peer_router_;  // cross-shard send_to fallback
   persist::DurableStore* store_;  // nullptr = in-memory only
   bool persist_dead_ = false;     // storage refused a write; stop acking
   LoadMonitor load_monitor_;

@@ -1,0 +1,23 @@
+#include "server/shard_router.hpp"
+
+namespace shadow::server {
+
+u64 ShardRouter::stable_hash(std::string_view domain,
+                             std::string_view owner) {
+  // FNV-1a, 64-bit. The 0x1f separator keeps ("ab","c") and ("a","bc")
+  // distinct; it cannot appear in a domain or host name.
+  u64 h = 14695981039346656037ull;
+  auto mix = [&h](std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(domain);
+  h ^= 0x1f;
+  h *= 1099511628211ull;
+  mix(owner);
+  return h;
+}
+
+}  // namespace shadow::server

@@ -1,0 +1,64 @@
+// Stable (domain, owner) → shard assignment for the thread-per-core
+// server (docs/CONCURRENCY.md).
+//
+// Every connection is pinned to one shard when its Hello arrives, and all
+// state about a file lives on the shard of the file's OWNER — the
+// (domain, host) pair, which for shadow-edited files equals the client
+// that registered them (§5.3: the client names its own files). Because a
+// file's messages only ever arrive over its owner's single pinned
+// connection, no cross-shard coordination is needed on the submit/update
+// hot path.
+//
+// The hash is FNV-1a over the raw id bytes — a pure function of the id,
+// deliberately NOT std::hash (whose value may change across processes or
+// library versions). Assignment must be stable across restarts so that
+// per-shard journals recover onto the shard that wrote them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "naming/file_id.hpp"
+#include "util/types.hpp"
+
+namespace shadow::server {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shard_count)
+      : shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+  std::size_t shard_count() const { return shard_count_; }
+
+  /// Shard owning a file: hash of (domain, host) — the owner-locality
+  /// projection of the id. Deliberately ignores path/inode so every file
+  /// owned by one host lands on one shard, matching where that host's
+  /// connection is pinned.
+  std::size_t shard_of(const naming::GlobalFileId& id) const {
+    return shard_of_owner(id.domain, id.host);
+  }
+
+  /// Shard for a client connection, decided at Hello time from the only
+  /// identity the handshake carries. Agrees with shard_of() whenever the
+  /// client names files it hosts (client_name == file.host), the shadow
+  /// editing ownership model.
+  std::size_t shard_of_client(const std::string& domain,
+                              const std::string& client_name) const {
+    return shard_of_owner(domain, client_name);
+  }
+
+  /// The underlying pure hash, exposed for tests that pin its value.
+  static u64 stable_hash(std::string_view domain, std::string_view owner);
+
+ private:
+  std::size_t shard_of_owner(std::string_view domain,
+                             std::string_view owner) const {
+    return static_cast<std::size_t>(stable_hash(domain, owner) %
+                                    shard_count_);
+  }
+
+  std::size_t shard_count_;
+};
+
+}  // namespace shadow::server

@@ -18,41 +18,93 @@ const char* event_kind_name(EventKind kind) {
 }
 
 EventRing::EventRing(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.resize(capacity_);
-}
+    : capacity_(capacity == 0 ? 1 : capacity),
+      ring_(std::make_unique<Slot[]>(capacity == 0 ? 1 : capacity)) {}
 
 void EventRing::record(EventKind kind, std::string detail) {
   if (detail.size() > kMaxDetailBytes) detail.resize(kMaxDetailBytes);
-  std::lock_guard<std::mutex> lock(mu_);
-  Event& slot = ring_[next_seq_ % capacity_];
-  slot.seq = next_seq_++;
+  // Allocate this event's sequence number with a single atomic RMW: the
+  // ring-wide ordering needs no lock.
+  const u64 seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = ring_[seq % capacity_];
+  // Claim the slot's seqlock. Contention here requires another producer
+  // whose seq maps to the SAME slot, i.e. a full lap of the ring between
+  // our allocation and now.
+  u32 v = slot.version.load(std::memory_order_acquire);
+  for (;;) {
+    if ((v & 1) == 0 &&
+        slot.version.compare_exchange_weak(v, v + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      break;
+    }
+    v = slot.version.load(std::memory_order_acquire);
+  }
+  if (slot.seq > seq) {
+    // We were lapped while claiming: the slot already holds a NEWER event,
+    // and ours has already rotated out of the most-recent window. Dropping
+    // it preserves the "most recent capacity events" invariant.
+    slot.version.store(v + 2, std::memory_order_release);
+    return;
+  }
+  slot.seq = seq;
   slot.kind = kind;
   slot.detail = std::move(detail);
+  slot.version.store(v + 2, std::memory_order_release);
 }
 
 std::vector<Event> EventRing::recent(std::size_t max) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const u64 total = next_seq_ - 1;
+  const u64 total = next_seq_.load(std::memory_order_acquire) - 1;
   u64 held = std::min<u64>(total, capacity_);
   if (max != 0) held = std::min<u64>(held, max);
   std::vector<Event> out;
   out.reserve(held);
-  for (u64 seq = next_seq_ - held; seq < next_seq_; ++seq) {
-    out.push_back(ring_[seq % capacity_]);
+  for (u64 seq = total + 1 - held; seq <= total; ++seq) {
+    Slot& slot = ring_[seq % capacity_];
+    // Claim the slot's lock for the copy (strings cannot be read torn the
+    // way a seqlock would need): bounded attempts, then treat the slot as
+    // in-flight — its producer allocated seq but has not finished the
+    // write — and skip it. A quiescent ring never takes the skip path.
+    Event copy;
+    bool readable = false;
+    for (int attempt = 0; attempt < 1024; ++attempt) {
+      u32 v = slot.version.load(std::memory_order_acquire);
+      if ((v & 1) != 0) continue;  // writer mid-flight
+      if (!slot.version.compare_exchange_weak(v, v + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        continue;
+      }
+      copy.seq = slot.seq;
+      copy.kind = slot.kind;
+      copy.detail = slot.detail;
+      slot.version.store(v + 2, std::memory_order_release);
+      readable = true;
+      break;
+    }
+    if (readable && copy.seq == seq) out.push_back(std::move(copy));
   }
   return out;
 }
 
-u64 EventRing::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return next_seq_ - 1;
-}
-
 void EventRing::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& e : ring_) e = Event{};
-  next_seq_ = 1;
+  // Producers must be quiescent (documented contract); claim each slot
+  // anyway so a straggler cannot corrupt the seqlock protocol.
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = ring_[i];
+    u32 v = slot.version.load(std::memory_order_acquire);
+    while ((v & 1) != 0 ||
+           !slot.version.compare_exchange_weak(v, v + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      v = slot.version.load(std::memory_order_acquire);
+    }
+    slot.seq = 0;
+    slot.kind = EventKind::kServer;
+    slot.detail.clear();
+    slot.version.store(v + 2, std::memory_order_release);
+  }
+  next_seq_.store(1, std::memory_order_release);
 }
 
 }  // namespace shadow::telemetry

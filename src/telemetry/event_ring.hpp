@@ -1,11 +1,22 @@
 // Fixed-size ring of recent protocol/storage events — the flight recorder
 // behind `shadowtop events`. Bounded memory, O(1) record, and one hard
-// invariant the telemetry tests enforce: the ring always holds the
+// invariant the telemetry tests enforce: a quiescent ring always holds the
 // min(total_recorded, capacity) MOST RECENT events, with strictly
 // increasing sequence numbers and no gaps.
+//
+// Safe under CONCURRENT PRODUCERS (the sharded server records from every
+// shard thread): sequence numbers are allocated with one atomic RMW on the
+// ring-wide counter, and each slot is guarded by its own seqlock, so two
+// producers serialize only when they land on the same slot — which takes a
+// full capacity's worth of events recorded between allocation and write.
+// A producer that IS lapped that way drops its own (already obsolete)
+// event instead of overwriting a newer one. Readers copy slots through the
+// seqlock and skip entries whose write is still in flight; on a quiescent
+// ring the snapshot is exact.
 #pragma once
 
-#include <mutex>
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,18 +55,33 @@ class EventRing {
   void record(EventKind kind, std::string detail);
 
   /// The most recent min(max, size) events, oldest first (0 = all held).
+  /// Sequence numbers in the result are strictly increasing; entries whose
+  /// write is still in flight on another thread are skipped, so only a
+  /// quiescent ring is guaranteed gap-free.
   std::vector<Event> recent(std::size_t max = 0) const;
 
-  u64 total_recorded() const;
+  u64 total_recorded() const {
+    return next_seq_.load(std::memory_order_acquire) - 1;
+  }
   std::size_t capacity() const { return capacity_; }
 
+  /// Zero the ring. Callers must quiesce producers first (tests reset
+  /// between trials; the live server never resets).
   void reset();
 
  private:
-  mutable std::mutex mu_;
+  /// One ring entry under a private seqlock: odd version = write in
+  /// progress. Writers claim with a CAS; readers copy and re-check.
+  struct Slot {
+    std::atomic<u32> version{0};
+    u64 seq = 0;
+    EventKind kind = EventKind::kServer;
+    std::string detail;
+  };
+
   std::size_t capacity_;
-  std::vector<Event> ring_;  // ring_[seq % capacity_]
-  u64 next_seq_ = 1;
+  std::unique_ptr<Slot[]> ring_;  // ring_[seq % capacity_]
+  std::atomic<u64> next_seq_{1};
 };
 
 }  // namespace shadow::telemetry

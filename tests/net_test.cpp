@@ -2,8 +2,15 @@
 // over links, and the real TCP transport with length framing.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <thread>
 
+#include "net/event_loop.hpp"
 #include "net/loopback.hpp"
 #include "net/sim_transport.hpp"
 #include "net/tcp_transport.hpp"
@@ -174,17 +181,27 @@ TEST(TcpTest, SimultaneousLargeWritesDoNotDeadlock) {
   pair.a->set_receiver([&](Bytes m) { at_a = std::move(m); });
   pair.b->set_receiver([&](Bytes m) { at_b = std::move(m); });
 
+  // A send's stalls drain the peer's bytes as a side effect, but once
+  // either send RETURNS, nothing reads that socket — and the other
+  // side's unsent tail can exceed what the kernel buffers absorb,
+  // depending on how the two writers were scheduled. So each thread
+  // keeps polling its own transport until the peer's whole frame has
+  // landed; the senders' stall caps bound both loops if a write truly
+  // wedges. (Each transport stays single-owner throughout.)
   Status a_status;
-  std::thread a_writer([&] { a_status = pair.a->send(from_a); });
+  std::thread a_writer([&] {
+    a_status = pair.a->send(from_a);
+    for (int i = 0; i < 30000 && at_a.empty(); ++i) {  // > the 10 s cap
+      if (pair.a->poll() == 0) ::usleep(1000);
+    }
+  });
   const Status b_status = pair.b->send(from_b);
+  for (int i = 0; i < 30000 && at_b.empty(); ++i) {
+    if (pair.b->poll() == 0) ::usleep(1000);
+  }
   a_writer.join();
   ASSERT_TRUE(a_status.ok()) << a_status.to_string();
   ASSERT_TRUE(b_status.ok()) << b_status.to_string();
-
-  for (int i = 0; i < 10000 && (at_a.empty() || at_b.empty()); ++i) {
-    pair.a->poll();
-    pair.b->poll();
-  }
   EXPECT_EQ(at_a, from_b);
   EXPECT_EQ(at_b, from_a);
 }
@@ -239,6 +256,144 @@ TEST(TcpTest, ConnectToClosedPortFails) {
     dead_port = listener.port();
   }
   EXPECT_FALSE(tcp_connect(dead_port, "ghost").ok());
+}
+
+TEST(TcpTest, NodelaySetOnBothEnds) {
+  // Small frames must not sit in Nagle's buffer waiting for an ack: both
+  // the connect() side and the accept() side set TCP_NODELAY.
+  auto pair = make_tcp_pair();
+  ASSERT_TRUE(pair.ok());
+  for (TcpTransport* t : {pair.value().a.get(), pair.value().b.get()}) {
+    int flag = 0;
+    socklen_t len = sizeof(flag);
+    ASSERT_EQ(::getsockopt(t->fd(), IPPROTO_TCP, TCP_NODELAY, &flag, &len),
+              0);
+    EXPECT_NE(flag, 0) << "TCP_NODELAY not set";
+  }
+}
+
+TEST(TcpTest, ShortWritesResumeMidFrame) {
+  // Shrink the send buffer so a large frame cannot leave in one writev;
+  // the gathered send loop must resume mid-frame until the receiver has
+  // every byte, intact and in order.
+  auto pair = make_tcp_pair();
+  ASSERT_TRUE(pair.ok());
+  TcpTransport& sender = *pair.value().a;
+  TcpTransport& receiver = *pair.value().b;
+  int tiny = 4096;  // kernel doubles and clamps; still far below the frame
+  ASSERT_EQ(::setsockopt(sender.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+  Rng rng(7);
+  Bytes big = rng.bytes(512 * 1024);
+
+  Bytes got;
+  receiver.set_receiver([&](Bytes m) { got = std::move(m); });
+  std::thread drain([&] {
+    while (got.empty() && !receiver.closed()) {
+      receiver.poll();
+    }
+  });
+  ASSERT_TRUE(sender.send(big).ok());
+  drain.join();
+  EXPECT_EQ(got, big);
+}
+
+TEST(TcpTest, EmptyFrameRoundTrips) {
+  auto pair = make_tcp_pair();
+  ASSERT_TRUE(pair.ok());
+  int frames = 0;
+  std::size_t bytes = 99;
+  pair.value().b->set_receiver([&](Bytes m) {
+    ++frames;
+    bytes = m.size();
+  });
+  ASSERT_TRUE(pair.value().a->send(Bytes{}).ok());
+  ASSERT_TRUE(pair.value().a->send(msg("after")).ok());
+  for (int i = 0; i < 100 && frames < 2; ++i) {
+    pair.value().b->poll();
+    ::usleep(1000);
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(bytes, 5u);  // the second frame; the first was empty
+}
+
+TEST(TcpTest, UnreadMessagePrependsBeforeBufferedFrames) {
+  // The lobby handoff: a consumed frame pushed back with unread_message()
+  // must be redelivered FIRST, ahead of frames that arrived after it.
+  auto pair = make_tcp_pair();
+  ASSERT_TRUE(pair.ok());
+  TcpTransport& rx = *pair.value().b;
+  ASSERT_TRUE(pair.value().a->send(msg("hello")).ok());
+  std::vector<std::string> got;
+  rx.set_receiver([&](Bytes m) { got.emplace_back(m.begin(), m.end()); });
+  for (int i = 0; i < 100 && got.empty(); ++i) {
+    rx.poll();
+    ::usleep(1000);
+  }
+  ASSERT_EQ(got, (std::vector<std::string>{"hello"}));
+  got.clear();
+  ASSERT_TRUE(pair.value().a->send(msg("later")).ok());
+  ::usleep(20000);  // let "later" reach the socket before the unread
+  rx.unread_message(msg("hello"));
+  for (int i = 0; i < 100 && got.size() < 2; ++i) {
+    rx.poll();
+    ::usleep(1000);
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"hello", "later"}));
+}
+
+// ---- event loop ----
+
+TEST(EventLoopTest, AdoptedConnectionDispatchesOnLoopThread) {
+  EventLoop loop;
+  auto pair = make_tcp_pair();
+  ASSERT_TRUE(pair.ok());
+  std::atomic<int> frames{0};
+  std::thread runner([&] { loop.run(); });
+  loop.adopt(std::move(pair.value().b), [&](TcpTransport* t) {
+    t->set_receiver([&](Bytes) { frames.fetch_add(1); });
+  });
+  ASSERT_TRUE(pair.value().a->send(msg("one")).ok());
+  ASSERT_TRUE(pair.value().a->send(msg("two")).ok());
+  for (int i = 0; i < 500 && frames.load() < 2; ++i) ::usleep(1000);
+  EXPECT_EQ(frames.load(), 2);
+  EXPECT_EQ(loop.connections(), 1u);
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(loop.adopted_total(), 1u);
+}
+
+TEST(EventLoopTest, PostedTasksRunOnLoop) {
+  EventLoop loop;
+  std::atomic<int> ran{0};
+  std::thread runner([&] { loop.run(); });
+  for (int i = 0; i < 10; ++i) {
+    loop.post([&] { ran.fetch_add(1); });
+  }
+  for (int i = 0; i < 500 && ran.load() < 10; ++i) ::usleep(1000);
+  EXPECT_EQ(ran.load(), 10);
+  loop.stop();
+  runner.join();
+}
+
+TEST(EventLoopTest, ClosedConnectionsAreReaped) {
+  EventLoop loop;
+  auto pair = make_tcp_pair();
+  ASSERT_TRUE(pair.ok());
+  std::atomic<int> detached{0};
+  loop.set_on_detach([&](TcpTransport*) { detached.fetch_add(1); });
+  std::thread runner([&] { loop.run(); });
+  loop.adopt(std::move(pair.value().b),
+             [](TcpTransport* t) { t->set_receiver([](Bytes) {}); });
+  for (int i = 0; i < 500 && loop.connections() == 0; ++i) ::usleep(1000);
+  pair.value().a->close();  // peer hangs up
+  for (int i = 0; i < 500 && detached.load() == 0; ++i) ::usleep(1000);
+  EXPECT_EQ(detached.load(), 1);
+  EXPECT_EQ(loop.connections(), 0u);
+  EXPECT_EQ(loop.closed_total(), 1u);
+  loop.stop();
+  runner.join();
 }
 
 }  // namespace

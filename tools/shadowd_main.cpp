@@ -24,6 +24,7 @@
 #include "persist/durable_store.hpp"
 #include "persist/storage.hpp"
 #include "server/shadow_server.hpp"
+#include "server/sharded_server.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -37,6 +38,7 @@ void handle_signal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   u16 port = 7788;
   bool once = false;
+  std::size_t threads = 1;
   std::string state_path;
   std::string journal_dir;
   server::ServerConfig config;
@@ -83,6 +85,15 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (arg == "--threads") {
+      if (const char* v = next()) {
+        const long n = std::atol(v);
+        if (n < 1 || n > 64) {
+          std::fprintf(stderr, "shadowd: --threads must be 1..64\n");
+          return 2;
+        }
+        threads = static_cast<std::size_t>(n);
+      }
     } else if (arg == "--state") {
       if (const char* v = next()) state_path = v;
     } else if (arg == "--journal") {
@@ -103,7 +114,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--help") {
-      std::printf("usage: shadowd [--port N] [--name NAME] "
+      std::printf("usage: shadowd [--port N] [--name NAME] [--threads N] "
                   "[--cache-budget BYTES] [--eviction POLICY] "
                   "[--reverse-shadow] [--codec CODEC] [--state FILE] "
                   "[--journal DIR] [--once] [--verbose] "
@@ -117,6 +128,76 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+
+  if (threads > 1) {
+    // Thread-per-core mode: N shard event loops, the main thread accepts
+    // and runs the routing lobby. --threads 1 (the default) keeps the
+    // classic single-threaded path below, byte-for-byte.
+    if (!state_path.empty()) {
+      std::fprintf(stderr, "shadowd: --state requires --threads 1 "
+                   "(sharded durability uses --journal DIR)\n");
+      return 2;
+    }
+    std::vector<std::unique_ptr<persist::FsDir>> shard_fs;
+    std::vector<std::unique_ptr<persist::DurableStore>> shard_stores;
+    std::vector<persist::DurableStore*> store_ptrs;
+    if (!journal_dir.empty()) {
+      for (std::size_t i = 0; i < threads; ++i) {
+        shard_fs.push_back(std::make_unique<persist::FsDir>(
+            journal_dir + "/shard" + std::to_string(i)));
+        shard_stores.push_back(
+            std::make_unique<persist::DurableStore>(shard_fs.back().get()));
+        store_ptrs.push_back(shard_stores.back().get());
+      }
+    }
+    server::ShardedServer sharded(config, threads, store_ptrs);
+    if (!store_ptrs.empty()) {
+      if (auto st = sharded.recover_all(); st.ok()) {
+        const auto stats = sharded.aggregate_stats();
+        std::printf("shadowd: recovered %zu shards from %s "
+                    "(%llu journal records, %llu requeued jobs)\n",
+                    threads, journal_dir.c_str(),
+                    static_cast<unsigned long long>(stats.recovered_records),
+                    static_cast<unsigned long long>(stats.requeued_jobs));
+      } else {
+        std::fprintf(stderr, "shadowd: cannot recover from %s: %s\n",
+                     journal_dir.c_str(), st.to_string().c_str());
+        return 1;
+      }
+    }
+    net::TcpListener listener;
+    if (auto st = listener.listen(port); !st.ok()) {
+      std::fprintf(stderr, "shadowd: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    sharded.start_threads();
+    std::printf("shadowd: %s listening on 127.0.0.1:%u (%zu shards)\n",
+                config.name.c_str(), listener.port(), threads);
+    std::fflush(stdout);
+
+    bool had_client = false;
+    while (g_stop == 0) {
+      if (auto accepted = listener.accept(); accepted.ok()) {
+        std::printf("shadowd: client connected\n");
+        std::fflush(stdout);
+        sharded.adopt_tcp(std::move(accepted).take());
+        had_client = true;
+      }
+      const std::size_t moved = sharded.poll_lobby();
+      if (once && had_client && sharded.live_connections() == 0) break;
+      if (moved == 0) ::usleep(2000);
+    }
+    sharded.stop_threads();
+
+    const auto stats = sharded.aggregate_stats();
+    std::printf("shadowd: exiting; %llu updates received (%llu full, %llu "
+                "delta), %llu jobs completed\n",
+                static_cast<unsigned long long>(stats.updates_received),
+                static_cast<unsigned long long>(stats.full_transfers),
+                static_cast<unsigned long long>(stats.delta_transfers),
+                static_cast<unsigned long long>(stats.jobs_completed));
+    return 0;
+  }
 
   std::unique_ptr<persist::FsDir> journal_fs;
   std::unique_ptr<persist::DurableStore> store;
