@@ -1,6 +1,8 @@
 // Durability-cost ablation: what does crash consistency charge per
 // operation? Journal appends (the per-acknowledgment cost, over both the
 // in-memory storage model and the real filesystem with genuine fsyncs),
+// group commit vs sync-per-record acknowledgment throughput at 1/32/1024
+// simulated writers (the headline: one fsync amortized over a batch),
 // raw journal scanning, and full server recovery (snapshot restore +
 // journal replay + orphan requeue) as a function of journal length.
 // google-benchmark binary; exported to BENCH_persist.json by
@@ -65,6 +67,123 @@ void BM_JournalAppendFs(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(body.size()));
+  std::filesystem::remove_all(root);
+}
+
+// ---- group commit vs sync-per-record ----
+//
+// Each iteration models one commit window at N concurrent writers: N
+// records arrive, then the server acknowledges all of them. Sync-per-
+// record pays N fsyncs; group commit stages the N records and pays one
+// fsync per sealed batch (the byte cap can seal mid-window at 1024
+// writers — that is the real policy, not a benchmark artifact).
+// items_per_second IS acks/sec.
+
+void BM_SyncPerRecordAcksFs(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const auto root =
+      std::filesystem::temp_directory_path() / "shadow_bench_gc_sync";
+  std::filesystem::remove_all(root);
+  persist::FsDir dir(root.string());
+  persist::DurableStore store(&dir, /*compact_every=*/1u << 30);
+  const Bytes body = sample_body();
+  for (auto _ : state) {
+    for (int w = 0; w < writers; ++w) {
+      benchmark::DoNotOptimize(
+          store.append(persist::RecordType::kShadowCached, body).ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * writers);
+  std::filesystem::remove_all(root);
+}
+
+void BM_GroupCommitAcksFs(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const auto root =
+      std::filesystem::temp_directory_path() / "shadow_bench_gc_group";
+  std::filesystem::remove_all(root);
+  persist::FsDir dir(root.string());
+  persist::DurableStore store(&dir, /*compact_every=*/1u << 30);
+  persist::GroupCommitConfig gc;
+  gc.window_us = 1'000'000;  // the loop closes every window explicitly
+  store.set_group_commit(gc);
+  const Bytes body = sample_body();
+  int64_t acked = 0;
+  auto on_durable = [&acked](const Status& st) {
+    if (st.ok()) ++acked;
+  };
+  for (auto _ : state) {
+    for (int w = 0; w < writers; ++w) {
+      benchmark::DoNotOptimize(
+          store
+              .append_deferred(persist::RecordType::kShadowCached, body,
+                               on_durable)
+              .ok());
+    }
+    benchmark::DoNotOptimize(store.flush().ok());
+  }
+  state.SetItemsProcessed(acked);
+  state.counters["fsyncs_per_window"] = benchmark::Counter(
+      static_cast<double>(store.stats().group_flushes) /
+      static_cast<double>(state.iterations()));
+  std::filesystem::remove_all(root);
+}
+
+void BM_GroupCommitPipelinedAcksFs(benchmark::State& state) {
+  // Same window model with the pipeline worker: the batch fsync runs on
+  // a second thread while this one frames + CRCs the next window's
+  // records into the parked buffer.
+  const int writers = static_cast<int>(state.range(0));
+  const auto root =
+      std::filesystem::temp_directory_path() / "shadow_bench_gc_pipe";
+  std::filesystem::remove_all(root);
+  int64_t acked = 0;
+  {
+    persist::FsDir dir(root.string());
+    persist::DurableStore store(&dir, /*compact_every=*/1u << 30);
+    persist::GroupCommitConfig gc;
+    gc.window_us = 1'000'000;
+    gc.pipeline = true;
+    store.set_group_commit(gc);
+    const Bytes body = sample_body();
+    auto on_durable = [&acked](const Status& st) {
+      if (st.ok()) ++acked;
+    };
+    for (auto _ : state) {
+      for (int w = 0; w < writers; ++w) {
+        benchmark::DoNotOptimize(
+            store
+                .append_deferred(persist::RecordType::kShadowCached, body,
+                                 on_durable)
+                .ok());
+      }
+      benchmark::DoNotOptimize(store.flush().ok());
+    }
+    store.wait_idle();
+  }
+  state.SetItemsProcessed(acked);
+  std::filesystem::remove_all(root);
+}
+
+void BM_GroupCommitWindow0Fs(benchmark::State& state) {
+  // The compatibility guarantee, measured: window=0 append_deferred must
+  // cost what classic append costs (same writes, same fsync-per-record).
+  const auto root =
+      std::filesystem::temp_directory_path() / "shadow_bench_gc_w0";
+  std::filesystem::remove_all(root);
+  persist::FsDir dir(root.string());
+  persist::DurableStore store(&dir, /*compact_every=*/1u << 30);
+  persist::GroupCommitConfig gc;  // window_us == 0
+  store.set_group_commit(gc);
+  const Bytes body = sample_body();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store
+            .append_deferred(persist::RecordType::kShadowCached, body,
+                             [](const Status&) {})
+            .ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
   std::filesystem::remove_all(root);
 }
 
@@ -148,6 +267,10 @@ void BM_ServerRecovery(benchmark::State& state) {
 
 BENCHMARK(BM_JournalAppendMem);
 BENCHMARK(BM_JournalAppendFs);
+BENCHMARK(BM_SyncPerRecordAcksFs)->Arg(1)->Arg(32)->Arg(1024);
+BENCHMARK(BM_GroupCommitAcksFs)->Arg(1)->Arg(32)->Arg(1024);
+BENCHMARK(BM_GroupCommitPipelinedAcksFs)->Arg(1)->Arg(32)->Arg(1024);
+BENCHMARK(BM_GroupCommitWindow0Fs);
 BENCHMARK(BM_ReplayScan)->Arg(64)->Arg(512)->Arg(4096);
 BENCHMARK(BM_ServerRecovery)->Arg(16)->Arg(128)->Arg(512);
 

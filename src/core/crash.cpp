@@ -16,19 +16,57 @@
 
 namespace shadow::core {
 
+namespace {
+
+/// One editing client: its own host, its own hot file, its own edit
+/// stream. Writer 0 is the classic "ws" of the single-writer harness —
+/// same name, same path, same Rng seed — so pre-group-commit schedules
+/// keep their exact write-point numbering.
+struct Writer {
+  std::string host;
+  std::string path;
+  std::unique_ptr<client::ShadowClient> client;
+  std::unique_ptr<client::ShadowEditor> editor;
+  net::LoopbackPair pair;
+  std::string content;
+  Rng rng;
+
+  Writer(u64 seed_value) : rng(seed_value) {}
+};
+
+}  // namespace
+
 CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
   CrashOutcome out;
+  const int writer_count = options.writers < 1 ? 1 : options.writers;
+  const bool grouped = options.commit_window_us > 0;
 
   vfs::Cluster cluster;
-  (void)cluster.add_host("ws").mkdir_p("/home/user");
+  std::vector<std::unique_ptr<Writer>> writers;
+  for (int w = 0; w < writer_count; ++w) {
+    auto writer = std::make_unique<Writer>(
+        w == 0 ? (options.seed ^ 0xC7A5Bu)
+               : (options.seed ^ (0xC7A5Bu + static_cast<u64>(w) * 0x9E37u)));
+    writer->host = w == 0 ? "ws" : "ws" + std::to_string(w);
+    writer->path = w == 0 ? "/home/user/f" : "/home/user/g" + std::to_string(w);
+    (void)cluster.add_host(writer->host).mkdir_p("/home/user");
+    writers.push_back(std::move(writer));
+  }
 
   persist::MemDir disk;
   persist::StorageFaultPlan fault_plan;
   fault_plan.crash_at_write = crash_at_write;
   fault_plan.torn_keep = options.torn_keep;
   fault_plan.lie_about_sync_after = options.lying_fsync_after;
+  fault_plan.syncs_are_write_points = options.count_syncs_as_write_points;
   persist::FaultFs faults(&disk, fault_plan);
   persist::DurableStore store1(&faults, options.compact_every);
+
+  persist::GroupCommitConfig gc;
+  gc.window_us = options.commit_window_us;
+  gc.max_batch_records = options.commit_max_batch_records;
+  gc.pipeline = options.pipelined_persist;
+  store1.set_group_commit(gc);
 
   server::ServerConfig sc;
   sc.name = "super";
@@ -39,24 +77,48 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
 
   client::ShadowEnvironment env;
   env.retention_limit = 64;  // keep every version the checks below read
-  client::ShadowClient client("ws", env, &cluster, "crash-domain");
-  client::ShadowEditor editor(&client, &cluster);
+  for (auto& w : writers) {
+    w->client = std::make_unique<client::ShadowClient>(w->host, env, &cluster,
+                                                       "crash-domain");
+    w->editor = std::make_unique<client::ShadowEditor>(w->client.get(),
+                                                       &cluster);
+    w->pair = net::make_loopback_pair(w->host, "super");
+    server1->attach(w->pair.b.get());
+    w->client->connect("super", w->pair.a.get());
+    net::pump(w->pair);
+  }
 
-  auto pair1 = net::make_loopback_pair("ws", "super");
-  server1->attach(pair1.b.get());
-  client.connect("super", pair1.a.get());
-  net::pump(pair1);
+  // Deliver everything in flight. Under group commit the harness — not a
+  // timer — closes every window, so deferred acks release at explicit,
+  // reproducible points: flush, pump the released acks out, repeat until
+  // the exchange quiesces (job chains append more records from inside
+  // commit callbacks, hence the fixed extra rounds).
+  auto settle = [&](server::ShadowServer& server) {
+    for (auto& w : writers) net::pump(w->pair);
+    if (!grouped) return;
+    for (int round = 0; round < 5; ++round) {
+      server.flush_persist();
+      server.wait_persist_idle();
+      for (auto& w : writers) net::pump(w->pair);
+    }
+  };
 
   // ---- Phase 1: the workload, dying at the chosen write point --------
-  const std::string edit_path = "/home/user/f";
-  std::string content = make_file(options.file_bytes, options.seed);
-  Status st = editor.create(edit_path, content);
-  if (!st.ok()) {
-    out.detail = "create failed: " + st.to_string();
-    return out;
+  for (auto& w : writers) {
+    w->content = make_file(options.file_bytes,
+                           w.get() == writers.front().get()
+                               ? options.seed
+                               : options.seed * 131 + w->rng.next() % 997);
+    Status created = w->editor->create(w->path, w->content);
+    if (!created.ok()) {
+      out.detail = "create failed: " + created.to_string();
+      return out;
+    }
+    net::pump(w->pair);
   }
-  net::pump(pair1);
+  settle(*server1);
 
+  Writer& w0 = *writers.front();
   struct SubmittedJob {
     u64 token = 0;
     std::string output_path;
@@ -64,52 +126,67 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
   std::vector<std::string> data_paths;
   std::vector<SubmittedJob> submitted;
 
-  Rng edit_rng(options.seed ^ 0xC7A5Bu);
   for (int i = 0; i < options.edits; ++i) {
-    content = modify_percent(content, options.edit_percent, edit_rng.next());
-    st = editor.create(edit_path, content);
-    if (!st.ok()) {
-      out.detail = "edit failed: " + st.to_string();
-      return out;
+    for (std::size_t w = 0; w < writers.size(); ++w) {
+      Writer& writer = *writers[w];
+      writer.content = modify_percent(writer.content, options.edit_percent,
+                                      writer.rng.next());
+      Status st = writer.editor->create(writer.path, writer.content);
+      if (!st.ok()) {
+        out.detail = "edit failed: " + st.to_string();
+        return out;
+      }
+      net::pump(writer.pair);
+      if (w == 0 && grouped && options.pipelined_persist) {
+        // Kick the batch fsync onto the worker NOW, so the remaining
+        // writers' records arrive while it is in flight and exercise the
+        // park-then-promote path.
+        server1->flush_persist();
+      }
     }
-    net::pump(pair1);
+    settle(*server1);
     if (options.submit_every > 0 && (i + 1) % options.submit_every == 0) {
       // Immutable input file: never edited again, so the job's output is
       // the same whether it runs before the crash, after, or both.
       const std::string dpath = "/home/user/d" + std::to_string(i);
-      st = editor.create(
+      Status st = w0.editor->create(
           dpath, make_file(options.file_bytes / 2, options.seed * 31 + i));
       if (!st.ok()) {
         out.detail = "data create failed: " + st.to_string();
         return out;
       }
-      net::pump(pair1);
+      net::pump(w0.pair);
       client::ShadowClient::SubmitOptions job;
       job.files = {dpath};
       job.command_file = "sort d" + std::to_string(i) + "\n";
       job.output_path = "/home/user/out" + std::to_string(i);
       job.error_path = "/home/user/err" + std::to_string(i);
-      auto token = client.submit(job);
+      auto token = w0.client->submit(job);
       if (!token.ok()) {
         out.detail = "submit failed: " + token.error().to_string();
         return out;
       }
       data_paths.push_back(dpath);
       submitted.push_back({token.value(), job.output_path});
-      net::pump(pair1);
+      net::pump(w0.pair);
+      settle(*server1);
     }
   }
-  net::pump(pair1);
+  settle(*server1);
 
   out.write_points = faults.writes_seen();
   out.crashed_at = faults.dead() ? crash_at_write : 0;
 
   // What did the server PROMISE before the lights went out?
-  const auto acked = client.acked_versions("super");
+  std::vector<std::map<std::string, u64>> acked_per_writer;
+  for (auto& w : writers) {
+    const auto acked = w->client->acked_versions("super");
+    acked_per_writer.emplace_back(acked.begin(), acked.end());
+  }
   std::vector<u64> acked_job_ids;
   for (const auto& job : submitted) {
-    const auto it = client.jobs().find(job.token);
-    if (it != client.jobs().end() && it->second.job_id != 0) {
+    const auto it = w0.client->jobs().find(job.token);
+    if (it != w0.client->jobs().end() && it->second.job_id != 0) {
       acked_job_ids.push_back(it->second.job_id);
     }
   }
@@ -134,6 +211,7 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
 
   // ---- Phase 2: recover a fresh server from whatever survived --------
   persist::DurableStore store2(&disk, options.compact_every);
+  store2.set_group_commit(gc);
   server::ShadowServer server2(sc, nullptr, &store2);
   Status recovered = server2.recover_from_storage();
   out.clean_recovery = recovered.ok();
@@ -145,8 +223,9 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
   out.requeued_jobs = server2.stats().requeued_jobs;
   out.retry_capped_jobs = server2.stats().retry_capped_jobs;
 
-  // Invariant A: acked state survives byte-identically. A lying fsync (or
-  // a deliberately wiped disk) voids the promise, so those trials only
+  // Invariant A: acked state survives byte-identically — for EVERY
+  // writer, whichever batch its records rode in. A lying fsync (or a
+  // deliberately wiped disk) voids the promise, so those trials only
   // assert convergence.
   const bool durability_holds =
       options.lying_fsync_after == 0 && !options.wipe_disk_before_restart;
@@ -155,31 +234,37 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
     if (out.detail.empty()) out.detail = why;
   };
   if (durability_holds) {
-    std::vector<std::string> tracked = data_paths;
-    tracked.push_back(edit_path);
-    for (const auto& path : tracked) {
-      auto id = client.resolve_name(path);
-      if (!id.ok()) continue;
-      const auto it = acked.find(id.value().key());
-      if (it == acked.end()) continue;  // never acked: no promise to keep
-      ++out.acked_versions_checked;
-      const std::string key = server2.domains().cache_key(id.value());
-      auto entry = server2.file_cache().get(key);
-      if (!entry.ok()) {
-        fail("acked file lost: " + path + " v" + std::to_string(it->second));
-        continue;
-      }
-      if (entry.value()->version < it->second) {
-        fail("acked version regressed: " + path + " has v" +
-             std::to_string(entry.value()->version) + " < acked v" +
-             std::to_string(it->second));
-        continue;
-      }
-      auto ours = client.versions()
-                      .chain(id.value().key())
-                      .get(entry.value()->version);
-      if (ours.ok() && ours.value().content != entry.value()->content) {
-        fail("recovered content differs from client version for " + path);
+    for (std::size_t w = 0; w < writers.size(); ++w) {
+      Writer& writer = *writers[w];
+      const auto& acked = acked_per_writer[w];
+      std::vector<std::string> tracked;
+      if (w == 0) tracked = data_paths;
+      tracked.push_back(writer.path);
+      for (const auto& path : tracked) {
+        auto id = writer.client->resolve_name(path);
+        if (!id.ok()) continue;
+        const auto it = acked.find(id.value().key());
+        if (it == acked.end()) continue;  // never acked: no promise to keep
+        ++out.acked_versions_checked;
+        const std::string key = server2.domains().cache_key(id.value());
+        auto entry = server2.file_cache().get(key);
+        if (!entry.ok()) {
+          fail("acked file lost: " + writer.host + ":" + path + " v" +
+               std::to_string(it->second));
+          continue;
+        }
+        if (entry.value()->version < it->second) {
+          fail("acked version regressed: " + path + " has v" +
+               std::to_string(entry.value()->version) + " < acked v" +
+               std::to_string(it->second));
+          continue;
+        }
+        auto ours = writer.client->versions()
+                        .chain(id.value().key())
+                        .get(entry.value()->version);
+        if (ours.ok() && ours.value().content != entry.value()->content) {
+          fail("recovered content differs from client version for " + path);
+        }
       }
     }
     for (const u64 job_id : acked_job_ids) {
@@ -191,46 +276,61 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
   }
 
   // ---- Phase 3: reconnect, resync, converge --------------------------
-  const u64 full_before = client.stats().full_sent;
-  const u64 delta_before = client.stats().delta_sent;
+  const u64 full_before = w0.client->stats().full_sent;
+  const u64 delta_before = w0.client->stats().delta_sent;
 
-  auto pair2 = net::make_loopback_pair("ws", "super");
-  server2.attach(pair2.b.get());
-  client.connect("super", pair2.a.get());
-  net::pump(pair2);
-  // Re-announce every file and resend unacknowledged submits — the
-  // client-side half of crash recovery.
-  client.resync("super");
-  net::pump(pair2);
-
-  content = modify_percent(content, options.edit_percent, edit_rng.next());
-  st = editor.create(edit_path, content);
-  if (!st.ok()) {
-    out.detail = "post-restart edit failed: " + st.to_string();
-    return out;
+  for (auto& w : writers) {
+    w->pair = net::make_loopback_pair(w->host, "super");
+    server2.attach(w->pair.b.get());
+    w->client->connect("super", w->pair.a.get());
+    net::pump(w->pair);
+    // Re-announce every file and resend unacknowledged submits — the
+    // client-side half of crash recovery.
+    w->client->resync("super");
+    net::pump(w->pair);
   }
-  out.final_content = content;
-  net::pump(pair2);
+  settle(server2);
+
+  for (auto& w : writers) {
+    w->content =
+        modify_percent(w->content, options.edit_percent, w->rng.next());
+    Status st = w->editor->create(w->path, w->content);
+    if (!st.ok()) {
+      out.detail = "post-restart edit failed: " + st.to_string();
+      return out;
+    }
+    net::pump(w->pair);
+  }
+  out.final_content = w0.content;
+  settle(server2);
 
   bool all_done = true;
   for (int attempt = 0; attempt < 8; ++attempt) {
-    net::pump(pair2);
+    settle(server2);
     all_done = true;
     for (const auto& job : submitted) {
-      if (!client.job_done(job.token)) all_done = false;
+      if (!w0.client->job_done(job.token)) all_done = false;
     }
     if (all_done) break;
   }
 
-  out.post_restart_full = client.stats().full_sent - full_before;
-  out.post_restart_delta = client.stats().delta_sent - delta_before;
+  out.post_restart_full = w0.client->stats().full_sent - full_before;
+  out.post_restart_delta = w0.client->stats().delta_sent - delta_before;
 
-  auto id = client.resolve_name(edit_path);
-  if (id.ok()) {
-    auto entry =
-        server2.file_cache().get(server2.domains().cache_key(id.value()));
-    if (entry.ok()) out.server_cached = entry.value()->content;
+  bool all_cached = true;
+  for (auto& w : writers) {
+    out.writer_final.push_back(w->content);
+    std::string cached;
+    auto id = w->client->resolve_name(w->path);
+    if (id.ok()) {
+      auto entry =
+          server2.file_cache().get(server2.domains().cache_key(id.value()));
+      if (entry.ok()) cached = entry.value()->content;
+    }
+    if (cached != w->content) all_cached = false;
+    out.writer_cached.push_back(std::move(cached));
   }
+  out.server_cached = out.writer_cached.front();
   for (const auto& job : submitted) {
     auto produced = cluster.read_file("ws", job.output_path);
     out.job_outputs.push_back(produced.ok() ? produced.value() : "");
@@ -238,7 +338,7 @@ CrashOutcome run_crash_trial(const CrashOptions& options, u64 crash_at_write) {
 
   if (!all_done) {
     if (out.detail.empty()) out.detail = "job outputs never arrived";
-  } else if (out.server_cached != out.final_content) {
+  } else if (!all_cached) {
     if (out.detail.empty()) out.detail = "server cache did not converge";
   } else {
     out.converged = true;

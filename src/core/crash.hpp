@@ -50,6 +50,28 @@ struct CrashOptions {
   /// Restart from an empty disk instead of the crashed one — the
   /// no-durability baseline (everything degrades to full transfers).
   bool wipe_disk_before_restart = false;
+
+  // --- group commit (docs/DURABILITY.md) ------------------------------
+  /// Concurrent editing clients. Writer 0 keeps the classic "ws" name and
+  /// owns the submit workload; writers 1.. edit their own files, so a
+  /// batch holds records whose acks belong to DIFFERENT connections and a
+  /// mid-batch crash strands some of every writer's promises.
+  int writers = 1;
+  /// Commit window handed to the server's store (µs). 0 = classic
+  /// sync-per-record. >0 batches; the trial drives every flush point
+  /// explicitly (never the wall clock), so with pipelined_persist false
+  /// the write-point schedule stays deterministic in (options, crash_at).
+  u64 commit_window_us = 0;
+  u64 commit_max_batch_records = 128;
+  /// Overlap the batch fsync with framing of the next records (the store's
+  /// pipeline worker). Thread timing may shuffle which exact operation a
+  /// given write index lands on, so pipelined sweeps assert the durability
+  /// invariants per point rather than exact-op identity.
+  bool pipelined_persist = false;
+  /// Count sync() calls as crash points too (FaultFs), so a sweep can kill
+  /// the storage BETWEEN a batch's appends and its fsync, or at the fsync
+  /// itself — the group-commit crash windows that do not exist per-record.
+  bool count_syncs_as_write_points = false;
 };
 
 struct CrashOutcome {
@@ -83,9 +105,13 @@ struct CrashOutcome {
   u64 post_restart_delta = 0;
 
   // Final state, compared against the no-crash oracle.
-  std::string final_content;  // client's last edit of the hot file
-  std::string server_cached;  // server cache content for the hot file
+  std::string final_content;  // writer 0's last edit of its hot file
+  std::string server_cached;  // server cache content for that file
   std::vector<std::string> job_outputs;  // one per submitted job, in order
+
+  // Per-writer final/cached content (index 0 mirrors the scalars above).
+  std::vector<std::string> writer_final;
+  std::vector<std::string> writer_cached;
 };
 
 /// Run one trial, killing the storage at `crash_at_write` (1-based; 0 =

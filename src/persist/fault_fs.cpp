@@ -36,9 +36,12 @@ bool FaultFs::count_write() {
 
 Result<std::unique_ptr<StorageFile>> FaultFs::open_append(
     const std::string& name) {
-  if (dead_) {
-    ++stats_.refused_ops;
-    return dead_error().error();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) {
+      ++stats_.refused_ops;
+      return dead_error().error();
+    }
   }
   SHADOW_ASSIGN_OR_RETURN(inner, inner_->open_append(name));
   return std::unique_ptr<StorageFile>(
@@ -46,6 +49,10 @@ Result<std::unique_ptr<StorageFile>> FaultFs::open_append(
 }
 
 Status FaultFs::guarded_append(StorageFile* file, const Bytes& data) {
+  // mu_ is held across the inner call too: a pipelined store's owner
+  // append and worker sync serialize here, so write-point numbering stays
+  // a total order even with two threads in flight.
+  std::lock_guard<std::mutex> lk(mu_);
   if (dead_) {
     ++stats_.refused_ops;
     return dead_error();
@@ -66,8 +73,16 @@ Status FaultFs::guarded_append(StorageFile* file, const Bytes& data) {
 }
 
 Status FaultFs::guarded_sync(StorageFile* file) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (dead_) {
     ++stats_.refused_ops;
+    return dead_error();
+  }
+  if (plan_.syncs_are_write_points && count_write()) {
+    // Dying at the fsync: every byte appended since the last successful
+    // sync stays in the page cache — the batch the caller was about to
+    // acknowledge never became durable.
+    dead_ = true;
     return dead_error();
   }
   if (plan_.lie_about_sync_after != 0 &&
@@ -79,18 +94,26 @@ Status FaultFs::guarded_sync(StorageFile* file) {
 }
 
 Result<Bytes> FaultFs::read(const std::string& name) {
-  if (dead_) {
-    ++stats_.refused_ops;
-    return dead_error().error();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) {
+      ++stats_.refused_ops;
+      return dead_error().error();
+    }
   }
   return inner_->read(name);
 }
 
 bool FaultFs::exists(const std::string& name) const {
-  return !dead_ && inner_->exists(name);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return false;
+  }
+  return inner_->exists(name);
 }
 
 Status FaultFs::write_atomic(const std::string& name, const Bytes& data) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (dead_) {
     ++stats_.refused_ops;
     return dead_error();
@@ -105,6 +128,7 @@ Status FaultFs::write_atomic(const std::string& name, const Bytes& data) {
 }
 
 Status FaultFs::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (dead_) {
     ++stats_.refused_ops;
     return dead_error();
@@ -117,7 +141,10 @@ Status FaultFs::remove(const std::string& name) {
 }
 
 std::vector<std::string> FaultFs::list() const {
-  if (dead_) return {};
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_) return {};
+  }
   return inner_->list();
 }
 

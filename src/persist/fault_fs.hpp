@@ -10,9 +10,19 @@
 // Write-point numbering is 1-based and counts append(), write_atomic()
 // and remove() calls in order, which makes schedules exact: "crash at
 // write 7" is the same operation in every run of a deterministic workload.
+// With syncs_are_write_points, sync() calls join the same numbering, so a
+// group-commit matrix can kill the process BETWEEN a batch's appends and
+// its fsync, or at the fsync itself — a dying sync leaves every
+// appended-but-unsynced byte in the page cache for MemDir::crash() to
+// adjudicate.
+//
+// Thread safety: all state is guarded by one mutex, so a pipelined
+// DurableStore (owner appending, worker syncing) can share a FaultFs; the
+// crash-trial determinism argument lives in core/crash.cpp.
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "persist/storage.hpp"
 
@@ -21,14 +31,18 @@ namespace shadow::persist {
 struct StorageFaultPlan {
   /// Die at this mutating operation (1-based). 0 = never. The dying
   /// append applies only `torn_keep` bytes; a dying write_atomic or
-  /// remove applies nothing (the rename never happened). Every later
-  /// operation fails with kIoError.
+  /// remove applies nothing (the rename never happened); a dying sync
+  /// (syncs_are_write_points) syncs nothing. Every later operation fails
+  /// with kIoError.
   u64 crash_at_write = 0;
   /// Bytes of the dying append that still reach the inner directory.
   std::size_t torn_keep = 0;
   /// From this mutating-op index on (1-based), sync() returns OK without
   /// syncing — the lost-fsync lie. 0 = never lie.
   u64 lie_about_sync_after = 0;
+  /// Count sync() calls as write points too (default false keeps every
+  /// pre-group-commit schedule numbering intact).
+  bool syncs_are_write_points = false;
 };
 
 struct StorageFaultStats {
@@ -51,9 +65,18 @@ class FaultFs final : public StorageDir {
   Status remove(const std::string& name) override;
   std::vector<std::string> list() const override;
 
-  bool dead() const { return dead_; }
-  u64 writes_seen() const { return stats_.writes_seen; }
-  const StorageFaultStats& fault_stats() const { return stats_; }
+  bool dead() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return dead_;
+  }
+  u64 writes_seen() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_.writes_seen;
+  }
+  StorageFaultStats fault_stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
 
   // Used by the append handles (public to avoid friendship).
   Status guarded_append(StorageFile* file, const Bytes& data);
@@ -61,11 +84,13 @@ class FaultFs final : public StorageDir {
 
  private:
   /// Count one mutating op; returns true when this op is the dying one.
+  /// Caller holds mu_.
   bool count_write();
   Status dead_error() const;
 
   StorageDir* inner_;
   StorageFaultPlan plan_;
+  mutable std::mutex mu_;  // guards stats_ and dead_
   StorageFaultStats stats_;
   bool dead_ = false;
 };

@@ -1,5 +1,7 @@
 #include "persist/storage.hpp"
 
+#include <mutex>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -58,11 +60,15 @@ class MemStorageFile final : public StorageFile {
 Result<std::unique_ptr<StorageFile>> MemDir::open_append(
     const std::string& name) {
   if (!valid_storage_name(name)) return bad_name(name);
-  files_[name];  // create if absent
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    files_[name];  // create if absent
+  }
   return std::unique_ptr<StorageFile>(new MemStorageFile(this, name));
 }
 
 Result<Bytes> MemDir::read(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Error{ErrorCode::kNotFound, "no such file: " + name};
@@ -73,11 +79,13 @@ Result<Bytes> MemDir::read(const std::string& name) {
 }
 
 bool MemDir::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return files_.count(name) != 0;
 }
 
 Status MemDir::write_atomic(const std::string& name, const Bytes& data) {
   if (!valid_storage_name(name)) return bad_name(name);
+  std::lock_guard<std::mutex> lk(mu_);
   MemFile& f = files_[name];
   f.synced = data;
   f.pending.clear();
@@ -85,6 +93,7 @@ Status MemDir::write_atomic(const std::string& name, const Bytes& data) {
 }
 
 Status MemDir::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (files_.erase(name) == 0) {
     return Error{ErrorCode::kNotFound, "no such file: " + name};
   }
@@ -92,12 +101,14 @@ Status MemDir::remove(const std::string& name) {
 }
 
 std::vector<std::string> MemDir::list() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::string> out;
   for (const auto& [name, f] : files_) out.push_back(name);
   return out;
 }
 
 Status MemDir::append_to(const std::string& name, const Bytes& data) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Error{ErrorCode::kNotFound, "no such file: " + name};
@@ -108,6 +119,7 @@ Status MemDir::append_to(const std::string& name, const Bytes& data) {
 }
 
 Status MemDir::sync_file(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) {
     return Error{ErrorCode::kNotFound, "no such file: " + name};
@@ -119,12 +131,14 @@ Status MemDir::sync_file(const std::string& name) {
 }
 
 u64 MemDir::size_of(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return 0;
   return it->second.synced.size() + it->second.pending.size();
 }
 
 u64 MemDir::pending_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
   u64 total = 0;
   for (const auto& [name, f] : files_) total += f.pending.size();
   return total;
@@ -135,6 +149,7 @@ void MemDir::crash(double keep_unsynced_fraction, bool flip_bit_in_kept_tail,
   if (keep_unsynced_fraction < 0) keep_unsynced_fraction = 0;
   if (keep_unsynced_fraction > 1) keep_unsynced_fraction = 1;
   Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, f] : files_) {
     const std::size_t keep = static_cast<std::size_t>(
         keep_unsynced_fraction * static_cast<double>(f.pending.size()));

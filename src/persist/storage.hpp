@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,10 @@ class StorageDir {
 /// journal's crash model treats as atomic). crash() is the power cut:
 /// synced bytes always survive, and the caller chooses how kindly the
 /// page cache treated the unsynced tail.
+///
+/// Every operation takes an internal mutex, so a pipelined DurableStore
+/// (owner thread appending, worker thread syncing) can run over a MemDir
+/// in tests the same way it runs over a real disk.
 class MemDir final : public StorageDir {
  public:
   MemDir() = default;
@@ -89,6 +94,7 @@ class MemDir final : public StorageDir {
     Bytes synced;
     Bytes pending;
   };
+  mutable std::mutex mu_;
   std::map<std::string, MemFile> files_;
 };
 

@@ -1,6 +1,7 @@
 #include "server/shadow_server.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "proto/admin.hpp"
 #include "telemetry/registry.hpp"
@@ -16,6 +17,12 @@ namespace {
 // per-byte hot loop.
 void record_event(telemetry::EventKind kind, std::string detail) {
   telemetry::Registry::global().events().record(kind, std::move(detail));
+}
+
+u64 steady_micros() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
 }
 }  // namespace
 
@@ -35,19 +42,20 @@ ShadowServer::ShadowServer(ServerConfig config, sim::Simulator* simulator,
       load_monitor_(config_.load, simulator),
       cache_(config_.cache_budget, config_.eviction) {}
 
+ShadowServer::~ShadowServer() {
+  // Deferred commit callbacks capture `this`; a batch still in flight at
+  // teardown is dropped, not invoked — its records stay in the journal
+  // and replay on recovery, its acks were simply never sent (the client
+  // re-offers, exactly as after a crash).
+  if (store_ != nullptr) store_->drop_pending();
+}
+
 bool ShadowServer::persist_append(persist::RecordType type, Bytes body) {
   if (store_ == nullptr) return true;
   if (persist_dead_) return false;
   Status st = store_->append(type, body);
   if (!st.ok()) {
-    persist_dead_ = true;
-    ++stats_.journal_failures;
-    record_event(telemetry::EventKind::kJournal,
-                 std::string("append refused (") +
-                     persist::record_type_name(type) + "); persistence dead");
-    SHADOW_WARN() << config_.name << ": journal append failed ("
-                  << persist::record_type_name(type)
-                  << "): " << st.to_string();
+    mark_persist_dead(type, st);
     return false;
   }
   ++stats_.journal_appends;
@@ -66,6 +74,136 @@ bool ShadowServer::persist_append(persist::RecordType type, Bytes body) {
     }
   }
   return true;
+}
+
+void ShadowServer::mark_persist_dead(persist::RecordType type,
+                                     const Status& st) {
+  ++stats_.journal_failures;
+  if (persist_dead_) return;
+  persist_dead_ = true;
+  record_event(telemetry::EventKind::kJournal,
+               std::string("append refused (") +
+                   persist::record_type_name(type) + "); persistence dead");
+  SHADOW_WARN() << config_.name << ": journal append failed ("
+                << persist::record_type_name(type) << "): " << st.to_string();
+}
+
+void ShadowServer::persist_append_then(persist::RecordType type, Bytes body,
+                                       std::function<void()> on_durable) {
+  if (store_ == nullptr) {
+    if (on_durable) on_durable();
+    return;
+  }
+  if (persist_dead_) return;
+  if (!store_->group_commit().enabled()) {
+    // Classic sync-per-record: durable (or dead) before we return, the
+    // continuation runs inline — ordering identical to the pre-group-
+    // commit server.
+    if (persist_append(type, std::move(body)) && on_durable) on_durable();
+    return;
+  }
+  if (on_durable) ++stats_.acks_deferred;
+  (void)store_->append_deferred(
+      type, body, [this, type, cb = std::move(on_durable)](const Status& st) {
+        if (st.ok()) {
+          ++stats_.journal_appends;
+          if (cb) cb();
+          return;
+        }
+        mark_persist_dead(type, st);
+      });
+  schedule_window_flush();
+}
+
+void ShadowServer::schedule_window_flush() {
+  const auto& gc = store_->group_commit();
+  if (store_->pending_records() == 0) return;  // sealed at a cap already
+  if (sim_ != nullptr) {
+    // Simulated time: one flush per window, armed by the record that
+    // opens it (the same self-scheduling shape as the load monitor).
+    if (persist_flush_scheduled_) return;
+    persist_flush_scheduled_ = true;
+    sim_->schedule(gc.window_us, [this] {
+      persist_flush_scheduled_ = false;
+      flush_persist();
+    });
+  } else if (!persist_window_open_) {
+    persist_window_open_ = true;
+    persist_window_start_us_ = steady_micros();
+  }
+}
+
+void ShadowServer::flush_persist() {
+  if (store_ == nullptr || !store_->group_commit().enabled()) return;
+  persist_window_open_ = false;
+  if (store_->pending_records() > 0) ++stats_.persist_flushes;
+  (void)store_->flush();  // failures surface through per-record callbacks
+  (void)store_->drain();
+  maybe_compact_persist();
+}
+
+void ShadowServer::wait_persist_idle() {
+  if (store_ == nullptr || !store_->group_commit().enabled()) return;
+  persist_window_open_ = false;
+  store_->wait_idle();
+  maybe_compact_persist();
+}
+
+std::size_t ShadowServer::pump_persist() {
+  if (store_ == nullptr || !store_->group_commit().enabled()) return 0;
+  std::size_t work = store_->drain();
+  if (persist_window_open_ && sim_ == nullptr &&
+      steady_micros() - persist_window_start_us_ >=
+          store_->group_commit().window_us) {
+    flush_persist();
+    ++work;
+  } else {
+    maybe_compact_persist();
+  }
+  return work;
+}
+
+int ShadowServer::persist_poll_hint_ms() const {
+  if (store_ == nullptr || !store_->group_commit().enabled() ||
+      sim_ != nullptr) {
+    return -1;
+  }
+  if (store_->sync_in_flight()) return 1;
+  if (!persist_window_open_) return -1;
+  const u64 elapsed = steady_micros() - persist_window_start_us_;
+  const u64 window = store_->group_commit().window_us;
+  if (elapsed >= window) return 1;
+  return static_cast<int>((window - elapsed) / 1000) + 1;
+}
+
+void ShadowServer::maybe_compact_persist() {
+  if (store_ == nullptr || persist_dead_) return;
+  if (!store_->compaction_due()) return;
+  // Only between batches: compaction must never sit between a client's
+  // update and its ack. pump_persist() retries at the next idle round.
+  if (store_->pending_records() > 0 || store_->sync_in_flight()) return;
+  Status cs = store_->compact(save_state());
+  if (!cs.ok()) {
+    persist_dead_ = true;
+    ++stats_.journal_failures;
+    SHADOW_WARN() << config_.name << ": compaction failed: " << cs.to_string();
+  } else {
+    ++stats_.compactions;
+    record_event(telemetry::EventKind::kJournal, "journal compacted");
+  }
+}
+
+void ShadowServer::send_if_attached(Connection* conn,
+                                    const std::string& client_name,
+                                    const proto::Message& m) {
+  for (const auto& c : connections_) {
+    if (c.get() == conn && c->client_name == client_name) {
+      send(conn, m);
+      return;
+    }
+  }
+  // The connection went away while its batch was syncing; the client
+  // re-offers after reconnecting, so dropping the ack is safe.
 }
 
 Bytes ShadowServer::cached_record_body(const FileState& state, u64 version,
@@ -96,7 +234,7 @@ Bytes ShadowServer::finished_record_body(const job::JobRecord& record) {
 void ShadowServer::persist_eviction(const std::string& cache_key) {
   BufWriter w;
   w.put_string(cache_key);
-  (void)persist_append(persist::RecordType::kShadowEvicted, w.take());
+  persist_append_then(persist::RecordType::kShadowEvicted, w.take(), nullptr);
 }
 
 bool ShadowServer::load_says_wait() {
@@ -172,6 +310,7 @@ std::size_t ShadowServer::tick() {
   for (auto& conn : connections_) {
     if (conn->channel != nullptr) resent += conn->channel->tick();
   }
+  resent += pump_persist();
   return resent;
 }
 
@@ -547,21 +686,22 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
   // The write-ahead rule: the ack below is a durability promise, so the
   // record must hit the journal (and survive its fsync) first. A refused
   // append means no ack — the client keeps the version and re-offers it
-  // after reconnecting.
-  if (!persist_append(
-          persist::RecordType::kShadowCached,
-          cached_record_body(state, m.new_version, content_crc, content))) {
-    return;
-  }
-
-  proto::UpdateAck ack;
-  ack.file = m.file;
-  ack.version = m.new_version;
-  ack.ok = true;
-  send(conn, ack);
-
-  drain_deferred_pulls();
-  schedule_jobs();
+  // after reconnecting. Under group commit the record is written now and
+  // the continuation waits for the batch fsync; classic mode runs it
+  // inline.
+  persist_append_then(
+      persist::RecordType::kShadowCached,
+      cached_record_body(state, m.new_version, content_crc, content),
+      [this, conn, client = conn->client_name, file = m.file,
+       version = m.new_version] {
+        proto::UpdateAck ack;
+        ack.file = file;
+        ack.version = version;
+        ack.ok = true;
+        send_if_attached(conn, client, ack);
+        drain_deferred_pulls();
+        schedule_jobs();
+      });
 }
 
 void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
@@ -643,30 +783,32 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
   }
 
   // Journal the accepted job before the SubmitReply: an acked job id is a
-  // promise that the job survives a server crash.
+  // promise that the job survives a server crash. If the record is never
+  // durable there is no reply; the client resubmits after reconnect.
+  Bytes job_body;
   {
     auto added = queue_.find(job_id);
     BufWriter w;
     job::encode_job_record(*added.value(), w);
-    if (!persist_append(persist::RecordType::kJobSubmitted, w.take())) {
-      return;  // not durable: no reply; the client resubmits after reconnect
-    }
+    job_body = w.take();
   }
-
   // Event details are one-line; keep only the command's first line.
   std::string command_head =
       m.command_file.substr(0, m.command_file.find('\n'));
-  record_event(telemetry::EventKind::kJob,
-               "job " + std::to_string(job_id) + " accepted from " +
-                   conn->client_name + " (" + command_head + ")");
-
-  proto::SubmitReply reply;
-  reply.client_job_token = m.client_job_token;
-  reply.job_id = job_id;
-  reply.accepted = true;
-  send(conn, reply);
-
-  schedule_jobs();
+  persist_append_then(
+      persist::RecordType::kJobSubmitted, std::move(job_body),
+      [this, conn, client = conn->client_name, job_id,
+       token = m.client_job_token, command_head] {
+        record_event(telemetry::EventKind::kJob,
+                     "job " + std::to_string(job_id) + " accepted from " +
+                         client + " (" + command_head + ")");
+        proto::SubmitReply reply;
+        reply.client_job_token = token;
+        reply.job_id = job_id;
+        reply.accepted = true;
+        send_if_attached(conn, client, reply);
+        schedule_jobs();
+      });
 }
 
 bool ShadowServer::files_ready(const job::JobRecord& record) const {
@@ -743,7 +885,8 @@ void ShadowServer::start_job(job::JobRecord& record) {
   {
     BufWriter w;
     w.put_varint(record.job_id);
-    (void)persist_append(persist::RecordType::kJobStarted, w.take());
+    persist_append_then(persist::RecordType::kJobStarted, w.take(),
+                        nullptr);
   }
   ++running_jobs_;
   load_monitor_.set_demand(static_cast<double>(running_jobs_));
@@ -803,12 +946,15 @@ void ShadowServer::finish_job(u64 job_id, job::ExecutionResult result) {
 
   // The result must be durable before it is delivered: the client's
   // JobOutputAck would otherwise mark delivered a result a crashed server
-  // no longer has.
-  const bool durable = persist_append(persist::RecordType::kJobFinished,
-                                      finished_record_body(record));
+  // no longer has. The continuation re-finds the record — under group
+  // commit it runs after this frame is long gone.
+  persist_append_then(persist::RecordType::kJobFinished,
+                      finished_record_body(record), [this, job_id] {
+                        auto finished = queue_.find(job_id);
+                        if (finished.ok()) deliver_output(*finished.value());
+                      });
 
   release_pins(record);
-  if (durable) deliver_output(record);
 
   // A freed job slot may unblock the next queued job.
   schedule_jobs();
@@ -882,7 +1028,8 @@ void ShadowServer::deliver_output(job::JobRecord& record) {
     w.put_string(sig);
     w.put_varint(entry.generation);
     w.put_string(entry.content);
-    (void)persist_append(persist::RecordType::kOutputStored, w.take());
+    persist_append_then(persist::RecordType::kOutputStored, w.take(),
+                        nullptr);
   }
 
   BufWriter w;
@@ -929,7 +1076,8 @@ void ShadowServer::handle(Connection* conn, const proto::JobOutputAck& m) {
       // and the output is re-delivered — a duplicate, not a loss.
       BufWriter w;
       w.put_varint(m.job_id);
-      (void)persist_append(persist::RecordType::kJobDelivered, w.take());
+      persist_append_then(persist::RecordType::kJobDelivered, w.take(),
+                          nullptr);
     }
     return;
   }
@@ -1356,6 +1504,8 @@ void ShadowServer::sync_telemetry() const {
   r.counter(p + "server.session_resyncs").store(stats_.session_resyncs);
   r.counter(p + "server.journal_appends").store(stats_.journal_appends);
   r.counter(p + "server.journal_failures").store(stats_.journal_failures);
+  r.counter(p + "server.acks_deferred").store(stats_.acks_deferred);
+  r.counter(p + "server.persist_flushes").store(stats_.persist_flushes);
   r.counter(p + "server.compactions").store(stats_.compactions);
   r.counter(p + "server.recovered_records").store(stats_.recovered_records);
   r.counter(p + "server.requeued_jobs").store(stats_.requeued_jobs);

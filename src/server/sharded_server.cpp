@@ -31,6 +31,8 @@ void accumulate(ServerStats& total, const ServerStats& s) {
   total.session_resyncs += s.session_resyncs;
   total.journal_appends += s.journal_appends;
   total.journal_failures += s.journal_failures;
+  total.acks_deferred += s.acks_deferred;
+  total.persist_flushes += s.persist_flushes;
   total.compactions += s.compactions;
   total.recovered_records += s.recovered_records;
   total.requeued_jobs += s.requeued_jobs;
@@ -171,6 +173,17 @@ void ShardedServer::start_threads() {
     loop->set_on_detach([this, i](net::TcpTransport* t) {
       shards_[i]->detach(t);
     });
+    // Per-shard group commit: the idle hook closes expired commit
+    // windows and collects pipelined batches without any cross-shard
+    // coordination — each shard batches only its own journal. While a
+    // window is open the loop polls with the window's remaining time as
+    // its timeout, so a deferred ack never waits out the full 50 ms
+    // default on an otherwise idle shard.
+    loop->set_on_idle([this, i, raw = loop.get()] {
+      (void)shards_[i]->pump_persist();
+      const int hint = shards_[i]->persist_poll_hint_ms();
+      if (hint > 0) raw->set_poll_timeout_hint(hint);
+    });
     loops_.push_back(std::move(loop));
   }
   threads_.reserve(n);
@@ -185,6 +198,14 @@ void ShardedServer::stop_threads() {
     if (thread.joinable()) thread.join();
   }
   threads_.clear();
+  // Close every shard's open commit window before shutdown returns: a
+  // record the server wrote must not sit unfsynced in a batch whose
+  // window never expired. Any acks this releases go to connections the
+  // stopped loops already detached, which send_if_attached drops.
+  for (auto& shard : shards_) {
+    shard->flush_persist();
+    shard->wait_persist_idle();
+  }
 }
 
 void ShardedServer::adopt_tcp(std::unique_ptr<net::TcpTransport> transport) {
@@ -335,6 +356,8 @@ void ShardedServer::sync_telemetry() {
   r.counter("server.deferred_by_load").store(total.deferred_by_load);
   r.counter("server.journal_appends").store(total.journal_appends);
   r.counter("server.journal_failures").store(total.journal_failures);
+  r.counter("server.acks_deferred").store(total.acks_deferred);
+  r.counter("server.persist_flushes").store(total.persist_flushes);
   r.counter("server.compactions").store(total.compactions);
   r.counter("server.recovered_records").store(total.recovered_records);
   r.counter("server.requeued_jobs").store(total.requeued_jobs);

@@ -4,7 +4,10 @@
 // byte-identical — afterwards, and (c) after reconnect + resync the
 // system converges to the exact final state of a run that never crashed.
 // Variants re-run the sweep with torn writes, a bit-flipped unsynced
-// tail, a lying fsync, and a wiped disk (the no-durability baseline).
+// tail, a lying fsync, and a wiped disk (the no-durability baseline) —
+// and, for group commit, with several concurrent writers whose records
+// share batches, killing the storage between a batch's appends and its
+// fsync, at the fsync itself, and under a lying fsync.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -68,6 +71,8 @@ u64 sweep_matrix(const CrashOptions& options, bool expect_acked_survival) {
     EXPECT_EQ(out.final_content, oracle.final_content);
     EXPECT_EQ(out.job_outputs, oracle.job_outputs)
         << "job outputs diverged from the no-crash run";
+    EXPECT_EQ(out.writer_cached, oracle.writer_cached)
+        << "a concurrent writer's recovered state diverged";
     if (out.discarded_tail_bytes > 0) ++torn_trials;
   }
 
@@ -257,6 +262,80 @@ TEST(CrashRecovery, RepeatedCrashesMidJobCapRetriesAndFailTheJob) {
       << "failure notification should say WHY: got '" << err.value() << "'";
   EXPECT_EQ(server.jobs().find(1).value()->state,
             proto::JobState::kDelivered);
+}
+
+// ---- group commit: concurrent writers, batched fsyncs ----
+
+CrashOptions group_options(u64 seed) {
+  CrashOptions options;
+  options.seed = seed;
+  options.edits = 4;  // 3 writers triple the records; keep the sweep bounded
+  options.writers = 3;
+  options.commit_window_us = 1'000'000;  // trials close windows explicitly
+  options.count_syncs_as_write_points = true;
+  return options;
+}
+
+TEST(CrashMatrix, GroupCommitMultiWriterEveryPoint) {
+  QuietLogs quiet;
+  // Three writers' records share batches; sync() calls join the write-
+  // point numbering, so the sweep kills the storage mid-batch, in the gap
+  // after a batch's last append, and at the batch fsync itself. An ack
+  // released by a batch that never fsynced would fail acked_survived here.
+  sweep_matrix(group_options(31), /*expect_acked_survival=*/true);
+}
+
+TEST(CrashMatrix, GroupCommitTornBatchTailIsTruncated) {
+  QuietLogs quiet;
+  CrashOptions options = group_options(32);
+  options.writers = 2;
+  // The dying mid-batch append leaves a 5-byte prefix and the lenient cut
+  // keeps every unsynced byte: recovery sees a half-written batch tail
+  // and must truncate it back to the last fsync-covered prefix.
+  options.torn_keep = 5;
+  options.keep_unsynced_fraction = 1.0;
+  const u64 torn_trials =
+      sweep_matrix(options, /*expect_acked_survival=*/true);
+  EXPECT_GT(torn_trials, 0u)
+      << "no trial exercised the torn-batch-tail truncation path";
+}
+
+TEST(CrashMatrix, GroupCommitLyingFsyncStillConverges) {
+  QuietLogs quiet;
+  CrashOptions options = group_options(33);
+  options.writers = 2;
+  // The batch fsync says OK but syncs nothing, then the power cut drops
+  // every unsynced byte: whole acked BATCHES evaporate at once. No
+  // durability promise can hold on such a disk, but recovery must stay
+  // clean and resync must still reach the oracle state for every writer.
+  options.lying_fsync_after = 1;
+  options.keep_unsynced_fraction = 0.0;
+  sweep_matrix(options, /*expect_acked_survival=*/false);
+}
+
+TEST(CrashMatrix, GroupCommitPipelinedOverlapEveryPoint) {
+  QuietLogs quiet;
+  CrashOptions options = group_options(34);
+  options.writers = 2;
+  options.pipelined_persist = true;
+  // The pipeline worker makes exact write-point numbering timing-
+  // dependent (a record parks or stages depending on when the fsync
+  // lands), so this sweep asserts the durability invariants at every
+  // point rather than exact-op identity — including points past this
+  // run's op count, which simply become extra oracle runs.
+  const CrashOutcome oracle = run_crash_trial(options, 0);
+  ASSERT_TRUE(oracle.converged) << oracle.detail;
+  ASSERT_GT(oracle.write_points, 10u);
+  for (u64 w = 1; w <= oracle.write_points; ++w) {
+    SCOPED_TRACE("pipelined crash at write " + std::to_string(w));
+    const CrashOutcome out = run_crash_trial(options, w);
+    EXPECT_TRUE(out.clean_recovery) << out.detail;
+    EXPECT_TRUE(out.acked_survived) << out.detail;
+    EXPECT_TRUE(out.converged) << out.detail;
+    EXPECT_EQ(out.final_content, oracle.final_content);
+    EXPECT_EQ(out.job_outputs, oracle.job_outputs);
+    EXPECT_EQ(out.writer_final, oracle.writer_final);
+  }
 }
 
 // Opt-in extension hook for CI: SHADOW_CRASH_EXTRA_POINTS=17,23,40 runs

@@ -1,0 +1,499 @@
+// Group-commit WAL tests: batching semantics of the deferred-append path
+// (seal caps, flush ordering, the window=0 byte-for-byte guarantee), the
+// no-partial-release rule when a batch's fsync fails, pipelined overlap
+// (records parked while the worker syncs, promoted in order), the server's
+// ack-deferral contract, and crash trials that die at batch boundaries —
+// between a batch's appends and its fsync, and at the fsync itself.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "client/shadow_client.hpp"
+#include "client/shadow_editor.hpp"
+#include "core/crash.hpp"
+#include "core/workload.hpp"
+#include "net/loopback.hpp"
+#include "persist/durable_store.hpp"
+#include "persist/fault_fs.hpp"
+#include "persist/storage.hpp"
+#include "persist/wal.hpp"
+#include "server/shadow_server.hpp"
+#include "util/logging.hpp"
+#include "vfs/cluster.hpp"
+
+namespace shadow {
+namespace {
+
+class QuietLogs {
+ public:
+  QuietLogs() : saved_(Logger::instance().level()) {
+    Logger::instance().set_level(LogLevel::kError);
+  }
+  ~QuietLogs() { Logger::instance().set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+persist::GroupCommitConfig grouped_config(u64 max_records = 128,
+                                          bool pipeline = false) {
+  persist::GroupCommitConfig gc;
+  gc.window_us = 1'000'000;  // the tests drive every flush explicitly
+  gc.max_batch_records = max_records;
+  gc.pipeline = pipeline;
+  return gc;
+}
+
+// ---- batching semantics ----
+
+TEST(GroupCommitTest, CallbacksWaitForFlushAndReleaseInOrder) {
+  persist::MemDir dir;
+  persist::DurableStore store(&dir, 100);
+  store.set_group_commit(grouped_config());
+
+  std::vector<int> released;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kShadowCached,
+                                     bytes_of("r" + std::to_string(i)),
+                                     [&released, i](const Status& st) {
+                                       ASSERT_TRUE(st.ok());
+                                       released.push_back(i);
+                                     })
+                    .ok());
+  }
+  EXPECT_TRUE(released.empty());  // written, not yet promised
+  EXPECT_EQ(store.pending_records(), 5u);
+  EXPECT_GT(dir.pending_bytes(), 0u);  // nothing fsynced yet
+
+  ASSERT_TRUE(store.flush().ok());
+  EXPECT_EQ(released, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(store.pending_records(), 0u);
+  EXPECT_EQ(dir.pending_bytes(), 0u);  // one fsync covered the batch
+  EXPECT_EQ(store.stats().group_flushes, 1u);
+  EXPECT_EQ(store.stats().group_records, 5u);
+}
+
+TEST(GroupCommitTest, BatchSealsAtRecordCap) {
+  persist::MemDir dir;
+  persist::DurableStore store(&dir, 100);
+  store.set_group_commit(grouped_config(/*max_records=*/3));
+
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kShadowCached,
+                                     bytes_of("x"),
+                                     [&released](const Status& st) {
+                                       ASSERT_TRUE(st.ok());
+                                       ++released;
+                                     })
+                    .ok());
+  }
+  // The third record hit the cap: the batch sealed and synced itself.
+  EXPECT_EQ(released, 3);
+  EXPECT_EQ(store.pending_records(), 0u);
+  EXPECT_EQ(store.stats().group_flushes, 1u);
+}
+
+TEST(GroupCommitTest, BatchSealsAtByteCap) {
+  persist::MemDir dir;
+  persist::DurableStore store(&dir, 100);
+  auto gc = grouped_config();
+  gc.max_batch_bytes = 64;
+  store.set_group_commit(gc);
+
+  int released = 0;
+  ASSERT_TRUE(store
+                  .append_deferred(persist::RecordType::kShadowCached,
+                                   Bytes(128, 0x5A),
+                                   [&released](const Status& st) {
+                                     ASSERT_TRUE(st.ok());
+                                     ++released;
+                                   })
+                  .ok());
+  EXPECT_EQ(released, 1);  // one oversized record still seals immediately
+  EXPECT_EQ(store.stats().group_flushes, 1u);
+}
+
+TEST(GroupCommitTest, WindowZeroMatchesClassicByteForByte) {
+  persist::MemDir classic_dir;
+  persist::DurableStore classic(&classic_dir, 100);
+
+  persist::MemDir w0_dir;
+  persist::DurableStore w0(&w0_dir, 100);
+  persist::GroupCommitConfig gc;  // window_us stays 0
+  w0.set_group_commit(gc);
+
+  const std::vector<std::pair<persist::RecordType, std::string>> records = {
+      {persist::RecordType::kShadowCached, "alpha"},
+      {persist::RecordType::kJobSubmitted, "beta"},
+      {persist::RecordType::kShadowEvicted, "gamma"},
+  };
+  for (const auto& [type, body] : records) {
+    ASSERT_TRUE(classic.append(type, bytes_of(body)).ok());
+    bool inline_ack = false;
+    ASSERT_TRUE(w0.append_deferred(type, bytes_of(body),
+                                   [&inline_ack](const Status& st) {
+                                     ASSERT_TRUE(st.ok());
+                                     inline_ack = true;
+                                   })
+                    .ok());
+    // window=0 resolves the callback BEFORE append_deferred returns.
+    EXPECT_TRUE(inline_ack);
+  }
+
+  auto a = classic_dir.read(persist::DurableStore::kJournalName);
+  auto b = w0_dir.read(persist::DurableStore::kJournalName);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());  // identical journal bytes
+  EXPECT_EQ(classic_dir.pending_bytes(), 0u);
+  EXPECT_EQ(w0_dir.pending_bytes(), 0u);  // same fsync-per-record rhythm
+  EXPECT_EQ(w0.pending_records(), 0u);
+}
+
+// ---- failure semantics (the no-partial-release rule) ----
+
+TEST(GroupCommitTest, FsyncFailureFailsWholeBatchNeverASubset) {
+  QuietLogs quiet;
+  persist::MemDir mem;
+  persist::StorageFaultPlan plan;
+  plan.syncs_are_write_points = true;
+  plan.crash_at_write = 4;  // three appends, then THE batch fsync
+  persist::FaultFs faults(&mem, plan);
+  persist::DurableStore store(&faults, 100);
+  store.set_group_commit(grouped_config());
+
+  int ok_acks = 0;
+  int failed_acks = 0;
+  auto count = [&](const Status& st) {
+    if (st.ok()) {
+      ++ok_acks;
+    } else {
+      ++failed_acks;
+    }
+  };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kShadowCached,
+                                     bytes_of("doomed"), count)
+                    .ok());
+  }
+  EXPECT_EQ(failed_acks, 0);
+
+  Status flushed = store.flush();
+  EXPECT_FALSE(flushed.ok());
+  // EVERY pending ack failed together — releasing any subset as OK would
+  // promise durability for records the dead disk never synced.
+  EXPECT_EQ(ok_acks, 0);
+  EXPECT_EQ(failed_acks, 3);
+  EXPECT_EQ(store.pending_records(), 0u);
+  EXPECT_EQ(store.stats().group_flush_failures, 1u);
+  EXPECT_FALSE(store.group_error().ok());
+
+  // Later deferred appends fail fast instead of queueing behind the
+  // broken disk; their callbacks get the error inline.
+  bool late_failed = false;
+  Status late = store.append_deferred(
+      persist::RecordType::kShadowCached, bytes_of("late"),
+      [&late_failed](const Status& st) { late_failed = !st.ok(); });
+  EXPECT_FALSE(late.ok());
+  EXPECT_TRUE(late_failed);
+}
+
+TEST(GroupCommitTest, DropPendingDiscardsCallbacksWithoutInvoking) {
+  persist::MemDir dir;
+  persist::DurableStore store(&dir, 100);
+  store.set_group_commit(grouped_config());
+
+  int invoked = 0;
+  ASSERT_TRUE(store
+                  .append_deferred(persist::RecordType::kShadowCached,
+                                   bytes_of("orphan"),
+                                   [&invoked](const Status&) { ++invoked; })
+                  .ok());
+  store.drop_pending();  // teardown path: the ack targets are gone
+  EXPECT_EQ(invoked, 0);
+  EXPECT_EQ(store.pending_records(), 0u);
+}
+
+TEST(GroupCommitTest, CompactionFlushesTheOpenBatchFirst) {
+  persist::MemDir dir;
+  persist::DurableStore store(&dir, /*compact_every=*/2);
+  store.set_group_commit(grouped_config());
+
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kShadowCached,
+                                     bytes_of("c" + std::to_string(i)),
+                                     [&released](const Status& st) {
+                                       ASSERT_TRUE(st.ok());
+                                       ++released;
+                                     })
+                    .ok());
+  }
+  ASSERT_TRUE(store.compaction_due());
+  ASSERT_TRUE(store.compact(bytes_of("snapshot-state")).ok());
+  // No callback may straddle the truncation: all three released first.
+  EXPECT_EQ(released, 3);
+  EXPECT_EQ(store.pending_records(), 0u);
+
+  persist::DurableStore reader(&dir, 100);
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().snapshot_present);
+  EXPECT_EQ(recovered.value().snapshot, bytes_of("snapshot-state"));
+  EXPECT_TRUE(recovered.value().records.empty());  // truncated after snapshot
+}
+
+// ---- pipelined overlap ----
+
+/// StorageDir decorator whose sync() blocks until the gate opens — the
+/// only deterministic way to hold the pipeline worker mid-fsync while the
+/// owner keeps appending (and must therefore park, not write).
+class GateDir final : public persist::StorageDir {
+ public:
+  explicit GateDir(persist::StorageDir* inner) : inner_(inner) {}
+
+  Result<std::unique_ptr<persist::StorageFile>> open_append(
+      const std::string& name) override {
+    SHADOW_ASSIGN_OR_RETURN(inner, inner_->open_append(name));
+    return std::unique_ptr<persist::StorageFile>(
+        new GateFile(this, std::move(inner)));
+  }
+  Result<Bytes> read(const std::string& name) override {
+    return inner_->read(name);
+  }
+  bool exists(const std::string& name) const override {
+    return inner_->exists(name);
+  }
+  Status write_atomic(const std::string& name, const Bytes& data) override {
+    return inner_->write_atomic(name, data);
+  }
+  Status remove(const std::string& name) override {
+    return inner_->remove(name);
+  }
+  std::vector<std::string> list() const override { return inner_->list(); }
+
+  void close_gate() {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_ = false;
+  }
+  void open_gate() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  /// Block until a sync() is parked at the closed gate.
+  void await_sync_waiting() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return waiting_; });
+  }
+
+ private:
+  class GateFile final : public persist::StorageFile {
+   public:
+    GateFile(GateDir* dir, std::unique_ptr<persist::StorageFile> inner)
+        : dir_(dir), inner_(std::move(inner)) {}
+    Status append(const Bytes& data) override { return inner_->append(data); }
+    Status sync() override {
+      {
+        std::unique_lock<std::mutex> lk(dir_->mu_);
+        dir_->waiting_ = true;
+        dir_->cv_.notify_all();
+        dir_->cv_.wait(lk, [this] { return dir_->open_; });
+        dir_->waiting_ = false;
+      }
+      return inner_->sync();
+    }
+    u64 size() const override { return inner_->size(); }
+
+   private:
+    GateDir* dir_;
+    std::unique_ptr<persist::StorageFile> inner_;
+  };
+
+  persist::StorageDir* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+  bool waiting_ = false;
+};
+
+TEST(GroupCommitTest, PipelinedOverlapParksThenPromotesInOrder) {
+  persist::MemDir mem;
+  GateDir gate(&mem);
+  {
+    persist::DurableStore store(&gate, 100);
+    store.set_group_commit(grouped_config(128, /*pipeline=*/true));
+
+    std::vector<std::string> released;
+    auto ack_named = [&released](std::string name) {
+      return [&released, name](const Status& st) {
+        ASSERT_TRUE(st.ok());
+        released.push_back(name);
+      };
+    };
+
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kShadowCached,
+                                     bytes_of("first"), ack_named("first"))
+                    .ok());
+    gate.close_gate();
+    ASSERT_TRUE(store.flush().ok());  // worker enters sync and blocks
+    gate.await_sync_waiting();
+    ASSERT_TRUE(store.sync_in_flight());
+
+    // The owner keeps accepting records while the fsync runs: these are
+    // framed + CRC'd now but PARKED — the owner never touches storage a
+    // worker might be syncing.
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kJobSubmitted,
+                                     bytes_of("second"), ack_named("second"))
+                    .ok());
+    ASSERT_TRUE(store
+                    .append_deferred(persist::RecordType::kShadowEvicted,
+                                     bytes_of("third"), ack_named("third"))
+                    .ok());
+    EXPECT_TRUE(released.empty());
+    EXPECT_EQ(store.pending_records(), 3u);
+
+    gate.open_gate();
+    store.wait_idle();  // drain the first batch, promote + flush the parked
+    EXPECT_EQ(released,
+              (std::vector<std::string>{"first", "second", "third"}));
+    EXPECT_EQ(store.pending_records(), 0u);
+    EXPECT_GE(store.stats().group_flushes, 2u);
+  }
+
+  // The journal holds all three records, in append order, fully synced.
+  persist::DurableStore reader(&mem, 100);
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered.value().records.size(), 3u);
+  EXPECT_EQ(recovered.value().records[0].type,
+            persist::RecordType::kShadowCached);
+  EXPECT_EQ(recovered.value().records[1].type,
+            persist::RecordType::kJobSubmitted);
+  EXPECT_EQ(recovered.value().records[2].type,
+            persist::RecordType::kShadowEvicted);
+  EXPECT_EQ(mem.pending_bytes(), 0u);
+}
+
+// ---- the server's ack-deferral contract ----
+
+TEST(GroupCommitTest, ServerDefersAcksUntilTheBatchIsDurable) {
+  vfs::Cluster cluster;
+  (void)cluster.add_host("ws").mkdir_p("/home/user");
+
+  persist::MemDir disk;
+  persist::DurableStore store(&disk, 100);
+  store.set_group_commit(grouped_config());
+
+  server::ServerConfig sc;
+  sc.name = "super";
+  server::ShadowServer server(sc, nullptr, &store);
+
+  client::ShadowEnvironment env;
+  client::ShadowClient client("ws", env, &cluster, "gc-domain");
+  client::ShadowEditor editor(&client, &cluster);
+  auto pair = net::make_loopback_pair("ws", "super");
+  server.attach(pair.b.get());
+  client.connect("super", pair.a.get());
+  net::pump(pair);
+
+  ASSERT_TRUE(editor.create("/home/user/f", "deferred ack payload").ok());
+  net::pump(pair);
+
+  // The server HOLDS the UpdateAck: the record is written but its batch
+  // has not fsynced, so no durability promise may leave the building.
+  auto id = client.resolve_name("/home/user/f");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(client.acked_versions("super").count(id.value().key()), 0u);
+  EXPECT_EQ(server.stats().acks_deferred, 1u);
+  EXPECT_GT(store.pending_records(), 0u);
+
+  // While the window is open the server tells its event loop how soon to
+  // pump again — never longer than the window's remaining time (+1 ms of
+  // rounding) — so a deferred ack on an idle shard can't sit out the
+  // loop's full default poll timeout.
+  const int hint = server.persist_poll_hint_ms();
+  EXPECT_GT(hint, 0);
+  EXPECT_LE(hint,
+            static_cast<int>(store.group_commit().window_us / 1000) + 1);
+
+  server.flush_persist();  // the commit window closes
+  net::pump(pair);
+  EXPECT_EQ(client.acked_versions("super").count(id.value().key()), 1u);
+  EXPECT_EQ(server.stats().journal_appends, 1u);
+  EXPECT_EQ(server.stats().persist_flushes, 1u);
+  EXPECT_EQ(disk.pending_bytes(), 0u);
+  // Nothing pending: the loop may sleep its full poll timeout again.
+  EXPECT_EQ(server.persist_poll_hint_ms(), -1);
+}
+
+// ---- crash trials at batch boundaries ----
+
+TEST(GroupCommitTest, GroupedOracleMatchesClassicOracle) {
+  QuietLogs quiet;
+  core::CrashOptions classic;
+  classic.seed = 11;
+  classic.edits = 6;
+  // Count syncs on BOTH sides so the op totals are comparable: classic
+  // pays one sync per record, grouped one per batch.
+  classic.count_syncs_as_write_points = true;
+  const auto baseline = core::run_crash_trial(classic, 0);
+  ASSERT_TRUE(baseline.converged) << baseline.detail;
+
+  core::CrashOptions grouped = classic;
+  grouped.commit_window_us = 1'000'000;
+  grouped.count_syncs_as_write_points = true;
+  const auto batched = core::run_crash_trial(grouped, 0);
+  ASSERT_TRUE(batched.converged) << batched.detail;
+
+  // Batching changes WHEN acks release, never WHAT the system computes:
+  // the grouped oracle lands on the classic oracle's exact final state.
+  EXPECT_EQ(batched.final_content, baseline.final_content);
+  EXPECT_EQ(batched.server_cached, baseline.server_cached);
+  EXPECT_EQ(batched.job_outputs, baseline.job_outputs);
+  // ...with far fewer fsyncs: syncs join the write-point numbering here,
+  // so fewer total write points means the batching actually happened.
+  EXPECT_LT(batched.write_points, baseline.write_points);
+}
+
+TEST(GroupCommitTest, CrashAtEveryGroupedPointKeepsAckedState) {
+  QuietLogs quiet;
+  core::CrashOptions options;
+  options.seed = 23;
+  options.edits = 5;
+  options.writers = 2;
+  options.commit_window_us = 1'000'000;
+  options.count_syncs_as_write_points = true;
+
+  const auto oracle = core::run_crash_trial(options, 0);
+  ASSERT_TRUE(oracle.converged) << oracle.detail;
+  ASSERT_GT(oracle.write_points, 0u);
+
+  // Every point: mid-batch appends, the gap between a batch's last append
+  // and its fsync, and the fsync itself all get a kill.
+  for (u64 point = 1; point <= oracle.write_points; ++point) {
+    const auto out = core::run_crash_trial(options, point);
+    EXPECT_TRUE(out.clean_recovery) << "point " << point << ": " << out.detail;
+    EXPECT_TRUE(out.acked_survived) << "point " << point << ": " << out.detail;
+    EXPECT_TRUE(out.converged) << "point " << point << ": " << out.detail;
+    EXPECT_EQ(out.final_content, oracle.final_content) << "point " << point;
+    EXPECT_EQ(out.job_outputs, oracle.job_outputs) << "point " << point;
+  }
+}
+
+}  // namespace
+}  // namespace shadow

@@ -11,6 +11,10 @@
 #include <vector>
 
 #include "core/chaos.hpp"
+#include "core/crash.hpp"
+#include "persist/durable_store.hpp"
+#include "persist/fault_fs.hpp"
+#include "persist/storage.hpp"
 #include "proto/admin.hpp"
 #include "proto/messages.hpp"
 #include "telemetry/registry.hpp"
@@ -433,6 +437,20 @@ void expect_global_invariants(u64 seed) {
     }
   }
 
+  // Group-commit accounting: at any quiesce point every record accepted
+  // into the deferred path has been resolved exactly once — flushed
+  // durable or failed with its batch — and a flush covers at least one
+  // record. (Workloads that never batch keep all four counters at zero,
+  // which satisfies the identity trivially.)
+  const u64 group_records = reg.counter("persist.group_records").value();
+  const u64 group_flushed =
+      reg.counter("persist.group_flushed_records").value();
+  const u64 group_failed =
+      reg.counter("persist.group_failed_records").value();
+  const u64 group_flushes = reg.counter("persist.group_flushes").value();
+  EXPECT_EQ(group_records, group_flushed + group_failed) << "seed " << seed;
+  EXPECT_LE(group_flushes, group_records) << "seed " << seed;
+
   // Histogram internal consistency.
   for (const auto& h : reg.snapshot().histograms) {
     u64 total = 0;
@@ -458,6 +476,74 @@ TEST(MetricsInvariants, HoldAcross100ChaosSeeds) {
   // The sweep is about invariants, not convergence — but if (almost)
   // nothing converged the invariants were checked against empty runs.
   EXPECT_GT(converged, 80) << "chaos convergence collapsed";
+}
+
+TEST(MetricsInvariants, GroupCommitAccountingIdentityHolds) {
+  Registry::global().reset_values();
+  core::CrashOptions options;
+  options.seed = 41;
+  options.edits = 5;
+  options.writers = 2;
+  options.commit_window_us = 1'000'000;
+  auto outcome = core::run_crash_trial(options, 0);
+  ASSERT_TRUE(outcome.converged) << outcome.detail;
+
+  auto& reg = Registry::global();
+  const u64 records = reg.counter("persist.group_records").value();
+  const u64 flushed = reg.counter("persist.group_flushed_records").value();
+  const u64 failed = reg.counter("persist.group_failed_records").value();
+  const u64 flushes = reg.counter("persist.group_flushes").value();
+  EXPECT_GT(records, 0u);
+  EXPECT_GT(flushes, 0u);
+  // records appended == records flushed + records failed (+ pending,
+  // which is zero at quiesce), and flushes never exceed records.
+  EXPECT_EQ(records, flushed + failed);
+  EXPECT_LE(flushes, records);
+  // Batching happened: an fsync covered more than one record on average.
+  EXPECT_LT(flushes, records);
+  // Batch-shape histograms carry one sample per flush.
+  bool found = false;
+  for (const auto& h : reg.snapshot().histograms) {
+    if (h.name == "persist.group_batch_records") {
+      found = true;
+      EXPECT_EQ(h.count, flushes);
+      EXPECT_EQ(h.sum, static_cast<double>(records));
+    }
+  }
+  EXPECT_TRUE(found);
+  expect_global_invariants(41);
+}
+
+TEST(MetricsInvariants, GroupCommitFailedBatchCountsEveryRecordOnce) {
+  Registry::global().reset_values();
+  persist::MemDir mem;
+  persist::StorageFaultPlan plan;
+  plan.syncs_are_write_points = true;
+  plan.crash_at_write = 3;  // two appends, then the dying batch fsync
+  persist::FaultFs faults(&mem, plan);
+  persist::DurableStore store(&faults, 100);
+  persist::GroupCommitConfig gc;
+  gc.window_us = 1'000'000;
+  store.set_group_commit(gc);
+
+  Bytes body{0x41, 0x42};
+  int callbacks = 0;
+  auto count = [&callbacks](const Status&) { ++callbacks; };
+  ASSERT_TRUE(
+      store.append_deferred(persist::RecordType::kShadowCached, body, count)
+          .ok());
+  ASSERT_TRUE(
+      store.append_deferred(persist::RecordType::kShadowCached, body, count)
+          .ok());
+  EXPECT_FALSE(store.flush().ok());
+  EXPECT_EQ(callbacks, 2);
+
+  auto& reg = Registry::global();
+  EXPECT_EQ(reg.counter("persist.group_records").value(), 2u);
+  EXPECT_EQ(reg.counter("persist.group_flushed_records").value(), 0u);
+  EXPECT_EQ(reg.counter("persist.group_failed_records").value(), 2u);
+  EXPECT_EQ(reg.counter("persist.group_flushes").value(), 1u);
+  EXPECT_EQ(reg.counter("persist.group_flush_failures").value(), 1u);
 }
 
 TEST(MetricsInvariants, CleanTrialProducesNonZeroTelemetry) {

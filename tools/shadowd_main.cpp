@@ -12,6 +12,12 @@
 // (a crash loses everything since startup); --journal DIR write-ahead
 // journals every acknowledged mutation to DIR/journal.wal, so acked
 // state survives a kill -9. Inspect the directory with tools/wal.
+//
+// Group commit (docs/DURABILITY.md): --commit-window USEC batches journal
+// records from concurrent connections under one fsync per window; 0 (the
+// default) keeps the classic fsync-per-record path byte-for-byte.
+// --commit-batch-records / --commit-batch-bytes seal a batch early;
+// --commit-pipeline overlaps the fsync with framing of the next batch.
 #include <unistd.h>
 
 #include <csignal>
@@ -41,6 +47,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::string state_path;
   std::string journal_dir;
+  persist::GroupCommitConfig group;
   server::ServerConfig config;
   config.name = "supercomputer";
 
@@ -98,6 +105,26 @@ int main(int argc, char** argv) {
       if (const char* v = next()) state_path = v;
     } else if (arg == "--journal") {
       if (const char* v = next()) journal_dir = v;
+    } else if (arg == "--commit-window") {
+      if (const char* v = next()) group.window_us = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--commit-batch-records") {
+      if (const char* v = next()) {
+        group.max_batch_records = std::strtoull(v, nullptr, 10);
+        if (group.max_batch_records == 0) {
+          std::fprintf(stderr, "shadowd: --commit-batch-records must be >= 1\n");
+          return 2;
+        }
+      }
+    } else if (arg == "--commit-batch-bytes") {
+      if (const char* v = next()) {
+        group.max_batch_bytes = std::strtoull(v, nullptr, 10);
+        if (group.max_batch_bytes == 0) {
+          std::fprintf(stderr, "shadowd: --commit-batch-bytes must be >= 1\n");
+          return 2;
+        }
+      }
+    } else if (arg == "--commit-pipeline") {
+      group.pipeline = true;
     } else if (arg == "--verbose") {
       Logger::instance().set_level(LogLevel::kDebug);
     } else if (arg == "--log-level") {
@@ -117,7 +144,9 @@ int main(int argc, char** argv) {
       std::printf("usage: shadowd [--port N] [--name NAME] [--threads N] "
                   "[--cache-budget BYTES] [--eviction POLICY] "
                   "[--reverse-shadow] [--codec CODEC] [--state FILE] "
-                  "[--journal DIR] [--once] [--verbose] "
+                  "[--journal DIR] [--commit-window USEC] "
+                  "[--commit-batch-records N] [--commit-batch-bytes B] "
+                  "[--commit-pipeline] [--once] [--verbose] "
                   "[--log-level LEVEL]\n");
       return 0;
     } else {
@@ -147,6 +176,7 @@ int main(int argc, char** argv) {
             journal_dir + "/shard" + std::to_string(i)));
         shard_stores.push_back(
             std::make_unique<persist::DurableStore>(shard_fs.back().get()));
+        shard_stores.back()->set_group_commit(group);
         store_ptrs.push_back(shard_stores.back().get());
       }
     }
@@ -204,6 +234,7 @@ int main(int argc, char** argv) {
   if (!journal_dir.empty()) {
     journal_fs = std::make_unique<persist::FsDir>(journal_dir);
     store = std::make_unique<persist::DurableStore>(journal_fs.get());
+    store->set_group_commit(group);
   }
   server::ShadowServer server(config, nullptr, store.get());
   if (store != nullptr) {
@@ -257,6 +288,7 @@ int main(int argc, char** argv) {
       moved += conn->poll();
       if (!conn->closed()) all_closed = false;
     }
+    moved += server.pump_persist();
     if (once && had_client && all_closed) break;
     if (moved == 0) ::usleep(2000);
   }
