@@ -1,0 +1,161 @@
+// Overload ablation: goodput and p99 submit->output latency as offered
+// load sweeps past the executor's capacity, with shedding off vs on.
+//
+// 8 workstations submit fixed-cost jobs (burn 100000 abstract ops at
+// 1e6 ops/s of simulated CPU = 100 ms/job; 2 concurrent executor slots
+// = 20 jobs/s capacity) at a configured aggregate rate for 20 simulated
+// seconds, plus a 2 s grace window.
+//
+//   shed=0 — no budgets: every submit is accepted. Past saturation the
+//     backlog (and thus the p99 latency of what does complete) grows
+//     with the offered load; goodput pins at capacity.
+//   shed=1 — --max-active-jobs 8: submits past the budget are answered
+//     ServerBusy + retry-after, and the clients re-submit after their
+//     jittered backoff. Goodput still pins at capacity, but p99 stays
+//     near (queue depth / drain rate) no matter how hard it is driven —
+//     the excess queues politely at the clients.
+//
+// The simulation is deterministic, so the numbers are stable across
+// runs; google-benchmark is used only as the export harness
+// (->Iterations(1)), and BENCH_overload.json is written by
+// bench/bench_to_json.sh. See docs/OPERATIONS.md.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/workload.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace shadow;
+
+constexpr int kClients = 8;
+constexpr double kWindowSeconds = 20.0;
+constexpr double kGraceSeconds = 2.0;
+constexpr u64 kBurnOps = 100'000;        // 100 ms at 1e6 ops/s
+constexpr std::size_t kExecutorSlots = 2;  // capacity = 20 jobs/s
+
+void BM_OverloadSweep(benchmark::State& state) {
+  const double offered = static_cast<double>(state.range(0));  // jobs/s
+  const bool shed = state.range(1) != 0;
+
+  double goodput = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+  u64 completed = 0, submitted = 0, busy_replies = 0, retries = 0;
+
+  for (auto _ : state) {
+    core::ShadowSystem system;
+    server::ServerConfig sc;
+    sc.name = "super";
+    sc.cpu_ops_per_second = 1e6;
+    sc.max_concurrent_jobs = kExecutorSlots;
+    if (shed) {
+      sc.overload.max_active_jobs = 8;
+      sc.overload.retry_after_usec = 200'000;
+    }
+    system.add_server(sc);
+    std::vector<std::string> names;
+    for (int i = 0; i < kClients; ++i) {
+      const std::string name = "ws" + std::to_string(i);
+      system.add_client(name);
+      system.connect(name, "super", sim::LinkConfig::arpanet_56k());
+      names.push_back(name);
+    }
+    system.settle();
+
+    // One tiny input each, cached before the measured window: the sweep
+    // loads the job queue, not the transfer path.
+    for (const auto& name : names) {
+      (void)system.editor(name).create("/home/user/in",
+                                       core::make_file(100, 7));
+    }
+    system.settle();
+
+    const sim::SimTime t0 = system.simulator().now();
+    const sim::SimTime t_end =
+        t0 + sim::from_seconds(kWindowSeconds + kGraceSeconds);
+    std::vector<u64> submit_at(static_cast<std::size_t>(kClients * 4096), 0);
+    std::vector<double> latencies;
+    for (int i = 0; i < kClients; ++i) {
+      system.client(names[static_cast<std::size_t>(i)])
+          .on_job_output([&, i](const client::JobView& view) {
+            const u64 at =
+                submit_at[static_cast<std::size_t>(i) * 4096 + view.token];
+            const sim::SimTime now = system.simulator().now();
+            if (at == 0 || now > t_end) return;
+            ++completed;
+            latencies.push_back(sim::to_seconds(now - at) * 1e3);
+          });
+    }
+
+    // Deterministic arrivals: kClients interleaved streams at the
+    // aggregate rate, staggered so no two clients submit in lockstep.
+    const double interval = static_cast<double>(kClients) / offered;
+    for (int i = 0; i < kClients; ++i) {
+      auto* cl = &system.client(names[static_cast<std::size_t>(i)]);
+      double at = interval * static_cast<double>(i) /
+                  static_cast<double>(kClients);
+      while (at < kWindowSeconds) {
+        system.simulator().schedule(sim::from_seconds(at), [&, cl, i] {
+          client::ShadowClient::SubmitOptions job;
+          job.files = {"/home/user/in"};
+          job.command_file = "burn " + std::to_string(kBurnOps) + "\n";
+          auto token = cl->submit(job);
+          if (!token.ok() || token.value() >= 4096) return;
+          ++submitted;
+          submit_at[static_cast<std::size_t>(i) * 4096 + token.value()] =
+              system.simulator().now();
+        });
+        at += interval;
+      }
+    }
+    system.simulator().run_until(t_end);
+
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+      p50_ms = latencies[latencies.size() / 2];
+      p99_ms = latencies[latencies.size() * 99 / 100];
+    }
+    goodput = static_cast<double>(latencies.size()) /
+              (kWindowSeconds + kGraceSeconds);
+    for (const auto& name : names) {
+      const auto& cs = system.client(name).stats();
+      busy_replies += cs.server_busy;
+      retries += cs.busy_retries;
+    }
+  }
+
+  state.counters["offered_jobs_per_sec"] = benchmark::Counter(offered);
+  state.counters["shed"] = benchmark::Counter(shed ? 1.0 : 0.0);
+  state.counters["goodput_jobs_per_sec"] = benchmark::Counter(goodput);
+  state.counters["p50_latency_ms"] = benchmark::Counter(p50_ms);
+  state.counters["p99_latency_ms"] = benchmark::Counter(p99_ms);
+  state.counters["submitted"] =
+      benchmark::Counter(static_cast<double>(submitted));
+  state.counters["completed"] =
+      benchmark::Counter(static_cast<double>(completed));
+  state.counters["busy_replies"] =
+      benchmark::Counter(static_cast<double>(busy_replies));
+  state.counters["busy_retries"] =
+      benchmark::Counter(static_cast<double>(retries));
+}
+
+BENCHMARK(BM_OverloadSweep)
+    ->ArgsProduct({{10, 20, 40, 80}, {0, 1}})
+    ->ArgNames({"offered", "shed"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shadow::Logger::instance().set_level(shadow::LogLevel::kError);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

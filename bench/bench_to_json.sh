@@ -5,6 +5,9 @@
 #                         server recovery (abl_persist)
 #   BENCH_shard.json    — thread-per-core sharding sweep: acks/sec at
 #                         1/2/4/8 shards x 32/256 editors (abl_shards)
+#   BENCH_overload.json — overload-control sweep: goodput + p50/p99
+#                         submit latency vs offered load, shedding
+#                         off vs on (abl_overload; deterministic sim)
 # Future PRs compare against these files to keep a perf trajectory for the
 # Delta::compute hot path and the crash-consistency overhead.
 #
@@ -15,7 +18,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${1:-$ROOT/build-rel}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards -j"$(nproc)"
+cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards abl_overload -j"$(nproc)"
 
 # Provenance stamp: which commit and build type produced these numbers.
 # A snapshot from a dirty tree is marked so regressions aren't chased
@@ -66,3 +69,13 @@ echo "wrote $ROOT/BENCH_persist.json ($GIT_SHA, $BUILD_TYPE)"
 stamp_json "$ROOT/BENCH_shard.json"
 
 echo "wrote $ROOT/BENCH_shard.json ($GIT_SHA, $BUILD_TYPE, ${HOST_CORES} cores)"
+
+# Deterministic simulation: no min_time — each configuration is one
+# exact replay, and the counters (goodput, p50/p99 latency) are the
+# quantities of interest, not wall time.
+"$BUILD/bench/abl_overload" \
+  --benchmark_format=json \
+  > "$ROOT/BENCH_overload.json"
+stamp_json "$ROOT/BENCH_overload.json"
+
+echo "wrote $ROOT/BENCH_overload.json ($GIT_SHA, $BUILD_TYPE)"

@@ -1,5 +1,8 @@
 #include "client/shadow_client.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "telemetry/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
@@ -8,6 +11,19 @@
 namespace shadow::client {
 
 namespace {
+u64 steady_micros() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+/// Per-(client, server) jitter seed: every endpoint pair gets its own
+/// reproducible backoff stream (thundering-herd decorrelation).
+u64 session_seed(const std::string& client, const std::string& server) {
+  const std::string pair = client + "|" + server;
+  return crc32(reinterpret_cast<const u8*>(pair.data()), pair.size());
+}
+
 // Workstation-side telemetry summed over every ShadowClient instance
 // (per-instance numbers stay in ClientStats).
 struct ClientMetrics {
@@ -25,6 +41,9 @@ struct ClientMetrics {
   telemetry::Counter& output_payload_bytes;
   telemetry::Counter& output_nacks_sent;
   telemetry::Counter& output_delta_applied;
+  telemetry::Counter& server_busy;
+  telemetry::Counter& busy_retries;
+  telemetry::Counter& heartbeats_sent;
 
   static ClientMetrics& get() {
     auto& r = telemetry::Registry::global();
@@ -41,7 +60,10 @@ struct ClientMetrics {
                            r.counter("client.outputs_received"),
                            r.counter("client.output_payload_bytes"),
                            r.counter("client.output_nacks_sent"),
-                           r.counter("client.output_delta_applied")};
+                           r.counter("client.output_delta_applied"),
+                           r.counter("client.server_busy"),
+                           r.counter("client.busy_retries"),
+                           r.counter("client.heartbeats_sent")};
     return m;
   }
 };
@@ -68,8 +90,22 @@ void ShadowClient::connect(const std::string& server_name,
       restored != restored_server_has_.end()) {
     raw->server_has = restored->second;
   }
+  const u64 seed = session_seed(name_, server_name);
+  // ServerBusy retries are always jittered (decorrelated recovery is the
+  // point of the backoff); the retransmit/census timers follow the
+  // environment knob so the historical deterministic schedules survive.
+  const double jitter =
+      env_.retransmit_jitter > 0 ? env_.retransmit_jitter : 0.2;
+  raw->busy_backoff.set_jitter(jitter, seed);
+  if (env_.retransmit_jitter > 0) {
+    raw->census_backoff.set_jitter(env_.retransmit_jitter, seed ^ 0x9e3779b9u);
+  }
   if (env_.reliable_session) {
-    raw->channel = std::make_unique<proto::ReliableChannel>(transport);
+    proto::ReliableChannel::Config channel_config;
+    channel_config.retransmit_jitter = env_.retransmit_jitter;
+    channel_config.jitter_seed = seed;
+    raw->channel =
+        std::make_unique<proto::ReliableChannel>(transport, channel_config);
     raw->channel->set_receiver(
         [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
     raw->channel->on_desync([this, raw] { resync_session(raw); });
@@ -150,6 +186,9 @@ void ShadowClient::resync_session(Session* session) {
     proto::StatusQuery query;
     query.job_id = 0;  // everything of mine
     send(session, query);
+    // The census itself rides the lossy link; retry on a (jittered)
+    // backoff until its StatusReply lands.
+    arm_census_retry(session);
   }
 }
 
@@ -167,7 +206,76 @@ std::size_t ShadowClient::tick() {
   for (auto& [server_name, session] : sessions_) {
     if (session.channel != nullptr) resent += session.channel->tick();
   }
+  if (sim_ != nullptr) return resent;  // timers are sim-scheduled
+  const u64 now = steady_micros();
+  for (auto& [server_name, session] : sessions_) {
+    // Fire ServerBusy retries past their steady-clock deadline.
+    std::vector<u64> due;
+    for (const auto& [token, at] : session.retry_at_us) {
+      if (at <= now) due.push_back(token);
+    }
+    for (const u64 token : due) {
+      session.retry_at_us.erase(token);
+      fire_retry(&session, token);
+    }
+    // Re-send the lost-job census if its reply never came.
+    if (session.census_retry_at_us != 0 &&
+        session.census_retry_at_us <= now &&
+        status_sweep_pending_.count(session.server_name) != 0) {
+      session.census_retry_at_us = 0;
+      proto::StatusQuery query;
+      query.job_id = 0;
+      send(&session, query);
+      arm_census_retry(&session);
+    }
+  }
   return resent;
+}
+
+std::size_t ShadowClient::heartbeat() {
+  std::size_t sent = 0;
+  for (auto& [server_name, session] : sessions_) {
+    // A v0 server would log "unexpected message type" at every beat.
+    if (!session.hello_done || session.server_protocol < 1) continue;
+    proto::Heartbeat beat;
+    beat.client_time_us = sim_ != nullptr ? sim_->now() : steady_micros();
+    ++stats_.heartbeats_sent;
+    ClientMetrics::get().heartbeats_sent.add();
+    send(&session, beat);
+    ++sent;
+  }
+  return sent;
+}
+
+bool ShadowClient::backing_off(const std::string& server) const {
+  for (const auto& [server_name, session] : sessions_) {
+    if (!server.empty() && server_name != server) continue;
+    if (!session.retry_at_us.empty()) return true;
+  }
+  return false;
+}
+
+u32 ShadowClient::server_protocol(const std::string& server) const {
+  auto it = sessions_.find(server.empty() ? env_.default_server : server);
+  return it == sessions_.end() ? 0 : it->second.server_protocol;
+}
+
+void ShadowClient::arm_census_retry(Session* session) {
+  const u64 delay = session->census_backoff.next();
+  if (sim_ == nullptr) {
+    session->census_retry_at_us = steady_micros() + delay;
+    return;
+  }
+  if (session->census_retry_armed) return;
+  session->census_retry_armed = true;
+  sim_->schedule(delay, [this, session] {
+    session->census_retry_armed = false;
+    if (status_sweep_pending_.count(session->server_name) == 0) return;
+    proto::StatusQuery query;
+    query.job_id = 0;
+    send(session, query);
+    arm_census_retry(session);
+  });
 }
 
 const proto::ReliableChannel* ShadowClient::session_channel(
@@ -202,7 +310,8 @@ void ShadowClient::on_message(Session* session, Bytes wire) {
                       std::is_same_v<T, proto::UpdateAck> ||
                       std::is_same_v<T, proto::SubmitReply> ||
                       std::is_same_v<T, proto::StatusReply> ||
-                      std::is_same_v<T, proto::JobOutput>) {
+                      std::is_same_v<T, proto::JobOutput> ||
+                      std::is_same_v<T, proto::ServerBusy>) {
           handle(session, m);
         } else {
           SHADOW_WARN() << name_ << ": unexpected message from server";
@@ -212,8 +321,78 @@ void ShadowClient::on_message(Session* session, Bytes wire) {
 }
 
 void ShadowClient::handle(Session* session, const proto::HelloReply& m) {
-  (void)m;
   session->hello_done = true;
+  session->server_protocol = m.protocol_version;
+  // The server accepted the session: any pending Hello retry is obsolete
+  // and the shed-work backoff starts over.
+  session->retry_at_us.erase(0);
+  session->busy_backoff.reset();
+}
+
+void ShadowClient::handle(Session* session, const proto::ServerBusy& m) {
+  ++stats_.server_busy;
+  ClientMetrics::get().server_busy.add();
+  // Back off at least as long as the server asked, with our own jittered
+  // exponential schedule on top — many shed clients must not return in
+  // one synchronized burst.
+  const u64 delay =
+      std::max<u64>(m.retry_after_usec, session->busy_backoff.next());
+  SHADOW_DEBUG() << name_ << ": " << session->server_name << " busy ("
+                 << m.reason << (m.draining ? ", draining" : "")
+                 << "); retrying "
+                 << (m.client_job_token == 0
+                         ? std::string("session")
+                         : "job token " + std::to_string(m.client_job_token))
+                 << " in " << delay << " us";
+  if (m.client_job_token == 0) {
+    // The whole session was refused (overloaded shard or drain): Hello
+    // again after the delay. Work already queued behind hello_done waits
+    // with us.
+    session->hello_done = false;
+    schedule_retry(session, 0, delay);
+    return;
+  }
+  auto it = jobs_.find(m.client_job_token);
+  if (it != jobs_.end()) {
+    it->second.detail = "shed by server (" + m.reason + "); backing off";
+  }
+  schedule_retry(session, m.client_job_token, delay);
+}
+
+void ShadowClient::schedule_retry(Session* session, u64 token,
+                                  u64 delay_us) {
+  const u64 now = sim_ != nullptr ? sim_->now() : steady_micros();
+  session->retry_at_us[token] = now + delay_us;
+  if (sim_ == nullptr) return;  // tick() fires it past the deadline
+  sim_->schedule(delay_us, [this, session, token] {
+    // Cancelled (the server answered meanwhile) or superseded by a later
+    // reschedule: the map is the source of truth.
+    auto it = session->retry_at_us.find(token);
+    if (it == session->retry_at_us.end() || it->second > sim_->now()) return;
+    session->retry_at_us.erase(it);
+    fire_retry(session, token);
+  });
+}
+
+void ShadowClient::fire_retry(Session* session, u64 token) {
+  ++stats_.busy_retries;
+  ClientMetrics::get().busy_retries.add();
+  if (token == 0) {
+    proto::Hello hello;
+    hello.client_name = name_;
+    hello.domain = resolver_.domain_id();
+    send(session, hello);
+    return;
+  }
+  if (!session->hello_done) {
+    // The session itself is still being refused; the submit retry waits
+    // for the Hello to land rather than racing it.
+    schedule_retry(session, token, session->busy_backoff.next());
+    return;
+  }
+  auto archived = submit_archive_.find(token);
+  if (archived == submit_archive_.end()) return;  // output arrived meanwhile
+  send(session, archived->second);
 }
 
 Result<std::pair<std::string, std::string>> ShadowClient::translate(
@@ -465,6 +644,10 @@ Result<u64> ShadowClient::submit(const SubmitOptions& options) {
 
 void ShadowClient::handle(Session* session, const proto::SubmitReply& m) {
   pending_submits_.erase(m.client_job_token);
+  // Answered — a busy-backoff retry for this token is obsolete, and an
+  // accepted job means the server is taking work again.
+  session->retry_at_us.erase(m.client_job_token);
+  if (m.accepted) session->busy_backoff.reset();
   auto it = jobs_.find(m.client_job_token);
   if (it == jobs_.end()) return;
   it->second.job_id = m.job_id;
@@ -472,7 +655,6 @@ void ShadowClient::handle(Session* session, const proto::SubmitReply& m) {
     it->second.state = proto::JobState::kFailed;
     it->second.detail = m.reason;
   }
-  (void)session;
 }
 
 Status ShadowClient::request_status(u64 job_id, const std::string& server) {
@@ -497,7 +679,13 @@ void ShadowClient::handle(Session* session, const proto::StatusReply& m) {
   // that is now absent from its books was lost with the crash. Submit it
   // again as a fresh job — same token, so a dedupe on a server that DID
   // survive is still possible and the view needs no rewiring.
-  if (status_sweep_pending_.erase(session->server_name) > 0) {
+  const bool census_answered =
+      status_sweep_pending_.erase(session->server_name) > 0;
+  if (census_answered) {
+    session->census_backoff.reset();
+    session->census_retry_at_us = 0;
+  }
+  if (census_answered) {
     for (auto& [token, view] : jobs_) {
       if (view.server != session->server_name || token == 0 ||
           view.job_id == 0 || view.output_received ||

@@ -43,6 +43,9 @@ struct ClientStats {
   u64 session_resyncs = 0;    // desyncs detected by the reliable session
   u64 nack_full_resends = 0;  // full-content resends after an UpdateAck nack
   u64 lost_job_resubmits = 0;  // acked jobs a restarted server had lost
+  u64 server_busy = 0;         // ServerBusy replies received
+  u64 busy_retries = 0;        // Hellos/submits re-sent after backoff
+  u64 heartbeats_sent = 0;     // explicit lease renewals
 };
 
 /// Client-side view of one submitted job.
@@ -84,9 +87,24 @@ class ShadowClient {
   void set_simulator(sim::Simulator* simulator);
 
   /// One retransmit round on every reliable session (no-op without
-  /// env().reliable_session). Poll-driven hosts without a simulator call
-  /// this when traffic stalls. Returns the number of frames resent.
+  /// env().reliable_session), plus due ServerBusy/census retries when no
+  /// simulator drives their timers. Poll-driven hosts without a simulator
+  /// call this when traffic stalls. Returns the number of frames resent.
   std::size_t tick();
+
+  /// Renew this client's session lease on every connected server that
+  /// negotiated protocol v1 (explicit Heartbeat; any other traffic also
+  /// renews). Poll-driven hosts call this on a timer well inside the
+  /// server's --lease-usec. Returns the number of heartbeats sent.
+  std::size_t heartbeat();
+
+  /// True while a ServerBusy from `server` has a retry pending (the
+  /// session is backing off rather than failed). "" = any server.
+  bool backing_off(const std::string& server = "") const;
+
+  /// Protocol version `server` announced in its HelloReply (0 before the
+  /// handshake or for a legacy server).
+  u32 server_protocol(const std::string& server) const;
 
   /// The reliable session to `server` (nullptr when not connected or when
   /// the session layer is off) — diagnostics and tests.
@@ -172,6 +190,23 @@ class ShadowClient {
     /// Version the server acknowledged holding, per file key
     /// (request-driven mode pushes deltas against this).
     std::map<std::string, u64> server_has;
+    /// From HelloReply; a v0 server never sends ServerBusy and would not
+    /// understand a Heartbeat.
+    u32 server_protocol = 0;
+    /// Jittered exponential backoff for ServerBusy retries; the server's
+    /// retry_after_usec is the floor of every delay. Reset when the
+    /// server accepts work again.
+    sim::Backoff busy_backoff{100'000, 8'000'000};
+    /// Backoff for re-sending the lost-job census query when its
+    /// StatusReply never came (the sweep itself can be shed or lost).
+    sim::Backoff census_backoff{250'000, 4'000'000};
+    /// Retries outstanding against this session: 0 = Hello, otherwise
+    /// the job token of a shed submit. With a simulator they are
+    /// sim-scheduled; without one tick() fires them past their
+    /// steady-clock deadline (microseconds).
+    std::map<u64, u64> retry_at_us;
+    bool census_retry_armed = false;
+    u64 census_retry_at_us = 0;  // non-sim deadline; 0 = none
   };
 
   void on_message(Session* session, Bytes wire);
@@ -181,6 +216,7 @@ class ShadowClient {
   void handle(Session* session, const proto::SubmitReply& m);
   void handle(Session* session, const proto::StatusReply& m);
   void handle(Session* session, const proto::JobOutput& m);
+  void handle(Session* session, const proto::ServerBusy& m);
 
   void send(Session* session, const proto::Message& m);
   Result<Session*> session_for(const std::string& server);
@@ -198,6 +234,15 @@ class ShadowClient {
   /// against `base` (0 = full).
   Status send_update(Session* session, const naming::GlobalFileId& file,
                      u64 base, u64 version);
+
+  /// Send the fresh Hello of a busy-backoff retry (token 0) or re-send an
+  /// archived submit (token != 0).
+  void fire_retry(Session* session, u64 token);
+  /// Arm the retry: sim-scheduled when a simulator is attached, else a
+  /// steady-clock deadline tick() checks.
+  void schedule_retry(Session* session, u64 token, u64 delay_us);
+  /// Re-send the lost-job census query if its reply never arrived.
+  void arm_census_retry(Session* session);
 
   std::string name_;
   ShadowEnvironment env_;

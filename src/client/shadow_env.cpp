@@ -29,6 +29,7 @@ std::string ShadowEnvironment::to_text() const {
   out += std::string("flow ") + flow_mode_name(flow) + "\n";
   out += std::string("reliable_session ") +
          (reliable_session ? "on" : "off") + "\n";
+  out += "retransmit_jitter " + std::to_string(retransmit_jitter) + "\n";
   out += "diff_bytes_per_second " +
          std::to_string(static_cast<long long>(diff_bytes_per_second)) +
          "\n";
@@ -77,6 +78,12 @@ Result<ShadowEnvironment> ShadowEnvironment::from_text(
       env.background_updates = (value == "on" || value == "true");
     } else if (key == "reliable_session") {
       env.reliable_session = (value == "on" || value == "true");
+    } else if (key == "retransmit_jitter") {
+      env.retransmit_jitter = std::stod(value);
+      if (env.retransmit_jitter < 0 || env.retransmit_jitter > 1) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "retransmit_jitter must be in [0, 1]: " + value};
+      }
     } else if (key == "diff_bytes_per_second") {
       env.diff_bytes_per_second = std::stod(value);
     } else if (key == "flow") {

@@ -52,6 +52,12 @@ struct ShadowEnvironment {
   /// Required when the transport below can lose, reorder or corrupt
   /// messages; both ends must agree (ServerConfig::reliable_session).
   bool reliable_session = false;
+  /// Fractional jitter on the reliable session's retransmit backoff and
+  /// on the lost-job census retry timer, seeded per (client, server) so
+  /// each schedule stays reproducible. Decorrelates the retry bursts of
+  /// many clients recovering from one server outage (thundering herd);
+  /// 0 keeps the historical deterministic schedules.
+  double retransmit_jitter = 0.0;
   /// Workstation throughput for computing differential comparisons, in
   /// bytes of base file per second (simulation only). ~100 KB/s models the
   /// 1987-class workstations of the paper running HM75 diff; the cost is

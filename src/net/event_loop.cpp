@@ -96,7 +96,12 @@ std::size_t EventLoop::run_once(int timeout_ms) {
     fds.push_back({wake_read_fd_, POLLIN, 0});
   }
   for (const auto& t : owned_) {
-    fds.push_back({t->fd(), POLLIN, 0});
+    // POLLOUT only while a bounded sender has parked bytes, so a slow
+    // consumer's drain resumes as soon as its socket turns writable
+    // instead of waiting out the poll timeout.
+    const short events =
+        t->queued_bytes() > 0 ? (POLLIN | POLLOUT) : POLLIN;
+    fds.push_back({t->fd(), events, 0});
   }
   int rc;
   do {

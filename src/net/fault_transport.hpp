@@ -104,6 +104,15 @@ class FaultTransport final : public Transport {
   u64 messages_sent() const override { return inner_->messages_sent(); }
   std::string peer_name() const override { return inner_->peer_name(); }
 
+  // Queue accounting passes straight through to the carrier: fault
+  // injection perturbs messages, not the overload-control budget.
+  std::size_t queued_bytes() const override { return inner_->queued_bytes(); }
+  void set_queue_limit(std::size_t limit) override {
+    inner_->set_queue_limit(limit);
+  }
+  std::size_t queue_limit() const override { return inner_->queue_limit(); }
+  void request_close() override { inner_->request_close(); }
+
   /// Release every held message immediately (quiesce helper: a reordered
   /// or delayed message at end-of-stream must not be stranded).
   void flush();

@@ -6,8 +6,17 @@ Status LoopbackTransport::send(Bytes message) {
   if (peer_ == nullptr) {
     return Error{ErrorCode::kIoError, "loopback has no peer wired"};
   }
+  if (queue_limit_ > 0 &&
+      peer_->inbox_bytes_ + message.size() > queue_limit_) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "peer inbox full: " + std::to_string(peer_->inbox_bytes_) +
+                     " + " + std::to_string(message.size()) +
+                     " bytes over the " + std::to_string(queue_limit_) +
+                     "-byte cap"};
+  }
   bytes_sent_ += message.size();
   ++messages_sent_;
+  peer_->inbox_bytes_ += message.size();
   peer_->inbox_.push_back(std::move(message));
   return Status();
 }
@@ -20,6 +29,7 @@ std::size_t LoopbackTransport::poll() {
   while (batch-- > 0 && !inbox_.empty()) {
     Bytes message = std::move(inbox_.front());
     inbox_.pop_front();
+    inbox_bytes_ -= message.size();
     if (receiver_) receiver_(std::move(message));
     ++dispatched;
   }

@@ -24,6 +24,15 @@ class LoopbackTransport final : public Transport {
   u64 messages_sent() const override { return messages_sent_; }
   std::string peer_name() const override { return peer_name_; }
 
+  /// Bytes sitting in the PEER's inbox, i.e. sent here but not yet
+  /// drained by the peer's poll() — the loopback model of a consumer
+  /// that stopped reading.
+  std::size_t queued_bytes() const override {
+    return peer_ ? peer_->inbox_bytes_ : 0;
+  }
+  void set_queue_limit(std::size_t limit) override { queue_limit_ = limit; }
+  std::size_t queue_limit() const override { return queue_limit_; }
+
   std::size_t inbox_size() const { return inbox_.size(); }
 
  private:
@@ -31,6 +40,8 @@ class LoopbackTransport final : public Transport {
   LoopbackTransport* peer_ = nullptr;
   ReceiveFn receiver_;
   std::deque<Bytes> inbox_;
+  std::size_t inbox_bytes_ = 0;
+  std::size_t queue_limit_ = 0;  // 0 = unlimited
   u64 bytes_sent_ = 0;
   u64 messages_sent_ = 0;
 };

@@ -5,9 +5,21 @@
 namespace shadow::net {
 
 Status MuxTransport::send(Bytes message) {
+  if (queue_limit_ > 0 &&
+      mux_->carrier_->queued_bytes() + message.size() > queue_limit_) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "carrier queue full: " +
+                     std::to_string(mux_->carrier_->queued_bytes()) + " + " +
+                     std::to_string(message.size()) + " bytes over the " +
+                     std::to_string(queue_limit_) + "-byte cap"};
+  }
   bytes_sent_ += message.size();
   ++messages_sent_;
   return mux_->send_on(channel_, message);
+}
+
+std::size_t MuxTransport::queued_bytes() const {
+  return mux_->carrier_->queued_bytes();
 }
 
 void MuxTransport::deliver(Bytes message) {

@@ -33,6 +33,14 @@ class MuxTransport final : public Transport {
   u64 messages_sent() const override { return messages_sent_; }
   std::string peer_name() const override { return peer_name_; }
 
+  /// All channels share the carrier's queue, so what a channel reads here
+  /// is the shared line's congestion — the 9600-baud reality this layer
+  /// models. A per-channel limit therefore sheds this channel's sends
+  /// while the SHARED backlog is over its cap.
+  std::size_t queued_bytes() const override;
+  void set_queue_limit(std::size_t limit) override { queue_limit_ = limit; }
+  std::size_t queue_limit() const override { return queue_limit_; }
+
  private:
   friend class Mux;
   void deliver(Bytes message);
@@ -43,6 +51,7 @@ class MuxTransport final : public Transport {
   ReceiveFn receiver_;
   u64 bytes_sent_ = 0;
   u64 messages_sent_ = 0;
+  std::size_t queue_limit_ = 0;  // 0 = unlimited
 };
 
 /// Demultiplexer over one side's carrier endpoint. The carrier must

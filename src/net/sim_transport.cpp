@@ -8,9 +8,20 @@ Status SimTransport::send(Bytes message) {
   if (peer_ == nullptr) {
     return Error{ErrorCode::kIoError, "SimTransport has no peer wired"};
   }
+  const std::size_t size = message.size();
+  if (queue_limit_ > 0 && queued_bytes_ + size > queue_limit_) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "link queue full: " + std::to_string(queued_bytes_) +
+                     " + " + std::to_string(size) + " bytes over the " +
+                     std::to_string(queue_limit_) + "-byte cap"};
+  }
+  queued_bytes_ += size;
+  SimTransport* self = this;
   SimTransport* peer = peer_;
-  tx_->send(std::move(message),
-            [peer](Bytes delivered) { peer->deliver(std::move(delivered)); });
+  tx_->send(std::move(message), [self, peer](Bytes delivered) {
+    self->queued_bytes_ -= delivered.size();
+    peer->deliver(std::move(delivered));
+  });
   return Status();
 }
 

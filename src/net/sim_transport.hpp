@@ -28,6 +28,14 @@ class SimTransport final : public Transport {
   u64 messages_sent() const override { return tx_->messages_sent(); }
   std::string peer_name() const override { return peer_name_; }
 
+  /// Payload bytes accepted by send() and still in flight on the link
+  /// (queued or transmitting; decremented at delivery time). The endpoint
+  /// must outlive every in-flight message — make_sim_pair users already
+  /// keep both ends alive for the whole run.
+  std::size_t queued_bytes() const override { return queued_bytes_; }
+  void set_queue_limit(std::size_t limit) override { queue_limit_ = limit; }
+  std::size_t queue_limit() const override { return queue_limit_; }
+
   /// Invoked via the simulator when a message addressed to this endpoint
   /// arrives.
   void deliver(Bytes message);
@@ -37,6 +45,8 @@ class SimTransport final : public Transport {
   std::string peer_name_;
   SimTransport* peer_ = nullptr;
   ReceiveFn receiver_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t queue_limit_ = 0;  // 0 = unlimited
 };
 
 struct SimTransportPair {

@@ -40,9 +40,39 @@ TcpTransport::~TcpTransport() { close(); }
 
 void TcpTransport::close() {
   if (fd_ >= 0) {
+    // Best-effort, non-blocking: hand parked tx bytes to the kernel (it
+    // delivers what its buffer holds after close). Never waits — close()
+    // runs on shard loops disconnecting stalled consumers.
+    flush_writes();
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+std::size_t TcpTransport::flush_writes() {
+  while (fd_ >= 0 && tx_offset_ < tx_buffer_.size()) {
+    // MSG_NOSIGNAL: a drain notice to an already-departed client must
+    // surface as EPIPE (-> peer_closed_), not kill the daemon via SIGPIPE.
+    const ssize_t n = ::send(fd_, tx_buffer_.data() + tx_offset_,
+                             tx_buffer_.size() - tx_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      tx_offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    peer_closed_ = true;
+    break;
+  }
+  if (tx_offset_ >= tx_buffer_.size()) {
+    tx_buffer_.clear();
+    tx_offset_ = 0;
+  } else if (tx_offset_ > tx_buffer_.size() / 2) {
+    tx_buffer_.erase(tx_buffer_.begin(),
+                     tx_buffer_.begin() + static_cast<long>(tx_offset_));
+    tx_offset_ = 0;
+  }
+  return queued_bytes();
 }
 
 Status TcpTransport::send(Bytes message) {
@@ -58,6 +88,28 @@ Status TcpTransport::send(Bytes message) {
   header[1] = static_cast<u8>(len >> 8);
   header[2] = static_cast<u8>(len >> 16);
   header[3] = static_cast<u8>(len >> 24);
+
+  if (queue_limit_ > 0) {
+    // Bounded non-blocking discipline: park the frame (cap enforced on
+    // the FRAMED size), then push as much as the kernel takes right now.
+    // The event loop flushes the rest when the socket turns writable.
+    const std::size_t framed = sizeof(header) + message.size();
+    if (queued_bytes() + framed > queue_limit_) {
+      return Error{ErrorCode::kResourceExhausted,
+                   "send queue full: " + std::to_string(queued_bytes()) +
+                       " + " + std::to_string(framed) + " bytes over the " +
+                       std::to_string(queue_limit_) + "-byte cap"};
+    }
+    tx_buffer_.insert(tx_buffer_.end(), header, header + sizeof(header));
+    tx_buffer_.insert(tx_buffer_.end(), message.begin(), message.end());
+    flush_writes();
+    if (peer_closed_) {
+      return Error{ErrorCode::kIoError, "peer closed during write"};
+    }
+    bytes_sent_ += message.size();
+    ++messages_sent_;
+    return Status();
+  }
 
   // Header and payload go out through one gathered write loop: a short
   // write (tiny socket buffers, signal interruptions) resumes mid-frame
@@ -76,7 +128,10 @@ Status TcpTransport::send(Bytes message) {
       ++iov_index;
       continue;
     }
-    const ssize_t n = ::writev(fd_, &iov[iov_index], 2 - iov_index);
+    struct msghdr msg {};
+    msg.msg_iov = &iov[iov_index];
+    msg.msg_iovlen = static_cast<std::size_t>(2 - iov_index);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n > 0) {
       std::size_t advanced = static_cast<std::size_t>(n);
       while (iov_index < 2 && advanced >= iov[iov_index].iov_len) {
@@ -161,6 +216,7 @@ void TcpTransport::read_available() {
 
 std::size_t TcpTransport::poll() {
   if (fd_ < 0) return 0;
+  flush_writes();
   read_available();
   // A receiver callback may call poll() again (e.g. while waiting for a
   // reply it just solicited). The outer invocation is mid-iteration over

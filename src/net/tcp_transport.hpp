@@ -4,8 +4,17 @@
 //
 // Poll-driven and non-blocking on the receive side: poll() reads whatever
 // the kernel has, reassembles frames and dispatches complete messages.
-// send() performs a blocking write loop (messages are small relative to
-// socket buffers; the figure benches use SimTransport, not this).
+//
+// Two send disciplines, selected by the queue limit:
+//   - limit == 0 (default; client tools, tests): a blocking write loop —
+//     the frame is on the wire (or the peer declared dead) when send()
+//     returns.
+//   - limit > 0 (overload-aware servers): fully non-blocking — whatever
+//     the kernel refuses is parked in a byte-capped tx buffer, flushed by
+//     poll() / the event loop when the socket turns writable; a frame
+//     that would overflow the cap fails with kResourceExhausted so a
+//     stalled consumer can never block the shard loop or grow server
+//     memory without bound (docs/OPERATIONS.md).
 #pragma once
 
 #include <memory>
@@ -31,6 +40,17 @@ class TcpTransport final : public Transport {
   u64 messages_sent() const override { return messages_sent_; }
   std::string peer_name() const override { return peer_name_; }
 
+  std::size_t queued_bytes() const override {
+    return tx_buffer_.size() - tx_offset_;
+  }
+  void set_queue_limit(std::size_t limit) override { queue_limit_ = limit; }
+  std::size_t queue_limit() const override { return queue_limit_; }
+  void request_close() override { close(); }
+
+  /// Push parked tx bytes to the kernel (non-blocking); returns the bytes
+  /// still queued afterwards. poll() and the event loop call this.
+  std::size_t flush_writes();
+
   bool closed() const { return fd_ < 0 || peer_closed_; }
   void close();
 
@@ -55,6 +75,12 @@ class TcpTransport final : public Transport {
   std::string peer_name_;
   ReceiveFn receiver_;
   Bytes rx_buffer_;
+  /// Framed bytes the kernel refused, awaiting a writable socket. Flushed
+  /// from tx_offset_ (compacted once drained past the halfway mark) so
+  /// repeated partial writes stay linear.
+  Bytes tx_buffer_;
+  std::size_t tx_offset_ = 0;
+  std::size_t queue_limit_ = 0;  // 0 = unlimited, blocking send discipline
   u64 bytes_sent_ = 0;
   u64 messages_sent_ = 0;
   bool peer_closed_ = false;

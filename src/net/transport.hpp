@@ -47,6 +47,25 @@ class Transport {
 
   /// Diagnostic name of the other end.
   virtual std::string peer_name() const = 0;
+
+  // ---- output-queue accounting (overload control, docs/OPERATIONS.md) --
+
+  /// Bytes accepted by send() but not yet handed to the peer (kernel
+  /// buffer, simulated link, or the peer's inbox). Transports without an
+  /// internal queue report 0.
+  virtual std::size_t queued_bytes() const { return 0; }
+
+  /// Byte cap on queued_bytes(). A send() that would exceed the cap fails
+  /// with kResourceExhausted and the message is NOT queued — the caller
+  /// decides whether to degrade or disconnect. 0 = unlimited (default).
+  virtual void set_queue_limit(std::size_t limit) { (void)limit; }
+  virtual std::size_t queue_limit() const { return 0; }
+
+  /// Ask the transport to shut the connection down (server-initiated
+  /// disconnect of an expired or overflowing client). Poll-driven owners
+  /// observe the closure and reap; transports with no close notion (sim,
+  /// loopback) ignore it — the caller must also forget the peer itself.
+  virtual void request_close() {}
 };
 
 }  // namespace shadow::net

@@ -20,6 +20,8 @@ const char* message_type_name(MessageType type) {
     case MessageType::kJobOutputAck: return "JobOutputAck";
     case MessageType::kAdminQuery: return "AdminQuery";
     case MessageType::kAdminReply: return "AdminReply";
+    case MessageType::kServerBusy: return "ServerBusy";
+    case MessageType::kHeartbeat: return "Heartbeat";
   }
   return "?";
 }
@@ -65,8 +67,12 @@ MessageType type_of(const Message& message) {
           return MessageType::kJobOutputAck;
         else if constexpr (std::is_same_v<T, AdminQuery>)
           return MessageType::kAdminQuery;
-        else
+        else if constexpr (std::is_same_v<T, AdminReply>)
           return MessageType::kAdminReply;
+        else if constexpr (std::is_same_v<T, ServerBusy>)
+          return MessageType::kServerBusy;
+        else
+          return MessageType::kHeartbeat;
       },
       message);
 }
@@ -78,10 +84,24 @@ namespace {
 void encode_body(const Hello& m, BufWriter& w) {
   w.put_string(m.client_name);
   w.put_string(m.domain);
+  // Trailing, optional on decode: a legacy frame simply ends here.
+  w.put_varint(m.protocol_version);
 }
 
 void encode_body(const HelloReply& m, BufWriter& w) {
   w.put_string(m.server_name);
+  w.put_varint(m.protocol_version);
+}
+
+void encode_body(const Heartbeat& m, BufWriter& w) {
+  w.put_varint(m.client_time_us);
+}
+
+void encode_body(const ServerBusy& m, BufWriter& w) {
+  w.put_varint(m.retry_after_usec);
+  w.put_varint(m.client_job_token);
+  w.put_u8(m.draining ? 1 : 0);
+  w.put_string(m.reason);
 }
 
 void encode_body(const NotifyNewVersion& m, BufWriter& w) {
@@ -220,6 +240,12 @@ Result<Hello> decode_hello(BufReader& r) {
   SHADOW_ASSIGN_OR_RETURN(domain, r.get_string());
   m.client_name = std::move(client_name);
   m.domain = std::move(domain);
+  // Version negotiation: frames from a pre-v1 peer end here.
+  m.protocol_version = 0;
+  if (!r.at_end()) {
+    SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+    m.protocol_version = static_cast<u32>(version);
+  }
   return m;
 }
 
@@ -227,6 +253,31 @@ Result<HelloReply> decode_hello_reply(BufReader& r) {
   HelloReply m;
   SHADOW_ASSIGN_OR_RETURN(server_name, r.get_string());
   m.server_name = std::move(server_name);
+  m.protocol_version = 0;
+  if (!r.at_end()) {
+    SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+    m.protocol_version = static_cast<u32>(version);
+  }
+  return m;
+}
+
+Result<Heartbeat> decode_heartbeat(BufReader& r) {
+  Heartbeat m;
+  SHADOW_ASSIGN_OR_RETURN(client_time_us, r.get_varint());
+  m.client_time_us = client_time_us;
+  return m;
+}
+
+Result<ServerBusy> decode_server_busy(BufReader& r) {
+  ServerBusy m;
+  SHADOW_ASSIGN_OR_RETURN(retry_after, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(token, r.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(draining, r.get_u8());
+  SHADOW_ASSIGN_OR_RETURN(reason, r.get_string());
+  m.retry_after_usec = retry_after;
+  m.client_job_token = token;
+  m.draining = draining != 0;
+  m.reason = std::move(reason);
   return m;
 }
 
@@ -563,6 +614,14 @@ Result<Message> decode_message(const Bytes& wire) {
       }
       case MessageType::kAdminReply: {
         SHADOW_ASSIGN_OR_RETURN(m, decode_admin_reply(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kServerBusy: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_server_busy(r));
+        return Message(std::move(m));
+      }
+      case MessageType::kHeartbeat: {
+        SHADOW_ASSIGN_OR_RETURN(m, decode_heartbeat(r));
         return Message(std::move(m));
       }
     }

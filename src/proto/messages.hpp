@@ -48,6 +48,8 @@ enum class MessageType : u8 {
   kJobOutputAck = 12,
   kAdminQuery = 13,
   kAdminReply = 14,
+  kServerBusy = 15,
+  kHeartbeat = 16,
 };
 
 const char* message_type_name(MessageType type);
@@ -66,13 +68,45 @@ const char* job_state_name(JobState state);
 
 // ---- session ----
 
+/// Shadow protocol revision spoken by this build. Version 0 is the
+/// pre-overload-control wire format; version 1 adds ServerBusy, Heartbeat
+/// and the trailing version fields on Hello/HelloReply. Both fields are
+/// OPTIONAL on the wire (absent = 0), so either end can talk to a legacy
+/// peer: a v1 client only sends Heartbeats to a server that announced
+/// v1 back, and a v1 server never sends ServerBusy to a v0 client — it
+/// falls back to the v0 behaviours (silent close / SubmitReply reject).
+inline constexpr u32 kShadowProtocolVersion = 1;
+
 struct Hello {
   std::string client_name;  // client host identity
   std::string domain;       // client's naming domain id
+  u32 protocol_version = kShadowProtocolVersion;  // 0 = legacy peer
 };
 
 struct HelloReply {
   std::string server_name;
+  u32 protocol_version = kShadowProtocolVersion;  // 0 = legacy peer
+};
+
+/// Client -> server: explicit lease renewal for a connection with no
+/// other traffic (an editor sitting idle between saves). Any message
+/// renews the lease; this one exists to renew it at zero semantic cost.
+struct Heartbeat {
+  u64 client_time_us = 0;  // sender's clock, diagnostics only
+};
+
+/// Server -> client: request shed by admission control or drain. The
+/// client must not retry the refused operation before `retry_after_usec`
+/// has elapsed (and should add jitter on top — see sim::Backoff).
+struct ServerBusy {
+  u64 retry_after_usec = 0;
+  /// Refused SubmitJob's client token; 0 = the whole session was refused
+  /// (Hello admission or a drain notice) rather than one operation.
+  u64 client_job_token = 0;
+  /// Server is shutting down: do not retry this server until it
+  /// reappears; reconcile with another replica or wait for restart.
+  bool draining = false;
+  std::string reason;  // which budget tripped, for logs/operators
 };
 
 // ---- cache maintenance (§6.4) ----
@@ -223,7 +257,8 @@ struct AdminReply {
 using Message =
     std::variant<Hello, HelloReply, NotifyNewVersion, PullRequest, Update,
                  UpdateAck, SubmitJob, SubmitReply, StatusQuery, StatusReply,
-                 JobOutput, JobOutputAck, AdminQuery, AdminReply>;
+                 JobOutput, JobOutputAck, AdminQuery, AdminReply, ServerBusy,
+                 Heartbeat>;
 
 MessageType type_of(const Message& message);
 

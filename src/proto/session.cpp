@@ -64,6 +64,9 @@ ReliableChannel::ReliableChannel(net::Transport* transport, Config config)
     : transport_(transport),
       config_(config),
       backoff_(config.retransmit_initial, config.retransmit_cap) {
+  if (config_.retransmit_jitter > 0) {
+    backoff_.set_jitter(config_.retransmit_jitter, config_.jitter_seed);
+  }
   transport_->set_receiver([this](Bytes wire) { on_wire(std::move(wire)); });
 }
 

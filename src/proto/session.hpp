@@ -41,6 +41,13 @@ class ReliableChannel {
     /// First sim-scheduled retransmit delay; doubles per round up to cap.
     sim::SimTime retransmit_initial = 200'000;
     sim::SimTime retransmit_cap = 1'600'000;
+    /// Fractional jitter on each sim-scheduled retransmit delay (0 = the
+    /// historical deterministic schedule). Decorrelates the retry bursts
+    /// of many clients recovering from the same server outage; seed it
+    /// per endpoint (e.g. a hash of the client name) so each schedule
+    /// stays reproducible.
+    double retransmit_jitter = 0.0;
+    u64 jitter_seed = 0;
   };
 
   struct Stats {

@@ -27,6 +27,35 @@ struct LoadMonitorConfig {
   sim::SimTime backoff = 5 * sim::kMicrosPerSecond;
 };
 
+/// Unified admission budget (overload control, docs/OPERATIONS.md). The
+/// load monitor above DEFERS work the server has already accepted; these
+/// budgets REFUSE work at the door with a ServerBusy carrying
+/// retry_after_usec, so clients back off instead of piling up. Every
+/// budget is per shard; 0 disables that budget.
+struct OverloadConfig {
+  /// Registered client sessions per shard; a Hello beyond this is shed.
+  std::size_t max_connections = 0;
+  /// Byte cap on each connection's outbound send queue (applied to the
+  /// transport at attach). A send overflowing it drops the CONNECTION,
+  /// never blocks the shard loop; the client reconnects and resyncs.
+  std::size_t max_conn_queued_bytes = 0;
+  /// Cap on the SUM of all connections' queued output bytes; submits
+  /// beyond it are shed (results would only deepen the backlog).
+  std::size_t max_total_queued_bytes = 0;
+  /// Cap on journal records staged behind the open group-commit window
+  /// (each may park a deferred ack); submits beyond it are shed.
+  std::size_t max_parked_acks = 0;
+  /// Cap on active (queued+waiting+running) jobs; submits beyond it are
+  /// SHED with ServerBusy + retry-after — unlike max_queued_jobs, whose
+  /// queue-full SubmitReply rejection is final. The client re-submits
+  /// from its archive after a jittered backoff, so transient bursts
+  /// queue politely at the clients instead of in the server.
+  std::size_t max_active_jobs = 0;
+  /// Hint returned with every ServerBusy: how long the client should
+  /// back off (its own jittered backoff takes this as the floor).
+  u64 retry_after_usec = 500'000;
+};
+
 class LoadMonitor {
  public:
   LoadMonitor(LoadMonitorConfig config, sim::Simulator* simulator)

@@ -257,9 +257,19 @@ bool ShadowServer::load_says_wait() {
   return true;
 }
 
+u64 ShadowServer::now_micros() const {
+  return sim_ != nullptr ? sim_->now() : steady_micros();
+}
+
 void ShadowServer::attach(net::Transport* transport) {
   auto conn = std::make_unique<Connection>();
   conn->transport = transport;
+  conn->lease_renewed_us = now_micros();
+  if (config_.overload.max_conn_queued_bytes > 0) {
+    // Byte-cap this connection's outbound queue; a send that would
+    // overflow it dooms the connection instead of blocking the loop.
+    transport->set_queue_limit(config_.overload.max_conn_queued_bytes);
+  }
   Connection* raw = conn.get();
   if (config_.reliable_session) {
     raw->channel = std::make_unique<proto::ReliableChannel>(transport);
@@ -294,6 +304,144 @@ void ShadowServer::detach(net::Transport* transport) {
   }
 }
 
+void ShadowServer::doom_connection(Connection* conn, const std::string& why) {
+  if (conn->doomed) return;
+  conn->doomed = true;
+  record_event(telemetry::EventKind::kServer,
+               "connection " +
+                   (conn->client_name.empty() ? std::string("<pre-hello>")
+                                              : conn->client_name) +
+                   " doomed: " + why);
+  SHADOW_WARN() << config_.name << ": dropping connection "
+                << conn->client_name << ": " << why;
+  // Ask the transport to close so event loops reap the socket; the
+  // Connection itself is reclaimed by reap_doomed() once no handler on
+  // the stack can still be holding the pointer.
+  conn->transport->request_close();
+}
+
+std::size_t ShadowServer::reap_doomed() {
+  std::size_t reaped = 0;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* raw = it->get();
+    if (!raw->doomed) {
+      ++it;
+      continue;
+    }
+    // Sever the receive path first: the transport may outlive the
+    // Connection (event-loop-owned sockets, sim links), and its receiver
+    // lambda captures the raw pointer being freed here.
+    raw->transport->set_receiver(nullptr);
+    if (!raw->client_name.empty()) {
+      auto named = clients_.find(raw->client_name);
+      if (named != clients_.end() && named->second == raw) {
+        clients_.erase(named);
+      }
+      // Pulls in flight to this client died with its send queue. Re-arm
+      // them so a plain (non-reliable-session) reconnect's re-announce
+      // pulls again instead of waiting forever on a dead request.
+      for (auto& [key, state] : files_) {
+        if (state.owner_client != raw->client_name) continue;
+        if (state.pull_outstanding == 0) continue;
+        state.pull_outstanding = 0;
+        if (outstanding_pulls_ > 0) --outstanding_pulls_;
+        state.pull_wanted = true;
+      }
+    }
+    it = connections_.erase(it);
+    ++reaped;
+  }
+  return reaped;
+}
+
+std::size_t ShadowServer::expire_leases() {
+  if (config_.lease_usec == 0) return 0;
+  const u64 now = now_micros();
+  std::size_t expired = 0;
+  for (auto& conn : connections_) {
+    if (conn->doomed) continue;
+    if (now - conn->lease_renewed_us < config_.lease_usec) continue;
+    ++stats_.leases_expired;
+    ++expired;
+    doom_connection(conn.get(),
+                    "lease expired (idle " +
+                        std::to_string(now - conn->lease_renewed_us) +
+                        " us, lease " + std::to_string(config_.lease_usec) +
+                        " us)");
+  }
+  return expired;
+}
+
+std::size_t ShadowServer::total_queued_bytes() const {
+  std::size_t total = 0;
+  for (const auto& conn : connections_) {
+    total += conn->transport->queued_bytes();
+  }
+  return total;
+}
+
+const char* ShadowServer::admission_refusal() const {
+  if (draining_) return "server draining";
+  if (config_.overload.max_parked_acks != 0 && store_ != nullptr &&
+      store_->pending_records() >= config_.overload.max_parked_acks) {
+    return "persist backlog (parked acks over budget)";
+  }
+  if (config_.overload.max_total_queued_bytes != 0 &&
+      total_queued_bytes() >= config_.overload.max_total_queued_bytes) {
+    return "output backlog (queued bytes over budget)";
+  }
+  if (config_.overload.max_active_jobs != 0 &&
+      queue_.active_count() >= config_.overload.max_active_jobs) {
+    return "job backlog (active jobs over budget)";
+  }
+  return nullptr;
+}
+
+void ShadowServer::send_busy(Connection* conn, u64 client_job_token,
+                             const std::string& reason) {
+  // Legacy peers would log "unexpected message type" and learn nothing;
+  // silence preserves their pre-overload-control behaviour exactly.
+  if (conn->protocol_version < 1) return;
+  proto::ServerBusy busy;
+  busy.retry_after_usec = config_.overload.retry_after_usec;
+  busy.client_job_token = client_job_token;
+  busy.draining = draining_;
+  busy.reason = reason;
+  send(conn, busy);
+}
+
+void ShadowServer::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  record_event(telemetry::EventKind::kServer,
+               config_.name + " draining: refusing new work");
+  // One notice per live v1 session: back off and come back elsewhere /
+  // later. In-flight acks still flow; only NEW work is refused.
+  for (auto& conn : connections_) {
+    if (conn->doomed || conn->protocol_version < 1) continue;
+    ++stats_.drain_notices;
+    send_busy(conn.get(), 0, "server draining");
+  }
+  // Seal the open group-commit window now: every record a client was
+  // promised durability for must fsync — and release its parked ack —
+  // before drain_complete() reports true.
+  flush_persist();
+}
+
+bool ShadowServer::drain_complete() const {
+  if (store_ == nullptr || !store_->group_commit().enabled()) return true;
+  return store_->pending_records() == 0 && !store_->sync_in_flight();
+}
+
+void ShadowServer::handle(Connection* conn, const proto::Heartbeat& m) {
+  (void)conn;
+  (void)m;  // client_time_us is diagnostic only for now
+  ++stats_.heartbeats_received;
+  // The lease was renewed by on_message; nothing else to do — heartbeats
+  // deliberately have no reply (an overloaded server owes idle clients
+  // nothing).
+}
+
 void ShadowServer::inject_message(net::Transport* transport, Bytes wire) {
   for (auto& conn : connections_) {
     if (conn->transport == transport) {
@@ -308,9 +456,13 @@ void ShadowServer::inject_message(net::Transport* transport, Bytes wire) {
 std::size_t ShadowServer::tick() {
   std::size_t resent = 0;
   for (auto& conn : connections_) {
-    if (conn->channel != nullptr) resent += conn->channel->tick();
+    if (conn->channel != nullptr && !conn->doomed) {
+      resent += conn->channel->tick();
+    }
   }
   resent += pump_persist();
+  expire_leases();
+  reap_doomed();
   return resent;
 }
 
@@ -366,11 +518,22 @@ proto::ReliableChannel::Stats ShadowServer::session_stats() const {
 }
 
 void ShadowServer::send(Connection* conn, const proto::Message& m) {
-  if (conn == nullptr || conn->transport == nullptr) return;
+  if (conn == nullptr || conn->transport == nullptr || conn->doomed) return;
   Status st = conn->channel != nullptr
                   ? conn->channel->send(proto::encode_message(m))
                   : conn->transport->send(proto::encode_message(m));
   if (!st.ok()) {
+    if (st.code() == ErrorCode::kResourceExhausted) {
+      // Slow consumer: its outbound queue hit the byte cap. Degrade by
+      // dropping the CONNECTION, never by blocking the shard loop or
+      // queueing without bound — on reconnect the client resyncs (full
+      // transfer fallback), so nothing is corrupted, only re-sent.
+      ++stats_.conns_dropped_overflow;
+      doom_connection(conn, "send queue overflow (" +
+                                std::to_string(conn->transport->queued_bytes()) +
+                                " bytes queued)");
+      return;
+    }
     SHADOW_WARN() << config_.name << ": send to " << conn->client_name
                   << " failed: " << st.to_string();
   }
@@ -403,6 +566,10 @@ void ShadowServer::deliver_to_client(const std::string& client_name,
 }
 
 void ShadowServer::on_message(Connection* conn, Bytes wire) {
+  if (conn->doomed) return;  // dead session awaiting reap
+  // Any decodable traffic renews the lease (heartbeats exist for
+  // connections with nothing else to say).
+  conn->lease_renewed_us = now_micros();
   auto decoded = proto::decode_message(wire);
   if (!decoded.ok()) {
     telemetry::Registry::global()
@@ -424,7 +591,8 @@ void ShadowServer::on_message(Connection* conn, Bytes wire) {
                       std::is_same_v<T, proto::SubmitJob> ||
                       std::is_same_v<T, proto::StatusQuery> ||
                       std::is_same_v<T, proto::JobOutputAck> ||
-                      std::is_same_v<T, proto::AdminQuery>) {
+                      std::is_same_v<T, proto::AdminQuery> ||
+                      std::is_same_v<T, proto::Heartbeat>) {
           handle(conn, m);
         } else {
           SHADOW_WARN() << config_.name << ": unexpected message type "
@@ -449,6 +617,30 @@ ShadowServer::FileState& ShadowServer::file_state(
 }
 
 void ShadowServer::handle(Connection* conn, const proto::Hello& m) {
+  conn->protocol_version = m.protocol_version;
+  // Admission control at the door: a draining server takes no new
+  // sessions, and a full shard sheds rather than degrading everyone.
+  // The transport stays attached — the client backs off (retry_after)
+  // and retries its Hello on the same or a fresh connection. Legacy (v0)
+  // clients predate ServerBusy; they are never shed, only drained.
+  const bool returning = clients_.count(m.client_name) != 0;
+  if (draining_) {
+    ++stats_.busy_rejects;
+    record_event(telemetry::EventKind::kServer,
+                 "hello from " + m.client_name + " refused (draining)");
+    send_busy(conn, 0, "server draining");
+    return;
+  }
+  if (!returning && m.protocol_version >= 1 &&
+      config_.overload.max_connections != 0 &&
+      clients_.size() >= config_.overload.max_connections) {
+    ++stats_.busy_rejects;
+    record_event(telemetry::EventKind::kServer,
+                 "hello from " + m.client_name + " shed (connection cap " +
+                     std::to_string(config_.overload.max_connections) + ")");
+    send_busy(conn, 0, "connection budget exhausted");
+    return;
+  }
   conn->client_name = m.client_name;
   clients_[m.client_name] = conn;
   record_event(telemetry::EventKind::kServer,
@@ -729,6 +921,28 @@ void ShadowServer::handle(Connection* conn, const proto::SubmitJob& m) {
     return;
   }
   ++stats_.jobs_submitted;
+  // Unified overload budget: shed the submit with a retry hint while the
+  // server is past any hard budget (drain, parked persist acks, queued
+  // output bytes). Unlike the queue-full rejection below — which is
+  // final — ServerBusy means "try the same job again in a moment".
+  if (const char* refusal = admission_refusal(); refusal != nullptr) {
+    ++stats_.busy_rejects;
+    record_event(telemetry::EventKind::kJob,
+                 "submit shed (" + std::string(refusal) + ") from " +
+                     conn->client_name);
+    if (conn->protocol_version >= 1) {
+      send_busy(conn, m.client_job_token, refusal);
+    } else {
+      // Legacy clients understand only SubmitReply; refuse the old way.
+      proto::SubmitReply reject;
+      reject.client_job_token = m.client_job_token;
+      reject.job_id = 0;
+      reject.accepted = false;
+      reject.reason = refusal;
+      send(conn, reject);
+    }
+    return;
+  }
   // Admission control: a saturated batch queue refuses new work rather
   // than letting it pile up without bound (§5.2's overload concern).
   if (config_.max_queued_jobs != 0 &&
@@ -1510,6 +1724,19 @@ void ShadowServer::sync_telemetry() const {
   r.counter(p + "server.recovered_records").store(stats_.recovered_records);
   r.counter(p + "server.requeued_jobs").store(stats_.requeued_jobs);
   r.counter(p + "server.retry_capped_jobs").store(stats_.retry_capped_jobs);
+
+  // Overload control & leases (docs/OPERATIONS.md): how much work the
+  // server is refusing, and why.
+  r.counter(p + "overload.busy_rejects").store(stats_.busy_rejects);
+  r.counter(p + "overload.conns_dropped")
+      .store(stats_.conns_dropped_overflow);
+  r.counter(p + "overload.drain_notices").store(stats_.drain_notices);
+  r.counter(p + "lease.expired").store(stats_.leases_expired);
+  r.counter(p + "lease.heartbeats").store(stats_.heartbeats_received);
+  r.gauge(p + "overload.queued_bytes")
+      .set(static_cast<double>(total_queued_bytes()));
+  r.gauge(p + "overload.draining").set(draining_ ? 1.0 : 0.0);
+  r.gauge(p + "lease.usec").set(static_cast<double>(config_.lease_usec));
 
   r.gauge(p + "server.connections")
       .set(static_cast<double>(connections_.size()));

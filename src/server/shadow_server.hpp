@@ -63,6 +63,13 @@ struct ServerConfig {
   /// Load-average-based deferral (§5.2 / §3 adaptability). Disabled by
   /// default (high_water <= 0).
   LoadMonitorConfig load;
+  /// Hard admission budgets answered with ServerBusy + retry_after_usec
+  /// (overload control; all budgets default off).
+  OverloadConfig overload;
+  /// Session lease: a connection whose lease has not been renewed (by any
+  /// traffic or an explicit Heartbeat) for this long is expired and its
+  /// per-client state reclaimed. 0 = leases disabled.
+  u64 lease_usec = 0;
   /// Run every client connection over the reliable session layer
   /// (sequence numbers + CRC frames + ack/retransmit). Both ends must
   /// agree (ShadowEnvironment::reliable_session).
@@ -107,6 +114,11 @@ struct ServerStats {
   u64 recovered_records = 0;  // journal records replayed at startup
   u64 requeued_jobs = 0;      // orphaned kRunning jobs put back in queue
   u64 retry_capped_jobs = 0;  // orphans failed after too many retries
+  u64 busy_rejects = 0;          // Hellos/submits shed with ServerBusy
+  u64 conns_dropped_overflow = 0;  // connections dropped at the byte cap
+  u64 leases_expired = 0;        // sessions reclaimed by lease expiry
+  u64 heartbeats_received = 0;   // explicit lease renewals
+  u64 drain_notices = 0;         // ServerBusy(draining) sent at drain
 };
 
 class ShadowServer {
@@ -167,7 +179,33 @@ class ShadowServer {
 
   /// One retransmit round on every reliable session (no-op without
   /// config.reliable_session). Returns the number of frames resent.
+  /// Also reaps doomed connections and expires stale leases.
   std::size_t tick();
+
+  // ---- overload control & graceful drain -----------------------------
+
+  /// Expire every connection whose lease ran out (config.lease_usec > 0),
+  /// reclaiming its per-client state; clients renew by any traffic or an
+  /// explicit Heartbeat. Safe from event-loop idle hooks — never call
+  /// from inside a message handler. Returns the number expired.
+  std::size_t expire_leases();
+
+  /// Destroy connections doomed by a send-queue overflow or lease expiry
+  /// (dooming inside a handler only marks; this reclaims). Returns the
+  /// number reaped.
+  std::size_t reap_doomed();
+
+  /// Enter drain: refuse new Hellos and submits (ServerBusy with
+  /// draining=true), notify connected v1 clients once, and flush the open
+  /// group-commit window so parked acks resolve. Idempotent.
+  void begin_drain();
+  bool draining() const { return draining_; }
+  /// True once every journaled record has been fsynced and its deferred
+  /// ack released — the point at which exiting loses nothing.
+  bool drain_complete() const;
+
+  /// Sum of all connections' queued outbound bytes (overload budget).
+  std::size_t total_queued_bytes() const;
 
   /// Reliable-session stats summed over all connections (diagnostics).
   proto::ReliableChannel::Stats session_stats() const;
@@ -226,6 +264,14 @@ class ShadowServer {
     /// Present iff config.reliable_session.
     std::unique_ptr<proto::ReliableChannel> channel;
     std::string client_name;  // empty until Hello
+    /// From the client's Hello; 0 (legacy) clients never receive
+    /// ServerBusy or Heartbeat frames they would not understand.
+    u32 protocol_version = 0;
+    /// Last traffic/Heartbeat, sim or steady micros (lease bookkeeping).
+    u64 lease_renewed_us = 0;
+    /// Marked dead mid-dispatch (queue overflow, expired lease); ignored
+    /// by every path and reclaimed by reap_doomed() once off the stack.
+    bool doomed = false;
   };
 
   /// Per-file server-side knowledge.
@@ -248,6 +294,7 @@ class ShadowServer {
   void handle(Connection* conn, const proto::StatusQuery& m);
   void handle(Connection* conn, const proto::JobOutputAck& m);
   void handle(Connection* conn, const proto::AdminQuery& m);
+  void handle(Connection* conn, const proto::Heartbeat& m);
 
   void send_to(const std::string& client_name, const proto::Message& m);
   void send(Connection* conn, const proto::Message& m);
@@ -273,6 +320,19 @@ class ShadowServer {
 
   /// Postpone work while overloaded; retries are self-scheduled.
   bool load_says_wait();
+
+  /// Current sim or steady-clock time for lease bookkeeping.
+  u64 now_micros() const;
+  /// Mark a connection dead without touching the connection list (safe
+  /// mid-dispatch); the transport is asked to close so event loops reap
+  /// it, and reap_doomed() reclaims the rest.
+  void doom_connection(Connection* conn, const std::string& why);
+  /// Budget violated by accepting more work right now, or nullptr.
+  const char* admission_refusal() const;
+  /// ServerBusy with the configured retry-after (v1 clients only — the
+  /// caller keeps the legacy fallback for protocol_version 0 peers).
+  void send_busy(Connection* conn, u64 client_job_token,
+                 const std::string& reason);
 
   /// Reliable-session desync recovery: re-arm pulls that were in flight
   /// and re-deliver outputs the client never acknowledged.
@@ -329,6 +389,7 @@ class ShadowServer {
   u64 persist_window_start_us_ = 0;       // steady-clock stamp at open
   LoadMonitor load_monitor_;
   bool load_retry_scheduled_ = false;
+  bool draining_ = false;  // refusing new work; exiting soon
   cache::ShadowCache cache_;
   naming::DomainMap domains_;
   job::JobQueue queue_;

@@ -37,6 +37,11 @@ void accumulate(ServerStats& total, const ServerStats& s) {
   total.recovered_records += s.recovered_records;
   total.requeued_jobs += s.requeued_jobs;
   total.retry_capped_jobs += s.retry_capped_jobs;
+  total.busy_rejects += s.busy_rejects;
+  total.conns_dropped_overflow += s.conns_dropped_overflow;
+  total.leases_expired += s.leases_expired;
+  total.heartbeats_received += s.heartbeats_received;
+  total.drain_notices += s.drain_notices;
 }
 }  // namespace
 
@@ -161,6 +166,36 @@ std::size_t ShardedServer::tick() {
   return total;
 }
 
+// ---- overload control & graceful drain ----
+
+void ShardedServer::begin_drain() {
+  if (draining_.exchange(true)) return;
+  on_every_shard([this](std::size_t i) { shards_[i]->begin_drain(); });
+}
+
+bool ShardedServer::drain_complete() {
+  std::vector<char> done(shards_.size(), 0);
+  on_every_shard([this, &done](std::size_t i) {
+    // drain() collects finished pipelined batches (releasing their acks)
+    // before the completeness check — all on shard i's own thread.
+    (void)shards_[i]->pump_persist();
+    done[i] = shards_[i]->drain_complete() ? 1 : 0;
+  });
+  for (const char d : done) {
+    if (d == 0) return false;
+  }
+  return true;
+}
+
+std::size_t ShardedServer::expire_leases() {
+  std::size_t expired = 0;
+  for (auto& shard : shards_) {
+    expired += shard->expire_leases();
+    shard->reap_doomed();
+  }
+  return expired;
+}
+
 // ---- threaded mode ----
 
 void ShardedServer::start_threads() {
@@ -181,6 +216,11 @@ void ShardedServer::start_threads() {
     // default on an otherwise idle shard.
     loop->set_on_idle([this, i, raw = loop.get()] {
       (void)shards_[i]->pump_persist();
+      // Lease expiry and doomed-connection reaping run here — never from
+      // inside a handler — so a reclaimed Connection can't be on the
+      // loop's dispatch stack.
+      (void)shards_[i]->expire_leases();
+      (void)shards_[i]->reap_doomed();
       const int hint = shards_[i]->persist_poll_hint_ms();
       if (hint > 0) raw->set_poll_timeout_hint(hint);
     });
@@ -240,6 +280,20 @@ std::size_t ShardedServer::poll_lobby() {
       continue;
     }
     if (const auto* hello = std::get_if<proto::Hello>(&decoded.value())) {
+      if (draining_.load()) {
+        // Drain refuses at the lobby: the socket never reaches a shard
+        // loop. v1 clients get the retry hint; v0 just see the close.
+        if (hello->protocol_version >= 1) {
+          proto::ServerBusy busy;
+          busy.retry_after_usec = base_.overload.retry_after_usec;
+          busy.draining = true;
+          busy.reason = "server draining";
+          (void)conn.transport->send(proto::encode_message(busy));
+        }
+        it = lobby_.erase(it);
+        ++handled;
+        continue;
+      }
       const std::size_t s = route_hello(*hello);
       // Push every buffered frame (Hello included) back onto the front of
       // the receive buffer — reverse order restores arrival order — so the
@@ -362,6 +416,12 @@ void ShardedServer::sync_telemetry() {
   r.counter("server.recovered_records").store(total.recovered_records);
   r.counter("server.requeued_jobs").store(total.requeued_jobs);
   r.counter("server.retry_capped_jobs").store(total.retry_capped_jobs);
+  r.counter("overload.busy_rejects").store(total.busy_rejects);
+  r.counter("overload.conns_dropped").store(total.conns_dropped_overflow);
+  r.counter("overload.drain_notices").store(total.drain_notices);
+  r.counter("lease.expired").store(total.leases_expired);
+  r.counter("lease.heartbeats").store(total.heartbeats_received);
+  r.gauge("overload.draining").set(draining_ ? 1.0 : 0.0);
 
   r.gauge("shards.count").set(static_cast<double>(shards_.size()));
   std::size_t connections = lobby_.size();

@@ -115,6 +115,23 @@ class ShardedServer {
   /// shadowtop has always shown, plus shards.count / shards.connections.
   void sync_telemetry();
 
+  // ---- overload control & graceful drain ----
+
+  /// Enter drain on every shard (on its own thread when threaded): new
+  /// Hellos — lobby included — and submits are refused with
+  /// ServerBusy(draining), connected clients are notified once, and the
+  /// open group-commit windows are sealed. Idempotent.
+  void begin_drain();
+  bool draining() const { return draining_; }
+  /// True once every shard's journaled records have fsynced and released
+  /// their parked acks (checked on the shard threads when threaded).
+  bool drain_complete();
+
+  /// Lease sweep + doomed-connection reap on every shard (inline mode /
+  /// tests; threaded shards run this from their loops' idle hooks).
+  /// Returns the number of leases expired.
+  std::size_t expire_leases();
+
  private:
   struct LobbyConn {
     std::unique_ptr<net::TcpTransport> transport;
@@ -137,6 +154,7 @@ class ShardedServer {
   ServerConfig base_;
   ShardRouter router_;
   sim::Simulator* sim_;
+  std::atomic<bool> draining_{false};  // set by begin_drain (any thread)
   std::vector<std::unique_ptr<ShadowServer>> shards_;
   std::vector<std::unique_ptr<net::EventLoop>> loops_;  // threaded mode
   std::vector<std::thread> threads_;

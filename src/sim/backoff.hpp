@@ -1,10 +1,18 @@
 // Exponential backoff schedule for retry timers driven by the simulator
 // (or by any deterministic tick source). Doubles up to a cap; reset() on
-// forward progress. Pure arithmetic — no clock access — so schedules are
-// reproducible.
+// forward progress. Pure arithmetic plus an OPTIONAL seeded jitter stream
+// — no clock access — so schedules are reproducible: same seed, same
+// sequence of delays.
+//
+// Jitter exists for the thundering-herd case: when a restarted or
+// recovering server is shared by many clients, identical deterministic
+// backoff schedules would synchronize every retry into one burst. A
+// per-client seed decorrelates them while keeping each client's schedule
+// bit-reproducible (docs/OPERATIONS.md).
 #pragma once
 
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace shadow::sim {
 
@@ -12,14 +20,30 @@ class Backoff {
  public:
   Backoff(SimTime initial, SimTime cap) : initial_(initial), cap_(cap) {}
 
-  /// Delay to wait before the next retry; doubles on each call.
-  SimTime next() {
-    const SimTime current = current_;
-    current_ = current_ >= cap_ / 2 ? cap_ : current_ * 2;
-    return current;
+  /// Spread each next() uniformly over [base*(1-fraction),
+  /// base*(1+fraction)], drawn from a stream seeded with `seed`.
+  /// fraction is clamped to [0, 1]; 0 disables jitter again.
+  void set_jitter(double fraction, u64 seed) {
+    jitter_ = fraction < 0 ? 0 : (fraction > 1 ? 1 : fraction);
+    rng_.reseed(seed);
   }
 
-  /// Delay the next call to next() will return, without advancing.
+  /// Delay to wait before the next retry; the base doubles on each call.
+  SimTime next() {
+    const SimTime base = current_;
+    current_ = current_ >= cap_ / 2 ? cap_ : current_ * 2;
+    if (jitter_ <= 0 || base == 0) return base;
+    const SimTime span = static_cast<SimTime>(
+        static_cast<double>(base) * jitter_);
+    if (span == 0) return base;
+    // Uniform in [base - span, base + span]; never returns 0 so a
+    // scheduled retry always lands strictly in the future.
+    const SimTime low = base > span ? base - span : 1;
+    return low + rng_.below(2 * span + 1);
+  }
+
+  /// Base delay the next call to next() will use (before jitter),
+  /// without advancing.
   SimTime peek() const { return current_; }
 
   void reset() { current_ = initial_; }
@@ -28,6 +52,8 @@ class Backoff {
   SimTime initial_;
   SimTime cap_;
   SimTime current_ = initial_;
+  double jitter_ = 0.0;
+  Rng rng_{0};
 };
 
 }  // namespace shadow::sim

@@ -18,10 +18,23 @@
 // default) keeps the classic fsync-per-record path byte-for-byte.
 // --commit-batch-records / --commit-batch-bytes seal a batch early;
 // --commit-pipeline overlaps the fsync with framing of the next batch.
+//
+// Overload control (docs/OPERATIONS.md): --lease-usec expires sessions
+// whose clients stopped talking; --max-connections / --max-conn-bytes /
+// --max-queued-bytes / --max-parked-acks / --max-active-jobs cap the
+// work the daemon will accept before answering ServerBusy with
+// --retry-after-usec. SIGTERM
+// (or SIGINT) begins a graceful drain: stop admitting, tell connected
+// clients, flush every open group-commit window, then exit — or give up
+// after --drain-deadline microseconds. A second signal exits at once.
 #include <unistd.h>
 
+#include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -38,16 +51,56 @@ using namespace shadow;
 
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
-void handle_signal(int) { g_stop = 1; }
+void handle_signal(int) { g_stop = g_stop + 1; }
+
+u64 steady_micros() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Strict numeric flag parsing: the whole value must be a base-10
+/// integer. atoi-style prefix parsing let typos like `--port 78x88`
+/// silently bind the wrong port; a missing value used to be silently
+/// ignored, leaving the default in place.
+bool parse_u64(const char* flag, const char* v, unsigned long long* out) {
+  if (v == nullptr) {
+    std::fprintf(stderr, "shadowd: %s requires a value\n", flag);
+    return false;
+  }
+  if (*v == '\0') {
+    std::fprintf(stderr, "shadowd: %s requires a numeric value\n", flag);
+    return false;
+  }
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      std::fprintf(stderr, "shadowd: bad value for %s: '%s'\n", flag, v);
+      return false;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (errno != 0 || *end != '\0') {
+    std::fprintf(stderr, "shadowd: value for %s out of range: '%s'\n", flag,
+                 v);
+    return false;
+  }
+  *out = n;
+  return true;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
   u16 port = 7788;
   bool once = false;
   std::size_t threads = 1;
+  u64 drain_deadline_us = 5'000'000;
   std::string state_path;
   std::string journal_dir;
   persist::GroupCommitConfig group;
+  bool commit_flags = false;
   server::ServerConfig config;
   config.name = "supercomputer";
 
@@ -56,88 +109,139 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
+    auto missing = [](const char* flag) {
+      std::fprintf(stderr, "shadowd: %s requires a value\n", flag);
+    };
     if (arg == "--port") {
-      if (const char* v = next()) port = static_cast<u16>(std::atoi(v));
+      unsigned long long n = 0;
+      if (!parse_u64("--port", next(), &n)) return 2;
+      if (n > 65535) {
+        std::fprintf(stderr, "shadowd: --port must be 0..65535\n");
+        return 2;
+      }
+      port = static_cast<u16>(n);
     } else if (arg == "--name") {
-      if (const char* v = next()) config.name = v;
+      const char* v = next();
+      if (v == nullptr) { missing("--name"); return 2; }
+      config.name = v;
     } else if (arg == "--cache-budget") {
-      if (const char* v = next()) config.cache_budget = std::strtoull(v, nullptr, 10);
+      unsigned long long n = 0;
+      if (!parse_u64("--cache-budget", next(), &n)) return 2;
+      config.cache_budget = static_cast<std::size_t>(n);
     } else if (arg == "--eviction") {
       const char* v = next();
-      if (v != nullptr) {
-        if (std::strcmp(v, "lru") == 0) {
-          config.eviction = cache::EvictionPolicy::kLru;
-        } else if (std::strcmp(v, "fifo") == 0) {
-          config.eviction = cache::EvictionPolicy::kFifo;
-        } else if (std::strcmp(v, "largest-first") == 0) {
-          config.eviction = cache::EvictionPolicy::kLargestFirst;
-        } else {
-          std::fprintf(stderr, "unknown eviction policy: %s\n", v);
-          return 2;
-        }
+      if (v == nullptr) { missing("--eviction"); return 2; }
+      if (std::strcmp(v, "lru") == 0) {
+        config.eviction = cache::EvictionPolicy::kLru;
+      } else if (std::strcmp(v, "fifo") == 0) {
+        config.eviction = cache::EvictionPolicy::kFifo;
+      } else if (std::strcmp(v, "largest-first") == 0) {
+        config.eviction = cache::EvictionPolicy::kLargestFirst;
+      } else {
+        std::fprintf(stderr, "shadowd: unknown eviction policy: %s\n", v);
+        return 2;
       }
     } else if (arg == "--reverse-shadow") {
       config.reverse_shadow = true;
     } else if (arg == "--codec") {
       const char* v = next();
-      if (v != nullptr) {
-        if (std::strcmp(v, "stored") == 0) {
-          config.output_codec = compress::Codec::kStored;
-        } else if (std::strcmp(v, "rle") == 0) {
-          config.output_codec = compress::Codec::kRle;
-        } else if (std::strcmp(v, "lz77") == 0) {
-          config.output_codec = compress::Codec::kLz77;
-        } else {
-          std::fprintf(stderr, "unknown codec: %s\n", v);
-          return 2;
-        }
+      if (v == nullptr) { missing("--codec"); return 2; }
+      if (std::strcmp(v, "stored") == 0) {
+        config.output_codec = compress::Codec::kStored;
+      } else if (std::strcmp(v, "rle") == 0) {
+        config.output_codec = compress::Codec::kRle;
+      } else if (std::strcmp(v, "lz77") == 0) {
+        config.output_codec = compress::Codec::kLz77;
+      } else {
+        std::fprintf(stderr, "shadowd: unknown codec: %s\n", v);
+        return 2;
       }
     } else if (arg == "--threads") {
-      if (const char* v = next()) {
-        const long n = std::atol(v);
-        if (n < 1 || n > 64) {
-          std::fprintf(stderr, "shadowd: --threads must be 1..64\n");
-          return 2;
-        }
-        threads = static_cast<std::size_t>(n);
+      unsigned long long n = 0;
+      if (!parse_u64("--threads", next(), &n)) return 2;
+      if (n < 1 || n > 64) {
+        std::fprintf(stderr, "shadowd: --threads must be 1..64\n");
+        return 2;
       }
+      threads = static_cast<std::size_t>(n);
+    } else if (arg == "--lease-usec") {
+      unsigned long long n = 0;
+      if (!parse_u64("--lease-usec", next(), &n)) return 2;
+      config.lease_usec = n;
+    } else if (arg == "--max-connections") {
+      unsigned long long n = 0;
+      if (!parse_u64("--max-connections", next(), &n)) return 2;
+      config.overload.max_connections = static_cast<std::size_t>(n);
+    } else if (arg == "--max-conn-bytes") {
+      unsigned long long n = 0;
+      if (!parse_u64("--max-conn-bytes", next(), &n)) return 2;
+      config.overload.max_conn_queued_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--max-queued-bytes") {
+      unsigned long long n = 0;
+      if (!parse_u64("--max-queued-bytes", next(), &n)) return 2;
+      config.overload.max_total_queued_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--max-parked-acks") {
+      unsigned long long n = 0;
+      if (!parse_u64("--max-parked-acks", next(), &n)) return 2;
+      config.overload.max_parked_acks = static_cast<std::size_t>(n);
+    } else if (arg == "--max-active-jobs") {
+      unsigned long long n = 0;
+      if (!parse_u64("--max-active-jobs", next(), &n)) return 2;
+      config.overload.max_active_jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--retry-after-usec") {
+      unsigned long long n = 0;
+      if (!parse_u64("--retry-after-usec", next(), &n)) return 2;
+      config.overload.retry_after_usec = n;
+    } else if (arg == "--drain-deadline") {
+      unsigned long long n = 0;
+      if (!parse_u64("--drain-deadline", next(), &n)) return 2;
+      drain_deadline_us = n;
     } else if (arg == "--state") {
-      if (const char* v = next()) state_path = v;
+      const char* v = next();
+      if (v == nullptr) { missing("--state"); return 2; }
+      state_path = v;
     } else if (arg == "--journal") {
-      if (const char* v = next()) journal_dir = v;
+      const char* v = next();
+      if (v == nullptr) { missing("--journal"); return 2; }
+      journal_dir = v;
     } else if (arg == "--commit-window") {
-      if (const char* v = next()) group.window_us = std::strtoull(v, nullptr, 10);
+      unsigned long long n = 0;
+      if (!parse_u64("--commit-window", next(), &n)) return 2;
+      group.window_us = n;
+      commit_flags = true;
     } else if (arg == "--commit-batch-records") {
-      if (const char* v = next()) {
-        group.max_batch_records = std::strtoull(v, nullptr, 10);
-        if (group.max_batch_records == 0) {
-          std::fprintf(stderr, "shadowd: --commit-batch-records must be >= 1\n");
-          return 2;
-        }
+      unsigned long long n = 0;
+      if (!parse_u64("--commit-batch-records", next(), &n)) return 2;
+      if (n == 0) {
+        std::fprintf(stderr, "shadowd: --commit-batch-records must be >= 1\n");
+        return 2;
       }
+      group.max_batch_records = n;
+      commit_flags = true;
     } else if (arg == "--commit-batch-bytes") {
-      if (const char* v = next()) {
-        group.max_batch_bytes = std::strtoull(v, nullptr, 10);
-        if (group.max_batch_bytes == 0) {
-          std::fprintf(stderr, "shadowd: --commit-batch-bytes must be >= 1\n");
-          return 2;
-        }
+      unsigned long long n = 0;
+      if (!parse_u64("--commit-batch-bytes", next(), &n)) return 2;
+      if (n == 0) {
+        std::fprintf(stderr, "shadowd: --commit-batch-bytes must be >= 1\n");
+        return 2;
       }
+      group.max_batch_bytes = n;
+      commit_flags = true;
     } else if (arg == "--commit-pipeline") {
       group.pipeline = true;
+      commit_flags = true;
     } else if (arg == "--verbose") {
       Logger::instance().set_level(LogLevel::kDebug);
     } else if (arg == "--log-level") {
       const char* v = next();
-      if (v != nullptr) {
-        auto level = log_level_from_name(v);
-        if (!level.ok()) {
-          std::fprintf(stderr, "shadowd: %s\n",
-                       level.error().to_string().c_str());
-          return 2;
-        }
-        Logger::instance().set_level(level.value());
+      if (v == nullptr) { missing("--log-level"); return 2; }
+      auto level = log_level_from_name(v);
+      if (!level.ok()) {
+        std::fprintf(stderr, "shadowd: %s\n",
+                     level.error().to_string().c_str());
+        return 2;
       }
+      Logger::instance().set_level(level.value());
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--help") {
@@ -146,17 +250,30 @@ int main(int argc, char** argv) {
                   "[--reverse-shadow] [--codec CODEC] [--state FILE] "
                   "[--journal DIR] [--commit-window USEC] "
                   "[--commit-batch-records N] [--commit-batch-bytes B] "
-                  "[--commit-pipeline] [--once] [--verbose] "
-                  "[--log-level LEVEL]\n");
+                  "[--commit-pipeline] [--lease-usec USEC] "
+                  "[--max-connections N] [--max-conn-bytes B] "
+                  "[--max-queued-bytes B] [--max-parked-acks N] "
+                  "[--max-active-jobs N] "
+                  "[--retry-after-usec USEC] [--drain-deadline USEC] "
+                  "[--once] [--verbose] [--log-level LEVEL]\n");
       return 0;
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::fprintf(stderr, "shadowd: unknown argument: %s\n", arg.c_str());
       return 2;
     }
   }
 
+  if (commit_flags && journal_dir.empty()) {
+    std::fprintf(stderr,
+                 "shadowd: --commit-* options require --journal DIR\n");
+    return 2;
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // Drain notices go to every live connection, some of which are already
+  // half-closed; a write there must fail with EPIPE, not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
 
   if (threads > 1) {
     // Thread-per-core mode: N shard event loops, the main thread accepts
@@ -217,6 +334,35 @@ int main(int argc, char** argv) {
       if (once && had_client && sharded.live_connections() == 0) break;
       if (moved == 0) ::usleep(2000);
     }
+
+    if (g_stop != 0) {
+      // Graceful drain: tell every connected v1 client, flush the open
+      // group-commit windows, and keep answering late dialers with
+      // ServerBusy(draining) until the deadline. A second signal (or
+      // the deadline) forces the exit; stop_threads() below still syncs
+      // whatever the journal already holds.
+      sharded.begin_drain();
+      std::printf("shadowd: draining (deadline %llu us)\n",
+                  static_cast<unsigned long long>(drain_deadline_us));
+      std::fflush(stdout);
+      const u64 t0 = steady_micros();
+      bool drained = false;
+      while (g_stop < 2 && steady_micros() - t0 < drain_deadline_us) {
+        if (auto accepted = listener.accept(); accepted.ok()) {
+          sharded.adopt_tcp(std::move(accepted).take());
+        }
+        sharded.poll_lobby();
+        if (sharded.drain_complete()) { drained = true; break; }
+        ::usleep(2000);
+      }
+      if (drained || sharded.drain_complete()) {
+        std::printf("shadowd: drained cleanly in %llu us\n",
+                    static_cast<unsigned long long>(steady_micros() - t0));
+      } else {
+        std::fprintf(stderr, "shadowd: drain deadline passed with persist "
+                     "work still pending; exiting anyway\n");
+      }
+    }
     sharded.stop_threads();
 
     const auto stats = sharded.aggregate_stats();
@@ -274,6 +420,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::unique_ptr<net::TcpTransport>> connections;
   bool had_client = false;
+  u64 last_lease_sweep = steady_micros();
   while (g_stop == 0) {
     if (auto accepted = listener.accept(); accepted.ok()) {
       std::printf("shadowd: client connected\n");
@@ -289,8 +436,45 @@ int main(int argc, char** argv) {
       if (!conn->closed()) all_closed = false;
     }
     moved += server.pump_persist();
+    // The classic path has no event-loop idle hook, so lease expiry and
+    // doomed-connection reaping run on a coarse timer here instead.
+    if (const u64 now = steady_micros(); now - last_lease_sweep >= 50'000) {
+      last_lease_sweep = now;
+      server.expire_leases();
+      server.reap_doomed();
+    }
     if (once && had_client && all_closed) break;
     if (moved == 0) ::usleep(2000);
+  }
+
+  if (g_stop != 0) {
+    // Graceful drain, single-threaded flavor: ServerBusy(draining) to
+    // every v1 session, then keep polling so the notices flush and the
+    // journal's open commit window reaches the disk.
+    server.begin_drain();
+    std::printf("shadowd: draining (deadline %llu us)\n",
+                static_cast<unsigned long long>(drain_deadline_us));
+    std::fflush(stdout);
+    const u64 t0 = steady_micros();
+    bool drained = false;
+    while (g_stop < 2 && steady_micros() - t0 < drain_deadline_us) {
+      std::size_t moved = 0;
+      for (auto& conn : connections) moved += conn->poll();
+      moved += server.pump_persist();
+      server.reap_doomed();
+      if (server.drain_complete() && server.total_queued_bytes() == 0) {
+        drained = true;
+        break;
+      }
+      if (moved == 0) ::usleep(1000);
+    }
+    if (drained) {
+      std::printf("shadowd: drained cleanly in %llu us\n",
+                  static_cast<unsigned long long>(steady_micros() - t0));
+    } else {
+      std::fprintf(stderr, "shadowd: drain deadline passed with work "
+                   "still pending; exiting anyway\n");
+    }
   }
 
   if (!state_path.empty()) {

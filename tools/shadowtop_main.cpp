@@ -9,8 +9,9 @@
 // machine-readable JSON instead of the text view. --selftest runs the
 // admin-protocol conformance checks against the live daemon (version
 // echo, bad-version rejection, counter monotonicity, contiguous event
-// sequence numbers, histogram consistency, section masking) and exits
-// non-zero on the first violation.
+// sequence numbers, histogram consistency, section masking, presence of
+// the overload.*/lease.* overload-control families) and exits non-zero
+// on the first violation.
 #include <unistd.h>
 
 #include <csignal>
@@ -166,6 +167,61 @@ int run_selftest(net::TcpTransport& transport, int timeout_ms) {
   }
   if (snap.counters.empty()) {
     return fail("sections", "counters requested but none arrived");
+  }
+
+  // 7. The overload-control families exist and the prefix filter honours
+  // them: a serving daemon must expose its refusal/lease accounting
+  // (docs/OPERATIONS.md) whether standalone or thread-per-core.
+  proto::AdminQuery overload = query;
+  overload.prefix = "overload.";
+  auto shed = query_once(transport, overload, timeout_ms);
+  if (!shed.ok()) return fail("overload", shed.error().to_string());
+  if (!shed.value().ok) return fail("overload", shed.value().error);
+  {
+    const auto& s = shed.value().snapshot;
+    for (const auto& c : s.counters) {
+      if (c.name.rfind("overload.", 0) != 0) {
+        return fail("overload", "prefix filter leaked " + c.name);
+      }
+    }
+    auto has_counter = [&](const char* name) {
+      for (const auto& c : s.counters) {
+        if (c.name == name) return true;
+      }
+      return false;
+    };
+    for (const char* name : {"overload.busy_rejects", "overload.conns_dropped",
+                             "overload.drain_notices"}) {
+      if (!has_counter(name)) {
+        return fail("overload", std::string(name) + " missing from snapshot");
+      }
+    }
+    bool draining_seen = false;
+    for (const auto& g : s.gauges) {
+      if (g.name != "overload.draining") continue;
+      draining_seen = true;
+      if (g.value != 0.0) {
+        return fail("overload", "daemon claims to be draining mid-selftest");
+      }
+    }
+    if (!draining_seen) {
+      return fail("overload", "overload.draining gauge missing");
+    }
+  }
+  proto::AdminQuery lease = query;
+  lease.prefix = "lease.";
+  auto leased = query_once(transport, lease, timeout_ms);
+  if (!leased.ok()) return fail("lease", leased.error().to_string());
+  if (!leased.value().ok) return fail("lease", leased.value().error);
+  {
+    bool expired = false, beats = false;
+    for (const auto& c : leased.value().snapshot.counters) {
+      expired |= c.name == "lease.expired";
+      beats |= c.name == "lease.heartbeats";
+    }
+    if (!expired || !beats) {
+      return fail("lease", "lease.expired / lease.heartbeats missing");
+    }
   }
 
   std::printf("shadowtop: selftest passed (%zu counters, %zu gauges, "
