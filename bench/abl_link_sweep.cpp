@@ -14,35 +14,20 @@
 using namespace shadow;
 
 int main() {
-  struct Line {
-    const char* name;
-    double bps;
-    double congestion;
-  };
-  const Line lines[] = {
-      {"1200 baud dialup", 1200, 1.0},
-      {"9600 baud Cypress", 9600, 1.0},
-      {"56k ARPANET trunk", 56'000, 2.5},
-      {"56k dedicated", 56'000, 1.0},
-      {"256k fractional T1", 256'000, 1.0},
-      {"1.5M T1", 1'544'000, 1.0},
-      {"10M Ethernet", 10'000'000, 1.0},
-  };
-
+  // The line roster is the shared preset table in src/sim/link.cpp — the
+  // same names the scenario specs (docs/SCENARIOS.md) resolve, so this
+  // sweep and a population-scale run always agree on what a "modem-56k"
+  // is.
   std::printf("=== Ablation: speedup vs line speed (100k file, 5%% edit) "
               "===\n");
   std::printf("workstation diff throughput fixed at 100 KB/s "
               "(1987-class CPU)\n\n");
   std::printf("%-20s %12s %12s %10s\n", "line", "F-time(s)", "S-time(s)",
               "speedup");
-  for (const auto& line : lines) {
-    sim::LinkConfig config;
-    config.name = line.name;
-    config.bits_per_second = line.bps;
-    config.latency = 50'000;
-    config.congestion_factor = line.congestion;
+  for (const auto& preset : sim::link_presets()) {
+    const sim::LinkConfig config = preset.make();
     const auto point = bench::run_point(config, 100'000, 5, 7);
-    std::printf("%-20s %12.1f %12.1f %9.1fx\n", line.name, point.f_time,
+    std::printf("%-20s %12.1f %12.1f %9.1fx\n", preset.name, point.f_time,
                 point.s_time, point.speedup());
   }
   std::printf("\nexpected: the speedup is largest on the slowest lines "

@@ -1,0 +1,181 @@
+// Population-scale sweep: the scenario harness driven programmatically
+// over population size x workload mix, exporting p50/p99 submit latency,
+// acks/sec, bytes saved and shed rate per configuration.
+//
+// Three mixes (matching the canned examples/*.scn library):
+//   flash  — everyone submits inside one short window (overload path)
+//   heavy  — continuous edit-submit cycles (steady-state delta traffic)
+//   mixed  — 9600-baud labs + lossy 56k modems + modern WAN share shards
+//
+// Each configuration is ONE deterministic replay (the simulation is a
+// pure function of the spec + seed); google-benchmark is only the export
+// harness (->Iterations(1)), and BENCH_scale.json is written by
+// bench/bench_to_json.sh with provenance stamps. See docs/SCENARIOS.md.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace shadow;
+using scenario::HostClass;
+using scenario::Scenario;
+using scenario::Workload;
+
+Scenario base_scenario(u64 population) {
+  Scenario s;
+  s.seed = 42;
+  s.server.shards = 4;
+  s.server.executor_slots = 16;
+  s.server.cpu_ops_per_second = 50e6;
+  s.server.max_active_jobs = 256;
+  s.server.max_pulls = 256;
+  (void)population;
+  return s;
+}
+
+Scenario flash_mix(u64 population) {
+  Scenario s = base_scenario(population);
+  s.name = "flash-" + std::to_string(population);
+  s.duration = 120 * sim::kMicrosPerSecond;
+  HostClass crowd;
+  crowd.name = "crowd";
+  crowd.quantity = population;
+  crowd.link = "modem-56k";
+  crowd.workload = Workload::kFlashCrowd;
+  crowd.file_size = 20'000;
+  crowd.file_spread = 0.25;
+  crowd.burst = 10 * sim::kMicrosPerSecond;
+  // 1 CPU-second per job: the whole crowd's demand (population seconds of
+  // CPU) collides with shards*executor_slots, so the admission budget
+  // sheds — the overload column of the sweep (cf. examples/flash_crowd.scn).
+  crowd.job_ops = 50'000'000;
+  s.hosts.push_back(crowd);
+  return s;
+}
+
+Scenario heavy_mix(u64 population) {
+  Scenario s = base_scenario(population);
+  s.name = "heavy-" + std::to_string(population);
+  s.duration = 180 * sim::kMicrosPerSecond;
+  HostClass editors;
+  editors.name = "editors";
+  editors.quantity = population;
+  editors.link = "arpanet-56k";
+  editors.workload = Workload::kHeavyEditor;
+  editors.file_size = 40'000;
+  editors.file_spread = 0.2;
+  editors.edit_percent = 3;
+  editors.burst = 30 * sim::kMicrosPerSecond;
+  editors.think = 45 * sim::kMicrosPerSecond;
+  editors.job_ops = 1'000'000;
+  s.hosts.push_back(editors);
+  return s;
+}
+
+Scenario mixed_mix(u64 population) {
+  Scenario s = base_scenario(population);
+  s.name = "mixed-" + std::to_string(population);
+  s.duration = 180 * sim::kMicrosPerSecond;
+  scenario::LinkProfile commuter;
+  (void)scenario::resolve_link(s, "modem-56k", &commuter);
+  commuter.loss = 0.001;
+  commuter.jitter = 40'000;
+  commuter.jitter_p = 0.02;
+  s.links["commuter"] = commuter;
+
+  HostClass labs;  // dial-up-era labs on 9600 baud
+  labs.name = "labs";
+  labs.quantity = population / 4;
+  labs.link = "cypress-9600";
+  labs.workload = Workload::kHeavyEditor;
+  labs.file_size = 20'000;
+  labs.edit_percent = 4;
+  labs.burst = 20 * sim::kMicrosPerSecond;
+  labs.think = 60 * sim::kMicrosPerSecond;
+  s.hosts.push_back(labs);
+
+  HostClass commuters;  // lossy 56k modems
+  commuters.name = "commuters";
+  commuters.quantity = population / 2;
+  commuters.link = "commuter";
+  commuters.workload = Workload::kCasual;
+  commuters.file_size = 30'000;
+  commuters.burst = 30 * sim::kMicrosPerSecond;
+  commuters.think = 90 * sim::kMicrosPerSecond;
+  commuters.submit_p = 0.6;
+  s.hosts.push_back(commuters);
+
+  HostClass campus;  // modern WAN
+  campus.name = "campus";
+  campus.quantity = population - labs.quantity - commuters.quantity;
+  campus.link = "modern-wan";
+  campus.workload = Workload::kHeavyEditor;
+  campus.file_size = 100'000;
+  campus.edit_percent = 2;
+  campus.burst = 20 * sim::kMicrosPerSecond;
+  campus.think = 40 * sim::kMicrosPerSecond;
+  s.hosts.push_back(campus);
+  return s;
+}
+
+void BM_ScenarioScale(benchmark::State& state) {
+  const int mix = static_cast<int>(state.range(0));
+  const u64 population = static_cast<u64>(state.range(1));
+
+  Scenario spec;
+  switch (mix) {
+    case 0: spec = flash_mix(population); break;
+    case 1: spec = heavy_mix(population); break;
+    default: spec = mixed_mix(population); break;
+  }
+
+  scenario::ScenarioReport report;
+  for (auto _ : state) {
+    auto result = scenario::ScenarioRunner(spec).run();
+    if (!result.ok()) {
+      state.SkipWithError(result.error().message.c_str());
+      return;
+    }
+    report = std::move(result).take();
+  }
+
+  state.counters["population"] =
+      benchmark::Counter(static_cast<double>(report.population));
+  state.counters["submitted"] =
+      benchmark::Counter(static_cast<double>(report.submitted));
+  state.counters["completed"] =
+      benchmark::Counter(static_cast<double>(report.completed));
+  state.counters["p50_latency_ms"] = benchmark::Counter(report.p50_ms);
+  state.counters["p99_latency_ms"] = benchmark::Counter(report.p99_ms);
+  state.counters["acks_per_sec"] = benchmark::Counter(report.acks_per_sec);
+  state.counters["payload_bytes"] =
+      benchmark::Counter(static_cast<double>(report.payload_bytes));
+  state.counters["saved_bytes"] =
+      benchmark::Counter(static_cast<double>(report.saved_bytes));
+  state.counters["saved_ratio"] = benchmark::Counter(report.saved_ratio);
+  state.counters["shed_rate"] = benchmark::Counter(report.shed_rate);
+  state.counters["cache_evictions"] =
+      benchmark::Counter(static_cast<double>(report.cache_evictions));
+}
+
+BENCHMARK(BM_ScenarioScale)
+    ->ArgsProduct({{0, 1, 2}, {500, 2000}})
+    ->ArgNames({"mix", "population"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shadow::Logger::instance().set_level(shadow::LogLevel::kError);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,10 @@
 #   BENCH_overload.json — overload-control sweep: goodput + p50/p99
 #                         submit latency vs offered load, shedding
 #                         off vs on (abl_overload; deterministic sim)
+#   BENCH_scale.json    — population-scale scenario sweep: workload mix
+#                         x population, p50/p99 submit latency,
+#                         acks/sec, bytes saved (abl_scale;
+#                         deterministic sim)
 # Future PRs compare against these files to keep a perf trajectory for the
 # Delta::compute hot path and the crash-consistency overhead.
 #
@@ -18,7 +22,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${1:-$ROOT/build-rel}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards abl_overload -j"$(nproc)"
+cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards abl_overload abl_scale -j"$(nproc)"
 
 # Provenance stamp: which commit and build type produced these numbers.
 # A snapshot from a dirty tree is marked so regressions aren't chased
@@ -79,3 +83,11 @@ echo "wrote $ROOT/BENCH_shard.json ($GIT_SHA, $BUILD_TYPE, ${HOST_CORES} cores)"
 stamp_json "$ROOT/BENCH_overload.json"
 
 echo "wrote $ROOT/BENCH_overload.json ($GIT_SHA, $BUILD_TYPE)"
+
+# Same deal: each (mix, population) cell is one exact scenario replay.
+"$BUILD/bench/abl_scale" \
+  --benchmark_format=json \
+  > "$ROOT/BENCH_scale.json"
+stamp_json "$ROOT/BENCH_scale.json"
+
+echo "wrote $ROOT/BENCH_scale.json ($GIT_SHA, $BUILD_TYPE)"

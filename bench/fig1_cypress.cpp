@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   std::printf("paper: curves rise with %% modified and stay below their "
               "F-time line even at 80%%.\n\n");
   bench::print_transfer_figure(
-      "measured:", sim::LinkConfig::cypress_9600(),
+      "measured:",
+      bench::link_arg(argc, argv, sim::LinkConfig::cypress_9600()),
       {100'000, 200'000, 500'000}, {1, 5, 10, 20, 40, 60, 80},
       bench::csv_arg(argc, argv));
   return 0;

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   std::printf("paper: S-time(500k) ~ 1/4 of F-time(500k) at 20%% "
               "modified.\n\n");
   bench::print_transfer_figure(
-      "measured:", sim::LinkConfig::arpanet_56k(),
+      "measured:",
+      bench::link_arg(argc, argv, sim::LinkConfig::arpanet_56k()),
       {100'000, 200'000, 500'000}, {1, 5, 10, 20, 40, 60, 80},
       bench::csv_arg(argc, argv));
   return 0;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,26 @@ inline const char* csv_arg(int argc, char** argv) {
     if (std::string(argv[i]) == "--csv") return argv[i + 1];
   }
   return nullptr;
+}
+
+/// Shared argv handling: "--link NAME" swaps the measured line for any
+/// preset from sim::link_presets() (the same names the scenario specs
+/// use), so a figure can be replayed over a modem-56k or modern-wan line
+/// without editing the bench. Unknown names list the roster and exit(2).
+inline sim::LinkConfig link_arg(int argc, char** argv,
+                                const sim::LinkConfig& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != "--link") continue;
+    sim::LinkConfig config;
+    if (sim::link_preset(argv[i + 1], &config)) return config;
+    std::fprintf(stderr, "unknown link preset '%s'; known:", argv[i + 1]);
+    for (const auto& preset : sim::link_presets()) {
+      std::fprintf(stderr, " %s", preset.name);
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
+  return fallback;
 }
 
 }  // namespace shadow::bench

@@ -104,6 +104,12 @@ void ShadowClient::connect(const std::string& server_name,
     proto::ReliableChannel::Config channel_config;
     channel_config.retransmit_jitter = env_.retransmit_jitter;
     channel_config.jitter_seed = seed;
+    if (env_.retransmit_initial_usec > 0) {
+      channel_config.retransmit_initial = env_.retransmit_initial_usec;
+    }
+    if (env_.retransmit_cap_usec > 0) {
+      channel_config.retransmit_cap = env_.retransmit_cap_usec;
+    }
     raw->channel =
         std::make_unique<proto::ReliableChannel>(transport, channel_config);
     raw->channel->set_receiver(

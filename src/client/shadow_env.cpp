@@ -30,6 +30,9 @@ std::string ShadowEnvironment::to_text() const {
   out += std::string("reliable_session ") +
          (reliable_session ? "on" : "off") + "\n";
   out += "retransmit_jitter " + std::to_string(retransmit_jitter) + "\n";
+  out += "retransmit_initial_usec " + std::to_string(retransmit_initial_usec) +
+         "\n";
+  out += "retransmit_cap_usec " + std::to_string(retransmit_cap_usec) + "\n";
   out += "diff_bytes_per_second " +
          std::to_string(static_cast<long long>(diff_bytes_per_second)) +
          "\n";
@@ -84,6 +87,10 @@ Result<ShadowEnvironment> ShadowEnvironment::from_text(
         return Error{ErrorCode::kInvalidArgument,
                      "retransmit_jitter must be in [0, 1]: " + value};
       }
+    } else if (key == "retransmit_initial_usec") {
+      env.retransmit_initial_usec = std::stoull(value);
+    } else if (key == "retransmit_cap_usec") {
+      env.retransmit_cap_usec = std::stoull(value);
     } else if (key == "diff_bytes_per_second") {
       env.diff_bytes_per_second = std::stod(value);
     } else if (key == "flow") {

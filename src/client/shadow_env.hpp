@@ -58,6 +58,14 @@ struct ShadowEnvironment {
   /// many clients recovering from one server outage (thundering herd);
   /// 0 keeps the historical deterministic schedules.
   double retransmit_jitter = 0.0;
+  /// First retransmit delay / backoff cap for the reliable session's
+  /// ack/retransmit timer, microseconds. 0 keeps the channel defaults
+  /// (200ms / 1.6s), sized for LAN-class links. On slow lines these MUST
+  /// exceed the worst-case frame transmission time plus a round trip, or
+  /// every large frame is resent before its ack can possibly arrive and
+  /// the retransmissions amplify the very congestion that delayed it.
+  u64 retransmit_initial_usec = 0;
+  u64 retransmit_cap_usec = 0;
   /// Workstation throughput for computing differential comparisons, in
   /// bytes of base file per second (simulation only). ~100 KB/s models the
   /// 1987-class workstations of the paper running HM75 diff; the cost is

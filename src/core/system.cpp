@@ -23,8 +23,9 @@ client::ShadowClient& ShadowSystem::add_client(
 }
 
 server::ShadowServer& ShadowSystem::add_server(
-    const server::ServerConfig& config) {
-  auto server_ptr = std::make_unique<server::ShadowServer>(config, &sim_);
+    const server::ServerConfig& config, persist::DurableStore* store) {
+  auto server_ptr =
+      std::make_unique<server::ShadowServer>(config, &sim_, store);
   auto& ref = *server_ptr;
   servers_.emplace(config.name, std::move(server_ptr));
   return ref;
@@ -41,6 +42,36 @@ sim::Link& ShadowSystem::connect(const std::string& client_name,
   // Server side first so its receiver exists before the client's Hello.
   s.attach(pair.b.get());
   c.connect(server_name, pair.a.get());
+  transports_.push_back(std::move(pair.a));
+  transports_.push_back(std::move(pair.b));
+  return link;
+}
+
+sim::Link& ShadowSystem::connect_faulty(const std::string& client_name,
+                                        const std::string& server_name,
+                                        const sim::LinkConfig& link_config,
+                                        const net::FaultPlan& plan) {
+  auto& c = client(client_name);
+  auto& s = server(server_name);
+  links_.push_back(std::make_unique<sim::Link>(&sim_, link_config));
+  sim::Link& link = *links_.back();
+  auto pair = net::make_sim_pair(&link, client_name, server_name);
+  // One decorator per direction with decorrelated seeds, so the two
+  // directions don't drop/delay in lockstep.
+  net::FaultPlan client_plan = plan;
+  net::FaultPlan server_plan = plan;
+  server_plan.seed = plan.seed + 1;
+  fault_transports_.push_back(
+      std::make_unique<net::FaultTransport>(pair.a.get(), client_plan));
+  net::FaultTransport& client_side = *fault_transports_.back();
+  fault_transports_.push_back(
+      std::make_unique<net::FaultTransport>(pair.b.get(), server_plan));
+  net::FaultTransport& server_side = *fault_transports_.back();
+  client_side.set_simulator(&sim_);
+  server_side.set_simulator(&sim_);
+  // Server side first so its receiver exists before the client's Hello.
+  s.attach(&server_side);
+  c.connect(server_name, &client_side);
   transports_.push_back(std::move(pair.a));
   transports_.push_back(std::move(pair.b));
   return link;

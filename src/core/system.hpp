@@ -12,6 +12,7 @@
 
 #include "client/shadow_client.hpp"
 #include "client/shadow_editor.hpp"
+#include "net/fault_transport.hpp"
 #include "net/mux.hpp"
 #include "net/sim_transport.hpp"
 #include "server/shadow_server.hpp"
@@ -35,14 +36,28 @@ class ShadowSystem {
       const std::string& name,
       const client::ShadowEnvironment& env = client::ShadowEnvironment{});
 
-  /// Create a supercomputer site running a ShadowServer.
-  server::ShadowServer& add_server(const server::ServerConfig& config);
+  /// Create a supercomputer site running a ShadowServer. `store`
+  /// (optional, must outlive the system) makes the server journal-backed —
+  /// the scenario harness uses it to model commit windows at scale.
+  server::ShadowServer& add_server(const server::ServerConfig& config,
+                                   persist::DurableStore* store = nullptr);
 
   /// Connect a client to a server over a new simulated link; returns the
   /// link so callers can read its byte counters.
   sim::Link& connect(const std::string& client_name,
                      const std::string& server_name,
                      const sim::LinkConfig& link_config);
+
+  /// connect() with per-direction fault injection (loss / jitter / the
+  /// full FaultPlan): each endpoint is wrapped in a FaultTransport whose
+  /// plan is seeded from `plan.seed` (client direction) and `plan.seed+1`
+  /// (server direction), keeping every schedule reproducible. Lossy plans
+  /// need reliable sessions on both ends (ShadowEnvironment /
+  /// ServerConfig::reliable_session) or the protocol can stall.
+  sim::Link& connect_faulty(const std::string& client_name,
+                            const std::string& server_name,
+                            const sim::LinkConfig& link_config,
+                            const net::FaultPlan& plan);
 
   /// Connect SEVERAL clients to one server over a single shared trunk
   /// (multiplexed channels over one link): the department's one leased
@@ -72,6 +87,7 @@ class ShadowSystem {
   std::map<std::string, std::unique_ptr<server::ShadowServer>> servers_;
   std::vector<std::unique_ptr<sim::Link>> links_;
   std::vector<std::unique_ptr<net::SimTransport>> transports_;
+  std::vector<std::unique_ptr<net::FaultTransport>> fault_transports_;
   std::vector<std::unique_ptr<net::Mux>> muxes_;
 };
 

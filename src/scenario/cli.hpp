@@ -1,0 +1,18 @@
+// The shadowsim command-line front end, as a library function so
+// scenario_test can drive it and assert on exit codes directly
+// (tools/shadowsim_main.cpp is a thin wrapper).
+//
+//   shadowsim SPEC [--json] [--seed N]
+//   shadowsim --selftest [SPEC]
+//
+// Exit codes: 0 success, 1 runtime failure (selftest mismatch), 2 usage
+// or spec parse error (one line on stderr, with the line number).
+#pragma once
+
+#include <cstdio>
+
+namespace shadow::scenario {
+
+int run_shadowsim(int argc, char** argv, std::FILE* out, std::FILE* err);
+
+}  // namespace shadow::scenario

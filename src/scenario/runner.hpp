@@ -1,0 +1,108 @@
+// ScenarioRunner: instantiate a parsed Scenario as one deterministic
+// discrete-event simulation — N ShadowServer shards, a population of
+// thousands of ShadowClients over per-class sim::Link / FaultTransport
+// wiring — drive the declared workloads open-loop, and harvest a curated
+// report (latency percentiles, acks/sec, bytes saved, shed rate, cache
+// behaviour) from the telemetry registry and the servers' stats.
+//
+// Determinism contract: the report is a pure function of (spec, seed).
+// Same spec + same seed → byte-identical to_json() output, which
+// scenario_test pins and `shadowsim --selftest` re-checks at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "util/result.hpp"
+
+namespace shadow::scenario {
+
+/// Per-host-class slice of the report.
+struct ClassReport {
+  std::string name;
+  u64 clients = 0;
+  u64 edits = 0;
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 payload_bytes = 0;  // summed over this class's links
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Everything shadowsim prints. Curated (not a raw registry dump) so the
+/// output is stable across runs and across unrelated metric additions.
+struct ScenarioReport {
+  std::string name;
+  u64 seed = 0;
+  u64 population = 0;
+  double duration_s = 0.0;
+  std::size_t shards = 1;
+
+  // Client-side activity.
+  u64 edits = 0;
+  u64 submitted = 0;
+  u64 completed = 0;
+  u64 busy_replies = 0;   // ServerBusy seen by clients
+  u64 busy_retries = 0;   // submits/Hellos re-sent after backoff
+
+  // Submit -> output latency over completed jobs, milliseconds.
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+
+  // Server-side throughput: acknowledged protocol operations (updates
+  // received + submits accepted + outputs delivered) per simulated second.
+  double acks_per_sec = 0.0;
+  double jobs_per_sec = 0.0;  // completed jobs / duration
+
+  // Wire accounting. baseline_bytes is the conventional F-policy cost:
+  // the full data file shipped at every submit plus every output at full
+  // size; saved = baseline - payload (0 when shadowing doesn't win).
+  u64 payload_bytes = 0;
+  u64 wire_bytes = 0;
+  u64 baseline_bytes = 0;
+  u64 saved_bytes = 0;
+  double saved_ratio = 0.0;
+
+  // Overload control.
+  u64 busy_rejects = 0;   // shed at the servers
+  double shed_rate = 0.0; // rejects / (rejects + accepted submits)
+
+  // Shadow cache (summed over shards).
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  u64 cache_evictions = 0;
+  double cache_hit_rate = 0.0;
+
+  // Transfer mix.
+  u64 full_transfers = 0;
+  u64 delta_transfers = 0;
+  u64 updates_received = 0;
+  u64 outputs_sent = 0;
+
+  std::vector<ClassReport> classes;  // spec order
+};
+
+/// Fixed-format renderers (stable key order, fixed float precision — the
+/// byte-identical half of the determinism contract).
+std::string to_json(const ScenarioReport& report);
+std::string to_text(const ScenarioReport& report);
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(Scenario scenario);
+
+  /// Build the population, run the simulation for scenario.duration, and
+  /// harvest. Resets the global telemetry registry's values. Errors only
+  /// on inconsistent specs the parser cannot see (e.g. unknown link at
+  /// runtime — already validated at parse time, so effectively total).
+  Result<ScenarioReport> run();
+
+  const Scenario& scenario() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace shadow::scenario

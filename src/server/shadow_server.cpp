@@ -272,7 +272,15 @@ void ShadowServer::attach(net::Transport* transport) {
   }
   Connection* raw = conn.get();
   if (config_.reliable_session) {
-    raw->channel = std::make_unique<proto::ReliableChannel>(transport);
+    proto::ReliableChannel::Config channel_config;
+    if (config_.retransmit_initial_usec > 0) {
+      channel_config.retransmit_initial = config_.retransmit_initial_usec;
+    }
+    if (config_.retransmit_cap_usec > 0) {
+      channel_config.retransmit_cap = config_.retransmit_cap_usec;
+    }
+    raw->channel =
+        std::make_unique<proto::ReliableChannel>(transport, channel_config);
     raw->channel->set_receiver(
         [this, raw](Bytes wire) { on_message(raw, std::move(wire)); });
     raw->channel->on_desync([this, raw] { resync_connection(raw); });

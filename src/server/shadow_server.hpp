@@ -74,6 +74,13 @@ struct ServerConfig {
   /// (sequence numbers + CRC frames + ack/retransmit). Both ends must
   /// agree (ShadowEnvironment::reliable_session).
   bool reliable_session = false;
+  /// First retransmit delay / backoff cap for the reliable sessions'
+  /// ack/retransmit timers, microseconds. 0 keeps the channel defaults
+  /// (200ms / 1.6s). Slow links need timers longer than the worst-case
+  /// frame transmission time or large frames are resent before their
+  /// acks can possibly arrive (see ShadowEnvironment for the client end).
+  u64 retransmit_initial_usec = 0;
+  u64 retransmit_cap_usec = 0;
   /// How many times a job interrupted mid-run by a crash is re-queued
   /// before it is marked failed and the owner is notified instead.
   u64 max_job_retries = 3;

@@ -37,6 +37,80 @@ LinkConfig LinkConfig::ethernet_10m() {
   return c;
 }
 
+LinkConfig LinkConfig::dialup_1200() {
+  LinkConfig c;
+  c.name = "dialup-1200";
+  c.bits_per_second = 1'200.0;
+  c.latency = 150'000;  // modem pair + phone-network path
+  c.per_message_overhead = 44;
+  c.congestion_factor = 1.0;
+  return c;
+}
+
+LinkConfig LinkConfig::modem_56k() {
+  LinkConfig c;
+  c.name = "modem-56k";
+  c.bits_per_second = 56'000.0;
+  c.latency = 120'000;  // V.90 interleaving + ISP hop
+  c.per_message_overhead = 48;  // PPP framing over the serial line
+  c.congestion_factor = 1.0;    // dedicated last mile, unlike the ARPANET
+  return c;
+}
+
+LinkConfig LinkConfig::t1_fractional() {
+  LinkConfig c;
+  c.name = "t1-fractional";
+  c.bits_per_second = 256'000.0;
+  c.latency = 30'000;
+  c.per_message_overhead = 44;
+  c.congestion_factor = 1.0;
+  return c;
+}
+
+LinkConfig LinkConfig::t1_full() {
+  LinkConfig c;
+  c.name = "t1";
+  c.bits_per_second = 1'544'000.0;
+  c.latency = 25'000;
+  c.per_message_overhead = 44;
+  c.congestion_factor = 1.0;
+  return c;
+}
+
+LinkConfig LinkConfig::modern_wan() {
+  LinkConfig c;
+  c.name = "modern-wan";
+  c.bits_per_second = 50'000'000.0;
+  c.latency = 20'000;  // one-way coast-to-coast fiber
+  c.per_message_overhead = 58;  // Ethernet + IP + TCP
+  c.congestion_factor = 1.0;
+  return c;
+}
+
+const std::vector<LinkPreset>& link_presets() {
+  static const std::vector<LinkPreset> presets = {
+      {"dialup-1200", &LinkConfig::dialup_1200},
+      {"cypress-9600", &LinkConfig::cypress_9600},
+      {"arpanet-56k", &LinkConfig::arpanet_56k},
+      {"modem-56k", &LinkConfig::modem_56k},
+      {"t1-fractional", &LinkConfig::t1_fractional},
+      {"t1", &LinkConfig::t1_full},
+      {"ethernet-10m", &LinkConfig::ethernet_10m},
+      {"modern-wan", &LinkConfig::modern_wan},
+  };
+  return presets;
+}
+
+bool link_preset(const std::string& name, LinkConfig* out) {
+  for (const auto& preset : link_presets()) {
+    if (name == preset.name) {
+      if (out != nullptr) *out = preset.make();
+      return true;
+    }
+  }
+  return false;
+}
+
 double SimplexChannel::transmission_seconds(std::size_t payload) const {
   const double bits =
       static_cast<double>(payload + config_.per_message_overhead) * 8.0;

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "util/types.hpp"
@@ -31,7 +32,35 @@ struct LinkConfig {
   static LinkConfig arpanet_56k();
   /// A modern-ish fast link for contrast experiments.
   static LinkConfig ethernet_10m();
+  /// 1200 baud dialup — the slowest line the paper's niche covers.
+  static LinkConfig dialup_1200();
+  /// Dedicated 56k modem (a 1990s home line: full trunk rate, long
+  /// last-mile latency, no trunk sharing).
+  static LinkConfig modem_56k();
+  /// Fractional T1 (256 kbps leased).
+  static LinkConfig t1_fractional();
+  /// Full T1 (1.544 Mbps leased).
+  static LinkConfig t1_full();
+  /// Modern long-haul WAN: ~50 Mbps per-flow across a continent. The
+  /// contrast case where transfer time stops dominating and the
+  /// workstation's diff CPU becomes the bottleneck.
+  static LinkConfig modern_wan();
 };
+
+/// The canonical preset table — every named line the benches and the
+/// scenario specs can refer to, defined once here (bench/figure_common.hpp
+/// and src/scenario consume it; bench/abl_link_sweep iterates it).
+struct LinkPreset {
+  const char* name;           // == the LinkConfig's name
+  LinkConfig (*make)();
+};
+
+/// All presets, slowest line first.
+const std::vector<LinkPreset>& link_presets();
+
+/// Preset lookup by name ("cypress-9600", "modem-56k", "modern-wan", ...).
+/// Returns false when no preset has that name.
+bool link_preset(const std::string& name, LinkConfig* out);
 
 /// One direction of a link.
 class SimplexChannel {

@@ -1,0 +1,79 @@
+#include "telemetry/percentile.hpp"
+
+#include <cmath>
+
+namespace shadow::telemetry {
+
+namespace {
+
+/// Exclusive upper edge of bucket i, as a double (bucket 64's edge, 2^64,
+/// overflows u64).
+double bucket_ceiling(std::size_t i) {
+  if (i == 0) return 1.0;
+  return 2.0 * static_cast<double>(Histogram::bucket_floor(i));
+}
+
+/// Shared core over the sparse (index, count) form. Uses the nearest-rank
+/// definition: the estimate interpolates the position of the k-th smallest
+/// sample (k = clamp(ceil(q*n), 1, n)) across its bucket's value range, so
+/// it always lies inside the bucket that truly holds the k-th sample.
+double quantile_over_buckets(const std::vector<std::pair<u8, u64>>& buckets,
+                             double q) {
+  u64 total = 0;
+  for (const auto& [index, count] : buckets) total += count;
+  if (total == 0) return 0.0;
+
+  double rank_d = std::ceil(q * static_cast<double>(total));
+  if (rank_d < 1.0) rank_d = 1.0;
+  if (rank_d > static_cast<double>(total)) {
+    rank_d = static_cast<double>(total);
+  }
+  const u64 rank = static_cast<u64>(rank_d);  // 1-based order statistic
+
+  u64 seen = 0;
+  for (const auto& [index, count] : buckets) {
+    if (seen + count < rank) {
+      seen += count;
+      continue;
+    }
+    const std::size_t i = index;
+    if (i == 0) return 0.0;  // bucket 0 holds only the value 0
+    const double lo = static_cast<double>(Histogram::bucket_floor(i));
+    const double hi = bucket_ceiling(i);
+    // Midpoint-of-rank interpolation: the j-th of c samples in a bucket
+    // (j 1-based) sits at fraction (j - 0.5) / c of the bucket's range.
+    const double j = static_cast<double>(rank - seen);
+    const double f = (j - 0.5) / static_cast<double>(count);
+    return lo + f * (hi - lo);
+  }
+  return 0.0;  // unreachable for a consistent histogram
+}
+
+}  // namespace
+
+double estimate_quantile(const HistogramSnapshot& h, double q) {
+  return quantile_over_buckets(h.buckets, q);
+}
+
+double estimate_quantile(const Histogram& h, double q) {
+  std::vector<std::pair<u8, u64>> buckets;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const u64 c = h.bucket(i);
+    if (c != 0) buckets.emplace_back(static_cast<u8>(i), c);
+  }
+  return quantile_over_buckets(buckets, q);
+}
+
+QuantileSummary summarize_quantiles(const HistogramSnapshot& h) {
+  return QuantileSummary{estimate_quantile(h, 0.50),
+                         estimate_quantile(h, 0.90),
+                         estimate_quantile(h, 0.99)};
+}
+
+QuantileSummary summarize_quantiles(const Histogram& h) {
+  return QuantileSummary{estimate_quantile(h, 0.50),
+                         estimate_quantile(h, 0.90),
+                         estimate_quantile(h, 0.99)};
+}
+
+}  // namespace shadow::telemetry

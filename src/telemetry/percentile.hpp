@@ -1,0 +1,37 @@
+// Quantile estimation over the registry's log2-bucketed histograms.
+//
+// A Histogram only remembers how many samples fell in each power-of-two
+// bucket, so an exact quantile is unrecoverable; what IS recoverable is
+// the bucket the quantile-ranked sample landed in, plus a linear
+// interpolation of the rank's position across that bucket's value range.
+// The estimate therefore carries a hard error bound: it lies inside the
+// same [2^(i-1), 2^i) bucket as the exact order statistic, i.e. within a
+// factor of 2 (and much closer in practice for smooth distributions) —
+// tests/percentile_test.cpp pins both properties.
+//
+// Consumers: shadowsim's scenario reports, shadowtop --json (render_json
+// attaches p50/p90/p99 to every histogram), and bench/abl_scale.
+#pragma once
+
+#include "telemetry/registry.hpp"
+
+namespace shadow::telemetry {
+
+/// Estimated value of the q-quantile (q in [0, 1]; 0.5 = median) of the
+/// samples a histogram has observed. Returns 0 for an empty histogram.
+/// q <= 0 estimates the minimum's bucket floor; q >= 1 the maximum's
+/// bucket ceiling.
+double estimate_quantile(const HistogramSnapshot& h, double q);
+double estimate_quantile(const Histogram& h, double q);
+
+/// The three quantiles every report ships.
+struct QuantileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+QuantileSummary summarize_quantiles(const HistogramSnapshot& h);
+QuantileSummary summarize_quantiles(const Histogram& h);
+
+}  // namespace shadow::telemetry

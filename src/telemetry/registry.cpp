@@ -1,6 +1,8 @@
 #include "telemetry/registry.hpp"
 
 #include <algorithm>
+
+#include "telemetry/percentile.hpp"
 #include <bit>
 #include <cinttypes>
 #include <cstdarg>
@@ -204,7 +206,12 @@ std::string render_json(const Snapshot& snapshot) {
                     Histogram::bucket_floor(idx), count);
       bfirst = false;
     }
-    out += "]}";
+    // Estimated percentiles (telemetry/percentile.hpp): within the exact
+    // order statistic's log2 bucket, so a consumer never has to re-derive
+    // them from the bucket list.
+    const QuantileSummary qs = summarize_quantiles(h);
+    append_format(out, "], \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f}",
+                  qs.p50, qs.p90, qs.p99);
     first = false;
   }
   out += first ? "},\n" : "\n  },\n";

@@ -1,0 +1,155 @@
+// Percentile estimation from log2-bucketed histograms
+// (telemetry/percentile.hpp). The contract under test: the estimate of
+// quantile q always lies inside the SAME log2 bucket as the exact
+// nearest-rank order statistic — i.e. within a factor of 2 — and tracks
+// the exact value much closer for smooth distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "telemetry/percentile.hpp"
+#include "telemetry/registry.hpp"
+#include "util/rng.hpp"
+
+namespace shadow {
+namespace {
+
+using telemetry::estimate_quantile;
+using telemetry::Histogram;
+
+/// Exact nearest-rank quantile of a sample vector.
+u64 exact_quantile(std::vector<u64> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+/// The bound every estimate must satisfy: same log2 bucket as the exact
+/// order statistic (estimate in [floor, 2*floor) up to rounding).
+void expect_within_bucket(double estimate, u64 exact) {
+  const std::size_t bucket = Histogram::bucket_index(exact);
+  const double lo = static_cast<double>(Histogram::bucket_floor(bucket));
+  const double hi = bucket == 0
+                        ? 1.0
+                        : 2.0 * static_cast<double>(
+                                    Histogram::bucket_floor(bucket));
+  EXPECT_GE(estimate, lo) << "exact=" << exact;
+  EXPECT_LE(estimate, hi) << "exact=" << exact;
+}
+
+void check_distribution(const std::vector<u64>& samples) {
+  telemetry::Registry reg;
+  auto& h = reg.histogram("t");
+  for (u64 s : samples) h.observe(s);
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const u64 exact = exact_quantile(samples, q);
+    const double est = estimate_quantile(h, q);
+    expect_within_bucket(est, exact);
+    // Factor-of-2 relative error bound, restated directly.
+    if (exact > 0) {
+      EXPECT_LE(est / static_cast<double>(exact), 2.0) << "q=" << q;
+      EXPECT_GE(est / static_cast<double>(exact), 0.5) << "q=" << q;
+    }
+  }
+}
+
+TEST(Percentile, EmptyHistogramIsZero) {
+  telemetry::Registry reg;
+  auto& h = reg.histogram("empty");
+  EXPECT_EQ(estimate_quantile(h, 0.5), 0.0);
+  EXPECT_EQ(estimate_quantile(h, 0.99), 0.0);
+  const auto qs = telemetry::summarize_quantiles(h);
+  EXPECT_EQ(qs.p50, 0.0);
+  EXPECT_EQ(qs.p99, 0.0);
+}
+
+TEST(Percentile, SingleValue) {
+  telemetry::Registry reg;
+  auto& h = reg.histogram("one");
+  h.observe(1000);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    expect_within_bucket(estimate_quantile(h, q), 1000);
+  }
+}
+
+TEST(Percentile, AllZeros) {
+  telemetry::Registry reg;
+  auto& h = reg.histogram("zeros");
+  for (int i = 0; i < 10; ++i) h.observe(0);
+  EXPECT_EQ(estimate_quantile(h, 0.5), 0.0);
+  EXPECT_EQ(estimate_quantile(h, 0.99), 0.0);
+}
+
+TEST(Percentile, UniformDistribution) {
+  Rng rng(41);
+  std::vector<u64> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.between(1, 100'000));
+  check_distribution(samples);
+}
+
+TEST(Percentile, HeavyTailDistribution) {
+  // Latency-shaped: most samples small, a long multiplicative tail.
+  Rng rng(42);
+  std::vector<u64> samples;
+  for (int i = 0; i < 5000; ++i) {
+    u64 v = 50 + rng.below(200);
+    while (rng.chance(0.25)) v *= 3;  // geometric tail
+    samples.push_back(v);
+  }
+  check_distribution(samples);
+}
+
+TEST(Percentile, BimodalDistribution) {
+  // Cache-hit-vs-miss shape: two far-apart modes.
+  Rng rng(43);
+  std::vector<u64> samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back(rng.chance(0.7) ? rng.between(100, 300)
+                                      : rng.between(800'000, 1'200'000));
+  }
+  check_distribution(samples);
+}
+
+TEST(Percentile, QuantilesAreMonotone) {
+  Rng rng(44);
+  telemetry::Registry reg;
+  auto& h = reg.histogram("mono");
+  for (int i = 0; i < 2000; ++i) h.observe(rng.between(1, 1'000'000));
+  double prev = 0.0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double est = estimate_quantile(h, q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    prev = est;
+  }
+}
+
+TEST(Percentile, SnapshotAndLiveAgree) {
+  Rng rng(45);
+  telemetry::Registry reg;
+  auto& h = reg.histogram("snap");
+  for (int i = 0; i < 1000; ++i) h.observe(rng.between(1, 50'000));
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(estimate_quantile(h, q),
+                     estimate_quantile(snap.histograms[0], q));
+  }
+}
+
+TEST(Percentile, RenderJsonCarriesPercentiles) {
+  telemetry::Registry reg;
+  auto& h = reg.histogram("latency");
+  for (u64 v = 1; v <= 100; ++v) h.observe(v * 10);
+  const std::string json = telemetry::render_json(reg.snapshot());
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shadow

@@ -1,0 +1,11 @@
+// shadowsim: run a declarative population-scale scenario spec (see
+// docs/SCENARIOS.md and examples/*.scn) as one deterministic simulation.
+// All logic lives in scenario/cli.cpp so tests can drive it in-process.
+#include "scenario/cli.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  // Workload-scale runs would otherwise drown stdout in protocol logs.
+  shadow::Logger::instance().set_level(shadow::LogLevel::kError);
+  return shadow::scenario::run_shadowsim(argc, argv, stdout, stderr);
+}
