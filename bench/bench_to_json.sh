@@ -12,6 +12,9 @@
 #                         x population, p50/p99 submit latency,
 #                         acks/sec, bytes saved (abl_scale;
 #                         deterministic sim)
+#   BENCH_cdc.json      — CDC codec ablation: wire bytes, encode/apply
+#                         CPU, server resident state vs line-diff codecs
+#                         and full transfer (abl_cdc)
 # Future PRs compare against these files to keep a perf trajectory for the
 # Delta::compute hot path and the crash-consistency overhead.
 #
@@ -22,7 +25,7 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${1:-$ROOT/build-rel}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards abl_overload abl_scale -j"$(nproc)"
+cmake --build "$BUILD" --target abl_diff_algos abl_persist abl_shards abl_overload abl_scale abl_cdc -j"$(nproc)"
 
 # Provenance stamp: which commit and build type produced these numbers.
 # A snapshot from a dirty tree is marked so regressions aren't chased
@@ -91,3 +94,13 @@ echo "wrote $ROOT/BENCH_overload.json ($GIT_SHA, $BUILD_TYPE)"
 stamp_json "$ROOT/BENCH_scale.json"
 
 echo "wrote $ROOT/BENCH_scale.json ($GIT_SHA, $BUILD_TYPE)"
+
+# CDC codec ablation: the wire_bytes / resident_state_bytes counters are
+# deterministic; min_time smooths the CPU timings.
+"$BUILD/bench/abl_cdc" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  > "$ROOT/BENCH_cdc.json"
+stamp_json "$ROOT/BENCH_cdc.json"
+
+echo "wrote $ROOT/BENCH_cdc.json ($GIT_SHA, $BUILD_TYPE)"

@@ -16,6 +16,7 @@ struct CacheMetrics {
   telemetry::Counter& put_bytes;
   telemetry::Counter& evictions;
   telemetry::Counter& rejected;
+  telemetry::Counter& digest_puts;
   telemetry::Histogram& entry_bytes;
 
   static CacheMetrics& get() {
@@ -27,6 +28,7 @@ struct CacheMetrics {
                           r.counter("cache.put_bytes"),
                           r.counter("cache.evictions"),
                           r.counter("cache.rejected"),
+                          r.counter("cache.digest_puts"),
                           r.histogram("cache.entry_bytes")};
     return m;
   }
@@ -61,7 +63,9 @@ ShadowCache::pick_victim() {
         if (it->second.inserted_at < victim->second.inserted_at) victim = it;
         break;
       case EvictionPolicy::kLargestFirst:
-        if (it->second.content.size() > victim->second.content.size()) {
+        // Ranked by what eviction actually frees: a digest entry for a
+        // huge file charges only its signature, so it ranks small.
+        if (it->second.charge() > victim->second.charge()) {
           victim = it;
         }
         break;
@@ -74,7 +78,7 @@ void ShadowCache::make_room(std::size_t incoming_size) {
   if (byte_budget_ == 0) return;
   while (!entries_.empty() && bytes_used_ + incoming_size > byte_budget_) {
     auto victim = pick_victim();
-    bytes_used_ -= victim->second.content.size();
+    bytes_used_ -= victim->second.charge();
     entries_.erase(victim);
     ++stats_.evictions;
     CacheMetrics::get().evictions.add();
@@ -99,13 +103,15 @@ Status ShadowCache::put(const std::string& key, u64 version,
   }
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    bytes_used_ -= it->second.content.size();
+    bytes_used_ -= it->second.charge();
     make_room(content.size());
+    it->second.kind = EntryKind::kContent;
+    it->second.signature = cdc::Signature{};
     it->second.content = std::move(content);
     it->second.version = version;
     it->second.crc = crc;
     it->second.last_access = tick_;
-    bytes_used_ += it->second.content.size();
+    bytes_used_ += it->second.charge();
     return Status();
   }
   make_room(content.size());
@@ -115,8 +121,55 @@ Status ShadowCache::put(const std::string& key, u64 version,
   entry.crc = crc;
   entry.last_access = tick_;
   entry.inserted_at = tick_;
-  bytes_used_ += content.size();
   entry.content = std::move(content);
+  bytes_used_ += entry.charge();
+  entries_.emplace(key, std::move(entry));
+  return Status();
+}
+
+Status ShadowCache::put_digest(const std::string& key, u64 version,
+                               cdc::Signature signature, u32 crc) {
+  ++stats_.puts;
+  CacheMetrics& metrics = CacheMetrics::get();
+  metrics.puts.add();
+  metrics.digest_puts.add();
+  const std::size_t charge =
+      sizeof(cdc::ChunkerParams) +
+      signature.chunks.size() * sizeof(cdc::ChunkDigest);
+  metrics.put_bytes.add(charge);
+  metrics.entry_bytes.observe(charge);
+  ++tick_;
+  if (byte_budget_ != 0 && charge > byte_budget_) {
+    erase(key);
+    ++stats_.rejected;
+    metrics.rejected.add();
+    return Error{ErrorCode::kResourceExhausted,
+                 "signature larger than cache budget"};
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_used_ -= it->second.charge();
+    make_room(charge);
+    it->second.kind = EntryKind::kDigest;
+    it->second.content.clear();
+    it->second.content.shrink_to_fit();
+    it->second.signature = std::move(signature);
+    it->second.version = version;
+    it->second.crc = crc;
+    it->second.last_access = tick_;
+    bytes_used_ += it->second.charge();
+    return Status();
+  }
+  make_room(charge);
+  CacheEntry entry;
+  entry.key = key;
+  entry.kind = EntryKind::kDigest;
+  entry.signature = std::move(signature);
+  entry.version = version;
+  entry.crc = crc;
+  entry.last_access = tick_;
+  entry.inserted_at = tick_;
+  bytes_used_ += entry.charge();
   entries_.emplace(key, std::move(entry));
   return Status();
 }
@@ -143,17 +196,33 @@ std::optional<u64> ShadowCache::version_of(const std::string& key) const {
   return it->second.version;
 }
 
+const CacheEntry* ShadowCache::peek(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ShadowCache::DigestStats ShadowCache::digest_stats() const {
+  DigestStats stats;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.kind != EntryKind::kDigest) continue;
+    ++stats.entries;
+    stats.resident_bytes += entry.charge();
+    stats.represented_bytes += entry.represented_bytes();
+  }
+  return stats;
+}
+
 void ShadowCache::erase(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
-  bytes_used_ -= it->second.content.size();
+  bytes_used_ -= it->second.charge();
   entries_.erase(it);
 }
 
 bool ShadowCache::evict_one() {
   auto victim = pick_victim();
   if (victim == entries_.end()) return false;
-  bytes_used_ -= victim->second.content.size();
+  bytes_used_ -= victim->second.charge();
   entries_.erase(victim);
   ++stats_.evictions;
   CacheMetrics::get().evictions.add();
@@ -174,11 +243,16 @@ void ShadowCache::encode(BufWriter& out) const {
     out.put_u32(entry.crc);
     out.put_varint(entry.last_access);
     out.put_varint(entry.inserted_at);
-    out.put_string(entry.content);
+    out.put_u8(static_cast<u8>(entry.kind));
+    if (entry.kind == EntryKind::kDigest) {
+      entry.signature.encode(out);
+    } else {
+      out.put_string(entry.content);
+    }
   }
 }
 
-Status ShadowCache::restore(BufReader& in) {
+Status ShadowCache::restore(BufReader& in, bool with_kinds) {
   clear();
   SHADOW_ASSIGN_OR_RETURN(tick, in.get_varint());
   SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
@@ -193,14 +267,28 @@ Status ShadowCache::restore(BufReader& in) {
     SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
     SHADOW_ASSIGN_OR_RETURN(last_access, in.get_varint());
     SHADOW_ASSIGN_OR_RETURN(inserted_at, in.get_varint());
-    SHADOW_ASSIGN_OR_RETURN(content, in.get_string());
     entry.key = key;
     entry.version = version;
     entry.crc = crc;
     entry.last_access = last_access;
     entry.inserted_at = inserted_at;
-    bytes_used_ += content.size();
-    entry.content = std::move(content);
+    u8 kind = static_cast<u8>(EntryKind::kContent);
+    if (with_kinds) {
+      SHADOW_ASSIGN_OR_RETURN(k, in.get_u8());
+      kind = k;
+    }
+    if (kind > static_cast<u8>(EntryKind::kDigest)) {
+      return Error{ErrorCode::kProtocolError, "bad cache entry kind"};
+    }
+    entry.kind = static_cast<EntryKind>(kind);
+    if (entry.kind == EntryKind::kDigest) {
+      SHADOW_ASSIGN_OR_RETURN(sig, cdc::Signature::decode(in));
+      entry.signature = std::move(sig);
+    } else {
+      SHADOW_ASSIGN_OR_RETURN(content, in.get_string());
+      entry.content = std::move(content);
+    }
+    bytes_used_ += entry.charge();
     entries_.emplace(std::move(key), std::move(entry));
   }
   make_room(0);  // trim if the snapshot exceeds the configured budget

@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "cdc/signature.hpp"
 #include "util/byte_io.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
@@ -27,13 +28,37 @@ enum class EvictionPolicy : u8 {
 
 const char* eviction_policy_name(EvictionPolicy policy);
 
+/// How a cached version is held. A digest entry is the CDC codec's
+/// memory model (docs/DELTAS.md): the server keeps only the version's
+/// chunk-digest signature — O(digests) resident, not O(bytes) — and
+/// advances it from CDC deltas without ever materializing the file.
+enum class EntryKind : u8 {
+  kContent = 0,  // full bytes resident
+  kDigest = 1,   // chunk-digest signature only
+};
+
 struct CacheEntry {
   std::string key;      // cache key ("<domain>/<shadow-id>")
-  std::string content;  // cached file content
-  u64 version = 0;      // client version number this content equals
-  u32 crc = 0;          // fingerprint of content
+  std::string content;  // kContent: cached file content (else empty)
+  u64 version = 0;      // client version number this entry equals
+  u32 crc = 0;          // fingerprint of the version's content
   u64 last_access = 0;  // logical tick of last get/put
   u64 inserted_at = 0;  // logical tick of first insertion
+  EntryKind kind = EntryKind::kContent;
+  cdc::Signature signature;  // kDigest: the version's chunk digests
+
+  /// Bytes this entry charges against the cache budget.
+  std::size_t charge() const {
+    return kind == EntryKind::kDigest ? signature.digest_bytes()
+                                      : content.size();
+  }
+  /// Content bytes the entry REPRESENTS (= charge() for kContent; the
+  /// described file size for kDigest).
+  u64 represented_bytes() const {
+    return kind == EntryKind::kDigest ? signature.total_bytes()
+                                      : content.size();
+  }
+  bool has_bytes() const { return kind == EntryKind::kContent; }
 };
 
 struct CacheStats {
@@ -61,12 +86,21 @@ class ShadowCache {
   Status put(const std::string& key, u64 version, std::string content,
              u32 crc);
 
+  /// Insert or replace with a digest-only entry: the cache charges
+  /// signature.digest_bytes() (not the file size) against the budget.
+  /// `crc` is the whole-file fingerprint of the described content.
+  Status put_digest(const std::string& key, u64 version,
+                    cdc::Signature signature, u32 crc);
+
   /// Look up; counts a hit/miss and refreshes recency.
   Result<const CacheEntry*> get(const std::string& key);
 
   /// Version held for a key without touching recency (used when deciding
   /// which base version to request from a client).
   std::optional<u64> version_of(const std::string& key) const;
+  /// Entry lookup without stats or recency side effects (nullptr when
+  /// absent) — for flow-control decisions that are not real accesses.
+  const CacheEntry* peek(const std::string& key) const;
   bool contains(const std::string& key) const {
     return entries_.count(key) != 0;
   }
@@ -78,6 +112,17 @@ class ShadowCache {
 
   u64 bytes_used() const { return bytes_used_; }
   u64 byte_budget() const { return byte_budget_; }
+
+  /// Digest-entry accounting for telemetry and the CDC ablation: how many
+  /// entries are digest-only, what they cost resident, and how many
+  /// content bytes they stand in for (the O(bytes) a content cache would
+  /// have spent).
+  struct DigestStats {
+    u64 entries = 0;
+    u64 resident_bytes = 0;     // signature bytes charged to the budget
+    u64 represented_bytes = 0;  // file bytes the signatures describe
+  };
+  DigestStats digest_stats() const;
   void set_byte_budget(u64 budget);
   std::size_t entry_count() const { return entries_.size(); }
   EvictionPolicy policy() const { return policy_; }
@@ -88,8 +133,10 @@ class ShadowCache {
   void encode(BufWriter& out) const;
   /// Restore entries into this cache (replacing current content); the
   /// budget/policy stay as configured, and an over-budget snapshot is
-  /// trimmed by the usual eviction.
-  Status restore(BufReader& in);
+  /// trimmed by the usual eviction. `with_kinds` is false when reading a
+  /// pre-CDC snapshot (server snapshot v3 and earlier): every entry is
+  /// then a content entry with no kind byte.
+  Status restore(BufReader& in, bool with_kinds = true);
 
  private:
   /// Pick the victim according to the policy; returns entries_.end() when

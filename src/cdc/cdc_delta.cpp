@@ -1,0 +1,234 @@
+#include "cdc/cdc_delta.hpp"
+
+#include <unordered_map>
+
+#include "util/crc32.hpp"
+
+namespace shadow::cdc {
+
+namespace {
+
+/// digest.map_key() → index of first chunk with that digest. Collisions on
+/// map_key with differing digests are resolved by the full struct compare.
+std::unordered_multimap<u64, std::size_t> index_chunks(
+    const std::vector<ChunkDigest>& chunks) {
+  std::unordered_multimap<u64, std::size_t> index;
+  index.reserve(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    index.emplace(chunks[i].map_key(), i);
+  }
+  return index;
+}
+
+std::size_t find_chunk(const std::unordered_multimap<u64, std::size_t>& index,
+                       const std::vector<ChunkDigest>& chunks,
+                       const ChunkDigest& want) {
+  auto [lo, hi] = index.equal_range(want.map_key());
+  for (auto it = lo; it != hi; ++it) {
+    if (chunks[it->second] == want) return it->second;
+  }
+  return chunks.size();  // not found
+}
+
+}  // namespace
+
+CdcDelta CdcDelta::compute(const Signature& base, std::string_view target) {
+  CdcDelta d;
+  d.params = base.params.valid() ? base.params : ChunkerParams{};
+  d.target_crc = crc32(reinterpret_cast<const u8*>(target.data()),
+                       target.size());
+  d.target_bytes = target.size();
+  const auto index = index_chunks(base.chunks);
+  const std::vector<ChunkSpan> spans = chunk_spans(target, d.params);
+  d.ops.reserve(spans.size());
+  for (const ChunkSpan& s : spans) {
+    const std::string_view chunk = target.substr(s.offset, s.length);
+    const ChunkDigest digest = digest_chunk(chunk);
+    CdcOp op;
+    if (find_chunk(index, base.chunks, digest) < base.chunks.size()) {
+      op.kind = CdcOp::Kind::kCopy;
+      op.digest = digest;
+    } else {
+      op.kind = CdcOp::Kind::kLiteral;
+      op.literal = std::string(chunk);
+    }
+    d.ops.push_back(std::move(op));
+  }
+  return d;
+}
+
+Result<std::string> CdcDelta::apply(std::string_view base) const {
+  // Resolve copy digests against the base bytes: chunk the base with the
+  // delta's params and index spans by digest.
+  std::vector<ChunkDigest> base_digests;
+  std::vector<ChunkSpan> base_spans;
+  if (has_copies()) {
+    if (!params.valid()) {
+      return Error{ErrorCode::kProtocolError, "cdc delta: bad params"};
+    }
+    base_spans = chunk_spans(base, params);
+    base_digests.reserve(base_spans.size());
+    for (const ChunkSpan& s : base_spans) {
+      base_digests.push_back(digest_chunk(base.substr(s.offset, s.length)));
+    }
+  }
+  const auto index = index_chunks(base_digests);
+  std::string out;
+  out.reserve(target_bytes);
+  for (const CdcOp& op : ops) {
+    if (op.kind == CdcOp::Kind::kLiteral) {
+      out.append(op.literal);
+      continue;
+    }
+    const std::size_t i = find_chunk(index, base_digests, op.digest);
+    if (i >= base_digests.size()) {
+      return Error{ErrorCode::kVersionMismatch,
+                   "cdc delta copies a chunk the base does not have"};
+    }
+    out.append(base.substr(base_spans[i].offset, base_spans[i].length));
+  }
+  const u32 actual = crc32(reinterpret_cast<const u8*>(out.data()),
+                           out.size());
+  if (out.size() != target_bytes || actual != target_crc) {
+    return Error{ErrorCode::kVersionMismatch,
+                 "cdc apply fails the target CRC"};
+  }
+  return out;
+}
+
+Result<Signature> CdcDelta::signature_after(const Signature& base) const {
+  const auto index = index_chunks(base.chunks);
+  Signature next;
+  next.params = params;
+  next.chunks.reserve(ops.size());
+  u64 total = 0;
+  u32 crc = 0;
+  for (const CdcOp& op : ops) {
+    ChunkDigest digest;
+    if (op.kind == CdcOp::Kind::kCopy) {
+      if (find_chunk(index, base.chunks, op.digest) >= base.chunks.size()) {
+        return Error{ErrorCode::kVersionMismatch,
+                     "cdc delta copies a chunk the base does not have"};
+      }
+      digest = op.digest;
+    } else {
+      digest = digest_chunk(op.literal);
+    }
+    crc = crc32_combine(crc, digest.crc, digest.length);
+    total += digest.length;
+    next.chunks.push_back(digest);
+  }
+  // The composed CRC must equal the sender's whole-file CRC — the
+  // digest-only analogue of the verified apply.
+  if (total != target_bytes || crc != target_crc) {
+    return Error{ErrorCode::kVersionMismatch,
+                 "cdc signature advance fails the target CRC"};
+  }
+  return next;
+}
+
+bool CdcDelta::has_copies() const {
+  for (const CdcOp& op : ops) {
+    if (op.kind == CdcOp::Kind::kCopy) return true;
+  }
+  return false;
+}
+
+u64 CdcDelta::literal_bytes() const {
+  u64 total = 0;
+  for (const CdcOp& op : ops) {
+    if (op.kind == CdcOp::Kind::kLiteral) total += op.literal.size();
+  }
+  return total;
+}
+
+u64 CdcDelta::copied_bytes() const {
+  u64 total = 0;
+  for (const CdcOp& op : ops) {
+    if (op.kind == CdcOp::Kind::kCopy) total += op.digest.length;
+  }
+  return total;
+}
+
+std::size_t CdcDelta::wire_size() const {
+  BufWriter w;
+  encode(w);
+  return w.size();
+}
+
+void CdcDelta::encode(BufWriter& out) const {
+  out.put_varint(params.seed);
+  out.put_varint(params.min_bytes);
+  out.put_varint(params.avg_bytes);
+  out.put_varint(params.max_bytes);
+  out.put_u32(target_crc);
+  out.put_varint(target_bytes);
+  out.put_varint(ops.size());
+  for (const CdcOp& op : ops) {
+    out.put_u8(static_cast<u8>(op.kind));
+    if (op.kind == CdcOp::Kind::kCopy) {
+      out.put_varint(op.digest.length);
+      out.put_u32(op.digest.crc);
+      out.put_u64(op.digest.fnv);
+    } else {
+      out.put_string(op.literal);
+    }
+  }
+}
+
+Result<CdcDelta> CdcDelta::decode(BufReader& in) {
+  CdcDelta d;
+  SHADOW_ASSIGN_OR_RETURN(seed, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(min_bytes, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(avg_bytes, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(max_bytes, in.get_varint());
+  d.params.seed = seed;
+  d.params.min_bytes = static_cast<u32>(min_bytes);
+  d.params.avg_bytes = static_cast<u32>(avg_bytes);
+  d.params.max_bytes = static_cast<u32>(max_bytes);
+  if (min_bytes > 0xFFFFFFFFull || avg_bytes > 0xFFFFFFFFull ||
+      max_bytes > 0xFFFFFFFFull || !d.params.valid()) {
+    return Error{ErrorCode::kProtocolError, "cdc delta: bad chunker params"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+  d.target_crc = crc;
+  SHADOW_ASSIGN_OR_RETURN(target_bytes, in.get_varint());
+  d.target_bytes = target_bytes;
+  SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
+  // Every op costs at least 2 encoded bytes; cap the reserve accordingly
+  // so junk input cannot demand a runaway allocation.
+  if (count > in.remaining() / 2) {
+    return Error{ErrorCode::kProtocolError, "cdc delta: op count too big"};
+  }
+  d.ops.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    SHADOW_ASSIGN_OR_RETURN(tag, in.get_u8());
+    if (tag > 1) {
+      return Error{ErrorCode::kProtocolError, "cdc delta: bad op tag"};
+    }
+    CdcOp op;
+    op.kind = static_cast<CdcOp::Kind>(tag);
+    if (op.kind == CdcOp::Kind::kCopy) {
+      SHADOW_ASSIGN_OR_RETURN(length, in.get_varint());
+      if (length == 0 || length > d.params.max_bytes) {
+        return Error{ErrorCode::kProtocolError, "cdc delta: bad copy length"};
+      }
+      op.digest.length = static_cast<u32>(length);
+      SHADOW_ASSIGN_OR_RETURN(chunk_crc, in.get_u32());
+      SHADOW_ASSIGN_OR_RETURN(fnv, in.get_u64());
+      op.digest.crc = chunk_crc;
+      op.digest.fnv = fnv;
+    } else {
+      SHADOW_ASSIGN_OR_RETURN(literal, in.get_string());
+      if (literal.size() > d.params.max_bytes) {
+        return Error{ErrorCode::kProtocolError,
+                     "cdc delta: literal exceeds max chunk size"};
+      }
+      op.literal = std::move(literal);
+    }
+    d.ops.push_back(std::move(op));
+  }
+  return d;
+}
+
+}  // namespace shadow::cdc

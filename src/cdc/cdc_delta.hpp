@@ -1,0 +1,75 @@
+// The CDC delta format: a chunk-granular op sequence reconciling a target
+// file against a base the receiver may hold only as a Signature.
+//
+//   Copy{digest}     — the target chunk already exists in the base; the
+//                      receiver resolves bytes (content mode) or just the
+//                      digest (digest-only mode) from its base.
+//   Literal{bytes}   — a chunk the base does not have, shipped verbatim.
+//
+// Exactly one op per target chunk, in target order. That discipline is
+// what makes the digest-only server possible: `signature_after` maps each
+// op to one chunk digest — copies are looked up in the base signature,
+// literals are digested — so the server advances its signature and the
+// combined whole-file CRC without ever materializing the file, while
+// `apply` rebuilds real bytes for a receiver that has the base content.
+// Both paths verify the result against `target_crc` (fail closed).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cdc/signature.hpp"
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::cdc {
+
+struct CdcOp {
+  enum class Kind : u8 { kCopy = 0, kLiteral = 1 };
+
+  Kind kind = Kind::kLiteral;
+  ChunkDigest digest;   // kCopy: which base chunk
+  std::string literal;  // kLiteral: the chunk bytes
+
+  bool operator==(const CdcOp&) const = default;
+};
+
+struct CdcDelta {
+  ChunkerParams params;
+  std::vector<CdcOp> ops;
+  u32 target_crc = 0;   // whole-file CRC of the reconstructed target
+  u64 target_bytes = 0; // size of the reconstructed target
+
+  /// Diff `target` against `base`'s signature. The base CONTENT is not
+  /// needed — only its digests — so the client can answer a digest-hinted
+  /// pull from any retained version. An empty base signature yields an
+  /// all-literal delta (first transfer of a CDC-tracked file).
+  static CdcDelta compute(const Signature& base, std::string_view target);
+
+  /// Rebuild the target from the base bytes. Chunks the base with the
+  /// delta's own params to resolve copy digests; CRC-verifies the result.
+  Result<std::string> apply(std::string_view base) const;
+
+  /// Digest-only advance: the signature of the target, computed from the
+  /// base SIGNATURE alone. Fails if a copy references a digest the base
+  /// does not hold (stale base — re-pull full).
+  Result<Signature> signature_after(const Signature& base) const;
+
+  /// True when any op copies from the base (an all-literal delta applies
+  /// against anything, including no base at all).
+  bool has_copies() const;
+
+  u64 literal_bytes() const;
+  u64 copied_bytes() const;
+
+  std::size_t wire_size() const;
+  void encode(BufWriter& out) const;
+  static Result<CdcDelta> decode(BufReader& in);
+
+  bool operator==(const CdcDelta&) const = default;
+};
+
+}  // namespace shadow::cdc

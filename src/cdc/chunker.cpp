@@ -1,0 +1,80 @@
+#include "cdc/chunker.hpp"
+
+#include <array>
+
+namespace shadow::cdc {
+
+namespace {
+
+// SplitMix64 — the same mixer Rng uses for seeding; good enough to turn
+// (seed, byte value) into 256 well-spread gear constants.
+u64 splitmix64(u64& state) {
+  u64 z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::array<u64, 256> make_gear_table(u64 seed) {
+  std::array<u64, 256> table{};
+  u64 state = seed;
+  for (auto& g : table) g = splitmix64(state);
+  return table;
+}
+
+bool is_power_of_two(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+bool ChunkerParams::valid() const {
+  return min_bytes >= 64 && is_power_of_two(avg_bytes) &&
+         min_bytes < avg_bytes && avg_bytes <= max_bytes &&
+         max_bytes <= (16u << 20);
+}
+
+std::vector<ChunkSpan> chunk_spans(std::string_view data,
+                                   const ChunkerParams& params) {
+  std::vector<ChunkSpan> spans;
+  if (data.empty()) return spans;
+  // Gear tables are cheap (2 KiB) but rebuilding one per call would
+  // dominate small diffs; cache the last seed used. Thread-local so the
+  // sharded server's per-core loops never contend.
+  thread_local u64 cached_seed = 0;
+  thread_local std::array<u64, 256> gear{};
+  thread_local bool gear_ready = false;
+  if (!gear_ready || cached_seed != params.seed) {
+    gear = make_gear_table(params.seed);
+    cached_seed = params.seed;
+    gear_ready = true;
+  }
+
+  const u64 mask = params.avg_bytes - 1;  // avg is a power of two
+  const auto* bytes = reinterpret_cast<const u8*>(data.data());
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t remaining = data.size() - start;
+    if (remaining <= params.min_bytes) {
+      spans.push_back({start, remaining});
+      break;
+    }
+    const std::size_t limit =
+        remaining < params.max_bytes ? remaining : params.max_bytes;
+    // Gear hash: h = (h << 1) + gear[byte]. The top bits accumulate
+    // content history; masking against avg-1 gives an expected cut every
+    // `avg` bytes past the minimum.
+    u64 h = 0;
+    std::size_t cut = limit;  // force-cut at max if no boundary fires
+    for (std::size_t i = 0; i < limit; ++i) {
+      h = (h << 1) + gear[bytes[start + i]];
+      if (i + 1 >= params.min_bytes && (h & mask) == 0) {
+        cut = i + 1;
+        break;
+      }
+    }
+    spans.push_back({start, cut});
+    start += cut;
+  }
+  return spans;
+}
+
+}  // namespace shadow::cdc

@@ -1,0 +1,51 @@
+// Content-defined chunking: a seeded Gear rolling hash splits a byte
+// stream at content-dependent boundaries, so a local edit only moves the
+// cut points near the edit — every untouched chunk keeps its identity and
+// can be referenced by digest instead of re-sent. This is the substrate of
+// the CDC delta codec (docs/DELTAS.md): the server remembers only chunk
+// digests, the client ships changed chunks.
+//
+// The chunker is deterministic for a given (seed, min, avg, max): both
+// ends of the wire and every replay cut the same boundaries, which the
+// conformance suite pins.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace shadow::cdc {
+
+/// Chunking parameters. They ride inside signatures and deltas so the two
+/// sides always agree on where boundaries fall; a signature cut with one
+/// seed is useless against a delta cut with another.
+struct ChunkerParams {
+  u64 seed = 0x5eedc0de;  // gear-table seed
+  u32 min_bytes = 2048;   // no boundary before this many bytes
+  u32 avg_bytes = 8192;   // expected chunk size; must be a power of two
+  u32 max_bytes = 65536;  // hard cut at this many bytes
+
+  /// min >= 64, avg a power of two, min < avg <= max, max bounded so a
+  /// hostile delta cannot demand absurd chunk allocations.
+  bool valid() const;
+
+  bool operator==(const ChunkerParams&) const = default;
+};
+
+/// One chunk within a buffer.
+struct ChunkSpan {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+
+  bool operator==(const ChunkSpan&) const = default;
+};
+
+/// Cut `data` into content-defined chunks. Spans are contiguous, cover the
+/// whole buffer, and every span except possibly the last is at least
+/// `min_bytes` long. Empty input yields no spans. Params must be valid().
+std::vector<ChunkSpan> chunk_spans(std::string_view data,
+                                   const ChunkerParams& params);
+
+}  // namespace shadow::cdc

@@ -1,0 +1,106 @@
+#include "cdc/signature.hpp"
+
+#include "util/crc32.hpp"
+
+namespace shadow::cdc {
+
+u64 fnv1a64(const u8* data, std::size_t len) {
+  u64 h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+ChunkDigest digest_chunk(std::string_view chunk) {
+  ChunkDigest d;
+  d.length = static_cast<u32>(chunk.size());
+  d.crc = crc32(reinterpret_cast<const u8*>(chunk.data()), chunk.size());
+  d.fnv = fnv1a64(chunk);
+  return d;
+}
+
+u64 Signature::total_bytes() const {
+  u64 total = 0;
+  for (const ChunkDigest& c : chunks) total += c.length;
+  return total;
+}
+
+u32 Signature::whole_crc() const {
+  u32 crc = 0;  // crc32 of the empty string
+  for (const ChunkDigest& c : chunks) {
+    crc = crc32_combine(crc, c.crc, c.length);
+  }
+  return crc;
+}
+
+std::size_t Signature::digest_bytes() const {
+  // length + crc + fnv per chunk, plus the params header. This is the
+  // honest resident cost a digest-only cache entry charges.
+  return sizeof(ChunkerParams) + chunks.size() * sizeof(ChunkDigest);
+}
+
+void Signature::encode(BufWriter& out) const {
+  out.put_varint(params.seed);
+  out.put_varint(params.min_bytes);
+  out.put_varint(params.avg_bytes);
+  out.put_varint(params.max_bytes);
+  out.put_varint(chunks.size());
+  for (const ChunkDigest& c : chunks) {
+    out.put_varint(c.length);
+    out.put_u32(c.crc);
+    out.put_u64(c.fnv);
+  }
+}
+
+Result<Signature> Signature::decode(BufReader& in) {
+  Signature sig;
+  SHADOW_ASSIGN_OR_RETURN(seed, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(min_bytes, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(avg_bytes, in.get_varint());
+  SHADOW_ASSIGN_OR_RETURN(max_bytes, in.get_varint());
+  sig.params.seed = seed;
+  sig.params.min_bytes = static_cast<u32>(min_bytes);
+  sig.params.avg_bytes = static_cast<u32>(avg_bytes);
+  sig.params.max_bytes = static_cast<u32>(max_bytes);
+  if (min_bytes > 0xFFFFFFFFull || avg_bytes > 0xFFFFFFFFull ||
+      max_bytes > 0xFFFFFFFFull || !sig.params.valid()) {
+    return Error{ErrorCode::kProtocolError, "bad chunker params"};
+  }
+  SHADOW_ASSIGN_OR_RETURN(count, in.get_varint());
+  // Each digest costs at least 13 encoded bytes; a count that large in a
+  // small buffer is corruption, and bounding it here keeps a hostile
+  // count from triggering a runaway reserve.
+  if (count > in.remaining() / 13) {
+    return Error{ErrorCode::kProtocolError, "signature chunk count too big"};
+  }
+  sig.chunks.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    ChunkDigest c;
+    SHADOW_ASSIGN_OR_RETURN(length, in.get_varint());
+    if (length == 0 || length > sig.params.max_bytes) {
+      return Error{ErrorCode::kProtocolError, "bad chunk length"};
+    }
+    c.length = static_cast<u32>(length);
+    SHADOW_ASSIGN_OR_RETURN(crc, in.get_u32());
+    SHADOW_ASSIGN_OR_RETURN(fnv, in.get_u64());
+    c.crc = crc;
+    c.fnv = fnv;
+    sig.chunks.push_back(c);
+  }
+  return sig;
+}
+
+Signature signature_of(std::string_view data, const ChunkerParams& params) {
+  Signature sig;
+  sig.params = params;
+  const std::vector<ChunkSpan> spans = chunk_spans(data, params);
+  sig.chunks.reserve(spans.size());
+  for (const ChunkSpan& s : spans) {
+    sig.chunks.push_back(digest_chunk(data.substr(s.offset, s.length)));
+  }
+  return sig;
+}
+
+}  // namespace shadow::cdc

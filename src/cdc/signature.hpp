@@ -1,0 +1,74 @@
+// Chunk-digest signatures: the server-side representation of a CDC-cached
+// file. A Signature is the ordered list of (length, CRC32, FNV-1a64)
+// digests of a file's content-defined chunks plus the params that cut
+// them — everything needed to reconcile a new version against the file
+// WITHOUT the file's bytes. Per-user server memory for a CDC file is
+// O(digests), not O(bytes) (ROADMAP: the enabler for millions of cached
+// files).
+//
+// The digest composes a weak and a strong hash: CRC32 doubles as the
+// building block for the whole-file fingerprint (chunk CRCs combine into
+// the file CRC via crc32_combine, so a digest-only server still verifies
+// content integrity end to end), and FNV-1a64 guards against CRC
+// collisions when matching chunks.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "cdc/chunker.hpp"
+#include "util/byte_io.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace shadow::cdc {
+
+/// FNV-1a 64-bit over a byte range (the strong half of a chunk digest).
+u64 fnv1a64(const u8* data, std::size_t len);
+inline u64 fnv1a64(std::string_view s) {
+  return fnv1a64(reinterpret_cast<const u8*>(s.data()), s.size());
+}
+
+/// Identity of one chunk: length + weak hash + strong hash. Two chunks
+/// with equal digests are treated as byte-identical; the conformance
+/// sweep and the whole-file CRC check backstop that assumption.
+struct ChunkDigest {
+  u32 length = 0;
+  u32 crc = 0;
+  u64 fnv = 0;
+
+  /// Stable key for hash-map lookups during delta compute/apply.
+  u64 map_key() const {
+    return fnv ^ (static_cast<u64>(crc) << 32 | length);
+  }
+
+  bool operator==(const ChunkDigest&) const = default;
+};
+
+ChunkDigest digest_chunk(std::string_view chunk);
+
+/// Ordered chunk digests of a whole file.
+struct Signature {
+  ChunkerParams params;
+  std::vector<ChunkDigest> chunks;
+
+  /// Total content bytes the signature describes.
+  u64 total_bytes() const;
+  /// CRC32 of the whole described content, composed from the chunk CRCs
+  /// (no content bytes needed).
+  u32 whole_crc() const;
+  /// Resident cost of holding this signature — what a digest-only cache
+  /// entry charges against the byte budget.
+  std::size_t digest_bytes() const;
+
+  void encode(BufWriter& out) const;
+  static Result<Signature> decode(BufReader& in);
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Chunk + digest `data` in one pass.
+Signature signature_of(std::string_view data, const ChunkerParams& params);
+
+}  // namespace shadow::cdc

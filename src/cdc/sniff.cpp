@@ -1,0 +1,23 @@
+#include "cdc/sniff.hpp"
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace shadow::cdc {
+
+bool looks_binary(std::string_view data) {
+  const std::size_t window = data.size() < 8192 ? data.size() : 8192;
+  if (window == 0) return false;
+  std::size_t opaque = 0;
+  for (std::size_t i = 0; i < window; ++i) {
+    const u8 b = static_cast<u8>(data[i]);
+    if (b == 0) return true;  // NUL never appears in our text workloads
+    const bool printable = (b >= 0x20 && b < 0x7F) || b == '\n' ||
+                           b == '\r' || b == '\t';
+    if (!printable) ++opaque;
+  }
+  return opaque * 10 > window * 3;
+}
+
+}  // namespace shadow::cdc

@@ -1,0 +1,15 @@
+// Binariness sniff for codec crossover (docs/DELTAS.md): line-based diffs
+// degrade to full transfer on binary content, so the client routes files
+// that look binary to the CDC codec at a much lower size threshold.
+#pragma once
+
+#include <string_view>
+
+namespace shadow::cdc {
+
+/// Heuristic over the first 8 KiB: any NUL byte, or more than 30%
+/// non-printable non-whitespace bytes, reads as binary. Empty input is
+/// text.
+bool looks_binary(std::string_view data);
+
+}  // namespace shadow::cdc

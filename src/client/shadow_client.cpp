@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cdc/signature.hpp"
+#include "cdc/sniff.hpp"
 #include "telemetry/registry.hpp"
 #include "util/crc32.hpp"
 #include "util/logging.hpp"
@@ -32,6 +34,7 @@ struct ClientMetrics {
   telemetry::Counter& update_payload_bytes;
   telemetry::Counter& full_sent;
   telemetry::Counter& delta_sent;
+  telemetry::Counter& cdc_sent;
   telemetry::Counter& pulls_received;
   telemetry::Counter& acks_received;
   telemetry::Counter& nack_full_resends;
@@ -52,6 +55,7 @@ struct ClientMetrics {
                            r.counter("client.update_payload_bytes"),
                            r.counter("client.full_sent"),
                            r.counter("client.delta_sent"),
+                           r.counter("client.cdc_sent"),
                            r.counter("client.pulls_received"),
                            r.counter("client.acks_received"),
                            r.counter("client.nack_full_resends"),
@@ -125,6 +129,7 @@ void ShadowClient::connect(const std::string& server_name,
   proto::Hello hello;
   hello.client_name = name_;
   hello.domain = resolver_.domain_id();
+  hello.codecs = offered_codecs();
   send(raw, hello);
 }
 
@@ -147,6 +152,7 @@ void ShadowClient::resync_session(Session* session) {
   ++stats_.session_resyncs;
   ClientMetrics::get().session_resyncs.add();
   session->server_has.clear();
+  session->cdc_files.clear();
   for (const auto& [key, id] : ids_) {
     auto latest = versions_.chain(key).latest();
     if (!latest.ok()) continue;
@@ -329,6 +335,9 @@ void ShadowClient::on_message(Session* session, Bytes wire) {
 void ShadowClient::handle(Session* session, const proto::HelloReply& m) {
   session->hello_done = true;
   session->server_protocol = m.protocol_version;
+  // Negotiated codec set: what we offered AND what the server announced.
+  // A v0 reply carries no codecs field and decodes as kLegacyCodecs.
+  session->codecs = m.codecs & offered_codecs();
   // The server accepted the session: any pending Hello retry is obsolete
   // and the shed-work backoff starts over.
   session->retry_at_us.erase(0);
@@ -387,6 +396,7 @@ void ShadowClient::fire_retry(Session* session, u64 token) {
     proto::Hello hello;
     hello.client_name = name_;
     hello.domain = resolver_.domain_id();
+    hello.codecs = offered_codecs();
     send(session, hello);
     return;
   }
@@ -468,16 +478,49 @@ Status ShadowClient::edited(const std::string& local_path) {
   return Status();
 }
 
+bool ShadowClient::prefer_cdc(const Session& session, const std::string& key,
+                              const std::string& content) const {
+  if ((session.codecs & proto::kCodecCdc) == 0) return false;
+  // Sticky: the server may hold this file as digests only; any other
+  // codec would force it into a full re-pull.
+  if (session.cdc_files.count(key) != 0) return true;
+  if (content.size() >= env_.cdc_min_bytes) return true;
+  return content.size() >= env_.cdc_min_binary_bytes &&
+         cdc::looks_binary(content);
+}
+
 Status ShadowClient::send_update(Session* session,
                                  const naming::GlobalFileId& file, u64 base,
-                                 u64 version) {
+                                 u64 version, bool force_cdc) {
   auto& chain = versions_.chain(file.key());
   SHADOW_ASSIGN_OR_RETURN(target, chain.get(version));
+
+  const bool want_cdc =
+      (session->codecs & proto::kCodecCdc) != 0 &&
+      (force_cdc || prefer_cdc(*session, file.key(), target.content));
 
   diff::Delta delta;
   u64 actual_base = 0;
   bool have_delta = false;
-  if (base != 0) {
+  if (want_cdc) {
+    // Chunk delta against the base's signature. The signature is derived
+    // from content alone, so recomputing it from the retained base is
+    // exactly what a digest-only server holds for the same version.
+    cdc::Signature base_sig;
+    base_sig.params = env_.cdc_params;
+    u64 sig_base = 0;
+    if (base != 0) {
+      auto base_version = chain.get(base);
+      if (base_version.ok()) {
+        base_sig = cdc::signature_of(base_version.value().content,
+                                     env_.cdc_params);
+        sig_base = base;
+      }
+    }
+    delta = diff::Delta::compute_cdc(base_sig, target.content);
+    if (delta.needs_base()) actual_base = sig_base;
+    have_delta = true;
+  } else if (base != 0) {
     auto base_version = chain.get(base);
     if (base_version.ok()) {
       delta = env_.adaptive_diff
@@ -494,6 +537,11 @@ Status ShadowClient::send_update(Session* session,
     // First submission (or evicted base): the full-content copy is made
     // only on this path, not eagerly before every diff.
     delta = diff::Delta::make_full(target.content);
+  }
+  if (delta.format == diff::Delta::Format::kCdc) {
+    session->cdc_files.insert(file.key());
+    ++stats_.cdc_sent;
+    ClientMetrics::get().cdc_sent.add();
   }
 
   BufWriter w;
@@ -556,7 +604,11 @@ void ShadowClient::handle(Session* session, const proto::PullRequest& m) {
   const u64 base = (m.have_version != 0 && chain.has(m.have_version))
                        ? m.have_version
                        : 0;
-  Status st = send_update(session, m.file, base, target);
+  // A codec_hint of kCodecCdc means the server holds the base as chunk
+  // digests and can apply nothing but a chunk delta against it.
+  const bool force_cdc = (m.codec_hint & proto::kCodecCdc) != 0 &&
+                         (session->codecs & proto::kCodecCdc) != 0;
+  Status st = send_update(session, m.file, base, target, force_cdc);
   if (!st.ok()) {
     SHADOW_WARN() << name_ << ": failed to answer pull: " << st.to_string();
   }
@@ -574,6 +626,7 @@ void ShadowClient::handle(Session* session, const proto::UpdateAck& m) {
                   << m.version << " of " << m.file.display() << ": "
                   << m.error << "; resending full";
     session->server_has.erase(m.file.key());
+    session->cdc_files.erase(m.file.key());
     const auto latest = versions_.chain(m.file.key()).latest_number();
     if (latest) {
       ++stats_.nack_full_resends;

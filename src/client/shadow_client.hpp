@@ -35,6 +35,7 @@ struct ClientStats {
   u64 update_payload_bytes = 0;
   u64 full_sent = 0;           // updates carrying full content
   u64 delta_sent = 0;          // updates carrying a delta
+  u64 cdc_sent = 0;            // updates carrying a chunk (CDC) delta
   u64 acks_received = 0;
   u64 outputs_received = 0;
   u64 output_payload_bytes = 0;
@@ -193,6 +194,15 @@ class ShadowClient {
     /// From HelloReply; a v0 server never sends ServerBusy and would not
     /// understand a Heartbeat.
     u32 server_protocol = 0;
+    /// Delta codecs negotiated with this server (intersection of what we
+    /// offered in Hello and what the HelloReply announced). A v0 peer
+    /// that never sent the field lands on kLegacyCodecs.
+    u32 codecs = proto::kLegacyCodecs;
+    /// Files whose last update to this server went as a CDC delta: the
+    /// server may hold them as digests only, so stay on the chunk codec
+    /// (an ed-script against a digest entry costs the server a full
+    /// re-pull). Cleared on resync/nack with the rest of the peer state.
+    std::set<std::string> cdc_files;
     /// Jittered exponential backoff for ServerBusy retries; the server's
     /// retry_after_usec is the floor of every delay. Reset when the
     /// server accepts work again.
@@ -231,9 +241,21 @@ class ShadowClient {
   capture_version(const std::string& local_path);
 
   /// Build and send an Update for `file` targeting `version`, diffed
-  /// against `base` (0 = full).
+  /// against `base` (0 = full). `force_cdc` answers a PullRequest whose
+  /// codec_hint asked for a chunk delta (the server holds the base as
+  /// digests and cannot apply anything else).
   Status send_update(Session* session, const naming::GlobalFileId& file,
-                     u64 base, u64 version);
+                     u64 base, u64 version, bool force_cdc = false);
+
+  /// Codecs this client offers in its Hello (env-gated).
+  u32 offered_codecs() const {
+    return env_.cdc ? proto::kAllCodecs : proto::kLegacyCodecs;
+  }
+  /// True when `content` should cross over to the CDC codec for this
+  /// session: the codec is negotiated AND the file is big, binary-and-
+  /// not-small, or already digest-tracked by the server.
+  bool prefer_cdc(const Session& session, const std::string& key,
+                  const std::string& content) const;
 
   /// Send the fresh Hello of a busy-backoff retry (token 0) or re-send an
   /// archived submit (token != 0).

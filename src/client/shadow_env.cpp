@@ -1,5 +1,7 @@
 #include "client/shadow_env.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 #include "util/text.hpp"
 
@@ -23,6 +25,11 @@ std::string ShadowEnvironment::to_text() const {
   out += std::string("algorithm ") + diff::algorithm_name(algorithm) + "\n";
   out += std::string("adaptive_diff ") + (adaptive_diff ? "on" : "off") +
          "\n";
+  out += std::string("cdc ") + (cdc ? "on" : "off") + "\n";
+  out += "cdc_min_bytes " + std::to_string(cdc_min_bytes) + "\n";
+  out += "cdc_min_binary_bytes " + std::to_string(cdc_min_binary_bytes) +
+         "\n";
+  out += "cdc_avg_chunk " + std::to_string(cdc_params.avg_bytes) + "\n";
   out += std::string("codec ") + compress::codec_name(codec) + "\n";
   out += std::string("background_updates ") +
          (background_updates ? "on" : "off") + "\n";
@@ -72,6 +79,25 @@ Result<ShadowEnvironment> ShadowEnvironment::from_text(
       env.algorithm = algo;
     } else if (key == "adaptive_diff") {
       env.adaptive_diff = (value == "on" || value == "true");
+    } else if (key == "cdc") {
+      env.cdc = (value == "on" || value == "true");
+    } else if (key == "cdc_min_bytes") {
+      env.cdc_min_bytes = std::stoull(value);
+    } else if (key == "cdc_min_binary_bytes") {
+      env.cdc_min_binary_bytes = std::stoull(value);
+    } else if (key == "cdc_avg_chunk") {
+      // avg must be a power of two; min/max scale with it (min = avg/4,
+      // max = 8*avg, floored at the chunker's hard minimums).
+      const u64 avg = std::stoull(value);
+      cdc::ChunkerParams params;
+      params.avg_bytes = static_cast<u32>(avg);
+      params.min_bytes = static_cast<u32>(std::max<u64>(64, avg / 4));
+      params.max_bytes = static_cast<u32>(avg * 8);
+      if (!params.valid()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "bad cdc_avg_chunk (need power of two >= 128): " + value};
+      }
+      env.cdc_params = params;
     } else if (key == "codec") {
       if (value == "stored") env.codec = compress::Codec::kStored;
       else if (value == "rle") env.codec = compress::Codec::kRle;

@@ -41,6 +41,21 @@ struct ShadowEnvironment {
   /// Compute ed-script AND block-move deltas, ship the smaller (§3
   /// adaptability; doubles diff CPU, wins on moves and binary content).
   bool adaptive_diff = false;
+  /// Offer the content-defined-chunking codec in the Hello handshake
+  /// (docs/DELTAS.md). Off = the legacy two-codec client, byte-identical
+  /// on the wire to pre-CDC builds.
+  bool cdc = true;
+  /// CDC crossover: files at least this big always go as chunk deltas
+  /// (text included — past this size chunk matching beats line diffing
+  /// on workstation CPU alone).
+  u64 cdc_min_bytes = 256 * 1024;
+  /// Lower crossover for content the binariness sniff flags: line-based
+  /// ed-scripts degenerate on binaries long before they do on text.
+  u64 cdc_min_binary_bytes = 16 * 1024;
+  /// Chunking geometry for outgoing CDC deltas. Both sides derive the
+  /// same cut points from the params carried in each delta/signature, so
+  /// this is a per-client tuning knob, not a handshake matter.
+  cdc::ChunkerParams cdc_params;
   /// Compression for outgoing payloads (§8.3).
   compress::Codec codec = compress::Codec::kStored;
   /// Notify the server as soon as an editing session ends, so updates can

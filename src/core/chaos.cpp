@@ -44,6 +44,11 @@ ChaosOutcome run_chaos_trial(const ChaosOptions& options) {
   env.reliable_session = options.reliable_session;
   env.algorithm = options.algorithm;
   env.flow = options.flow;
+  if (options.force_cdc) {
+    env.cdc = true;
+    env.cdc_min_bytes = 1;
+    env.cdc_min_binary_bytes = 1;
+  }
   client::ShadowClient client("ws", env, &cluster, "net-chaos");
   client::ShadowEditor editor(&client, &cluster);
 
@@ -123,7 +128,12 @@ ChaosOutcome run_chaos_trial(const ChaosOptions& options) {
   auto id = resolver.resolve("ws", path);
   if (id.ok()) {
     auto entry = server.file_cache().get(server.domains().cache_key(id.value()));
-    if (entry.ok()) out.server_cached = entry.value()->content;
+    if (entry.ok()) {
+      out.server_cached = entry.value()->content;
+      out.server_entry_digest = !entry.value()->has_bytes();
+      out.server_entry_crc = entry.value()->crc;
+      out.server_described_bytes = entry.value()->represented_bytes();
+    }
   }
 
   if (!job_done) {
@@ -136,6 +146,10 @@ ChaosOutcome run_chaos_trial(const ChaosOptions& options) {
 
   out.full_transfers = server.stats().full_transfers;
   out.delta_transfers = server.stats().delta_transfers;
+  out.cdc_transfers = server.stats().cdc_transfers;
+  out.digest_advances = server.stats().digest_advances;
+  out.digest_advance_failures = server.stats().digest_advance_failures;
+  out.cdc_sent = client.stats().cdc_sent;
   out.client_resyncs = client.stats().session_resyncs;
   out.server_resyncs = server.stats().session_resyncs;
   out.nack_full_resends = client.stats().nack_full_resends;

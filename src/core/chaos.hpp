@@ -33,6 +33,11 @@ struct ChaosOptions {
   int edits = 6;
   std::size_t file_bytes = 4'000;
   double edit_percent = 5.0;
+  /// Force every update onto the CDC chunk codec (crossover thresholds
+  /// dropped to 1 byte). The server then tracks the file as digests only;
+  /// the byte-identity oracle for such runs is job_output, since
+  /// server_cached is empty for a digest entry by design.
+  bool force_cdc = false;
   /// Poll/tick rounds before a quiesce attempt gives up.
   std::size_t quiesce_budget = 4'000;
 };
@@ -47,8 +52,20 @@ struct ChaosOutcome {
   std::string server_cached;  // server cache content at the end
   std::string job_output;     // retrieved job output file
 
+  /// Server cache entry fingerprint for the workload file. With CDC the
+  /// entry is digest-only (server_cached empty by design); byte identity
+  /// is then proven by entry_crc == crc32(final_content) and
+  /// described_bytes == final_content.size().
+  bool server_entry_digest = false;
+  u32 server_entry_crc = 0;
+  u64 server_described_bytes = 0;
+
   u64 full_transfers = 0;   // server-side: updates carrying full content
   u64 delta_transfers = 0;  // server-side: updates carrying a delta
+  u64 cdc_transfers = 0;    // server-side: updates carrying a chunk delta
+  u64 digest_advances = 0;  // server-side: signature advanced without bytes
+  u64 digest_advance_failures = 0;
+  u64 cdc_sent = 0;         // client-side: updates shipped as chunk deltas
   u64 client_resyncs = 0;
   u64 server_resyncs = 0;
   u64 nack_full_resends = 0;  // client full resends after UpdateAck nack

@@ -45,6 +45,39 @@ std::string make_structured_file(std::size_t bytes, u64 seed) {
   return out;
 }
 
+std::string make_binary_file(std::size_t bytes, u64 seed) {
+  Rng rng(seed ^ 0xB17A11ULL);
+  std::string out(bytes, '\0');
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<char>(rng.below(256));
+  }
+  // Guarantee the binariness sniff fires even on tiny unlucky files.
+  if (!out.empty()) out[out.size() / 2] = '\0';
+  return out;
+}
+
+std::string overwrite_percent(const std::string& content, double percent,
+                              u64 seed) {
+  if (content.empty() || percent <= 0.0) return content;
+  Rng rng(seed ^ 0x0BE17ULL);
+  std::string out = content;
+  const std::size_t target = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(content.size()) *
+                                  std::min(percent, 100.0) / 100.0));
+  // One to four regions: a handful of records rewritten in place.
+  const std::size_t regions = 1 + rng.below(4);
+  for (std::size_t r = 0; r < regions; ++r) {
+    const std::size_t span =
+        std::max<std::size_t>(1, target / regions);
+    const std::size_t at =
+        rng.below(out.size() - std::min(span, out.size()) + 1);
+    for (std::size_t i = 0; i < span && at + i < out.size(); ++i) {
+      out[at + i] = static_cast<char>(rng.below(256));
+    }
+  }
+  return out;
+}
+
 std::string modify_percent(const std::string& content, double percent,
                            u64 seed, const EditMix& mix) {
   if (content.empty() || percent <= 0.0) return content;

@@ -29,10 +29,21 @@ std::string make_file(std::size_t bytes, u64 seed,
 /// have something to find. ~`bytes` long, deterministic in `seed`.
 std::string make_structured_file(std::size_t bytes, u64 seed);
 
+/// Synthetic binary file: ~`bytes` of high-entropy bytes with NULs, the
+/// shape line-based diffs give up on and the CDC codec is built for
+/// (checkpoints, mesh dumps, instrument captures).
+std::string make_binary_file(std::size_t bytes, u64 seed);
+
 /// Simulate an editing session touching ~`percent` of the content bytes.
 /// Deterministic in (content, percent, seed). percent in [0, 100].
 std::string modify_percent(const std::string& content, double percent,
                            u64 seed, const EditMix& mix = EditMix{});
+
+/// Binary editing session: overwrite ~`percent` of the bytes in a few
+/// contiguous regions (the in-place record-update shape — most of the file
+/// survives verbatim, which content-defined chunking exploits).
+std::string overwrite_percent(const std::string& content, double percent,
+                              u64 seed);
 
 /// Bytes in which two strings differ, as a fraction of the first —
 /// a sanity metric used by tests to validate modify_percent.

@@ -38,6 +38,43 @@ struct DiffMetrics {
     return m;
   }
 };
+
+// CDC-codec telemetry (docs/OBSERVABILITY.md, docs/DELTAS.md). The
+// invariant suite checks two identities over this family:
+//   cdc.computes == cdc.deltas + cdc.fallbacks
+//   cdc.wire_bytes == cdc.copy_wire_bytes + cdc.literal_bytes
+//                     + cdc.framing_bytes
+struct CdcMetrics {
+  telemetry::Counter& computes;
+  telemetry::Counter& deltas;          // CDC deltas actually shipped
+  telemetry::Counter& fallbacks;       // fell back to full content
+  telemetry::Counter& chunks_matched;  // copy ops emitted
+  telemetry::Counter& chunks_missed;   // literal ops emitted
+  telemetry::Counter& copied_content_bytes;  // bytes NOT resent
+  telemetry::Counter& literal_bytes;         // literal payload on the wire
+  telemetry::Counter& copy_wire_bytes;       // encoded copy-op bodies
+  telemetry::Counter& framing_bytes;         // headers, tags, prefixes
+  telemetry::Counter& wire_bytes;            // encoded CDC delta bytes
+  telemetry::Counter& applies;
+  telemetry::Counter& apply_failures;
+
+  static CdcMetrics& get() {
+    auto& r = telemetry::Registry::global();
+    static CdcMetrics m{r.counter("cdc.computes"),
+                        r.counter("cdc.deltas"),
+                        r.counter("cdc.fallbacks"),
+                        r.counter("cdc.chunks_matched"),
+                        r.counter("cdc.chunks_missed"),
+                        r.counter("cdc.copied_content_bytes"),
+                        r.counter("cdc.literal_bytes"),
+                        r.counter("cdc.copy_wire_bytes"),
+                        r.counter("cdc.framing_bytes"),
+                        r.counter("cdc.wire_bytes"),
+                        r.counter("cdc.applies"),
+                        r.counter("cdc.apply_failures")};
+    return m;
+  }
+};
 }  // namespace
 
 const char* algorithm_name(Algorithm algo) {
@@ -117,6 +154,52 @@ Delta Delta::compute_adaptive(std::string_view base,
   return blocks.wire_size() < ed.wire_size() ? blocks : ed;
 }
 
+Delta Delta::compute_cdc(const cdc::Signature& base_sig,
+                         std::string_view target) {
+  CdcMetrics& metrics = CdcMetrics::get();
+  metrics.computes.add();
+  Delta d;
+  d.format = Format::kCdc;
+  d.cdc = cdc::CdcDelta::compute(base_sig, target);
+  // Never lose badly: a CDC delta may cost a hair more than the raw
+  // content (an all-literal first transfer is the target plus ~5 bytes of
+  // framing per chunk — worth it, because it seeds the server's digest
+  // entry), but anything past ~6% overhead means the chunker degenerated
+  // and full content is the honest choice.
+  const std::size_t wire = d.wire_size();
+  if (wire > target.size() + target.size() / 16 + 64) {
+    metrics.fallbacks.add();
+    return make_full(std::string(target));
+  }
+  metrics.deltas.add();
+  std::size_t copies = 0;
+  std::size_t literals = 0;
+  std::size_t copy_wire = 0;
+  u64 copied_content = 0;
+  u64 literal_payload = 0;
+  for (const cdc::CdcOp& op : d.cdc.ops) {
+    if (op.kind == cdc::CdcOp::Kind::kCopy) {
+      ++copies;
+      copied_content += op.digest.length;
+      // Encoded copy-op body: varint(length) + crc32 + fnv64.
+      BufWriter body;
+      body.put_varint(op.digest.length);
+      copy_wire += body.size() + sizeof(u32) + sizeof(u64);
+    } else {
+      ++literals;
+      literal_payload += op.literal.size();
+    }
+  }
+  metrics.chunks_matched.add(copies);
+  metrics.chunks_missed.add(literals);
+  metrics.copied_content_bytes.add(copied_content);
+  metrics.literal_bytes.add(literal_payload);
+  metrics.copy_wire_bytes.add(copy_wire);
+  metrics.framing_bytes.add(wire - copy_wire - literal_payload);
+  metrics.wire_bytes.add(wire);
+  return d;
+}
+
 Result<std::string> Delta::apply(const std::string& base) const {
   DiffMetrics& metrics = DiffMetrics::get();
   metrics.applies.add();
@@ -137,6 +220,13 @@ Result<std::string> Delta::apply(const std::string& base) const {
         return apply_ed_script(base, ed);
       case Format::kBlockMove:
         return apply_block_move(base, blocks);
+      case Format::kCdc: {
+        CdcMetrics& cdc_metrics = CdcMetrics::get();
+        cdc_metrics.applies.add();
+        auto result = cdc.apply(base);
+        if (!result.ok()) cdc_metrics.apply_failures.add();
+        return result;
+      }
     }
     return Error{ErrorCode::kInternal, "corrupt delta format tag"};
   }();
@@ -163,13 +253,16 @@ void Delta::encode(BufWriter& out) const {
     case Format::kBlockMove:
       encode_block_move(blocks, out);
       break;
+    case Format::kCdc:
+      cdc.encode(out);
+      break;
   }
 }
 
 Result<Delta> Delta::decode(BufReader& in) {
   Delta d;
   SHADOW_ASSIGN_OR_RETURN(tag, in.get_u8());
-  if (tag > 2) {
+  if (tag > 3) {
     return Error{ErrorCode::kProtocolError, "bad delta format tag"};
   }
   d.format = static_cast<Format>(tag);
@@ -189,6 +282,11 @@ Result<Delta> Delta::decode(BufReader& in) {
     case Format::kBlockMove: {
       SHADOW_ASSIGN_OR_RETURN(blocks, decode_block_move(in));
       d.blocks = std::move(blocks);
+      break;
+    }
+    case Format::kCdc: {
+      SHADOW_ASSIGN_OR_RETURN(chunks, cdc::CdcDelta::decode(in));
+      d.cdc = std::move(chunks);
       break;
     }
   }

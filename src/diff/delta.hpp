@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "cdc/cdc_delta.hpp"
 #include "diff/block_move.hpp"
 #include "diff/edit_script.hpp"
 #include "util/byte_io.hpp"
@@ -28,13 +29,19 @@ const char* algorithm_name(Algorithm algo);
 Result<Algorithm> algorithm_from_name(const std::string& name);
 
 struct Delta {
-  enum class Format : u8 { kFull = 0, kEdScript = 1, kBlockMove = 2 };
+  enum class Format : u8 {
+    kFull = 0,
+    kEdScript = 1,
+    kBlockMove = 2,
+    kCdc = 3,  // content-defined-chunking delta (docs/DELTAS.md)
+  };
 
   Format format = Format::kFull;
   std::string full;          // kFull: complete target content
   u32 full_crc = 0;          // kFull: fingerprint of `full` (fail closed)
   EditScript ed;             // kEdScript
   BlockMoveDelta blocks;     // kBlockMove
+  cdc::CdcDelta cdc;         // kCdc
 
   /// Construct a full-content delta (no base needed to apply).
   static Delta make_full(std::string content);
@@ -55,11 +62,23 @@ struct Delta {
   static Delta compute_adaptive(std::string_view base,
                                 std::string_view target);
 
+  /// Compute a CDC delta of `target` against the base's chunk-digest
+  /// signature — the base CONTENT is not needed, so the sender can
+  /// reconcile against a digest-only peer. Falls back to kFull when the
+  /// chunk delta would not beat shipping the content (same never-lose
+  /// invariant as compute()).
+  static Delta compute_cdc(const cdc::Signature& base_sig,
+                           std::string_view target);
+
   /// Reconstruct the target. `base` is ignored for kFull.
   Result<std::string> apply(const std::string& base) const;
 
-  /// True when applying requires the base content.
-  bool needs_base() const { return format != Format::kFull; }
+  /// True when applying requires the base content. An all-literal CDC
+  /// delta (first transfer) applies against anything, including no base.
+  bool needs_base() const {
+    return format == Format::kCdc ? cdc.has_copies()
+                                  : format != Format::kFull;
+  }
 
   /// Encoded size in bytes — the transfer cost the figures measure.
   std::size_t wire_size() const;

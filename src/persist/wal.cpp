@@ -13,6 +13,7 @@ const char* record_type_name(RecordType type) {
     case RecordType::kJobFinished: return "job-finished";
     case RecordType::kJobDelivered: return "job-delivered";
     case RecordType::kOutputStored: return "output-stored";
+    case RecordType::kShadowDigest: return "shadow-digest";
   }
   return "?";
 }

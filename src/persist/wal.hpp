@@ -30,6 +30,7 @@ enum class RecordType : u8 {
   kJobFinished = 5,    // a job completed or failed (before JobOutput)
   kJobDelivered = 6,   // the client acknowledged the job's output
   kOutputStored = 7,   // reverse-shadow output cache updated
+  kShadowDigest = 8,   // a CDC-tracked shadow's digest signature advanced
 };
 
 const char* record_type_name(RecordType type);

@@ -86,11 +86,13 @@ void encode_body(const Hello& m, BufWriter& w) {
   w.put_string(m.domain);
   // Trailing, optional on decode: a legacy frame simply ends here.
   w.put_varint(m.protocol_version);
+  w.put_varint(m.codecs);
 }
 
 void encode_body(const HelloReply& m, BufWriter& w) {
   w.put_string(m.server_name);
   w.put_varint(m.protocol_version);
+  w.put_varint(m.codecs);
 }
 
 void encode_body(const Heartbeat& m, BufWriter& w) {
@@ -115,6 +117,9 @@ void encode_body(const PullRequest& m, BufWriter& w) {
   m.file.encode(w);
   w.put_varint(m.have_version);
   w.put_varint(m.want_version);
+  // Optional trailing codec hint: omitted when zero so a hint-free pull
+  // stays byte-identical to the legacy encoding.
+  if (m.codec_hint != 0) w.put_varint(m.codec_hint);
 }
 
 void encode_body(const Update& m, BufWriter& w) {
@@ -242,9 +247,16 @@ Result<Hello> decode_hello(BufReader& r) {
   m.domain = std::move(domain);
   // Version negotiation: frames from a pre-v1 peer end here.
   m.protocol_version = 0;
+  m.codecs = kLegacyCodecs;
   if (!r.at_end()) {
     SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
     m.protocol_version = static_cast<u32>(version);
+  }
+  // Codec capabilities: frames from a pre-CDC peer end here, which
+  // implies the legacy ed-script + block-move pair.
+  if (!r.at_end()) {
+    SHADOW_ASSIGN_OR_RETURN(codecs, r.get_varint());
+    m.codecs = static_cast<u32>(codecs);
   }
   return m;
 }
@@ -254,9 +266,14 @@ Result<HelloReply> decode_hello_reply(BufReader& r) {
   SHADOW_ASSIGN_OR_RETURN(server_name, r.get_string());
   m.server_name = std::move(server_name);
   m.protocol_version = 0;
+  m.codecs = kLegacyCodecs;
   if (!r.at_end()) {
     SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
     m.protocol_version = static_cast<u32>(version);
+  }
+  if (!r.at_end()) {
+    SHADOW_ASSIGN_OR_RETURN(codecs, r.get_varint());
+    m.codecs = static_cast<u32>(codecs);
   }
   return m;
 }
@@ -302,6 +319,11 @@ Result<PullRequest> decode_pull(BufReader& r) {
   m.file = std::move(file);
   m.have_version = have;
   m.want_version = want;
+  m.codec_hint = 0;
+  if (!r.at_end()) {
+    SHADOW_ASSIGN_OR_RETURN(hint, r.get_varint());
+    m.codec_hint = static_cast<u32>(hint);
+  }
   return m;
 }
 

@@ -77,15 +77,27 @@ const char* job_state_name(JobState state);
 /// falls back to the v0 behaviours (silent close / SubmitReply reject).
 inline constexpr u32 kShadowProtocolVersion = 1;
 
+// Delta-codec capability bits exchanged at Hello (docs/DELTAS.md). A
+// frame that ends before the codec mask — any pre-CDC peer — implies the
+// legacy pair, so negotiation degrades transparently: the intersection of
+// both masks never includes CDC unless both ends advertise it.
+inline constexpr u32 kCodecEdScript = 1u << 0;
+inline constexpr u32 kCodecBlockMove = 1u << 1;
+inline constexpr u32 kCodecCdc = 1u << 2;
+inline constexpr u32 kLegacyCodecs = kCodecEdScript | kCodecBlockMove;
+inline constexpr u32 kAllCodecs = kLegacyCodecs | kCodecCdc;
+
 struct Hello {
   std::string client_name;  // client host identity
   std::string domain;       // client's naming domain id
   u32 protocol_version = kShadowProtocolVersion;  // 0 = legacy peer
+  u32 codecs = kAllCodecs;  // delta codecs the client can produce
 };
 
 struct HelloReply {
   std::string server_name;
   u32 protocol_version = kShadowProtocolVersion;  // 0 = legacy peer
+  u32 codecs = kAllCodecs;  // delta codecs the server accepts
 };
 
 /// Client -> server: explicit lease renewal for a connection with no
@@ -126,6 +138,12 @@ struct PullRequest {
   naming::GlobalFileId file;
   u64 have_version = 0;
   u64 want_version = 0;
+  /// Codec the server needs the delta in (a kCodec* bit), or 0 for the
+  /// sender's choice. A digest-only server sets kCodecCdc: it holds the
+  /// base as a signature, so only a CDC delta (or a full transfer) can
+  /// advance it. Encoded only when nonzero — a hint-free pull is
+  /// byte-identical to the legacy wire format.
+  u32 codec_hint = 0;
 };
 
 /// Client -> server: the requested content. If the client no longer

@@ -234,11 +234,15 @@ Result<ScenarioReport> ScenarioRunner::run() {
       }
       const u64 file_seed = rng.next();
 
+      const bool binary = cls.binary;
       const sim::SimTime create_at =
           cls.start + rng.below(std::max<u64>(cls.burst, 1));
       simp->schedule_at(create_at, [=] {
         const std::string content =
-            core::make_file(static_cast<std::size_t>(size), file_seed);
+            binary ? core::make_binary_file(static_cast<std::size_t>(size),
+                                            file_seed)
+                   : core::make_file(static_cast<std::size_t>(size),
+                                     file_seed);
         ctx->content_len = content.size();
         (void)sysp->editor(ctx->name).create(kDataPath, content);
       });
@@ -274,7 +278,9 @@ Result<ScenarioReport> ScenarioRunner::run() {
           auto& editor = sysp->editor(ctx->name);
           (void)editor.edit(kDataPath, [=](const std::string& old) {
             std::string next =
-                core::modify_percent(old, edit_percent, edit_seed);
+                binary ? core::overwrite_percent(old, edit_percent,
+                                                 edit_seed)
+                       : core::modify_percent(old, edit_percent, edit_seed);
             ctx->content_len = next.size();
             return next;
           });
@@ -318,6 +324,7 @@ Result<ScenarioReport> ScenarioRunner::run() {
     server_sum.output_bytes += st.output_bytes;
     server_sum.full_transfers += st.full_transfers;
     server_sum.delta_transfers += st.delta_transfers;
+    server_sum.cdc_transfers += st.cdc_transfers;
     server_sum.busy_rejects += st.busy_rejects;
   }
 
@@ -388,6 +395,7 @@ Result<ScenarioReport> ScenarioRunner::run() {
 
   report.full_transfers = server_sum.full_transfers;
   report.delta_transfers = server_sum.delta_transfers;
+  report.cdc_transfers = server_sum.cdc_transfers;
   report.updates_received = server_sum.updates_received;
   report.outputs_sent = server_sum.outputs_sent;
 
@@ -446,10 +454,10 @@ std::string to_json(const ScenarioReport& r) {
           r.cache_hit_rate);
   appendf(&out,
           "  \"transfers\": {\"full\": %" PRIu64 ", \"delta\": %" PRIu64
-          ", \"updates_received\": %" PRIu64 ", \"outputs_sent\": %" PRIu64
-          "},\n",
-          r.full_transfers, r.delta_transfers, r.updates_received,
-          r.outputs_sent);
+          ", \"cdc\": %" PRIu64 ", \"updates_received\": %" PRIu64
+          ", \"outputs_sent\": %" PRIu64 "},\n",
+          r.full_transfers, r.delta_transfers, r.cdc_transfers,
+          r.updates_received, r.outputs_sent);
   out += "  \"classes\": [";
   for (std::size_t i = 0; i < r.classes.size(); ++i) {
     const ClassReport& c = r.classes[i];
@@ -499,8 +507,9 @@ std::string to_text(const ScenarioReport& r) {
           r.cache_hits, r.cache_misses, r.cache_hit_rate * 100.0,
           r.cache_evictions);
   appendf(&out,
-          "  transfers  %" PRIu64 " full, %" PRIu64 " delta\n",
-          r.full_transfers, r.delta_transfers);
+          "  transfers  %" PRIu64 " full, %" PRIu64 " delta, %" PRIu64
+          " cdc\n",
+          r.full_transfers, r.delta_transfers, r.cdc_transfers);
   for (const auto& c : r.classes) {
     appendf(&out,
             "  class %-14s %5" PRIu64 " clients  %6" PRIu64

@@ -75,9 +75,12 @@ struct ScenarioReport {
   u64 cache_evictions = 0;
   double cache_hit_rate = 0.0;
 
-  // Transfer mix.
+  // Transfer mix. cdc_transfers counts delta updates in the CDC codec
+  // (binary populations; a subset of neither full nor delta — see
+  // docs/DELTAS.md).
   u64 full_transfers = 0;
   u64 delta_transfers = 0;
+  u64 cdc_transfers = 0;
   u64 updates_received = 0;
   u64 outputs_sent = 0;
 

@@ -365,6 +365,10 @@ Status apply_host(HostClass* h, const SpecLine& l) {
         h->edit_percent > 100) {
       return at(l.number, "edit_percent must be in (0, 100]");
     }
+  } else if (l.key == "binary") {
+    if (!parse_bool(l.value, &h->binary)) {
+      return at(l.number, "bad binary '" + l.value + "' (on|off)");
+    }
   } else if (l.key == "start") {
     if (!parse_duration(l.value, &h->start)) {
       return at(l.number, "bad start '" + l.value + "'");
@@ -601,6 +605,7 @@ std::string to_text(const Scenario& s) {
     append_kv(&out, 4, "file_size", fmt_u64(h.file_size));
     append_kv(&out, 4, "file_spread", fmt_f64(h.file_spread));
     append_kv(&out, 4, "edit_percent", fmt_f64(h.edit_percent));
+    append_kv(&out, 4, "binary", h.binary ? "on" : "off");
     append_kv(&out, 4, "start", fmt_duration(h.start));
     append_kv(&out, 4, "burst", fmt_duration(h.burst));
     append_kv(&out, 4, "think", fmt_duration(h.think));

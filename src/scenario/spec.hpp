@@ -76,6 +76,10 @@ struct HostClass {
   u64 file_size = 20'000;      // mean data-file bytes
   double file_spread = 0.0;    // uniform +/- fraction of file_size
   double edit_percent = 5.0;   // % of the file touched per session
+  /// Binary population: data files are high-entropy bytes and edits are
+  /// in-place region overwrites, so sessions exercise the CDC codec
+  /// crossover instead of line diffs (examples/big_binaries.scn).
+  bool binary = false;
   sim::SimTime start = 0;      // when the class wakes up
   sim::SimTime burst = 5 * sim::kMicrosPerSecond;   // arrival spread window
   sim::SimTime think = 30 * sim::kMicrosPerSecond;  // mean time between cycles

@@ -219,6 +219,19 @@ Bytes ShadowServer::cached_record_body(const FileState& state, u64 version,
   return w.take();
 }
 
+Bytes ShadowServer::digest_record_body(const FileState& state, u64 version,
+                                       u32 crc,
+                                       const cdc::Signature& signature) {
+  BufWriter w;
+  state.id.encode(w);
+  w.put_string(state.cache_key);
+  w.put_varint(version);
+  w.put_u32(crc);
+  signature.encode(w);
+  w.put_string(state.owner_client);
+  return w.take();
+}
+
 Bytes ShadowServer::finished_record_body(const job::JobRecord& record) {
   BufWriter w;
   w.put_varint(record.job_id);
@@ -626,6 +639,13 @@ ShadowServer::FileState& ShadowServer::file_state(
 
 void ShadowServer::handle(Connection* conn, const proto::Hello& m) {
   conn->protocol_version = m.protocol_version;
+  // Codec negotiation (docs/DELTAS.md): remember the intersection of what
+  // the client can produce and what this server accepts. Legacy frames
+  // decoded with kLegacyCodecs, so CDC is never in the intersection
+  // unless both ends advertise it.
+  const u32 server_codecs =
+      config_.cdc_enabled ? proto::kAllCodecs : proto::kLegacyCodecs;
+  conn->codecs = m.codecs & server_codecs;
   // Admission control at the door: a draining server takes no new
   // sessions, and a full shard sheds rather than degrading everyone.
   // The transport stays attached — the client backs off (retry_after)
@@ -658,6 +678,7 @@ void ShadowServer::handle(Connection* conn, const proto::Hello& m) {
   domains_.domain(m.domain);
   proto::HelloReply reply;
   reply.server_name = config_.name;
+  reply.codecs = server_codecs;
   send(conn, reply);
   // Results that finished while the client was away (e.g. the server was
   // restarted from its journal): deliver now that there is a connection.
@@ -709,10 +730,24 @@ void ShadowServer::handle(Connection* conn, const proto::NotifyNewVersion& m) {
   }
 }
 
-void ShadowServer::maybe_pull(FileState& state) {
+void ShadowServer::maybe_pull(FileState& state, bool need_bytes) {
   if (state.latest_known == 0) return;
-  const auto cached = cache_.version_of(state.cache_key);
-  if (cached && *cached >= state.latest_known) return;  // up to date
+  const cache::CacheEntry* entry = cache_.peek(state.cache_key);
+  const bool version_current =
+      entry != nullptr && entry->version >= state.latest_known;
+  // A digest entry satisfies version tracking but cannot feed a job's
+  // sandbox: when bytes are needed and only digests (and no pin) are
+  // resident, pull full content for the CURRENT version.
+  bool materialize = false;
+  if (version_current) {
+    if (!need_bytes || entry->has_bytes()) return;  // up to date
+    auto pinned = pinned_.find(state.cache_key);
+    if (pinned != pinned_.end() &&
+        pinned->second.version >= state.latest_known) {
+      return;  // bytes already pinned for the job
+    }
+    materialize = true;
+  }
   if (state.pull_outstanding >= state.latest_known) return;  // in flight
   if (state.owner_client.empty()) return;
   if (load_says_wait()) {
@@ -728,7 +763,19 @@ void ShadowServer::maybe_pull(FileState& state) {
   }
   proto::PullRequest pull;
   pull.file = state.id;
-  pull.have_version = cached.value_or(0);
+  if (materialize) {
+    // have_version 0 = send the whole file; the digest entry stays (the
+    // content is pinned for the job, not cached).
+    pull.have_version = 0;
+  } else if (entry != nullptr && !entry->has_bytes()) {
+    // Digest-only base: only a CDC delta (or full content) can advance
+    // it, so say so — otherwise the client might ship an ed script the
+    // server has no bytes to apply to.
+    pull.have_version = entry->version;
+    pull.codec_hint = proto::kCodecCdc;
+  } else {
+    pull.have_version = entry == nullptr ? 0 : entry->version;
+  }
   pull.want_version = state.latest_known;
   state.pull_outstanding = state.latest_known;
   state.pull_wanted = false;
@@ -783,13 +830,23 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
     return;
   }
 
+  // CDC deltas never materialize content on the server: they advance the
+  // file's chunk-digest signature instead (per-user memory O(digests)).
+  if (delta.value().format == diff::Delta::Format::kCdc) {
+    handle_cdc_update(conn, m, state, delta.value());
+    return;
+  }
+
   std::string content;
   if (delta.value().needs_base()) {
     ++stats_.delta_transfers;
     auto base = cache_.get(state.cache_key);
-    if (!base.ok() || base.value()->version != m.base_version) {
-      // Best-effort cache lost the base (or holds the wrong one): fall
-      // back to a full transfer (§5.1). No ack — the re-pull supersedes.
+    if (!base.ok() || base.value()->version != m.base_version ||
+        !base.value()->has_bytes()) {
+      // Best-effort cache lost the base (or holds the wrong one, or holds
+      // only its digests — a line delta cannot apply to a signature):
+      // fall back to a full transfer (§5.1). No ack — the re-pull
+      // supersedes.
       SHADOW_DEBUG() << config_.name << ": base v" << m.base_version
                      << " unavailable for " << m.file.display()
                      << "; re-pulling full";
@@ -873,6 +930,41 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
       }
     }
   }
+  // A CDC-tracked file stays digest-only even when full content arrives
+  // (a materialize pull for a job, or a full-transfer fallback): the
+  // server re-digests and keeps O(digests) resident; the bytes go to the
+  // job pin, never the cache.
+  const cache::CacheEntry* existing = cache_.peek(state.cache_key);
+  if (existing != nullptr && !existing->has_bytes()) {
+    const cdc::ChunkerParams params = existing->signature.params.valid()
+                                          ? existing->signature.params
+                                          : cdc::ChunkerParams{};
+    cdc::Signature sig = cdc::signature_of(content, params);
+    Bytes body = digest_record_body(state, m.new_version, content_crc, sig);
+    if (needed_by_job) {
+      pinned_[state.cache_key] = PinnedFile{m.new_version, content};
+    }
+    (void)cache_.put_digest(state.cache_key, m.new_version, std::move(sig),
+                            content_crc);
+    record_event(telemetry::EventKind::kCache,
+                 "re-digested " + state.cache_key + " v" +
+                     std::to_string(m.new_version) + " (" +
+                     std::to_string(content.size()) + " bytes)");
+    persist_append_then(
+        persist::RecordType::kShadowDigest, std::move(body),
+        [this, conn, client = conn->client_name, file = m.file,
+         version = m.new_version] {
+          proto::UpdateAck ack;
+          ack.file = file;
+          ack.version = version;
+          ack.ok = true;
+          send_if_attached(conn, client, ack);
+          drain_deferred_pulls();
+          schedule_jobs();
+        });
+    return;
+  }
+
   Status put =
       cache_.put(state.cache_key, m.new_version, content, content_crc);
   if (!put.ok() && needed_by_job) {
@@ -892,6 +984,143 @@ void ShadowServer::handle(Connection* conn, const proto::Update& m) {
   persist_append_then(
       persist::RecordType::kShadowCached,
       cached_record_body(state, m.new_version, content_crc, content),
+      [this, conn, client = conn->client_name, file = m.file,
+       version = m.new_version] {
+        proto::UpdateAck ack;
+        ack.file = file;
+        ack.version = version;
+        ack.ok = true;
+        send_if_attached(conn, client, ack);
+        drain_deferred_pulls();
+        schedule_jobs();
+      });
+}
+
+void ShadowServer::handle_cdc_update(Connection* conn, const proto::Update& m,
+                                     FileState& state,
+                                     const diff::Delta& delta) {
+  ++stats_.delta_transfers;
+  ++stats_.cdc_transfers;
+  const cdc::CdcDelta& d = delta.cdc;
+
+  // Resolve the base signature the copy ops reference. A digest entry IS
+  // the signature; a content entry is chunked on the fly (the transition
+  // put: from here on the file is digest-tracked); no copies need no base.
+  const cache::CacheEntry* entry = cache_.peek(state.cache_key);
+  cdc::Signature base_sig;
+  base_sig.params = d.params;
+  if (d.has_copies()) {
+    if (entry == nullptr || entry->version != m.base_version) {
+      // Best-effort cache lost the base (or holds the wrong one): fall
+      // back to a full transfer (§5.1). No ack — the re-pull supersedes.
+      SHADOW_DEBUG() << config_.name << ": cdc base v" << m.base_version
+                     << " unavailable for " << m.file.display()
+                     << "; re-pulling full";
+      proto::PullRequest pull;
+      pull.file = m.file;
+      pull.have_version = 0;
+      pull.want_version = m.new_version;
+      state.pull_outstanding = m.new_version;
+      ++outstanding_pulls_;
+      ++stats_.pulls_sent;
+      send(conn, pull);
+      return;
+    }
+    base_sig = entry->has_bytes()
+                   ? cdc::signature_of(entry->content, d.params)
+                   : entry->signature;
+  }
+
+  // Advance digests only: copies are membership-checked against the base
+  // signature, literals are digested, and the composed whole-file CRC
+  // must match the sender's target CRC (the digest-mode verified apply).
+  auto advanced = d.signature_after(base_sig);
+  if (!advanced.ok()) {
+    ++stats_.digest_advance_failures;
+    proto::PullRequest pull;
+    pull.file = m.file;
+    pull.have_version = 0;
+    pull.want_version = m.new_version;
+    state.pull_outstanding = m.new_version;
+    ++outstanding_pulls_;
+    ++stats_.pulls_sent;
+    send(conn, pull);
+    return;
+  }
+  ++stats_.digest_advances;
+  const u32 content_crc = d.target_crc;
+
+  // Same notify-CRC cross-check as the content path, one shot only (the
+  // recorded crc may itself be the damaged half).
+  if (m.new_version == state.latest_known && state.latest_crc != 0 &&
+      content_crc != state.latest_crc) {
+    state.latest_crc = 0;
+    proto::UpdateAck nack;
+    nack.file = m.file;
+    nack.version = m.new_version;
+    nack.ok = false;
+    nack.error = "content crc mismatch";
+    send(conn, nack);
+    return;
+  }
+  if (m.new_version > state.latest_known) {
+    state.latest_known = m.new_version;
+    state.latest_size = d.target_bytes;
+    state.latest_crc = content_crc;
+  }
+
+  // Jobs need bytes, not digests. Materialize a pin when the delta alone
+  // (all literals) or the resident base content allows it; otherwise the
+  // scheduler issues a materialize pull for full content.
+  bool needed_by_job = false;
+  for (const auto& [id, record] : queue_.all()) {
+    if (record.state != proto::JobState::kQueued &&
+        record.state != proto::JobState::kWaitingFiles) {
+      continue;
+    }
+    for (const auto& ref : record.files) {
+      if (domains_.cache_key(ref.file) == state.cache_key &&
+          m.new_version >= ref.version) {
+        needed_by_job = true;
+      }
+    }
+  }
+  if (needed_by_job) {
+    Result<std::string> bytes =
+        Error{ErrorCode::kCacheMiss, "no bytes resident"};
+    if (!d.has_copies()) {
+      bytes = d.apply(std::string_view());
+    } else if (entry != nullptr && entry->has_bytes() &&
+               entry->version == m.base_version) {
+      bytes = d.apply(entry->content);
+    } else {
+      // An earlier materialize pull may have pinned the base bytes for a
+      // job still in the queue; advancing the pin with the delta beats
+      // re-pulling the whole file when edits race the job.
+      auto pin = pinned_.find(state.cache_key);
+      if (pin != pinned_.end() && pin->second.version == m.base_version) {
+        bytes = d.apply(pin->second.content);
+      }
+    }
+    if (bytes.ok()) {
+      pinned_[state.cache_key] =
+          PinnedFile{m.new_version, std::move(bytes).take()};
+    }
+  }
+
+  cdc::Signature sig = std::move(advanced).take();
+  Bytes body = digest_record_body(state, m.new_version, content_crc, sig);
+  (void)cache_.put_digest(state.cache_key, m.new_version, std::move(sig),
+                          content_crc);
+  record_event(telemetry::EventKind::kCache,
+               "digest " + state.cache_key + " v" +
+                   std::to_string(m.new_version) + " (" +
+                   std::to_string(d.target_bytes) + " bytes described)");
+
+  // Write-ahead rule, unchanged: the ack promises durability of the
+  // digest record, so it waits for the journal fsync.
+  persist_append_then(
+      persist::RecordType::kShadowDigest, std::move(body),
       [this, conn, client = conn->client_name, file = m.file,
        version = m.new_version] {
         proto::UpdateAck ack;
@@ -1042,8 +1271,13 @@ bool ShadowServer::files_ready(const job::JobRecord& record) const {
     if (!sid) return false;
     const std::string key =
         ref.file.domain + "/" + std::to_string(*sid);
-    const auto cached = cache_.version_of(key);
-    if (cached && *cached >= ref.version) continue;
+    // Only entries with resident BYTES count: a digest entry tracks the
+    // version but cannot fill an executor sandbox.
+    const auto* entry = cache_.peek(key);
+    if (entry != nullptr && entry->has_bytes() &&
+        entry->version >= ref.version) {
+      continue;
+    }
     auto pinned = pinned_.find(key);
     if (pinned != pinned_.end() && pinned->second.version >= ref.version) {
       continue;
@@ -1073,7 +1307,8 @@ void ShadowServer::schedule_jobs() {
     }
     for (const auto& ref : record.files) {
       FileState& state = file_state(ref.file);
-      maybe_pull(state);
+      // Jobs need bytes: a current-but-digest-only entry still pulls.
+      maybe_pull(state, /*need_bytes=*/true);
     }
   }
 }
@@ -1083,7 +1318,8 @@ void ShadowServer::start_job(job::JobRecord& record) {
   for (const auto& ref : record.files) {
     const std::string key = domains_.cache_key(ref.file);
     auto cached = cache_.get(key);
-    if (cached.ok() && cached.value()->version >= ref.version) {
+    if (cached.ok() && cached.value()->has_bytes() &&
+        cached.value()->version >= ref.version) {
       sandbox[ref.local_name] = cached.value()->content;
       continue;
     }
@@ -1092,11 +1328,12 @@ void ShadowServer::start_job(job::JobRecord& record) {
       sandbox[ref.local_name] = pinned->second.content;
       continue;
     }
-    // Evicted between readiness check and start: go back to waiting.
+    // Evicted between readiness check and start (or resident as digests
+    // only): go back to waiting and pull real bytes.
     (void)queue_.transition(record.job_id, proto::JobState::kWaitingFiles,
                             "input evicted before start; re-pulling");
     FileState& state = file_state(ref.file);
-    maybe_pull(state);
+    maybe_pull(state, /*need_bytes=*/true);
     return;
   }
 
@@ -1346,8 +1583,10 @@ constexpr u32 kServerSnapshotMagic = 0x53485356;  // "SHSV"
 // v2 appended the job queue (crash-consistent durability needs jobs in
 // the compacted snapshot, not only in the journal). v3 appended the
 // shard manifest (shard id + shard count) for the thread-per-core
-// server; v2 snapshots still restore (as shard 0 of 1).
-constexpr u8 kSnapshotVersion = 3;
+// server; v2 snapshots still restore (as shard 0 of 1). v4 added the
+// per-entry kind byte to the cache section (content vs digest-only CDC
+// entries); v2/v3 snapshots decode every entry as content.
+constexpr u8 kSnapshotVersion = 4;
 constexpr u8 kMinSnapshotVersion = 2;
 }  // namespace
 
@@ -1388,7 +1627,7 @@ Status ShadowServer::restore_state(const Bytes& snapshot) {
       version > kSnapshotVersion) {
     return Error{ErrorCode::kInvalidArgument, "not a server snapshot"};
   }
-  SHADOW_TRY(cache_.restore(r));
+  SHADOW_TRY(cache_.restore(r, /*with_kinds=*/version >= 4));
   SHADOW_ASSIGN_OR_RETURN(domains, naming::DomainMap::decode(r));
   domains_ = std::move(domains);
   SHADOW_ASSIGN_OR_RETURN(file_count, r.get_varint());
@@ -1509,6 +1748,32 @@ Status ShadowServer::replay_record(const persist::JournalRecord& record) {
       // A refused put (over budget) is the cache's normal best-effort
       // behaviour, not a replay failure.
       (void)cache_.put(key, version, std::move(content), crc);
+      return Status();
+    }
+    case persist::RecordType::kShadowDigest: {
+      SHADOW_ASSIGN_OR_RETURN(id, naming::GlobalFileId::decode(r));
+      SHADOW_ASSIGN_OR_RETURN(key, r.get_string());
+      SHADOW_ASSIGN_OR_RETURN(version, r.get_varint());
+      SHADOW_ASSIGN_OR_RETURN(crc, r.get_u32());
+      SHADOW_ASSIGN_OR_RETURN(sig, cdc::Signature::decode(r));
+      SHADOW_ASSIGN_OR_RETURN(owner, r.get_string());
+      const auto split = split_cache_key(key);
+      if (!split) {
+        return Error{ErrorCode::kProtocolError, "malformed cache key " + key};
+      }
+      domains_.bind(id, split->second);
+      FileState& state = files_[key];
+      state.id = std::move(id);
+      state.cache_key = key;
+      if (version >= state.latest_known) {
+        state.latest_known = version;
+        state.latest_size = sig.total_bytes();
+        state.latest_crc = crc;
+        state.owner_client = std::move(owner);
+      }
+      state.pull_outstanding = 0;
+      state.pull_wanted = false;
+      (void)cache_.put_digest(key, version, std::move(sig), crc);
       return Status();
     }
     case persist::RecordType::kShadowEvicted: {
@@ -1732,6 +1997,21 @@ void ShadowServer::sync_telemetry() const {
   r.counter(p + "server.recovered_records").store(stats_.recovered_records);
   r.counter(p + "server.requeued_jobs").store(stats_.requeued_jobs);
   r.counter(p + "server.retry_capped_jobs").store(stats_.retry_capped_jobs);
+
+  // CDC digest tracking (docs/DELTAS.md): how many transfers arrived as
+  // chunk deltas, whether the server could advance its signature without
+  // the bytes, and what the digest-only entries cost vs represent.
+  r.counter(p + "server.cdc_transfers").store(stats_.cdc_transfers);
+  r.counter(p + "server.digest_advances").store(stats_.digest_advances);
+  r.counter(p + "server.digest_advance_failures")
+      .store(stats_.digest_advance_failures);
+  const auto digests = cache_.digest_stats();
+  r.gauge(p + "server.digest_entries")
+      .set(static_cast<double>(digests.entries));
+  r.gauge(p + "server.digest_resident_bytes")
+      .set(static_cast<double>(digests.resident_bytes));
+  r.gauge(p + "server.digest_represented_bytes")
+      .set(static_cast<double>(digests.represented_bytes));
 
   // Overload control & leases (docs/OPERATIONS.md): how much work the
   // server is refusing, and why.

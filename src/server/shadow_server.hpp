@@ -93,6 +93,11 @@ struct ServerConfig {
   /// shard 2; empty for a standalone server, preserving the plain
   /// server.*/load.* names shadowtop has always shown).
   std::string telemetry_prefix;
+  /// Accept the content-defined-chunking delta codec and hold CDC-tracked
+  /// files as digest-only cache entries (docs/DELTAS.md). Off, the server
+  /// advertises only the legacy codecs and every client falls back to
+  /// ed-script/block-move.
+  bool cdc_enabled = true;
 };
 
 struct ServerStats {
@@ -103,6 +108,9 @@ struct ServerStats {
   u64 update_bytes = 0;     // Update payload bytes received
   u64 full_transfers = 0;   // updates that carried full content
   u64 delta_transfers = 0;  // updates that carried a delta
+  u64 cdc_transfers = 0;    // delta updates in the CDC codec
+  u64 digest_advances = 0;  // signatures advanced without content bytes
+  u64 digest_advance_failures = 0;  // stale/failed advances (full re-pull)
   u64 jobs_submitted = 0;
   u64 jobs_rejected = 0;  // admission control refusals
   u64 jobs_completed = 0;
@@ -274,6 +282,9 @@ class ShadowServer {
     /// From the client's Hello; 0 (legacy) clients never receive
     /// ServerBusy or Heartbeat frames they would not understand.
     u32 protocol_version = 0;
+    /// Delta codecs the client advertised at Hello, intersected with what
+    /// this server accepts. Legacy frames imply ed-script + block-move.
+    u32 codecs = proto::kLegacyCodecs;
     /// Last traffic/Heartbeat, sim or steady micros (lease bookkeeping).
     u64 lease_renewed_us = 0;
     /// Marked dead mid-dispatch (queue overflow, expired lease); ignored
@@ -297,6 +308,10 @@ class ShadowServer {
   void handle(Connection* conn, const proto::Hello& m);
   void handle(Connection* conn, const proto::NotifyNewVersion& m);
   void handle(Connection* conn, const proto::Update& m);
+  /// The digest-only arm of handle(Update): advance the file's signature
+  /// from a CDC delta without materializing content (docs/DELTAS.md).
+  void handle_cdc_update(Connection* conn, const proto::Update& m,
+                         FileState& state, const diff::Delta& delta);
   void handle(Connection* conn, const proto::SubmitJob& m);
   void handle(Connection* conn, const proto::StatusQuery& m);
   void handle(Connection* conn, const proto::JobOutputAck& m);
@@ -307,8 +322,11 @@ class ShadowServer {
   void send(Connection* conn, const proto::Message& m);
 
   FileState& file_state(const naming::GlobalFileId& id);
-  /// Issue a PullRequest for `state` if flow control allows.
-  void maybe_pull(FileState& state);
+  /// Issue a PullRequest for `state` if flow control allows. `need_bytes`
+  /// is set when a job must materialize the file: a current-but-digest-
+  /// only cache entry then still triggers a pull (for full content),
+  /// because digests cannot feed an executor sandbox.
+  void maybe_pull(FileState& state, bool need_bytes = false);
   /// Retry pulls deferred by the outstanding-pull cap.
   void drain_deferred_pulls();
 
@@ -368,9 +386,11 @@ class ShadowServer {
   /// (deferred acks may outlive a detach).
   void send_if_attached(Connection* conn, const std::string& client_name,
                         const proto::Message& m);
-  /// Journal bodies for the two record types built in several places.
+  /// Journal bodies for the record types built in several places.
   static Bytes cached_record_body(const FileState& state, u64 version,
                                   u32 crc, const std::string& content);
+  static Bytes digest_record_body(const FileState& state, u64 version,
+                                  u32 crc, const cdc::Signature& signature);
   static Bytes finished_record_body(const job::JobRecord& record);
   /// Non-gating eviction record (losing it costs a re-pull, not
   /// correctness).

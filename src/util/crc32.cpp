@@ -1,6 +1,7 @@
 #include "util/crc32.hpp"
 
 #include <array>
+#include <utility>
 
 namespace shadow {
 
@@ -37,5 +38,55 @@ u32 crc32(const u8* data, std::size_t len) {
 }
 
 u32 crc32(const Bytes& data) { return crc32(data.data(), data.size()); }
+
+namespace {
+
+// GF(2) 32x32 matrix operating on CRC state vectors. mat[i] is the image
+// of the i-th basis vector; multiplying by the matrix advances a CRC as
+// if some number of zero bytes were appended.
+using CrcMatrix = std::array<u32, 32>;
+
+u32 gf2_times_vec(const CrcMatrix& mat, u32 vec) {
+  u32 sum = 0;
+  for (int i = 0; vec != 0; ++i, vec >>= 1) {
+    if (vec & 1u) sum ^= mat[i];
+  }
+  return sum;
+}
+
+CrcMatrix gf2_square(const CrcMatrix& mat) {
+  CrcMatrix sq{};
+  for (int i = 0; i < 32; ++i) sq[i] = gf2_times_vec(mat, mat[i]);
+  return sq;
+}
+
+}  // namespace
+
+u32 crc32_combine(u32 crc_a, u32 crc_b, u64 len_b) {
+  if (len_b == 0) return crc_a;
+  // Operator for one zero BIT: the CRC shift with the reflected polynomial
+  // folded in when the low bit falls off.
+  CrcMatrix odd{};
+  odd[0] = 0xEDB88320u;
+  for (int i = 1; i < 32; ++i) odd[i] = 1u << (i - 1);
+  // Squaring doubles the zero-length an operator appends.
+  CrcMatrix even = gf2_square(odd);   // 2 bits
+  odd = gf2_square(even);             // 4 bits
+  even = gf2_square(odd);             // 8 bits = 1 byte
+  // `even` now appends one zero byte; walk len_b's bits, squaring as we
+  // go, so bit k of len_b applies the 2^k-zero-byte operator.
+  u32 crc = crc_a;
+  CrcMatrix* cur = &even;
+  CrcMatrix* next = &odd;
+  u64 len = len_b;
+  while (true) {
+    if (len & 1u) crc = gf2_times_vec(*cur, crc);
+    len >>= 1;
+    if (len == 0) break;
+    *next = gf2_square(*cur);
+    std::swap(cur, next);
+  }
+  return crc ^ crc_b;
+}
 
 }  // namespace shadow

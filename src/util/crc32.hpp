@@ -28,4 +28,10 @@ class Crc32 {
 u32 crc32(const Bytes& data);
 u32 crc32(const u8* data, std::size_t len);
 
+/// CRC-32 of the concatenation A||B given crc(A), crc(B) and |B| — the
+/// zlib GF(2) matrix technique. Lets a digest-only peer compose per-chunk
+/// CRCs into the whole-file fingerprint without ever holding the bytes
+/// (the CDC codec's verified-apply path, docs/DELTAS.md).
+u32 crc32_combine(u32 crc_a, u32 crc_b, u64 len_b);
+
 }  // namespace shadow

@@ -22,6 +22,7 @@
 #include "net/loopback.hpp"
 #include "server/shadow_server.hpp"
 #include "telemetry/registry.hpp"
+#include "util/crc32.hpp"
 #include "util/logging.hpp"
 #include "vfs/cluster.hpp"
 
@@ -57,6 +58,13 @@ void expect_metrics_invariants() {
   EXPECT_EQ(reg.counter("session.wire_bytes_sent").value(),
             reg.counter("session.payload_bytes_sent").value() +
                 reg.counter("session.frame_overhead_bytes").value());
+  EXPECT_EQ(reg.counter("cdc.computes").value(),
+            reg.counter("cdc.deltas").value() +
+                reg.counter("cdc.fallbacks").value());
+  EXPECT_EQ(reg.counter("cdc.wire_bytes").value(),
+            reg.counter("cdc.copy_wire_bytes").value() +
+                reg.counter("cdc.literal_bytes").value() +
+                reg.counter("cdc.framing_bytes").value());
 }
 
 void expect_conformance(diff::Algorithm algorithm, u64 seed) {
@@ -103,6 +111,54 @@ INSTANTIATE_TEST_SUITE_P(
           algorithm == diff::Algorithm::kHuntMcIlroy ? "hm" : "myers";
       return std::string(tag) + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// The same conformance property with every update forced onto the CDC
+// chunk codec: the server tracks the file as digests only, so the oracle
+// shifts from cache content to the digest fingerprint (entry CRC +
+// described size must match the client's final bytes) plus the job output
+// byte identity — the sandbox got exact bytes or the sort differs.
+void expect_cdc_conformance(u64 seed) {
+  core::ChaosOptions base;
+  base.seed = seed;
+  base.force_cdc = true;
+  const auto oracle = core::run_chaos_trial(base);
+  ASSERT_TRUE(oracle.converged) << "fault-free run failed: " << oracle.detail;
+  // Digest-only memory model: no bytes resident, but the signature must
+  // fingerprint the client's exact final content.
+  EXPECT_TRUE(oracle.server_entry_digest);
+  EXPECT_TRUE(oracle.server_cached.empty());
+  EXPECT_EQ(oracle.server_entry_crc,
+            crc32(reinterpret_cast<const u8*>(oracle.final_content.data()),
+                  oracle.final_content.size()));
+  EXPECT_EQ(oracle.server_described_bytes, oracle.final_content.size());
+  EXPECT_GT(oracle.cdc_sent, 0u);
+  EXPECT_GT(oracle.cdc_transfers, 0u);
+  ASSERT_FALSE(oracle.job_output.empty());
+
+  core::ChaosOptions chaotic = base;
+  chaotic.client_to_server = core::random_fault_plan(seed * 2 + 1);
+  chaotic.server_to_client = core::random_fault_plan(seed * 2 + 2);
+  const auto outcome = core::run_chaos_trial(chaotic);
+  const std::string repro =
+      " [cdc chaos seed " + std::to_string(seed) + "]";
+  ASSERT_TRUE(outcome.converged) << outcome.detail << repro;
+  EXPECT_EQ(outcome.final_content, oracle.final_content) << repro;
+  EXPECT_EQ(outcome.job_output, oracle.job_output) << repro;
+  EXPECT_EQ(outcome.server_entry_crc, oracle.server_entry_crc) << repro;
+  EXPECT_EQ(outcome.server_described_bytes, oracle.server_described_bytes)
+      << repro;
+  expect_metrics_invariants();
+}
+
+class CdcChaosConformance : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdcChaosConformance, DigestTrackedFileSurvivesFaultySchedules) {
+  QuietLogs quiet;
+  expect_cdc_conformance(static_cast<u64>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(HundredSchedules, CdcChaosConformance,
+                         ::testing::Range(1, 101));
 
 // CI's chaos job points SHADOW_CHAOS_EXTRA_SEEDS at schedules beyond the
 // committed fifty (comma-separated); locally this is skipped.

@@ -57,6 +57,7 @@ hosts:
     start: 2s
     burst: 8s
     job_ops: 40000
+    binary: on
   editors:
     quantity: 10
     link: custom
@@ -100,6 +101,8 @@ TEST(ScenarioSpec, ParsesEveryKey) {
   EXPECT_EQ(s.hosts[0].quantity, 100u);
   EXPECT_EQ(s.hosts[0].workload, Workload::kFlashCrowd);
   EXPECT_EQ(s.hosts[0].start, 2'000'000u);
+  EXPECT_TRUE(s.hosts[0].binary);
+  EXPECT_FALSE(s.hosts[1].binary);
   EXPECT_EQ(s.hosts[1].cycles, 3u);
   EXPECT_TRUE(s.hosts[1].request_driven);
   EXPECT_FALSE(s.hosts[1].background_updates);
@@ -311,6 +314,38 @@ TEST(ScenarioRun, DifferentSeedsDiverge) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_NE(to_json(a.value()), to_json(b.value()));
+}
+
+TEST(ScenarioRun, BinaryPopulationRidesTheCdcCodecDeterministically) {
+  shadow::Logger::instance().set_level(shadow::LogLevel::kError);
+  constexpr char kSpec[] = R"(
+general:
+  duration: 25s
+  seed: 11
+hosts:
+  blobs:
+    quantity: 6
+    link: modern-wan
+    workload: heavy_editor
+    file_size: 96KB
+    edit_percent: 2
+    binary: on
+    think: 4s
+    burst: 2s
+)";
+  auto parsed = parse_scenario(kSpec);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  auto first = ScenarioRunner(parsed.value()).run();
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  auto second = ScenarioRunner(parsed.value()).run();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(to_json(first.value()), to_json(second.value()));
+
+  // Big binary files cross over to the CDC codec; jobs still complete,
+  // proving the server can stage digest-tracked files into sandboxes.
+  EXPECT_GT(first.value().cdc_transfers, 0u);
+  EXPECT_GT(first.value().completed, 0u);
+  EXPECT_GT(first.value().edits, 0u);
 }
 
 TEST(ScenarioRun, ClassReportsCoverEveryClass) {

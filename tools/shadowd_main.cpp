@@ -3,7 +3,8 @@
 //
 //   shadowd --port 7788 [--name supercomputer] [--cache-budget BYTES]
 //           [--eviction lru|fifo|largest-first] [--reverse-shadow]
-//           [--codec stored|rle|lz77] [--journal DIR] [--verbose]
+//           [--no-cdc] [--codec stored|rle|lz77] [--journal DIR]
+//           [--verbose]
 //
 // Accepts any number of clients; serves until killed. With --once it
 // exits after the first client disconnects (used by the e2e test).
@@ -143,6 +144,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--reverse-shadow") {
       config.reverse_shadow = true;
+    } else if (arg == "--no-cdc") {
+      config.cdc_enabled = false;
     } else if (arg == "--codec") {
       const char* v = next();
       if (v == nullptr) { missing("--codec"); return 2; }
@@ -247,7 +250,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help") {
       std::printf("usage: shadowd [--port N] [--name NAME] [--threads N] "
                   "[--cache-budget BYTES] [--eviction POLICY] "
-                  "[--reverse-shadow] [--codec CODEC] [--state FILE] "
+                  "[--reverse-shadow] [--no-cdc] [--codec CODEC] "
+                  "[--state FILE] "
                   "[--journal DIR] [--commit-window USEC] "
                   "[--commit-batch-records N] [--commit-batch-bytes B] "
                   "[--commit-pipeline] [--lease-usec USEC] "

@@ -224,6 +224,54 @@ int run_selftest(net::TcpTransport& transport, int timeout_ms) {
     }
   }
 
+  // 8. The CDC digest family (docs/DELTAS.md): a serving daemon must
+  // account for chunk-codec transfers and digest-only residency, and
+  // whenever the cdc.* codec counters exist their composition identities
+  // must hold: computes = deltas + fallbacks and wire = copy wire +
+  // literals + framing.
+  {
+    const auto& s = second.value().snapshot;
+    auto counter_value = [&](const std::string& name) -> const u64* {
+      for (const auto& c : s.counters) {
+        if (c.name == name) return &c.value;
+      }
+      return nullptr;
+    };
+    for (const char* name :
+         {"server.cdc_transfers", "server.digest_advances",
+          "server.digest_advance_failures"}) {
+      if (counter_value(name) == nullptr) {
+        return fail("cdc", std::string(name) + " missing from snapshot");
+      }
+    }
+    bool entries_seen = false;
+    for (const auto& g : s.gauges) {
+      entries_seen |= g.name == "server.digest_entries";
+    }
+    if (!entries_seen) {
+      return fail("cdc", "server.digest_entries gauge missing");
+    }
+    // The cdc.* codec counters register on first use; an idle daemon has
+    // none, an active one must balance its books exactly.
+    if (const u64* computes = counter_value("cdc.computes")) {
+      auto value_or_zero = [&](const char* name) {
+        const u64* v = counter_value(name);
+        return v == nullptr ? u64{0} : *v;
+      };
+      if (*computes != value_or_zero("cdc.deltas") +
+                           value_or_zero("cdc.fallbacks")) {
+        return fail("cdc", "cdc.computes != cdc.deltas + cdc.fallbacks");
+      }
+      if (value_or_zero("cdc.wire_bytes") !=
+          value_or_zero("cdc.copy_wire_bytes") +
+              value_or_zero("cdc.literal_bytes") +
+              value_or_zero("cdc.framing_bytes")) {
+        return fail("cdc",
+                    "cdc.wire_bytes != copy wire + literals + framing");
+      }
+    }
+  }
+
   std::printf("shadowtop: selftest passed (%zu counters, %zu gauges, "
               "%zu histograms, %zu events)\n",
               second.value().snapshot.counters.size(),

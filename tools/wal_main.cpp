@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "cdc/signature.hpp"
 #include "core/crash.hpp"
 #include "job/queue.hpp"
 #include "naming/file_id.hpp"
@@ -92,6 +93,23 @@ std::string describe_body(const persist::JournalRecord& record) {
       if (!sig.ok() || !generation.ok()) break;
       std::snprintf(buf, sizeof(buf), "%s gen=%llu", sig.value().c_str(),
                     static_cast<unsigned long long>(generation.value()));
+      return buf;
+    }
+    case persist::RecordType::kShadowDigest: {
+      auto id = naming::GlobalFileId::decode(r);
+      if (!id.ok()) break;
+      auto key = r.get_string();
+      auto version = r.get_varint();
+      auto crc = r.get_u32();
+      auto sig = cdc::Signature::decode(r);
+      if (!key.ok() || !version.ok() || !crc.ok() || !sig.ok()) break;
+      std::snprintf(buf, sizeof(buf),
+                    "%s v%llu crc=%08x %zu chunks (%llu bytes described)",
+                    key.value().c_str(),
+                    static_cast<unsigned long long>(version.value()),
+                    crc.value(), sig.value().chunks.size(),
+                    static_cast<unsigned long long>(
+                        sig.value().total_bytes()));
       return buf;
     }
   }
